@@ -1,0 +1,57 @@
+// Figure 11: the per-dataset prediction table the IJ-GUI shows — dataset
+// temp on remote disks, everything else on remote tapes, collective I/O,
+// maximum iteration 120 (Table 2 scale) or the reduced default.
+#include "bench_util.h"
+
+namespace msra::bench {
+namespace {
+
+int run() {
+  print_header("Figure 11 — per-dataset I/O time prediction (IJ-GUI table)",
+               "Shen et al., HPDC 2000, Figure 11");
+  Testbed testbed;
+  check(testbed.calibrate(), "PTool calibration");
+
+  apps::astro3d::Config config = astro_config();
+  config.default_location = core::Location::kRemoteTape;
+  config.hints["temp"] = core::Location::kRemoteDisk;
+
+  std::printf("%-16s %-10s %5s %-6s %-8s %-14s %-12s %4s %14s\n", "NAME",
+              "AMODE", "NDIMS", "ETYPE", "PATTERN", "DIMS", "EXPECTEDLOC",
+              "FREQ", "VIRTUALTIME(s)");
+  double total = 0.0;
+  for (const auto& desc : apps::astro3d::dataset_descs(config)) {
+    const core::Location resolved = desc.location == core::Location::kAuto
+                                        ? core::Location::kRemoteTape
+                                        : desc.location;
+    auto prediction = check(
+        testbed.predictor.predict_dataset(desc, resolved, config.iterations,
+                                          config.nprocs, predict::IoOp::kWrite),
+        "prediction");
+    total += prediction.total;
+    char dims[32];
+    std::snprintf(dims, sizeof(dims), "%llu,%llu,%llu",
+                  static_cast<unsigned long long>(desc.dims[0]),
+                  static_cast<unsigned long long>(desc.dims[1]),
+                  static_cast<unsigned long long>(desc.dims[2]));
+    std::printf("%-16s %-10s %5d %-6s %-8s %-14s %-12s %4d %14.2f\n",
+                desc.name.c_str(),
+                std::string(core::access_mode_name(desc.amode)).c_str(), 3,
+                std::string(core::element_type_name(desc.etype)).c_str(),
+                desc.pattern.c_str(), dims,
+                std::string(core::location_name(resolved)).c_str(),
+                desc.frequency, prediction.total);
+  }
+  std::printf("%-80s %14.2f\n", "TOTAL", total);
+  if (full_scale()) {
+    std::printf(
+        "\nPaper's Fig. 11 values at this scale: float dataset -> tape\n"
+        "~3036 s, uchar dataset -> tape ~933 s, temp -> remote disk ~812 s.\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace msra::bench
+
+int main() { return msra::bench::run(); }

@@ -1,0 +1,9 @@
+// Figure 6: read/write time for various data sizes on local disks.
+#include "rw_figure.h"
+
+int main(int argc, char** argv) {
+  return msra::bench::run_rw_figure(
+      msra::core::Location::kLocalDisk,
+      "Figure 6 — read/write time vs data size, LOCAL DISKS",
+      "Shen et al., HPDC 2000, Figure 6", argc, argv);
+}

@@ -1,0 +1,9 @@
+// Figure 7: read/write time for various data sizes on remote disks (SRB).
+#include "rw_figure.h"
+
+int main(int argc, char** argv) {
+  return msra::bench::run_rw_figure(
+      msra::core::Location::kRemoteDisk,
+      "Figure 7 — read/write time vs data size, REMOTE DISKS (SRB)",
+      "Shen et al., HPDC 2000, Figure 7", argc, argv);
+}

@@ -1,0 +1,9 @@
+// Figure 8: read/write time for various data sizes on remote tapes (HPSS).
+#include "rw_figure.h"
+
+int main(int argc, char** argv) {
+  return msra::bench::run_rw_figure(
+      msra::core::Location::kRemoteTape,
+      "Figure 8 — read/write time vs data size, REMOTE TAPES (HPSS)",
+      "Shen et al., HPDC 2000, Figure 8", argc, argv);
+}

@@ -1,0 +1,62 @@
+// Table 1: timings for file open, close, connection setup etc., measured by
+// PTool through the full storage stack, side by side with the paper's
+// published values.
+#include "bench_util.h"
+
+namespace msra::bench {
+namespace {
+
+struct PaperRow {
+  const char* location;
+  const char* type;
+  double conn, open, seek, close, connclose;
+  bool has_seek;
+};
+
+// Table 1 of the paper ('-' entries carried as has_seek=false / 0).
+const PaperRow kPaper[] = {
+    {"Local disk", "read", 0.0, 0.20, 0.0, 0.001, 0.0, false},
+    {"Local disk", "write", 0.0, 0.21, 0.0, 0.001, 0.0, false},
+    {"Remote disk", "read", 0.44, 0.42, 0.40, 0.63, 0.0002, true},
+    {"Remote disk", "write", 0.44, 0.42, 0.0, 0.83, 0.0002, false},
+    {"Remote tape", "read", 0.81, 6.17, 0.0, 0.46, 0.0002, false},
+    {"Remote tape", "write", 0.81, 6.17, 0.0, 0.42, 0.0002, false},
+};
+
+int run() {
+  print_header("Table 1 — fixed cost components per storage resource",
+               "Shen et al., HPDC 2000, Table 1");
+  Testbed testbed;
+  predict::PTool ptool(testbed.system, testbed.perfdb);
+
+  std::printf("%-12s %-6s | %8s %9s %9s %9s %10s\n", "Location", "Type",
+              "Conn", "Fileopen", "Fileseek", "Fileclose", "Connclose");
+  std::printf("%.96s\n",
+              "-----------------------------------------------------------------"
+              "-------------------------------");
+  const core::Location locations[] = {core::Location::kLocalDisk,
+                                      core::Location::kRemoteDisk,
+                                      core::Location::kRemoteTape};
+  int row = 0;
+  for (core::Location location : locations) {
+    for (predict::IoOp op : {predict::IoOp::kRead, predict::IoOp::kWrite}) {
+      auto costs = check(ptool.measure_fixed(location, op), "measure fixed");
+      const PaperRow& paper = kPaper[row++];
+      std::printf("%-12s %-6s | %8.3f %9.3f %9.3f %9.3f %10.4f   (measured)\n",
+                  paper.location, paper.type, costs.conn, costs.open,
+                  costs.seek, costs.close, costs.connclose);
+      std::printf("%-12s %-6s | %8.3f %9.3f %9.3f %9.3f %10.4f   (paper)\n",
+                  "", "", paper.conn, paper.open, paper.seek, paper.close,
+                  paper.connclose);
+    }
+  }
+  std::printf(
+      "\nShape checks: tape open >> remote-disk open >> local open;\n"
+      "remote conn > 0, local conn = 0; close costs ~paper magnitude.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace msra::bench
+
+int main() { return msra::bench::run(); }

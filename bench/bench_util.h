@@ -1,0 +1,102 @@
+// Shared helpers for the per-table/per-figure benchmark harnesses.
+//
+// Every bench builds the calibrated year-2000 testbed, populates the
+// performance database with PTool (so predictions come from measurements,
+// never from the simulator's constants), runs the experiment, and prints
+// paper-style rows of *simulated* seconds.
+//
+// Scale: benches default to a reduced problem (64^3, 60 iterations) so the
+// whole suite runs in minutes on one core; set MSRA_FULL_SCALE=1 for the
+// paper's exact Table 2 parameters (128^3, 120 iterations).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "apps/astro3d/astro3d.h"
+#include "common/bytes.h"
+#include "core/session.h"
+#include "predict/predictor.h"
+#include "predict/ptool.h"
+
+namespace msra::bench {
+
+inline bool full_scale() {
+  const char* env = std::getenv("MSRA_FULL_SCALE");
+  return env != nullptr && env[0] == '1';
+}
+
+/// The Astro3D run-time parameter set (Table 2), possibly reduced.
+inline apps::astro3d::Config astro_config() {
+  apps::astro3d::Config config;
+  if (full_scale()) {
+    config.dims = {128, 128, 128};
+    config.iterations = 120;
+  } else {
+    config.dims = {64, 64, 64};
+    config.iterations = 60;
+  }
+  config.analysis_freq = 6;
+  config.viz_freq = 6;
+  config.checkpoint_freq = 6;
+  config.nprocs = 4;
+  return config;
+}
+
+/// A testbed + performance database + predictor, wired together.
+struct Testbed {
+  core::StorageSystem system;
+  predict::PerfDb perfdb;
+  predict::Predictor predictor;
+
+  Testbed()
+      : system(core::HardwareProfile::paper_2000()),
+        perfdb(&system.metadb()),
+        predictor(&perfdb) {}
+
+  /// Runs PTool over all resources (the "single run" that sets up the
+  /// basic performance database), then resets device clocks so the actual
+  /// experiment starts on idle hardware.
+  Status calibrate() {
+    predict::PToolConfig config;
+    config.sizes = {64ull << 10, 256ull << 10, 1ull << 20, 2ull << 20,
+                    4ull << 20, 8ull << 20, 16ull << 20};
+    config.repeats = 1;
+    predict::PTool ptool(system, perfdb);
+    MSRA_RETURN_IF_ERROR(ptool.measure_all(config));
+    system.reset_time();
+    return Status::Ok();
+  }
+};
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("Scale: %s (set MSRA_FULL_SCALE=1 for the paper's Table 2)\n",
+              full_scale() ? "FULL (128^3, 120 iterations)"
+                           : "reduced (64^3, 60 iterations)");
+  std::printf("All times are SIMULATED seconds on the calibrated testbed.\n");
+  std::printf("==============================================================\n");
+}
+
+inline void check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL: %s: %s\n", what, status.to_string().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T check(StatusOr<T> value, const char* what) {
+  if (!value.ok()) {
+    std::fprintf(stderr, "FATAL: %s: %s\n", what,
+                 value.status().to_string().c_str());
+    std::exit(1);
+  }
+  return std::move(value).value();
+}
+
+}  // namespace msra::bench

@@ -1,0 +1,76 @@
+// Shared driver for Figures 6-8: read/write time vs data size on one
+// storage resource. Uses google-benchmark with manual timing: the reported
+// "time" of each benchmark is the *simulated* duration of the transfer on
+// the calibrated testbed.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/bytes.h"
+
+namespace msra::bench {
+
+inline int run_rw_figure(core::Location location, const char* title,
+                         const char* paper_ref, int argc, char** argv) {
+  print_header(title, paper_ref);
+  // Kept alive for the whole benchmark run.
+  static Testbed* testbed = new Testbed();
+  static predict::PTool* ptool =
+      new predict::PTool(testbed->system, testbed->perfdb);
+
+  static const std::uint64_t kSizes[] = {64ull << 10,  256ull << 10,
+                                         1ull << 20,   2ull << 20,
+                                         4ull << 20,   8ull << 20,
+                                         16ull << 20};
+
+  for (predict::IoOp op : {predict::IoOp::kRead, predict::IoOp::kWrite}) {
+    for (std::uint64_t size : kSizes) {
+      const std::string name =
+          std::string(core::location_name(location)) + "/" +
+          std::string(predict::io_op_name(op)) + "/" +
+          format_bytes(size);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [location, op, size](benchmark::State& state) {
+            double last = 0.0;
+            for (auto _ : state) {
+              auto seconds = ptool->measure_rw(location, op, size, 1);
+              if (!seconds.ok()) {
+                state.SkipWithError(seconds.status().to_string().c_str());
+                return;
+              }
+              last = *seconds;
+              state.SetIterationTime(*seconds);
+            }
+            state.SetBytesProcessed(
+                static_cast<std::int64_t>(size) *
+                static_cast<std::int64_t>(state.iterations()));
+            state.counters["sim_seconds"] = last;
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Also print the figure as a plain series for EXPERIMENTS.md.
+  std::printf("\n%-12s %14s %14s\n", "size", "read (s)", "write (s)");
+  for (std::uint64_t size : kSizes) {
+    const double read =
+        check(ptool->measure_rw(location, predict::IoOp::kRead, size, 1),
+              "measure read");
+    const double write =
+        check(ptool->measure_rw(location, predict::IoOp::kWrite, size, 1),
+              "measure write");
+    std::printf("%-12s %14.4f %14.4f\n", format_bytes(size).c_str(), read,
+                write);
+  }
+  return 0;
+}
+
+}  // namespace msra::bench

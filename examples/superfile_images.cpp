@@ -1,0 +1,95 @@
+// Superfile: efficiently shipping many small files to remote storage.
+//
+// Volren produces one small image per timestep. Stored naively, each image
+// pays the remote connection/open/close overhead; packed into a superfile
+// they cost one large transfer, and the first read brings everything into
+// memory (paper, section 5 and Fig. 10(c)).
+//
+//   $ ./examples/superfile_images
+#include <cstdio>
+#include <vector>
+
+#include "apps/imgview/image.h"
+#include "core/system.h"
+#include "runtime/endpoint.h"
+#include "runtime/superfile.h"
+
+using namespace msra;
+
+namespace {
+
+apps::imgview::Image make_frame(int t) {
+  apps::imgview::Image image;
+  image.width = 64;
+  image.height = 64;
+  image.pixels.resize(64 * 64);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      image.at(x, y) = static_cast<std::uint8_t>((x * y + 13 * t) & 0xff);
+    }
+  }
+  return image;
+}
+
+}  // namespace
+
+int main() {
+  core::StorageSystem system(core::HardwareProfile::paper_2000());
+  auto& remote = system.endpoint(core::Location::kRemoteDisk);
+  constexpr int kFrames = 21;
+
+  // --- naive: one remote object per frame --------------------------------
+  simkit::Timeline naive_w;
+  for (int t = 0; t < kFrames; ++t) {
+    auto pgm = apps::imgview::encode_pgm(make_frame(t));
+    auto file = runtime::FileSession::start(
+        remote, naive_w, "naive/frame" + std::to_string(t) + ".pgm",
+        srb::OpenMode::kOverwrite);
+    if (!file.ok() || !file->write(pgm).ok()) return 1;
+  }
+  system.reset_time();
+  simkit::Timeline naive_r;
+  for (int t = 0; t < kFrames; ++t) {
+    const std::string path = "naive/frame" + std::to_string(t) + ".pgm";
+    auto size = remote.size(naive_r, path);
+    std::vector<std::byte> blob(size.ok() ? *size : 0);
+    auto file =
+        runtime::FileSession::start(remote, naive_r, path, srb::OpenMode::kRead);
+    if (!file.ok() || !file->read(blob).ok()) return 1;
+  }
+
+  // --- superfile: all frames in one object -------------------------------
+  system.reset_time();
+  simkit::Timeline super_w;
+  {
+    auto writer =
+        runtime::SuperfileWriter::create(remote, super_w, "frames.super");
+    if (!writer.ok()) return 1;
+    for (int t = 0; t < kFrames; ++t) {
+      auto pgm = apps::imgview::encode_pgm(make_frame(t));
+      if (!writer->add("frame" + std::to_string(t) + ".pgm", pgm).ok()) return 1;
+    }
+    if (!writer->finalize().ok()) return 1;
+  }
+  system.reset_time();
+  simkit::Timeline super_r;
+  auto reader = runtime::SuperfileReader::open(remote, super_r, "frames.super");
+  if (!reader.ok()) return 1;
+  for (const auto& name : reader->names()) {
+    auto member = reader->read(name);  // served from memory after 1st fetch
+    if (!member.ok() || !apps::imgview::decode_pgm(*member).ok()) return 1;
+  }
+
+  std::printf("shipping %d Volren frames to remote disks (simulated s):\n\n",
+              kFrames);
+  std::printf("%-28s %12s %12s\n", "method", "write", "read back");
+  std::printf("%-28s %12.1f %12.1f\n", "naive (one object each)",
+              naive_w.now(), naive_r.now());
+  std::printf("%-28s %12.1f %12.1f\n", "superfile (one big object)",
+              super_w.now(), super_r.now());
+  std::printf("\nspeedup: write %.1fx, read %.1fx — one remote request\n"
+              "instead of %d, exactly the paper's superfile argument.\n",
+              naive_w.now() / super_w.now(), naive_r.now() / super_r.now(),
+              kFrames);
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "apps/imgview/image.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace msra::apps::imgview {
+
+std::vector<std::byte> encode_pgm(const Image& image) {
+  char header[64];
+  const int n =
+      std::snprintf(header, sizeof(header), "P5\n%d %d\n255\n", image.width,
+                    image.height);
+  std::vector<std::byte> out(static_cast<std::size_t>(n) + image.pixels.size());
+  std::memcpy(out.data(), header, static_cast<std::size_t>(n));
+  std::memcpy(out.data() + n, image.pixels.data(), image.pixels.size());
+  return out;
+}
+
+StatusOr<Image> decode_pgm(std::span<const std::byte> data) {
+  // Parse "P5\n<w> <h>\n<maxval>\n" followed by raw bytes. Whitespace
+  // handling is deliberately strict (we only decode what we encode, plus
+  // reasonable variants).
+  const char* p = reinterpret_cast<const char*>(data.data());
+  const char* end = p + data.size();
+  auto skip_space = [&] {
+    while (p < end && (*p == ' ' || *p == '\n' || *p == '\t' || *p == '\r')) ++p;
+    // Comments.
+    while (p < end && *p == '#') {
+      while (p < end && *p != '\n') ++p;
+      while (p < end && (*p == ' ' || *p == '\n' || *p == '\t' || *p == '\r')) ++p;
+    }
+  };
+  auto read_int = [&]() -> int {
+    int value = 0;
+    bool any = false;
+    while (p < end && *p >= '0' && *p <= '9') {
+      value = value * 10 + (*p - '0');
+      ++p;
+      any = true;
+    }
+    return any ? value : -1;
+  };
+  if (data.size() < 2 || p[0] != 'P' || p[1] != '5') {
+    return Status::InvalidArgument("not a binary PGM (P5)");
+  }
+  p += 2;
+  skip_space();
+  const int width = read_int();
+  skip_space();
+  const int height = read_int();
+  skip_space();
+  const int maxval = read_int();
+  if (width <= 0 || height <= 0 || maxval != 255) {
+    return Status::InvalidArgument("bad PGM header");
+  }
+  if (p >= end || (*p != '\n' && *p != ' ' && *p != '\t' && *p != '\r')) {
+    return Status::InvalidArgument("bad PGM header terminator");
+  }
+  ++p;
+  const std::size_t expected =
+      static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+  if (static_cast<std::size_t>(end - p) < expected) {
+    return Status::InvalidArgument("truncated PGM payload");
+  }
+  Image image;
+  image.width = width;
+  image.height = height;
+  image.pixels.resize(expected);
+  std::memcpy(image.pixels.data(), p, expected);
+  return image;
+}
+
+ImageStats compute_stats(const Image& image) {
+  ImageStats stats;
+  if (image.pixels.empty()) return stats;
+  stats.min = 255;
+  stats.max = 0;
+  double sum = 0.0;
+  for (std::uint8_t v : image.pixels) {
+    stats.min = std::min(stats.min, v);
+    stats.max = std::max(stats.max, v);
+    sum += v;
+    stats.histogram[v / 16]++;
+  }
+  stats.mean = sum / static_cast<double>(image.pixels.size());
+  return stats;
+}
+
+std::string ascii_render(const Image& image, int cols) {
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  if (image.width <= 0 || image.height <= 0 || cols <= 0) return "";
+  const int rows = std::max(1, cols * image.height / image.width / 2);
+  std::string out;
+  out.reserve(static_cast<std::size_t>(rows) * (static_cast<std::size_t>(cols) + 1));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int x = c * image.width / cols;
+      const int y = r * image.height / rows;
+      const int shade = image.at(x, y) * 9 / 255;
+      out += kRamp[shade];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace msra::apps::imgview

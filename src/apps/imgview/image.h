@@ -1,0 +1,49 @@
+// Grayscale images + PGM codec + statistics (the "image viewer" tool).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace msra::apps::imgview {
+
+/// An 8-bit grayscale image.
+struct Image {
+  int width = 0;
+  int height = 0;
+  std::vector<std::uint8_t> pixels;  ///< row-major, width*height
+
+  std::uint8_t at(int x, int y) const {
+    return pixels[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                  static_cast<std::size_t>(x)];
+  }
+  std::uint8_t& at(int x, int y) {
+    return pixels[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                  static_cast<std::size_t>(x)];
+  }
+};
+
+/// Binary PGM (P5) encoding.
+std::vector<std::byte> encode_pgm(const Image& image);
+
+/// Decodes a binary PGM (P5, maxval 255).
+StatusOr<Image> decode_pgm(std::span<const std::byte> data);
+
+/// Descriptive statistics of an image.
+struct ImageStats {
+  std::uint8_t min = 0;
+  std::uint8_t max = 0;
+  double mean = 0.0;
+  std::array<std::uint64_t, 16> histogram = {};  ///< 16 equal bins
+};
+
+ImageStats compute_stats(const Image& image);
+
+/// Coarse ASCII rendering (for terminal previews), `cols` characters wide.
+std::string ascii_render(const Image& image, int cols = 64);
+
+}  // namespace msra::apps::imgview

@@ -1,0 +1,84 @@
+#include "apps/mse/mse.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <mutex>
+
+#include "prt/comm.h"
+
+namespace msra::apps::mse {
+
+double max_square_error(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    worst = std::max(worst, d * d);
+  }
+  return worst;
+}
+
+StatusOr<Result> run(core::Session& session, const Config& config) {
+  MSRA_ASSIGN_OR_RETURN(core::DatasetHandle * handle,
+                        session.open_existing(config.dataset));
+  if (handle->desc().etype != core::ElementType::kFloat32) {
+    return Status::InvalidArgument("MSE analysis expects a float dataset");
+  }
+  Result result;
+  Status run_status = Status::Ok();
+  std::mutex result_mutex;
+
+  MSRA_ASSIGN_OR_RETURN(runtime::ArrayLayout layout,
+                        handle->layout(config.nprocs));
+
+  // Collect dumped timesteps in ascending order from the catalog.
+  std::vector<int> steps;
+  {
+    auto record = session.catalog().find_dataset(config.dataset);
+    MSRA_RETURN_IF_ERROR(record.status());
+    for (const auto& inst :
+         session.catalog().instances(record->app, config.dataset)) {
+      steps.push_back(inst.timestep);
+    }
+    std::sort(steps.begin(), steps.end());
+    steps.erase(std::unique(steps.begin(), steps.end()), steps.end());
+  }
+  if (steps.size() < 2) {
+    return Status::InvalidArgument("need at least two dumped timesteps");
+  }
+  result.timesteps = steps;
+  result.mse.resize(steps.size() - 1, 0.0);
+
+  prt::World world(config.nprocs);
+  world.run([&](prt::Comm& comm) {
+    const prt::LocalBox box = layout.decomp.local_box(comm.rank());
+    const std::size_t count = static_cast<std::size_t>(box.volume());
+    std::vector<float> prev(count), curr(count);
+    Status my_status = Status::Ok();
+
+    auto read_step = [&](int timestep, std::vector<float>& into) {
+      std::span<std::byte> bytes(reinterpret_cast<std::byte*>(into.data()),
+                                 into.size() * sizeof(float));
+      my_status = handle->read_timestep(comm, timestep, bytes);
+    };
+
+    read_step(steps[0], prev);
+    for (std::size_t s = 1; s < steps.size() && my_status.ok(); ++s) {
+      read_step(steps[s], curr);
+      if (!my_status.ok()) break;
+      const double local = max_square_error(prev, curr);
+      const double global = comm.allreduce_max(local);
+      if (comm.rank() == 0) result.mse[s - 1] = global;
+      std::swap(prev, curr);
+    }
+    comm.sync_time();
+    std::lock_guard<std::mutex> lock(result_mutex);
+    if (!my_status.ok() && run_status.ok()) run_status = my_status;
+    if (comm.rank() == 0) result.io_time = comm.timeline().now();
+  });
+  MSRA_RETURN_IF_ERROR(run_status);
+  return result;
+}
+
+}  // namespace msra::apps::mse

@@ -1,0 +1,194 @@
+#include "apps/volren/volren.h"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+
+#include "prt/comm.h"
+#include "runtime/parallel_io.h"
+#include "runtime/superfile.h"
+
+namespace msra::apps::volren {
+
+imgview::Image render(const std::vector<std::uint8_t>& volume,
+                      const std::array<std::uint64_t, 3>& dims, int width,
+                      int height, int row_begin, int row_end) {
+  imgview::Image image;
+  image.width = width;
+  image.height = height;
+  image.pixels.assign(
+      static_cast<std::size_t>(width) * static_cast<std::size_t>(height), 0);
+  const auto nx = static_cast<std::int64_t>(dims[0]);
+  const auto ny = static_cast<std::int64_t>(dims[1]);
+  const auto nz = static_cast<std::int64_t>(dims[2]);
+  for (int y = row_begin; y < row_end; ++y) {
+    const std::int64_t j = static_cast<std::int64_t>(y) * ny / height;
+    for (int x = 0; x < width; ++x) {
+      const std::int64_t i = static_cast<std::int64_t>(x) * nx / width;
+      // Front-to-back compositing along +z.
+      double color = 0.0;
+      double transmittance = 1.0;
+      for (std::int64_t k = 0; k < nz && transmittance > 0.02; ++k) {
+        const std::uint8_t v =
+            volume[static_cast<std::size_t>((i * ny + j) * nz + k)];
+        const double alpha = 0.05 * (static_cast<double>(v) / 255.0);
+        color += transmittance * alpha * static_cast<double>(v);
+        transmittance *= 1.0 - alpha;
+      }
+      image.at(x, y) =
+          static_cast<std::uint8_t>(std::clamp(color, 0.0, 255.0));
+    }
+  }
+  return image;
+}
+
+StatusOr<Result> run(core::Session& session, const Config& config) {
+  MSRA_ASSIGN_OR_RETURN(core::DatasetHandle * handle,
+                        session.open_existing(config.dataset));
+  if (handle->desc().etype != core::ElementType::kUInt8) {
+    return Status::InvalidArgument("Volren expects a uchar dataset");
+  }
+  const auto dims = handle->desc().dims;
+  const std::uint64_t volume_bytes = handle->desc().global_bytes();
+
+  // Dumped timesteps, ascending.
+  std::vector<int> steps;
+  {
+    auto record = session.catalog().find_dataset(config.dataset);
+    MSRA_RETURN_IF_ERROR(record.status());
+    for (const auto& inst :
+         session.catalog().instances(record->app, config.dataset)) {
+      steps.push_back(inst.timestep);
+    }
+    std::sort(steps.begin(), steps.end());
+    steps.erase(std::unique(steps.begin(), steps.end()), steps.end());
+  }
+  if (steps.empty()) {
+    return Status::NotFound("no dumped instances of " + config.dataset);
+  }
+
+  MSRA_ASSIGN_OR_RETURN(runtime::ArrayLayout layout,
+                        handle->layout(config.nprocs));
+  runtime::StorageEndpoint& image_endpoint =
+      session.system().endpoint(config.image_location);
+
+  Result result;
+  Status run_status = Status::Ok();
+  std::mutex result_mutex;
+
+  prt::World world(config.nprocs);
+  world.run([&](prt::Comm& comm) {
+    Status my_status = Status::Ok();
+    const prt::LocalBox box = layout.decomp.local_box(comm.rank());
+    std::vector<std::uint8_t> block(static_cast<std::size_t>(box.volume()));
+    std::vector<std::uint8_t> volume(static_cast<std::size_t>(volume_bytes));
+    double read_time = 0.0, write_time = 0.0;
+
+    // Superfile writer lives on rank 0 across all timesteps.
+    std::optional<runtime::SuperfileWriter> superfile;
+    if (config.use_superfile && comm.rank() == 0) {
+      auto writer = runtime::SuperfileWriter::create(
+          image_endpoint, comm.timeline(), config.image_base + "/all.super");
+      if (!writer.ok()) {
+        my_status = writer.status();
+      } else {
+        superfile.emplace(std::move(*writer));
+      }
+    }
+
+    for (int timestep : steps) {
+      if (!my_status.ok()) break;
+      // Read this rank's block through the API.
+      const double t0 = comm.timeline().now();
+      std::span<std::byte> bytes(reinterpret_cast<std::byte*>(block.data()),
+                                 block.size());
+      my_status = handle->read_timestep(comm, timestep, bytes);
+      if (!my_status.ok()) break;
+      read_time += comm.timeline().now() - t0;
+
+      // Exchange blocks to assemble the full volume on every rank (the
+      // renderer needs whole z-columns).
+      std::vector<std::uint64_t> sizes;
+      auto gathered = comm.allgatherv(
+          std::span<const std::byte>(reinterpret_cast<const std::byte*>(block.data()),
+                                     block.size()),
+          &sizes);
+      std::uint64_t base = 0;
+      for (int r = 0; r < comm.size(); ++r) {
+        const prt::LocalBox rbox = layout.decomp.local_box(r);
+        runtime::for_each_run(
+            layout.decomp, rbox,
+            [&](std::uint64_t goff, std::uint64_t count, std::uint64_t loff) {
+              std::memcpy(volume.data() + goff,
+                          gathered.data() + base + loff, count);
+            });
+        base += sizes[static_cast<std::size_t>(r)];
+      }
+
+      // Each rank renders a strip of rows.
+      const auto rows = prt::block_extent(
+          static_cast<std::uint64_t>(config.height), comm.size(), comm.rank());
+      imgview::Image strip =
+          render(volume, dims, config.width, config.height,
+                 static_cast<int>(rows.lo), static_cast<int>(rows.hi));
+      // Gather strips at rank 0 (send only the owned rows).
+      const std::size_t row_bytes = static_cast<std::size_t>(config.width);
+      std::span<const std::byte> my_rows(
+          reinterpret_cast<const std::byte*>(strip.pixels.data() +
+                                             rows.lo * row_bytes),
+          (rows.hi - rows.lo) * row_bytes);
+      auto assembled = comm.gatherv(my_rows, 0);
+
+      if (comm.rank() == 0) {
+        imgview::Image image;
+        image.width = config.width;
+        image.height = config.height;
+        image.pixels.resize(assembled.size());
+        std::memcpy(image.pixels.data(), assembled.data(), assembled.size());
+        const auto pgm = imgview::encode_pgm(image);
+        const std::string name = "img_t" + std::to_string(timestep) + ".pgm";
+        const double w0 = comm.timeline().now();
+        if (superfile.has_value()) {
+          my_status = superfile->add(name, pgm);
+        } else {
+          const std::string path = config.image_base + "/" + name;
+          auto session_file = runtime::FileSession::start(
+              image_endpoint, comm.timeline(), path, srb::OpenMode::kOverwrite);
+          if (!session_file.ok()) {
+            my_status = session_file.status();
+          } else {
+            my_status = session_file->write(pgm);
+            Status fin = session_file->finish();
+            if (my_status.ok()) my_status = fin;
+          }
+        }
+        write_time += comm.timeline().now() - w0;
+        std::lock_guard<std::mutex> lock(result_mutex);
+        result.image_paths.push_back(name);
+        ++result.images;
+      }
+      // Share rank 0's write outcome.
+      net::WireWriter w;
+      srb::proto::put_status(w, my_status);
+      auto payload = comm.bcast(w.take(), 0);
+      net::WireReader r(payload);
+      my_status = srb::proto::get_status(r);
+    }
+    if (my_status.ok() && superfile.has_value()) {
+      const double w0 = comm.timeline().now();
+      my_status = superfile->finalize();
+      write_time += comm.timeline().now() - w0;
+    }
+    comm.sync_time();
+    std::lock_guard<std::mutex> lock(result_mutex);
+    if (!my_status.ok() && run_status.ok()) run_status = my_status;
+    if (comm.rank() == 0) {
+      result.read_io_time = read_time;
+      result.write_io_time = write_time;
+    }
+  });
+  MSRA_RETURN_IF_ERROR(run_status);
+  return result;
+}
+
+}  // namespace msra::apps::volren

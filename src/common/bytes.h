@@ -1,0 +1,22 @@
+// Byte-size helpers and formatting used throughout the storage stack.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace msra {
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+
+namespace literals {
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v * kKiB; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v * kMiB; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v * kGiB; }
+}  // namespace literals
+
+/// Formats a byte count as a human-readable string ("8.0 MiB").
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace msra

@@ -1,0 +1,46 @@
+// Minimal leveled logger.
+//
+// The library is quiet by default (kWarn); benches and examples raise the
+// level for narration. Thread-safe: each call formats into a local buffer
+// and emits with a single stream write.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace msra {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement: MSRA_LOG(kInfo) << "opened " << path;
+#define MSRA_LOG(level)                                             \
+  if (::msra::LogLevel::level < ::msra::log_level()) {              \
+  } else                                                            \
+    ::msra::detail::LogLine(::msra::LogLevel::level)
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace msra

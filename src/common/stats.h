@@ -1,0 +1,33 @@
+// Small descriptive-statistics accumulator used by PTool and the benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace msra {
+
+/// Accumulates samples and reports min/max/mean/stddev/percentiles.
+class StatAccumulator {
+ public:
+  void add(double sample) { samples_.push_back(sample); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+
+  /// Linear-interpolated percentile, p in [0, 100]. Precondition: !empty().
+  double percentile(double p) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace msra

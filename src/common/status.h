@@ -1,0 +1,124 @@
+// Lightweight Status / StatusOr error handling for the MSRA library.
+//
+// The storage stack reports recoverable conditions (resource down, object
+// missing, capacity exhausted) as values rather than exceptions, so that
+// failover policies in core/ can react to them cheaply.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace msra {
+
+/// Error categories used across the storage stack.
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,          ///< object / table / row does not exist
+  kAlreadyExists,     ///< create on an existing object without overwrite
+  kInvalidArgument,   ///< malformed request (bad offset, bad pattern, ...)
+  kOutOfRange,        ///< read past end of object
+  kCapacityExceeded,  ///< storage resource is full
+  kUnavailable,       ///< resource is down (fault injection / outage)
+  kPermissionDenied,  ///< authentication / mode violation
+  kInternal,          ///< invariant violation inside the library
+  kUnimplemented,     ///< feature not supported by this endpoint
+};
+
+/// Human-readable name of an ErrorCode ("NOT_FOUND", ...).
+std::string_view error_code_name(ErrorCode code);
+
+/// A success-or-error result. Cheap to copy on success (empty message).
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m) { return {ErrorCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m) { return {ErrorCode::kAlreadyExists, std::move(m)}; }
+  static Status InvalidArgument(std::string m) { return {ErrorCode::kInvalidArgument, std::move(m)}; }
+  static Status OutOfRange(std::string m) { return {ErrorCode::kOutOfRange, std::move(m)}; }
+  static Status CapacityExceeded(std::string m) { return {ErrorCode::kCapacityExceeded, std::move(m)}; }
+  static Status Unavailable(std::string m) { return {ErrorCode::kUnavailable, std::move(m)}; }
+  static Status PermissionDenied(std::string m) { return {ErrorCode::kPermissionDenied, std::move(m)}; }
+  static Status Internal(std::string m) { return {ErrorCode::kInternal, std::move(m)}; }
+  static Status Unimplemented(std::string m) { return {ErrorCode::kUnimplemented, std::move(m)}; }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "NOT_FOUND: <message>".
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// A value-or-error result, in the spirit of absl::StatusOr / std::expected.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error status out of the current function.
+#define MSRA_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::msra::Status _msra_status = (expr);          \
+    if (!_msra_status.ok()) return _msra_status;   \
+  } while (false)
+
+/// Evaluates a StatusOr expression, assigning the value or returning the error.
+#define MSRA_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto MSRA_CONCAT_(_msra_sor, __LINE__) = (expr);    \
+  if (!MSRA_CONCAT_(_msra_sor, __LINE__).ok())        \
+    return MSRA_CONCAT_(_msra_sor, __LINE__).status();\
+  lhs = std::move(MSRA_CONCAT_(_msra_sor, __LINE__)).value()
+
+#define MSRA_CONCAT_INNER_(a, b) a##b
+#define MSRA_CONCAT_(a, b) MSRA_CONCAT_INNER_(a, b)
+
+}  // namespace msra

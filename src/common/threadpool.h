@@ -1,0 +1,44 @@
+// Fixed-size worker pool used by the asynchronous I/O runtime.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace msra {
+
+/// A simple FIFO thread pool. Tasks are void() callables; exceptions thrown
+/// by a task terminate the process (tasks are expected to report errors via
+/// their own channels, e.g. Status captured in a promise).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished running.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace msra

@@ -1,0 +1,274 @@
+#include "core/catalog.h"
+
+#include <cassert>
+
+namespace msra::core {
+
+using meta::ColumnType;
+using meta::Row;
+using meta::Value;
+
+MetaCatalog::MetaCatalog(meta::Database* db) {
+  auto users = db->open_table(
+      "users", meta::Schema{{"name", ColumnType::kText},
+                            {"affiliation", ColumnType::kText}});
+  auto applications = db->open_table(
+      "applications", meta::Schema{{"name", ColumnType::kText},
+                                   {"user", ColumnType::kText},
+                                   {"nprocs", ColumnType::kInt},
+                                   {"iterations", ColumnType::kInt}});
+  auto datasets = db->open_table(
+      "datasets",
+      meta::Schema{{"key", ColumnType::kText},        // app/name
+                   {"app", ColumnType::kText},
+                   {"name", ColumnType::kText},
+                   {"amode", ColumnType::kText},
+                   {"etype", ColumnType::kText},
+                   {"pattern", ColumnType::kText},
+                   {"dim0", ColumnType::kInt},
+                   {"dim1", ColumnType::kInt},
+                   {"dim2", ColumnType::kInt},
+                   {"frequency", ColumnType::kInt},
+                   {"hint", ColumnType::kText},       // user's EXPECTEDLOC
+                   {"resolved", ColumnType::kText},   // placement decision
+                   {"method", ColumnType::kText}});
+  auto instances = db->open_table(
+      "instances", meta::Schema{{"dataset_key", ColumnType::kText},
+                                {"timestep", ColumnType::kInt},
+                                {"location", ColumnType::kText},
+                                {"path", ColumnType::kText},
+                                {"bytes", ColumnType::kInt}});
+  assert(users.ok() && applications.ok() && datasets.ok() && instances.ok());
+  users_ = *users;
+  applications_ = *applications;
+  datasets_ = *datasets;
+  instances_ = *instances;
+  if (users_->size() == 0) {
+    (void)users_->create_unique_index("name");
+    (void)applications_->create_unique_index("name");
+    (void)datasets_->create_unique_index("key");
+  }
+}
+
+Status MetaCatalog::register_user(const std::string& user,
+                                  const std::string& affiliation) {
+  auto existing = users_->lookup("name", Value{user});
+  if (existing.ok()) return Status::Ok();  // idempotent
+  return users_->insert(Row{user, affiliation}).status();
+}
+
+Status MetaCatalog::register_application(const std::string& app,
+                                         const std::string& user, int nprocs,
+                                         int iterations) {
+  auto existing = applications_->lookup("name", Value{app});
+  if (existing.ok()) {
+    return applications_->update(
+        *existing, Row{app, user, std::int64_t{nprocs}, std::int64_t{iterations}});
+  }
+  return applications_
+      ->insert(Row{app, user, std::int64_t{nprocs}, std::int64_t{iterations}})
+      .status();
+}
+
+StatusOr<int> MetaCatalog::application_iterations(const std::string& app) const {
+  MSRA_ASSIGN_OR_RETURN(std::int64_t rowid, applications_->lookup("name", Value{app}));
+  MSRA_ASSIGN_OR_RETURN(Row row, applications_->get(rowid));
+  return static_cast<int>(std::get<std::int64_t>(row[3]));
+}
+
+namespace {
+
+Row dataset_row(const std::string& app, const DatasetDesc& desc, Location resolved) {
+  return Row{MetaCatalog::dataset_key(app, desc.name),
+             app,
+             desc.name,
+             std::string(access_mode_name(desc.amode)),
+             std::string(element_type_name(desc.etype)),
+             desc.pattern,
+             static_cast<std::int64_t>(desc.dims[0]),
+             static_cast<std::int64_t>(desc.dims[1]),
+             static_cast<std::int64_t>(desc.dims[2]),
+             std::int64_t{desc.frequency},
+             std::string(location_name(desc.location)),
+             std::string(location_name(resolved)),
+             std::string(runtime::io_method_name(desc.method))};
+}
+
+StatusOr<DatasetRecord> record_from_row(const Row& row) {
+  DatasetRecord record;
+  record.app = std::get<std::string>(row[1]);
+  record.desc.name = std::get<std::string>(row[2]);
+  const std::string& amode = std::get<std::string>(row[3]);
+  record.desc.amode = amode == "over_write" ? AccessMode::kOverWrite
+                      : amode == "read"     ? AccessMode::kRead
+                                            : AccessMode::kCreate;
+  MSRA_ASSIGN_OR_RETURN(record.desc.etype,
+                        parse_element_type(std::get<std::string>(row[4])));
+  record.desc.pattern = std::get<std::string>(row[5]);
+  record.desc.dims = {static_cast<std::uint64_t>(std::get<std::int64_t>(row[6])),
+                      static_cast<std::uint64_t>(std::get<std::int64_t>(row[7])),
+                      static_cast<std::uint64_t>(std::get<std::int64_t>(row[8]))};
+  record.desc.frequency = static_cast<int>(std::get<std::int64_t>(row[9]));
+  MSRA_ASSIGN_OR_RETURN(record.desc.location,
+                        parse_location(std::get<std::string>(row[10])));
+  MSRA_ASSIGN_OR_RETURN(record.resolved,
+                        parse_location(std::get<std::string>(row[11])));
+  record.desc.method = std::get<std::string>(row[12]) == "naive"
+                           ? runtime::IoMethod::kNaive
+                           : runtime::IoMethod::kCollective;
+  return record;
+}
+
+}  // namespace
+
+Status MetaCatalog::register_dataset(const std::string& app,
+                                     const DatasetDesc& desc, Location resolved) {
+  const std::string key = dataset_key(app, desc.name);
+  auto existing = datasets_->lookup("key", Value{key});
+  if (existing.ok()) {
+    return datasets_->update(*existing, dataset_row(app, desc, resolved));
+  }
+  return datasets_->insert(dataset_row(app, desc, resolved)).status();
+}
+
+StatusOr<DatasetRecord> MetaCatalog::dataset(const std::string& app,
+                                             const std::string& name) const {
+  MSRA_ASSIGN_OR_RETURN(std::int64_t rowid,
+                        datasets_->lookup("key", Value{dataset_key(app, name)}));
+  MSRA_ASSIGN_OR_RETURN(Row row, datasets_->get(rowid));
+  return record_from_row(row);
+}
+
+StatusOr<DatasetRecord> MetaCatalog::find_dataset(const std::string& name) const {
+  auto ids = datasets_->find_eq("name", Value{name});
+  if (ids.empty()) return Status::NotFound("no dataset named " + name);
+  MSRA_ASSIGN_OR_RETURN(Row row, datasets_->get(ids.front()));
+  return record_from_row(row);
+}
+
+std::vector<DatasetRecord> MetaCatalog::all_datasets() const {
+  std::vector<DatasetRecord> out;
+  for (const Row& row : datasets_->select([](const Row&) { return true; })) {
+    auto record = record_from_row(row);
+    if (record.ok()) out.push_back(std::move(*record));
+  }
+  return out;
+}
+
+std::vector<DatasetRecord> MetaCatalog::datasets(const std::string& app) const {
+  std::vector<DatasetRecord> out;
+  for (const Row& row : datasets_->select([&app](const Row& r) {
+         return std::get<std::string>(r[1]) == app;
+       })) {
+    auto record = record_from_row(row);
+    if (record.ok()) out.push_back(std::move(*record));
+  }
+  return out;
+}
+
+Status MetaCatalog::update_dataset_location(const std::string& app,
+                                            const std::string& name,
+                                            Location resolved) {
+  MSRA_ASSIGN_OR_RETURN(std::int64_t rowid,
+                        datasets_->lookup("key", Value{dataset_key(app, name)}));
+  return datasets_->update_cell(rowid, "resolved",
+                                Value{std::string(location_name(resolved))});
+}
+
+Status MetaCatalog::record_instance(const InstanceRecord& record) {
+  // Idempotent per (dataset, timestep, location): re-dumps replace the row,
+  // other locations accumulate as replicas.
+  const std::string loc(location_name(record.location));
+  auto ids = instances_->find([&](const Row& r) {
+    return std::get<std::string>(r[0]) == record.dataset_key &&
+           std::get<std::int64_t>(r[1]) == record.timestep &&
+           std::get<std::string>(r[2]) == loc;
+  });
+  Row row{record.dataset_key, std::int64_t{record.timestep}, loc, record.path,
+          static_cast<std::int64_t>(record.bytes)};
+  if (!ids.empty()) return instances_->update(ids.front(), std::move(row));
+  return instances_->insert(std::move(row)).status();
+}
+
+StatusOr<InstanceRecord> MetaCatalog::instance(const std::string& app,
+                                               const std::string& name,
+                                               int timestep) const {
+  const std::string key = dataset_key(app, name);
+  auto ids = instances_->find([&](const Row& r) {
+    return std::get<std::string>(r[0]) == key &&
+           std::get<std::int64_t>(r[1]) == timestep;
+  });
+  if (ids.empty()) {
+    return Status::NotFound("no instance of " + key + " at timestep " +
+                            std::to_string(timestep));
+  }
+  MSRA_ASSIGN_OR_RETURN(Row row, instances_->get(ids.front()));
+  InstanceRecord record;
+  record.dataset_key = key;
+  record.timestep = timestep;
+  MSRA_ASSIGN_OR_RETURN(record.location,
+                        parse_location(std::get<std::string>(row[2])));
+  record.path = std::get<std::string>(row[3]);
+  record.bytes = static_cast<std::uint64_t>(std::get<std::int64_t>(row[4]));
+  return record;
+}
+
+std::vector<InstanceRecord> MetaCatalog::replicas(const std::string& app,
+                                                  const std::string& name,
+                                                  int timestep) const {
+  const std::string key = dataset_key(app, name);
+  std::vector<InstanceRecord> out;
+  for (const Row& row : instances_->select([&](const Row& r) {
+         return std::get<std::string>(r[0]) == key &&
+                std::get<std::int64_t>(r[1]) == timestep;
+       })) {
+    InstanceRecord record;
+    record.dataset_key = key;
+    record.timestep = timestep;
+    auto loc = parse_location(std::get<std::string>(row[2]));
+    if (!loc.ok()) continue;
+    record.location = *loc;
+    record.path = std::get<std::string>(row[3]);
+    record.bytes = static_cast<std::uint64_t>(std::get<std::int64_t>(row[4]));
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+Status MetaCatalog::remove_instance(const std::string& app,
+                                    const std::string& name, int timestep,
+                                    Location location) {
+  const std::string key = dataset_key(app, name);
+  const std::string loc(location_name(location));
+  auto ids = instances_->find([&](const Row& r) {
+    return std::get<std::string>(r[0]) == key &&
+           std::get<std::int64_t>(r[1]) == timestep &&
+           std::get<std::string>(r[2]) == loc;
+  });
+  if (ids.empty()) {
+    return Status::NotFound("no replica of " + key + " at " + loc);
+  }
+  return instances_->erase(ids.front());
+}
+
+std::vector<InstanceRecord> MetaCatalog::instances(const std::string& app,
+                                                   const std::string& name) const {
+  const std::string key = dataset_key(app, name);
+  std::vector<InstanceRecord> out;
+  for (const Row& row : instances_->select([&](const Row& r) {
+         return std::get<std::string>(r[0]) == key;
+       })) {
+    InstanceRecord record;
+    record.dataset_key = key;
+    record.timestep = static_cast<int>(std::get<std::int64_t>(row[1]));
+    auto loc = parse_location(std::get<std::string>(row[2]));
+    if (!loc.ok()) continue;
+    record.location = *loc;
+    record.path = std::get<std::string>(row[3]);
+    record.bytes = static_cast<std::uint64_t>(std::get<std::int64_t>(row[4]));
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+}  // namespace msra::core

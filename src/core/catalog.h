@@ -1,0 +1,89 @@
+// MetaCatalog: the paper's metadata schema on top of the embedded database.
+//
+// "The meta-data describes information about applications and users running
+// in the system, and information about each dataset and its characteristics
+// ... the storage resource type on which each dataset is stored or to be
+// stored, file path and name of each dataset, how each dataset is
+// partitioned among processors, how it is stored on storage systems."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "meta/database.h"
+
+namespace msra::core {
+
+/// A dumped timestep instance of a dataset.
+struct InstanceRecord {
+  std::string dataset_key;  ///< "app/dataset"
+  int timestep = 0;
+  Location location = Location::kRemoteTape;
+  std::string path;
+  std::uint64_t bytes = 0;
+};
+
+/// A registered dataset.
+struct DatasetRecord {
+  std::string app;
+  DatasetDesc desc;
+  Location resolved;  ///< where placement actually put it
+};
+
+class MetaCatalog {
+ public:
+  /// Creates/opens the schema inside `db` (not owned).
+  explicit MetaCatalog(meta::Database* db);
+
+  // -- applications & users ------------------------------------------------
+  Status register_user(const std::string& user, const std::string& affiliation);
+  Status register_application(const std::string& app, const std::string& user,
+                              int nprocs, int iterations);
+  StatusOr<int> application_iterations(const std::string& app) const;
+
+  // -- datasets --------------------------------------------------------
+  Status register_dataset(const std::string& app, const DatasetDesc& desc,
+                          Location resolved);
+  StatusOr<DatasetRecord> dataset(const std::string& app,
+                                  const std::string& name) const;
+  /// Finds a dataset by bare name across all applications (first match).
+  StatusOr<DatasetRecord> find_dataset(const std::string& name) const;
+  /// Every registered dataset, across applications.
+  std::vector<DatasetRecord> all_datasets() const;
+  std::vector<DatasetRecord> datasets(const std::string& app) const;
+  Status update_dataset_location(const std::string& app, const std::string& name,
+                                 Location resolved);
+
+  // -- dumped instances ----------------------------------------------------
+  // A (dataset, timestep) may have several rows differing by location:
+  // replicas. record_instance upserts on (key, timestep, location).
+  Status record_instance(const InstanceRecord& record);
+  /// The primary instance (first recorded) of one timestep.
+  StatusOr<InstanceRecord> instance(const std::string& app,
+                                    const std::string& name, int timestep) const;
+  /// Every replica of one timestep.
+  std::vector<InstanceRecord> replicas(const std::string& app,
+                                       const std::string& name,
+                                       int timestep) const;
+  /// All instances of a dataset across timesteps (primaries and replicas).
+  std::vector<InstanceRecord> instances(const std::string& app,
+                                        const std::string& name) const;
+  /// Drops one replica row.
+  Status remove_instance(const std::string& app, const std::string& name,
+                         int timestep, Location location);
+
+  static std::string dataset_key(const std::string& app, const std::string& name) {
+    return app + "/" + name;
+  }
+
+ private:
+  meta::Table* users_;
+  meta::Table* applications_;
+  meta::Table* datasets_;
+  meta::Table* instances_;
+};
+
+}  // namespace msra::core

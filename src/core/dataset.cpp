@@ -1,0 +1,42 @@
+#include "core/dataset.h"
+
+namespace msra::core {
+
+std::size_t element_size(ElementType type) {
+  switch (type) {
+    case ElementType::kUInt8: return 1;
+    case ElementType::kInt32: return 4;
+    case ElementType::kFloat32: return 4;
+    case ElementType::kFloat64: return 8;
+  }
+  return 1;
+}
+
+std::string_view element_type_name(ElementType type) {
+  switch (type) {
+    case ElementType::kUInt8: return "uchar";
+    case ElementType::kInt32: return "int";
+    case ElementType::kFloat32: return "float";
+    case ElementType::kFloat64: return "double";
+  }
+  return "?";
+}
+
+StatusOr<ElementType> parse_element_type(std::string_view name) {
+  if (name == "uchar") return ElementType::kUInt8;
+  if (name == "int") return ElementType::kInt32;
+  if (name == "float") return ElementType::kFloat32;
+  if (name == "double") return ElementType::kFloat64;
+  return Status::InvalidArgument("unknown element type: " + std::string(name));
+}
+
+std::string_view access_mode_name(AccessMode mode) {
+  switch (mode) {
+    case AccessMode::kCreate: return "create";
+    case AccessMode::kOverWrite: return "over_write";
+    case AccessMode::kRead: return "read";
+  }
+  return "?";
+}
+
+}  // namespace msra::core

@@ -1,0 +1,64 @@
+// Dataset descriptors: the vocabulary of the user API.
+//
+// A DatasetDesc carries exactly the columns the paper's IJ-GUI shows
+// (Fig. 11): NAME, AMODE, NDIMS, ETYPE, PATTERN, DIMS, EXPECTEDLOC,
+// FREQUENCY — plus the I/O optimization method.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/system.h"
+#include "runtime/parallel_io.h"
+
+namespace msra::core {
+
+/// Element types of the paper's datasets (floats for analysis/checkpoint,
+/// unsigned chars for visualization).
+enum class ElementType { kUInt8, kInt32, kFloat32, kFloat64 };
+
+std::size_t element_size(ElementType type);
+std::string_view element_type_name(ElementType type);
+StatusOr<ElementType> parse_element_type(std::string_view name);
+
+/// Access mode (the paper's AMODE): `create` makes one object per dumped
+/// timestep; `over_write` reuses a single object (checkpoints).
+enum class AccessMode { kCreate, kOverWrite, kRead };
+
+std::string_view access_mode_name(AccessMode mode);
+
+/// Full description of one dataset in a run.
+struct DatasetDesc {
+  std::string name;
+  AccessMode amode = AccessMode::kCreate;
+  std::array<std::uint64_t, 3> dims = {1, 1, 1};
+  ElementType etype = ElementType::kFloat32;
+  std::string pattern = "BBB";           ///< HPF-style distribution
+  int frequency = 1;                     ///< dump every `frequency` iterations
+  Location location = Location::kAuto;   ///< the user's location hint
+  runtime::IoMethod method = runtime::IoMethod::kCollective;
+  int aggregators = 1;                    ///< two-phase I/O aggregator count
+  std::string usage;                     ///< purpose hint ("analysis", ...)
+
+  std::uint64_t global_elems() const { return dims[0] * dims[1] * dims[2]; }
+  std::uint64_t global_bytes() const {
+    return global_elems() * element_size(etype);
+  }
+
+  /// Number of dumps in an N-iteration run: iterations 0, f, 2f, ...
+  /// (the paper's Eq. (2) factor N/freq + 1).
+  std::uint64_t dumps(int iterations) const {
+    if (frequency <= 0) return 0;
+    return static_cast<std::uint64_t>(iterations / frequency) + 1;
+  }
+
+  /// Total bytes this dataset will occupy on storage for an N-iteration run.
+  std::uint64_t footprint_bytes(int iterations) const {
+    if (location == Location::kDisable) return 0;
+    if (amode == AccessMode::kOverWrite) return global_bytes();
+    return global_bytes() * dumps(iterations);
+  }
+};
+
+}  // namespace msra::core

@@ -1,0 +1,66 @@
+#include "core/placement.h"
+
+#include "common/bytes.h"
+
+namespace msra::core {
+
+std::vector<Location> PlacementPolicy::failover_chain(Location preferred) {
+  switch (preferred) {
+    case Location::kLocalDisk:
+      return {Location::kRemoteDisk, Location::kRemoteTape};
+    case Location::kRemoteDisk:
+      return {Location::kRemoteTape, Location::kLocalDisk};
+    case Location::kRemoteTape:
+      return {Location::kRemoteDisk, Location::kLocalDisk};
+    case Location::kAuto:
+    case Location::kDisable:
+      break;
+  }
+  return {};
+}
+
+StatusOr<PlacementDecision> PlacementPolicy::resolve(StorageSystem& system,
+                                                     const DatasetDesc& desc,
+                                                     int iterations) {
+  if (desc.location == Location::kDisable) {
+    return PlacementDecision{Location::kDisable, false,
+                             "dataset disabled by user hint"};
+  }
+  // AUTO defaults to remote tapes (the paper's DEFAULT).
+  const Location preferred = desc.location == Location::kAuto
+                                 ? Location::kRemoteTape
+                                 : desc.location;
+  const std::uint64_t footprint = desc.footprint_bytes(iterations);
+
+  std::vector<Location> candidates{preferred};
+  for (Location fallback : failover_chain(preferred)) {
+    candidates.push_back(fallback);
+  }
+
+  std::string why;
+  for (Location candidate : candidates) {
+    runtime::StorageEndpoint& endpoint = system.endpoint(candidate);
+    if (!endpoint.available()) {
+      why += std::string(location_name(candidate)) + " is down; ";
+      continue;
+    }
+    if (endpoint.free_bytes() < footprint) {
+      why += std::string(location_name(candidate)) + " lacks " +
+             format_bytes(footprint) + " free; ";
+      continue;
+    }
+    PlacementDecision decision;
+    decision.location = candidate;
+    decision.failed_over = candidate != preferred;
+    decision.reason = decision.failed_over
+                          ? "fell back to " + std::string(location_name(candidate)) +
+                                " (" + why + ")"
+                          : "hint honored";
+    return decision;
+  }
+  return Status::Unavailable("no storage resource can hold " +
+                             format_bytes(footprint) + " for dataset " +
+                             desc.name + " (" + why + ")");
+}
+
+}  // namespace msra::core

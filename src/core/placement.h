@@ -1,0 +1,36 @@
+// Placement policy: turning a user's location hint into a concrete storage
+// resource, with capacity checks and availability failover.
+//
+// The paper: AUTO "leaves it to the system to decide. Default is remote
+// tapes"; and section 5's reliability example — when the tape system is down
+// the run continues by aggregating the remaining resources' space.
+#pragma once
+
+#include <string>
+
+#include "core/dataset.h"
+#include "core/system.h"
+
+namespace msra::core {
+
+struct PlacementDecision {
+  Location location = Location::kDisable;
+  bool failed_over = false;  ///< true if the hint could not be honored
+  std::string reason;        ///< human-readable explanation
+};
+
+class PlacementPolicy {
+ public:
+  /// Candidate order tried after `preferred` becomes unusable (down/full).
+  /// Larger-capacity resources first, then faster ones.
+  static std::vector<Location> failover_chain(Location preferred);
+
+  /// Resolves a hint for a dataset that will store `footprint_bytes` in an
+  /// `iterations`-long run. Fails with kUnavailable only if *no* resource
+  /// can take the data.
+  static StatusOr<PlacementDecision> resolve(StorageSystem& system,
+                                             const DatasetDesc& desc,
+                                             int iterations);
+};
+
+}  // namespace msra::core

@@ -1,0 +1,418 @@
+#include "core/session.h"
+
+#include <cstring>
+
+#include "common/log.h"
+#include "runtime/parallel_io.h"
+
+namespace msra::core {
+
+// ---------------------------------------------------------------- Session --
+
+Session::Session(StorageSystem& system, SessionOptions options)
+    : system_(system), options_(std::move(options)), catalog_(&system.metadb()) {
+  Status user_status = catalog_.register_user(options_.user, options_.affiliation);
+  Status app_status = catalog_.register_application(
+      options_.application, options_.user, options_.nprocs, options_.iterations);
+  if (!user_status.ok() || !app_status.ok()) {
+    MSRA_LOG(kWarn) << "session registration: " << user_status.to_string()
+                    << " / " << app_status.to_string();
+  }
+}
+
+Session::~Session() { (void)finalize(); }
+
+StatusOr<DatasetHandle*> Session::open(const DatasetDesc& desc) {
+  if (desc.name.empty()) return Status::InvalidArgument("dataset needs a name");
+  auto it = handles_.find(desc.name);
+  if (it != handles_.end()) return it->second.get();
+
+  // Validate the pattern early so errors surface at open() (Fig. 5 flow).
+  MSRA_RETURN_IF_ERROR(
+      prt::Decomposition::create(desc.dims, options_.nprocs, desc.pattern)
+          .status());
+  MSRA_ASSIGN_OR_RETURN(
+      PlacementDecision decision,
+      PlacementPolicy::resolve(system_, desc, options_.iterations));
+  if (decision.failed_over) {
+    MSRA_LOG(kInfo) << "dataset " << desc.name << ": " << decision.reason;
+  }
+  MSRA_RETURN_IF_ERROR(
+      catalog_.register_dataset(options_.application, desc, decision.location));
+  auto handle = std::unique_ptr<DatasetHandle>(
+      new DatasetHandle(this, options_.application, desc, decision.location));
+  DatasetHandle* raw = handle.get();
+  handles_.emplace(desc.name, std::move(handle));
+  return raw;
+}
+
+StatusOr<DatasetHandle*> Session::open_existing(const std::string& name,
+                                                const std::string& producer_app) {
+  auto it = handles_.find(name);
+  if (it != handles_.end()) return it->second.get();
+  StatusOr<DatasetRecord> record =
+      producer_app.empty() ? catalog_.find_dataset(name)
+                           : catalog_.dataset(producer_app, name);
+  MSRA_RETURN_IF_ERROR(record.status());
+  auto handle = std::unique_ptr<DatasetHandle>(new DatasetHandle(
+      this, record->app, record->desc, record->resolved));
+  DatasetHandle* raw = handle.get();
+  handles_.emplace(name, std::move(handle));
+  return raw;
+}
+
+Status Session::finalize() {
+  if (finalized_) return Status::Ok();
+  finalized_ = true;
+  handles_.clear();
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------- DatasetHandle --
+
+std::string DatasetHandle::path_for(int timestep) const {
+  if (desc_.amode == AccessMode::kOverWrite) {
+    return app_ + "/" + desc_.name + "/restart";
+  }
+  return app_ + "/" + desc_.name + "/t" + std::to_string(timestep);
+}
+
+StatusOr<runtime::ArrayLayout> DatasetHandle::layout(int nprocs) const {
+  MSRA_ASSIGN_OR_RETURN(
+      prt::Decomposition decomp,
+      prt::Decomposition::create(desc_.dims, nprocs, desc_.pattern));
+  runtime::ArrayLayout out{decomp, element_size(desc_.etype)};
+  return out;
+}
+
+runtime::GlobalArraySpec DatasetHandle::spec() const {
+  return {desc_.dims, element_size(desc_.etype)};
+}
+
+Status DatasetHandle::set_subfile_chunks(const std::array<int, 3>& chunks) {
+  if (writes_ > 0) {
+    return Status::InvalidArgument("subfile layout must be set before writes");
+  }
+  MSRA_RETURN_IF_ERROR(
+      runtime::SubfileLayout::create(spec(), chunks).status());
+  subfile_chunks_ = chunks;
+  return Status::Ok();
+}
+
+namespace {
+bool subfiled(const std::array<int, 3>& chunks) {
+  return chunks[0] != 1 || chunks[1] != 1 || chunks[2] != 1;
+}
+}  // namespace
+
+Status DatasetHandle::write_timestep(prt::Comm& comm, int timestep,
+                                     std::span<const std::byte> local) {
+  if (!enabled()) return Status::Ok();  // DISABLE: not dumped at all
+  Status status = write_with_failover(comm, timestep, local);
+  if (!status.ok()) return status;
+  if (comm.rank() == 0) {
+    ++writes_;  // one collective write, counted once
+    InstanceRecord record;
+    record.dataset_key = MetaCatalog::dataset_key(app_, desc_.name);
+    record.timestep = timestep;
+    record.location = location_;
+    record.path = path_for(timestep);
+    record.bytes = desc_.global_bytes();
+    Status meta_status = session_->catalog_.record_instance(record);
+    if (!meta_status.ok()) {
+      MSRA_LOG(kWarn) << "instance bookkeeping failed: " << meta_status.to_string();
+    }
+  }
+  comm.barrier();  // instance metadata visible to all ranks on return
+  return Status::Ok();
+}
+
+Status DatasetHandle::write_with_failover(prt::Comm& comm, int timestep,
+                                          std::span<const std::byte> local) {
+  MSRA_ASSIGN_OR_RETURN(runtime::ArrayLayout lay, layout(comm.size()));
+  const std::string path = path_for(timestep);
+  // One attempt per concrete resource at most.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    runtime::StorageEndpoint& endpoint = session_->system_.endpoint(location_);
+    Status status =
+        subfiled(subfile_chunks_)
+            ? write_subfiled(comm, path, local)
+            : runtime::write_array(endpoint, comm, path, lay, local,
+                                   desc_.method, srb::OpenMode::kOverwrite,
+                                   {.aggregators = desc_.aggregators});
+    const bool recoverable = status.code() == ErrorCode::kUnavailable ||
+                             status.code() == ErrorCode::kCapacityExceeded;
+    if (status.ok() || !recoverable) return status;
+
+    // Rank 0 picks the next location; everyone follows its decision.
+    std::vector<std::byte> decision(1, std::byte{0xFF});
+    if (comm.rank() == 0) {
+      for (Location candidate : PlacementPolicy::failover_chain(location_)) {
+        runtime::StorageEndpoint& fallback = session_->system_.endpoint(candidate);
+        const std::uint64_t footprint =
+            desc_.footprint_bytes(session_->options_.iterations);
+        if (fallback.available() && fallback.free_bytes() >= footprint) {
+          decision[0] = static_cast<std::byte>(candidate);
+          break;
+        }
+      }
+    }
+    decision = comm.bcast(std::move(decision), 0);
+    if (decision[0] == std::byte{0xFF}) return status;  // nowhere left to go
+    location_ = static_cast<Location>(decision[0]);
+    if (comm.rank() == 0) {
+      MSRA_LOG(kInfo) << "dataset " << desc_.name << " failing over to "
+                      << location_name(location_) << " after: "
+                      << status.to_string();
+      Status meta_status = session_->catalog_.update_dataset_location(
+          app_, desc_.name, location_);
+      if (!meta_status.ok()) {
+        MSRA_LOG(kWarn) << "failover bookkeeping failed: "
+                        << meta_status.to_string();
+      }
+    }
+    comm.barrier();
+  }
+  return Status::Unavailable("write failed on every storage resource");
+}
+
+Status DatasetHandle::write_subfiled(prt::Comm& comm, const std::string& base,
+                                     std::span<const std::byte> local) {
+  MSRA_ASSIGN_OR_RETURN(runtime::ArrayLayout lay, layout(comm.size()));
+  std::vector<std::uint64_t> sizes;
+  auto gathered = comm.gatherv(local, 0, &sizes);
+  Status status = Status::Ok();
+  if (comm.rank() == 0) {
+    std::vector<std::byte> global(lay.global_bytes());
+    const std::size_t elem = lay.elem_size;
+    std::uint64_t slot_base = 0;
+    for (int r = 0; r < comm.size(); ++r) {
+      const prt::LocalBox box = lay.decomp.local_box(r);
+      runtime::for_each_run(
+          lay.decomp, box,
+          [&](std::uint64_t goff, std::uint64_t count, std::uint64_t loff) {
+            std::memcpy(global.data() + goff * elem,
+                        gathered.data() + slot_base + loff * elem, count * elem);
+          });
+      slot_base += sizes[static_cast<std::size_t>(r)];
+    }
+    auto sublayout = runtime::SubfileLayout::create(spec(), subfile_chunks_);
+    if (!sublayout.ok()) {
+      status = sublayout.status();
+    } else {
+      status = runtime::write_subfiles(
+          session_->system_.endpoint(location_), comm.timeline(), base,
+          *sublayout, global);
+    }
+  }
+  // Share the root's outcome.
+  net::WireWriter w;
+  srb::proto::put_status(w, status);
+  auto payload = comm.bcast(w.take(), 0);
+  net::WireReader r(payload);
+  status = srb::proto::get_status(r);
+  comm.sync_time();
+  return status;
+}
+
+StatusOr<InstanceRecord> DatasetHandle::locate(int timestep) const {
+  const auto replicas =
+      session_->catalog_.replicas(app_, desc_.name, timestep);
+  if (replicas.empty()) {
+    return Status::NotFound("no instance of " +
+                            MetaCatalog::dataset_key(app_, desc_.name) +
+                            " at timestep " + std::to_string(timestep));
+  }
+  // Prefer the fastest replica whose resource is up.
+  for (Location preferred : kConcreteLocations) {
+    for (const InstanceRecord& record : replicas) {
+      if (record.location == preferred &&
+          session_->system_.endpoint(preferred).available()) {
+        return record;
+      }
+    }
+  }
+  // Everything is down: return the primary so the caller sees the real error.
+  return replicas.front();
+}
+
+std::vector<Location> DatasetHandle::replica_locations(int timestep) const {
+  std::vector<Location> out;
+  for (const InstanceRecord& record :
+       session_->catalog_.replicas(app_, desc_.name, timestep)) {
+    out.push_back(record.location);
+  }
+  return out;
+}
+
+Status DatasetHandle::replicate_timestep(simkit::Timeline& timeline,
+                                         int timestep, Location destination) {
+  if (subfiled(subfile_chunks_)) {
+    return Status::Unimplemented("replication of subfile-chunked datasets");
+  }
+  if (destination != Location::kLocalDisk &&
+      destination != Location::kRemoteDisk &&
+      destination != Location::kRemoteTape) {
+    return Status::InvalidArgument("replica destination must be concrete");
+  }
+  MSRA_ASSIGN_OR_RETURN(InstanceRecord source, locate(timestep));
+  if (source.location == destination) {
+    return Status::AlreadyExists("replica already on " +
+                                 std::string(location_name(destination)));
+  }
+  runtime::StorageEndpoint& dst = session_->system_.endpoint(destination);
+  if (!dst.available()) {
+    return Status::Unavailable("replica destination is down");
+  }
+  if (dst.free_bytes() < source.bytes) {
+    return Status::CapacityExceeded("no room for replica on " +
+                                    std::string(location_name(destination)));
+  }
+
+  const bool both_remote =
+      source.location != Location::kLocalDisk &&
+      destination != Location::kLocalDisk;
+  if (both_remote) {
+    // Same storage site: server-side copy, no WAN payload transfer.
+    auto* endpoint = dynamic_cast<runtime::RemoteEndpoint*>(
+        &session_->system_.endpoint(source.location));
+    if (endpoint == nullptr) return Status::Internal("remote endpoint expected");
+    auto resource_of = [](Location location) {
+      return location == Location::kRemoteTape ? std::string("remotetape")
+                                               : std::string("remotedisk");
+    };
+    srb::SrbClient& client = endpoint->client();
+    MSRA_RETURN_IF_ERROR(client.connect(timeline));
+    Status status = client.obj_replicate(timeline, resource_of(source.location),
+                                         source.path, resource_of(destination));
+    Status disc = client.disconnect(timeline);
+    MSRA_RETURN_IF_ERROR(status);
+    MSRA_RETURN_IF_ERROR(disc);
+  } else {
+    // One side is local: stream through the client.
+    runtime::StorageEndpoint& src = session_->system_.endpoint(source.location);
+    std::vector<std::byte> payload(source.bytes);
+    {
+      auto file = runtime::FileSession::start(src, timeline, source.path,
+                                              srb::OpenMode::kRead);
+      MSRA_RETURN_IF_ERROR(file.status());
+      MSRA_RETURN_IF_ERROR(file->read(payload));
+      MSRA_RETURN_IF_ERROR(file->finish());
+    }
+    auto file = runtime::FileSession::start(dst, timeline, source.path,
+                                            srb::OpenMode::kOverwrite);
+    MSRA_RETURN_IF_ERROR(file.status());
+    MSRA_RETURN_IF_ERROR(file->write(payload));
+    MSRA_RETURN_IF_ERROR(file->finish());
+  }
+
+  InstanceRecord replica = source;
+  replica.location = destination;
+  return session_->catalog_.record_instance(replica);
+}
+
+Status DatasetHandle::read_timestep(prt::Comm& comm, int timestep,
+                                    std::span<std::byte> local) {
+  if (!enabled()) {
+    return Status::NotFound("dataset " + desc_.name + " was DISABLEd");
+  }
+  MSRA_ASSIGN_OR_RETURN(InstanceRecord record, locate(timestep));
+  MSRA_ASSIGN_OR_RETURN(runtime::ArrayLayout lay, layout(comm.size()));
+  runtime::StorageEndpoint& endpoint = session_->system_.endpoint(record.location);
+  if (!subfiled(subfile_chunks_)) {
+    return runtime::read_array(endpoint, comm, record.path, lay, local,
+                               desc_.method,
+                               {.aggregators = desc_.aggregators});
+  }
+  // Subfile datasets: root reads the touched chunks (all of them for a full
+  // read), then scatters blocks.
+  Status status = Status::Ok();
+  std::vector<std::vector<std::byte>> chunks;
+  if (comm.rank() == 0) {
+    auto sublayout = runtime::SubfileLayout::create(spec(), subfile_chunks_);
+    if (!sublayout.ok()) {
+      status = sublayout.status();
+    } else {
+      prt::LocalBox full;
+      for (std::size_t d = 0; d < 3; ++d) full.extent[d] = {0, desc_.dims[d]};
+      std::vector<std::byte> global(lay.global_bytes());
+      status = runtime::read_subfiles_box(endpoint, comm.timeline(), record.path,
+                                          *sublayout, full, global);
+      if (status.ok()) {
+        const std::size_t elem = lay.elem_size;
+        chunks.resize(static_cast<std::size_t>(comm.size()));
+        for (int rr = 0; rr < comm.size(); ++rr) {
+          const prt::LocalBox box = lay.decomp.local_box(rr);
+          auto& chunk = chunks[static_cast<std::size_t>(rr)];
+          chunk.resize(box.volume() * elem);
+          runtime::for_each_run(
+              lay.decomp, box,
+              [&](std::uint64_t goff, std::uint64_t count, std::uint64_t loff) {
+                std::memcpy(chunk.data() + loff * elem, global.data() + goff * elem,
+                            count * elem);
+              });
+        }
+      }
+    }
+  }
+  net::WireWriter w;
+  srb::proto::put_status(w, status);
+  auto payload = comm.bcast(w.take(), 0);
+  net::WireReader r(payload);
+  status = srb::proto::get_status(r);
+  if (status.ok()) {
+    auto mine = comm.scatterv(chunks, 0);
+    if (mine.size() != local.size()) {
+      status = Status::Internal("scatter size mismatch");
+    } else {
+      std::memcpy(local.data(), mine.data(), mine.size());
+    }
+  }
+  comm.sync_time();
+  return status;
+}
+
+StatusOr<std::vector<std::byte>> DatasetHandle::read_whole(
+    simkit::Timeline& timeline, int timestep) {
+  if (!enabled()) {
+    return Status::NotFound("dataset " + desc_.name + " was DISABLEd");
+  }
+  MSRA_ASSIGN_OR_RETURN(InstanceRecord record, locate(timestep));
+  std::vector<std::byte> out(desc_.global_bytes());
+  runtime::StorageEndpoint& endpoint = session_->system_.endpoint(record.location);
+  if (subfiled(subfile_chunks_)) {
+    MSRA_ASSIGN_OR_RETURN(auto sublayout,
+                          runtime::SubfileLayout::create(spec(), subfile_chunks_));
+    prt::LocalBox full;
+    for (std::size_t d = 0; d < 3; ++d) full.extent[d] = {0, desc_.dims[d]};
+    MSRA_RETURN_IF_ERROR(runtime::read_subfiles_box(
+        endpoint, timeline, record.path, sublayout, full, out));
+    return out;
+  }
+  auto session = runtime::FileSession::start(endpoint, timeline, record.path,
+                                             srb::OpenMode::kRead);
+  MSRA_RETURN_IF_ERROR(session.status());
+  MSRA_RETURN_IF_ERROR(session->read(out));
+  MSRA_RETURN_IF_ERROR(session->finish());
+  return out;
+}
+
+Status DatasetHandle::read_box(simkit::Timeline& timeline, int timestep,
+                               const prt::LocalBox& box, std::span<std::byte> out,
+                               runtime::AccessStrategy strategy) {
+  if (!enabled()) {
+    return Status::NotFound("dataset " + desc_.name + " was DISABLEd");
+  }
+  MSRA_ASSIGN_OR_RETURN(InstanceRecord record, locate(timestep));
+  runtime::StorageEndpoint& endpoint = session_->system_.endpoint(record.location);
+  if (subfiled(subfile_chunks_)) {
+    MSRA_ASSIGN_OR_RETURN(auto sublayout,
+                          runtime::SubfileLayout::create(spec(), subfile_chunks_));
+    return runtime::read_subfiles_box(endpoint, timeline, record.path, sublayout,
+                                      box, out);
+  }
+  return runtime::read_subarray(endpoint, timeline, record.path, spec(), box,
+                                out, strategy);
+}
+
+}  // namespace msra::core

@@ -1,0 +1,166 @@
+// Session & DatasetHandle: the user-facing API of the multi-storage
+// resource architecture (the I/O flow of the paper's Fig. 5).
+//
+//   Session session(system, {...});          // initialization()
+//   auto* temp = session.open(desc);          // open with location hint
+//   temp->write_timestep(comm, t, local);     // optimized parallel write
+//   ...
+//   session.finalize();                       // finalization()
+//
+// open() resolves the location hint through the placement policy, registers
+// the dataset in the metadata database, and returns a handle that routes
+// reads/writes through the run-time optimization library for the chosen
+// resource. Consumers (data analysis, visualization) locate datasets
+// through the same metadata, so they read from wherever the producer's hint
+// placed the data.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/catalog.h"
+#include "core/placement.h"
+#include "prt/comm.h"
+#include "runtime/sieve.h"
+#include "runtime/subfile.h"
+
+namespace msra::core {
+
+class Session;
+
+/// Per-dataset handle. Producer calls are collective (every rank of the
+/// Comm participates); consumer helpers are serial and run on the caller's
+/// timeline.
+class DatasetHandle {
+ public:
+  const DatasetDesc& desc() const { return desc_; }
+  Location location() const { return location_; }
+  bool enabled() const { return location_ != Location::kDisable; }
+
+  /// Object path of one timestep ("app/dataset/t42", or "app/dataset/restart"
+  /// for over_write datasets).
+  std::string path_for(int timestep) const;
+
+  /// Collective write of the distributed array at `timestep`. `local` is
+  /// the rank's block (row-major over its box). No-op for DISABLEd
+  /// datasets. On resource outage or exhaustion the handle fails over to
+  /// the next candidate resource and retries (updating the metadata).
+  Status write_timestep(prt::Comm& comm, int timestep,
+                        std::span<const std::byte> local);
+
+  /// Collective read of `timestep` into each rank's block.
+  Status read_timestep(prt::Comm& comm, int timestep, std::span<std::byte> local);
+
+  /// Serial whole-array read (post-processing tools).
+  StatusOr<std::vector<std::byte>> read_whole(simkit::Timeline& timeline,
+                                              int timestep);
+
+  /// Serial sub-array read (visualization slices etc.). Uses sieving or
+  /// direct requests; subfile-chunked datasets read only touched chunks.
+  Status read_box(simkit::Timeline& timeline, int timestep,
+                  const prt::LocalBox& box, std::span<std::byte> out,
+                  runtime::AccessStrategy strategy);
+
+  /// The decomposition this handle uses for `nprocs` ranks.
+  StatusOr<runtime::ArrayLayout> layout(int nprocs) const;
+
+  /// Storage spec of the global array.
+  runtime::GlobalArraySpec spec() const;
+
+  /// Enables subfile storage: each timestep is stored as chunks[0] x
+  /// chunks[1] x chunks[2] chunk objects instead of one object. Must be set
+  /// before the first write.
+  Status set_subfile_chunks(const std::array<int, 3>& chunks);
+
+  /// Copies one dumped timestep to another storage resource and records the
+  /// replica in the metadata. When source and destination live on the same
+  /// remote server (disk <-> tape), the copy happens server-side — no WAN
+  /// transfer for the payload (SRB-style replication). Reads automatically
+  /// prefer the fastest available replica afterwards. Not supported for
+  /// subfile-chunked datasets.
+  Status replicate_timestep(simkit::Timeline& timeline, int timestep,
+                            Location destination);
+
+  /// Replica locations of one timestep (metadata view).
+  std::vector<Location> replica_locations(int timestep) const;
+
+  std::uint64_t timesteps_written() const { return writes_.load(); }
+
+ private:
+  friend class Session;
+  DatasetHandle(Session* session, std::string app, DatasetDesc desc,
+                Location location)
+      : session_(session),
+        app_(std::move(app)),
+        desc_(std::move(desc)),
+        location_(location) {}
+
+  /// Attempts the write on the current location; on outage/full, re-place
+  /// and retry.
+  Status write_with_failover(prt::Comm& comm, int timestep,
+                             std::span<const std::byte> local);
+
+  Status write_subfiled(prt::Comm& comm, const std::string& base,
+                        std::span<const std::byte> local);
+
+  /// Instance lookup for reads: picks the fastest *available* replica
+  /// (local disk > remote disk > remote tape), falling back to the primary
+  /// record (consumers may open after a failover moved the data).
+  StatusOr<InstanceRecord> locate(int timestep) const;
+
+  Session* session_;
+  std::string app_;  ///< producer application owning the stored objects
+  DatasetDesc desc_;
+  Location location_;
+  std::array<int, 3> subfile_chunks_ = {1, 1, 1};
+  std::atomic<std::uint64_t> writes_{0};
+};
+
+/// Session options (who runs what, on how many processors, for how long).
+struct SessionOptions {
+  std::string application = "app";
+  std::string user = "user";
+  std::string affiliation = "nwu";
+  int nprocs = 1;
+  int iterations = 1;
+};
+
+class Session {
+ public:
+  /// initialization(): connects the metadata database and registers the
+  /// user + application.
+  Session(StorageSystem& system, SessionOptions options);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Opens (registers) a dataset for this run. The location hint in `desc`
+  /// is resolved immediately; the decision lands in the metadata database.
+  StatusOr<DatasetHandle*> open(const DatasetDesc& desc);
+
+  /// Opens a dataset registered by an earlier producer session (consumer
+  /// side); the descriptor and resolved location come from the metadata.
+  StatusOr<DatasetHandle*> open_existing(const std::string& name,
+                                         const std::string& producer_app = "");
+
+  /// finalization(): flushes metadata. Idempotent.
+  Status finalize();
+
+  StorageSystem& system() { return system_; }
+  MetaCatalog& catalog() { return catalog_; }
+  const SessionOptions& options() const { return options_; }
+
+ private:
+  friend class DatasetHandle;
+
+  StorageSystem& system_;
+  SessionOptions options_;
+  MetaCatalog catalog_;
+  std::map<std::string, std::unique_ptr<DatasetHandle>> handles_;
+  bool finalized_ = false;
+};
+
+}  // namespace msra::core

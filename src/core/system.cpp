@@ -1,0 +1,135 @@
+#include "core/system.h"
+
+#include <cassert>
+
+namespace msra::core {
+
+std::string_view location_name(Location location) {
+  switch (location) {
+    case Location::kLocalDisk: return "LOCALDISK";
+    case Location::kRemoteDisk: return "REMOTEDISK";
+    case Location::kRemoteTape: return "REMOTETAPE";
+    case Location::kAuto: return "AUTO";
+    case Location::kDisable: return "DISABLE";
+  }
+  return "?";
+}
+
+StatusOr<Location> parse_location(std::string_view name) {
+  if (name == "LOCALDISK") return Location::kLocalDisk;
+  if (name == "REMOTEDISK") return Location::kRemoteDisk;
+  if (name == "REMOTETAPE") return Location::kRemoteTape;
+  if (name == "AUTO" || name == "DEFAULT") return Location::kAuto;
+  if (name == "DISABLE") return Location::kDisable;
+  return Status::InvalidArgument("unknown location: " + std::string(name));
+}
+
+StorageSystem::StorageSystem(const HardwareProfile& profile,
+                             std::filesystem::path data_root)
+    : profile_(profile), data_root_(std::move(data_root)) {
+  if (persistent()) {
+    local_store_ = std::make_unique<store::FileObjectStore>(data_root_ / "local");
+    remote_disk_store_ =
+        std::make_unique<store::FileObjectStore>(data_root_ / "remote");
+    tape_store_ = std::make_unique<store::FileObjectStore>(data_root_ / "tape");
+    auto loaded = meta::Database::load(data_root_ / "meta.db");
+    metadb_ = loaded.ok() ? std::move(*loaded)
+                          : std::make_unique<meta::Database>();
+  } else {
+    local_store_ = std::make_unique<store::MemObjectStore>();
+    remote_disk_store_ = std::make_unique<store::MemObjectStore>();
+    metadb_ = std::make_unique<meta::Database>();
+  }
+  tape_library_ = std::make_unique<tape::TapeLibrary>(
+      "hpss", profile.tape, profile.tape_drives, tape_store_.get());
+  tape::BitfileBackend* archive = tape_library_.get();
+  if (profile.tape_cache_bytes > 0) {
+    tape::HsmModel hsm_model = profile.tape_cache;
+    hsm_model.cache_capacity = profile.tape_cache_bytes;
+    hsm_ = std::make_unique<tape::HsmStore>("hpss-cache", hsm_model,
+                                            tape_library_.get());
+    archive = hsm_.get();
+  }
+
+  local_resource_ = std::make_unique<srb::DiskResource>(
+      "localdisk", srb::StorageKind::kLocalDisk, local_store_.get(),
+      profile.local_disk, profile.local_capacity, profile.local_disk_arms);
+  remote_disk_resource_ = std::make_unique<srb::DiskResource>(
+      "remotedisk", srb::StorageKind::kRemoteDisk, remote_disk_store_.get(),
+      profile.remote_disk, profile.remote_disk_capacity,
+      profile.remote_disk_arms);
+  tape_resource_ =
+      std::make_unique<srb::TapeResource>("remotetape", archive);
+
+  server_ = std::make_unique<srb::SrbServer>("sdsc", profile.server);
+  Status s1 = server_->register_resource(remote_disk_resource_.get());
+  Status s2 = server_->register_resource(tape_resource_.get());
+  assert(s1.ok() && s2.ok());
+  (void)s1;
+  (void)s2;
+
+  simkit::NoiseModel disk_noise, tape_noise;
+  if (profile.wan_jitter > 0.0) {
+    disk_noise = simkit::NoiseModel(profile.wan_jitter, profile.jitter_seed);
+    tape_noise = simkit::NoiseModel(profile.wan_jitter, profile.jitter_seed + 1);
+  }
+  wan_disk_link_ =
+      std::make_unique<net::Link>("wan-disk", profile.wan_disk, disk_noise);
+  wan_tape_link_ =
+      std::make_unique<net::Link>("wan-tape", profile.wan_tape, tape_noise);
+
+  local_endpoint_ = std::make_unique<runtime::LocalEndpoint>(local_resource_.get());
+  remote_disk_endpoint_ = std::make_unique<runtime::RemoteEndpoint>(
+      server_.get(), wan_disk_link_.get(), "remotedisk");
+  remote_tape_endpoint_ = std::make_unique<runtime::RemoteEndpoint>(
+      server_.get(), wan_tape_link_.get(), "remotetape");
+}
+
+runtime::StorageEndpoint& StorageSystem::endpoint(Location location) {
+  switch (location) {
+    case Location::kLocalDisk: return *local_endpoint_;
+    case Location::kRemoteDisk: return *remote_disk_endpoint_;
+    case Location::kRemoteTape: return *remote_tape_endpoint_;
+    case Location::kAuto:
+    case Location::kDisable: break;
+  }
+  assert(false && "endpoint() requires a concrete location");
+  return *local_endpoint_;
+}
+
+Status StorageSystem::save_metadata() const {
+  if (!persistent()) return Status::Ok();
+  return metadb_->save(data_root_ / "meta.db");
+}
+
+void StorageSystem::reset_time() {
+  local_resource_->arm().reset();
+  remote_disk_resource_->arm().reset();
+  if (hsm_) {
+    hsm_->reset_clocks();  // also resets the tape library's clocks
+  } else {
+    tape_library_->reset_clocks();
+  }
+  server_->reset_clock();
+  wan_disk_link_->pipe().reset();
+  wan_tape_link_->pipe().reset();
+}
+
+void StorageSystem::set_location_available(Location location, bool available) {
+  switch (location) {
+    case Location::kLocalDisk:
+      local_resource_->set_available(available);
+      break;
+    case Location::kRemoteDisk:
+      remote_disk_resource_->set_available(available);
+      break;
+    case Location::kRemoteTape:
+      tape_resource_->set_available(available);
+      break;
+    case Location::kAuto:
+    case Location::kDisable:
+      break;
+  }
+}
+
+}  // namespace msra::core

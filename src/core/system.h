@@ -1,0 +1,112 @@
+// StorageSystem: the assembled multi-storage testbed.
+//
+// Owns the physical layer (object stores, tape library), the native layer
+// (SRB server + WAN links), and one StorageEndpoint per storage class —
+// exactly the paper's experimental environment of section 3.2:
+//   local disks, remote disks (SRB @SDSC), remote tapes (HPSS via SRB),
+//   plus the local metadata database.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "core/profiles.h"
+#include "meta/database.h"
+#include "net/link.h"
+#include "runtime/endpoint.h"
+#include "simkit/noise.h"
+#include "srb/server.h"
+#include "store/file_store.h"
+#include "store/mem_store.h"
+#include "tape/hsm.h"
+#include "tape/tape_library.h"
+
+namespace msra::core {
+
+/// Storage location attribute of a dataset (section 3.2 of the paper).
+enum class Location {
+  kLocalDisk,   ///< LOCALDISK hint
+  kRemoteDisk,  ///< REMOTEDISK hint
+  kRemoteTape,  ///< REMOTETAPE hint
+  kAuto,        ///< AUTO/DEFAULT: system decides (default: remote tapes)
+  kDisable,     ///< DISABLE: dataset is not dumped at all
+};
+
+std::string_view location_name(Location location);
+StatusOr<Location> parse_location(std::string_view name);
+
+/// Concrete (non-hint) locations, in the order used for capacity failover.
+inline constexpr Location kConcreteLocations[] = {
+    Location::kLocalDisk, Location::kRemoteDisk, Location::kRemoteTape};
+
+class StorageSystem {
+ public:
+  /// Builds the testbed. With a non-empty `data_root`, the disk-backed
+  /// resources store real files under <root>/local and <root>/remote, and
+  /// the metadata database is loaded from / saved to <root>/meta.db — so
+  /// catalogs, performance data and disk-resident datasets survive across
+  /// processes (tape content stays in-memory; it models an external
+  /// archive). Hermetic in-memory stores are the default.
+  explicit StorageSystem(const HardwareProfile& profile,
+                         std::filesystem::path data_root = {});
+
+  const HardwareProfile& profile() const { return profile_; }
+
+  /// Endpoint for a concrete location (kAuto/kDisable are invalid here).
+  runtime::StorageEndpoint& endpoint(Location location);
+
+  /// The local metadata database (the paper's Postgres).
+  meta::Database& metadb() { return *metadb_; }
+
+  /// Persists the metadata database (no-op without a data root).
+  Status save_metadata() const;
+
+  /// True when running against a persistent data root.
+  bool persistent() const { return !data_root_.empty(); }
+
+  /// Raw layers, exposed for tests, PTool and fault injection.
+  srb::SrbServer& server() { return *server_; }
+  tape::TapeLibrary& tape_library() { return *tape_library_; }
+  /// Non-null only when the HPSS hierarchy (staging cache) is enabled.
+  tape::HsmStore* hsm() { return hsm_.get(); }
+  srb::DiskResource& local_resource() { return *local_resource_; }
+  srb::DiskResource& remote_disk_resource() { return *remote_disk_resource_; }
+  srb::TapeResource& tape_resource() { return *tape_resource_; }
+  net::Link& wan_disk_link() { return *wan_disk_link_; }
+  net::Link& wan_tape_link() { return *wan_tape_link_; }
+
+  /// Injects / clears an outage on one storage class.
+  void set_location_available(Location location, bool available);
+
+  /// Resets every device's virtual clock so a new experiment starts on idle
+  /// hardware at t = 0. Stored data and mounted cartridges are preserved.
+  void reset_time();
+
+ private:
+  HardwareProfile profile_;
+  std::filesystem::path data_root_;
+  std::unique_ptr<meta::Database> metadb_;
+
+  // Physical layer (MemObjectStore by default, FileObjectStore when rooted).
+  std::unique_ptr<store::ObjectStore> local_store_;
+  std::unique_ptr<store::ObjectStore> remote_disk_store_;
+  std::unique_ptr<store::ObjectStore> tape_store_;  ///< only when rooted
+  std::unique_ptr<tape::TapeLibrary> tape_library_;
+  std::unique_ptr<tape::HsmStore> hsm_;  ///< only when tape_cache_bytes > 0
+
+  // Native layer.
+  std::unique_ptr<srb::DiskResource> local_resource_;
+  std::unique_ptr<srb::DiskResource> remote_disk_resource_;
+  std::unique_ptr<srb::TapeResource> tape_resource_;
+  std::unique_ptr<srb::SrbServer> server_;
+  std::unique_ptr<net::Link> wan_disk_link_;
+  std::unique_ptr<net::Link> wan_tape_link_;
+
+  // Endpoint layer.
+  std::unique_ptr<runtime::LocalEndpoint> local_endpoint_;
+  std::unique_ptr<runtime::RemoteEndpoint> remote_disk_endpoint_;
+  std::unique_ptr<runtime::RemoteEndpoint> remote_tape_endpoint_;
+};
+
+}  // namespace msra::core

@@ -1,0 +1,91 @@
+#include "meta/database.h"
+
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <system_error>
+
+namespace msra::meta {
+
+StatusOr<Table*> Database::create_table(const std::string& name, Schema schema) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tables_.count(name)) return Status::AlreadyExists("table exists: " + name);
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* raw = table.get();
+  tables_.emplace(name, std::move(table));
+  return raw;
+}
+
+Table* Database::table(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+StatusOr<Table*> Database::open_table(const std::string& name, Schema schema) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = tables_.find(name);
+    if (it != tables_.end()) return it->second.get();
+  }
+  return create_table(name, std::move(schema));
+}
+
+Status Database::drop_table(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tables_.erase(name) == 0) return Status::NotFound("no table: " + name);
+  return Status::Ok();
+}
+
+std::vector<std::string> Database::table_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) out.push_back(name);
+  return out;
+}
+
+Status Database::save(const std::filesystem::path& path) const {
+  net::WireWriter writer;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    writer.put_u32(0x4d535241u);  // magic "MSRA"
+    writer.put_u32(static_cast<std::uint32_t>(tables_.size()));
+    for (const auto& [name, table] : tables_) table->serialize(writer);
+  }
+  const auto blob = writer.take();
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::Internal("cannot write " + tmp.string());
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+    if (!out) return Status::Internal("write failed: " + tmp.string());
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return Status::Internal("rename failed: " + ec.message());
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<Database>> Database::load(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path.string());
+  std::string raw((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  std::vector<std::byte> blob(raw.size());
+  std::memcpy(blob.data(), raw.data(), raw.size());
+  net::WireReader reader(blob);
+  MSRA_ASSIGN_OR_RETURN(std::uint32_t magic, reader.get_u32());
+  if (magic != 0x4d535241u) return Status::InvalidArgument("bad database file");
+  MSRA_ASSIGN_OR_RETURN(std::uint32_t ntables, reader.get_u32());
+  auto db = std::make_unique<Database>();
+  for (std::uint32_t i = 0; i < ntables; ++i) {
+    MSRA_ASSIGN_OR_RETURN(std::unique_ptr<Table> table, Table::deserialize(reader));
+    std::string name = table->name();
+    db->tables_.emplace(std::move(name), std::move(table));
+  }
+  return db;
+}
+
+}  // namespace msra::meta

@@ -1,0 +1,47 @@
+// The embedded metadata database (the paper's "local Postgres" replacement).
+//
+// Holds named tables, persists to a single binary file. Access cost is
+// deliberately not modeled: the paper treats metadata access as inexpensive
+// ("there is no need to provide a run-time library on top of the native
+// interface").
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "meta/table.h"
+
+namespace msra::meta {
+
+class Database {
+ public:
+  Database() = default;
+
+  /// Creates a table; fails with kAlreadyExists if the name is taken.
+  StatusOr<Table*> create_table(const std::string& name, Schema schema);
+
+  /// Returns the table or nullptr.
+  Table* table(const std::string& name) const;
+
+  /// Returns the table, creating it with `schema` on first use.
+  StatusOr<Table*> open_table(const std::string& name, Schema schema);
+
+  Status drop_table(const std::string& name);
+  std::vector<std::string> table_names() const;
+
+  /// Persists all tables to one binary file (atomic: tmp + rename).
+  Status save(const std::filesystem::path& path) const;
+
+  /// Loads a database previously written by save().
+  static StatusOr<std::unique_ptr<Database>> load(const std::filesystem::path& path);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace msra::meta

@@ -1,0 +1,301 @@
+#include "meta/table.h"
+
+#include <cassert>
+
+namespace msra::meta {
+
+std::size_t Table::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rows_.size();
+}
+
+std::string Table::index_key(const Value& value) {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return std::string(); }
+    std::string operator()(std::int64_t v) const { return "i" + std::to_string(v); }
+    std::string operator()(double v) const { return "r" + std::to_string(v); }
+    std::string operator()(const std::string& v) const { return "t" + v; }
+    std::string operator()(const std::vector<std::byte>& v) const {
+      return "b" + std::string(reinterpret_cast<const char*>(v.data()), v.size());
+    }
+  };
+  return std::visit(Visitor{}, value);
+}
+
+Status Table::check_indexes_locked(const Row& row, std::int64_t ignore_rowid) const {
+  for (const auto& [col, index] : unique_indexes_) {
+    const Value& v = row[static_cast<std::size_t>(col)];
+    if (std::holds_alternative<std::monostate>(v)) continue;
+    auto it = index.find(index_key(v));
+    if (it != index.end() && it->second != ignore_rowid) {
+      return Status::AlreadyExists("unique index violation on " +
+                                   schema_.column(static_cast<std::size_t>(col)).name +
+                                   " = " + value_to_string(v));
+    }
+  }
+  return Status::Ok();
+}
+
+void Table::add_to_indexes_locked(std::int64_t rowid, const Row& row) {
+  for (auto& [col, index] : unique_indexes_) {
+    const Value& v = row[static_cast<std::size_t>(col)];
+    if (std::holds_alternative<std::monostate>(v)) continue;
+    index.emplace(index_key(v), rowid);
+  }
+}
+
+void Table::remove_from_indexes_locked(std::int64_t rowid, const Row& row) {
+  for (auto& [col, index] : unique_indexes_) {
+    const Value& v = row[static_cast<std::size_t>(col)];
+    if (std::holds_alternative<std::monostate>(v)) continue;
+    auto it = index.find(index_key(v));
+    if (it != index.end() && it->second == rowid) index.erase(it);
+  }
+}
+
+StatusOr<std::int64_t> Table::insert(Row row) {
+  MSRA_RETURN_IF_ERROR(schema_.validate(row));
+  std::lock_guard<std::mutex> lock(mutex_);
+  MSRA_RETURN_IF_ERROR(check_indexes_locked(row, /*ignore_rowid=*/-1));
+  const std::int64_t rowid = next_rowid_++;
+  add_to_indexes_locked(rowid, row);
+  rows_.emplace(rowid, std::move(row));
+  return rowid;
+}
+
+StatusOr<Row> Table::get(std::int64_t rowid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = rows_.find(rowid);
+  if (it == rows_.end()) {
+    return Status::NotFound(name_ + ": no rowid " + std::to_string(rowid));
+  }
+  return it->second;
+}
+
+Status Table::update(std::int64_t rowid, Row row) {
+  MSRA_RETURN_IF_ERROR(schema_.validate(row));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = rows_.find(rowid);
+  if (it == rows_.end()) {
+    return Status::NotFound(name_ + ": no rowid " + std::to_string(rowid));
+  }
+  MSRA_RETURN_IF_ERROR(check_indexes_locked(row, rowid));
+  remove_from_indexes_locked(rowid, it->second);
+  it->second = std::move(row);
+  add_to_indexes_locked(rowid, it->second);
+  return Status::Ok();
+}
+
+Status Table::update_cell(std::int64_t rowid, std::string_view column, Value value) {
+  const int col = schema_.index_of(column);
+  if (col < 0) return Status::InvalidArgument("no column: " + std::string(column));
+  if (!value_matches(value, schema_.column(static_cast<std::size_t>(col)).type)) {
+    return Status::InvalidArgument("type mismatch for " + std::string(column));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = rows_.find(rowid);
+  if (it == rows_.end()) {
+    return Status::NotFound(name_ + ": no rowid " + std::to_string(rowid));
+  }
+  Row updated = it->second;
+  updated[static_cast<std::size_t>(col)] = std::move(value);
+  MSRA_RETURN_IF_ERROR(check_indexes_locked(updated, rowid));
+  remove_from_indexes_locked(rowid, it->second);
+  it->second = std::move(updated);
+  add_to_indexes_locked(rowid, it->second);
+  return Status::Ok();
+}
+
+Status Table::erase(std::int64_t rowid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = rows_.find(rowid);
+  if (it == rows_.end()) {
+    return Status::NotFound(name_ + ": no rowid " + std::to_string(rowid));
+  }
+  remove_from_indexes_locked(rowid, it->second);
+  rows_.erase(it);
+  return Status::Ok();
+}
+
+std::vector<std::int64_t> Table::find(const Predicate& predicate) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::int64_t> out;
+  for (const auto& [rowid, row] : rows_) {
+    if (predicate(row)) out.push_back(rowid);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> Table::find_eq(std::string_view column,
+                                         const Value& value) const {
+  const int col = schema_.index_of(column);
+  if (col < 0) return {};
+  return find([col, &value](const Row& row) {
+    return value_equals(row[static_cast<std::size_t>(col)], value);
+  });
+}
+
+StatusOr<std::int64_t> Table::find_first_eq(std::string_view column,
+                                            const Value& value) const {
+  auto ids = find_eq(column, value);
+  if (ids.empty()) {
+    return Status::NotFound(name_ + ": no row with " + std::string(column) +
+                            " = " + value_to_string(value));
+  }
+  return ids.front();
+}
+
+std::vector<Row> Table::select(const Predicate& predicate) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Row> out;
+  for (const auto& [rowid, row] : rows_) {
+    if (predicate(row)) out.push_back(row);
+  }
+  return out;
+}
+
+void Table::for_each(const std::function<void(std::int64_t, const Row&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [rowid, row] : rows_) fn(rowid, row);
+}
+
+Status Table::create_unique_index(std::string_view column) {
+  const int col = schema_.index_of(column);
+  if (col < 0) return Status::InvalidArgument("no column: " + std::string(column));
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unordered_map<std::string, std::int64_t> index;
+  for (const auto& [rowid, row] : rows_) {
+    const Value& v = row[static_cast<std::size_t>(col)];
+    if (std::holds_alternative<std::monostate>(v)) continue;
+    auto [it, inserted] = index.emplace(index_key(v), rowid);
+    if (!inserted) {
+      return Status::AlreadyExists("duplicate values prevent unique index on " +
+                                   std::string(column));
+    }
+  }
+  unique_indexes_[col] = std::move(index);
+  return Status::Ok();
+}
+
+StatusOr<std::int64_t> Table::lookup(std::string_view column, const Value& value) const {
+  const int col = schema_.index_of(column);
+  if (col < 0) return Status::InvalidArgument("no column: " + std::string(column));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto idx_it = unique_indexes_.find(col);
+  if (idx_it == unique_indexes_.end()) {
+    return Status::InvalidArgument("no unique index on " + std::string(column));
+  }
+  auto it = idx_it->second.find(index_key(value));
+  if (it == idx_it->second.end()) {
+    return Status::NotFound(name_ + ": " + std::string(column) + " = " +
+                            value_to_string(value));
+  }
+  return it->second;
+}
+
+void Table::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rows_.clear();
+  for (auto& [col, index] : unique_indexes_) index.clear();
+}
+
+namespace {
+
+void serialize_value(net::WireWriter& w, const Value& value) {
+  w.put_u8(static_cast<std::uint8_t>(value.index()));
+  struct Visitor {
+    net::WireWriter& w;
+    void operator()(std::monostate) const {}
+    void operator()(std::int64_t v) const { w.put_i64(v); }
+    void operator()(double v) const { w.put_f64(v); }
+    void operator()(const std::string& v) const { w.put_string(v); }
+    void operator()(const std::vector<std::byte>& v) const { w.put_bytes(v); }
+  };
+  std::visit(Visitor{w}, value);
+}
+
+StatusOr<Value> deserialize_value(net::WireReader& r) {
+  MSRA_ASSIGN_OR_RETURN(std::uint8_t tag, r.get_u8());
+  switch (tag) {
+    case 0: return Value{std::monostate{}};
+    case 1: {
+      MSRA_ASSIGN_OR_RETURN(std::int64_t v, r.get_i64());
+      return Value{v};
+    }
+    case 2: {
+      MSRA_ASSIGN_OR_RETURN(double v, r.get_f64());
+      return Value{v};
+    }
+    case 3: {
+      MSRA_ASSIGN_OR_RETURN(std::string v, r.get_string());
+      return Value{std::move(v)};
+    }
+    case 4: {
+      MSRA_ASSIGN_OR_RETURN(std::vector<std::byte> v, r.get_bytes());
+      return Value{std::move(v)};
+    }
+    default:
+      return Status::InvalidArgument("bad value tag " + std::to_string(tag));
+  }
+}
+
+}  // namespace
+
+void Table::serialize(net::WireWriter& writer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  writer.put_string(name_);
+  writer.put_u32(static_cast<std::uint32_t>(schema_.size()));
+  for (const auto& col : schema_.columns()) {
+    writer.put_string(col.name);
+    writer.put_u8(static_cast<std::uint8_t>(col.type));
+  }
+  writer.put_u32(static_cast<std::uint32_t>(unique_indexes_.size()));
+  for (const auto& [col, index] : unique_indexes_) writer.put_u32(static_cast<std::uint32_t>(col));
+  writer.put_i64(next_rowid_);
+  writer.put_u64(rows_.size());
+  for (const auto& [rowid, row] : rows_) {
+    writer.put_i64(rowid);
+    for (const auto& value : row) serialize_value(writer, value);
+  }
+}
+
+StatusOr<std::unique_ptr<Table>> Table::deserialize(net::WireReader& reader) {
+  MSRA_ASSIGN_OR_RETURN(std::string name, reader.get_string());
+  MSRA_ASSIGN_OR_RETURN(std::uint32_t ncols, reader.get_u32());
+  std::vector<Column> columns;
+  for (std::uint32_t i = 0; i < ncols; ++i) {
+    MSRA_ASSIGN_OR_RETURN(std::string cname, reader.get_string());
+    MSRA_ASSIGN_OR_RETURN(std::uint8_t ctype, reader.get_u8());
+    if (ctype > static_cast<std::uint8_t>(ColumnType::kBlob)) {
+      return Status::InvalidArgument("bad column type");
+    }
+    columns.push_back({std::move(cname), static_cast<ColumnType>(ctype)});
+  }
+  auto table = std::make_unique<Table>(std::move(name), Schema(std::move(columns)));
+  MSRA_ASSIGN_OR_RETURN(std::uint32_t nindexes, reader.get_u32());
+  std::vector<std::uint32_t> index_cols;
+  for (std::uint32_t i = 0; i < nindexes; ++i) {
+    MSRA_ASSIGN_OR_RETURN(std::uint32_t col, reader.get_u32());
+    index_cols.push_back(col);
+  }
+  MSRA_ASSIGN_OR_RETURN(std::int64_t next_rowid, reader.get_i64());
+  MSRA_ASSIGN_OR_RETURN(std::uint64_t nrows, reader.get_u64());
+  for (std::uint64_t i = 0; i < nrows; ++i) {
+    MSRA_ASSIGN_OR_RETURN(std::int64_t rowid, reader.get_i64());
+    Row row;
+    for (std::size_t c = 0; c < table->schema_.size(); ++c) {
+      MSRA_ASSIGN_OR_RETURN(Value value, deserialize_value(reader));
+      row.push_back(std::move(value));
+    }
+    MSRA_RETURN_IF_ERROR(table->schema_.validate(row));
+    table->rows_.emplace(rowid, std::move(row));
+  }
+  table->next_rowid_ = next_rowid;
+  for (std::uint32_t col : index_cols) {
+    MSRA_RETURN_IF_ERROR(table->create_unique_index(
+        table->schema_.column(col).name));
+  }
+  return table;
+}
+
+}  // namespace msra::meta

@@ -1,0 +1,93 @@
+// A single metadata table with rowids, predicates and unique indexes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "meta/value.h"
+#include "net/wire.h"
+
+namespace msra::meta {
+
+/// Row filter used by scans. Receives the full row.
+using Predicate = std::function<bool(const Row&)>;
+
+/// One table: rows keyed by a monotonically increasing rowid.
+/// Thread-safe (coarse lock; metadata traffic is light, as in the paper).
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  std::size_t size() const;
+
+  /// Inserts a validated row; returns its rowid. Enforces unique indexes.
+  StatusOr<std::int64_t> insert(Row row);
+
+  /// Fetches a row copy by rowid.
+  StatusOr<Row> get(std::int64_t rowid) const;
+
+  /// Replaces an entire row.
+  Status update(std::int64_t rowid, Row row);
+
+  /// Updates one cell.
+  Status update_cell(std::int64_t rowid, std::string_view column, Value value);
+
+  /// Deletes a row.
+  Status erase(std::int64_t rowid);
+
+  /// Rowids of rows matching the predicate (insertion order).
+  std::vector<std::int64_t> find(const Predicate& predicate) const;
+
+  /// Convenience equality scan on one column.
+  std::vector<std::int64_t> find_eq(std::string_view column, const Value& value) const;
+
+  /// First rowid matching column == value, or kNotFound.
+  StatusOr<std::int64_t> find_first_eq(std::string_view column, const Value& value) const;
+
+  /// Copies of all rows matching the predicate.
+  std::vector<Row> select(const Predicate& predicate) const;
+
+  /// Visits every (rowid, row).
+  void for_each(const std::function<void(std::int64_t, const Row&)>& fn) const;
+
+  /// Declares a unique index on a column. Fails if existing rows collide.
+  Status create_unique_index(std::string_view column);
+
+  /// O(1) lookup through a unique index.
+  StatusOr<std::int64_t> lookup(std::string_view column, const Value& value) const;
+
+  /// Removes every row (indexes retained).
+  void clear();
+
+  /// Binary (de)serialization for persistence. (Returned by pointer because
+  /// Table is pinned by its internal mutex.)
+  void serialize(net::WireWriter& writer) const;
+  static StatusOr<std::unique_ptr<Table>> deserialize(net::WireReader& reader);
+
+ private:
+  /// Serialized key for index maps. NULLs are not indexed.
+  static std::string index_key(const Value& value);
+
+  Status check_indexes_locked(const Row& row, std::int64_t ignore_rowid) const;
+  void add_to_indexes_locked(std::int64_t rowid, const Row& row);
+  void remove_from_indexes_locked(std::int64_t rowid, const Row& row);
+
+  std::string name_;
+  Schema schema_;
+  mutable std::mutex mutex_;
+  std::map<std::int64_t, Row> rows_;
+  std::int64_t next_rowid_ = 1;
+  // column index -> (key -> rowid)
+  std::map<int, std::unordered_map<std::string, std::int64_t>> unique_indexes_;
+};
+
+}  // namespace msra::meta

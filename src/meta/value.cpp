@@ -1,0 +1,65 @@
+#include "meta/value.h"
+
+namespace msra::meta {
+
+std::string_view column_type_name(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt: return "INT";
+    case ColumnType::kReal: return "REAL";
+    case ColumnType::kText: return "TEXT";
+    case ColumnType::kBlob: return "BLOB";
+  }
+  return "?";
+}
+
+bool value_matches(const Value& value, ColumnType type) {
+  if (std::holds_alternative<std::monostate>(value)) return true;  // NULL
+  switch (type) {
+    case ColumnType::kInt: return std::holds_alternative<std::int64_t>(value);
+    case ColumnType::kReal: return std::holds_alternative<double>(value);
+    case ColumnType::kText: return std::holds_alternative<std::string>(value);
+    case ColumnType::kBlob:
+      return std::holds_alternative<std::vector<std::byte>>(value);
+  }
+  return false;
+}
+
+std::string value_to_string(const Value& value) {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return "NULL"; }
+    std::string operator()(std::int64_t v) const { return std::to_string(v); }
+    std::string operator()(double v) const { return std::to_string(v); }
+    std::string operator()(const std::string& v) const { return "'" + v + "'"; }
+    std::string operator()(const std::vector<std::byte>& v) const {
+      return "blob[" + std::to_string(v.size()) + "]";
+    }
+  };
+  return std::visit(Visitor{}, value);
+}
+
+bool value_equals(const Value& a, const Value& b) { return a == b; }
+
+int Schema::index_of(std::string_view name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::validate(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(columns_.size()));
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (!value_matches(row[i], columns_[i].type)) {
+      return Status::InvalidArgument("column '" + columns_[i].name +
+                                     "' type mismatch: " +
+                                     value_to_string(row[i]));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace msra::meta

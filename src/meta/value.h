@@ -1,0 +1,66 @@
+// Typed values, rows and schemas for the embedded metadata database.
+//
+// The paper keeps system metadata (applications, users, datasets, access
+// patterns) and the performance database in a Postgres instance accessed
+// through an embedded C API. This module provides the equivalent embedded
+// table store.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace msra::meta {
+
+/// Column types supported by the store.
+enum class ColumnType { kInt, kReal, kText, kBlob };
+
+std::string_view column_type_name(ColumnType type);
+
+/// A single cell: NULL, integer, real, text, or blob.
+using Value = std::variant<std::monostate, std::int64_t, double, std::string,
+                           std::vector<std::byte>>;
+
+/// True if `value` is NULL or matches `type`.
+bool value_matches(const Value& value, ColumnType type);
+
+/// Debug rendering of a value ("NULL", "42", "'text'", "blob[16]").
+std::string value_to_string(const Value& value);
+
+/// Deep equality (used by predicates and unique indexes).
+bool value_equals(const Value& a, const Value& b);
+
+/// A row is one cell per schema column.
+using Row = std::vector<Value>;
+
+/// Column definition.
+struct Column {
+  std::string name;
+  ColumnType type;
+};
+
+/// An ordered list of columns.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::initializer_list<Column> columns) : columns_(columns) {}
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  std::size_t size() const { return columns_.size(); }
+  const Column& column(std::size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of a column by name, or -1.
+  int index_of(std::string_view name) const;
+
+  /// Validates that `row` has the right arity and cell types.
+  Status validate(const Row& row) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace msra::meta

@@ -1,0 +1,66 @@
+// Network link model: latency + bandwidth + optional jitter, serialized on a
+// shared simkit::Resource (one WAN path, as between Argonne and SDSC in the
+// paper's testbed).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "simkit/noise.h"
+#include "simkit/resource.h"
+#include "simkit/time.h"
+#include "simkit/timeline.h"
+
+namespace msra::net {
+
+/// Static parameters of a link.
+struct LinkModel {
+  simkit::SimTime latency = 0.0;    ///< one-way propagation delay (s)
+  double bandwidth = 0.0;           ///< B/s; <=0 means infinitely fast
+  simkit::SimTime conn_setup = 0.0; ///< connection establishment (s)
+  simkit::SimTime conn_teardown = 0.0;
+
+  bool is_local() const { return latency == 0.0 && bandwidth <= 0.0; }
+};
+
+/// A shared, contended link. Transmission occupies the link for
+/// size/bandwidth; propagation latency is added after the transmission slot
+/// (it does not occupy the pipe).
+class Link {
+ public:
+  Link(std::string name, LinkModel model, simkit::NoiseModel noise = {})
+      : model_(model), noise_(noise), pipe_(std::move(name)) {}
+
+  const LinkModel& model() const { return model_; }
+
+  /// Delivers `bytes` starting no earlier than `ready`; returns arrival time
+  /// at the far end.
+  simkit::SimTime transmit_at(simkit::SimTime ready, std::uint64_t bytes) {
+    simkit::SimTime tx = simkit::transfer_time(bytes, model_.bandwidth);
+    tx = noise_.apply(tx);
+    const simkit::SimTime sent = pipe_.reserve(ready, tx);
+    return sent + model_.latency;
+  }
+
+  /// Convenience: transmit from the actor's current time and advance its
+  /// clock to the arrival time.
+  simkit::SimTime transmit(simkit::Timeline& timeline, std::uint64_t bytes) {
+    const simkit::SimTime arrival = transmit_at(timeline.now(), bytes);
+    timeline.advance_to(arrival);
+    return arrival;
+  }
+
+  /// Charges connection setup / teardown to the actor.
+  void connect(simkit::Timeline& timeline) { timeline.advance(model_.conn_setup); }
+  void disconnect(simkit::Timeline& timeline) { timeline.advance(model_.conn_teardown); }
+
+  simkit::Resource& pipe() { return pipe_; }
+
+ private:
+  LinkModel model_;
+  simkit::NoiseModel noise_;
+  simkit::Resource pipe_;
+};
+
+}  // namespace msra::net

@@ -1,0 +1,111 @@
+// Wire-format serialization for the SRB-like client/server protocol.
+//
+// Little-endian, length-prefixed primitives. Requests and responses are real
+// byte buffers, so the protocol layer is genuinely exercised even though
+// transport is in-process.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace msra::net {
+
+/// Appends primitives to a growing byte buffer.
+class WireWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void put_u16(std::uint16_t v) { put_raw(&v, sizeof(v)); }
+  void put_u32(std::uint32_t v) { put_raw(&v, sizeof(v)); }
+  void put_u64(std::uint64_t v) { put_raw(&v, sizeof(v)); }
+  void put_i64(std::int64_t v) { put_raw(&v, sizeof(v)); }
+  void put_f64(double v) { put_raw(&v, sizeof(v)); }
+
+  void put_string(const std::string& s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    put_raw(s.data(), s.size());
+  }
+
+  void put_bytes(std::span<const std::byte> data) {
+    put_u64(data.size());
+    put_raw(data.data(), data.size());
+  }
+
+  std::vector<std::byte> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  void put_raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::byte> buf_;
+};
+
+/// Consumes primitives from a byte buffer; all getters fail with
+/// kOutOfRange on truncated input (no UB on malformed messages).
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::byte> data) : data_(data) {}
+
+  StatusOr<std::uint8_t> get_u8() { return get_scalar<std::uint8_t>(); }
+  StatusOr<std::uint16_t> get_u16() { return get_scalar<std::uint16_t>(); }
+  StatusOr<std::uint32_t> get_u32() { return get_scalar<std::uint32_t>(); }
+  StatusOr<std::uint64_t> get_u64() { return get_scalar<std::uint64_t>(); }
+  StatusOr<std::int64_t> get_i64() { return get_scalar<std::int64_t>(); }
+  StatusOr<double> get_f64() { return get_scalar<double>(); }
+
+  StatusOr<std::string> get_string() {
+    MSRA_ASSIGN_OR_RETURN(std::uint32_t n, get_u32());
+    if (pos_ + n > data_.size()) return StatusOr<std::string>(truncated());
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  StatusOr<std::vector<std::byte>> get_bytes() {
+    MSRA_ASSIGN_OR_RETURN(std::uint64_t n, get_u64());
+    if (pos_ + n > data_.size()) {
+      return StatusOr<std::vector<std::byte>>(truncated());
+    }
+    std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                               data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  /// Reads a byte payload directly into `out` (avoids a copy for bulk data).
+  Status get_bytes_into(std::span<std::byte> out) {
+    MSRA_ASSIGN_OR_RETURN(std::uint64_t n, get_u64());
+    if (n != out.size()) return Status::InvalidArgument("payload size mismatch");
+    if (pos_ + n > data_.size()) return truncated();
+    std::memcpy(out.data(), data_.data() + pos_, n);
+    pos_ += n;
+    return Status::Ok();
+  }
+
+  bool exhausted() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  StatusOr<T> get_scalar() {
+    if (pos_ + sizeof(T) > data_.size()) return StatusOr<T>(truncated());
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  static Status truncated() {
+    return Status::OutOfRange("truncated wire message");
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace msra::net

@@ -1,0 +1,123 @@
+#include "predict/advisor.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace msra::predict {
+
+StatusOr<std::vector<PlacementQuote>> PlacementAdvisor::quotes(
+    const core::DatasetDesc& desc, int iterations, int nprocs,
+    double read_passes) const {
+  std::vector<PlacementQuote> out;
+  const std::uint64_t footprint = desc.footprint_bytes(iterations);
+  for (core::Location location : core::kConcreteLocations) {
+    runtime::StorageEndpoint& endpoint = system_.endpoint(location);
+    if (!endpoint.available() || endpoint.free_bytes() < footprint) continue;
+    PlacementQuote quote;
+    quote.location = location;
+    MSRA_ASSIGN_OR_RETURN(
+        DatasetPrediction write,
+        predictor_.predict_dataset(desc, location, iterations, nprocs,
+                                   IoOp::kWrite));
+    MSRA_ASSIGN_OR_RETURN(
+        DatasetPrediction read,
+        predictor_.predict_dataset(desc, location, iterations, nprocs,
+                                   IoOp::kRead));
+    quote.write_seconds = write.total;
+    quote.read_seconds = read_passes * read.total;
+    out.push_back(quote);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PlacementQuote& a, const PlacementQuote& b) {
+              return a.total() < b.total();
+            });
+  return out;
+}
+
+StatusOr<core::Location> PlacementAdvisor::recommend(
+    const core::DatasetDesc& desc, int iterations, int nprocs,
+    double max_io_seconds, double read_passes) const {
+  if (desc.location == core::Location::kDisable) {
+    return core::Location::kDisable;
+  }
+  MSRA_ASSIGN_OR_RETURN(auto priced,
+                        quotes(desc, iterations, nprocs, read_passes));
+  if (priced.empty()) {
+    return Status::Unavailable("no storage resource can hold dataset " +
+                               desc.name);
+  }
+  const PlacementQuote& best = priced.front();
+  if (max_io_seconds > 0.0 && best.total() > max_io_seconds) {
+    return Status::Unavailable(
+        "dataset " + desc.name + " needs " + std::to_string(best.total()) +
+        " s of I/O even on " +
+        std::string(core::location_name(best.location)) +
+        "; the budget is " + std::to_string(max_io_seconds) + " s");
+  }
+  return best.location;
+}
+
+StatusOr<std::map<std::string, core::Location>> PlacementAdvisor::recommend_run(
+    const std::vector<core::DatasetDesc>& datasets, int iterations, int nprocs,
+    double read_passes) const {
+  std::map<std::string, core::Location> out;
+  // Remaining capacity per resource, starting from the live free space.
+  std::map<core::Location, std::uint64_t> remaining;
+  for (core::Location location : core::kConcreteLocations) {
+    runtime::StorageEndpoint& endpoint = system_.endpoint(location);
+    remaining[location] = endpoint.available() ? endpoint.free_bytes() : 0;
+  }
+
+  // Honor explicit hints first (they consume capacity).
+  struct Pending {
+    const core::DatasetDesc* desc;
+    double saving;  // slowest-minus-fastest predicted cost
+    std::vector<PlacementQuote> priced;
+  };
+  std::vector<Pending> pending;
+  for (const auto& desc : datasets) {
+    if (desc.location == core::Location::kDisable) {
+      out[desc.name] = core::Location::kDisable;
+      continue;
+    }
+    if (desc.location != core::Location::kAuto) {
+      out[desc.name] = desc.location;
+      auto& budget = remaining[desc.location];
+      const std::uint64_t need = desc.footprint_bytes(iterations);
+      budget = budget > need ? budget - need : 0;
+      continue;
+    }
+    Pending p;
+    p.desc = &desc;
+    MSRA_ASSIGN_OR_RETURN(p.priced,
+                          quotes(desc, iterations, nprocs, read_passes));
+    if (p.priced.empty()) {
+      return Status::Unavailable("no resource can hold dataset " + desc.name);
+    }
+    p.saving = p.priced.back().total() - p.priced.front().total();
+    pending.push_back(std::move(p));
+  }
+
+  // Biggest potential saving first: those datasets deserve the fast media.
+  std::sort(pending.begin(), pending.end(),
+            [](const Pending& a, const Pending& b) { return a.saving > b.saving; });
+  for (const auto& p : pending) {
+    const std::uint64_t need = p.desc->footprint_bytes(iterations);
+    bool placed = false;
+    for (const PlacementQuote& quote : p.priced) {
+      if (remaining[quote.location] >= need) {
+        out[p.desc->name] = quote.location;
+        remaining[quote.location] -= need;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      return Status::Unavailable("capacity exhausted placing dataset " +
+                                 p.desc->name);
+    }
+  }
+  return out;
+}
+
+}  // namespace msra::predict

@@ -1,0 +1,63 @@
+// Performance-aware automatic placement — the paper's stated future work:
+// "In the future, the user can also specify only a performance requirement
+// for a particular run of her application and our system can automatically
+// decide which storage resources should be used according to the capacity
+// and performance of each storage resource."
+//
+// The advisor prices each candidate resource with the predictor (write cost
+// of the producing run plus one expected consumer pass) and picks the
+// cheapest one that is up and has capacity. Whole-run advice assigns
+// datasets greedily — biggest saving first — against the remaining capacity
+// of each resource.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/system.h"
+#include "predict/predictor.h"
+
+namespace msra::predict {
+
+/// One priced placement option.
+struct PlacementQuote {
+  core::Location location = core::Location::kRemoteTape;
+  double write_seconds = 0.0;  ///< producer dumps over the whole run
+  double read_seconds = 0.0;   ///< one consumer pass over all dumps
+  double total() const { return write_seconds + read_seconds; }
+};
+
+class PlacementAdvisor {
+ public:
+  PlacementAdvisor(core::StorageSystem& system, const Predictor& predictor)
+      : system_(system), predictor_(predictor) {}
+
+  /// Prices every available resource with enough capacity, cheapest first.
+  /// `read_passes` weights the expected post-processing traffic.
+  StatusOr<std::vector<PlacementQuote>> quotes(const core::DatasetDesc& desc,
+                                               int iterations, int nprocs,
+                                               double read_passes = 1.0) const;
+
+  /// Cheapest feasible location, optionally bounded by an I/O-time budget
+  /// for this dataset (kUnavailable if nothing fits the budget).
+  StatusOr<core::Location> recommend(const core::DatasetDesc& desc,
+                                     int iterations, int nprocs,
+                                     double max_io_seconds = 0.0,
+                                     double read_passes = 1.0) const;
+
+  /// Assigns every dataset of a run, respecting each resource's remaining
+  /// capacity. Datasets with concrete user hints (or DISABLE) are honored
+  /// as-is; kAuto datasets are placed by predicted cost, biggest potential
+  /// saving first.
+  StatusOr<std::map<std::string, core::Location>> recommend_run(
+      const std::vector<core::DatasetDesc>& datasets, int iterations,
+      int nprocs, double read_passes = 1.0) const;
+
+ private:
+  core::StorageSystem& system_;
+  const Predictor& predictor_;
+};
+
+}  // namespace msra::predict

@@ -1,0 +1,140 @@
+#include "predict/perfdb.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace msra::predict {
+
+using meta::ColumnType;
+using meta::Row;
+using meta::Value;
+
+std::string_view io_op_name(IoOp op) {
+  return op == IoOp::kRead ? "read" : "write";
+}
+
+PerfDb::PerfDb(meta::Database* db) {
+  auto fixed = db->open_table(
+      "perf_fixed", meta::Schema{{"location", ColumnType::kText},
+                                 {"op", ColumnType::kText},
+                                 {"conn", ColumnType::kReal},
+                                 {"open", ColumnType::kReal},
+                                 {"seek", ColumnType::kReal},
+                                 {"close", ColumnType::kReal},
+                                 {"connclose", ColumnType::kReal}});
+  auto rw = db->open_table(
+      "perf_rw", meta::Schema{{"location", ColumnType::kText},
+                              {"op", ColumnType::kText},
+                              {"bytes", ColumnType::kInt},
+                              {"seconds", ColumnType::kReal}});
+  assert(fixed.ok() && rw.ok());
+  fixed_ = *fixed;
+  rw_ = *rw;
+}
+
+namespace {
+std::string loc_text(core::Location location) {
+  return std::string(core::location_name(location));
+}
+}  // namespace
+
+Status PerfDb::put_fixed(core::Location location, IoOp op,
+                         const FixedCosts& costs) {
+  const std::string loc = loc_text(location);
+  const std::string opname(io_op_name(op));
+  Row row{loc,        opname,      costs.conn,     costs.open,
+          costs.seek, costs.close, costs.connclose};
+  auto ids = fixed_->find([&](const Row& r) {
+    return std::get<std::string>(r[0]) == loc && std::get<std::string>(r[1]) == opname;
+  });
+  if (!ids.empty()) return fixed_->update(ids.front(), std::move(row));
+  return fixed_->insert(std::move(row)).status();
+}
+
+StatusOr<FixedCosts> PerfDb::fixed(core::Location location, IoOp op) const {
+  const std::string loc = loc_text(location);
+  const std::string opname(io_op_name(op));
+  auto ids = fixed_->find([&](const Row& r) {
+    return std::get<std::string>(r[0]) == loc && std::get<std::string>(r[1]) == opname;
+  });
+  if (ids.empty()) {
+    return Status::NotFound("no fixed costs for " + loc + "/" + opname +
+                            " (run PTool first)");
+  }
+  MSRA_ASSIGN_OR_RETURN(Row row, fixed_->get(ids.front()));
+  FixedCosts costs;
+  costs.conn = std::get<double>(row[2]);
+  costs.open = std::get<double>(row[3]);
+  costs.seek = std::get<double>(row[4]);
+  costs.close = std::get<double>(row[5]);
+  costs.connclose = std::get<double>(row[6]);
+  return costs;
+}
+
+Status PerfDb::put_rw_point(core::Location location, IoOp op,
+                            std::uint64_t bytes, double seconds) {
+  const std::string loc = loc_text(location);
+  const std::string opname(io_op_name(op));
+  auto ids = rw_->find([&](const Row& r) {
+    return std::get<std::string>(r[0]) == loc &&
+           std::get<std::string>(r[1]) == opname &&
+           std::get<std::int64_t>(r[2]) == static_cast<std::int64_t>(bytes);
+  });
+  Row row{loc, opname, static_cast<std::int64_t>(bytes), seconds};
+  if (!ids.empty()) return rw_->update(ids.front(), std::move(row));
+  return rw_->insert(std::move(row)).status();
+}
+
+std::vector<std::pair<std::uint64_t, double>> PerfDb::rw_curve(
+    core::Location location, IoOp op) const {
+  const std::string loc = loc_text(location);
+  const std::string opname(io_op_name(op));
+  std::vector<std::pair<std::uint64_t, double>> out;
+  for (const Row& row : rw_->select([&](const Row& r) {
+         return std::get<std::string>(r[0]) == loc &&
+                std::get<std::string>(r[1]) == opname;
+       })) {
+    out.emplace_back(static_cast<std::uint64_t>(std::get<std::int64_t>(row[2])),
+                     std::get<double>(row[3]));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+StatusOr<double> PerfDb::rw_time(core::Location location, IoOp op,
+                                 std::uint64_t bytes) const {
+  const auto curve = rw_curve(location, op);
+  if (curve.empty()) {
+    return Status::NotFound("no rw curve for " + loc_text(location) + "/" +
+                            std::string(io_op_name(op)) + " (run PTool first)");
+  }
+  if (bytes == 0) return 0.0;
+  if (curve.size() == 1) {
+    // Single point: scale by size (pure-bandwidth assumption).
+    return curve[0].second * static_cast<double>(bytes) /
+           static_cast<double>(curve[0].first);
+  }
+  // Locate the enclosing segment (or the nearest edge segment).
+  std::size_t hi = 0;
+  while (hi < curve.size() && curve[hi].first < bytes) ++hi;
+  if (hi < curve.size() && curve[hi].first == bytes) return curve[hi].second;
+  std::size_t lo;
+  if (hi == 0) {
+    lo = 0;
+    hi = 1;
+  } else if (hi == curve.size()) {
+    lo = curve.size() - 2;
+    hi = curve.size() - 1;
+  } else {
+    lo = hi - 1;
+  }
+  const double x0 = static_cast<double>(curve[lo].first);
+  const double x1 = static_cast<double>(curve[hi].first);
+  const double y0 = curve[lo].second;
+  const double y1 = curve[hi].second;
+  const double slope = (y1 - y0) / (x1 - x0);
+  const double t = y0 + slope * (static_cast<double>(bytes) - x0);
+  return std::max(0.0, t);
+}
+
+}  // namespace msra::predict

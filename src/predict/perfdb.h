@@ -1,0 +1,71 @@
+// The performance database (section 4.1).
+//
+// "The basis of our I/O performance prediction is to construct a performance
+// database that maintains all the components in equation (1) for each
+// storage resource, so the performance predictor can search the database to
+// obtain these numbers."
+//
+// Two tables inside the metadata database:
+//   perf_fixed(location, op, conn, open, seek, close, connclose)  — Table 1
+//   perf_rw(location, op, bytes, seconds)                         — Figs 6-8
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/system.h"
+#include "meta/database.h"
+
+namespace msra::predict {
+
+/// Read or write direction.
+enum class IoOp { kRead, kWrite };
+
+std::string_view io_op_name(IoOp op);
+
+/// The fixed components of Equation (1) for one (resource, direction).
+struct FixedCosts {
+  double conn = 0.0;
+  double open = 0.0;
+  double seek = 0.0;
+  double close = 0.0;
+  double connclose = 0.0;
+
+  double sum() const { return conn + open + seek + close + connclose; }
+};
+
+class PerfDb {
+ public:
+  /// Opens/creates the schema inside `db` (not owned).
+  explicit PerfDb(meta::Database* db);
+
+  /// Stores (replaces) the fixed costs of a resource/direction.
+  Status put_fixed(core::Location location, IoOp op, const FixedCosts& costs);
+  StatusOr<FixedCosts> fixed(core::Location location, IoOp op) const;
+
+  /// Adds one measured transfer-time point (replaces an existing point for
+  /// the same size).
+  Status put_rw_point(core::Location location, IoOp op, std::uint64_t bytes,
+                      double seconds);
+
+  /// Transfer time for an arbitrary size: exact point if present, otherwise
+  /// linear interpolation between neighbors (time is affine in size for
+  /// every modeled device); linear extrapolation at the edges using the
+  /// marginal bandwidth of the nearest segment.
+  StatusOr<double> rw_time(core::Location location, IoOp op,
+                           std::uint64_t bytes) const;
+
+  /// All measured (size, seconds) points, sorted by size.
+  std::vector<std::pair<std::uint64_t, double>> rw_curve(core::Location location,
+                                                         IoOp op) const;
+
+  /// Number of stored rw points (all resources).
+  std::size_t rw_point_count() const { return rw_->size(); }
+
+ private:
+  meta::Table* fixed_;
+  meta::Table* rw_;
+};
+
+}  // namespace msra::predict

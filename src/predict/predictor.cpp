@@ -1,0 +1,55 @@
+#include "predict/predictor.h"
+
+#include "runtime/parallel_io.h"
+
+namespace msra::predict {
+
+StatusOr<double> Predictor::call_time(core::Location location, IoOp op,
+                                      std::uint64_t bytes) const {
+  MSRA_ASSIGN_OR_RETURN(FixedCosts costs, db_->fixed(location, op));
+  MSRA_ASSIGN_OR_RETURN(double rw, db_->rw_time(location, op, bytes));
+  return costs.conn + costs.open + costs.seek + rw + costs.close +
+         costs.connclose;
+}
+
+StatusOr<DatasetPrediction> Predictor::predict_dataset(
+    const core::DatasetDesc& desc, core::Location resolved, int iterations,
+    int nprocs, IoOp op) const {
+  DatasetPrediction out;
+  out.name = desc.name;
+  out.location = resolved;
+  if (resolved == core::Location::kDisable ||
+      desc.location == core::Location::kDisable) {
+    out.location = core::Location::kDisable;
+    return out;  // never dumped: zero cost
+  }
+  MSRA_ASSIGN_OR_RETURN(
+      prt::Decomposition decomp,
+      prt::Decomposition::create(desc.dims, nprocs, desc.pattern));
+  runtime::ArrayLayout layout{decomp, element_size(desc.etype)};
+  const runtime::IoPlan plan =
+      runtime::plan_io(layout, desc.method, desc.aggregators);
+  out.dumps = desc.dumps(iterations);
+  out.calls_per_dump = plan.calls;
+  out.call_bytes = plan.unit_bytes;
+  MSRA_ASSIGN_OR_RETURN(out.call_time, call_time(resolved, op, plan.unit_bytes));
+  out.total = static_cast<double>(out.dumps) *
+              static_cast<double>(out.calls_per_dump) * out.call_time;
+  return out;
+}
+
+StatusOr<RunPrediction> Predictor::predict_run(
+    const std::vector<std::pair<core::DatasetDesc, core::Location>>& datasets,
+    int iterations, int nprocs, IoOp op) const {
+  RunPrediction out;
+  for (const auto& [desc, resolved] : datasets) {
+    MSRA_ASSIGN_OR_RETURN(
+        DatasetPrediction prediction,
+        predict_dataset(desc, resolved, iterations, nprocs, op));
+    out.total += prediction.total;
+    out.datasets.push_back(std::move(prediction));
+  }
+  return out;
+}
+
+}  // namespace msra::predict

@@ -1,0 +1,63 @@
+// The I/O performance prediction algorithm (section 4.2).
+//
+// Equation (1): the cost of one native I/O call of size s is
+//     T(s) = Tconn + Topen + Tseek + Trw(s) + Tclose + Tconnclose
+// with every component looked up in the performance database.
+//
+// Equation (2): the total I/O time of a run is
+//     T_pred = sum_j (N / freq(j) + 1) * n(j) * t_j(s)
+// where n(j) is the number of native calls the chosen optimization issues
+// per dump and s the size of each call — both derived from the dataset's
+// access pattern and I/O method, exactly as the API would execute them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "predict/perfdb.h"
+
+namespace msra::predict {
+
+/// Prediction for one dataset over a full run.
+struct DatasetPrediction {
+  std::string name;
+  core::Location location = core::Location::kRemoteTape;
+  std::uint64_t dumps = 0;           ///< N/freq + 1
+  std::uint64_t calls_per_dump = 0;  ///< n(j)
+  std::uint64_t call_bytes = 0;      ///< s
+  double call_time = 0.0;            ///< t_j(s), Equation (1)
+  double total = 0.0;                ///< dumps * n(j) * t_j(s)
+};
+
+/// Prediction for a whole run (the Fig. 11 table).
+struct RunPrediction {
+  std::vector<DatasetPrediction> datasets;
+  double total = 0.0;
+};
+
+class Predictor {
+ public:
+  explicit Predictor(const PerfDb* db) : db_(db) {}
+
+  /// Equation (1): one native call of `bytes` on `location`.
+  StatusOr<double> call_time(core::Location location, IoOp op,
+                             std::uint64_t bytes) const;
+
+  /// Per-dataset prediction for an `iterations`-long run on `nprocs` ranks.
+  /// `op` selects the producer (write) or consumer (read) direction.
+  StatusOr<DatasetPrediction> predict_dataset(const core::DatasetDesc& desc,
+                                              core::Location resolved,
+                                              int iterations, int nprocs,
+                                              IoOp op) const;
+
+  /// Equation (2) over a set of datasets (write direction: the producer run).
+  StatusOr<RunPrediction> predict_run(
+      const std::vector<std::pair<core::DatasetDesc, core::Location>>& datasets,
+      int iterations, int nprocs, IoOp op = IoOp::kWrite) const;
+
+ private:
+  const PerfDb* db_;
+};
+
+}  // namespace msra::predict

@@ -1,0 +1,156 @@
+#include "predict/ptool.h"
+
+#include <vector>
+
+#include "runtime/endpoint.h"
+
+namespace msra::predict {
+
+namespace {
+std::vector<std::byte> probe_payload(std::uint64_t bytes) {
+  std::vector<std::byte> out(bytes);
+  for (std::uint64_t i = 0; i < bytes; ++i) {
+    out[i] = static_cast<std::byte>(i * 131 + 7);
+  }
+  return out;
+}
+}  // namespace
+
+Status PTool::warm_up(core::Location location) {
+  if (location != core::Location::kRemoteTape) return Status::Ok();
+  // Touch the tape so the cartridge is mounted; otherwise the first probe
+  // absorbs the one-time mount (the paper's Table 1 numbers are steady-state).
+  runtime::StorageEndpoint& endpoint = system_.endpoint(location);
+  simkit::Timeline tl;
+  MSRA_RETURN_IF_ERROR(endpoint.connect(tl));
+  const std::string path = "ptool/warmup";
+  MSRA_ASSIGN_OR_RETURN(auto handle,
+                        endpoint.open(tl, path, srb::OpenMode::kOverwrite));
+  auto payload = probe_payload(1024);
+  MSRA_RETURN_IF_ERROR(endpoint.write(tl, handle, payload));
+  MSRA_RETURN_IF_ERROR(endpoint.close(tl, handle));
+  return endpoint.disconnect(tl);
+}
+
+StatusOr<FixedCosts> PTool::measure_fixed(core::Location location, IoOp op) {
+  runtime::StorageEndpoint& endpoint = system_.endpoint(location);
+  const std::string path = "ptool/fixed" + std::to_string(probe_counter_++);
+  FixedCosts costs;
+  system_.reset_time();  // probe idle hardware, not a queue behind past probes
+  simkit::Timeline tl;
+
+  // Tconn.
+  double t0 = tl.now();
+  MSRA_RETURN_IF_ERROR(endpoint.connect(tl));
+  costs.conn = tl.now() - t0;
+
+  if (op == IoOp::kWrite) {
+    // Topen (create).
+    t0 = tl.now();
+    MSRA_ASSIGN_OR_RETURN(auto handle,
+                          endpoint.open(tl, path, srb::OpenMode::kOverwrite));
+    costs.open = tl.now() - t0;
+    auto payload = probe_payload(4096);
+    MSRA_RETURN_IF_ERROR(endpoint.write(tl, handle, payload));
+    // Tclose.
+    t0 = tl.now();
+    MSRA_RETURN_IF_ERROR(endpoint.close(tl, handle));
+    costs.close = tl.now() - t0;
+    costs.seek = 0.0;  // writes in our stack are sequential (the paper's "-")
+  } else {
+    // A read probe needs an existing object (written untimed).
+    {
+      MSRA_ASSIGN_OR_RETURN(auto handle,
+                            endpoint.open(tl, path, srb::OpenMode::kOverwrite));
+      auto payload = probe_payload(8192);
+      MSRA_RETURN_IF_ERROR(endpoint.write(tl, handle, payload));
+      MSRA_RETURN_IF_ERROR(endpoint.close(tl, handle));
+    }
+    t0 = tl.now();
+    MSRA_ASSIGN_OR_RETURN(auto handle,
+                          endpoint.open(tl, path, srb::OpenMode::kRead));
+    costs.open = tl.now() - t0;
+    // Tseek: reposition to a different offset.
+    t0 = tl.now();
+    MSRA_RETURN_IF_ERROR(endpoint.seek(tl, handle, 4096));
+    costs.seek = tl.now() - t0;
+    t0 = tl.now();
+    MSRA_RETURN_IF_ERROR(endpoint.close(tl, handle));
+    costs.close = tl.now() - t0;
+  }
+
+  // Tconnclose.
+  t0 = tl.now();
+  MSRA_RETURN_IF_ERROR(endpoint.disconnect(tl));
+  costs.connclose = tl.now() - t0;
+
+  (void)endpoint.connect(tl);
+  (void)endpoint.remove(tl, path);
+  (void)endpoint.disconnect(tl);
+  return costs;
+}
+
+StatusOr<double> PTool::measure_rw(core::Location location, IoOp op,
+                                   std::uint64_t bytes, int repeats) {
+  if (repeats < 1) repeats = 1;
+  runtime::StorageEndpoint& endpoint = system_.endpoint(location);
+  system_.reset_time();  // probe idle hardware
+  simkit::Timeline tl;
+  MSRA_RETURN_IF_ERROR(endpoint.connect(tl));
+  auto payload = probe_payload(bytes);
+  double total = 0.0;
+  std::vector<std::string> probe_paths;
+
+  for (int rep = 0; rep < repeats; ++rep) {
+    const std::string path = "ptool/rw" + std::to_string(probe_counter_++);
+    probe_paths.push_back(path);
+    if (op == IoOp::kWrite) {
+      MSRA_ASSIGN_OR_RETURN(auto handle,
+                            endpoint.open(tl, path, srb::OpenMode::kOverwrite));
+      const double t0 = tl.now();
+      MSRA_RETURN_IF_ERROR(endpoint.write(tl, handle, payload));
+      total += tl.now() - t0;
+      MSRA_RETURN_IF_ERROR(endpoint.close(tl, handle));
+    } else {
+      {
+        MSRA_ASSIGN_OR_RETURN(auto handle,
+                              endpoint.open(tl, path, srb::OpenMode::kOverwrite));
+        MSRA_RETURN_IF_ERROR(endpoint.write(tl, handle, payload));
+        MSRA_RETURN_IF_ERROR(endpoint.close(tl, handle));
+      }
+      MSRA_ASSIGN_OR_RETURN(auto handle,
+                            endpoint.open(tl, path, srb::OpenMode::kRead));
+      std::vector<std::byte> out(bytes);
+      const double t0 = tl.now();
+      MSRA_RETURN_IF_ERROR(endpoint.read(tl, handle, out));
+      total += tl.now() - t0;
+      MSRA_RETURN_IF_ERROR(endpoint.close(tl, handle));
+    }
+  }
+  for (const auto& path : probe_paths) (void)endpoint.remove(tl, path);
+  MSRA_RETURN_IF_ERROR(endpoint.disconnect(tl));
+  return total / repeats;
+}
+
+Status PTool::measure_location(core::Location location, const PToolConfig& config) {
+  MSRA_RETURN_IF_ERROR(warm_up(location));
+  for (IoOp op : {IoOp::kRead, IoOp::kWrite}) {
+    MSRA_ASSIGN_OR_RETURN(FixedCosts costs, measure_fixed(location, op));
+    MSRA_RETURN_IF_ERROR(db_.put_fixed(location, op, costs));
+    for (std::uint64_t bytes : config.sizes) {
+      MSRA_ASSIGN_OR_RETURN(double seconds,
+                            measure_rw(location, op, bytes, config.repeats));
+      MSRA_RETURN_IF_ERROR(db_.put_rw_point(location, op, bytes, seconds));
+    }
+  }
+  return Status::Ok();
+}
+
+Status PTool::measure_all(const PToolConfig& config) {
+  for (core::Location location : core::kConcreteLocations) {
+    MSRA_RETURN_IF_ERROR(measure_location(location, config));
+  }
+  return Status::Ok();
+}
+
+}  // namespace msra::predict

@@ -1,0 +1,55 @@
+// PTool: automatic performance-database population (section 4.1).
+//
+// "To efficiently obtain these numbers, we built a tool called PTool that
+// can automatically generate all these numbers. This program automatically
+// measures read/write time of various data sizes and stores them in the
+// database directly. Therefore, the user can easily set up her basic
+// performance prediction database in a single run."
+//
+// PTool drives the *actual* storage stack with probe timelines — the
+// predictor never peeks at the simulator's constants, so prediction vs
+// measurement is a genuine comparison.
+#pragma once
+
+#include <vector>
+
+#include "core/system.h"
+#include "predict/perfdb.h"
+
+namespace msra::predict {
+
+struct PToolConfig {
+  /// Transfer sizes to measure (Figs 6-8 sweep).
+  std::vector<std::uint64_t> sizes = {64ull << 10, 256ull << 10, 1ull << 20,
+                                      2ull << 20,  4ull << 20,   8ull << 20};
+  /// Repetitions per point (averaged).
+  int repeats = 3;
+};
+
+class PTool {
+ public:
+  PTool(core::StorageSystem& system, PerfDb& db) : system_(system), db_(db) {}
+
+  /// Measures fixed costs + rw curves for every storage resource and both
+  /// directions, storing everything in the performance database.
+  Status measure_all(const PToolConfig& config = {});
+
+  /// Measures one resource.
+  Status measure_location(core::Location location, const PToolConfig& config);
+
+  /// One-shot measurements (also used by the Table 1 bench).
+  StatusOr<FixedCosts> measure_fixed(core::Location location, IoOp op);
+  StatusOr<double> measure_rw(core::Location location, IoOp op,
+                              std::uint64_t bytes, int repeats);
+
+ private:
+  /// Ensures tape cartridges are mounted etc. so fixed-cost probes do not
+  /// absorb one-time effects.
+  Status warm_up(core::Location location);
+
+  core::StorageSystem& system_;
+  PerfDb& db_;
+  int probe_counter_ = 0;
+};
+
+}  // namespace msra::predict

@@ -1,0 +1,66 @@
+// Typed 3-D arrays over local boxes of a decomposition.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "prt/dist.h"
+
+namespace msra::prt {
+
+/// A dense row-major 3-D array covering one rank's LocalBox (or any box).
+/// Indexing is in *global* coordinates; storage is local.
+template <typename T>
+class Array3D {
+ public:
+  Array3D() = default;
+  explicit Array3D(const LocalBox& box)
+      : box_(box), data_(box.volume(), T{}) {}
+
+  const LocalBox& box() const { return box_; }
+  std::uint64_t volume() const { return data_.size(); }
+
+  T& at(std::uint64_t i, std::uint64_t j, std::uint64_t k) {
+    return data_[local_index(i, j, k)];
+  }
+  const T& at(std::uint64_t i, std::uint64_t j, std::uint64_t k) const {
+    return data_[local_index(i, j, k)];
+  }
+
+  std::span<T> flat() { return data_; }
+  std::span<const T> flat() const { return data_; }
+
+  std::span<std::byte> bytes() {
+    return {reinterpret_cast<std::byte*>(data_.data()), data_.size() * sizeof(T)};
+  }
+  std::span<const std::byte> bytes() const {
+    return {reinterpret_cast<const std::byte*>(data_.data()),
+            data_.size() * sizeof(T)};
+  }
+
+  /// True if (i, j, k) lies inside this array's box.
+  bool contains(std::uint64_t i, std::uint64_t j, std::uint64_t k) const {
+    return box_.extent[0].contains(i) && box_.extent[1].contains(j) &&
+           box_.extent[2].contains(k);
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+ private:
+  std::size_t local_index(std::uint64_t i, std::uint64_t j, std::uint64_t k) const {
+    assert(contains(i, j, k));
+    const std::uint64_t li = i - box_.extent[0].lo;
+    const std::uint64_t lj = j - box_.extent[1].lo;
+    const std::uint64_t lk = k - box_.extent[2].lo;
+    return static_cast<std::size_t>(
+        (li * box_.extent[1].size() + lj) * box_.extent[2].size() + lk);
+  }
+
+  LocalBox box_;
+  std::vector<T> data_;
+};
+
+}  // namespace msra::prt

@@ -1,0 +1,154 @@
+#include "prt/dist.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace msra::prt {
+
+StatusOr<std::array<DistKind, 3>> parse_pattern(const std::string& pattern) {
+  if (pattern.empty() || pattern.size() > 3) {
+    return Status::InvalidArgument("pattern must have 1..3 characters: " + pattern);
+  }
+  std::array<DistKind, 3> out = {DistKind::kStar, DistKind::kStar, DistKind::kStar};
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    switch (pattern[i]) {
+      case 'B': case 'b': out[i] = DistKind::kBlock; break;
+      case 'C': case 'c': out[i] = DistKind::kCyclic; break;
+      case '*': out[i] = DistKind::kStar; break;
+      default:
+        return Status::InvalidArgument(std::string("bad pattern character '") +
+                                       pattern[i] + "'");
+    }
+  }
+  return out;
+}
+
+std::string pattern_to_string(const std::array<DistKind, 3>& pattern) {
+  std::string out;
+  for (DistKind kind : pattern) {
+    switch (kind) {
+      case DistKind::kBlock: out += 'B'; break;
+      case DistKind::kCyclic: out += 'C'; break;
+      case DistKind::kStar: out += '*'; break;
+    }
+  }
+  return out;
+}
+
+Extent block_extent(std::uint64_t n, int p, int part) {
+  assert(p >= 1 && part >= 0 && part < p);
+  const std::uint64_t base = n / static_cast<std::uint64_t>(p);
+  const std::uint64_t extra = n % static_cast<std::uint64_t>(p);
+  const auto up = static_cast<std::uint64_t>(part);
+  const std::uint64_t lo = up * base + std::min<std::uint64_t>(up, extra);
+  const std::uint64_t hi = lo + base + (up < extra ? 1 : 0);
+  return {lo, hi};
+}
+
+StatusOr<ProcessGrid> make_grid(int nprocs, const std::array<DistKind, 3>& pattern,
+                                const std::array<std::uint64_t, 3>& dims) {
+  if (nprocs < 1) return Status::InvalidArgument("nprocs must be >= 1");
+  ProcessGrid grid;
+  // Greedy: repeatedly give the smallest prime factor of the remaining
+  // processor count to the distributed dimension with the largest
+  // per-process extent.
+  int remaining = nprocs;
+  auto smallest_prime_factor = [](int n) {
+    for (int f = 2; f * f <= n; ++f) {
+      if (n % f == 0) return f;
+    }
+    return n;
+  };
+  while (remaining > 1) {
+    int best = -1;
+    double best_extent = 0.0;
+    for (int d = 0; d < 3; ++d) {
+      if (pattern[static_cast<std::size_t>(d)] == DistKind::kStar) continue;
+      const double extent = static_cast<double>(dims[static_cast<std::size_t>(d)]) /
+                            grid.shape[static_cast<std::size_t>(d)];
+      if (extent > best_extent) {
+        best_extent = extent;
+        best = d;
+      }
+    }
+    if (best < 0) {
+      return Status::InvalidArgument(
+          "no distributed dimension to place " + std::to_string(remaining) +
+          " processes (pattern " + pattern_to_string(pattern) + ")");
+    }
+    const int f = smallest_prime_factor(remaining);
+    grid.shape[static_cast<std::size_t>(best)] *= f;
+    remaining /= f;
+  }
+  // Each distributed dimension must have at least one element per process.
+  for (int d = 0; d < 3; ++d) {
+    if (static_cast<std::uint64_t>(grid.shape[static_cast<std::size_t>(d)]) >
+        dims[static_cast<std::size_t>(d)]) {
+      return Status::InvalidArgument("grid dim exceeds array dim");
+    }
+  }
+  return grid;
+}
+
+StatusOr<Decomposition> Decomposition::create(
+    const std::array<std::uint64_t, 3>& dims, int nprocs,
+    const std::string& pattern) {
+  MSRA_ASSIGN_OR_RETURN(auto kinds, parse_pattern(pattern));
+  for (DistKind kind : kinds) {
+    if (kind == DistKind::kCyclic) {
+      return Status::Unimplemented("cyclic distribution not supported");
+    }
+  }
+  for (std::uint64_t d : dims) {
+    if (d == 0) return Status::InvalidArgument("zero-sized dimension");
+  }
+  Decomposition out;
+  out.dims_ = dims;
+  out.pattern_ = kinds;
+  MSRA_ASSIGN_OR_RETURN(out.grid_, make_grid(nprocs, kinds, dims));
+  return out;
+}
+
+LocalBox Decomposition::local_box(int rank) const {
+  assert(rank >= 0 && rank < grid_.size());
+  const auto coords = grid_.coords_of(rank);
+  LocalBox box;
+  for (std::size_t d = 0; d < 3; ++d) {
+    if (pattern_[d] == DistKind::kStar) {
+      box.extent[d] = {0, dims_[d]};
+    } else {
+      box.extent[d] = block_extent(dims_[d], grid_.shape[d], coords[d]);
+    }
+  }
+  return box;
+}
+
+int Decomposition::owner_of(std::uint64_t i, std::uint64_t j,
+                            std::uint64_t k) const {
+  const std::array<std::uint64_t, 3> idx = {i, j, k};
+  std::array<int, 3> coords = {0, 0, 0};
+  for (std::size_t d = 0; d < 3; ++d) {
+    if (pattern_[d] == DistKind::kStar || grid_.shape[d] == 1) {
+      coords[d] = 0;
+      continue;
+    }
+    // Invert block_extent: scan is fine for small grids; binary search for
+    // larger ones.
+    int lo = 0, hi = grid_.shape[d] - 1;
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      const Extent e = block_extent(dims_[d], grid_.shape[d], mid);
+      if (idx[d] < e.lo) {
+        hi = mid - 1;
+      } else if (idx[d] >= e.hi) {
+        lo = mid + 1;
+      } else {
+        lo = hi = mid;
+      }
+    }
+    coords[d] = lo;
+  }
+  return grid_.rank_of(coords);
+}
+
+}  // namespace msra::prt

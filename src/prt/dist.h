@@ -1,0 +1,115 @@
+// Data distributions for parallel datasets.
+//
+// The paper's access patterns describe "how the user's dataset will be
+// partitioned and accessed by parallel processors" with HPF-style pattern
+// strings — Fig 11 shows PATTERN = "BBB" (BLOCK in each of three dims).
+// This module parses those patterns and computes the per-rank boxes that the
+// run-time I/O libraries translate into file requests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace msra::prt {
+
+/// Distribution of one array dimension across the process grid.
+enum class DistKind {
+  kBlock,   ///< 'B': contiguous blocks
+  kCyclic,  ///< 'C': round-robin elements
+  kStar,    ///< '*': not distributed (replicated extent)
+};
+
+/// Parses a pattern string like "BBB", "B*B", "CB*". One character per
+/// dimension, up to 3 dimensions.
+StatusOr<std::array<DistKind, 3>> parse_pattern(const std::string& pattern);
+
+/// Renders a pattern back to its string form.
+std::string pattern_to_string(const std::array<DistKind, 3>& pattern);
+
+/// Half-open index range [lo, hi).
+struct Extent {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::uint64_t size() const { return hi - lo; }
+  bool contains(std::uint64_t i) const { return i >= lo && i < hi; }
+};
+
+/// The classic BLOCK split of n elements over p parts: the first (n % p)
+/// parts get one extra element. part must be in [0, p).
+Extent block_extent(std::uint64_t n, int p, int part);
+
+/// A 3-D process grid. Dimensions with kStar distribution always get grid
+/// extent 1; the remaining factors of nprocs are assigned largest-first to
+/// the largest distributed array dimensions.
+struct ProcessGrid {
+  std::array<int, 3> shape = {1, 1, 1};
+
+  int size() const { return shape[0] * shape[1] * shape[2]; }
+
+  /// Row-major rank of grid coordinates.
+  int rank_of(const std::array<int, 3>& coords) const {
+    return (coords[0] * shape[1] + coords[1]) * shape[2] + coords[2];
+  }
+
+  /// Grid coordinates of a row-major rank.
+  std::array<int, 3> coords_of(int rank) const {
+    return {rank / (shape[1] * shape[2]), (rank / shape[2]) % shape[1],
+            rank % shape[2]};
+  }
+};
+
+/// Factors `nprocs` into a grid honoring the pattern (kStar dims get 1).
+StatusOr<ProcessGrid> make_grid(int nprocs, const std::array<DistKind, 3>& pattern,
+                                const std::array<std::uint64_t, 3>& dims);
+
+/// A rank's rectangular sub-box of the global 3-D array.
+struct LocalBox {
+  std::array<Extent, 3> extent;
+  std::uint64_t volume() const {
+    return extent[0].size() * extent[1].size() * extent[2].size();
+  }
+};
+
+/// A full 3-D decomposition: global dims + pattern + grid.
+class Decomposition {
+ public:
+  /// Builds a decomposition of `dims` over `nprocs` ranks with `pattern`.
+  /// Cyclic distributions are accepted by parse but not by Decomposition
+  /// (the paper's workloads are BLOCK/*); they return kUnimplemented.
+  static StatusOr<Decomposition> create(const std::array<std::uint64_t, 3>& dims,
+                                        int nprocs, const std::string& pattern);
+
+  const std::array<std::uint64_t, 3>& dims() const { return dims_; }
+  const ProcessGrid& grid() const { return grid_; }
+  const std::array<DistKind, 3>& pattern() const { return pattern_; }
+  int nprocs() const { return grid_.size(); }
+
+  /// Total number of elements in the global array.
+  std::uint64_t global_volume() const {
+    return dims_[0] * dims_[1] * dims_[2];
+  }
+
+  /// The box owned by `rank`.
+  LocalBox local_box(int rank) const;
+
+  /// The rank owning global element (i, j, k).
+  int owner_of(std::uint64_t i, std::uint64_t j, std::uint64_t k) const;
+
+  /// Row-major linear offset of global element (i, j, k).
+  std::uint64_t linear_offset(std::uint64_t i, std::uint64_t j,
+                              std::uint64_t k) const {
+    return (i * dims_[1] + j) * dims_[2] + k;
+  }
+
+ private:
+  Decomposition() = default;
+  std::array<std::uint64_t, 3> dims_ = {1, 1, 1};
+  std::array<DistKind, 3> pattern_ = {DistKind::kStar, DistKind::kStar,
+                                      DistKind::kStar};
+  ProcessGrid grid_;
+};
+
+}  // namespace msra::prt

@@ -1,0 +1,129 @@
+#include "runtime/async_io.h"
+
+#include "simkit/time.h"
+
+namespace msra::runtime {
+
+// ------------------------------------------------------------ AsyncWriter --
+
+AsyncWriter::AsyncWriter(StorageEndpoint& endpoint, double memcpy_bandwidth)
+    : endpoint_(endpoint), memcpy_bandwidth_(memcpy_bandwidth), pool_(1) {}
+
+AsyncWriter::~AsyncWriter() { pool_.wait_idle(); }
+
+Status AsyncWriter::submit(simkit::Timeline& caller, const std::string& path,
+                           std::vector<std::byte> data, OpenMode mode) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_.ok()) return first_error_;  // fail fast after an error
+    ++submitted_;
+  }
+  // The caller pays only for staging the buffer.
+  caller.advance(simkit::transfer_time(data.size(), memcpy_bandwidth_));
+  // The background work cannot start before the submission instant.
+  engine_.advance_to(caller.now());
+  auto payload = std::make_shared<std::vector<std::byte>>(std::move(data));
+  pool_.submit([this, path, payload, mode] {
+    auto session = FileSession::start(endpoint_, engine_, path, mode);
+    Status status = session.ok() ? Status::Ok() : session.status();
+    if (status.ok()) {
+      status = session->write(*payload);
+      Status fin = session->finish();
+      if (status.ok()) status = fin;
+    }
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (first_error_.ok()) first_error_ = status;
+    }
+  });
+  return Status::Ok();
+}
+
+Status AsyncWriter::flush(simkit::Timeline& caller) {
+  pool_.wait_idle();
+  caller.advance_to(engine_.now());
+  std::lock_guard<std::mutex> lock(mutex_);
+  return first_error_;
+}
+
+std::uint64_t AsyncWriter::submitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return submitted_;
+}
+
+// ------------------------------------------------------------- Prefetcher --
+
+Prefetcher::Prefetcher(StorageEndpoint& endpoint, double memcpy_bandwidth)
+    : endpoint_(endpoint), memcpy_bandwidth_(memcpy_bandwidth), pool_(1) {}
+
+Prefetcher::~Prefetcher() { pool_.wait_idle(); }
+
+StatusOr<std::vector<std::byte>> Prefetcher::read_whole(
+    simkit::Timeline& timeline, const std::string& path) {
+  MSRA_RETURN_IF_ERROR(endpoint_.connect(timeline));
+  auto total = endpoint_.size(timeline, path);
+  if (!total.ok()) {
+    (void)endpoint_.disconnect(timeline);
+    return total.status();
+  }
+  auto handle = endpoint_.open(timeline, path, OpenMode::kRead);
+  if (!handle.ok()) {
+    (void)endpoint_.disconnect(timeline);
+    return handle.status();
+  }
+  std::vector<std::byte> data(*total);
+  Status status = endpoint_.read(timeline, *handle, data);
+  Status close_status = endpoint_.close(timeline, *handle);
+  Status disc_status = endpoint_.disconnect(timeline);
+  if (!status.ok()) return status;
+  if (!close_status.ok()) return close_status;
+  if (!disc_status.ok()) return disc_status;
+  return data;
+}
+
+void Prefetcher::prefetch(simkit::Timeline& caller, const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cache_.count(path)) return;  // already in flight or cached
+    cache_.emplace(path, Entry{});
+  }
+  engine_.advance_to(caller.now());
+  pool_.submit([this, path] {
+    auto result = read_whole(engine_, path);
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry& entry = cache_[path];
+    entry.done = true;
+    entry.ready_at = engine_.now();
+    if (result.ok()) {
+      entry.data = std::move(*result);
+    } else {
+      entry.status = result.status();
+    }
+  });
+}
+
+StatusOr<std::vector<std::byte>> Prefetcher::fetch(simkit::Timeline& caller,
+                                                   const std::string& path) {
+  pool_.wait_idle();  // wall-clock settle; virtual-time cost handled below
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(path);
+    if (it != cache_.end() && it->second.done) {
+      const Entry& entry = it->second;
+      if (!entry.status.ok()) return entry.status;
+      if (entry.ready_at <= caller.now()) ++hits_;  // fully hidden by compute
+      caller.advance_to(entry.ready_at);
+      caller.advance(simkit::transfer_time(entry.data.size(), memcpy_bandwidth_));
+      return entry.data;
+    }
+  }
+  // Never prefetched: synchronous read on the caller's clock.
+  return read_whole(caller, path);
+}
+
+std::uint64_t Prefetcher::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+}  // namespace msra::runtime

@@ -1,0 +1,43 @@
+#include "runtime/endpoint.h"
+
+#include "common/log.h"
+
+namespace msra::runtime {
+
+StatusOr<FileSession> FileSession::start(StorageEndpoint& endpoint,
+                                         simkit::Timeline& timeline,
+                                         const std::string& path, OpenMode mode) {
+  MSRA_RETURN_IF_ERROR(endpoint.connect(timeline));
+  auto handle = endpoint.open(timeline, path, mode);
+  if (!handle.ok()) {
+    (void)endpoint.disconnect(timeline);
+    return handle.status();
+  }
+  return FileSession(&endpoint, &timeline, *handle);
+}
+
+FileSession::FileSession(FileSession&& other) noexcept
+    : endpoint_(other.endpoint_),
+      timeline_(other.timeline_),
+      handle_(other.handle_),
+      open_(other.open_) {
+  other.open_ = false;
+}
+
+Status FileSession::finish() {
+  if (!open_) return Status::Ok();
+  open_ = false;
+  Status close_status = endpoint_->close(*timeline_, handle_);
+  Status disc_status = endpoint_->disconnect(*timeline_);
+  if (!close_status.ok()) return close_status;
+  return disc_status;
+}
+
+FileSession::~FileSession() {
+  Status status = finish();
+  if (!status.ok()) {
+    MSRA_LOG(kWarn) << "FileSession close failed: " << status.to_string();
+  }
+}
+
+}  // namespace msra::runtime

@@ -1,0 +1,238 @@
+// StorageEndpoint: the uniform interface the run-time optimization
+// libraries (D-OL for local disks, SRB-OL for remote disk/tape) drive.
+//
+// Two implementations mirror the paper's stack:
+//  * LocalEndpoint   — direct calls into a ServerResource (UNIX-FS path);
+//  * RemoteEndpoint  — calls through an SrbClient over the WAN link.
+//
+// Each primitive is billed separately so Equation (1)'s components
+// (Tconn, Topen, Tseek, Trw, Tclose, Tconnclose) are individually
+// measurable by PTool.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "simkit/timeline.h"
+#include "srb/client.h"
+#include "srb/resources.h"
+
+namespace msra::runtime {
+
+using srb::HandleId;
+using srb::OpenMode;
+using srb::StorageKind;
+
+class StorageEndpoint {
+ public:
+  virtual ~StorageEndpoint() = default;
+
+  virtual StorageKind kind() const = 0;
+  virtual const std::string& name() const = 0;
+
+  virtual Status connect(simkit::Timeline& timeline) = 0;
+  virtual Status disconnect(simkit::Timeline& timeline) = 0;
+
+  virtual StatusOr<HandleId> open(simkit::Timeline& timeline,
+                                  const std::string& path, OpenMode mode) = 0;
+  virtual Status seek(simkit::Timeline& timeline, HandleId handle,
+                      std::uint64_t offset) = 0;
+  virtual Status read(simkit::Timeline& timeline, HandleId handle,
+                      std::span<std::byte> out) = 0;
+  virtual Status write(simkit::Timeline& timeline, HandleId handle,
+                       std::span<const std::byte> data) = 0;
+  virtual Status close(simkit::Timeline& timeline, HandleId handle) = 0;
+
+  virtual Status remove(simkit::Timeline& timeline, const std::string& path) = 0;
+  virtual StatusOr<std::uint64_t> size(simkit::Timeline& timeline,
+                                       const std::string& path) = 0;
+  virtual StatusOr<std::vector<store::ObjectInfo>> list(
+      simkit::Timeline& timeline, const std::string& prefix) = 0;
+
+  virtual std::uint64_t capacity() const = 0;
+  virtual std::uint64_t used() const = 0;
+  virtual bool available() const = 0;
+
+  /// Free bytes (0 when over-full).
+  std::uint64_t free_bytes() const {
+    const std::uint64_t c = capacity();
+    const std::uint64_t u = used();
+    return c > u ? c - u : 0;
+  }
+};
+
+/// Local disks: no network, costs come straight from the DiskModel.
+class LocalEndpoint final : public StorageEndpoint {
+ public:
+  /// Does not own the resource.
+  explicit LocalEndpoint(srb::ServerResource* resource) : resource_(resource) {}
+
+  StorageKind kind() const override { return resource_->kind(); }
+  const std::string& name() const override { return resource_->name(); }
+
+  Status connect(simkit::Timeline&) override { return Status::Ok(); }
+  Status disconnect(simkit::Timeline&) override { return Status::Ok(); }
+
+  StatusOr<HandleId> open(simkit::Timeline& timeline, const std::string& path,
+                          OpenMode mode) override {
+    return resource_->open(timeline, path, mode);
+  }
+  Status seek(simkit::Timeline& timeline, HandleId handle,
+              std::uint64_t offset) override {
+    return resource_->seek(timeline, handle, offset);
+  }
+  Status read(simkit::Timeline& timeline, HandleId handle,
+              std::span<std::byte> out) override {
+    return resource_->read(timeline, handle, out);
+  }
+  Status write(simkit::Timeline& timeline, HandleId handle,
+               std::span<const std::byte> data) override {
+    return resource_->write(timeline, handle, data);
+  }
+  Status close(simkit::Timeline& timeline, HandleId handle) override {
+    return resource_->close(timeline, handle);
+  }
+  Status remove(simkit::Timeline&, const std::string& path) override {
+    return resource_->remove(path);
+  }
+  StatusOr<std::uint64_t> size(simkit::Timeline&, const std::string& path) override {
+    return resource_->size(path);
+  }
+  StatusOr<std::vector<store::ObjectInfo>> list(simkit::Timeline&,
+                                                const std::string& prefix) override {
+    return resource_->list(prefix);
+  }
+  std::uint64_t capacity() const override { return resource_->capacity(); }
+  std::uint64_t used() const override { return resource_->used(); }
+  bool available() const override { return resource_->available(); }
+
+ private:
+  srb::ServerResource* resource_;
+};
+
+/// Remote disks / tapes reached through the SRB client.
+class RemoteEndpoint final : public StorageEndpoint {
+ public:
+  /// Neither server nor link is owned; `resource` names a resource hosted by
+  /// the server.
+  RemoteEndpoint(srb::SrbServer* server, net::Link* link, std::string resource)
+      : client_(server, link), resource_(std::move(resource)) {
+    display_name_ = server->name() + ":" + resource_;
+  }
+
+  StorageKind kind() const override {
+    srb::ServerResource* r = client_.server()->resource(resource_);
+    return r ? r->kind() : StorageKind::kRemoteDisk;
+  }
+  const std::string& name() const override { return display_name_; }
+
+  Status connect(simkit::Timeline& timeline) override {
+    return client_.connect(timeline);
+  }
+  Status disconnect(simkit::Timeline& timeline) override {
+    return client_.disconnect(timeline);
+  }
+  StatusOr<HandleId> open(simkit::Timeline& timeline, const std::string& path,
+                          OpenMode mode) override {
+    return client_.obj_open(timeline, resource_, path, mode);
+  }
+  Status seek(simkit::Timeline& timeline, HandleId handle,
+              std::uint64_t offset) override {
+    return client_.obj_seek(timeline, resource_, handle, offset);
+  }
+  Status read(simkit::Timeline& timeline, HandleId handle,
+              std::span<std::byte> out) override {
+    return client_.obj_read(timeline, resource_, handle, out);
+  }
+  Status write(simkit::Timeline& timeline, HandleId handle,
+               std::span<const std::byte> data) override {
+    return client_.obj_write(timeline, resource_, handle, data);
+  }
+  Status close(simkit::Timeline& timeline, HandleId handle) override {
+    return client_.obj_close(timeline, resource_, handle);
+  }
+  // Namespace operations auto-connect when needed (like SRB's command-line
+  // utilities), so they are usable outside a file session.
+  Status remove(simkit::Timeline& timeline, const std::string& path) override {
+    const bool ephemeral = !client_.connected();
+    if (ephemeral) MSRA_RETURN_IF_ERROR(client_.connect(timeline));
+    Status status = client_.obj_remove(timeline, resource_, path);
+    if (ephemeral) (void)client_.disconnect(timeline);
+    return status;
+  }
+  StatusOr<std::uint64_t> size(simkit::Timeline& timeline,
+                               const std::string& path) override {
+    const bool ephemeral = !client_.connected();
+    if (ephemeral) MSRA_RETURN_IF_ERROR(client_.connect(timeline));
+    auto result = client_.obj_stat(timeline, resource_, path);
+    if (ephemeral) (void)client_.disconnect(timeline);
+    return result;
+  }
+  StatusOr<std::vector<store::ObjectInfo>> list(simkit::Timeline& timeline,
+                                                const std::string& prefix) override {
+    const bool ephemeral = !client_.connected();
+    if (ephemeral) MSRA_RETURN_IF_ERROR(client_.connect(timeline));
+    auto result = client_.obj_list(timeline, resource_, prefix);
+    if (ephemeral) (void)client_.disconnect(timeline);
+    return result;
+  }
+  std::uint64_t capacity() const override {
+    srb::ServerResource* r = client_.server()->resource(resource_);
+    return r ? r->capacity() : 0;
+  }
+  std::uint64_t used() const override {
+    srb::ServerResource* r = client_.server()->resource(resource_);
+    return r ? r->used() : 0;
+  }
+  bool available() const override {
+    if (client_.server()->down()) return false;
+    srb::ServerResource* r = client_.server()->resource(resource_);
+    return r && r->available();
+  }
+
+  srb::SrbClient& client() { return client_; }
+
+ private:
+  srb::SrbClient client_;
+  std::string resource_;
+  std::string display_name_;
+};
+
+/// RAII file session: connect + open on construction, close + disconnect on
+/// destruction (errors on the close path are logged, not thrown).
+class FileSession {
+ public:
+  static StatusOr<FileSession> start(StorageEndpoint& endpoint,
+                                     simkit::Timeline& timeline,
+                                     const std::string& path, OpenMode mode);
+  ~FileSession();
+
+  FileSession(FileSession&& other) noexcept;
+  FileSession& operator=(FileSession&&) = delete;
+  FileSession(const FileSession&) = delete;
+  FileSession& operator=(const FileSession&) = delete;
+
+  HandleId handle() const { return handle_; }
+
+  Status seek(std::uint64_t offset) { return endpoint_->seek(*timeline_, handle_, offset); }
+  Status read(std::span<std::byte> out) { return endpoint_->read(*timeline_, handle_, out); }
+  Status write(std::span<const std::byte> data) {
+    return endpoint_->write(*timeline_, handle_, data);
+  }
+
+  /// Explicit close (also performed by the destructor).
+  Status finish();
+
+ private:
+  FileSession(StorageEndpoint* endpoint, simkit::Timeline* timeline, HandleId handle)
+      : endpoint_(endpoint), timeline_(timeline), handle_(handle) {}
+
+  StorageEndpoint* endpoint_;
+  simkit::Timeline* timeline_;
+  HandleId handle_;
+  bool open_ = true;
+};
+
+}  // namespace msra::runtime

@@ -1,0 +1,91 @@
+// Parallel array I/O: collective (two-phase) and naive methods.
+//
+// This is the heart of the run-time optimization layer (the paper's D-OL /
+// SRB-OL libraries). A distributed 3-D array is stored as one row-major
+// object per timestep. The *naive* method issues one native request per
+// contiguous run of each rank's box — many small strided requests, which is
+// exactly what dominates remote I/O cost. The *collective* method performs
+// two-phase I/O: ranks exchange data so a single aggregator issues one large
+// contiguous request ("collective I/O allows the user to issue one single
+// write for one dataset during each iteration", section 4.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "prt/comm.h"
+#include "prt/dist.h"
+#include "runtime/endpoint.h"
+
+namespace msra::runtime {
+
+/// How a dataset is laid out across ranks and in the file.
+struct ArrayLayout {
+  prt::Decomposition decomp;
+  std::size_t elem_size = 1;
+
+  std::uint64_t global_bytes() const {
+    return decomp.global_volume() * elem_size;
+  }
+  std::uint64_t local_bytes(int rank) const {
+    return decomp.local_box(rank).volume() * elem_size;
+  }
+};
+
+/// I/O optimization method selector.
+enum class IoMethod {
+  kNaive,       ///< one native request per contiguous run, per rank
+  kCollective,  ///< two-phase: aggregate, few large contiguous requests
+};
+
+/// Two-phase I/O tuning. With `aggregators` > 1 the file domain is split
+/// into that many contiguous ranges, each owned by one aggregator rank
+/// (ROMIO-style). One aggregator (the default) reproduces the paper's
+/// "one single write for one dataset during each iteration"; multiple
+/// aggregators exploit striped/multi-armed devices. Tape requires 1
+/// (writes must stay sequential).
+struct CollectiveOptions {
+  int aggregators = 1;
+};
+
+std::string_view io_method_name(IoMethod method);
+
+/// Visits the contiguous runs of `box` inside the global row-major array:
+/// fn(global_elem_offset, elem_count, box_local_elem_offset).
+void for_each_run(
+    const prt::Decomposition& decomp, const prt::LocalBox& box,
+    const std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>& fn);
+
+/// Number of contiguous runs of `box` (native calls the naive method issues).
+std::uint64_t count_runs(const prt::Decomposition& decomp, const prt::LocalBox& box);
+
+/// Per-timestep native-call plan, used by the performance predictor:
+/// `calls` requests of roughly `unit_bytes` each.
+struct IoPlan {
+  std::uint64_t calls = 0;
+  std::uint64_t unit_bytes = 0;
+};
+
+IoPlan plan_io(const ArrayLayout& layout, IoMethod method, int aggregators = 1);
+
+/// Collective entry points. Must be called by every rank of `comm` with its
+/// own local block (row-major over its LocalBox). On return all ranks'
+/// virtual clocks are synchronized past the I/O completion.
+///
+/// write_array creates/overwrites `path` (`mode` must be kCreate, kOverwrite
+/// or kUpdate).
+Status write_array(StorageEndpoint& endpoint, prt::Comm& comm,
+                   const std::string& path, const ArrayLayout& layout,
+                   std::span<const std::byte> local, IoMethod method,
+                   OpenMode mode = OpenMode::kOverwrite,
+                   CollectiveOptions options = {});
+
+/// Reads `path` into each rank's local block.
+Status read_array(StorageEndpoint& endpoint, prt::Comm& comm,
+                  const std::string& path, const ArrayLayout& layout,
+                  std::span<std::byte> local, IoMethod method,
+                  CollectiveOptions options = {});
+
+}  // namespace msra::runtime

@@ -1,0 +1,156 @@
+#include "runtime/sieve.h"
+
+#include <cstring>
+#include <vector>
+
+#include "runtime/parallel_io.h"
+
+namespace msra::runtime {
+
+namespace {
+
+/// Visits contiguous runs of `box` in `spec`'s row-major order:
+/// fn(global_elem_offset, elem_count, box_local_elem_offset).
+void runs_of(const GlobalArraySpec& spec, const prt::LocalBox& box,
+             const std::function<void(std::uint64_t, std::uint64_t,
+                                      std::uint64_t)>& fn) {
+  const auto& e = box.extent;
+  if (e[2].size() == spec.dims[2] && e[1].size() == spec.dims[1]) {
+    fn(spec.linear_offset(e[0].lo, 0, 0), box.volume(), 0);
+    return;
+  }
+  if (e[2].size() == spec.dims[2]) {
+    std::uint64_t local = 0;
+    const std::uint64_t sheet = e[1].size() * e[2].size();
+    for (std::uint64_t i = e[0].lo; i < e[0].hi; ++i) {
+      fn(spec.linear_offset(i, e[1].lo, 0), sheet, local);
+      local += sheet;
+    }
+    return;
+  }
+  std::uint64_t local = 0;
+  for (std::uint64_t i = e[0].lo; i < e[0].hi; ++i) {
+    for (std::uint64_t j = e[1].lo; j < e[1].hi; ++j) {
+      fn(spec.linear_offset(i, j, e[2].lo), e[2].size(), local);
+      local += e[2].size();
+    }
+  }
+}
+
+Status check_box(const GlobalArraySpec& spec, const prt::LocalBox& box,
+                 std::size_t buffer_bytes) {
+  for (int d = 0; d < 3; ++d) {
+    const auto& e = box.extent[static_cast<std::size_t>(d)];
+    if (e.lo >= e.hi || e.hi > spec.dims[static_cast<std::size_t>(d)]) {
+      return Status::InvalidArgument("box outside array bounds");
+    }
+  }
+  if (buffer_bytes != box.volume() * spec.elem_size) {
+    return Status::InvalidArgument("buffer size does not match box volume");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::pair<std::uint64_t, std::uint64_t> sieve_extent(const GlobalArraySpec& spec,
+                                                     const prt::LocalBox& box) {
+  const auto& e = box.extent;
+  const std::uint64_t first =
+      spec.linear_offset(e[0].lo, e[1].lo, e[2].lo) * spec.elem_size;
+  const std::uint64_t last =
+      (spec.linear_offset(e[0].hi - 1, e[1].hi - 1, e[2].hi - 1) + 1) *
+      spec.elem_size;
+  return {first, last};
+}
+
+std::uint64_t access_calls(const GlobalArraySpec& spec, const prt::LocalBox& box,
+                           AccessStrategy strategy) {
+  if (strategy == AccessStrategy::kSieving) return 1;
+  std::uint64_t calls = 0;
+  runs_of(spec, box, [&calls](std::uint64_t, std::uint64_t, std::uint64_t) {
+    ++calls;
+  });
+  return calls;
+}
+
+Status read_subarray(StorageEndpoint& endpoint, simkit::Timeline& timeline,
+                     const std::string& path, const GlobalArraySpec& spec,
+                     const prt::LocalBox& box, std::span<std::byte> out,
+                     AccessStrategy strategy) {
+  MSRA_RETURN_IF_ERROR(check_box(spec, box, out.size()));
+  auto session = FileSession::start(endpoint, timeline, path, OpenMode::kRead);
+  if (!session.ok()) return session.status();
+  const std::size_t elem = spec.elem_size;
+  Status io = Status::Ok();
+  if (strategy == AccessStrategy::kDirect) {
+    runs_of(spec, box,
+            [&](std::uint64_t goff, std::uint64_t count, std::uint64_t loff) {
+              if (!io.ok()) return;
+              io = session->seek(goff * elem);
+              if (io.ok()) io = session->read(out.subspan(loff * elem, count * elem));
+            });
+  } else {
+    const auto [first, last] = sieve_extent(spec, box);
+    std::vector<std::byte> extent(last - first);
+    io = session->seek(first);
+    if (io.ok()) io = session->read(extent);
+    if (io.ok()) {
+      runs_of(spec, box,
+              [&](std::uint64_t goff, std::uint64_t count, std::uint64_t loff) {
+                std::memcpy(out.data() + loff * elem,
+                            extent.data() + (goff * elem - first), count * elem);
+              });
+    }
+  }
+  Status fin = session->finish();
+  return io.ok() ? fin : io;
+}
+
+Status write_subarray(StorageEndpoint& endpoint, simkit::Timeline& timeline,
+                      const std::string& path, const GlobalArraySpec& spec,
+                      const prt::LocalBox& box, std::span<const std::byte> data,
+                      AccessStrategy strategy) {
+  MSRA_RETURN_IF_ERROR(check_box(spec, box, data.size()));
+  const std::size_t elem = spec.elem_size;
+  if (strategy == AccessStrategy::kDirect) {
+    auto session =
+        FileSession::start(endpoint, timeline, path, OpenMode::kUpdate);
+    if (!session.ok()) return session.status();
+    Status io = Status::Ok();
+    runs_of(spec, box,
+            [&](std::uint64_t goff, std::uint64_t count, std::uint64_t loff) {
+              if (!io.ok()) return;
+              io = session->seek(goff * elem);
+              if (io.ok()) io = session->write(data.subspan(loff * elem, count * elem));
+            });
+    Status fin = session->finish();
+    return io.ok() ? fin : io;
+  }
+  // Sieving write = read-modify-write of the enclosing extent.
+  const auto [first, last] = sieve_extent(spec, box);
+  std::vector<std::byte> extent(last - first);
+  {
+    auto session =
+        FileSession::start(endpoint, timeline, path, OpenMode::kRead);
+    if (!session.ok()) return session.status();
+    Status io = session->seek(first);
+    if (io.ok()) io = session->read(extent);
+    Status fin = session->finish();
+    if (!io.ok()) return io;
+    if (!fin.ok()) return fin;
+  }
+  runs_of(spec, box,
+          [&](std::uint64_t goff, std::uint64_t count, std::uint64_t loff) {
+            std::memcpy(extent.data() + (goff * elem - first),
+                        data.data() + loff * elem, count * elem);
+          });
+  auto session = FileSession::start(endpoint, timeline, path, OpenMode::kUpdate);
+  if (!session.ok()) return session.status();
+  Status io = session->seek(first);
+  if (io.ok()) io = session->write(extent);
+  Status fin = session->finish();
+  return io.ok() ? fin : io;
+}
+
+}  // namespace msra::runtime

@@ -1,0 +1,60 @@
+// Data sieving: servicing strided sub-array requests with one large
+// contiguous request plus in-memory extraction (reads) or read-modify-write
+// (writes) — the classic ROMIO optimization the paper's run-time libraries
+// provide for "many popular access patterns".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "prt/dist.h"
+#include "runtime/endpoint.h"
+
+namespace msra::runtime {
+
+/// Shape of a stored global array (row-major object, fixed element size).
+struct GlobalArraySpec {
+  std::array<std::uint64_t, 3> dims = {1, 1, 1};
+  std::size_t elem_size = 1;
+
+  std::uint64_t volume() const { return dims[0] * dims[1] * dims[2]; }
+  std::uint64_t bytes() const { return volume() * elem_size; }
+  std::uint64_t linear_offset(std::uint64_t i, std::uint64_t j,
+                              std::uint64_t k) const {
+    return (i * dims[1] + j) * dims[2] + k;
+  }
+};
+
+/// How a strided sub-array request is serviced.
+enum class AccessStrategy {
+  kDirect,   ///< one native request (seek + read/write) per contiguous run
+  kSieving,  ///< one native request over the enclosing extent
+};
+
+/// Reads `box` of the array stored at `path` into `out` (row-major over the
+/// box; out.size() must equal box.volume() * elem_size).
+Status read_subarray(StorageEndpoint& endpoint, simkit::Timeline& timeline,
+                     const std::string& path, const GlobalArraySpec& spec,
+                     const prt::LocalBox& box, std::span<std::byte> out,
+                     AccessStrategy strategy);
+
+/// Writes `data` (row-major over `box`) into the array stored at `path`.
+/// kSieving performs read-modify-write of the enclosing extent, so
+/// unrelated bytes are preserved.
+Status write_subarray(StorageEndpoint& endpoint, simkit::Timeline& timeline,
+                      const std::string& path, const GlobalArraySpec& spec,
+                      const prt::LocalBox& box, std::span<const std::byte> data,
+                      AccessStrategy strategy);
+
+/// The enclosing contiguous byte extent [first, last) of `box` in the file.
+/// Exposed for tests and the predictor.
+std::pair<std::uint64_t, std::uint64_t> sieve_extent(const GlobalArraySpec& spec,
+                                                     const prt::LocalBox& box);
+
+/// Number of native requests each strategy issues for this box (read path).
+std::uint64_t access_calls(const GlobalArraySpec& spec, const prt::LocalBox& box,
+                           AccessStrategy strategy);
+
+}  // namespace msra::runtime

@@ -1,0 +1,183 @@
+#include "runtime/subfile.h"
+
+#include <cstring>
+
+namespace msra::runtime {
+
+StatusOr<SubfileLayout> SubfileLayout::create(const GlobalArraySpec& spec,
+                                              const std::array<int, 3>& chunks) {
+  for (int d = 0; d < 3; ++d) {
+    const auto ud = static_cast<std::size_t>(d);
+    if (chunks[ud] < 1 ||
+        static_cast<std::uint64_t>(chunks[ud]) > spec.dims[ud]) {
+      return Status::InvalidArgument("bad chunk count for dimension " +
+                                     std::to_string(d));
+    }
+  }
+  SubfileLayout out;
+  out.spec_ = spec;
+  out.chunks_ = chunks;
+  return out;
+}
+
+prt::LocalBox SubfileLayout::chunk_box(int ci, int cj, int ck) const {
+  prt::LocalBox box;
+  box.extent[0] = prt::block_extent(spec_.dims[0], chunks_[0], ci);
+  box.extent[1] = prt::block_extent(spec_.dims[1], chunks_[1], cj);
+  box.extent[2] = prt::block_extent(spec_.dims[2], chunks_[2], ck);
+  return box;
+}
+
+std::string SubfileLayout::chunk_path(const std::string& base, int ci, int cj,
+                                      int ck) {
+  return base + "/chunk_" + std::to_string(ci) + "_" + std::to_string(cj) +
+         "_" + std::to_string(ck);
+}
+
+std::array<std::pair<int, int>, 3> SubfileLayout::chunk_range(
+    const prt::LocalBox& box) const {
+  std::array<std::pair<int, int>, 3> out;
+  for (std::size_t d = 0; d < 3; ++d) {
+    int lo = 0;
+    while (chunk_box(d == 0 ? lo : 0, d == 1 ? lo : 0, d == 2 ? lo : 0)
+               .extent[d]
+               .hi <= box.extent[d].lo) {
+      ++lo;
+    }
+    int hi = lo;
+    while (hi < chunks_[d] &&
+           chunk_box(d == 0 ? hi : 0, d == 1 ? hi : 0, d == 2 ? hi : 0)
+                   .extent[d]
+                   .lo < box.extent[d].hi) {
+      ++hi;
+    }
+    out[d] = {lo, hi};
+  }
+  return out;
+}
+
+std::uint64_t SubfileLayout::chunks_touched(const prt::LocalBox& box) const {
+  const auto range = chunk_range(box);
+  std::uint64_t n = 1;
+  for (const auto& [lo, hi] : range) n *= static_cast<std::uint64_t>(hi - lo);
+  return n;
+}
+
+namespace {
+
+/// Intersection of two boxes (assumed non-empty use-sites check emptiness).
+prt::LocalBox intersect(const prt::LocalBox& a, const prt::LocalBox& b) {
+  prt::LocalBox out;
+  for (std::size_t d = 0; d < 3; ++d) {
+    out.extent[d].lo = std::max(a.extent[d].lo, b.extent[d].lo);
+    out.extent[d].hi = std::min(a.extent[d].hi, b.extent[d].hi);
+  }
+  return out;
+}
+
+bool empty_box(const prt::LocalBox& box) {
+  for (const auto& e : box.extent) {
+    if (e.lo >= e.hi) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status write_subfiles(StorageEndpoint& endpoint, simkit::Timeline& timeline,
+                      const std::string& base, const SubfileLayout& layout,
+                      std::span<const std::byte> global) {
+  const GlobalArraySpec& spec = layout.spec();
+  if (global.size() != spec.bytes()) {
+    return Status::InvalidArgument("global buffer size mismatch");
+  }
+  const std::size_t elem = spec.elem_size;
+  MSRA_RETURN_IF_ERROR(endpoint.connect(timeline));
+  Status status = Status::Ok();
+  for (int ci = 0; ci < layout.chunks()[0] && status.ok(); ++ci) {
+    for (int cj = 0; cj < layout.chunks()[1] && status.ok(); ++cj) {
+      for (int ck = 0; ck < layout.chunks()[2] && status.ok(); ++ck) {
+        const prt::LocalBox box = layout.chunk_box(ci, cj, ck);
+        // Pack the chunk row-major over its own box.
+        std::vector<std::byte> chunk(box.volume() * elem);
+        std::uint64_t local = 0;
+        for (std::uint64_t i = box.extent[0].lo; i < box.extent[0].hi; ++i) {
+          for (std::uint64_t j = box.extent[1].lo; j < box.extent[1].hi; ++j) {
+            const std::uint64_t goff =
+                spec.linear_offset(i, j, box.extent[2].lo);
+            const std::uint64_t count = box.extent[2].size();
+            std::memcpy(chunk.data() + local * elem, global.data() + goff * elem,
+                        count * elem);
+            local += count;
+          }
+        }
+        auto handle = endpoint.open(timeline, SubfileLayout::chunk_path(base, ci, cj, ck),
+                                    OpenMode::kOverwrite);
+        if (!handle.ok()) {
+          status = handle.status();
+          break;
+        }
+        status = endpoint.write(timeline, *handle, chunk);
+        Status close_status = endpoint.close(timeline, *handle);
+        if (status.ok()) status = close_status;
+      }
+    }
+  }
+  Status disc = endpoint.disconnect(timeline);
+  return status.ok() ? disc : status;
+}
+
+Status read_subfiles_box(StorageEndpoint& endpoint, simkit::Timeline& timeline,
+                         const std::string& base, const SubfileLayout& layout,
+                         const prt::LocalBox& box, std::span<std::byte> out) {
+  const GlobalArraySpec& spec = layout.spec();
+  const std::size_t elem = spec.elem_size;
+  if (out.size() != box.volume() * elem) {
+    return Status::InvalidArgument("output buffer size mismatch");
+  }
+  const auto range = layout.chunk_range(box);
+  const std::uint64_t out_nj = box.extent[1].size();
+  const std::uint64_t out_nk = box.extent[2].size();
+  MSRA_RETURN_IF_ERROR(endpoint.connect(timeline));
+  Status status = Status::Ok();
+  for (int ci = range[0].first; ci < range[0].second && status.ok(); ++ci) {
+    for (int cj = range[1].first; cj < range[1].second && status.ok(); ++cj) {
+      for (int ck = range[2].first; ck < range[2].second && status.ok(); ++ck) {
+        const prt::LocalBox cbox = layout.chunk_box(ci, cj, ck);
+        const prt::LocalBox overlap = intersect(cbox, box);
+        if (empty_box(overlap)) continue;
+        // Read the whole chunk (one native request per chunk).
+        std::vector<std::byte> chunk(cbox.volume() * elem);
+        auto handle = endpoint.open(timeline, SubfileLayout::chunk_path(base, ci, cj, ck),
+                                    OpenMode::kRead);
+        if (!handle.ok()) {
+          status = handle.status();
+          break;
+        }
+        status = endpoint.read(timeline, *handle, chunk);
+        Status close_status = endpoint.close(timeline, *handle);
+        if (status.ok()) status = close_status;
+        if (!status.ok()) break;
+        // Extract the overlap into the output box buffer.
+        const std::uint64_t c_nj = cbox.extent[1].size();
+        const std::uint64_t c_nk = cbox.extent[2].size();
+        for (std::uint64_t i = overlap.extent[0].lo; i < overlap.extent[0].hi; ++i) {
+          for (std::uint64_t j = overlap.extent[1].lo; j < overlap.extent[1].hi; ++j) {
+            const std::uint64_t src =
+                ((i - cbox.extent[0].lo) * c_nj + (j - cbox.extent[1].lo)) * c_nk +
+                (overlap.extent[2].lo - cbox.extent[2].lo);
+            const std::uint64_t dst =
+                ((i - box.extent[0].lo) * out_nj + (j - box.extent[1].lo)) * out_nk +
+                (overlap.extent[2].lo - box.extent[2].lo);
+            std::memcpy(out.data() + dst * elem, chunk.data() + src * elem,
+                        overlap.extent[2].size() * elem);
+          }
+        }
+      }
+    }
+  }
+  Status disc = endpoint.disconnect(timeline);
+  return status.ok() ? disc : status;
+}
+
+}  // namespace msra::runtime

@@ -1,0 +1,59 @@
+// Subfile: storing one logical dataset as a grid of chunk objects.
+//
+// The paper's SRB-OL provides "subfile" so a partial access to a remote
+// dataset fetches only the relevant pieces instead of the whole file — e.g.
+// a visualization slice through a 3-D field touches one plane of chunks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "prt/dist.h"
+#include "runtime/endpoint.h"
+#include "runtime/sieve.h"
+
+namespace msra::runtime {
+
+/// A chunked layout of a 3-D array: `chunks[d]` chunk counts per dimension,
+/// chunk boxes computed with the same BLOCK rule as process decompositions.
+class SubfileLayout {
+ public:
+  static StatusOr<SubfileLayout> create(const GlobalArraySpec& spec,
+                                        const std::array<int, 3>& chunks);
+
+  const GlobalArraySpec& spec() const { return spec_; }
+  const std::array<int, 3>& chunks() const { return chunks_; }
+  int chunk_count() const { return chunks_[0] * chunks_[1] * chunks_[2]; }
+
+  /// Box of chunk (ci, cj, ck).
+  prt::LocalBox chunk_box(int ci, int cj, int ck) const;
+
+  /// Object name of a chunk under `base` ("base/chunk_ci_cj_ck").
+  static std::string chunk_path(const std::string& base, int ci, int cj, int ck);
+
+  /// Chunk coordinate ranges intersecting `box` (inclusive lo, exclusive hi).
+  std::array<std::pair<int, int>, 3> chunk_range(const prt::LocalBox& box) const;
+
+  /// Number of chunk objects a read of `box` touches.
+  std::uint64_t chunks_touched(const prt::LocalBox& box) const;
+
+ private:
+  GlobalArraySpec spec_;
+  std::array<int, 3> chunks_ = {1, 1, 1};
+};
+
+/// Writes a whole global array (row-major buffer) as chunk objects.
+Status write_subfiles(StorageEndpoint& endpoint, simkit::Timeline& timeline,
+                      const std::string& base, const SubfileLayout& layout,
+                      std::span<const std::byte> global);
+
+/// Reads `box` touching only intersecting chunks. `out` is row-major over
+/// the box.
+Status read_subfiles_box(StorageEndpoint& endpoint, simkit::Timeline& timeline,
+                         const std::string& base, const SubfileLayout& layout,
+                         const prt::LocalBox& box, std::span<std::byte> out);
+
+}  // namespace msra::runtime

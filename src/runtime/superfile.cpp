@@ -1,0 +1,138 @@
+#include "runtime/superfile.h"
+
+#include <cstring>
+
+#include "common/log.h"
+#include "net/wire.h"
+
+namespace msra::runtime {
+
+StatusOr<SuperfileWriter> SuperfileWriter::create(StorageEndpoint& endpoint,
+                                                  simkit::Timeline& timeline,
+                                                  const std::string& path) {
+  MSRA_RETURN_IF_ERROR(endpoint.connect(timeline));
+  auto handle = endpoint.open(timeline, path, OpenMode::kOverwrite);
+  if (!handle.ok()) {
+    (void)endpoint.disconnect(timeline);
+    return handle.status();
+  }
+  return SuperfileWriter(&endpoint, &timeline, *handle);
+}
+
+SuperfileWriter::SuperfileWriter(SuperfileWriter&& other) noexcept
+    : endpoint_(other.endpoint_),
+      timeline_(other.timeline_),
+      handle_(other.handle_),
+      open_(other.open_),
+      cursor_(other.cursor_),
+      index_(std::move(other.index_)),
+      order_(std::move(other.order_)) {
+  other.open_ = false;
+}
+
+SuperfileWriter::~SuperfileWriter() {
+  if (open_) {
+    MSRA_LOG(kWarn) << "SuperfileWriter destroyed without finalize(); "
+                       "the superfile has no index";
+    (void)endpoint_->close(*timeline_, handle_);
+    (void)endpoint_->disconnect(*timeline_);
+  }
+}
+
+Status SuperfileWriter::add(const std::string& name,
+                            std::span<const std::byte> data) {
+  if (!open_) return Status::Internal("writer already finalized");
+  if (index_.count(name)) {
+    return Status::AlreadyExists("superfile member exists: " + name);
+  }
+  MSRA_RETURN_IF_ERROR(endpoint_->write(*timeline_, handle_, data));
+  index_[name] = {cursor_, data.size()};
+  order_.push_back(name);
+  cursor_ += data.size();
+  return Status::Ok();
+}
+
+Status SuperfileWriter::finalize() {
+  if (!open_) return Status::Internal("writer already finalized");
+  open_ = false;
+  net::WireWriter w;
+  w.put_u32(static_cast<std::uint32_t>(order_.size()));
+  for (const auto& name : order_) {
+    const auto& [offset, length] = index_.at(name);
+    w.put_string(name);
+    w.put_u64(offset);
+    w.put_u64(length);
+  }
+  w.put_u64(cursor_);  // footer: index offset
+  w.put_u64(kSuperfileMagic);
+  Status status = endpoint_->write(*timeline_, handle_, w.take());
+  Status close_status = endpoint_->close(*timeline_, handle_);
+  Status disc = endpoint_->disconnect(*timeline_);
+  if (!status.ok()) return status;
+  if (!close_status.ok()) return close_status;
+  return disc;
+}
+
+StatusOr<SuperfileReader> SuperfileReader::open(StorageEndpoint& endpoint,
+                                                simkit::Timeline& timeline,
+                                                const std::string& path) {
+  MSRA_RETURN_IF_ERROR(endpoint.connect(timeline));
+  auto total = endpoint.size(timeline, path);
+  if (!total.ok()) {
+    (void)endpoint.disconnect(timeline);
+    return total.status();
+  }
+  auto handle = endpoint.open(timeline, path, OpenMode::kRead);
+  if (!handle.ok()) {
+    (void)endpoint.disconnect(timeline);
+    return handle.status();
+  }
+  // THE superfile read: one native request for the whole object.
+  SuperfileReader reader;
+  reader.blob_.resize(*total);
+  Status status = endpoint.read(timeline, *handle, reader.blob_);
+  Status close_status = endpoint.close(timeline, *handle);
+  Status disc = endpoint.disconnect(timeline);
+  if (!status.ok()) return status;
+  if (!close_status.ok()) return close_status;
+  if (!disc.ok()) return disc;
+
+  // Parse footer + index from memory.
+  if (reader.blob_.size() < 16) {
+    return Status::InvalidArgument("object too small to be a superfile");
+  }
+  net::WireReader footer(std::span<const std::byte>(reader.blob_)
+                             .subspan(reader.blob_.size() - 16));
+  MSRA_ASSIGN_OR_RETURN(std::uint64_t index_offset, footer.get_u64());
+  MSRA_ASSIGN_OR_RETURN(std::uint64_t magic, footer.get_u64());
+  if (magic != kSuperfileMagic || index_offset + 16 > reader.blob_.size()) {
+    return Status::InvalidArgument("bad superfile footer");
+  }
+  net::WireReader index(std::span<const std::byte>(reader.blob_)
+                            .subspan(index_offset,
+                                     reader.blob_.size() - 16 - index_offset));
+  MSRA_ASSIGN_OR_RETURN(std::uint32_t count, index.get_u32());
+  for (std::uint32_t i = 0; i < count; ++i) {
+    MSRA_ASSIGN_OR_RETURN(std::string name, index.get_string());
+    MSRA_ASSIGN_OR_RETURN(std::uint64_t offset, index.get_u64());
+    MSRA_ASSIGN_OR_RETURN(std::uint64_t length, index.get_u64());
+    if (offset + length > index_offset) {
+      return Status::InvalidArgument("superfile member out of bounds");
+    }
+    reader.index_[name] = {offset, length};
+    reader.order_.push_back(std::move(name));
+  }
+  return reader;
+}
+
+StatusOr<std::span<const std::byte>> SuperfileReader::read(
+    const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no superfile member: " + name);
+  }
+  const auto& [offset, length] = it->second;
+  return std::span<const std::byte>(blob_).subspan(offset, length);
+}
+
+}  // namespace msra::runtime

@@ -1,0 +1,88 @@
+// Superfile: packing many small files into one large object.
+//
+// Section 5 of the paper: "When superfile is applied, these small files will
+// be transparently written to one large superfile when they are created.
+// Later on, when the user reads this data, the first read will bring all the
+// data into memory. Then the subsequent read can be satisfied by copying
+// data directly from main memory" — turning N small remote requests into a
+// single large one.
+//
+// On-"disk" format:   [member 0 bytes][member 1 bytes]...[index][footer]
+//   index  = u32 count, then per member: string name, u64 offset, u64 length
+//   footer = u64 index_offset, u64 magic
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/endpoint.h"
+
+namespace msra::runtime {
+
+/// Footer magic ("SUPRFILE" as little-endian bytes).
+inline constexpr std::uint64_t kSuperfileMagic = 0x454c494652505553ull;
+
+/// Builds a superfile by appending members sequentially.
+class SuperfileWriter {
+ public:
+  /// Creates (or overwrites) the superfile object and holds it open.
+  static StatusOr<SuperfileWriter> create(StorageEndpoint& endpoint,
+                                          simkit::Timeline& timeline,
+                                          const std::string& path);
+  ~SuperfileWriter();
+
+  SuperfileWriter(SuperfileWriter&&) noexcept;
+  SuperfileWriter& operator=(SuperfileWriter&&) = delete;
+  SuperfileWriter(const SuperfileWriter&) = delete;
+  SuperfileWriter& operator=(const SuperfileWriter&) = delete;
+
+  /// Appends one member (name must be unique within the superfile).
+  Status add(const std::string& name, std::span<const std::byte> data);
+
+  /// Appends the index + footer and closes the object. Must be called; the
+  /// destructor only releases the handle.
+  Status finalize();
+
+  std::size_t member_count() const { return index_.size(); }
+
+ private:
+  SuperfileWriter(StorageEndpoint* endpoint, simkit::Timeline* timeline,
+                  HandleId handle)
+      : endpoint_(endpoint), timeline_(timeline), handle_(handle) {}
+
+  StorageEndpoint* endpoint_;
+  simkit::Timeline* timeline_;
+  HandleId handle_;
+  bool open_ = true;
+  std::uint64_t cursor_ = 0;
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> index_;
+  std::vector<std::string> order_;
+};
+
+/// Reads a superfile. The constructor performs ONE native read of the whole
+/// object; every member read is then served from memory.
+class SuperfileReader {
+ public:
+  static StatusOr<SuperfileReader> open(StorageEndpoint& endpoint,
+                                        simkit::Timeline& timeline,
+                                        const std::string& path);
+
+  /// Member payload (view into the in-memory image).
+  StatusOr<std::span<const std::byte>> read(const std::string& name) const;
+
+  /// Member names in append order.
+  const std::vector<std::string>& names() const { return order_; }
+
+  std::uint64_t total_bytes() const { return blob_.size(); }
+
+ private:
+  SuperfileReader() = default;
+  std::vector<std::byte> blob_;
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> index_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace msra::runtime

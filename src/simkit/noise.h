@@ -1,0 +1,36 @@
+// Stochastic perturbation of service times (paper footnote 4: remote
+// performance fluctuates with network traffic). Disabled by default so
+// experiments are deterministic; one ablation bench turns it on.
+#pragma once
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "simkit/time.h"
+
+namespace msra::simkit {
+
+/// Multiplicative jitter: duration * (1 + amplitude * g), g ~ N(0,1),
+/// clamped so the result never goes below `floor_fraction` of the base.
+class NoiseModel {
+ public:
+  NoiseModel() = default;
+  NoiseModel(double amplitude, std::uint64_t seed, double floor_fraction = 0.25)
+      : amplitude_(amplitude), floor_fraction_(floor_fraction), rng_(seed) {}
+
+  bool enabled() const { return amplitude_ > 0.0; }
+
+  /// Applies jitter to a base duration.
+  SimTime apply(SimTime base) {
+    if (!enabled() || base <= 0.0) return base;
+    const double factor = 1.0 + amplitude_ * rng_.next_gaussian();
+    return base * std::max(floor_fraction_, factor);
+  }
+
+ private:
+  double amplitude_ = 0.0;
+  double floor_fraction_ = 0.25;
+  msra::Rng rng_{0};
+};
+
+}  // namespace msra::simkit

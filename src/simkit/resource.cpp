@@ -1,0 +1,94 @@
+#include "simkit/resource.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace msra::simkit {
+
+Resource::Resource(std::string name, int capacity) : name_(std::move(name)) {
+  assert(capacity >= 1);
+  servers_.resize(static_cast<std::size_t>(capacity));
+}
+
+SimTime Resource::earliest_start(const Schedule& schedule, SimTime ready,
+                                 SimTime service) {
+  SimTime start = ready;
+  for (const Interval& interval : schedule) {
+    if (start + service <= interval.start) break;  // fits in the gap before
+    start = std::max(start, interval.end);
+  }
+  return start;
+}
+
+void Resource::insert(Schedule& schedule, SimTime start, SimTime service) {
+  const SimTime end = start + service;
+  auto it = std::lower_bound(
+      schedule.begin(), schedule.end(), start,
+      [](const Interval& interval, SimTime t) { return interval.start < t; });
+  // Merge with the predecessor when touching (the common append case).
+  if (it != schedule.begin()) {
+    auto prev = std::prev(it);
+    if (prev->end == start) {
+      prev->end = end;
+      // Merge with the successor too if now touching.
+      if (it != schedule.end() && it->start == end) {
+        prev->end = it->end;
+        schedule.erase(it);
+      }
+      return;
+    }
+  }
+  if (it != schedule.end() && it->start == end) {
+    it->start = start;
+    return;
+  }
+  schedule.insert(it, Interval{start, end});
+}
+
+SimTime Resource::reserve(SimTime ready, SimTime service) {
+  assert(service >= 0.0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++ops_;
+  if (service <= 0.0) return ready;  // zero work occupies nothing
+  // Pick the server offering the earliest start.
+  std::size_t best = 0;
+  SimTime best_start = 0.0;
+  bool first = true;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    const SimTime start = earliest_start(servers_[s], ready, service);
+    if (first || start < best_start) {
+      best = s;
+      best_start = start;
+      first = false;
+    }
+    if (start == ready) break;  // cannot do better
+  }
+  insert(servers_[best], best_start, service);
+  busy_ += service;
+  return best_start + service;
+}
+
+SimTime Resource::acquire(Timeline& timeline, SimTime service) {
+  const SimTime end = reserve(timeline.now(), service);
+  timeline.advance_to(end);
+  return end;
+}
+
+SimTime Resource::busy_time() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return busy_;
+}
+
+std::uint64_t Resource::operations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ops_;
+}
+
+void Resource::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& schedule : servers_) schedule.clear();
+  busy_ = 0.0;
+  ops_ = 0;
+}
+
+}  // namespace msra::simkit

@@ -1,0 +1,64 @@
+// Contended devices in virtual time.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "simkit/timeline.h"
+
+namespace msra::simkit {
+
+/// A Resource models a serial (or k-server) device: a disk arm, a tape
+/// drive, a WAN link, a server CPU. A reservation occupies one server for
+/// `service` virtual seconds starting at the earliest instant >= `ready`
+/// that the server is idle — including idle *gaps* before already-booked
+/// work. Gap-filling matters because host threads issue virtual-time
+/// reservations out of order: an actor whose clock reads t=0 must not queue
+/// behind work another thread already booked at t=100. Thread-safe.
+class Resource {
+ public:
+  explicit Resource(std::string name, int capacity = 1);
+
+  const std::string& name() const { return name_; }
+  int capacity() const { return static_cast<int>(servers_.size()); }
+
+  /// Reserves one server for `service` virtual seconds, starting no earlier
+  /// than `ready`. Returns the completion time.
+  SimTime reserve(SimTime ready, SimTime service);
+
+  /// Convenience: reserve starting at the actor's current time and advance
+  /// the actor's clock to completion. Returns the completion time.
+  SimTime acquire(Timeline& timeline, SimTime service);
+
+  /// Total virtual seconds of granted service (across servers).
+  SimTime busy_time() const;
+  /// Number of reservations granted.
+  std::uint64_t operations() const;
+
+  /// Forgets all bookkeeping (between experiment repetitions).
+  void reset();
+
+ private:
+  struct Interval {
+    SimTime start;
+    SimTime end;
+  };
+  /// Sorted, non-overlapping busy intervals of one server (touching
+  /// intervals are merged, so dense workloads stay O(1)).
+  using Schedule = std::vector<Interval>;
+
+  /// Earliest feasible start on one server.
+  static SimTime earliest_start(const Schedule& schedule, SimTime ready,
+                                SimTime service);
+  static void insert(Schedule& schedule, SimTime start, SimTime service);
+
+  std::string name_;
+  mutable std::mutex mutex_;
+  std::vector<Schedule> servers_;
+  SimTime busy_ = 0.0;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace msra::simkit

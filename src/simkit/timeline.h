@@ -1,0 +1,67 @@
+// Per-actor virtual clocks.
+#pragma once
+
+#include <mutex>
+
+#include "simkit/time.h"
+
+namespace msra::simkit {
+
+/// A Timeline is one actor's virtual clock (a compute process, a background
+/// async-I/O engine, a PTool measurement probe). Thread-safe: ranks of the
+/// parallel runtime may be host threads.
+class Timeline {
+ public:
+  explicit Timeline(SimTime start = 0.0) : now_(start) {}
+
+  // Copying a clock between actors is almost always a bug; actors share
+  // Timeline& instead.
+  Timeline(const Timeline&) = delete;
+  Timeline& operator=(const Timeline&) = delete;
+
+  SimTime now() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return now_;
+  }
+
+  /// Advances by a non-negative duration.
+  void advance(SimTime duration) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (duration > 0.0) now_ += duration;
+  }
+
+  /// Moves the clock forward to `t` if `t` is in the future (no-op otherwise).
+  /// Used to join an actor with an event completing at absolute time `t`.
+  void advance_to(SimTime t) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (t > now_) now_ = t;
+  }
+
+  /// Resets the clock (between independent experiment repetitions).
+  void reset(SimTime t = 0.0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    now_ = t;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  SimTime now_;
+};
+
+/// Measures the virtual time elapsed on a timeline within a scope.
+class ScopedVirtualTimer {
+ public:
+  explicit ScopedVirtualTimer(const Timeline& timeline, SimTime& out)
+      : timeline_(timeline), out_(out), start_(timeline.now()) {}
+  ~ScopedVirtualTimer() { out_ = timeline_.now() - start_; }
+
+  ScopedVirtualTimer(const ScopedVirtualTimer&) = delete;
+  ScopedVirtualTimer& operator=(const ScopedVirtualTimer&) = delete;
+
+ private:
+  const Timeline& timeline_;
+  SimTime& out_;
+  SimTime start_;
+};
+
+}  // namespace msra::simkit

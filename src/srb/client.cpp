@@ -1,0 +1,185 @@
+#include "srb/client.h"
+
+namespace msra::srb {
+
+StatusOr<std::vector<std::byte>> SrbClient::call(simkit::Timeline& timeline,
+                                                 std::vector<std::byte> request) {
+  if (!connected()) {
+    return Status::PermissionDenied("client not connected to " + server_->name());
+  }
+  // Request travels to the server.
+  const simkit::SimTime arrival =
+      link_->transmit_at(timeline.now(), request.size() + kMessageOverheadBytes);
+  // Server executes at the arrival time.
+  simkit::SimTime completion = arrival;
+  std::vector<std::byte> response =
+      server_->dispatch(request, arrival, &completion);
+  // Response travels back.
+  const simkit::SimTime back =
+      link_->transmit_at(completion, response.size() + kMessageOverheadBytes);
+  timeline.advance_to(back);
+  return response;
+}
+
+Status SrbClient::connect(simkit::Timeline& timeline) {
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    if (conn_refs_++ > 0) return Status::Ok();  // already up: share it
+  }
+  link_->connect(timeline);
+  net::WireWriter w;
+  w.put_u8(static_cast<std::uint8_t>(Op::kConnect));
+  auto response = call(timeline, w.take());
+  if (!response.ok()) {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    --conn_refs_;
+    return response.status();
+  }
+  net::WireReader r(*response);
+  return proto::get_status(r);
+}
+
+Status SrbClient::disconnect(simkit::Timeline& timeline) {
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    if (conn_refs_ == 0) return Status::Ok();  // spurious disconnect
+    if (--conn_refs_ > 0) return Status::Ok();  // other users remain
+    // Last user: perform the teardown below while refs == 0. The kDisconnect
+    // RPC still needs the connection, so restore it around the call.
+    ++conn_refs_;
+  }
+  net::WireWriter w;
+  w.put_u8(static_cast<std::uint8_t>(Op::kDisconnect));
+  auto response = call(timeline, w.take());
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    --conn_refs_;
+  }
+  link_->disconnect(timeline);
+  MSRA_RETURN_IF_ERROR(response.status());
+  net::WireReader r(*response);
+  return proto::get_status(r);
+}
+
+StatusOr<HandleId> SrbClient::obj_open(simkit::Timeline& timeline,
+                                       const std::string& resource,
+                                       const std::string& path, OpenMode mode) {
+  net::WireWriter w;
+  w.put_u8(static_cast<std::uint8_t>(Op::kOpen));
+  w.put_string(resource);
+  w.put_string(path);
+  w.put_u8(static_cast<std::uint8_t>(mode));
+  MSRA_ASSIGN_OR_RETURN(auto response, call(timeline, w.take()));
+  net::WireReader r(response);
+  MSRA_RETURN_IF_ERROR(proto::get_status(r));
+  return r.get_u64();
+}
+
+Status SrbClient::obj_seek(simkit::Timeline& timeline, const std::string& resource,
+                           HandleId handle, std::uint64_t offset) {
+  net::WireWriter w;
+  w.put_u8(static_cast<std::uint8_t>(Op::kSeek));
+  w.put_string(resource);
+  w.put_u64(handle);
+  w.put_u64(offset);
+  MSRA_ASSIGN_OR_RETURN(auto response, call(timeline, w.take()));
+  net::WireReader r(response);
+  return proto::get_status(r);
+}
+
+Status SrbClient::obj_read(simkit::Timeline& timeline, const std::string& resource,
+                           HandleId handle, std::span<std::byte> out) {
+  net::WireWriter w;
+  w.put_u8(static_cast<std::uint8_t>(Op::kRead));
+  w.put_string(resource);
+  w.put_u64(handle);
+  w.put_u64(out.size());
+  MSRA_ASSIGN_OR_RETURN(auto response, call(timeline, w.take()));
+  net::WireReader r(response);
+  MSRA_RETURN_IF_ERROR(proto::get_status(r));
+  return r.get_bytes_into(out);
+}
+
+Status SrbClient::obj_write(simkit::Timeline& timeline, const std::string& resource,
+                            HandleId handle, std::span<const std::byte> data) {
+  net::WireWriter w;
+  w.put_u8(static_cast<std::uint8_t>(Op::kWrite));
+  w.put_string(resource);
+  w.put_u64(handle);
+  w.put_bytes(data);
+  MSRA_ASSIGN_OR_RETURN(auto response, call(timeline, w.take()));
+  net::WireReader r(response);
+  return proto::get_status(r);
+}
+
+Status SrbClient::obj_close(simkit::Timeline& timeline, const std::string& resource,
+                            HandleId handle) {
+  net::WireWriter w;
+  w.put_u8(static_cast<std::uint8_t>(Op::kClose));
+  w.put_string(resource);
+  w.put_u64(handle);
+  MSRA_ASSIGN_OR_RETURN(auto response, call(timeline, w.take()));
+  net::WireReader r(response);
+  return proto::get_status(r);
+}
+
+Status SrbClient::obj_remove(simkit::Timeline& timeline, const std::string& resource,
+                             const std::string& path) {
+  net::WireWriter w;
+  w.put_u8(static_cast<std::uint8_t>(Op::kRemove));
+  w.put_string(resource);
+  w.put_string(path);
+  MSRA_ASSIGN_OR_RETURN(auto response, call(timeline, w.take()));
+  net::WireReader r(response);
+  return proto::get_status(r);
+}
+
+StatusOr<std::uint64_t> SrbClient::obj_stat(simkit::Timeline& timeline,
+                                            const std::string& resource,
+                                            const std::string& path) {
+  net::WireWriter w;
+  w.put_u8(static_cast<std::uint8_t>(Op::kStat));
+  w.put_string(resource);
+  w.put_string(path);
+  MSRA_ASSIGN_OR_RETURN(auto response, call(timeline, w.take()));
+  net::WireReader r(response);
+  MSRA_RETURN_IF_ERROR(proto::get_status(r));
+  return r.get_u64();
+}
+
+StatusOr<std::vector<store::ObjectInfo>> SrbClient::obj_list(
+    simkit::Timeline& timeline, const std::string& resource,
+    const std::string& prefix) {
+  net::WireWriter w;
+  w.put_u8(static_cast<std::uint8_t>(Op::kList));
+  w.put_string(resource);
+  w.put_string(prefix);
+  MSRA_ASSIGN_OR_RETURN(auto response, call(timeline, w.take()));
+  net::WireReader r(response);
+  MSRA_RETURN_IF_ERROR(proto::get_status(r));
+  MSRA_ASSIGN_OR_RETURN(std::uint32_t count, r.get_u32());
+  std::vector<store::ObjectInfo> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    MSRA_ASSIGN_OR_RETURN(std::string name, r.get_string());
+    MSRA_ASSIGN_OR_RETURN(std::uint64_t size, r.get_u64());
+    out.push_back({std::move(name), size});
+  }
+  return out;
+}
+
+Status SrbClient::obj_replicate(simkit::Timeline& timeline,
+                                const std::string& src_resource,
+                                const std::string& path,
+                                const std::string& dst_resource) {
+  net::WireWriter w;
+  w.put_u8(static_cast<std::uint8_t>(Op::kReplicate));
+  w.put_string(src_resource);
+  w.put_string(path);
+  w.put_string(dst_resource);
+  MSRA_ASSIGN_OR_RETURN(auto response, call(timeline, w.take()));
+  net::WireReader r(response);
+  return proto::get_status(r);
+}
+
+}  // namespace msra::srb

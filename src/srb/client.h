@@ -1,0 +1,80 @@
+// SRB client: the "native storage interface" to remote resources.
+//
+// Every call serializes a request, ships it over the shared WAN link
+// (charging transmission + propagation in virtual time), lets the server
+// execute it at the arrival time, and ships the response back. Connection
+// setup/teardown costs follow the paper's Equation (1): they are charged at
+// connect()/disconnect(), which the run-time library invokes around each
+// file session.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "net/link.h"
+#include "srb/server.h"
+
+namespace msra::srb {
+
+class SrbClient {
+ public:
+  /// Neither the server nor the link is owned.
+  SrbClient(SrbServer* server, net::Link* link)
+      : server_(server), link_(link) {}
+
+  /// Establishes a connection (charges Tconn). Connections are
+  /// reference-counted: parallel ranks sharing this client each call
+  /// connect()/disconnect() around their file sessions, and only the
+  /// outermost pair touches the wire.
+  Status connect(simkit::Timeline& timeline);
+
+  /// Drops one connection reference; tears down (charging Tconnclose) when
+  /// the last user disconnects.
+  Status disconnect(simkit::Timeline& timeline);
+
+  bool connected() const {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    return conn_refs_ > 0;
+  }
+
+  StatusOr<HandleId> obj_open(simkit::Timeline& timeline,
+                              const std::string& resource,
+                              const std::string& path, OpenMode mode);
+  Status obj_seek(simkit::Timeline& timeline, const std::string& resource,
+                  HandleId handle, std::uint64_t offset);
+  Status obj_read(simkit::Timeline& timeline, const std::string& resource,
+                  HandleId handle, std::span<std::byte> out);
+  Status obj_write(simkit::Timeline& timeline, const std::string& resource,
+                   HandleId handle, std::span<const std::byte> data);
+  Status obj_close(simkit::Timeline& timeline, const std::string& resource,
+                   HandleId handle);
+  Status obj_remove(simkit::Timeline& timeline, const std::string& resource,
+                    const std::string& path);
+  StatusOr<std::uint64_t> obj_stat(simkit::Timeline& timeline,
+                                   const std::string& resource,
+                                   const std::string& path);
+  StatusOr<std::vector<store::ObjectInfo>> obj_list(simkit::Timeline& timeline,
+                                                    const std::string& resource,
+                                                    const std::string& prefix);
+
+  /// Server-side replication of `path` from one resource to another.
+  Status obj_replicate(simkit::Timeline& timeline, const std::string& src_resource,
+                       const std::string& path, const std::string& dst_resource);
+
+  SrbServer* server() const { return server_; }
+  net::Link* link() const { return link_; }
+
+ private:
+  /// Round trip: request over the link, dispatch, response over the link.
+  StatusOr<std::vector<std::byte>> call(simkit::Timeline& timeline,
+                                        std::vector<std::byte> request);
+
+  SrbServer* server_;
+  net::Link* link_;
+  mutable std::mutex conn_mutex_;
+  int conn_refs_ = 0;
+};
+
+}  // namespace msra::srb

@@ -1,0 +1,30 @@
+// Wire protocol of the SRB-like middleware.
+//
+// Every request/response is serialized to real bytes: the byte counts feed
+// the network model, and malformed-message handling is genuinely exercised.
+#pragma once
+
+#include <cstdint>
+
+namespace msra::srb {
+
+/// Request opcodes.
+enum class Op : std::uint8_t {
+  kConnect = 1,
+  kDisconnect,
+  kOpen,
+  kSeek,
+  kRead,
+  kWrite,
+  kClose,
+  kRemove,
+  kStat,
+  kList,
+  kReplicate,
+};
+
+/// Approximate fixed wire overhead of a message (headers + framing), added
+/// to the payload size when charging the link.
+inline constexpr std::uint64_t kMessageOverheadBytes = 64;
+
+}  // namespace msra::srb

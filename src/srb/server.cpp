@@ -1,0 +1,240 @@
+#include "srb/server.h"
+
+#include <vector>
+
+namespace msra::srb {
+
+namespace proto {
+
+void put_status(net::WireWriter& w, const Status& status) {
+  w.put_u8(static_cast<std::uint8_t>(status.code()));
+  w.put_string(status.message());
+}
+
+Status get_status(net::WireReader& r) {
+  auto code = r.get_u8();
+  if (!code.ok()) return code.status();
+  auto message = r.get_string();
+  if (!message.ok()) return message.status();
+  return Status(static_cast<ErrorCode>(*code), std::move(*message));
+}
+
+}  // namespace proto
+
+SrbServer::SrbServer(std::string name, ServerConfig config)
+    : name_(std::move(name)),
+      config_(config),
+      cpu_(name_ + "/cpu", config.worker_threads) {}
+
+Status SrbServer::register_resource(ServerResource* resource) {
+  auto [it, inserted] = resources_.emplace(resource->name(), resource);
+  if (!inserted) {
+    return Status::AlreadyExists("resource exists: " + resource->name());
+  }
+  return Status::Ok();
+}
+
+ServerResource* SrbServer::resource(const std::string& name) const {
+  auto it = resources_.find(name);
+  return it == resources_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> SrbServer::resource_names() const {
+  std::vector<std::string> out;
+  out.reserve(resources_.size());
+  for (const auto& [name, r] : resources_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::byte> SrbServer::dispatch(std::span<const std::byte> request,
+                                           simkit::SimTime arrival,
+                                           simkit::SimTime* completion) {
+  simkit::Timeline tl(arrival);
+  cpu_.acquire(tl, config_.request_overhead);
+  net::WireReader reader(request);
+  std::vector<std::byte> response;
+  if (down_) {
+    net::WireWriter w;
+    proto::put_status(w, Status::Unavailable("server " + name_ + " is down"));
+    response = w.take();
+  } else {
+    response = handle(reader, tl);
+  }
+  if (completion) *completion = tl.now();
+  return response;
+}
+
+std::vector<std::byte> SrbServer::handle(net::WireReader& reader,
+                                         simkit::Timeline& tl) {
+  net::WireWriter w;
+  auto fail = [&w](const Status& status) {
+    proto::put_status(w, status);
+    return w.take();
+  };
+
+  auto op_raw = reader.get_u8();
+  if (!op_raw.ok()) return fail(op_raw.status());
+  const Op op = static_cast<Op>(*op_raw);
+
+  switch (op) {
+    case Op::kConnect:
+    case Op::kDisconnect: {
+      proto::put_status(w, Status::Ok());
+      return w.take();
+    }
+    case Op::kOpen: {
+      auto rname = reader.get_string();
+      auto path = reader.get_string();
+      auto mode = reader.get_u8();
+      if (!rname.ok() || !path.ok() || !mode.ok()) {
+        return fail(Status::InvalidArgument("bad open request"));
+      }
+      ServerResource* r = resource(*rname);
+      if (!r) return fail(Status::NotFound("no resource: " + *rname));
+      auto handle = r->open(tl, *path, static_cast<OpenMode>(*mode));
+      if (!handle.ok()) return fail(handle.status());
+      proto::put_status(w, Status::Ok());
+      w.put_u64(*handle);
+      return w.take();
+    }
+    case Op::kSeek: {
+      auto rname = reader.get_string();
+      auto handle = reader.get_u64();
+      auto offset = reader.get_u64();
+      if (!rname.ok() || !handle.ok() || !offset.ok()) {
+        return fail(Status::InvalidArgument("bad seek request"));
+      }
+      ServerResource* r = resource(*rname);
+      if (!r) return fail(Status::NotFound("no resource: " + *rname));
+      proto::put_status(w, r->seek(tl, *handle, *offset));
+      return w.take();
+    }
+    case Op::kRead: {
+      auto rname = reader.get_string();
+      auto handle = reader.get_u64();
+      auto length = reader.get_u64();
+      if (!rname.ok() || !handle.ok() || !length.ok()) {
+        return fail(Status::InvalidArgument("bad read request"));
+      }
+      ServerResource* r = resource(*rname);
+      if (!r) return fail(Status::NotFound("no resource: " + *rname));
+      std::vector<std::byte> buffer(*length);
+      Status status = r->read(tl, *handle, buffer);
+      if (!status.ok()) return fail(status);
+      proto::put_status(w, Status::Ok());
+      w.put_bytes(buffer);
+      return w.take();
+    }
+    case Op::kWrite: {
+      auto rname = reader.get_string();
+      auto handle = reader.get_u64();
+      auto data = reader.get_bytes();
+      if (!rname.ok() || !handle.ok() || !data.ok()) {
+        return fail(Status::InvalidArgument("bad write request"));
+      }
+      ServerResource* r = resource(*rname);
+      if (!r) return fail(Status::NotFound("no resource: " + *rname));
+      proto::put_status(w, r->write(tl, *handle, *data));
+      return w.take();
+    }
+    case Op::kClose: {
+      auto rname = reader.get_string();
+      auto handle = reader.get_u64();
+      if (!rname.ok() || !handle.ok()) {
+        return fail(Status::InvalidArgument("bad close request"));
+      }
+      ServerResource* r = resource(*rname);
+      if (!r) return fail(Status::NotFound("no resource: " + *rname));
+      proto::put_status(w, r->close(tl, *handle));
+      return w.take();
+    }
+    case Op::kRemove: {
+      auto rname = reader.get_string();
+      auto path = reader.get_string();
+      if (!rname.ok() || !path.ok()) {
+        return fail(Status::InvalidArgument("bad remove request"));
+      }
+      ServerResource* r = resource(*rname);
+      if (!r) return fail(Status::NotFound("no resource: " + *rname));
+      proto::put_status(w, r->remove(*path));
+      return w.take();
+    }
+    case Op::kStat: {
+      auto rname = reader.get_string();
+      auto path = reader.get_string();
+      if (!rname.ok() || !path.ok()) {
+        return fail(Status::InvalidArgument("bad stat request"));
+      }
+      ServerResource* r = resource(*rname);
+      if (!r) return fail(Status::NotFound("no resource: " + *rname));
+      auto size = r->size(*path);
+      if (!size.ok()) return fail(size.status());
+      proto::put_status(w, Status::Ok());
+      w.put_u64(*size);
+      return w.take();
+    }
+    case Op::kList: {
+      auto rname = reader.get_string();
+      auto prefix = reader.get_string();
+      if (!rname.ok() || !prefix.ok()) {
+        return fail(Status::InvalidArgument("bad list request"));
+      }
+      ServerResource* r = resource(*rname);
+      if (!r) return fail(Status::NotFound("no resource: " + *rname));
+      auto objects = r->list(*prefix);
+      proto::put_status(w, Status::Ok());
+      w.put_u32(static_cast<std::uint32_t>(objects.size()));
+      for (const auto& info : objects) {
+        w.put_string(info.name);
+        w.put_u64(info.size);
+      }
+      return w.take();
+    }
+    case Op::kReplicate: {
+      auto src = reader.get_string();
+      auto path = reader.get_string();
+      auto dst = reader.get_string();
+      if (!src.ok() || !path.ok() || !dst.ok()) {
+        return fail(Status::InvalidArgument("bad replicate request"));
+      }
+      proto::put_status(w, replicate(tl, *src, *path, *dst));
+      return w.take();
+    }
+  }
+  return fail(Status::InvalidArgument("unknown opcode"));
+}
+
+Status SrbServer::replicate(simkit::Timeline& timeline,
+                            const std::string& src_resource,
+                            const std::string& path,
+                            const std::string& dst_resource) {
+  ServerResource* src = resource(src_resource);
+  ServerResource* dst = resource(dst_resource);
+  if (!src) return Status::NotFound("no resource: " + src_resource);
+  if (!dst) return Status::NotFound("no resource: " + dst_resource);
+
+  MSRA_ASSIGN_OR_RETURN(std::uint64_t total, src->size(path));
+  MSRA_ASSIGN_OR_RETURN(HandleId in, src->open(timeline, path, OpenMode::kRead));
+  auto out = dst->open(timeline, path, OpenMode::kOverwrite);
+  if (!out.ok()) {
+    (void)src->close(timeline, in);
+    return out.status();
+  }
+  // Stream in bounded chunks (server-side copy does not cross the WAN).
+  constexpr std::uint64_t kChunk = 4ull << 20;
+  std::vector<std::byte> buffer;
+  Status status = Status::Ok();
+  for (std::uint64_t off = 0; off < total && status.ok(); off += kChunk) {
+    const std::uint64_t n = std::min(kChunk, total - off);
+    buffer.resize(n);
+    status = src->read(timeline, in, buffer);
+    if (status.ok()) status = dst->write(timeline, *out, buffer);
+  }
+  Status close_in = src->close(timeline, in);
+  Status close_out = dst->close(timeline, *out);
+  if (!status.ok()) return status;
+  if (!close_in.ok()) return close_in;
+  return close_out;
+}
+
+}  // namespace msra::srb

@@ -1,0 +1,33 @@
+// Analytic timing model for a disk-backed storage resource.
+//
+// Parameters are calibrated in core/profiles.h to the paper's Table 1 and
+// worked example (local SSA disks on the SP2 I/O subsystem; SDSC remote
+// disks behind a WAN).
+#pragma once
+
+#include <cstdint>
+
+#include "simkit/time.h"
+
+namespace msra::store {
+
+/// Fixed and size-dependent cost components of one disk operation.
+struct DiskModel {
+  simkit::SimTime open_read = 0.0;    ///< file open before reading (s)
+  simkit::SimTime open_write = 0.0;   ///< file open/create before writing (s)
+  simkit::SimTime close_read = 0.0;   ///< file close after reading (s)
+  simkit::SimTime close_write = 0.0;  ///< file close after writing (s)
+  simkit::SimTime seek = 0.0;         ///< head/file-pointer reposition (s)
+  double read_bw = 0.0;               ///< sustained read bandwidth (B/s)
+  double write_bw = 0.0;              ///< sustained write bandwidth (B/s)
+  simkit::SimTime per_op = 0.0;       ///< fixed per-request overhead (s)
+
+  simkit::SimTime read_time(std::uint64_t bytes) const {
+    return per_op + simkit::transfer_time(bytes, read_bw);
+  }
+  simkit::SimTime write_time(std::uint64_t bytes) const {
+    return per_op + simkit::transfer_time(bytes, write_bw);
+  }
+};
+
+}  // namespace msra::store

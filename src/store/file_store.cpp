@@ -1,0 +1,133 @@
+#include "store/file_store.h"
+
+#include <algorithm>
+#include <fstream>
+#include <system_error>
+
+namespace msra::store {
+
+namespace fs = std::filesystem;
+
+FileObjectStore::FileObjectStore(fs::path root) : root_(std::move(root)) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+}
+
+StatusOr<fs::path> FileObjectStore::resolve(const std::string& name) const {
+  if (name.empty() || name.find("..") != std::string::npos ||
+      name.front() == '/') {
+    return Status::InvalidArgument("bad object name: " + name);
+  }
+  return root_ / name;
+}
+
+Status FileObjectStore::create(const std::string& name, bool overwrite) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MSRA_ASSIGN_OR_RETURN(fs::path path, resolve(name));
+  std::error_code ec;
+  if (fs::exists(path, ec)) {
+    if (!overwrite) return Status::AlreadyExists("object exists: " + name);
+    fs::resize_file(path, 0, ec);
+    if (ec) return Status::Internal("truncate failed: " + ec.message());
+    return Status::Ok();
+  }
+  fs::create_directories(path.parent_path(), ec);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot create file: " + path.string());
+  return Status::Ok();
+}
+
+bool FileObjectStore::exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto path = resolve(name);
+  if (!path.ok()) return false;
+  std::error_code ec;
+  return fs::is_regular_file(*path, ec);
+}
+
+StatusOr<std::uint64_t> FileObjectStore::size(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MSRA_ASSIGN_OR_RETURN(fs::path path, resolve(name));
+  std::error_code ec;
+  if (!fs::is_regular_file(path, ec)) {
+    return Status::NotFound("no object: " + name);
+  }
+  return static_cast<std::uint64_t>(fs::file_size(path, ec));
+}
+
+Status FileObjectStore::write(const std::string& name, std::uint64_t offset,
+                              std::span<const std::byte> data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MSRA_ASSIGN_OR_RETURN(fs::path path, resolve(name));
+  std::error_code ec;
+  if (!fs::is_regular_file(path, ec)) {
+    return Status::NotFound("no object: " + name);
+  }
+  // Extend with zeros if writing past EOF; fstream in in|out mode requires
+  // the file to exist (guaranteed by create()).
+  const auto current = static_cast<std::uint64_t>(fs::file_size(path, ec));
+  if (offset > current) {
+    fs::resize_file(path, offset, ec);
+    if (ec) return Status::Internal("extend failed: " + ec.message());
+  }
+  std::fstream out(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!out) return Status::Internal("cannot open for write: " + path.string());
+  out.seekp(static_cast<std::streamoff>(offset));
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) return Status::Internal("write failed: " + path.string());
+  return Status::Ok();
+}
+
+Status FileObjectStore::read(const std::string& name, std::uint64_t offset,
+                             std::span<std::byte> out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MSRA_ASSIGN_OR_RETURN(fs::path path, resolve(name));
+  std::error_code ec;
+  if (!fs::is_regular_file(path, ec)) {
+    return Status::NotFound("no object: " + name);
+  }
+  const auto total = static_cast<std::uint64_t>(fs::file_size(path, ec));
+  if (offset + out.size() > total) {
+    return Status::OutOfRange("read past end of " + name);
+  }
+  std::ifstream in(path, std::ios::binary);
+  in.seekg(static_cast<std::streamoff>(offset));
+  in.read(reinterpret_cast<char*>(out.data()),
+          static_cast<std::streamsize>(out.size()));
+  if (!in) return Status::Internal("read failed: " + path.string());
+  return Status::Ok();
+}
+
+Status FileObjectStore::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MSRA_ASSIGN_OR_RETURN(fs::path path, resolve(name));
+  std::error_code ec;
+  if (!fs::remove(path, ec)) return Status::NotFound("no object: " + name);
+  return Status::Ok();
+}
+
+std::vector<ObjectInfo> FileObjectStore::list(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ObjectInfo> out;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file(ec)) continue;
+    std::string rel = fs::relative(it->path(), root_, ec).generic_string();
+    if (rel.compare(0, prefix.size(), prefix) != 0) continue;
+    out.push_back({rel, static_cast<std::uint64_t>(it->file_size(ec))});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ObjectInfo& a, const ObjectInfo& b) { return a.name < b.name; });
+  return out;
+}
+
+std::uint64_t FileObjectStore::used_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& info : list("")) total += info.size;
+  return total;
+}
+
+}  // namespace msra::store

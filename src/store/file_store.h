@@ -1,0 +1,41 @@
+// File-backed object store: objects are real files under a root directory.
+// Useful when a downstream tool (image viewer, external analysis) should see
+// the produced datasets on the host filesystem.
+#pragma once
+
+#include <filesystem>
+#include <mutex>
+
+#include "store/object_store.h"
+
+namespace msra::store {
+
+/// Maps object names to files under `root`. Object names may contain '/'
+/// (subdirectories are created on demand); names must not contain "..".
+class FileObjectStore final : public ObjectStore {
+ public:
+  /// Creates `root` if it does not exist.
+  explicit FileObjectStore(std::filesystem::path root);
+
+  Status create(const std::string& name, bool overwrite) override;
+  bool exists(const std::string& name) const override;
+  StatusOr<std::uint64_t> size(const std::string& name) const override;
+  Status write(const std::string& name, std::uint64_t offset,
+               std::span<const std::byte> data) override;
+  Status read(const std::string& name, std::uint64_t offset,
+              std::span<std::byte> out) const override;
+  Status remove(const std::string& name) override;
+  std::vector<ObjectInfo> list(const std::string& prefix) const override;
+  std::uint64_t used_bytes() const override;
+
+  const std::filesystem::path& root() const { return root_; }
+
+ private:
+  /// Validated absolute path for an object name, or error.
+  StatusOr<std::filesystem::path> resolve(const std::string& name) const;
+
+  std::filesystem::path root_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace msra::store

@@ -1,0 +1,57 @@
+// Byte-addressed object storage: the data plane beneath every storage
+// resource. Objects are named byte arrays supporting offset read/write.
+// Implementations: MemObjectStore (hermetic, default) and FileObjectStore
+// (real files under a root directory).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace msra::store {
+
+/// Metadata about one stored object.
+struct ObjectInfo {
+  std::string name;
+  std::uint64_t size = 0;
+};
+
+/// Abstract object store. All operations are thread-safe.
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  /// Creates an empty object. Fails with kAlreadyExists unless `overwrite`,
+  /// in which case an existing object is truncated.
+  virtual Status create(const std::string& name, bool overwrite) = 0;
+
+  virtual bool exists(const std::string& name) const = 0;
+
+  /// Size of the object, or kNotFound.
+  virtual StatusOr<std::uint64_t> size(const std::string& name) const = 0;
+
+  /// Writes `data` at `offset`, growing the object as needed (gap bytes are
+  /// zero-filled). The object must exist.
+  virtual Status write(const std::string& name, std::uint64_t offset,
+                       std::span<const std::byte> data) = 0;
+
+  /// Reads exactly `out.size()` bytes at `offset`. Fails with kOutOfRange if
+  /// the range extends past the end of the object.
+  virtual Status read(const std::string& name, std::uint64_t offset,
+                      std::span<std::byte> out) const = 0;
+
+  /// Removes the object (kNotFound if absent).
+  virtual Status remove(const std::string& name) = 0;
+
+  /// Lists objects whose name starts with `prefix`, sorted by name.
+  virtual std::vector<ObjectInfo> list(const std::string& prefix) const = 0;
+
+  /// Total bytes stored across all objects.
+  virtual std::uint64_t used_bytes() const = 0;
+};
+
+}  // namespace msra::store

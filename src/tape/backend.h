@@ -1,0 +1,48 @@
+// BitfileBackend: the archive-side storage interface the SRB tape resource
+// drives. Two implementations:
+//   * TapeLibrary — bare tapes (the paper's configuration: "we only use its
+//     tapes, i.e. only one level of a hierarchy, for simplicity");
+//   * HsmStore — a staging disk cache in front of the tapes (the full HPSS
+//     hierarchy the paper chose not to exercise).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "simkit/timeline.h"
+#include "store/object_store.h"
+
+namespace msra::tape {
+
+class BitfileBackend {
+ public:
+  virtual ~BitfileBackend() = default;
+
+  virtual Status create(const std::string& name, bool overwrite) = 0;
+  virtual bool exists(const std::string& name) const = 0;
+  virtual StatusOr<std::uint64_t> size(const std::string& name) const = 0;
+
+  /// Writes at `offset`. Bare tapes require offset == current size
+  /// (sequential); a staging cache accepts any offset within the object.
+  virtual Status append(simkit::Timeline& timeline, const std::string& name,
+                        std::uint64_t offset,
+                        std::span<const std::byte> data) = 0;
+  virtual Status read(simkit::Timeline& timeline, const std::string& name,
+                      std::uint64_t offset, std::span<std::byte> out) = 0;
+  virtual Status remove(const std::string& name) = 0;
+  virtual std::vector<store::ObjectInfo> list(const std::string& prefix) const = 0;
+  virtual std::uint64_t used_bytes() const = 0;
+
+  /// Fixed bitfile open/close costs, which may depend on whether the object
+  /// is staged (`name`) and on the direction.
+  virtual simkit::SimTime open_cost(const std::string& name, bool write) const = 0;
+  virtual simkit::SimTime close_cost(bool write) const = 0;
+
+  /// Resets device clocks between experiment repetitions.
+  virtual void reset_clocks() = 0;
+};
+
+}  // namespace msra::tape

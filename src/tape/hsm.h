@@ -1,0 +1,105 @@
+// HsmStore: the HPSS hierarchy — a staging disk cache in front of tapes.
+//
+// The paper notes "HPSS can be configured as multiple hierarchies" but
+// exercises only the tape level. This implements the full two-level
+// behavior as an optional feature:
+//
+//  * writes land on the staging disks (fast, random-access) and are marked
+//    dirty;
+//  * dirty objects migrate to tape when the cache needs room (LRU) or when
+//    migrate_all() runs (the nightly sweep);
+//  * reads hit the cache, or recall the bitfile from tape into the cache
+//    first;
+//  * open/close cost the disk-cache rates for staged objects, the tape
+//    rates otherwise.
+#pragma once
+
+#include <map>
+#include <mutex>
+
+#include "simkit/resource.h"
+#include "store/disk_model.h"
+#include "store/mem_store.h"
+#include "tape/backend.h"
+#include "tape/tape_library.h"
+
+namespace msra::tape {
+
+/// Parameters of the staging level.
+struct HsmModel {
+  store::DiskModel cache_disk;          ///< staging disk timing
+  std::uint64_t cache_capacity = 1ull << 30;
+  simkit::SimTime open_cached = 0.25;   ///< bitfile open when staged (s)
+  simkit::SimTime close_cached = 0.05;  ///< bitfile close when staged (s)
+};
+
+/// Cumulative staging statistics.
+struct HsmStats {
+  std::uint64_t cache_hits = 0;
+  std::uint64_t recalls = 0;     ///< tape -> cache
+  std::uint64_t migrations = 0;  ///< cache -> tape
+  std::uint64_t evictions = 0;   ///< clean copies dropped for room
+};
+
+class HsmStore final : public BitfileBackend {
+ public:
+  /// Does not own the tape library.
+  HsmStore(std::string name, HsmModel model, TapeLibrary* tape);
+
+  Status create(const std::string& name, bool overwrite) override;
+  bool exists(const std::string& name) const override;
+  StatusOr<std::uint64_t> size(const std::string& name) const override;
+  Status append(simkit::Timeline& timeline, const std::string& name,
+                std::uint64_t offset, std::span<const std::byte> data) override;
+  Status read(simkit::Timeline& timeline, const std::string& name,
+              std::uint64_t offset, std::span<std::byte> out) override;
+  Status remove(const std::string& name) override;
+  std::vector<store::ObjectInfo> list(const std::string& prefix) const override;
+  std::uint64_t used_bytes() const override;
+
+  simkit::SimTime open_cost(const std::string& name, bool write) const override;
+  simkit::SimTime close_cost(bool write) const override;
+  void reset_clocks() override;
+
+  /// Flushes every dirty object to tape (keeps the cached copies clean).
+  Status migrate_all(simkit::Timeline& timeline);
+
+  std::uint64_t cache_used() const;
+  HsmStats stats() const;
+  bool is_cached(const std::string& name) const;
+
+ private:
+  struct Entry {
+    std::uint64_t bytes = 0;
+    bool cached = false;
+    bool dirty = false;    ///< cached copy newer than (or absent from) tape
+    bool on_tape = false;
+    simkit::SimTime last_use = 0.0;
+  };
+
+  /// Frees cache space until `bytes` fit (migrate dirty LRU victims, drop
+  /// clean ones). `exclude` (the object being operated on) is never chosen
+  /// as a victim. Caller holds mutex_.
+  Status ensure_room_locked(simkit::Timeline& timeline, std::uint64_t bytes,
+                            const std::string& exclude);
+
+  /// Stages a tape-resident object into the cache. Caller holds mutex_.
+  Status recall_locked(simkit::Timeline& timeline, const std::string& name,
+                       Entry& entry);
+
+  /// Writes one dirty entry to tape. Caller holds mutex_.
+  Status migrate_locked(simkit::Timeline& timeline, const std::string& name,
+                        Entry& entry);
+
+  std::string name_;
+  HsmModel model_;
+  TapeLibrary* tape_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  store::MemObjectStore cache_;
+  std::uint64_t cache_used_ = 0;
+  simkit::Resource cache_arm_;
+  HsmStats stats_;
+};
+
+}  // namespace msra::tape

@@ -1,0 +1,246 @@
+#include "tape/tape_library.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+namespace msra::tape {
+
+TapeLibrary::TapeLibrary(std::string name, TapeModel model, int num_drives,
+                         store::ObjectStore* backing)
+    : name_(std::move(name)),
+      model_(model),
+      robot_(name_ + "/robot"),
+      data_(backing != nullptr ? backing : &owned_data_) {
+  assert(num_drives >= 1);
+  drives_.resize(static_cast<std::size_t>(num_drives));
+  for (std::size_t i = 0; i < drives_.size(); ++i) {
+    drives_[i].busy = std::make_unique<simkit::Resource>(
+        name_ + "/drive" + std::to_string(i));
+  }
+  cartridges_.push_back({});
+  if (backing != nullptr) {
+    // Re-ingest a persistent archive: each existing bitfile gets a fresh
+    // sequential segment.
+    for (const auto& info : backing->list("")) {
+      Segment seg = allocate_locked(info.size);  // advances the fill pointer
+      seg.length = info.size;
+      segments_.emplace(info.name, seg);
+    }
+  }
+}
+
+Status TapeLibrary::create(const std::string& name, bool overwrite) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = segments_.find(name);
+  if (it != segments_.end()) {
+    if (!overwrite) return Status::AlreadyExists("bitfile exists: " + name);
+    stats_.wasted_bytes += it->second.length;
+    it->second = Segment{};
+    return data_->create(name, /*overwrite=*/true);
+  }
+  segments_.emplace(name, Segment{});
+  return data_->create(name, /*overwrite=*/false);
+}
+
+bool TapeLibrary::exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return segments_.count(name) != 0;
+}
+
+StatusOr<std::uint64_t> TapeLibrary::size(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = segments_.find(name);
+  if (it == segments_.end()) return Status::NotFound("no bitfile: " + name);
+  return it->second.length;
+}
+
+TapeLibrary::Segment TapeLibrary::allocate_locked(std::uint64_t bytes) {
+  if (cartridges_.back().fill + bytes > model_.cartridge_capacity) {
+    cartridges_.push_back({});
+  }
+  Segment seg;
+  seg.cartridge = static_cast<int>(cartridges_.size() - 1);
+  seg.start = cartridges_.back().fill;
+  seg.length = 0;  // caller extends
+  cartridges_.back().fill += bytes;
+  return seg;
+}
+
+int TapeLibrary::mount_locked(simkit::Timeline& timeline, int cartridge) {
+  // Already mounted?
+  for (std::size_t i = 0; i < drives_.size(); ++i) {
+    if (drives_[i].mounted == cartridge) return static_cast<int>(i);
+  }
+  // Free drive, else LRU victim.
+  int victim = -1;
+  for (std::size_t i = 0; i < drives_.size(); ++i) {
+    if (drives_[i].mounted < 0) {
+      victim = static_cast<int>(i);
+      break;
+    }
+  }
+  if (victim < 0) {
+    victim = 0;
+    for (std::size_t i = 1; i < drives_.size(); ++i) {
+      if (drives_[i].last_use < drives_[static_cast<std::size_t>(victim)].last_use) {
+        victim = static_cast<int>(i);
+      }
+    }
+  }
+  Drive& drive = drives_[static_cast<std::size_t>(victim)];
+  if (drive.mounted >= 0) {
+    robot_.acquire(timeline, model_.dismount);
+    ++stats_.dismounts;
+  }
+  robot_.acquire(timeline, model_.mount);
+  ++stats_.mounts;
+  drive.mounted = cartridge;
+  drive.head = 0;
+  return victim;
+}
+
+void TapeLibrary::seek_locked(simkit::Timeline& timeline, Drive& drive,
+                              std::uint64_t target) {
+  if (drive.head == target) return;
+  const std::uint64_t distance =
+      drive.head > target ? drive.head - target : target - drive.head;
+  const simkit::SimTime duration =
+      model_.min_seek + static_cast<double>(distance) * model_.seek_rate;
+  drive.busy->acquire(timeline, duration);
+  drive.head = target;
+  ++stats_.seeks;
+}
+
+Status TapeLibrary::append(simkit::Timeline& timeline, const std::string& name,
+                           std::uint64_t offset, std::span<const std::byte> data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = segments_.find(name);
+  if (it == segments_.end()) return Status::NotFound("no bitfile: " + name);
+  Segment& seg = it->second;
+  if (offset != seg.length) {
+    return Status::InvalidArgument(
+        "tape writes are sequential: bitfile " + name + " is at " +
+        std::to_string(seg.length) + ", write requested at " +
+        std::to_string(offset));
+  }
+
+  const bool is_tail =
+      seg.cartridge >= 0 &&
+      seg.start + seg.length ==
+          cartridges_[static_cast<std::size_t>(seg.cartridge)].fill &&
+      seg.start + seg.length + data.size() <= model_.cartridge_capacity;
+  if (seg.cartridge < 0) {
+    // First append: claim a fresh segment.
+    Segment fresh = allocate_locked(data.size());
+    seg.cartridge = fresh.cartridge;
+    seg.start = fresh.start;
+  } else if (is_tail) {
+    cartridges_[static_cast<std::size_t>(seg.cartridge)].fill += data.size();
+  } else {
+    // Another bitfile was appended after this one (or the cartridge is
+    // full): the whole file moves to a fresh segment; the old one is
+    // abandoned, as on real append-only media.
+    stats_.wasted_bytes += seg.length;
+    Segment fresh = allocate_locked(seg.length + data.size());
+    cartridges_[static_cast<std::size_t>(fresh.cartridge)].fill += seg.length;
+    seg.cartridge = fresh.cartridge;
+    seg.start = fresh.start;
+  }
+
+  const int drive_index = mount_locked(timeline, seg.cartridge);
+  Drive& drive = drives_[static_cast<std::size_t>(drive_index)];
+  seek_locked(timeline, drive, seg.start + seg.length);
+  const simkit::SimTime duration =
+      model_.per_op + simkit::transfer_time(data.size(), model_.write_bw);
+  drive.busy->acquire(timeline, duration);
+  drive.head = seg.start + seg.length + data.size();
+  drive.last_use = timeline.now();
+  ++stats_.writes;
+
+  MSRA_RETURN_IF_ERROR(data_->write(name, seg.length, data));
+  seg.length += data.size();
+  return Status::Ok();
+}
+
+Status TapeLibrary::read(simkit::Timeline& timeline, const std::string& name,
+                         std::uint64_t offset, std::span<std::byte> out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = segments_.find(name);
+  if (it == segments_.end()) return Status::NotFound("no bitfile: " + name);
+  const Segment& seg = it->second;
+  if (offset + out.size() > seg.length) {
+    return Status::OutOfRange("read past end of bitfile " + name);
+  }
+  if (!out.empty()) {
+    const int drive_index = mount_locked(timeline, seg.cartridge);
+    Drive& drive = drives_[static_cast<std::size_t>(drive_index)];
+    seek_locked(timeline, drive, seg.start + offset);
+    const simkit::SimTime duration =
+        model_.per_op + simkit::transfer_time(out.size(), model_.read_bw);
+    drive.busy->acquire(timeline, duration);
+    drive.head = seg.start + offset + out.size();
+    drive.last_use = timeline.now();
+  }
+  ++stats_.reads;
+  return data_->read(name, offset, out);
+}
+
+Status TapeLibrary::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = segments_.find(name);
+  if (it == segments_.end()) return Status::NotFound("no bitfile: " + name);
+  stats_.wasted_bytes += it->second.length;
+  segments_.erase(it);
+  return data_->remove(name);
+}
+
+std::vector<store::ObjectInfo> TapeLibrary::list(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<store::ObjectInfo> out;
+  for (auto it = segments_.lower_bound(prefix); it != segments_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back({it->first, it->second.length});
+  }
+  return out;
+}
+
+std::uint64_t TapeLibrary::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [name, seg] : segments_) total += seg.length;
+  return total;
+}
+
+int TapeLibrary::cartridge_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(cartridges_.size());
+}
+
+TapeStats TapeLibrary::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void TapeLibrary::reset_clocks() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  robot_.reset();
+  for (auto& drive : drives_) {
+    drive.busy->reset();
+    drive.last_use = 0.0;
+  }
+}
+
+void TapeLibrary::dismount_all(simkit::Timeline& timeline) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& drive : drives_) {
+    if (drive.mounted >= 0) {
+      robot_.acquire(timeline, model_.dismount);
+      ++stats_.dismounts;
+      drive.mounted = -1;
+      drive.head = 0;
+    }
+  }
+}
+
+}  // namespace msra::tape

@@ -1,0 +1,155 @@
+// Tape library emulation — the HPSS stand-in.
+//
+// Reproduces the *physical nature* the paper leans on (section 1: "a tape
+// system such as HPSS requires a minimum of 20 to 40 seconds to be ready to
+// move the data and the data transfer rate is very slow compared to disks"):
+//
+//  * bitfiles occupy contiguous segments on cartridges;
+//  * a cartridge must be mounted on a drive (robot + load time) before use;
+//  * the head seeks linearly over the tape (seconds proportional to
+//    distance);
+//  * transfer is sequential and slow;
+//  * rewriting a bitfile abandons its old segment (wasted tape), as on real
+//    write-once-append media.
+//
+// Data is held in a MemObjectStore so reads return real bytes; all costs are
+// charged to simkit timelines/resources.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "simkit/resource.h"
+#include "simkit/timeline.h"
+#include "store/mem_store.h"
+#include "store/object_store.h"
+#include "tape/backend.h"
+
+namespace msra::tape {
+
+/// Hardware parameters of the tape system.
+struct TapeModel {
+  simkit::SimTime mount = 25.0;      ///< robot fetch + drive load + ready (s)
+  simkit::SimTime dismount = 15.0;   ///< unload + stow (s)
+  simkit::SimTime min_seek = 0.5;    ///< fixed reposition startup (s)
+  double seek_rate = 2.0e-9;         ///< head travel seconds per byte of distance
+  double read_bw = 60.0e3;           ///< sequential read bandwidth (B/s)
+  double write_bw = 60.0e3;          ///< sequential write bandwidth (B/s)
+  simkit::SimTime per_op = 0.05;     ///< fixed per-request overhead (s)
+  simkit::SimTime open_read = 6.17;  ///< bitfile open, read (Table 1)
+  simkit::SimTime open_write = 6.17; ///< bitfile open, write (Table 1)
+  simkit::SimTime close_read = 0.46; ///< bitfile close, read (Table 1)
+  simkit::SimTime close_write = 0.42;///< bitfile close, write (Table 1)
+  std::uint64_t cartridge_capacity = 10ull << 30;  ///< bytes per cartridge
+};
+
+/// Cumulative operational statistics.
+struct TapeStats {
+  std::uint64_t mounts = 0;
+  std::uint64_t dismounts = 0;
+  std::uint64_t seeks = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t wasted_bytes = 0;  ///< abandoned (rewritten) segments
+};
+
+/// A tape library with a robot arm and a fixed number of drives.
+/// Thread-safe; contention is modeled through simkit resources (one per
+/// drive, one robot).
+class TapeLibrary : public BitfileBackend {
+ public:
+  /// With a `backing` store (not owned), bitfile payloads live there instead
+  /// of in memory, and existing objects are re-ingested on construction:
+  /// each gets a fresh sequential segment (the positions of a re-catalogued
+  /// archive, not the original ones).
+  TapeLibrary(std::string name, TapeModel model, int num_drives = 1,
+              store::ObjectStore* backing = nullptr);
+
+  const TapeModel& model() const { return model_; }
+
+  /// Creates an empty bitfile. With `overwrite`, an existing bitfile's
+  /// segment is abandoned (counted as wasted tape) and the file restarts.
+  Status create(const std::string& name, bool overwrite) override;
+
+  bool exists(const std::string& name) const override;
+  StatusOr<std::uint64_t> size(const std::string& name) const override;
+
+  /// Appends to a bitfile. Tape writes are sequential: `offset` must equal
+  /// the current size. Charges mount (if needed) + seek-to-end + transfer.
+  Status append(simkit::Timeline& timeline, const std::string& name,
+                std::uint64_t offset, std::span<const std::byte> data) override;
+
+  /// Reads at any offset. Charges mount (if needed) + seek + transfer.
+  Status read(simkit::Timeline& timeline, const std::string& name,
+              std::uint64_t offset, std::span<std::byte> out) override;
+
+  /// Deletes a bitfile; its tape segment is abandoned.
+  Status remove(const std::string& name) override;
+
+  std::vector<store::ObjectInfo> list(const std::string& prefix) const override;
+
+  std::uint64_t used_bytes() const override;
+  int cartridge_count() const;
+  TapeStats stats() const;
+
+  /// Unloads all drives (e.g. nightly maintenance in a failover scenario).
+  void dismount_all(simkit::Timeline& timeline);
+
+  /// Resets the virtual clocks of drives and robot (between independent
+  /// experiment repetitions). Physical state (mounted cartridges, head
+  /// positions, stored data) is preserved.
+  void reset_clocks() override;
+
+  /// Bitfile open/close costs (Table 1 magnitudes, from the model).
+  simkit::SimTime open_cost(const std::string&, bool write) const override {
+    return write ? model_.open_write : model_.open_read;
+  }
+  simkit::SimTime close_cost(bool write) const override {
+    return write ? model_.close_write : model_.close_read;
+  }
+
+ private:
+  struct Segment {
+    int cartridge = -1;
+    std::uint64_t start = 0;   ///< byte position on the cartridge
+    std::uint64_t length = 0;
+  };
+  struct Cartridge {
+    std::uint64_t fill = 0;    ///< next free byte position
+  };
+  struct Drive {
+    int mounted = -1;          ///< cartridge index or -1
+    std::uint64_t head = 0;    ///< current head byte position
+    std::unique_ptr<simkit::Resource> busy;
+    simkit::SimTime last_use = 0.0;
+  };
+
+  /// Ensures `cartridge` is mounted on some drive; returns the drive index.
+  /// Caller holds mutex_. Charges robot + mount costs to `timeline`.
+  int mount_locked(simkit::Timeline& timeline, int cartridge);
+
+  /// Allocates a fresh segment of `bytes` on the current fill cartridge
+  /// (opens a new cartridge when full). Caller holds mutex_.
+  Segment allocate_locked(std::uint64_t bytes);
+
+  /// Moves the drive head to `target` charging seek time. Caller holds mutex_.
+  void seek_locked(simkit::Timeline& timeline, Drive& drive, std::uint64_t target);
+
+  std::string name_;
+  TapeModel model_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Segment> segments_;
+  std::vector<Cartridge> cartridges_;
+  std::vector<Drive> drives_;
+  simkit::Resource robot_;
+  store::MemObjectStore owned_data_;
+  store::ObjectStore* data_;  ///< owned_data_ or an external backing store
+  TapeStats stats_;
+};
+
+}  // namespace msra::tape

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "../tools/argparse.h"
+
+namespace msra::tools {
+namespace {
+
+Args parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "msractl");
+  return Args::parse(static_cast<int>(argv.size()),
+                     const_cast<char**>(argv.data()));
+}
+
+TEST(ArgsTest, KeyValueForms) {
+  auto args = parse({"--root", "/tmp/x", "--iterations=12"});
+  EXPECT_EQ(args.get("root"), "/tmp/x");
+  EXPECT_EQ(args.get_int("iterations", 0), 12);
+}
+
+TEST(ArgsTest, BooleanFlags) {
+  auto args = parse({"--superfile", "--dataset", "vr_temp"});
+  EXPECT_TRUE(args.has("superfile"));
+  EXPECT_FALSE(args.has("resume"));
+  EXPECT_EQ(args.get("dataset"), "vr_temp");
+}
+
+TEST(ArgsTest, FlagFollowedByFlagHasEmptyValue) {
+  auto args = parse({"--resume", "--superfile"});
+  EXPECT_TRUE(args.has("resume"));
+  EXPECT_TRUE(args.has("superfile"));
+  EXPECT_EQ(args.get("resume"), "");
+}
+
+TEST(ArgsTest, RepeatedOptionsAccumulate) {
+  auto args = parse({"--hint", "temp=REMOTEDISK", "--hint", "vr_temp=LOCALDISK"});
+  auto hints = args.get_all("hint");
+  ASSERT_EQ(hints.size(), 2u);
+  EXPECT_EQ(hints[0], "temp=REMOTEDISK");
+  EXPECT_EQ(hints[1], "vr_temp=LOCALDISK");
+  // get() returns the last occurrence.
+  EXPECT_EQ(args.get("hint"), "vr_temp=LOCALDISK");
+}
+
+TEST(ArgsTest, PositionalsCollected) {
+  auto args = parse({"alpha", "--k", "v", "beta"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "alpha");
+  EXPECT_EQ(args.positional()[1], "beta");
+}
+
+TEST(ArgsTest, DefaultsApplyWhenAbsent) {
+  auto args = parse({});
+  EXPECT_EQ(args.get("root", "fallback"), "fallback");
+  EXPECT_EQ(args.get_int("nprocs", 4), 4);
+  EXPECT_TRUE(args.get_all("hint").empty());
+}
+
+TEST(ArgsTest, EqualsValueMayContainEquals) {
+  auto args = parse({"--hint=temp=REMOTEDISK"});
+  EXPECT_EQ(args.get("hint"), "temp=REMOTEDISK");
+}
+
+TEST(ArgsTest, EmptyIntValueFallsBack) {
+  auto args = parse({"--iterations", "--other", "x"});
+  EXPECT_EQ(args.get_int("iterations", 7), 7);
+}
+
+}  // namespace
+}  // namespace msra::tools

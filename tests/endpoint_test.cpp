@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/profiles.h"
+#include "core/system.h"
+#include "runtime/endpoint.h"
+
+namespace msra::runtime {
+namespace {
+
+using core::HardwareProfile;
+using core::Location;
+using core::StorageSystem;
+using simkit::Timeline;
+
+class EndpointTest : public ::testing::Test {
+ protected:
+  EndpointTest() : system_(HardwareProfile::test_profile()) {}
+  StorageSystem system_;
+};
+
+TEST_F(EndpointTest, LocalEndpointHasFreeConnects) {
+  StorageEndpoint& local = system_.endpoint(Location::kLocalDisk);
+  Timeline tl;
+  ASSERT_TRUE(local.connect(tl).ok());
+  ASSERT_TRUE(local.disconnect(tl).ok());
+  EXPECT_DOUBLE_EQ(tl.now(), 0.0);
+  EXPECT_EQ(local.kind(), srb::StorageKind::kLocalDisk);
+}
+
+TEST_F(EndpointTest, KindsAreWiredCorrectly) {
+  EXPECT_EQ(system_.endpoint(Location::kRemoteDisk).kind(),
+            srb::StorageKind::kRemoteDisk);
+  EXPECT_EQ(system_.endpoint(Location::kRemoteTape).kind(),
+            srb::StorageKind::kRemoteTape);
+}
+
+TEST_F(EndpointTest, FreeBytesTracksUsage) {
+  StorageEndpoint& local = system_.endpoint(Location::kLocalDisk);
+  const std::uint64_t before = local.free_bytes();
+  Timeline tl;
+  auto file = FileSession::start(local, tl, "f", srb::OpenMode::kCreate);
+  ASSERT_TRUE(file.ok());
+  std::vector<std::byte> data(1 << 20, std::byte{1});
+  ASSERT_TRUE(file->write(data).ok());
+  ASSERT_TRUE(file->finish().ok());
+  EXPECT_EQ(local.free_bytes(), before - (1 << 20));
+}
+
+TEST_F(EndpointTest, FileSessionClosesOnDestruction) {
+  StorageEndpoint& remote = system_.endpoint(Location::kRemoteDisk);
+  Timeline tl;
+  {
+    auto file = FileSession::start(remote, tl, "raii", srb::OpenMode::kCreate);
+    ASSERT_TRUE(file.ok());
+    std::vector<std::byte> data(100, std::byte{2});
+    ASSERT_TRUE(file->write(data).ok());
+    // No finish(): the destructor must close + disconnect.
+  }
+  // A fresh session can reopen and read the full content.
+  auto file = FileSession::start(remote, tl, "raii", srb::OpenMode::kRead);
+  ASSERT_TRUE(file.ok());
+  std::vector<std::byte> out(100);
+  EXPECT_TRUE(file->read(out).ok());
+}
+
+TEST_F(EndpointTest, OpenFailureLeavesNoDanglingConnection) {
+  StorageEndpoint& remote = system_.endpoint(Location::kRemoteDisk);
+  Timeline tl;
+  auto file = FileSession::start(remote, tl, "missing", srb::OpenMode::kRead);
+  EXPECT_EQ(file.status().code(), ErrorCode::kNotFound);
+  // The failed session must have released its connection reference.
+  auto* endpoint = dynamic_cast<RemoteEndpoint*>(&remote);
+  ASSERT_NE(endpoint, nullptr);
+  EXPECT_FALSE(endpoint->client().connected());
+}
+
+TEST_F(EndpointTest, NamespaceOpsAutoConnect) {
+  StorageEndpoint& remote = system_.endpoint(Location::kRemoteDisk);
+  Timeline tl;
+  {
+    auto file = FileSession::start(remote, tl, "ns/a", srb::OpenMode::kCreate);
+    ASSERT_TRUE(file.ok());
+    std::vector<std::byte> data(64, std::byte{3});
+    ASSERT_TRUE(file->write(data).ok());
+  }
+  // No explicit connect: size/list/remove still work.
+  auto size = remote.size(tl, "ns/a");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 64u);
+  auto listed = remote.list(tl, "ns/");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed->size(), 1u);
+  EXPECT_TRUE(remote.remove(tl, "ns/a").ok());
+  auto* endpoint = dynamic_cast<RemoteEndpoint*>(&remote);
+  EXPECT_FALSE(endpoint->client().connected()) << "ephemeral connections drop";
+}
+
+// Regression: concurrent file sessions on one shared remote endpoint. The
+// first session's disconnect must NOT tear the connection down under the
+// others (connection references are counted).
+TEST_F(EndpointTest, ConcurrentSessionsShareConnectionSafely) {
+  StorageEndpoint& remote = system_.endpoint(Location::kRemoteDisk);
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  std::vector<Status> statuses(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&remote, &statuses, t] {
+      Timeline tl;
+      for (int round = 0; round < 20; ++round) {
+        auto file = FileSession::start(
+            remote, tl, "conc/" + std::to_string(t) + "_" + std::to_string(round),
+            srb::OpenMode::kOverwrite);
+        if (!file.ok()) {
+          statuses[static_cast<std::size_t>(t)] = file.status();
+          return;
+        }
+        std::vector<std::byte> data(256, static_cast<std::byte>(t));
+        Status s = file->write(data);
+        if (s.ok()) s = file->finish();
+        if (!s.ok()) {
+          statuses[static_cast<std::size_t>(t)] = s;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(statuses[static_cast<std::size_t>(t)].ok())
+        << "thread " << t << ": " << statuses[static_cast<std::size_t>(t)].to_string();
+  }
+  // All sessions closed: the connection is fully released.
+  auto* endpoint = dynamic_cast<RemoteEndpoint*>(&remote);
+  EXPECT_FALSE(endpoint->client().connected());
+}
+
+TEST_F(EndpointTest, ConnectionRefCountingChargesOnce) {
+  auto* endpoint = dynamic_cast<RemoteEndpoint*>(
+      &system_.endpoint(Location::kRemoteDisk));
+  ASSERT_NE(endpoint, nullptr);
+  Timeline a, b;
+  ASSERT_TRUE(endpoint->connect(a).ok());
+  const double first = a.now();
+  EXPECT_GT(first, 0.0);
+  ASSERT_TRUE(endpoint->connect(b).ok());  // nested: free
+  EXPECT_DOUBLE_EQ(b.now(), 0.0);
+  ASSERT_TRUE(endpoint->disconnect(b).ok());  // inner release: free
+  EXPECT_DOUBLE_EQ(b.now(), 0.0);
+  EXPECT_TRUE(endpoint->client().connected());
+  ASSERT_TRUE(endpoint->disconnect(a).ok());  // outer release: teardown
+  EXPECT_FALSE(endpoint->client().connected());
+}
+
+TEST_F(EndpointTest, UnavailableEndpointReportsAndRecovers) {
+  StorageEndpoint& remote = system_.endpoint(Location::kRemoteDisk);
+  system_.set_location_available(Location::kRemoteDisk, false);
+  EXPECT_FALSE(remote.available());
+  Timeline tl;
+  auto file = FileSession::start(remote, tl, "down", srb::OpenMode::kCreate);
+  EXPECT_EQ(file.status().code(), ErrorCode::kUnavailable);
+  system_.set_location_available(Location::kRemoteDisk, true);
+  EXPECT_TRUE(remote.available());
+  EXPECT_TRUE(FileSession::start(remote, tl, "down", srb::OpenMode::kCreate).ok());
+}
+
+}  // namespace
+}  // namespace msra::runtime

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/profiles.h"
+#include "core/session.h"
+#include "core/system.h"
+#include "tape/hsm.h"
+
+namespace msra::tape {
+namespace {
+
+using simkit::Timeline;
+
+std::vector<std::byte> make_bytes(std::size_t n, unsigned char fill) {
+  return std::vector<std::byte>(n, static_cast<std::byte>(fill));
+}
+
+TapeModel slow_tape() {
+  TapeModel m;
+  m.mount = 5.0;
+  m.dismount = 2.0;
+  m.min_seek = 0.1;
+  m.seek_rate = 1e-8;
+  m.read_bw = 100.0e3;
+  m.write_bw = 100.0e3;
+  m.per_op = 0.01;
+  m.open_read = 1.0;
+  m.open_write = 1.0;
+  m.close_read = 0.1;
+  m.close_write = 0.1;
+  m.cartridge_capacity = 1 << 30;
+  return m;
+}
+
+HsmModel fast_cache(std::uint64_t capacity) {
+  HsmModel m;
+  m.cache_disk.read_bw = 10.0e6;
+  m.cache_disk.write_bw = 10.0e6;
+  m.cache_disk.per_op = 0.001;
+  m.cache_capacity = capacity;
+  m.open_cached = 0.25;
+  m.close_cached = 0.05;
+  return m;
+}
+
+class HsmTest : public ::testing::Test {
+ protected:
+  HsmTest()
+      : tape_("tape", slow_tape(), 2),
+        hsm_("cache", fast_cache(1 << 20), &tape_) {}
+
+  TapeLibrary tape_;
+  HsmStore hsm_;
+};
+
+TEST_F(HsmTest, WritesLandOnCacheFast) {
+  Timeline tl;
+  ASSERT_TRUE(hsm_.create("f", false).ok());
+  auto data = make_bytes(100000, 1);
+  ASSERT_TRUE(hsm_.append(tl, "f", 0, data).ok());
+  // 100 KB at 10 MB/s: ~0.01 s — no tape mount, no tape transfer.
+  EXPECT_LT(tl.now(), 0.1);
+  EXPECT_TRUE(hsm_.is_cached("f"));
+  EXPECT_EQ(tape_.used_bytes(), 0u) << "nothing migrated yet";
+}
+
+TEST_F(HsmTest, CachedReadsAvoidTheTape) {
+  Timeline tl;
+  ASSERT_TRUE(hsm_.create("f", false).ok());
+  auto data = make_bytes(50000, 2);
+  ASSERT_TRUE(hsm_.append(tl, "f", 0, data).ok());
+  const double before = tl.now();
+  std::vector<std::byte> out(50000);
+  ASSERT_TRUE(hsm_.read(tl, "f", 0, out).ok());
+  EXPECT_EQ(out, data);
+  EXPECT_LT(tl.now() - before, 0.1);
+  EXPECT_EQ(hsm_.stats().cache_hits, 1u);
+}
+
+TEST_F(HsmTest, MigrateAllPushesDirtyDataToTape) {
+  Timeline tl;
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "f" + std::to_string(i);
+    ASSERT_TRUE(hsm_.create(name, false).ok());
+    ASSERT_TRUE(hsm_.append(tl, name, 0, make_bytes(10000, 3)).ok());
+  }
+  ASSERT_TRUE(hsm_.migrate_all(tl).ok());
+  EXPECT_EQ(hsm_.stats().migrations, 3u);
+  EXPECT_EQ(tape_.used_bytes(), 30000u);
+  // Copies stay cached (clean) — reads still fast.
+  EXPECT_TRUE(hsm_.is_cached("f0"));
+}
+
+TEST_F(HsmTest, CachePressureMigratesLruVictims) {
+  Timeline tl;
+  // Cache holds 1 MiB; write three 400 KB objects.
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "big" + std::to_string(i);
+    ASSERT_TRUE(hsm_.create(name, false).ok());
+    ASSERT_TRUE(hsm_.append(tl, name, 0, make_bytes(400000, 4)).ok());
+  }
+  // The first object (LRU) was migrated + dropped to make room.
+  EXPECT_FALSE(hsm_.is_cached("big0"));
+  EXPECT_TRUE(hsm_.is_cached("big2"));
+  EXPECT_GE(hsm_.stats().migrations, 1u);
+  EXPECT_LE(hsm_.cache_used(), 1u << 20);
+  // The evicted object is still fully readable (recalled from tape).
+  std::vector<std::byte> out(400000);
+  ASSERT_TRUE(hsm_.read(tl, "big0", 0, out).ok());
+  EXPECT_EQ(out[0], std::byte{4});
+  EXPECT_EQ(hsm_.stats().recalls, 1u);
+}
+
+TEST_F(HsmTest, RecallPaysTheTapeThenHitsAreCheap) {
+  Timeline wtl;
+  ASSERT_TRUE(hsm_.create("f", false).ok());
+  ASSERT_TRUE(hsm_.append(wtl, "f", 0, make_bytes(200000, 5)).ok());
+  ASSERT_TRUE(hsm_.migrate_all(wtl).ok());
+  // Force the cached copy out.
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "filler" + std::to_string(i);
+    ASSERT_TRUE(hsm_.create(name, false).ok());
+    Timeline tl;
+    ASSERT_TRUE(hsm_.append(tl, name, 0, make_bytes(350000, 6)).ok());
+  }
+  ASSERT_FALSE(hsm_.is_cached("f"));
+  Timeline cold, warm;
+  std::vector<std::byte> out(200000);
+  ASSERT_TRUE(hsm_.read(cold, "f", 0, out).ok());   // recall: mount + transfer
+  ASSERT_TRUE(hsm_.read(warm, "f", 0, out).ok());   // cache hit
+  EXPECT_GT(cold.now(), 1.0);
+  EXPECT_LT(warm.now(), 0.2 * cold.now());
+}
+
+TEST_F(HsmTest, RandomOffsetWritesAllowedWhileStaged) {
+  // Bare tape would reject this; the staging disk accepts it.
+  Timeline tl;
+  ASSERT_TRUE(hsm_.create("rw", false).ok());
+  ASSERT_TRUE(hsm_.append(tl, "rw", 0, make_bytes(1000, 1)).ok());
+  ASSERT_TRUE(hsm_.append(tl, "rw", 200, make_bytes(100, 9)).ok());
+  std::vector<std::byte> out(1000);
+  ASSERT_TRUE(hsm_.read(tl, "rw", 0, out).ok());
+  EXPECT_EQ(out[200], std::byte{9});
+  EXPECT_EQ(out[100], std::byte{1});
+  EXPECT_EQ(hsm_.size("rw").value(), 1000u);
+  // But writes past the end are rejected.
+  EXPECT_EQ(hsm_.append(tl, "rw", 2000, make_bytes(10, 1)).code(),
+            msra::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(HsmTest, OverwriteDropsBothCopies) {
+  Timeline tl;
+  ASSERT_TRUE(hsm_.create("f", false).ok());
+  ASSERT_TRUE(hsm_.append(tl, "f", 0, make_bytes(5000, 1)).ok());
+  ASSERT_TRUE(hsm_.migrate_all(tl).ok());
+  ASSERT_TRUE(hsm_.create("f", true).ok());
+  EXPECT_EQ(hsm_.size("f").value(), 0u);
+  EXPECT_FALSE(tape_.exists("f"));
+  EXPECT_EQ(hsm_.create("f", false).code(), msra::ErrorCode::kAlreadyExists);
+}
+
+TEST_F(HsmTest, OpenCostsDependOnStaging) {
+  Timeline tl;
+  ASSERT_TRUE(hsm_.create("f", false).ok());
+  ASSERT_TRUE(hsm_.append(tl, "f", 0, make_bytes(400000, 1)).ok());
+  EXPECT_DOUBLE_EQ(hsm_.open_cost("f", false), 0.25);  // staged
+  ASSERT_TRUE(hsm_.migrate_all(tl).ok());
+  // Evict by filling the cache.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(hsm_.create("x" + std::to_string(i), false).ok());
+    ASSERT_TRUE(
+        hsm_.append(tl, "x" + std::to_string(i), 0, make_bytes(350000, 2)).ok());
+  }
+  EXPECT_DOUBLE_EQ(hsm_.open_cost("f", false), 1.0);  // tape open
+  // New files open at cache rates (they will be staged).
+  EXPECT_DOUBLE_EQ(hsm_.open_cost("new", true), 0.25);
+}
+
+// End-to-end: the whole stack with the hierarchy enabled — Astro3D dumps to
+// "tape" hit the staging disks, so the archive write time collapses; the
+// nightly migrate_all drains to the physical tapes.
+TEST(HsmSystemTest, HierarchyAcceleratesArchivalWrites) {
+  using core::HardwareProfile;
+  using core::Location;
+  double bare_time = 0.0, staged_time = 0.0;
+  for (bool staged : {false, true}) {
+    HardwareProfile profile = HardwareProfile::test_profile();
+    if (staged) {
+      profile.tape_cache_bytes = 64ull << 20;
+      profile.tape_cache.cache_disk.read_bw = 50.0e6;
+      profile.tape_cache.cache_disk.write_bw = 50.0e6;
+    }
+    core::StorageSystem system(profile);
+    core::Session session(system, {.application = "hsm", .nprocs = 2,
+                                   .iterations = 4});
+    core::DatasetDesc desc;
+    desc.name = "press";
+    desc.dims = {32, 32, 32};
+    desc.etype = core::ElementType::kFloat32;
+    desc.frequency = 2;
+    desc.location = Location::kRemoteTape;
+    auto handle = session.open(desc);
+    ASSERT_TRUE(handle.ok());
+    double total = 0.0;
+    prt::World world(2);
+    world.run([&](prt::Comm& comm) {
+      auto layout = (*handle)->layout(2);
+      const prt::LocalBox box = layout->decomp.local_box(comm.rank());
+      std::vector<std::byte> block(box.volume() * 4, std::byte{1});
+      for (int t = 0; t <= 4; t += 2) {
+        ASSERT_TRUE((*handle)->write_timestep(comm, t, block).ok());
+      }
+      if (comm.rank() == 0) total = comm.timeline().now();
+    });
+    (staged ? staged_time : bare_time) = total;
+    if (staged) {
+      // Data is still readable, and migration drains it to physical tape.
+      simkit::Timeline tl;
+      EXPECT_TRUE((*handle)->read_whole(tl, 2).ok());
+      ASSERT_NE(system.hsm(), nullptr);
+      ASSERT_TRUE(system.hsm()->migrate_all(tl).ok());
+      EXPECT_EQ(system.tape_library().used_bytes(),
+                3 * desc.global_bytes());
+    }
+  }
+  EXPECT_LT(staged_time, 0.3 * bare_time)
+      << "the staging cache must hide the tape costs (bare " << bare_time
+      << " s vs staged " << staged_time << " s)";
+}
+
+}  // namespace
+}  // namespace msra::tape

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+#include "meta/database.h"
+
+namespace msra::meta {
+namespace {
+
+Schema dataset_schema() {
+  return Schema{{"name", ColumnType::kText},
+                {"location", ColumnType::kText},
+                {"size", ColumnType::kInt},
+                {"freq", ColumnType::kInt},
+                {"score", ColumnType::kReal}};
+}
+
+Row make_dataset(const std::string& name, const std::string& loc,
+                 std::int64_t size, std::int64_t freq, double score) {
+  return Row{name, loc, size, freq, score};
+}
+
+TEST(SchemaTest, ValidateChecksArityAndTypes) {
+  Schema s = dataset_schema();
+  EXPECT_TRUE(s.validate(make_dataset("temp", "TAPE", 8, 6, 1.0)).ok());
+  EXPECT_FALSE(s.validate(Row{std::string("x")}).ok());  // arity
+  Row bad = make_dataset("temp", "TAPE", 8, 6, 1.0);
+  bad[2] = 3.14;  // real into int column
+  EXPECT_FALSE(s.validate(bad).ok());
+}
+
+TEST(SchemaTest, NullMatchesAnyType) {
+  Schema s = dataset_schema();
+  Row row = make_dataset("temp", "TAPE", 8, 6, 1.0);
+  row[1] = std::monostate{};
+  EXPECT_TRUE(s.validate(row).ok());
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema s = dataset_schema();
+  EXPECT_EQ(s.index_of("name"), 0);
+  EXPECT_EQ(s.index_of("score"), 4);
+  EXPECT_EQ(s.index_of("missing"), -1);
+}
+
+TEST(TableTest, InsertGetRoundTrip) {
+  Table t("datasets", dataset_schema());
+  auto id = t.insert(make_dataset("temp", "REMOTEDISK", 8 << 20, 6, 0.5));
+  ASSERT_TRUE(id.ok());
+  auto row = t.get(*id);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(std::get<std::string>((*row)[0]), "temp");
+  EXPECT_EQ(std::get<std::int64_t>((*row)[2]), 8 << 20);
+}
+
+TEST(TableTest, RowidsAreMonotonic) {
+  Table t("datasets", dataset_schema());
+  auto a = t.insert(make_dataset("a", "L", 1, 1, 0));
+  auto b = t.insert(make_dataset("b", "L", 1, 1, 0));
+  EXPECT_LT(*a, *b);
+}
+
+TEST(TableTest, UpdateReplacesRow) {
+  Table t("datasets", dataset_schema());
+  auto id = t.insert(make_dataset("temp", "TAPE", 1, 6, 0));
+  ASSERT_TRUE(t.update(*id, make_dataset("temp", "LOCALDISK", 2, 6, 0)).ok());
+  EXPECT_EQ(std::get<std::string>(t.get(*id)->at(1)), "LOCALDISK");
+}
+
+TEST(TableTest, UpdateCell) {
+  Table t("datasets", dataset_schema());
+  auto id = t.insert(make_dataset("temp", "TAPE", 1, 6, 0));
+  ASSERT_TRUE(t.update_cell(*id, "location", Value{std::string("REMOTEDISK")}).ok());
+  EXPECT_EQ(std::get<std::string>(t.get(*id)->at(1)), "REMOTEDISK");
+  EXPECT_FALSE(t.update_cell(*id, "location", Value{std::int64_t{3}}).ok());
+  EXPECT_FALSE(t.update_cell(*id, "nope", Value{std::int64_t{3}}).ok());
+}
+
+TEST(TableTest, EraseRemoves) {
+  Table t("datasets", dataset_schema());
+  auto id = t.insert(make_dataset("temp", "TAPE", 1, 6, 0));
+  ASSERT_TRUE(t.erase(*id).ok());
+  EXPECT_FALSE(t.get(*id).ok());
+  EXPECT_FALSE(t.erase(*id).ok());
+}
+
+TEST(TableTest, FindWithPredicate) {
+  Table t("datasets", dataset_schema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.insert(make_dataset("d" + std::to_string(i),
+                                      i % 2 ? "TAPE" : "LOCALDISK", i, 6, 0))
+                    .ok());
+  }
+  auto on_tape = t.find_eq("location", Value{std::string("TAPE")});
+  EXPECT_EQ(on_tape.size(), 5u);
+  auto big = t.find([](const Row& r) { return std::get<std::int64_t>(r[2]) >= 7; });
+  EXPECT_EQ(big.size(), 3u);
+}
+
+TEST(TableTest, FindFirstEqReportsNotFound) {
+  Table t("datasets", dataset_schema());
+  EXPECT_EQ(t.find_first_eq("name", Value{std::string("ghost")}).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(TableTest, UniqueIndexEnforcedOnInsert) {
+  Table t("datasets", dataset_schema());
+  ASSERT_TRUE(t.create_unique_index("name").ok());
+  ASSERT_TRUE(t.insert(make_dataset("temp", "TAPE", 1, 6, 0)).ok());
+  EXPECT_EQ(t.insert(make_dataset("temp", "LOCALDISK", 2, 6, 0)).status().code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(TableTest, UniqueIndexLookup) {
+  Table t("datasets", dataset_schema());
+  ASSERT_TRUE(t.create_unique_index("name").ok());
+  auto id = t.insert(make_dataset("vr_temp", "LOCALDISK", 2, 6, 0));
+  auto found = t.lookup("name", Value{std::string("vr_temp")});
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, *id);
+  EXPECT_EQ(t.lookup("name", Value{std::string("nope")}).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(TableTest, UniqueIndexFollowsUpdates) {
+  Table t("datasets", dataset_schema());
+  ASSERT_TRUE(t.create_unique_index("name").ok());
+  auto id = t.insert(make_dataset("old", "TAPE", 1, 6, 0));
+  ASSERT_TRUE(t.update_cell(*id, "name", Value{std::string("new")}).ok());
+  EXPECT_TRUE(t.lookup("name", Value{std::string("new")}).ok());
+  EXPECT_FALSE(t.lookup("name", Value{std::string("old")}).ok());
+  // The freed name can be reused.
+  EXPECT_TRUE(t.insert(make_dataset("old", "TAPE", 1, 6, 0)).ok());
+}
+
+TEST(TableTest, IndexOnExistingDuplicatesFails) {
+  Table t("datasets", dataset_schema());
+  ASSERT_TRUE(t.insert(make_dataset("same", "TAPE", 1, 6, 0)).ok());
+  ASSERT_TRUE(t.insert(make_dataset("same", "DISK", 2, 6, 0)).ok());
+  EXPECT_EQ(t.create_unique_index("name").code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(TableTest, InsertRejectsBadTypes) {
+  Table t("datasets", dataset_schema());
+  Row bad = make_dataset("x", "TAPE", 1, 6, 0);
+  bad[0] = 3.0;
+  EXPECT_EQ(t.insert(bad).status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, CreateAndFetchTables) {
+  Database db;
+  ASSERT_TRUE(db.create_table("datasets", dataset_schema()).ok());
+  EXPECT_NE(db.table("datasets"), nullptr);
+  EXPECT_EQ(db.table("ghost"), nullptr);
+  EXPECT_EQ(db.create_table("datasets", dataset_schema()).status().code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, OpenTableIsIdempotent) {
+  Database db;
+  auto a = db.open_table("t", dataset_schema());
+  auto b = db.open_table("t", dataset_schema());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(DatabaseTest, DropTable) {
+  Database db;
+  ASSERT_TRUE(db.create_table("t", dataset_schema()).ok());
+  ASSERT_TRUE(db.drop_table("t").ok());
+  EXPECT_EQ(db.table("t"), nullptr);
+  EXPECT_FALSE(db.drop_table("t").ok());
+}
+
+TEST(DatabaseTest, SaveLoadRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "msra_meta_test.db";
+  {
+    Database db;
+    auto table = db.create_table("datasets", dataset_schema());
+    ASSERT_TRUE(table.ok());
+    ASSERT_TRUE((*table)->create_unique_index("name").ok());
+    ASSERT_TRUE((*table)->insert(make_dataset("temp", "TAPE", 8, 6, 1.5)).ok());
+    ASSERT_TRUE((*table)->insert(make_dataset("press", "DISK", 4, 3, 2.5)).ok());
+    Row with_null = make_dataset("rho", "DISK", 1, 1, 0.0);
+    with_null[4] = std::monostate{};
+    ASSERT_TRUE((*table)->insert(with_null).ok());
+    ASSERT_TRUE(db.save(path).ok());
+  }
+  auto loaded = Database::load(path);
+  ASSERT_TRUE(loaded.ok());
+  Table* table = (*loaded)->table("datasets");
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->size(), 3u);
+  auto id = table->lookup("name", Value{std::string("press")});
+  ASSERT_TRUE(id.ok()) << "unique index must survive persistence";
+  EXPECT_DOUBLE_EQ(std::get<double>(table->get(*id)->at(4)), 2.5);
+  // New inserts continue from the persisted rowid counter.
+  auto fresh = table->insert(make_dataset("new", "TAPE", 1, 1, 0.0));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(*fresh, *id);
+  std::filesystem::remove(path);
+}
+
+TEST(DatabaseTest, LoadRejectsGarbage) {
+  const auto path = std::filesystem::temp_directory_path() / "msra_garbage.db";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a database";
+  }
+  EXPECT_FALSE(Database::load(path).ok());
+  std::filesystem::remove(path);
+  EXPECT_EQ(Database::load(path).status().code(), ErrorCode::kNotFound);
+}
+
+// Property: a randomized CRUD sequence matches a reference std::map model.
+TEST(TableTest, RandomizedCrudMatchesModel) {
+  Rng rng(99);
+  Table t("fuzz", Schema{{"key", ColumnType::kInt}, {"val", ColumnType::kText}});
+  std::map<std::int64_t, std::pair<std::int64_t, std::string>> model;
+  for (int step = 0; step < 500; ++step) {
+    const auto op = rng.next_below(3);
+    if (op == 0 || model.empty()) {
+      const auto key = static_cast<std::int64_t>(rng.next_below(1000));
+      const std::string val = "v" + std::to_string(rng.next_below(100));
+      auto id = t.insert(Row{key, val});
+      ASSERT_TRUE(id.ok());
+      model[*id] = {key, val};
+    } else {
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.next_below(model.size())));
+      if (op == 1) {
+        ASSERT_TRUE(t.erase(it->first).ok());
+        model.erase(it);
+      } else {
+        const std::string val = "u" + std::to_string(rng.next_below(100));
+        ASSERT_TRUE(t.update_cell(it->first, "val", Value{val}).ok());
+        it->second.second = val;
+      }
+    }
+  }
+  EXPECT_EQ(t.size(), model.size());
+  for (const auto& [rowid, kv] : model) {
+    auto row = t.get(rowid);
+    ASSERT_TRUE(row.ok());
+    EXPECT_EQ(std::get<std::int64_t>((*row)[0]), kv.first);
+    EXPECT_EQ(std::get<std::string>((*row)[1]), kv.second);
+  }
+}
+
+}  // namespace
+}  // namespace msra::meta

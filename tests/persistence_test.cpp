@@ -1,0 +1,155 @@
+// Durable mode: catalogs, performance data, disk objects and tape bitfiles
+// survive across StorageSystem instances (i.e. across processes).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "apps/astro3d/astro3d.h"
+#include "apps/mse/mse.h"
+#include "core/session.h"
+#include "predict/predictor.h"
+#include "predict/ptool.h"
+
+namespace msra {
+namespace {
+
+using core::HardwareProfile;
+using core::Location;
+using core::Session;
+using core::StorageSystem;
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("msra_persist_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(PersistenceTest, PerformanceDatabaseSurvivesReopen) {
+  {
+    StorageSystem system(HardwareProfile::test_profile(), root_);
+    predict::PerfDb db(&system.metadb());
+    predict::PTool ptool(system, db);
+    predict::PToolConfig config;
+    config.sizes = {256 << 10, 1 << 20};
+    config.repeats = 1;
+    ASSERT_TRUE(ptool.measure_all(config).ok());
+    ASSERT_TRUE(system.save_metadata().ok());
+  }
+  // A later process predicts without re-measuring.
+  StorageSystem system(HardwareProfile::test_profile(), root_);
+  predict::PerfDb db(&system.metadb());
+  predict::Predictor predictor(&db);
+  auto t = predictor.call_time(Location::kRemoteDisk, predict::IoOp::kWrite,
+                               512 << 10);
+  ASSERT_TRUE(t.ok()) << t.status().to_string();
+  EXPECT_GT(*t, 0.0);
+}
+
+TEST_F(PersistenceTest, DatasetsOnAllMediaSurviveReopen) {
+  apps::astro3d::Config config;
+  config.dims = {12, 12, 12};
+  config.iterations = 4;
+  config.analysis_freq = 2;
+  config.viz_freq = 4;
+  config.checkpoint_freq = 4;
+  config.nprocs = 2;
+  config.default_location = Location::kRemoteTape;
+  config.hints["temp"] = Location::kRemoteDisk;
+  config.hints["vr_temp"] = Location::kLocalDisk;
+  {
+    StorageSystem system(HardwareProfile::test_profile(), root_);
+    Session session(system, {.application = "astro3d", .nprocs = 2,
+                             .iterations = 4});
+    ASSERT_TRUE(apps::astro3d::run(session, config).ok());
+    ASSERT_TRUE(system.save_metadata().ok());
+  }
+  // Reopen: the consumer finds and reads everything, including tape data.
+  StorageSystem system(HardwareProfile::test_profile(), root_);
+  Session session(system, {.application = "viewer", .nprocs = 1});
+  simkit::Timeline tl;
+  for (const char* name : {"temp", "vr_temp", "press"}) {
+    auto handle = session.open_existing(name);
+    ASSERT_TRUE(handle.ok()) << name;
+    auto data = (*handle)->read_whole(tl, 0);
+    ASSERT_TRUE(data.ok()) << name << ": " << data.status().to_string();
+    EXPECT_EQ(data->size(), (*handle)->desc().global_bytes());
+  }
+  // And MSE works across the process boundary.
+  auto analysis = apps::mse::run(session, {.dataset = "temp", .nprocs = 1});
+  ASSERT_TRUE(analysis.ok()) << analysis.status().to_string();
+  EXPECT_EQ(analysis->timesteps.size(), 3u);
+}
+
+TEST_F(PersistenceTest, ResumeWorksAcrossSystems) {
+  auto make_config = [] {
+    apps::astro3d::Config config;
+    config.dims = {10, 10, 10};
+    config.iterations = 8;
+    config.analysis_freq = 4;
+    config.viz_freq = 8;
+    config.checkpoint_freq = 4;
+    config.nprocs = 1;
+    config.default_location = Location::kRemoteDisk;
+    return config;
+  };
+  {
+    StorageSystem system(HardwareProfile::test_profile(), root_);
+    Session session(system, {.application = "astro3d", .nprocs = 1,
+                             .iterations = 4});
+    auto config = make_config();
+    config.iterations = 4;  // "crash" after the t=4 checkpoint
+    ASSERT_TRUE(apps::astro3d::run(session, config).ok());
+    ASSERT_TRUE(system.save_metadata().ok());
+  }
+  StorageSystem system(HardwareProfile::test_profile(), root_);
+  Session session(system, {.application = "astro3d", .nprocs = 1,
+                           .iterations = 8});
+  auto config = make_config();
+  config.resume = true;
+  auto result = apps::astro3d::run(session, config);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result->start_iteration, 5);
+}
+
+TEST_F(PersistenceTest, TapeReingestsExistingBitfiles) {
+  {
+    StorageSystem system(HardwareProfile::test_profile(), root_);
+    simkit::Timeline tl;
+    auto& tape = system.endpoint(Location::kRemoteTape);
+    auto file = runtime::FileSession::start(tape, tl, "archive/a",
+                                            srb::OpenMode::kCreate);
+    ASSERT_TRUE(file.ok());
+    std::vector<std::byte> data(5000, std::byte{0x7E});
+    ASSERT_TRUE(file->write(data).ok());
+    ASSERT_TRUE(file->finish().ok());
+  }
+  StorageSystem system(HardwareProfile::test_profile(), root_);
+  EXPECT_EQ(system.tape_library().used_bytes(), 5000u);
+  simkit::Timeline tl;
+  auto& tape = system.endpoint(Location::kRemoteTape);
+  auto file =
+      runtime::FileSession::start(tape, tl, "archive/a", srb::OpenMode::kRead);
+  ASSERT_TRUE(file.ok());
+  std::vector<std::byte> out(5000);
+  ASSERT_TRUE(file->read(out).ok());
+  EXPECT_EQ(out[0], std::byte{0x7E});
+  // The re-ingested bitfile still obeys tape semantics: append continues at
+  // its tail.
+  EXPECT_EQ(system.tape_library().size("archive/a").value(), 5000u);
+}
+
+TEST_F(PersistenceTest, HermeticSystemsIgnoreSaveMetadata) {
+  StorageSystem system(HardwareProfile::test_profile());
+  EXPECT_FALSE(system.persistent());
+  EXPECT_TRUE(system.save_metadata().ok());  // no-op, not an error
+}
+
+}  // namespace
+}  // namespace msra

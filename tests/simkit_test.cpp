@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "simkit/noise.h"
+#include "simkit/resource.h"
+#include "simkit/timeline.h"
+
+namespace msra::simkit {
+namespace {
+
+TEST(TimelineTest, AdvanceAccumulates) {
+  Timeline tl;
+  tl.advance(1.5);
+  tl.advance(2.5);
+  EXPECT_DOUBLE_EQ(tl.now(), 4.0);
+}
+
+TEST(TimelineTest, AdvanceToOnlyMovesForward) {
+  Timeline tl(10.0);
+  tl.advance_to(5.0);
+  EXPECT_DOUBLE_EQ(tl.now(), 10.0);
+  tl.advance_to(12.0);
+  EXPECT_DOUBLE_EQ(tl.now(), 12.0);
+}
+
+TEST(TimelineTest, NegativeAdvanceIgnored) {
+  Timeline tl(3.0);
+  tl.advance(-1.0);
+  EXPECT_DOUBLE_EQ(tl.now(), 3.0);
+}
+
+TEST(TimelineTest, ScopedTimerMeasuresElapsed) {
+  Timeline tl;
+  SimTime elapsed = -1.0;
+  {
+    ScopedVirtualTimer timer(tl, elapsed);
+    tl.advance(7.0);
+  }
+  EXPECT_DOUBLE_EQ(elapsed, 7.0);
+}
+
+TEST(ResourceTest, SerializesOverlappingWork) {
+  Resource disk("disk");
+  Timeline a, b;
+  // Both actors ask for 10s of service at t=0; the second must queue.
+  EXPECT_DOUBLE_EQ(disk.acquire(a, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(disk.acquire(b, 10.0), 20.0);
+  EXPECT_DOUBLE_EQ(a.now(), 10.0);
+  EXPECT_DOUBLE_EQ(b.now(), 20.0);
+}
+
+TEST(ResourceTest, IdleGapsDoNotQueue) {
+  Resource disk("disk");
+  Timeline a(0.0), b(100.0);
+  disk.acquire(a, 5.0);
+  // b arrives long after the disk went idle: no queueing delay.
+  EXPECT_DOUBLE_EQ(disk.acquire(b, 5.0), 105.0);
+}
+
+TEST(ResourceTest, MultiServerRunsInParallel) {
+  Resource raid("raid", /*capacity=*/2);
+  Timeline a, b, c;
+  EXPECT_DOUBLE_EQ(raid.acquire(a, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(raid.acquire(b, 10.0), 10.0);  // second server
+  EXPECT_DOUBLE_EQ(raid.acquire(c, 10.0), 20.0);  // queues behind one of them
+}
+
+TEST(ResourceTest, TracksBusyTimeAndOps) {
+  Resource r("r");
+  Timeline tl;
+  r.acquire(tl, 2.0);
+  r.acquire(tl, 3.0);
+  EXPECT_DOUBLE_EQ(r.busy_time(), 5.0);
+  EXPECT_EQ(r.operations(), 2u);
+  r.reset();
+  EXPECT_DOUBLE_EQ(r.busy_time(), 0.0);
+  EXPECT_EQ(r.operations(), 0u);
+}
+
+TEST(ResourceTest, ThreadSafeUnderConcurrentAcquire) {
+  Resource r("r");
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 200;
+  std::vector<std::thread> threads;
+  std::vector<Timeline> timelines(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) r.acquire(timelines[static_cast<std::size_t>(t)], 1.0);
+    });
+  }
+  for (auto& th : threads) th.join();
+  // All service serialized on one server: total busy == total requested, and
+  // the last completion is exactly the sum of services.
+  EXPECT_DOUBLE_EQ(r.busy_time(), kThreads * kOpsPerThread * 1.0);
+  EXPECT_EQ(r.operations(), static_cast<std::uint64_t>(kThreads * kOpsPerThread));
+  SimTime latest = 0.0;
+  for (auto& tl : timelines) latest = std::max(latest, tl.now());
+  EXPECT_DOUBLE_EQ(latest, kThreads * kOpsPerThread * 1.0);
+}
+
+TEST(ResourceTest, EarlyActorBackfillsIdleGapBeforeLaterWork) {
+  // An actor that is late in wall-clock but early in virtual time must not
+  // queue behind work already booked far in the future.
+  Resource disk("disk");
+  Timeline late(100.0), early(0.0);
+  EXPECT_DOUBLE_EQ(disk.acquire(late, 5.0), 105.0);   // books [100, 105)
+  EXPECT_DOUBLE_EQ(disk.acquire(early, 5.0), 5.0);    // backfills [0, 5)
+}
+
+TEST(ResourceTest, BackfillOnlyWhenTheGapFits) {
+  Resource disk("disk");
+  Timeline a(10.0), b(0.0);
+  disk.acquire(a, 5.0);  // [10, 15)
+  // 20s of work cannot fit in the [0, 10) gap: it starts after.
+  EXPECT_DOUBLE_EQ(disk.acquire(b, 20.0), 35.0);
+  // But 10s fits exactly.
+  Timeline c(0.0);
+  EXPECT_DOUBLE_EQ(disk.acquire(c, 10.0), 10.0);
+}
+
+TEST(ResourceTest, TouchingReservationsMergeDense) {
+  // A long run of contiguous work must not degrade: intervals merge.
+  Resource disk("disk");
+  Timeline tl;
+  for (int i = 0; i < 10000; ++i) disk.acquire(tl, 0.001);
+  EXPECT_NEAR(tl.now(), 10.0, 1e-6);
+  EXPECT_NEAR(disk.busy_time(), 10.0, 1e-6);
+}
+
+TEST(ResourceTest, ZeroServiceCostsNothingAndBlocksNothing) {
+  Resource disk("disk");
+  Timeline tl(3.0);
+  EXPECT_DOUBLE_EQ(disk.reserve(3.0, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(disk.busy_time(), 0.0);
+  EXPECT_DOUBLE_EQ(disk.acquire(tl, 5.0), 8.0);
+}
+
+TEST(TransferTimeTest, ZeroBandwidthIsInstant) {
+  EXPECT_DOUBLE_EQ(transfer_time(1 << 20, 0.0), 0.0);
+}
+
+TEST(TransferTimeTest, ScalesLinearly) {
+  EXPECT_DOUBLE_EQ(transfer_time(2048, 1024.0), 2.0);
+}
+
+TEST(NoiseTest, DisabledByDefault) {
+  NoiseModel noise;
+  EXPECT_FALSE(noise.enabled());
+  EXPECT_DOUBLE_EQ(noise.apply(5.0), 5.0);
+}
+
+TEST(NoiseTest, JitterStaysAboveFloor) {
+  NoiseModel noise(/*amplitude=*/0.5, /*seed=*/42, /*floor_fraction=*/0.25);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(noise.apply(4.0), 1.0);  // floor 0.25 * 4.0
+  }
+}
+
+TEST(NoiseTest, JitterIsDeterministicPerSeed) {
+  NoiseModel a(0.3, 7), b(0.3, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.apply(1.0), b.apply(1.0));
+}
+
+TEST(NoiseTest, MeanIsApproximatelyUnbiased) {
+  NoiseModel noise(0.1, 3);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += noise.apply(1.0);
+  EXPECT_NEAR(sum / n, 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace msra::simkit

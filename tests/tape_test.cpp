@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "simkit/timeline.h"
+#include "tape/tape_library.h"
+
+namespace msra::tape {
+namespace {
+
+using simkit::Timeline;
+
+std::vector<std::byte> make_bytes(std::size_t n, unsigned char fill) {
+  return std::vector<std::byte>(n, static_cast<std::byte>(fill));
+}
+
+TapeModel fast_model() {
+  TapeModel m;
+  m.mount = 25.0;
+  m.dismount = 15.0;
+  m.min_seek = 0.5;
+  m.seek_rate = 1e-6;  // 1s per MB of head travel (exaggerated for testing)
+  m.read_bw = 1.0e6;
+  m.write_bw = 1.0e6;
+  m.per_op = 0.0;
+  m.cartridge_capacity = 10 << 20;  // 10 MB cartridges
+  return m;
+}
+
+TEST(TapeLibraryTest, WriteReadRoundTrip) {
+  TapeLibrary lib("hpss", fast_model());
+  Timeline tl;
+  ASSERT_TRUE(lib.create("bitfile", false).ok());
+  auto data = make_bytes(1000, 0xAB);
+  ASSERT_TRUE(lib.append(tl, "bitfile", 0, data).ok());
+  std::vector<std::byte> out(1000);
+  ASSERT_TRUE(lib.read(tl, "bitfile", 0, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(TapeLibraryTest, FirstTouchPaysMount) {
+  TapeLibrary lib("hpss", fast_model());
+  Timeline tl;
+  ASSERT_TRUE(lib.create("f", false).ok());
+  ASSERT_TRUE(lib.append(tl, "f", 0, make_bytes(1000000, 1)).ok());
+  // mount 25s + no seek (head at 0) + transfer 1s.
+  EXPECT_NEAR(tl.now(), 25.0 + 1.0, 1e-9);
+  EXPECT_EQ(lib.stats().mounts, 1u);
+}
+
+TEST(TapeLibraryTest, SecondWriteReusesMount) {
+  TapeLibrary lib("hpss", fast_model());
+  Timeline tl;
+  ASSERT_TRUE(lib.create("f", false).ok());
+  ASSERT_TRUE(lib.append(tl, "f", 0, make_bytes(1000000, 1)).ok());
+  const double after_first = tl.now();
+  ASSERT_TRUE(lib.append(tl, "f", 1000000, make_bytes(1000000, 2)).ok());
+  // Head is already at the append point: transfer only, no mount/seek.
+  EXPECT_NEAR(tl.now() - after_first, 1.0, 1e-9);
+  EXPECT_EQ(lib.stats().mounts, 1u);
+}
+
+TEST(TapeLibraryTest, NonSequentialWriteRejected) {
+  TapeLibrary lib("hpss", fast_model());
+  Timeline tl;
+  ASSERT_TRUE(lib.create("f", false).ok());
+  ASSERT_TRUE(lib.append(tl, "f", 0, make_bytes(100, 1)).ok());
+  EXPECT_EQ(lib.append(tl, "f", 50, make_bytes(10, 2)).code(),
+            msra::ErrorCode::kInvalidArgument);
+}
+
+TEST(TapeLibraryTest, ReadSeeksBackward) {
+  TapeLibrary lib("hpss", fast_model());
+  Timeline tl;
+  ASSERT_TRUE(lib.create("f", false).ok());
+  ASSERT_TRUE(lib.append(tl, "f", 0, make_bytes(2000000, 1)).ok());
+  const double before = tl.now();
+  std::vector<std::byte> out(1000000);
+  ASSERT_TRUE(lib.read(tl, "f", 0, out).ok());
+  // Head was at 2 MB; seek back to 0 costs 0.5 + 2 MB * 1e-6 = 2.5 s, then 1 s read.
+  EXPECT_NEAR(tl.now() - before, 0.5 + 2.0 + 1.0, 1e-6);
+  EXPECT_EQ(lib.stats().seeks, 1u);
+}
+
+TEST(TapeLibraryTest, InterleavedAppendsAbandonSegment) {
+  TapeLibrary lib("hpss", fast_model());
+  Timeline tl;
+  ASSERT_TRUE(lib.create("a", false).ok());
+  ASSERT_TRUE(lib.create("b", false).ok());
+  ASSERT_TRUE(lib.append(tl, "a", 0, make_bytes(1000, 1)).ok());
+  ASSERT_TRUE(lib.append(tl, "b", 0, make_bytes(1000, 2)).ok());
+  // `a` is no longer the cartridge tail: the next append relocates it.
+  ASSERT_TRUE(lib.append(tl, "a", 1000, make_bytes(1000, 3)).ok());
+  EXPECT_EQ(lib.stats().wasted_bytes, 1000u);
+  // Data is still intact after relocation.
+  std::vector<std::byte> out(2000);
+  ASSERT_TRUE(lib.read(tl, "a", 0, out).ok());
+  EXPECT_EQ(out[0], std::byte{1});
+  EXPECT_EQ(out[1999], std::byte{3});
+}
+
+TEST(TapeLibraryTest, CartridgeOverflowOpensNewCartridge) {
+  TapeLibrary lib("hpss", fast_model());  // 10 MB cartridges
+  Timeline tl;
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "big" + std::to_string(i);
+    ASSERT_TRUE(lib.create(name, false).ok());
+    ASSERT_TRUE(lib.append(tl, name, 0, make_bytes(6 << 20, 1)).ok());
+  }
+  EXPECT_GE(lib.cartridge_count(), 2);
+}
+
+TEST(TapeLibraryTest, CartridgeSwitchPaysSecondMount) {
+  TapeModel m = fast_model();
+  TapeLibrary lib("hpss", m, /*num_drives=*/1);
+  Timeline tl;
+  ASSERT_TRUE(lib.create("c0", false).ok());
+  ASSERT_TRUE(lib.append(tl, "c0", 0, make_bytes(8 << 20, 1)).ok());
+  ASSERT_TRUE(lib.create("c1", false).ok());
+  ASSERT_TRUE(lib.append(tl, "c1", 0, make_bytes(8 << 20, 2)).ok());  // new cartridge
+  // Reading c0 again forces a dismount + mount on the single drive.
+  std::vector<std::byte> out(1024);
+  ASSERT_TRUE(lib.read(tl, "c0", 0, out).ok());
+  // Mounts: cart0 for c0, cart1 for c1 (dismounting cart0), cart0 again for
+  // the read-back (dismounting cart1).
+  EXPECT_EQ(lib.stats().mounts, 3u);
+  EXPECT_EQ(lib.stats().dismounts, 2u);
+}
+
+TEST(TapeLibraryTest, TwoDrivesAvoidThrashing) {
+  TapeModel m = fast_model();
+  TapeLibrary lib("hpss", m, /*num_drives=*/2);
+  Timeline tl;
+  ASSERT_TRUE(lib.create("c0", false).ok());
+  ASSERT_TRUE(lib.append(tl, "c0", 0, make_bytes(8 << 20, 1)).ok());
+  ASSERT_TRUE(lib.create("c1", false).ok());
+  ASSERT_TRUE(lib.append(tl, "c1", 0, make_bytes(8 << 20, 2)).ok());
+  std::vector<std::byte> out(1024);
+  ASSERT_TRUE(lib.read(tl, "c0", 0, out).ok());
+  ASSERT_TRUE(lib.read(tl, "c1", 0, out).ok());
+  EXPECT_EQ(lib.stats().mounts, 2u);
+  EXPECT_EQ(lib.stats().dismounts, 0u);
+}
+
+TEST(TapeLibraryTest, OverwriteWastesOldSegment) {
+  TapeLibrary lib("hpss", fast_model());
+  Timeline tl;
+  ASSERT_TRUE(lib.create("f", false).ok());
+  ASSERT_TRUE(lib.append(tl, "f", 0, make_bytes(5000, 1)).ok());
+  ASSERT_TRUE(lib.create("f", true).ok());
+  EXPECT_EQ(lib.stats().wasted_bytes, 5000u);
+  EXPECT_EQ(lib.size("f").value(), 0u);
+}
+
+TEST(TapeLibraryTest, RemoveWastesSegmentAndDeletes) {
+  TapeLibrary lib("hpss", fast_model());
+  Timeline tl;
+  ASSERT_TRUE(lib.create("f", false).ok());
+  ASSERT_TRUE(lib.append(tl, "f", 0, make_bytes(100, 1)).ok());
+  ASSERT_TRUE(lib.remove("f").ok());
+  EXPECT_FALSE(lib.exists("f"));
+  EXPECT_EQ(lib.stats().wasted_bytes, 100u);
+}
+
+TEST(TapeLibraryTest, ListAndUsedBytes) {
+  TapeLibrary lib("hpss", fast_model());
+  Timeline tl;
+  ASSERT_TRUE(lib.create("runs/a", false).ok());
+  ASSERT_TRUE(lib.create("runs/b", false).ok());
+  ASSERT_TRUE(lib.append(tl, "runs/a", 0, make_bytes(10, 1)).ok());
+  ASSERT_TRUE(lib.append(tl, "runs/b", 0, make_bytes(20, 1)).ok());
+  auto listed = lib.list("runs/");
+  ASSERT_EQ(listed.size(), 2u);
+  EXPECT_EQ(listed[0].size + listed[1].size, 30u);
+  EXPECT_EQ(lib.used_bytes(), 30u);
+}
+
+TEST(TapeLibraryTest, ReadPastEndRejected) {
+  TapeLibrary lib("hpss", fast_model());
+  Timeline tl;
+  ASSERT_TRUE(lib.create("f", false).ok());
+  ASSERT_TRUE(lib.append(tl, "f", 0, make_bytes(10, 1)).ok());
+  std::vector<std::byte> out(11);
+  EXPECT_EQ(lib.read(tl, "f", 0, out).code(), msra::ErrorCode::kOutOfRange);
+}
+
+TEST(TapeLibraryTest, DismountAllForcesRemount) {
+  TapeLibrary lib("hpss", fast_model());
+  Timeline tl;
+  ASSERT_TRUE(lib.create("f", false).ok());
+  ASSERT_TRUE(lib.append(tl, "f", 0, make_bytes(100, 1)).ok());
+  lib.dismount_all(tl);
+  std::vector<std::byte> out(100);
+  const double before = tl.now();
+  ASSERT_TRUE(lib.read(tl, "f", 0, out).ok());
+  EXPECT_GE(tl.now() - before, 25.0);  // paid a fresh mount
+  EXPECT_EQ(lib.stats().mounts, 2u);
+}
+
+// Tape economics property: reading N files scattered on one cartridge in
+// *forward* order costs less seek time than in reverse order.
+TEST(TapeLibraryTest, ForwardScanBeatsReverseScan) {
+  TapeModel m = fast_model();
+  TapeLibrary forward_lib("f", m), reverse_lib("r", m);
+  Timeline wtl;
+  for (int i = 0; i < 8; ++i) {
+    const std::string name = "seg" + std::to_string(i);
+    for (auto* lib : {&forward_lib, &reverse_lib}) {
+      ASSERT_TRUE(lib->create(name, false).ok());
+      ASSERT_TRUE(lib->append(wtl, name, 0, make_bytes(1 << 20, 1)).ok());
+    }
+  }
+  Timeline ftl, rtl;
+  std::vector<std::byte> out(1 << 20);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(forward_lib.read(ftl, "seg" + std::to_string(i), 0, out).ok());
+  }
+  for (int i = 7; i >= 0; --i) {
+    ASSERT_TRUE(reverse_lib.read(rtl, "seg" + std::to_string(i), 0, out).ok());
+  }
+  EXPECT_LT(ftl.now(), rtl.now());
+}
+
+}  // namespace
+}  // namespace msra::tape

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/link.h"
+#include "net/wire.h"
+#include "simkit/timeline.h"
+
+namespace msra::net {
+namespace {
+
+TEST(WireTest, ScalarRoundTrip) {
+  WireWriter w;
+  w.put_u8(7);
+  w.put_u16(300);
+  w.put_u32(70000);
+  w.put_u64(1ull << 40);
+  w.put_i64(-42);
+  w.put_f64(3.5);
+  auto buf = w.take();
+  WireReader r(buf);
+  EXPECT_EQ(r.get_u8().value(), 7);
+  EXPECT_EQ(r.get_u16().value(), 300);
+  EXPECT_EQ(r.get_u32().value(), 70000u);
+  EXPECT_EQ(r.get_u64().value(), 1ull << 40);
+  EXPECT_EQ(r.get_i64().value(), -42);
+  EXPECT_DOUBLE_EQ(r.get_f64().value(), 3.5);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(WireTest, StringAndBytesRoundTrip) {
+  WireWriter w;
+  w.put_string("dataset/temp");
+  std::vector<std::byte> payload(100, std::byte{0x5A});
+  w.put_bytes(payload);
+  auto buf = w.take();
+  WireReader r(buf);
+  EXPECT_EQ(r.get_string().value(), "dataset/temp");
+  EXPECT_EQ(r.get_bytes().value(), payload);
+}
+
+TEST(WireTest, EmptyStringAndBytes) {
+  WireWriter w;
+  w.put_string("");
+  w.put_bytes({});
+  auto buf = w.take();
+  WireReader r(buf);
+  EXPECT_EQ(r.get_string().value(), "");
+  EXPECT_TRUE(r.get_bytes().value().empty());
+}
+
+TEST(WireTest, TruncatedScalarFails) {
+  WireWriter w;
+  w.put_u8(1);
+  auto buf = w.take();
+  WireReader r(buf);
+  EXPECT_FALSE(r.get_u32().ok());
+}
+
+TEST(WireTest, TruncatedStringFails) {
+  WireWriter w;
+  w.put_u32(100);  // claims 100 bytes, provides none
+  auto buf = w.take();
+  WireReader r(buf);
+  EXPECT_FALSE(r.get_string().ok());
+}
+
+TEST(WireTest, BytesIntoRequiresExactSize) {
+  WireWriter w;
+  std::vector<std::byte> payload(16, std::byte{1});
+  w.put_bytes(payload);
+  auto buf = w.take();
+  {
+    WireReader r(buf);
+    std::vector<std::byte> out(16);
+    EXPECT_TRUE(r.get_bytes_into(out).ok());
+    EXPECT_EQ(out, payload);
+  }
+  {
+    WireReader r(buf);
+    std::vector<std::byte> out(8);
+    EXPECT_FALSE(r.get_bytes_into(out).ok());
+  }
+}
+
+TEST(LinkTest, TransmitChargesLatencyAndBandwidth) {
+  LinkModel model;
+  model.latency = 0.05;
+  model.bandwidth = 1.0e6;
+  Link link("wan", model);
+  simkit::Timeline tl;
+  link.transmit(tl, 500000);  // 0.5s transmission + 0.05 latency
+  EXPECT_NEAR(tl.now(), 0.55, 1e-12);
+}
+
+TEST(LinkTest, SharedLinkSerializesTransmissions) {
+  LinkModel model;
+  model.latency = 0.0;
+  model.bandwidth = 1.0e6;
+  Link link("wan", model);
+  simkit::Timeline a, b;
+  link.transmit(a, 1000000);  // occupies [0, 1]
+  link.transmit(b, 1000000);  // queues: arrives at 2
+  EXPECT_NEAR(a.now(), 1.0, 1e-12);
+  EXPECT_NEAR(b.now(), 2.0, 1e-12);
+}
+
+TEST(LinkTest, ConnectChargesSetup) {
+  LinkModel model;
+  model.conn_setup = 0.44;
+  model.conn_teardown = 0.0002;
+  Link link("wan", model);
+  simkit::Timeline tl;
+  link.connect(tl);
+  EXPECT_NEAR(tl.now(), 0.44, 1e-12);
+  link.disconnect(tl);
+  EXPECT_NEAR(tl.now(), 0.4402, 1e-12);
+}
+
+TEST(LinkTest, LocalLinkIsFree) {
+  Link link("lo", LinkModel{});
+  simkit::Timeline tl;
+  link.transmit(tl, 1 << 30);
+  EXPECT_DOUBLE_EQ(tl.now(), 0.0);
+  EXPECT_TRUE(link.model().is_local());
+}
+
+}  // namespace
+}  // namespace msra::net

@@ -1,0 +1,68 @@
+// Minimal command-line parsing for msractl: --flag, --key value, --key=value
+// and positional arguments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace msra::tools {
+
+class Args {
+ public:
+  /// Parses argv[start..); values may be "--key value" or "--key=value";
+  /// bare "--key" followed by another option (or nothing) is a boolean flag.
+  /// "--hint name=LOC" style options may repeat and accumulate.
+  static Args parse(int argc, char** argv, int start = 1) {
+    Args out;
+    for (int i = start; i < argc; ++i) {
+      std::string token = argv[i];
+      if (token.rfind("--", 0) != 0) {
+        out.positional_.push_back(std::move(token));
+        continue;
+      }
+      token.erase(0, 2);
+      std::string value;
+      const auto eq = token.find('=');
+      if (eq != std::string::npos) {
+        value = token.substr(eq + 1);
+        token.resize(eq);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      }
+      out.options_[token].push_back(std::move(value));
+    }
+    return out;
+  }
+
+  bool has(const std::string& key) const { return options_.count(key) != 0; }
+
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    auto it = options_.find(key);
+    if (it == options_.end() || it->second.empty()) return fallback;
+    return it->second.back();
+  }
+
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
+    auto it = options_.find(key);
+    if (it == options_.end() || it->second.empty() || it->second.back().empty()) {
+      return fallback;
+    }
+    return std::stoll(it->second.back());
+  }
+
+  /// All values supplied for a repeatable option.
+  std::vector<std::string> get_all(const std::string& key) const {
+    auto it = options_.find(key);
+    return it == options_.end() ? std::vector<std::string>{} : it->second;
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::vector<std::string>> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace msra::tools

@@ -1,0 +1,360 @@
+// msractl — command-line front end to the multi-storage resource
+// architecture (the role the paper's IJ-GUI plays: submit runs, inspect the
+// catalog, run post-processing, and get I/O predictions).
+//
+// With --root DIR, disk-resident datasets and the metadata database persist
+// on the host filesystem, so workflows span processes:
+//
+//   msractl ptool   --root /tmp/msra
+//   msractl run     --root /tmp/msra --dims 48,48,48 --iterations 24 \
+//                   --hint temp=REMOTEDISK --hint vr_temp=LOCALDISK
+//   msractl catalog --root /tmp/msra
+//   msractl mse     --root /tmp/msra --dataset temp
+//   msractl volren  --root /tmp/msra --dataset vr_temp --superfile
+//   msractl slice   --root /tmp/msra --dataset temp --timestep 12 --index 24
+//   msractl predict --root /tmp/msra --dims 128,128,128 --iterations 120
+//   msractl advise  --root /tmp/msra --dims 64,64,64 --iterations 60
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/astro3d/astro3d.h"
+#include "apps/imgview/image.h"
+#include "apps/mse/mse.h"
+#include "apps/vizlib/vizlib.h"
+#include "apps/volren/volren.h"
+#include "argparse.h"
+#include "common/bytes.h"
+#include "predict/advisor.h"
+#include "predict/ptool.h"
+
+namespace msra::tools {
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: msractl <command> [--root DIR] [options]\n"
+               "commands:\n"
+               "  ptool     populate the I/O performance database\n"
+               "  predict   predict a run's I/O time (Eq. 1 + Eq. 2)\n"
+               "  advise    performance-aware placement recommendation\n"
+               "  run       run the Astro3D producer\n"
+               "  mse       data analysis over a dataset (--dataset)\n"
+               "  volren    parallel volume rendering (--dataset)\n"
+               "  slice     extract + print a z-slice (--dataset --timestep --index)\n"
+               "  replicate copy a dumped timestep to another resource (--to)\n"
+               "  histogram value histogram of a float dataset timestep\n"
+               "  catalog   list registered datasets and dumped instances\n");
+  return 2;
+}
+
+template <typename T>
+T die_on_error(StatusOr<T> value, const char* what) {
+  if (!value.ok()) {
+    std::fprintf(stderr, "msractl: %s: %s\n", what,
+                 value.status().to_string().c_str());
+    std::exit(1);
+  }
+  return std::move(value).value();
+}
+
+void die_on_error(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "msractl: %s: %s\n", what, status.to_string().c_str());
+    std::exit(1);
+  }
+}
+
+std::array<std::uint64_t, 3> parse_dims(const std::string& text) {
+  std::array<std::uint64_t, 3> dims = {64, 64, 64};
+  if (text.empty()) return dims;
+  std::sscanf(text.c_str(), "%llu,%llu,%llu",
+              reinterpret_cast<unsigned long long*>(&dims[0]),
+              reinterpret_cast<unsigned long long*>(&dims[1]),
+              reinterpret_cast<unsigned long long*>(&dims[2]));
+  return dims;
+}
+
+apps::astro3d::Config config_from(const Args& args) {
+  apps::astro3d::Config config;
+  config.dims = parse_dims(args.get("dims"));
+  config.iterations = static_cast<int>(args.get_int("iterations", 24));
+  config.analysis_freq = static_cast<int>(args.get_int("analysis-freq", 6));
+  config.viz_freq = static_cast<int>(args.get_int("viz-freq", 6));
+  config.checkpoint_freq = static_cast<int>(args.get_int("checkpoint-freq", 6));
+  config.nprocs = static_cast<int>(args.get_int("nprocs", 4));
+  config.resume = args.has("resume");
+  config.default_location =
+      die_on_error(core::parse_location(args.get("default", "REMOTETAPE")),
+                   "bad --default");
+  for (const std::string& hint : args.get_all("hint")) {
+    const auto eq = hint.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "msractl: bad --hint '%s' (want name=LOCATION)\n",
+                   hint.c_str());
+      std::exit(2);
+    }
+    config.hints[hint.substr(0, eq)] = die_on_error(
+        core::parse_location(hint.substr(eq + 1)), "bad hint location");
+  }
+  return config;
+}
+
+struct Env {
+  std::unique_ptr<core::StorageSystem> system;
+  std::unique_ptr<predict::PerfDb> perfdb;
+
+  explicit Env(const Args& args) {
+    core::HardwareProfile profile = core::HardwareProfile::paper_2000();
+    // --tape-cache MB enables the HPSS staging hierarchy.
+    const std::int64_t cache_mb = args.get_int("tape-cache", 0);
+    if (cache_mb > 0) {
+      profile.tape_cache_bytes = static_cast<std::uint64_t>(cache_mb) << 20;
+      profile.tape_cache.cache_disk = profile.remote_disk;
+    }
+    system = std::make_unique<core::StorageSystem>(profile, args.get("root"));
+    perfdb = std::make_unique<predict::PerfDb>(&system->metadb());
+  }
+  ~Env() {
+    if (system) {
+      Status status = system->save_metadata();
+      if (!status.ok()) {
+        std::fprintf(stderr, "msractl: metadata save failed: %s\n",
+                     status.to_string().c_str());
+      }
+    }
+  }
+};
+
+int cmd_ptool(const Args& args) {
+  Env env(args);
+  predict::PToolConfig config;
+  config.repeats = static_cast<int>(args.get_int("repeats", 3));
+  predict::PTool ptool(*env.system, *env.perfdb);
+  die_on_error(ptool.measure_all(config), "ptool");
+  std::printf("performance database populated: %zu transfer points, "
+              "fixed costs for 3 resources x 2 directions\n",
+              env.perfdb->rw_point_count());
+  return 0;
+}
+
+std::vector<std::pair<core::DatasetDesc, core::Location>> plan_of(
+    const apps::astro3d::Config& config) {
+  std::vector<std::pair<core::DatasetDesc, core::Location>> plan;
+  for (const auto& desc : apps::astro3d::dataset_descs(config)) {
+    const core::Location resolved = desc.location == core::Location::kAuto
+                                        ? core::Location::kRemoteTape
+                                        : desc.location;
+    plan.emplace_back(desc, resolved);
+  }
+  return plan;
+}
+
+int cmd_predict(const Args& args) {
+  Env env(args);
+  const auto config = config_from(args);
+  predict::Predictor predictor(env.perfdb.get());
+  auto prediction = die_on_error(
+      predictor.predict_run(plan_of(config), config.iterations, config.nprocs),
+      "prediction (run `msractl ptool` first?)");
+  std::printf("%-16s %-12s %6s %14s\n", "NAME", "LOCATION", "DUMPS",
+              "VIRTUALTIME(s)");
+  for (const auto& d : prediction.datasets) {
+    std::printf("%-16s %-12s %6llu %14.2f\n", d.name.c_str(),
+                core::location_name(d.location).data(),
+                static_cast<unsigned long long>(d.dumps), d.total);
+  }
+  std::printf("%-16s %-12s %6s %14.2f\n", "TOTAL", "", "", prediction.total);
+  return 0;
+}
+
+int cmd_advise(const Args& args) {
+  Env env(args);
+  auto config = config_from(args);
+  config.default_location = core::Location::kAuto;  // let the advisor decide
+  predict::Predictor predictor(env.perfdb.get());
+  predict::PlacementAdvisor advisor(*env.system, predictor);
+  auto plan = die_on_error(
+      advisor.recommend_run(apps::astro3d::dataset_descs(config),
+                            config.iterations, config.nprocs),
+      "advice (run `msractl ptool` first?)");
+  std::printf("%-16s %-12s\n", "NAME", "RECOMMENDED");
+  for (const auto& [name, location] : plan) {
+    std::printf("%-16s %-12s\n", name.c_str(),
+                core::location_name(location).data());
+  }
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  Env env(args);
+  const auto config = config_from(args);
+  core::Session session(*env.system,
+                        {.application = args.get("app", "astro3d"),
+                         .user = args.get("user", "demo"),
+                         .nprocs = config.nprocs,
+                         .iterations = config.iterations});
+  auto result = die_on_error(apps::astro3d::run(session, config), "run");
+  std::printf("run complete: %llu dumps, %s written, I/O time %.1f simulated s"
+              "%s\n",
+              static_cast<unsigned long long>(result.dumps),
+              format_bytes(result.bytes_written).c_str(), result.io_time,
+              result.start_iteration > 0 ? " (resumed)" : "");
+  for (const auto& [name, location] : result.placements) {
+    std::printf("  %-16s -> %s\n", name.c_str(),
+                core::location_name(location).data());
+  }
+  return 0;
+}
+
+int cmd_mse(const Args& args) {
+  Env env(args);
+  core::Session session(*env.system, {.application = "msractl-mse"});
+  auto result = die_on_error(
+      apps::mse::run(session,
+                     {.dataset = args.get("dataset", "temp"),
+                      .nprocs = static_cast<int>(args.get_int("nprocs", 4))}),
+      "mse");
+  for (std::size_t i = 0; i < result.mse.size(); ++i) {
+    std::printf("t%4d -> t%4d : %.8f\n", result.timesteps[i],
+                result.timesteps[i + 1], result.mse[i]);
+  }
+  std::printf("read I/O: %.1f simulated s\n", result.io_time);
+  return 0;
+}
+
+int cmd_volren(const Args& args) {
+  Env env(args);
+  core::Session session(*env.system, {.application = "msractl-volren"});
+  apps::volren::Config config;
+  config.dataset = args.get("dataset", "vr_temp");
+  config.width = static_cast<int>(args.get_int("width", 128));
+  config.height = static_cast<int>(args.get_int("height", 128));
+  config.nprocs = static_cast<int>(args.get_int("nprocs", 4));
+  config.use_superfile = args.has("superfile");
+  config.image_location = die_on_error(
+      core::parse_location(args.get("images", "LOCALDISK")), "bad --images");
+  auto result = die_on_error(apps::volren::run(session, config), "volren");
+  std::printf("%d images rendered (read %.1f s, write %.1f s)%s\n",
+              result.images, result.read_io_time, result.write_io_time,
+              config.use_superfile ? " [superfile]" : "");
+  return 0;
+}
+
+int cmd_slice(const Args& args) {
+  Env env(args);
+  core::Session session(*env.system, {.application = "msractl-slice"});
+  auto handle = die_on_error(
+      session.open_existing(args.get("dataset", "temp")), "open dataset");
+  simkit::Timeline tl;
+  const auto axis_name = args.get("axis", "z");
+  const auto axis = axis_name == "x"   ? apps::vizlib::Axis::kX
+                    : axis_name == "y" ? apps::vizlib::Axis::kY
+                                       : apps::vizlib::Axis::kZ;
+  auto image = die_on_error(
+      apps::vizlib::extract_slice(
+          *handle, tl, static_cast<int>(args.get_int("timestep", 0)), axis,
+          static_cast<std::uint64_t>(args.get_int("index", 0))),
+      "slice");
+  std::printf("%s", apps::imgview::ascii_render(image, 64).c_str());
+  std::printf("(read %.2f simulated s)\n", tl.now());
+  return 0;
+}
+
+int cmd_replicate(const Args& args) {
+  Env env(args);
+  core::Session session(*env.system, {.application = "msractl-replicate"});
+  auto handle = die_on_error(
+      session.open_existing(args.get("dataset", "temp")), "open dataset");
+  const auto destination = die_on_error(
+      core::parse_location(args.get("to", "LOCALDISK")), "bad --to");
+  simkit::Timeline tl;
+  const int timestep = static_cast<int>(args.get_int("timestep", 0));
+  die_on_error(handle->replicate_timestep(tl, timestep, destination),
+               "replicate");
+  std::printf("replicated %s t%d to %s in %.2f simulated s; replicas now:",
+              handle->desc().name.c_str(), timestep,
+              core::location_name(destination).data(), tl.now());
+  for (core::Location location : handle->replica_locations(timestep)) {
+    std::printf(" %s", core::location_name(location).data());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_histogram(const Args& args) {
+  Env env(args);
+  core::Session session(*env.system, {.application = "msractl-histogram"});
+  auto handle = die_on_error(
+      session.open_existing(args.get("dataset", "temp")), "open dataset");
+  if (handle->desc().etype != core::ElementType::kFloat32) {
+    std::fprintf(stderr, "msractl: histogram expects a float dataset\n");
+    return 1;
+  }
+  simkit::Timeline tl;
+  const int timestep = static_cast<int>(args.get_int("timestep", 0));
+  auto raw = die_on_error(handle->read_whole(tl, timestep), "read");
+  std::vector<float> volume(raw.size() / sizeof(float));
+  std::memcpy(volume.data(), raw.data(), raw.size());
+  float lo = volume[0], hi = volume[0];
+  for (float v : volume) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  auto bins = apps::vizlib::field_histogram(volume, lo, hi, 16);
+  std::uint64_t peak = 1;
+  for (auto count : bins) peak = std::max(peak, count);
+  std::printf("%s t%d: min %.4f max %.4f (read %.2f simulated s)\n",
+              handle->desc().name.c_str(), timestep, lo, hi, tl.now());
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    const float edge = lo + (hi - lo) * static_cast<float>(b) / 16.0f;
+    const int bar = static_cast<int>(48 * bins[b] / peak);
+    std::printf("%10.4f | %-48.*s %llu\n", edge, bar,
+                "################################################",
+                static_cast<unsigned long long>(bins[b]));
+  }
+  return 0;
+}
+
+int cmd_catalog(const Args& args) {
+  Env env(args);
+  core::MetaCatalog catalog(&env.system->metadb());
+  std::printf("%-12s %-16s %-10s %-6s %-14s %-12s %6s\n", "APP", "NAME",
+              "AMODE", "ETYPE", "DIMS", "LOCATION", "DUMPS");
+  for (const auto& record : catalog.all_datasets()) {
+    const auto instances = catalog.instances(record.app, record.desc.name);
+    char dims[32];
+    std::snprintf(dims, sizeof(dims), "%llu,%llu,%llu",
+                  static_cast<unsigned long long>(record.desc.dims[0]),
+                  static_cast<unsigned long long>(record.desc.dims[1]),
+                  static_cast<unsigned long long>(record.desc.dims[2]));
+    std::printf("%-12s %-16s %-10s %-6s %-14s %-12s %6zu\n",
+                record.app.c_str(), record.desc.name.c_str(),
+                core::access_mode_name(record.desc.amode).data(),
+                core::element_type_name(record.desc.etype).data(), dims,
+                core::location_name(record.resolved).data(), instances.size());
+  }
+  return 0;
+}
+
+int run_command(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args = Args::parse(argc, argv, 2);
+  if (command == "ptool") return cmd_ptool(args);
+  if (command == "predict") return cmd_predict(args);
+  if (command == "advise") return cmd_advise(args);
+  if (command == "run") return cmd_run(args);
+  if (command == "mse") return cmd_mse(args);
+  if (command == "volren") return cmd_volren(args);
+  if (command == "slice") return cmd_slice(args);
+  if (command == "replicate") return cmd_replicate(args);
+  if (command == "histogram") return cmd_histogram(args);
+  if (command == "catalog") return cmd_catalog(args);
+  return usage();
+}
+
+}  // namespace
+}  // namespace msra::tools
+
+int main(int argc, char** argv) { return msra::tools::run_command(argc, argv); }
