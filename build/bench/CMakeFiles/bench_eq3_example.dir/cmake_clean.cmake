@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq3_example.dir/bench_eq3_example.cpp.o"
+  "CMakeFiles/bench_eq3_example.dir/bench_eq3_example.cpp.o.d"
+  "bench_eq3_example"
+  "bench_eq3_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq3_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

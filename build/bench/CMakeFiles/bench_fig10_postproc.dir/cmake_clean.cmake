@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_postproc.dir/bench_fig10_postproc.cpp.o"
+  "CMakeFiles/bench_fig10_postproc.dir/bench_fig10_postproc.cpp.o.d"
+  "bench_fig10_postproc"
+  "bench_fig10_postproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_postproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

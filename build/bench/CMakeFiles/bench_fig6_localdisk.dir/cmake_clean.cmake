@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_localdisk.dir/bench_fig6_localdisk.cpp.o"
+  "CMakeFiles/bench_fig6_localdisk.dir/bench_fig6_localdisk.cpp.o.d"
+  "bench_fig6_localdisk"
+  "bench_fig6_localdisk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_localdisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_remotedisk.dir/bench_fig7_remotedisk.cpp.o"
+  "CMakeFiles/bench_fig7_remotedisk.dir/bench_fig7_remotedisk.cpp.o.d"
+  "bench_fig7_remotedisk"
+  "bench_fig7_remotedisk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_remotedisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

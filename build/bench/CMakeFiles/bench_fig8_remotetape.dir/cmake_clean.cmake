@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_remotetape.dir/bench_fig8_remotetape.cpp.o"
+  "CMakeFiles/bench_fig8_remotetape.dir/bench_fig8_remotetape.cpp.o.d"
+  "bench_fig8_remotetape"
+  "bench_fig8_remotetape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_remotetape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

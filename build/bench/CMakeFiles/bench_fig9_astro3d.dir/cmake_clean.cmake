@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_astro3d.dir/bench_fig9_astro3d.cpp.o"
+  "CMakeFiles/bench_fig9_astro3d.dir/bench_fig9_astro3d.cpp.o.d"
+  "bench_fig9_astro3d"
+  "bench_fig9_astro3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_astro3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

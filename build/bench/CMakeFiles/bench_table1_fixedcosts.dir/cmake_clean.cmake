@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_fixedcosts.dir/bench_table1_fixedcosts.cpp.o"
+  "CMakeFiles/bench_table1_fixedcosts.dir/bench_table1_fixedcosts.cpp.o.d"
+  "bench_table1_fixedcosts"
+  "bench_table1_fixedcosts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_fixedcosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

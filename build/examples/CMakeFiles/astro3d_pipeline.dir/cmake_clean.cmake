@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astro3d_pipeline.dir/astro3d_pipeline.cpp.o"
+  "CMakeFiles/astro3d_pipeline.dir/astro3d_pipeline.cpp.o.d"
+  "astro3d_pipeline"
+  "astro3d_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astro3d_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

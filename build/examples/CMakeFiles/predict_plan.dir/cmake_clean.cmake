@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_plan.dir/predict_plan.cpp.o"
+  "CMakeFiles/predict_plan.dir/predict_plan.cpp.o.d"
+  "predict_plan"
+  "predict_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superfile_images.dir/superfile_images.cpp.o"
+  "CMakeFiles/superfile_images.dir/superfile_images.cpp.o.d"
+  "superfile_images"
+  "superfile_images.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superfile_images.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

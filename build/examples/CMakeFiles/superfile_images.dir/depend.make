@@ -1,0 +1,2 @@
+# Empty dependencies file for superfile_images.
+# This may be replaced when dependencies are built.

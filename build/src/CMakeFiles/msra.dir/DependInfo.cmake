@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/msra.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/msra.dir/common/bytes.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/msra.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/msra.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/msra.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/msra.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/CMakeFiles/msra.dir/common/status.cpp.o" "gcc" "src/CMakeFiles/msra.dir/common/status.cpp.o.d"
+  "/root/repo/src/common/threadpool.cpp" "src/CMakeFiles/msra.dir/common/threadpool.cpp.o" "gcc" "src/CMakeFiles/msra.dir/common/threadpool.cpp.o.d"
+  "/root/repo/src/core/catalog.cpp" "src/CMakeFiles/msra.dir/core/catalog.cpp.o" "gcc" "src/CMakeFiles/msra.dir/core/catalog.cpp.o.d"
+  "/root/repo/src/core/dataset.cpp" "src/CMakeFiles/msra.dir/core/dataset.cpp.o" "gcc" "src/CMakeFiles/msra.dir/core/dataset.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/CMakeFiles/msra.dir/core/placement.cpp.o" "gcc" "src/CMakeFiles/msra.dir/core/placement.cpp.o.d"
+  "/root/repo/src/core/profiles.cpp" "src/CMakeFiles/msra.dir/core/profiles.cpp.o" "gcc" "src/CMakeFiles/msra.dir/core/profiles.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/CMakeFiles/msra.dir/core/session.cpp.o" "gcc" "src/CMakeFiles/msra.dir/core/session.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/CMakeFiles/msra.dir/core/system.cpp.o" "gcc" "src/CMakeFiles/msra.dir/core/system.cpp.o.d"
+  "/root/repo/src/meta/database.cpp" "src/CMakeFiles/msra.dir/meta/database.cpp.o" "gcc" "src/CMakeFiles/msra.dir/meta/database.cpp.o.d"
+  "/root/repo/src/meta/table.cpp" "src/CMakeFiles/msra.dir/meta/table.cpp.o" "gcc" "src/CMakeFiles/msra.dir/meta/table.cpp.o.d"
+  "/root/repo/src/meta/value.cpp" "src/CMakeFiles/msra.dir/meta/value.cpp.o" "gcc" "src/CMakeFiles/msra.dir/meta/value.cpp.o.d"
+  "/root/repo/src/predict/advisor.cpp" "src/CMakeFiles/msra.dir/predict/advisor.cpp.o" "gcc" "src/CMakeFiles/msra.dir/predict/advisor.cpp.o.d"
+  "/root/repo/src/predict/perfdb.cpp" "src/CMakeFiles/msra.dir/predict/perfdb.cpp.o" "gcc" "src/CMakeFiles/msra.dir/predict/perfdb.cpp.o.d"
+  "/root/repo/src/predict/predictor.cpp" "src/CMakeFiles/msra.dir/predict/predictor.cpp.o" "gcc" "src/CMakeFiles/msra.dir/predict/predictor.cpp.o.d"
+  "/root/repo/src/predict/ptool.cpp" "src/CMakeFiles/msra.dir/predict/ptool.cpp.o" "gcc" "src/CMakeFiles/msra.dir/predict/ptool.cpp.o.d"
+  "/root/repo/src/prt/comm.cpp" "src/CMakeFiles/msra.dir/prt/comm.cpp.o" "gcc" "src/CMakeFiles/msra.dir/prt/comm.cpp.o.d"
+  "/root/repo/src/prt/dist.cpp" "src/CMakeFiles/msra.dir/prt/dist.cpp.o" "gcc" "src/CMakeFiles/msra.dir/prt/dist.cpp.o.d"
+  "/root/repo/src/runtime/async_io.cpp" "src/CMakeFiles/msra.dir/runtime/async_io.cpp.o" "gcc" "src/CMakeFiles/msra.dir/runtime/async_io.cpp.o.d"
+  "/root/repo/src/runtime/endpoint.cpp" "src/CMakeFiles/msra.dir/runtime/endpoint.cpp.o" "gcc" "src/CMakeFiles/msra.dir/runtime/endpoint.cpp.o.d"
+  "/root/repo/src/runtime/parallel_io.cpp" "src/CMakeFiles/msra.dir/runtime/parallel_io.cpp.o" "gcc" "src/CMakeFiles/msra.dir/runtime/parallel_io.cpp.o.d"
+  "/root/repo/src/runtime/sieve.cpp" "src/CMakeFiles/msra.dir/runtime/sieve.cpp.o" "gcc" "src/CMakeFiles/msra.dir/runtime/sieve.cpp.o.d"
+  "/root/repo/src/runtime/subfile.cpp" "src/CMakeFiles/msra.dir/runtime/subfile.cpp.o" "gcc" "src/CMakeFiles/msra.dir/runtime/subfile.cpp.o.d"
+  "/root/repo/src/runtime/superfile.cpp" "src/CMakeFiles/msra.dir/runtime/superfile.cpp.o" "gcc" "src/CMakeFiles/msra.dir/runtime/superfile.cpp.o.d"
+  "/root/repo/src/simkit/resource.cpp" "src/CMakeFiles/msra.dir/simkit/resource.cpp.o" "gcc" "src/CMakeFiles/msra.dir/simkit/resource.cpp.o.d"
+  "/root/repo/src/srb/client.cpp" "src/CMakeFiles/msra.dir/srb/client.cpp.o" "gcc" "src/CMakeFiles/msra.dir/srb/client.cpp.o.d"
+  "/root/repo/src/srb/resources.cpp" "src/CMakeFiles/msra.dir/srb/resources.cpp.o" "gcc" "src/CMakeFiles/msra.dir/srb/resources.cpp.o.d"
+  "/root/repo/src/srb/server.cpp" "src/CMakeFiles/msra.dir/srb/server.cpp.o" "gcc" "src/CMakeFiles/msra.dir/srb/server.cpp.o.d"
+  "/root/repo/src/store/file_store.cpp" "src/CMakeFiles/msra.dir/store/file_store.cpp.o" "gcc" "src/CMakeFiles/msra.dir/store/file_store.cpp.o.d"
+  "/root/repo/src/store/mem_store.cpp" "src/CMakeFiles/msra.dir/store/mem_store.cpp.o" "gcc" "src/CMakeFiles/msra.dir/store/mem_store.cpp.o.d"
+  "/root/repo/src/tape/hsm.cpp" "src/CMakeFiles/msra.dir/tape/hsm.cpp.o" "gcc" "src/CMakeFiles/msra.dir/tape/hsm.cpp.o.d"
+  "/root/repo/src/tape/tape_library.cpp" "src/CMakeFiles/msra.dir/tape/tape_library.cpp.o" "gcc" "src/CMakeFiles/msra.dir/tape/tape_library.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

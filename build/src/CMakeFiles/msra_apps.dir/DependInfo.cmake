@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/astro3d/astro3d.cpp" "src/CMakeFiles/msra_apps.dir/apps/astro3d/astro3d.cpp.o" "gcc" "src/CMakeFiles/msra_apps.dir/apps/astro3d/astro3d.cpp.o.d"
+  "/root/repo/src/apps/imgview/image.cpp" "src/CMakeFiles/msra_apps.dir/apps/imgview/image.cpp.o" "gcc" "src/CMakeFiles/msra_apps.dir/apps/imgview/image.cpp.o.d"
+  "/root/repo/src/apps/mse/mse.cpp" "src/CMakeFiles/msra_apps.dir/apps/mse/mse.cpp.o" "gcc" "src/CMakeFiles/msra_apps.dir/apps/mse/mse.cpp.o.d"
+  "/root/repo/src/apps/vizlib/vizlib.cpp" "src/CMakeFiles/msra_apps.dir/apps/vizlib/vizlib.cpp.o" "gcc" "src/CMakeFiles/msra_apps.dir/apps/vizlib/vizlib.cpp.o.d"
+  "/root/repo/src/apps/volren/volren.cpp" "src/CMakeFiles/msra_apps.dir/apps/volren/volren.cpp.o" "gcc" "src/CMakeFiles/msra_apps.dir/apps/volren/volren.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/msra.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

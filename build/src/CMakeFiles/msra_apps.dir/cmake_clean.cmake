@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msra_apps.dir/apps/astro3d/astro3d.cpp.o"
+  "CMakeFiles/msra_apps.dir/apps/astro3d/astro3d.cpp.o.d"
+  "CMakeFiles/msra_apps.dir/apps/imgview/image.cpp.o"
+  "CMakeFiles/msra_apps.dir/apps/imgview/image.cpp.o.d"
+  "CMakeFiles/msra_apps.dir/apps/mse/mse.cpp.o"
+  "CMakeFiles/msra_apps.dir/apps/mse/mse.cpp.o.d"
+  "CMakeFiles/msra_apps.dir/apps/vizlib/vizlib.cpp.o"
+  "CMakeFiles/msra_apps.dir/apps/vizlib/vizlib.cpp.o.d"
+  "CMakeFiles/msra_apps.dir/apps/volren/volren.cpp.o"
+  "CMakeFiles/msra_apps.dir/apps/volren/volren.cpp.o.d"
+  "libmsra_apps.a"
+  "libmsra_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msra_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmsra_apps.a"
+)

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/advisor_test.cpp" "tests/CMakeFiles/msra_tests.dir/advisor_test.cpp.o" "gcc" "tests/CMakeFiles/msra_tests.dir/advisor_test.cpp.o.d"
+  "/root/repo/tests/apps_test.cpp" "tests/CMakeFiles/msra_tests.dir/apps_test.cpp.o" "gcc" "tests/CMakeFiles/msra_tests.dir/apps_test.cpp.o.d"
+  "/root/repo/tests/argparse_test.cpp" "tests/CMakeFiles/msra_tests.dir/argparse_test.cpp.o" "gcc" "tests/CMakeFiles/msra_tests.dir/argparse_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/msra_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/msra_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/msra_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/msra_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/endpoint_test.cpp" "tests/CMakeFiles/msra_tests.dir/endpoint_test.cpp.o" "gcc" "tests/CMakeFiles/msra_tests.dir/endpoint_test.cpp.o.d"
+  "/root/repo/tests/hsm_test.cpp" "tests/CMakeFiles/msra_tests.dir/hsm_test.cpp.o" "gcc" "tests/CMakeFiles/msra_tests.dir/hsm_test.cpp.o.d"
+  "/root/repo/tests/meta_test.cpp" "tests/CMakeFiles/msra_tests.dir/meta_test.cpp.o" "gcc" "tests/CMakeFiles/msra_tests.dir/meta_test.cpp.o.d"
+  "/root/repo/tests/persistence_test.cpp" "tests/CMakeFiles/msra_tests.dir/persistence_test.cpp.o" "gcc" "tests/CMakeFiles/msra_tests.dir/persistence_test.cpp.o.d"
+  "/root/repo/tests/predict_test.cpp" "tests/CMakeFiles/msra_tests.dir/predict_test.cpp.o" "gcc" "tests/CMakeFiles/msra_tests.dir/predict_test.cpp.o.d"
+  "/root/repo/tests/prt_test.cpp" "tests/CMakeFiles/msra_tests.dir/prt_test.cpp.o" "gcc" "tests/CMakeFiles/msra_tests.dir/prt_test.cpp.o.d"
+  "/root/repo/tests/robustness_test.cpp" "tests/CMakeFiles/msra_tests.dir/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/msra_tests.dir/robustness_test.cpp.o.d"
+  "/root/repo/tests/runtime_test.cpp" "tests/CMakeFiles/msra_tests.dir/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/msra_tests.dir/runtime_test.cpp.o.d"
+  "/root/repo/tests/simkit_test.cpp" "tests/CMakeFiles/msra_tests.dir/simkit_test.cpp.o" "gcc" "tests/CMakeFiles/msra_tests.dir/simkit_test.cpp.o.d"
+  "/root/repo/tests/srb_test.cpp" "tests/CMakeFiles/msra_tests.dir/srb_test.cpp.o" "gcc" "tests/CMakeFiles/msra_tests.dir/srb_test.cpp.o.d"
+  "/root/repo/tests/store_test.cpp" "tests/CMakeFiles/msra_tests.dir/store_test.cpp.o" "gcc" "tests/CMakeFiles/msra_tests.dir/store_test.cpp.o.d"
+  "/root/repo/tests/sweep_test.cpp" "tests/CMakeFiles/msra_tests.dir/sweep_test.cpp.o" "gcc" "tests/CMakeFiles/msra_tests.dir/sweep_test.cpp.o.d"
+  "/root/repo/tests/tape_test.cpp" "tests/CMakeFiles/msra_tests.dir/tape_test.cpp.o" "gcc" "tests/CMakeFiles/msra_tests.dir/tape_test.cpp.o.d"
+  "/root/repo/tests/wire_test.cpp" "tests/CMakeFiles/msra_tests.dir/wire_test.cpp.o" "gcc" "tests/CMakeFiles/msra_tests.dir/wire_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/msra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/msra_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msractl.dir/msractl.cpp.o"
+  "CMakeFiles/msractl.dir/msractl.cpp.o.d"
+  "msractl"
+  "msractl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msractl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
