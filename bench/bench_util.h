@@ -18,10 +18,50 @@
 #include "apps/astro3d/astro3d.h"
 #include "common/bytes.h"
 #include "core/session.h"
+#include "obs/metrics.h"
 #include "predict/predictor.h"
 #include "predict/ptool.h"
 
 namespace msra::bench {
+
+/// Extracts `--stats-out FILE` (or `--stats-out=FILE`) from argv, compacting
+/// the remaining arguments in place. Must run before benchmark::Initialize,
+/// which rejects flags it does not know.
+inline std::string consume_stats_out_flag(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int in = 1; in < argc; ++in) {
+    const std::string arg = argv[in];
+    if (arg == "--stats-out" && in + 1 < argc) {
+      path = argv[++in];
+      continue;
+    }
+    if (arg.rfind("--stats-out=", 0) == 0) {
+      path = arg.substr(12);
+      continue;
+    }
+    argv[out++] = argv[in];
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return path;
+}
+
+/// Dumps the system's metrics registry as JSON; no-op on an empty path.
+inline void write_stats_json(const core::StorageSystem& system,
+                             const std::string& path) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write stats to %s\n", path.c_str());
+    return;
+  }
+  const std::string json = system.metrics().to_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("telemetry JSON written to %s\n", path.c_str());
+}
 
 inline bool full_scale() {
   const char* env = std::getenv("MSRA_FULL_SCALE");

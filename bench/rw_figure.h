@@ -13,6 +13,7 @@ namespace msra::bench {
 
 inline int run_rw_figure(core::Location location, const char* title,
                          const char* paper_ref, int argc, char** argv) {
+  const std::string stats_out = consume_stats_out_flag(argc, argv);
   print_header(title, paper_ref);
   // Kept alive for the whole benchmark run.
   static Testbed* testbed = new Testbed();
@@ -70,6 +71,7 @@ inline int run_rw_figure(core::Location location, const char* title,
     std::printf("%-12s %14.4f %14.4f\n", format_bytes(size).c_str(), read,
                 write);
   }
+  write_stats_json(testbed->system, stats_out);
   return 0;
 }
 

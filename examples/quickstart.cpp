@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/session.h"
+#include "obs/report.h"
 
 using namespace msra;
 
@@ -81,5 +82,11 @@ int main() {
   std::printf("\nLocal disks are fastest but smallest; tapes are unbounded\n"
               "but orders of magnitude slower — the dilemma the\n"
               "multi-storage resource architecture resolves.\n");
+
+  // 6. The always-on telemetry recorded everything above: where the
+  //    simulated seconds went, per resource and Eq. (1) component.
+  std::printf("\nEq. (1) component breakdown of everything above:\n%s",
+              obs::format_io_table(obs::io_breakdown(system.metrics()))
+                  .c_str());
   return 0;
 }

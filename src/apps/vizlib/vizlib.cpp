@@ -8,7 +8,7 @@ namespace msra::apps::vizlib {
 StatusOr<imgview::Image> extract_slice(core::DatasetHandle& handle,
                                        simkit::Timeline& timeline, int timestep,
                                        Axis axis, std::uint64_t index,
-                                       runtime::AccessStrategy strategy) {
+                                       const core::ReadOptions& options) {
   const auto& dims = handle.desc().dims;
   const auto a = static_cast<std::size_t>(axis);
   if (index >= dims[a]) return Status::InvalidArgument("slice index out of range");
@@ -18,7 +18,7 @@ StatusOr<imgview::Image> extract_slice(core::DatasetHandle& handle,
 
   const std::size_t elem = core::element_size(handle.desc().etype);
   std::vector<std::byte> raw(box.volume() * elem);
-  MSRA_RETURN_IF_ERROR(handle.read_box(timeline, timestep, box, raw, strategy));
+  MSRA_RETURN_IF_ERROR(handle.read_box(timeline, timestep, box, raw, options));
 
   // The slice plane's two in-plane dimensions, in row-major order.
   std::array<std::size_t, 2> plane{};

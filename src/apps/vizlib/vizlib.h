@@ -19,11 +19,12 @@ enum class Axis { kX = 0, kY = 1, kZ = 2 };
 
 /// Extracts a 2-D slice (normalized to uchar for float data) at `index`
 /// along `axis` of one dumped timestep, reading only the slice's bytes.
+/// `options` is forwarded to DatasetHandle::read_box (access strategy,
+/// trace label).
 StatusOr<imgview::Image> extract_slice(core::DatasetHandle& handle,
                                        simkit::Timeline& timeline, int timestep,
                                        Axis axis, std::uint64_t index,
-                                       runtime::AccessStrategy strategy =
-                                           runtime::AccessStrategy::kSieving);
+                                       const core::ReadOptions& options = {});
 
 /// Marching-cubes-style cell classification: counts grid cells whose corner
 /// values straddle `iso` (i.e. cells the isosurface passes through).

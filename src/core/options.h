@@ -1,0 +1,42 @@
+// Options structs for the Session / DatasetHandle API.
+//
+// Call-site contract (applies to every opener below): Session::open and
+// Session::open_existing return StatusOr<DatasetHandle*> whose pointer is
+// NEVER null on an ok() status — the handle lives as long as the Session,
+// so callers may dereference `*result` without a null check after
+// MSRA_ASSIGN_OR_RETURN / ok(). Failure is always expressed through the
+// Status, never through a null success value.
+//
+// Plain enum/string trailing parameters don't scale (read_box grew an
+// AccessStrategy, open_existing a producer_app — the next knob would break
+// every caller), so the per-call knobs live in small aggregate structs
+// with designated-initializer-friendly defaults:
+//
+//   handle.read_box(tl, t, box, out, {.strategy = AccessStrategy::kDirect});
+//   session.open_existing("temperature", {.producer_app = "astro3d"});
+#pragma once
+
+#include <string>
+
+#include "runtime/sieve.h"
+
+namespace msra::core {
+
+/// Knobs for DatasetHandle::read_box.
+struct ReadOptions {
+  /// How strided sub-array requests hit storage.
+  runtime::AccessStrategy strategy = runtime::AccessStrategy::kSieving;
+
+  /// Span name recorded in the system tracer for this read. Empty uses the
+  /// default ("read_box <dataset>").
+  std::string trace_label;
+};
+
+/// Knobs for Session::open_existing.
+struct OpenOptions {
+  /// Producer application that registered the dataset. Empty means "any":
+  /// the catalog is searched by dataset name alone.
+  std::string producer_app;
+};
+
+}  // namespace msra::core

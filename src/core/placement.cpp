@@ -56,6 +56,10 @@ StatusOr<PlacementDecision> PlacementPolicy::resolve(StorageSystem& system,
                           ? "fell back to " + std::string(location_name(candidate)) +
                                 " (" + why + ")"
                           : "hint honored";
+    system.metrics()
+        .counter(decision.failed_over ? "placement.failed_over"
+                                      : "placement.honored")
+        ->increment();
     return decision;
   }
   return Status::Unavailable("no storage resource can hold " +

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/log.h"
+#include "obs/trace.h"
 #include "runtime/parallel_io.h"
 
 namespace msra::core {
@@ -47,12 +48,12 @@ StatusOr<DatasetHandle*> Session::open(const DatasetDesc& desc) {
 }
 
 StatusOr<DatasetHandle*> Session::open_existing(const std::string& name,
-                                                const std::string& producer_app) {
+                                                const OpenOptions& options) {
   auto it = handles_.find(name);
   if (it != handles_.end()) return it->second.get();
   StatusOr<DatasetRecord> record =
-      producer_app.empty() ? catalog_.find_dataset(name)
-                           : catalog_.dataset(producer_app, name);
+      options.producer_app.empty() ? catalog_.find_dataset(name)
+                                   : catalog_.dataset(options.producer_app, name);
   MSRA_RETURN_IF_ERROR(record.status());
   auto handle = std::unique_ptr<DatasetHandle>(new DatasetHandle(
       this, record->app, record->desc, record->resolved));
@@ -108,6 +109,10 @@ bool subfiled(const std::array<int, 3>& chunks) {
 Status DatasetHandle::write_timestep(prt::Comm& comm, int timestep,
                                      std::span<const std::byte> local) {
   if (!enabled()) return Status::Ok();  // DISABLE: not dumped at all
+  // Spans nest per thread; recording on rank 0 only keeps one coherent
+  // parent/child tree per collective operation.
+  obs::Span span(comm.rank() == 0 ? &session_->system_.tracer() : nullptr,
+                 comm.timeline(), "write_timestep " + desc_.name);
   Status status = write_with_failover(comm, timestep, local);
   if (!status.ok()) return status;
   if (comm.rank() == 0) {
@@ -134,12 +139,19 @@ Status DatasetHandle::write_with_failover(prt::Comm& comm, int timestep,
   // One attempt per concrete resource at most.
   for (int attempt = 0; attempt < 3; ++attempt) {
     runtime::StorageEndpoint& endpoint = session_->system_.endpoint(location_);
-    Status status =
-        subfiled(subfile_chunks_)
-            ? write_subfiled(comm, path, local)
-            : runtime::write_array(endpoint, comm, path, lay, local,
-                                   desc_.method, srb::OpenMode::kOverwrite,
-                                   {.aggregators = desc_.aggregators});
+    Status status;
+    {
+      obs::Span attempt_span(
+          comm.rank() == 0 ? &session_->system_.tracer() : nullptr,
+          comm.timeline(),
+          "write_array@" + std::string(location_name(location_)));
+      status =
+          subfiled(subfile_chunks_)
+              ? write_subfiled(comm, path, local)
+              : runtime::write_array(endpoint, comm, path, lay, local,
+                                     desc_.method, srb::OpenMode::kOverwrite,
+                                     {.aggregators = desc_.aggregators});
+    }
     const bool recoverable = status.code() == ErrorCode::kUnavailable ||
                              status.code() == ErrorCode::kCapacityExceeded;
     if (status.ok() || !recoverable) return status;
@@ -161,6 +173,7 @@ Status DatasetHandle::write_with_failover(prt::Comm& comm, int timestep,
     if (decision[0] == std::byte{0xFF}) return status;  // nowhere left to go
     location_ = static_cast<Location>(decision[0]);
     if (comm.rank() == 0) {
+      session_->system_.metrics().counter("session.failovers")->increment();
       MSRA_LOG(kInfo) << "dataset " << desc_.name << " failing over to "
                       << location_name(location_) << " after: "
                       << status.to_string();
@@ -274,8 +287,9 @@ Status DatasetHandle::replicate_timestep(simkit::Timeline& timeline,
       destination != Location::kLocalDisk;
   if (both_remote) {
     // Same storage site: server-side copy, no WAN payload transfer.
+    // unwrap() reaches past the instrumentation decorator.
     auto* endpoint = dynamic_cast<runtime::RemoteEndpoint*>(
-        &session_->system_.endpoint(source.location));
+        session_->system_.endpoint(source.location).unwrap());
     if (endpoint == nullptr) return Status::Internal("remote endpoint expected");
     auto resource_of = [](Location location) {
       return location == Location::kRemoteTape ? std::string("remotetape")
@@ -399,10 +413,13 @@ StatusOr<std::vector<std::byte>> DatasetHandle::read_whole(
 
 Status DatasetHandle::read_box(simkit::Timeline& timeline, int timestep,
                                const prt::LocalBox& box, std::span<std::byte> out,
-                               runtime::AccessStrategy strategy) {
+                               const ReadOptions& options) {
   if (!enabled()) {
     return Status::NotFound("dataset " + desc_.name + " was DISABLEd");
   }
+  obs::Span span(&session_->system_.tracer(), timeline,
+                 options.trace_label.empty() ? "read_box " + desc_.name
+                                             : options.trace_label);
   MSRA_ASSIGN_OR_RETURN(InstanceRecord record, locate(timestep));
   runtime::StorageEndpoint& endpoint = session_->system_.endpoint(record.location);
   if (subfiled(subfile_chunks_)) {
@@ -412,7 +429,7 @@ Status DatasetHandle::read_box(simkit::Timeline& timeline, int timestep,
                                       box, out);
   }
   return runtime::read_subarray(endpoint, timeline, record.path, spec(), box,
-                                out, strategy);
+                                out, options.strategy);
 }
 
 }  // namespace msra::core

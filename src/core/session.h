@@ -21,6 +21,7 @@
 #include <string>
 
 #include "core/catalog.h"
+#include "core/options.h"
 #include "core/placement.h"
 #include "prt/comm.h"
 #include "runtime/sieve.h"
@@ -58,10 +59,21 @@ class DatasetHandle {
                                               int timestep);
 
   /// Serial sub-array read (visualization slices etc.). Uses sieving or
-  /// direct requests; subfile-chunked datasets read only touched chunks.
+  /// direct requests per `options.strategy`; subfile-chunked datasets read
+  /// only touched chunks.
   Status read_box(simkit::Timeline& timeline, int timestep,
                   const prt::LocalBox& box, std::span<std::byte> out,
-                  runtime::AccessStrategy strategy);
+                  const ReadOptions& options = {});
+
+  /// Transitional shim for the bare-enum signature; migrate to ReadOptions.
+  [[deprecated("pass core::ReadOptions instead of a bare AccessStrategy")]]
+  Status read_box(simkit::Timeline& timeline, int timestep,
+                  const prt::LocalBox& box, std::span<std::byte> out,
+                  runtime::AccessStrategy strategy) {
+    ReadOptions options;
+    options.strategy = strategy;
+    return read_box(timeline, timestep, box, out, options);
+  }
 
   /// The decomposition this handle uses for `nprocs` ranks.
   StatusOr<runtime::ArrayLayout> layout(int nprocs) const;
@@ -139,12 +151,24 @@ class Session {
 
   /// Opens (registers) a dataset for this run. The location hint in `desc`
   /// is resolved immediately; the decision lands in the metadata database.
+  /// On ok() the handle is never null (see core/options.h).
   StatusOr<DatasetHandle*> open(const DatasetDesc& desc);
 
   /// Opens a dataset registered by an earlier producer session (consumer
   /// side); the descriptor and resolved location come from the metadata.
+  /// On ok() the handle is never null (see core/options.h).
   StatusOr<DatasetHandle*> open_existing(const std::string& name,
-                                         const std::string& producer_app = "");
+                                         const OpenOptions& options = {});
+
+  /// Transitional shim for the trailing-string signature; migrate to
+  /// OpenOptions.
+  [[deprecated("pass core::OpenOptions instead of a bare producer_app")]]
+  StatusOr<DatasetHandle*> open_existing(const std::string& name,
+                                         const std::string& producer_app) {
+    OpenOptions options;
+    options.producer_app = producer_app;
+    return open_existing(name, options);
+  }
 
   /// finalization(): flushes metadata. Idempotent.
   Status finalize();

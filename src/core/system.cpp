@@ -1,6 +1,9 @@
 #include "core/system.h"
 
 #include <cassert>
+#include <cstdlib>
+
+#include "runtime/factory.h"
 
 namespace msra::core {
 
@@ -27,6 +30,13 @@ StatusOr<Location> parse_location(std::string_view name) {
 StorageSystem::StorageSystem(const HardwareProfile& profile,
                              std::filesystem::path data_root)
     : profile_(profile), data_root_(std::move(data_root)) {
+  // MSRA_STATS=0 turns the telemetry off for the whole system: every
+  // instrument drops to a single relaxed atomic load per operation.
+  if (const char* env = std::getenv("MSRA_STATS");
+      env != nullptr && env[0] == '0') {
+    metrics_.set_enabled(false);
+    tracer_.set_enabled(false);
+  }
   if (persistent()) {
     local_store_ = std::make_unique<store::FileObjectStore>(data_root_ / "local");
     remote_disk_store_ =
@@ -78,11 +88,12 @@ StorageSystem::StorageSystem(const HardwareProfile& profile,
   wan_tape_link_ =
       std::make_unique<net::Link>("wan-tape", profile.wan_tape, tape_noise);
 
-  local_endpoint_ = std::make_unique<runtime::LocalEndpoint>(local_resource_.get());
-  remote_disk_endpoint_ = std::make_unique<runtime::RemoteEndpoint>(
-      server_.get(), wan_disk_link_.get(), "remotedisk");
-  remote_tape_endpoint_ = std::make_unique<runtime::RemoteEndpoint>(
-      server_.get(), wan_tape_link_.get(), "remotetape");
+  local_endpoint_ = runtime::make_endpoint(*this, Location::kLocalDisk);
+  remote_disk_endpoint_ = runtime::make_endpoint(*this, Location::kRemoteDisk);
+  remote_tape_endpoint_ = runtime::make_endpoint(*this, Location::kRemoteTape);
+
+  tape_library_->set_metrics(&metrics_);
+  if (hsm_) hsm_->set_metrics(&metrics_);
 }
 
 runtime::StorageEndpoint& StorageSystem::endpoint(Location location) {

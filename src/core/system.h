@@ -14,6 +14,8 @@
 #include "core/profiles.h"
 #include "meta/database.h"
 #include "net/link.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/endpoint.h"
 #include "simkit/noise.h"
 #include "srb/server.h"
@@ -54,7 +56,18 @@ class StorageSystem {
   const HardwareProfile& profile() const { return profile_; }
 
   /// Endpoint for a concrete location (kAuto/kDisable are invalid here).
+  /// Endpoints are instrumented: every Eq.-1 primitive they execute lands
+  /// in `metrics()` under `io.<resource>.<op>`.
   runtime::StorageEndpoint& endpoint(Location location);
+
+  /// System-wide instrument registry (always present; disable via
+  /// `metrics().set_enabled(false)` to reduce recording to a flag check).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// System-wide span recorder (virtual-time traces).
+  obs::TraceRecorder& tracer() { return tracer_; }
+  const obs::TraceRecorder& tracer() const { return tracer_; }
 
   /// The local metadata database (the paper's Postgres).
   meta::Database& metadb() { return *metadb_; }
@@ -88,6 +101,11 @@ class StorageSystem {
   std::filesystem::path data_root_;
   std::unique_ptr<meta::Database> metadb_;
 
+  // Observability. Declared before the endpoint layer so instrumented
+  // endpoints can bind to the registry during construction.
+  obs::MetricsRegistry metrics_;
+  obs::TraceRecorder tracer_;
+
   // Physical layer (MemObjectStore by default, FileObjectStore when rooted).
   std::unique_ptr<store::ObjectStore> local_store_;
   std::unique_ptr<store::ObjectStore> remote_disk_store_;
@@ -103,10 +121,10 @@ class StorageSystem {
   std::unique_ptr<net::Link> wan_disk_link_;
   std::unique_ptr<net::Link> wan_tape_link_;
 
-  // Endpoint layer.
-  std::unique_ptr<runtime::LocalEndpoint> local_endpoint_;
-  std::unique_ptr<runtime::RemoteEndpoint> remote_disk_endpoint_;
-  std::unique_ptr<runtime::RemoteEndpoint> remote_tape_endpoint_;
+  // Endpoint layer (built by runtime::make_endpoint, instrumented).
+  std::unique_ptr<runtime::StorageEndpoint> local_endpoint_;
+  std::unique_ptr<runtime::StorageEndpoint> remote_disk_endpoint_;
+  std::unique_ptr<runtime::StorageEndpoint> remote_tape_endpoint_;
 };
 
 }  // namespace msra::core

@@ -10,13 +10,24 @@ std::size_t Table::size() const {
 }
 
 std::string Table::index_key(const Value& value) {
+  // Single-char prefix built via append (not `"x" + s`): the operator+
+  // form trips a GCC 12 -Wrestrict false positive when inlined at -O3.
   struct Visitor {
     std::string operator()(std::monostate) const { return std::string(); }
-    std::string operator()(std::int64_t v) const { return "i" + std::to_string(v); }
-    std::string operator()(double v) const { return "r" + std::to_string(v); }
-    std::string operator()(const std::string& v) const { return "t" + v; }
+    std::string operator()(std::int64_t v) const { return tagged('i', std::to_string(v)); }
+    std::string operator()(double v) const { return tagged('r', std::to_string(v)); }
+    std::string operator()(const std::string& v) const { return tagged('t', v); }
     std::string operator()(const std::vector<std::byte>& v) const {
-      return "b" + std::string(reinterpret_cast<const char*>(v.data()), v.size());
+      return tagged('b',
+                    std::string_view(reinterpret_cast<const char*>(v.data()),
+                                     v.size()));
+    }
+    static std::string tagged(char tag, std::string_view body) {
+      std::string out;
+      out.reserve(body.size() + 1);
+      out.push_back(tag);
+      out.append(body);
+      return out;
     }
   };
   return std::visit(Visitor{}, value);

@@ -1,0 +1,74 @@
+// InstrumentedEndpoint: a decorator over runtime::StorageEndpoint that
+// bills every Eq.-1 primitive (connect/open/seek/read/write/close plus
+// disconnect) into per-resource histograms, so a live workload's component
+// breakdown is directly comparable against PerfDB predictions.
+//
+// Instrument names follow `io.<resource>.<op>` (durations, simulated
+// seconds) and `io.<resource>.{read,write}_bytes` (counters). Pointers are
+// resolved once at construction; a forwarded call costs two timeline
+// reads and one histogram insert — and with the registry disabled, just
+// the relaxed-atomic flag check.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "runtime/endpoint.h"
+
+namespace msra::obs {
+
+class InstrumentedEndpoint final : public runtime::StorageEndpoint {
+ public:
+  /// Owns `inner`; `registry` must outlive this endpoint.
+  InstrumentedEndpoint(std::unique_ptr<runtime::StorageEndpoint> inner,
+                       MetricsRegistry* registry);
+
+  runtime::StorageKind kind() const override { return inner_->kind(); }
+  const std::string& name() const override { return inner_->name(); }
+
+  MetricsRegistry* metrics() const override { return registry_; }
+  runtime::StorageEndpoint* unwrap() override { return inner_->unwrap(); }
+
+  Status connect(simkit::Timeline& timeline) override;
+  Status disconnect(simkit::Timeline& timeline) override;
+
+  StatusOr<runtime::HandleId> open(simkit::Timeline& timeline,
+                                   const std::string& path,
+                                   runtime::OpenMode mode) override;
+  Status seek(simkit::Timeline& timeline, runtime::HandleId handle,
+              std::uint64_t offset) override;
+  Status read(simkit::Timeline& timeline, runtime::HandleId handle,
+              std::span<std::byte> out) override;
+  Status write(simkit::Timeline& timeline, runtime::HandleId handle,
+               std::span<const std::byte> data) override;
+  Status close(simkit::Timeline& timeline, runtime::HandleId handle) override;
+
+  Status remove(simkit::Timeline& timeline, const std::string& path) override;
+  StatusOr<std::uint64_t> size(simkit::Timeline& timeline,
+                               const std::string& path) override;
+  StatusOr<std::vector<store::ObjectInfo>> list(
+      simkit::Timeline& timeline, const std::string& prefix) override;
+
+  std::uint64_t capacity() const override { return inner_->capacity(); }
+  std::uint64_t used() const override { return inner_->used(); }
+  bool available() const override { return inner_->available(); }
+
+ private:
+  std::unique_ptr<runtime::StorageEndpoint> inner_;
+  MetricsRegistry* registry_;
+
+  // One histogram per Eq.-1 component, resolved once.
+  Histogram* conn_;
+  Histogram* disconn_;
+  Histogram* open_;
+  Histogram* seek_;
+  Histogram* read_;
+  Histogram* write_;
+  Histogram* close_;
+  Counter* read_bytes_;
+  Counter* write_bytes_;
+  Counter* errors_;
+};
+
+}  // namespace msra::obs

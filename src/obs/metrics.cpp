@@ -1,0 +1,263 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace msra::obs {
+
+namespace {
+
+// Geometric bucket layout: kBuckets buckets over [kLowest, kHighest).
+const double kLogLowest = std::log(Histogram::kLowest);
+const double kLogRange = std::log(Histogram::kHighest) - kLogLowest;
+
+int bucket_of(double v) {
+  if (!(v >= Histogram::kLowest)) return 0;  // underflow (and NaN)
+  if (v >= Histogram::kHighest) return Histogram::kBuckets;
+  const double frac = (std::log(v) - kLogLowest) / kLogRange;
+  int index = 1 + static_cast<int>(frac * Histogram::kBuckets);
+  return std::clamp(index, 1, Histogram::kBuckets);
+}
+
+/// Lower edge of bucket `index` (index >= 1); the underflow bucket spans
+/// [0, kLowest).
+double bucket_lo(int index) {
+  if (index <= 0) return 0.0;
+  return std::exp(kLogLowest +
+                  kLogRange * static_cast<double>(index - 1) /
+                      Histogram::kBuckets);
+}
+
+double bucket_hi(int index) {
+  if (index <= 0) return Histogram::kLowest;
+  return std::exp(kLogLowest +
+                  kLogRange * static_cast<double>(index) / Histogram::kBuckets);
+}
+
+}  // namespace
+
+void Histogram::record(double v) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  if (std::isnan(v)) return;
+  if (v < 0.0) v = 0.0;  // durations cannot be negative; clamp defensively
+  std::lock_guard<std::mutex> lock(mutex_);
+  buckets_[static_cast<std::size_t>(bucket_of(v))]++;
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  sum_ += v;
+  ++count_;
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  // Rank in [0, count-1], matching StatAccumulator's linear interpolation.
+  const double rank = (p / 100.0) * static_cast<double>(count_ - 1);
+  double seen = 0.0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const double n = static_cast<double>(buckets_[b]);
+    if (n == 0.0) continue;
+    if (seen + n > rank) {
+      // Interpolate inside the bucket, clamped to the observed extremes.
+      const double frac = (rank - seen) / n;
+      const int index = static_cast<int>(b);
+      const double lo = std::max(bucket_lo(index), min_);
+      const double hi = std::min(bucket_hi(index), max_);
+      return lo + frac * (std::max(hi, lo) - lo);
+    }
+    seen += n;
+  }
+  return max_;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>(&enabled_))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>(&enabled_))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(&enabled_))
+             .first;
+  }
+  return it->second.get();
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counters()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<HistogramSnapshot> MetricsRegistry::histograms() const {
+  // Copy the pointers under the registry lock, then snapshot each histogram
+  // under its own lock (record() never takes the registry lock).
+  std::vector<std::pair<std::string, Histogram*>> items;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    items.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) items.emplace_back(name, h.get());
+  }
+  std::vector<HistogramSnapshot> out;
+  out.reserve(items.size());
+  for (const auto& [name, h] : items) {
+    HistogramSnapshot snap;
+    snap.name = name;
+    snap.count = h->count();
+    snap.sum = h->sum();
+    snap.min = h->min();
+    snap.max = h->max();
+    snap.mean = h->mean();
+    snap.p50 = h->percentile(50.0);
+    snap.p95 = h->percentile(95.0);
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void json_escape(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void json_number(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"enabled\":";
+  out += enabled() ? "true" : "false";
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    json_escape(out, name);
+    out += "\":";
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    json_escape(out, name);
+    out += "\":";
+    json_number(out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramSnapshot& h : histograms()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    json_escape(out, h.name);
+    out += "\":{\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"sum\":";
+    json_number(out, h.sum);
+    out += ",\"min\":";
+    json_number(out, h.min);
+    out += ",\"max\":";
+    json_number(out, h.max);
+    out += ",\"mean\":";
+    json_number(out, h.mean);
+    out += ",\"p50\":";
+    json_number(out, h.p50);
+    out += ",\"p95\":";
+    json_number(out, h.p95);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace msra::obs

@@ -1,0 +1,167 @@
+// Always-on telemetry for the storage stack: counters, gauges and
+// bounded-memory histograms collected in a MetricsRegistry owned by
+// core::StorageSystem and reachable from every layer.
+//
+// The paper's thesis is that I/O cost decomposes into the Eq. (1)
+// components (Tconn/Topen/Tseek/Trw/Tclose); the registry keeps one
+// histogram per (resource, primitive) so a live workload's breakdown is
+// directly comparable against PerfDB predictions, without running a
+// dedicated bench.
+//
+// Design constraints:
+//  * bounded memory — histograms bucket geometrically instead of keeping
+//    every sample like StatAccumulator (which PTool still uses for its
+//    short measurement loops);
+//  * pay-for-what-you-touch — every instrument checks one relaxed atomic
+//    flag first; a disabled registry reduces recording to that load;
+//  * stable pointers — instruments are created on first use and never
+//    move, so hot paths resolve a name once and keep the pointer.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msra::obs {
+
+/// Monotonic event counter (thread-safe).
+class Counter {
+ public:
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  void add(std::uint64_t n) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  const std::atomic<bool>* enabled_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value instrument (queue depths, cache occupancy).
+class Gauge {
+ public:
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  void set(double v) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    value_ = v;
+  }
+  double value() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return value_;
+  }
+
+ private:
+  const std::atomic<bool>* enabled_;
+  mutable std::mutex mutex_;
+  double value_ = 0.0;
+};
+
+/// Bounded-memory histogram over geometric buckets.
+///
+/// Values (simulated seconds, bytes, depths) land in one of kBuckets
+/// buckets spanning [kLowest, kHighest) with ~8.4% relative width, plus an
+/// underflow bucket for values below kLowest (e.g. the 0-second connects of
+/// local disks). Exact count/sum/min/max are kept alongside, so mean() is
+/// exact and only percentile() pays the bucketing error.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 512;
+  static constexpr double kLowest = 1e-9;
+  static constexpr double kHighest = 1e9;
+
+  explicit Histogram(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  void record(double v);
+
+  std::uint64_t count() const;
+  double sum() const;
+  double min() const;  ///< 0 when empty
+  double max() const;  ///< 0 when empty
+  double mean() const;
+
+  /// Bucket-interpolated percentile, p in [0, 100]; 0 when empty. The
+  /// result is exact for the extremes and within one bucket width (~8.4%
+  /// relative) elsewhere — tested against the StatAccumulator oracle.
+  double percentile(double p) const;
+
+ private:
+  const std::atomic<bool>* enabled_;
+  mutable std::mutex mutex_;
+  std::array<std::uint64_t, kBuckets + 1> buckets_{};  // [0] = underflow
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Point-in-time view of one histogram (used by reports and JSON export).
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+/// The per-system instrument registry. Instruments are created lazily on
+/// first lookup and live as long as the registry; returned pointers are
+/// stable and safe to cache across calls (the InstrumentedEndpoint resolves
+/// its histograms once at construction).
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Disabling stops all recording (existing values are kept, not cleared).
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// Lookup without creation (nullptr when the instrument never existed).
+  const Counter* find_counter(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<HistogramSnapshot> histograms() const;
+
+  /// Whole-registry JSON export:
+  /// {"enabled":true,"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+
+ private:
+  std::atomic<bool> enabled_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Appends `text` to `out` with JSON string escaping.
+void json_escape(std::string& out, std::string_view text);
+
+/// Formats a double as a JSON number (shortest round-trippable form is not
+/// required; 9 significant digits keep simulated seconds faithful).
+void json_number(std::string& out, double v);
+
+}  // namespace msra::obs

@@ -1,0 +1,101 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace msra::obs {
+
+namespace {
+
+/// Splits "io.<resource>.<op>" into resource and op; the resource may
+/// itself contain dots or colons, so the op is taken from the last dot.
+bool split_io_name(const std::string& name, std::string* resource,
+                   std::string* op) {
+  constexpr std::string_view kPrefix = "io.";
+  if (name.rfind(kPrefix, 0) != 0) return false;
+  const std::size_t last_dot = name.rfind('.');
+  if (last_dot <= kPrefix.size()) return false;
+  *resource = name.substr(kPrefix.size(), last_dot - kPrefix.size());
+  *op = name.substr(last_dot + 1);
+  return true;
+}
+
+}  // namespace
+
+std::vector<ResourceIoReport> io_breakdown(const MetricsRegistry& registry) {
+  std::map<std::string, ResourceIoReport> by_resource;
+  for (const HistogramSnapshot& h : registry.histograms()) {
+    std::string resource, op;
+    if (!split_io_name(h.name, &resource, &op)) continue;
+    ResourceIoReport& row = by_resource[resource];
+    row.resource = resource;
+    if (op == "conn") row.conn += h.sum;
+    else if (op == "open") row.open += h.sum;
+    else if (op == "seek") row.seek += h.sum;
+    else if (op == "read") row.read += h.sum;
+    else if (op == "write") row.write += h.sum;
+    else if (op == "close" || op == "disconn") row.close += h.sum;
+    else continue;
+    row.ops += h.count;
+  }
+  for (const auto& [name, value] : registry.counters()) {
+    std::string resource, op;
+    if (!split_io_name(name, &resource, &op)) continue;
+    auto it = by_resource.find(resource);
+    if (it == by_resource.end()) continue;
+    if (op == "read_bytes") it->second.read_bytes += value;
+    else if (op == "write_bytes") it->second.write_bytes += value;
+  }
+  std::vector<ResourceIoReport> rows;
+  rows.reserve(by_resource.size());
+  for (auto& [name, row] : by_resource) {
+    // Endpoints create their instruments eagerly; skip resources that
+    // never actually recorded an operation (e.g. a disabled registry).
+    if (row.ops == 0) continue;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string format_io_table(const std::vector<ResourceIoReport>& rows) {
+  if (rows.empty()) return "(no I/O recorded)\n";
+  std::size_t name_width = std::string("resource").size();
+  for (const ResourceIoReport& row : rows) {
+    name_width = std::max(name_width, row.resource.size());
+  }
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-*s %10s %10s %10s %10s %10s %10s %12s %8s\n",
+                static_cast<int>(name_width), "resource", "conn", "open",
+                "seek", "read", "write", "close", "total[s]", "ops");
+  out += buf;
+  ResourceIoReport all;
+  all.resource = "TOTAL";
+  for (const ResourceIoReport& row : rows) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-*s %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f %12.4f %8llu\n",
+                  static_cast<int>(name_width), row.resource.c_str(), row.conn,
+                  row.open, row.seek, row.read, row.write, row.close,
+                  row.total(),
+                  static_cast<unsigned long long>(row.ops));
+    out += buf;
+    all.conn += row.conn;
+    all.open += row.open;
+    all.seek += row.seek;
+    all.read += row.read;
+    all.write += row.write;
+    all.close += row.close;
+    all.ops += row.ops;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "%-*s %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f %12.4f %8llu\n",
+                static_cast<int>(name_width), all.resource.c_str(), all.conn,
+                all.open, all.seek, all.read, all.write, all.close, all.total(),
+                static_cast<unsigned long long>(all.ops));
+  out += buf;
+  return out;
+}
+
+}  // namespace msra::obs

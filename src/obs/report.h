@@ -1,0 +1,40 @@
+// Turns the raw `io.<resource>.<op>` instruments recorded by
+// InstrumentedEndpoint into the paper's Eq. (1) view: per resource, how
+// many simulated seconds went to Tconn / Topen / Tseek / Trw / Tclose
+// (close here folds file-close and connection-close together, mirroring
+// the Tfileclose + Tconnclose terms).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace msra::obs {
+
+/// Summed Eq.-1 components for one resource, in simulated seconds.
+struct ResourceIoReport {
+  std::string resource;
+  double conn = 0.0;     ///< Tconn (connect)
+  double open = 0.0;     ///< Topen
+  double seek = 0.0;     ///< Tseek
+  double read = 0.0;     ///< Trw, read half
+  double write = 0.0;    ///< Trw, write half
+  double close = 0.0;    ///< Tfileclose + Tconnclose
+  std::uint64_t ops = 0; ///< total primitive calls
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+
+  double total() const { return conn + open + seek + read + write + close; }
+};
+
+/// One row per resource that recorded any `io.*` instrument, sorted by
+/// resource name.
+std::vector<ResourceIoReport> io_breakdown(const MetricsRegistry& registry);
+
+/// Fixed-width text table of the breakdown plus a totals row; empty
+/// registry renders a one-line "(no I/O recorded)" note.
+std::string format_io_table(const std::vector<ResourceIoReport>& rows);
+
+}  // namespace msra::obs

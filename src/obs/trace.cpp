@@ -1,0 +1,95 @@
+#include "obs/trace.h"
+
+#include "obs/metrics.h"
+
+namespace msra::obs {
+
+namespace {
+// Per-thread stack of open span ids; the top is the parent of the next
+// span opened on this thread (ranks of the parallel runtime are threads,
+// so each rank nests independently).
+thread_local std::vector<SpanId> open_spans;
+}  // namespace
+
+void TraceRecorder::record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    return;
+  }
+  ring_[head_] = std::move(record);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<SpanRecord> TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  head_ = 0;
+  dropped_ = 0;
+}
+
+std::string TraceRecorder::to_json() const {
+  std::string out = "[";
+  bool first = true;
+  for (const SpanRecord& span : snapshot()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":";
+    out += std::to_string(span.id);
+    out += ",\"parent\":";
+    out += std::to_string(span.parent);
+    out += ",\"name\":\"";
+    json_escape(out, span.name);
+    out += "\",\"start\":";
+    json_number(out, span.start);
+    out += ",\"end\":";
+    json_number(out, span.end);
+    out += '}';
+  }
+  out += ']';
+  return out;
+}
+
+Span::Span(TraceRecorder* recorder, const simkit::Timeline& timeline,
+           std::string name)
+    : recorder_(recorder), timeline_(&timeline) {
+  if (recorder_ == nullptr || !recorder_->enabled()) return;
+  record_.id = recorder_->next_id();
+  record_.parent = open_spans.empty() ? 0 : open_spans.back();
+  record_.name = std::move(name);
+  record_.start = timeline_->now();
+  open_spans.push_back(record_.id);
+  open_ = true;
+}
+
+void Span::end() {
+  if (!open_) return;
+  open_ = false;
+  // Pop this span (and any spans leaked below it by early returns).
+  while (!open_spans.empty() && open_spans.back() != record_.id) {
+    open_spans.pop_back();
+  }
+  if (!open_spans.empty()) open_spans.pop_back();
+  record_.end = timeline_->now();
+  recorder_->record(std::move(record_));
+}
+
+SpanId Span::current() { return open_spans.empty() ? 0 : open_spans.back(); }
+
+}  // namespace msra::obs

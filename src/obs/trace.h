@@ -1,0 +1,108 @@
+// Virtual-time spans and a bounded trace recorder.
+//
+// A Span measures an operation against a simkit::Timeline, so trace
+// timestamps are *simulated* seconds — the same currency every experiment
+// is billed in (a 40 s tape mount shows up as 40 s, not the microseconds
+// of wall-clock it cost). Spans nest: each thread keeps a stack of open
+// spans, and a new span records the enclosing one as its parent, which is
+// how a `write_timestep` span ends up owning its per-attempt `write_array`
+// children.
+//
+// Completed spans land in a fixed-capacity ring buffer (TraceRecorder);
+// when the ring wraps, the oldest spans are dropped and counted, so memory
+// stays bounded no matter how long the run is.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "simkit/timeline.h"
+
+namespace msra::obs {
+
+using SpanId = std::uint64_t;
+
+/// One completed span. start/end are virtual times on the span's timeline.
+struct SpanRecord {
+  SpanId id = 0;
+  SpanId parent = 0;  ///< 0 = root span
+  std::string name;
+  simkit::SimTime start = 0.0;
+  simkit::SimTime end = 0.0;
+
+  simkit::SimTime duration() const { return end - start; }
+};
+
+/// Fixed-capacity ring buffer of completed spans.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 1024, bool enabled = true)
+      : capacity_(capacity == 0 ? 1 : capacity), enabled_(enabled) {}
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Allocates a fresh span id (never 0).
+  SpanId next_id() { return id_source_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+  /// Stores a completed span, evicting the oldest when full.
+  void record(SpanRecord record);
+
+  /// Completed spans, oldest first.
+  std::vector<SpanRecord> snapshot() const;
+
+  /// Spans evicted because the ring was full.
+  std::uint64_t dropped() const;
+
+  void clear();
+
+  /// [{"id":1,"parent":0,"name":"...","start":0,"end":1.5}, ...]
+  std::string to_json() const;
+
+ private:
+  std::size_t capacity_;
+  std::atomic<bool> enabled_;
+  std::atomic<std::uint64_t> id_source_{0};
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;
+  std::size_t head_ = 0;  ///< index of the oldest record once full
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII span: opens against `timeline` on construction, records into
+/// `recorder` when ended (or destroyed). A null recorder — or a disabled
+/// one — makes the span a no-op, so callers never branch.
+class Span {
+ public:
+  Span(TraceRecorder* recorder, const simkit::Timeline& timeline,
+       std::string name);
+  ~Span() { end(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Closes the span at the timeline's current virtual time. Idempotent.
+  void end();
+
+  /// This span's id (0 for no-op spans).
+  SpanId id() const { return record_.id; }
+
+  /// The innermost open span on this thread (0 outside any span).
+  static SpanId current();
+
+ private:
+  TraceRecorder* recorder_;
+  const simkit::Timeline* timeline_;
+  SpanRecord record_;
+  bool open_ = false;
+};
+
+}  // namespace msra::obs

@@ -1,8 +1,21 @@
 #include "runtime/async_io.h"
 
+#include "obs/metrics.h"
 #include "simkit/time.h"
 
 namespace msra::runtime {
+
+namespace {
+/// Publishes the writer's queue depth into the endpoint's registry, if any.
+/// A histogram captures the depth distribution (was write-behind actually
+/// buffering?) and a gauge holds the latest value.
+void record_depth(StorageEndpoint& endpoint, std::uint64_t depth) {
+  obs::MetricsRegistry* registry = endpoint.metrics();
+  if (registry == nullptr || !registry->enabled()) return;
+  registry->gauge("async.queue_depth")->set(static_cast<double>(depth));
+  registry->histogram("async.queue_depth_dist")->record(static_cast<double>(depth));
+}
+}  // namespace
 
 // ------------------------------------------------------------ AsyncWriter --
 
@@ -13,11 +26,14 @@ AsyncWriter::~AsyncWriter() { pool_.wait_idle(); }
 
 Status AsyncWriter::submit(simkit::Timeline& caller, const std::string& path,
                            std::vector<std::byte> data, OpenMode mode) {
+  std::uint64_t depth;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!first_error_.ok()) return first_error_;  // fail fast after an error
     ++submitted_;
+    depth = ++pending_;
   }
+  record_depth(endpoint_, depth);
   // The caller pays only for staging the buffer.
   caller.advance(simkit::transfer_time(data.size(), memcpy_bandwidth_));
   // The background work cannot start before the submission instant.
@@ -31,10 +47,13 @@ Status AsyncWriter::submit(simkit::Timeline& caller, const std::string& path,
       Status fin = session->finish();
       if (status.ok()) status = fin;
     }
-    if (!status.ok()) {
+    std::uint64_t depth;
+    {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (first_error_.ok()) first_error_ = status;
+      if (!status.ok() && first_error_.ok()) first_error_ = status;
+      depth = --pending_;
     }
+    record_depth(endpoint_, depth);
   });
   return Status::Ok();
 }
@@ -49,6 +68,11 @@ Status AsyncWriter::flush(simkit::Timeline& caller) {
 std::uint64_t AsyncWriter::submitted() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return submitted_;
+}
+
+std::uint64_t AsyncWriter::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_;
 }
 
 // ------------------------------------------------------------- Prefetcher --
@@ -104,6 +128,9 @@ void Prefetcher::prefetch(simkit::Timeline& caller, const std::string& path) {
 
 StatusOr<std::vector<std::byte>> Prefetcher::fetch(simkit::Timeline& caller,
                                                    const std::string& path) {
+  if (obs::MetricsRegistry* registry = endpoint_.metrics()) {
+    registry->counter("prefetch.fetches")->increment();
+  }
   pool_.wait_idle();  // wall-clock settle; virtual-time cost handled below
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -111,7 +138,12 @@ StatusOr<std::vector<std::byte>> Prefetcher::fetch(simkit::Timeline& caller,
     if (it != cache_.end() && it->second.done) {
       const Entry& entry = it->second;
       if (!entry.status.ok()) return entry.status;
-      if (entry.ready_at <= caller.now()) ++hits_;  // fully hidden by compute
+      if (entry.ready_at <= caller.now()) {
+        ++hits_;  // fully hidden by compute
+        if (obs::MetricsRegistry* registry = endpoint_.metrics()) {
+          registry->counter("prefetch.hits")->increment();
+        }
+      }
       caller.advance_to(entry.ready_at);
       caller.advance(simkit::transfer_time(entry.data.size(), memcpy_bandwidth_));
       return entry.data;

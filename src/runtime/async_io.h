@@ -41,6 +41,9 @@ class AsyncWriter {
   /// Number of writes submitted so far.
   std::uint64_t submitted() const;
 
+  /// Writes submitted but not yet retired by the engine.
+  std::uint64_t pending() const;
+
  private:
   StorageEndpoint& endpoint_;
   double memcpy_bandwidth_;
@@ -49,6 +52,7 @@ class AsyncWriter {
   mutable std::mutex mutex_;
   Status first_error_;
   std::uint64_t submitted_ = 0;
+  std::uint64_t pending_ = 0;
 };
 
 /// Read-ahead engine: prefetches whole objects into a small cache so a later

@@ -19,6 +19,10 @@
 #include "srb/client.h"
 #include "srb/resources.h"
 
+namespace msra::obs {
+class MetricsRegistry;
+}  // namespace msra::obs
+
 namespace msra::runtime {
 
 using srb::HandleId;
@@ -31,6 +35,15 @@ class StorageEndpoint {
 
   virtual StorageKind kind() const = 0;
   virtual const std::string& name() const = 0;
+
+  /// The metrics registry this endpoint reports into, or nullptr for an
+  /// uninstrumented endpoint. Lets layers that only hold an endpoint
+  /// (sieve, collective I/O) record without plumbing a registry through.
+  virtual obs::MetricsRegistry* metrics() const { return nullptr; }
+
+  /// The innermost endpoint, past any instrumentation decorators. Use
+  /// before downcasting (e.g. `dynamic_cast<RemoteEndpoint*>(ep.unwrap())`).
+  virtual StorageEndpoint* unwrap() { return this; }
 
   virtual Status connect(simkit::Timeline& timeline) = 0;
   virtual Status disconnect(simkit::Timeline& timeline) = 0;

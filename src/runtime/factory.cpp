@@ -1,0 +1,38 @@
+#include "runtime/factory.h"
+
+#include <cassert>
+
+#include "core/system.h"
+#include "obs/endpoint.h"
+
+namespace msra::runtime {
+
+std::unique_ptr<StorageEndpoint> make_endpoint(core::StorageSystem& system,
+                                               core::Location location,
+                                               bool instrumented) {
+  std::unique_ptr<StorageEndpoint> endpoint;
+  switch (location) {
+    case core::Location::kLocalDisk:
+      endpoint = std::make_unique<LocalEndpoint>(&system.local_resource());
+      break;
+    case core::Location::kRemoteDisk:
+      endpoint = std::make_unique<RemoteEndpoint>(
+          &system.server(), &system.wan_disk_link(), "remotedisk");
+      break;
+    case core::Location::kRemoteTape:
+      endpoint = std::make_unique<RemoteEndpoint>(
+          &system.server(), &system.wan_tape_link(), "remotetape");
+      break;
+    case core::Location::kAuto:
+    case core::Location::kDisable:
+      assert(false && "make_endpoint requires a concrete location");
+      return nullptr;
+  }
+  if (instrumented) {
+    endpoint = std::make_unique<obs::InstrumentedEndpoint>(std::move(endpoint),
+                                                           &system.metrics());
+  }
+  return endpoint;
+}
+
+}  // namespace msra::runtime

@@ -1,0 +1,28 @@
+// Endpoint construction used to be ad-hoc per call site (pick the
+// resource, pick the link, remember the resource name string). The factory
+// centralises that wiring and applies the obs::InstrumentedEndpoint
+// wrapper by default, so every endpoint built through it reports Eq.-1
+// component histograms into the owning system's MetricsRegistry without
+// the caller doing anything.
+#pragma once
+
+#include <memory>
+
+#include "runtime/endpoint.h"
+
+namespace msra::core {
+class StorageSystem;
+enum class Location;
+}  // namespace msra::core
+
+namespace msra::runtime {
+
+/// Builds a fresh endpoint for `location` over `system`'s resources and
+/// links. Requires a concrete location (not kAuto/kDisable). With
+/// `instrumented` (the default) the endpoint is wrapped to record into
+/// `system.metrics()`; pass false for a bare, telemetry-free endpoint.
+std::unique_ptr<StorageEndpoint> make_endpoint(core::StorageSystem& system,
+                                               core::Location location,
+                                               bool instrumented = true);
+
+}  // namespace msra::runtime

@@ -3,7 +3,20 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace msra::runtime {
+
+namespace {
+/// Bills one two-phase I/O phase (virtual seconds on the recording rank's
+/// timeline) into the endpoint's registry, if it has one.
+void record_phase(StorageEndpoint& endpoint, const char* histogram,
+                  simkit::SimTime duration) {
+  obs::MetricsRegistry* registry = endpoint.metrics();
+  if (registry == nullptr || !registry->enabled()) return;
+  registry->histogram(histogram)->record(duration);
+}
+}  // namespace
 
 std::string_view io_method_name(IoMethod method) {
   switch (method) {
@@ -106,10 +119,13 @@ Status write_collective(StorageEndpoint& endpoint, prt::Comm& comm,
                         const std::string& path, const ArrayLayout& layout,
                         std::span<const std::byte> local, OpenMode mode) {
   constexpr int kRoot = 0;
+  const simkit::SimTime phase_start = comm.timeline().now();
   std::vector<std::uint64_t> sizes;
   auto gathered = comm.gatherv(local, kRoot, &sizes);
   Status status = Status::Ok();
   if (comm.rank() == kRoot) {
+    record_phase(endpoint, "collective.write.exchange_time",
+                 comm.timeline().now() - phase_start);
     // Phase 2: reassemble the global row-major buffer.
     std::vector<std::byte> global(layout.global_bytes());
     std::uint64_t slot_base = 0;
@@ -125,6 +141,7 @@ Status write_collective(StorageEndpoint& endpoint, prt::Comm& comm,
       slot_base += sizes[static_cast<std::size_t>(r)];
     }
     // Single large native request.
+    const simkit::SimTime io_start = comm.timeline().now();
     auto session = FileSession::start(endpoint, comm.timeline(), path, mode);
     if (!session.ok()) {
       status = session.status();
@@ -133,6 +150,8 @@ Status write_collective(StorageEndpoint& endpoint, prt::Comm& comm,
       Status fin = session->finish();
       if (status.ok()) status = fin;
     }
+    record_phase(endpoint, "collective.write.io_time",
+                 comm.timeline().now() - io_start);
   }
   status = bcast_status(comm, status, kRoot);
   comm.sync_time();
@@ -182,6 +201,7 @@ Status write_collective_multi(StorageEndpoint& endpoint, prt::Comm& comm,
 
   // Phase 1: every rank sends each aggregator the pieces of its runs that
   // fall into that aggregator's range (one message per pair, possibly empty).
+  const simkit::SimTime exchange_start = comm.timeline().now();
   std::vector<net::WireWriter> outbound(static_cast<std::size_t>(aggregators));
   std::vector<std::uint32_t> run_counts(static_cast<std::size_t>(aggregators), 0);
   std::vector<std::vector<std::byte>> payloads(static_cast<std::size_t>(aggregators));
@@ -235,7 +255,10 @@ Status write_collective_multi(StorageEndpoint& endpoint, prt::Comm& comm,
         if (!got.ok()) status = got;
       }
     }
+    record_phase(endpoint, "collective.write.exchange_time",
+                 comm.timeline().now() - exchange_start);
     if (status.ok()) {
+      const simkit::SimTime io_start = comm.timeline().now();
       auto session = FileSession::start(endpoint, comm.timeline(), path,
                                         OpenMode::kUpdate);
       if (!session.ok()) {
@@ -246,6 +269,8 @@ Status write_collective_multi(StorageEndpoint& endpoint, prt::Comm& comm,
         Status fin = session->finish();
         status = io.ok() ? fin : io;
       }
+      record_phase(endpoint, "collective.write.io_time",
+                   comm.timeline().now() - io_start);
     }
   } else {
     // Non-aggregators still drain nothing; their sends were buffered.
@@ -267,6 +292,7 @@ Status read_collective_multi(StorageEndpoint& endpoint, prt::Comm& comm,
   if (comm.rank() < aggregators) {
     const auto& range = ranges[static_cast<std::size_t>(comm.rank())].elems;
     std::vector<std::byte> buffer(range.size() * elem);
+    const simkit::SimTime io_start = comm.timeline().now();
     auto session =
         FileSession::start(endpoint, comm.timeline(), path, OpenMode::kRead);
     if (!session.ok()) {
@@ -277,6 +303,9 @@ Status read_collective_multi(StorageEndpoint& endpoint, prt::Comm& comm,
       Status fin = session->finish();
       status = io.ok() ? fin : io;
     }
+    record_phase(endpoint, "collective.read.io_time",
+                 comm.timeline().now() - io_start);
+    const simkit::SimTime exchange_start = comm.timeline().now();
     for (int r = 0; r < comm.size(); ++r) {
       net::WireWriter w;
       std::uint32_t runs = 0;
@@ -303,6 +332,8 @@ Status read_collective_multi(StorageEndpoint& endpoint, prt::Comm& comm,
       w.put_bytes(bytes);
       comm.send(r, kDeliverTag, w.take());
     }
+    record_phase(endpoint, "collective.read.exchange_time",
+                 comm.timeline().now() - exchange_start);
   }
 
   // Phase 2: every rank assembles its block from the aggregators' pieces.
@@ -389,6 +420,7 @@ Status read_collective(StorageEndpoint& endpoint, prt::Comm& comm,
   std::vector<std::vector<std::byte>> chunks;
   if (comm.rank() == kRoot) {
     std::vector<std::byte> global(layout.global_bytes());
+    const simkit::SimTime io_start = comm.timeline().now();
     auto session =
         FileSession::start(endpoint, comm.timeline(), path, OpenMode::kRead);
     if (!session.ok()) {
@@ -398,6 +430,8 @@ Status read_collective(StorageEndpoint& endpoint, prt::Comm& comm,
       Status fin = session->finish();
       if (status.ok()) status = fin;
     }
+    record_phase(endpoint, "collective.read.io_time",
+                 comm.timeline().now() - io_start);
     if (status.ok()) {
       // Phase 2: carve the global buffer into per-rank blocks.
       chunks.resize(static_cast<std::size_t>(comm.size()));
@@ -416,7 +450,12 @@ Status read_collective(StorageEndpoint& endpoint, prt::Comm& comm,
   }
   status = bcast_status(comm, status, kRoot);
   if (status.ok()) {
+    const simkit::SimTime exchange_start = comm.timeline().now();
     auto mine = comm.scatterv(chunks, kRoot);
+    if (comm.rank() == kRoot) {
+      record_phase(endpoint, "collective.read.exchange_time",
+                   comm.timeline().now() - exchange_start);
+    }
     if (mine.size() != local.size()) {
       status = Status::Internal("scatter size mismatch");
     } else {

@@ -3,11 +3,24 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "runtime/parallel_io.h"
 
 namespace msra::runtime {
 
 namespace {
+
+/// Bills a sieving access into the endpoint's registry (if any): the
+/// enclosing extent actually transferred vs. the bytes the caller wanted —
+/// their ratio is the sieve waste.
+void record_sieve(StorageEndpoint& endpoint, std::uint64_t extent_bytes,
+                  std::uint64_t useful_bytes) {
+  obs::MetricsRegistry* registry = endpoint.metrics();
+  if (registry == nullptr || !registry->enabled()) return;
+  registry->counter("sieve.extent_bytes")->add(extent_bytes);
+  registry->counter("sieve.useful_bytes")->add(useful_bytes);
+  registry->counter("sieve.accesses")->increment();
+}
 
 /// Visits contiguous runs of `box` in `spec`'s row-major order:
 /// fn(global_elem_offset, elem_count, box_local_elem_offset).
@@ -92,6 +105,7 @@ Status read_subarray(StorageEndpoint& endpoint, simkit::Timeline& timeline,
             });
   } else {
     const auto [first, last] = sieve_extent(spec, box);
+    record_sieve(endpoint, last - first, out.size());
     std::vector<std::byte> extent(last - first);
     io = session->seek(first);
     if (io.ok()) io = session->read(extent);
@@ -129,6 +143,7 @@ Status write_subarray(StorageEndpoint& endpoint, simkit::Timeline& timeline,
   }
   // Sieving write = read-modify-write of the enclosing extent.
   const auto [first, last] = sieve_extent(spec, box);
+  record_sieve(endpoint, last - first, data.size());
   std::vector<std::byte> extent(last - first);
   {
     auto session =

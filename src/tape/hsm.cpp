@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace msra::tape {
 
 HsmStore::HsmStore(std::string name, HsmModel model, TapeLibrary* tape)
@@ -46,6 +48,25 @@ StatusOr<std::uint64_t> HsmStore::size(const std::string& name) const {
   return it->second.bytes;
 }
 
+void HsmStore::set_metrics(obs::MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (registry == nullptr) {
+    m_hits_ = nullptr;
+    m_recalls_ = nullptr;
+    m_migrations_ = nullptr;
+    m_evictions_ = nullptr;
+    m_cache_used_ = nullptr;
+    m_recall_time_ = nullptr;
+    return;
+  }
+  m_hits_ = registry->counter("hsm.cache_hits");
+  m_recalls_ = registry->counter("hsm.recalls");
+  m_migrations_ = registry->counter("hsm.migrations");
+  m_evictions_ = registry->counter("hsm.evictions");
+  m_cache_used_ = registry->gauge("hsm.cache_used_bytes");
+  m_recall_time_ = registry->histogram("hsm.recall_time");
+}
+
 Status HsmStore::migrate_locked(simkit::Timeline& timeline,
                                 const std::string& name, Entry& entry) {
   // Read the cached copy (disk time) and write it to tape sequentially.
@@ -57,6 +78,7 @@ Status HsmStore::migrate_locked(simkit::Timeline& timeline,
   entry.on_tape = true;
   entry.dirty = false;
   ++stats_.migrations;
+  if (m_migrations_) m_migrations_->increment();
   return Status::Ok();
 }
 
@@ -87,8 +109,10 @@ Status HsmStore::ensure_room_locked(simkit::Timeline& timeline,
       MSRA_RETURN_IF_ERROR(migrate_locked(timeline, victim, entry));
     } else {
       ++stats_.evictions;
+      if (m_evictions_) m_evictions_->increment();
     }
     cache_used_ -= entry.bytes;
+    if (m_cache_used_) m_cache_used_->set(static_cast<double>(cache_used_));
     entry.cached = false;
     (void)cache_.remove(victim);
   }
@@ -97,6 +121,7 @@ Status HsmStore::ensure_room_locked(simkit::Timeline& timeline,
 
 Status HsmStore::recall_locked(simkit::Timeline& timeline,
                                const std::string& name, Entry& entry) {
+  const simkit::SimTime recall_start = timeline.now();
   MSRA_RETURN_IF_ERROR(ensure_room_locked(timeline, entry.bytes, name));
   std::vector<std::byte> payload(entry.bytes);
   MSRA_RETURN_IF_ERROR(tape_->read(timeline, name, 0, payload));
@@ -107,6 +132,9 @@ Status HsmStore::recall_locked(simkit::Timeline& timeline,
   entry.dirty = false;
   cache_used_ += entry.bytes;
   ++stats_.recalls;
+  if (m_recalls_) m_recalls_->increment();
+  if (m_recall_time_) m_recall_time_->record(timeline.now() - recall_start);
+  if (m_cache_used_) m_cache_used_->set(static_cast<double>(cache_used_));
   return Status::Ok();
 }
 
@@ -131,6 +159,9 @@ Status HsmStore::append(simkit::Timeline& timeline, const std::string& name,
   cache_arm_.acquire(timeline, model_.cache_disk.write_time(data.size()));
   entry.bytes += growth;
   cache_used_ += growth;
+  if (growth > 0 && m_cache_used_) {
+    m_cache_used_->set(static_cast<double>(cache_used_));
+  }
   entry.dirty = true;
   entry.last_use = timeline.now();
   return Status::Ok();
@@ -147,6 +178,7 @@ Status HsmStore::read(simkit::Timeline& timeline, const std::string& name,
   }
   if (entry.cached) {
     ++stats_.cache_hits;
+    if (m_hits_) m_hits_->increment();
   } else {
     MSRA_RETURN_IF_ERROR(recall_locked(timeline, name, entry));
   }
@@ -162,6 +194,7 @@ Status HsmStore::remove(const std::string& name) {
   if (it == entries_.end()) return Status::NotFound("no bitfile: " + name);
   if (it->second.cached) {
     cache_used_ -= it->second.bytes;
+    if (m_cache_used_) m_cache_used_->set(static_cast<double>(cache_used_));
     (void)cache_.remove(name);
   }
   if (it->second.on_tape) (void)tape_->remove(name);

@@ -68,6 +68,12 @@ class HsmStore final : public BitfileBackend {
   HsmStats stats() const;
   bool is_cached(const std::string& name) const;
 
+  /// Mirrors staging traffic into `registry`: counters `hsm.cache_hits` /
+  /// `hsm.recalls` / `hsm.migrations` / `hsm.evictions`, gauge
+  /// `hsm.cache_used_bytes`, histogram `hsm.recall_time` (simulated
+  /// seconds). Null detaches.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   struct Entry {
     std::uint64_t bytes = 0;
@@ -100,6 +106,14 @@ class HsmStore final : public BitfileBackend {
   std::uint64_t cache_used_ = 0;
   simkit::Resource cache_arm_;
   HsmStats stats_;
+
+  // Cached instruments (null when no registry is attached).
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_recalls_ = nullptr;
+  obs::Counter* m_migrations_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
+  obs::Gauge* m_cache_used_ = nullptr;
+  obs::Histogram* m_recall_time_ = nullptr;
 };
 
 }  // namespace msra::tape

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+
 namespace msra::tape {
 
 TapeLibrary::TapeLibrary(std::string name, TapeModel model, int num_drives,
@@ -36,6 +38,7 @@ Status TapeLibrary::create(const std::string& name, bool overwrite) {
   if (it != segments_.end()) {
     if (!overwrite) return Status::AlreadyExists("bitfile exists: " + name);
     stats_.wasted_bytes += it->second.length;
+    if (m_wasted_) m_wasted_->add(it->second.length);
     it->second = Segment{};
     return data_->create(name, /*overwrite=*/true);
   }
@@ -67,6 +70,25 @@ TapeLibrary::Segment TapeLibrary::allocate_locked(std::uint64_t bytes) {
   return seg;
 }
 
+void TapeLibrary::set_metrics(obs::MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (registry == nullptr) {
+    m_mounts_ = nullptr;
+    m_dismounts_ = nullptr;
+    m_seeks_ = nullptr;
+    m_wasted_ = nullptr;
+    m_mount_wait_ = nullptr;
+    m_seek_time_ = nullptr;
+    return;
+  }
+  m_mounts_ = registry->counter("tape.mounts");
+  m_dismounts_ = registry->counter("tape.dismounts");
+  m_seeks_ = registry->counter("tape.seeks");
+  m_wasted_ = registry->counter("tape.wasted_bytes");
+  m_mount_wait_ = registry->histogram("tape.mount_wait");
+  m_seek_time_ = registry->histogram("tape.seek_time");
+}
+
 int TapeLibrary::mount_locked(simkit::Timeline& timeline, int cartridge) {
   // Already mounted?
   for (std::size_t i = 0; i < drives_.size(); ++i) {
@@ -89,12 +111,18 @@ int TapeLibrary::mount_locked(simkit::Timeline& timeline, int cartridge) {
     }
   }
   Drive& drive = drives_[static_cast<std::size_t>(victim)];
+  const simkit::SimTime mount_start = timeline.now();
   if (drive.mounted >= 0) {
     robot_.acquire(timeline, model_.dismount);
     ++stats_.dismounts;
+    if (m_dismounts_) m_dismounts_->increment();
   }
   robot_.acquire(timeline, model_.mount);
   ++stats_.mounts;
+  if (m_mounts_) m_mounts_->increment();
+  // Includes robot contention and any eviction dismount — the full wait
+  // the requester experienced, not just the nominal load time.
+  if (m_mount_wait_) m_mount_wait_->record(timeline.now() - mount_start);
   drive.mounted = cartridge;
   drive.head = 0;
   return victim;
@@ -110,6 +138,8 @@ void TapeLibrary::seek_locked(simkit::Timeline& timeline, Drive& drive,
   drive.busy->acquire(timeline, duration);
   drive.head = target;
   ++stats_.seeks;
+  if (m_seeks_) m_seeks_->increment();
+  if (m_seek_time_) m_seek_time_->record(duration);
 }
 
 Status TapeLibrary::append(simkit::Timeline& timeline, const std::string& name,
@@ -142,6 +172,7 @@ Status TapeLibrary::append(simkit::Timeline& timeline, const std::string& name,
     // full): the whole file moves to a fresh segment; the old one is
     // abandoned, as on real append-only media.
     stats_.wasted_bytes += seg.length;
+    if (m_wasted_) m_wasted_->add(seg.length);
     Segment fresh = allocate_locked(seg.length + data.size());
     cartridges_[static_cast<std::size_t>(fresh.cartridge)].fill += seg.length;
     seg.cartridge = fresh.cartridge;
@@ -191,6 +222,7 @@ Status TapeLibrary::remove(const std::string& name) {
   auto it = segments_.find(name);
   if (it == segments_.end()) return Status::NotFound("no bitfile: " + name);
   stats_.wasted_bytes += it->second.length;
+  if (m_wasted_) m_wasted_->add(it->second.length);
   segments_.erase(it);
   return data_->remove(name);
 }
@@ -237,6 +269,7 @@ void TapeLibrary::dismount_all(simkit::Timeline& timeline) {
     if (drive.mounted >= 0) {
       robot_.acquire(timeline, model_.dismount);
       ++stats_.dismounts;
+      if (m_dismounts_) m_dismounts_->increment();
       drive.mounted = -1;
       drive.head = 0;
     }

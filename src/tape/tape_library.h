@@ -30,6 +30,13 @@
 #include "store/object_store.h"
 #include "tape/backend.h"
 
+namespace msra::obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace msra::obs
+
 namespace msra::tape {
 
 /// Hardware parameters of the tape system.
@@ -97,6 +104,12 @@ class TapeLibrary : public BitfileBackend {
   int cartridge_count() const;
   TapeStats stats() const;
 
+  /// Mirrors mounts/dismounts/seeks/wasted-tape into `registry` (counters
+  /// `tape.<event>`, histograms `tape.mount_wait` / `tape.seek_time` in
+  /// simulated seconds). Null detaches. Instrument pointers are cached, so
+  /// the hot path costs one null check per event.
+  void set_metrics(obs::MetricsRegistry* registry);
+
   /// Unloads all drives (e.g. nightly maintenance in a failover scenario).
   void dismount_all(simkit::Timeline& timeline);
 
@@ -150,6 +163,14 @@ class TapeLibrary : public BitfileBackend {
   store::MemObjectStore owned_data_;
   store::ObjectStore* data_;  ///< owned_data_ or an external backing store
   TapeStats stats_;
+
+  // Cached instruments (null when no registry is attached).
+  obs::Counter* m_mounts_ = nullptr;
+  obs::Counter* m_dismounts_ = nullptr;
+  obs::Counter* m_seeks_ = nullptr;
+  obs::Counter* m_wasted_ = nullptr;
+  obs::Histogram* m_mount_wait_ = nullptr;
+  obs::Histogram* m_seek_time_ = nullptr;
 };
 
 }  // namespace msra::tape

@@ -120,7 +120,11 @@ TEST_F(AdvisorTest, RunAdviceSpillsWhenLocalFills) {
   // footprint ~= 30 MiB: 128x128x96 floats = 6 MiB/dump x 5 = 30 MiB.
   std::vector<DatasetDesc> datasets;
   for (int i = 0; i < 3; ++i) {
-    datasets.push_back(dataset("d" + std::to_string(i), {128, 128, 96}));
+    // Built via += (not `"d" + s`): the operator+ form trips a GCC 12
+    // -Wrestrict false positive when inlined at -O3.
+    std::string name("d");
+    name += std::to_string(i);
+    datasets.push_back(dataset(name, {128, 128, 96}));
   }
   auto plan = advisor_.recommend_run(datasets, 16, 2);
   ASSERT_TRUE(plan.ok());

@@ -281,9 +281,9 @@ TEST_F(SessionTest, ReadBoxServesVisualizationSlices) {
   prt::LocalBox slice;
   slice.extent = {prt::Extent{0, 8}, prt::Extent{0, 8}, prt::Extent{3, 4}};
   std::vector<std::byte> out(8 * 8 * 4);
-  ASSERT_TRUE((*handle)
-                  ->read_box(tl, 0, slice, out, runtime::AccessStrategy::kSieving)
-                  .ok());
+  core::ReadOptions sieving;
+  sieving.strategy = runtime::AccessStrategy::kSieving;
+  ASSERT_TRUE((*handle)->read_box(tl, 0, slice, out, sieving).ok());
   float value;
   std::memcpy(&value, out.data(), 4);
   EXPECT_FLOAT_EQ(value, 3.0f);  // element (0,0,3)
@@ -349,9 +349,9 @@ TEST_F(SessionTest, SubfileDatasetRoundTripAndSliceAdvantage) {
   prt::LocalBox slice;
   slice.extent = {prt::Extent{0, 32}, prt::Extent{0, 32}, prt::Extent{2, 3}};
   std::vector<std::byte> out(32 * 32);
-  ASSERT_TRUE((*handle)
-                  ->read_box(tl, 0, slice, out, runtime::AccessStrategy::kDirect)
-                  .ok());
+  core::ReadOptions direct;
+  direct.strategy = runtime::AccessStrategy::kDirect;
+  ASSERT_TRUE((*handle)->read_box(tl, 0, slice, out, direct).ok());
   // Subfile layout cannot change after data exists.
   EXPECT_FALSE((*handle)->set_subfile_chunks({2, 2, 2}).ok());
 }

@@ -72,7 +72,7 @@ TEST_F(EndpointTest, OpenFailureLeavesNoDanglingConnection) {
   auto file = FileSession::start(remote, tl, "missing", srb::OpenMode::kRead);
   EXPECT_EQ(file.status().code(), ErrorCode::kNotFound);
   // The failed session must have released its connection reference.
-  auto* endpoint = dynamic_cast<RemoteEndpoint*>(&remote);
+  auto* endpoint = dynamic_cast<RemoteEndpoint*>(remote.unwrap());
   ASSERT_NE(endpoint, nullptr);
   EXPECT_FALSE(endpoint->client().connected());
 }
@@ -94,7 +94,7 @@ TEST_F(EndpointTest, NamespaceOpsAutoConnect) {
   ASSERT_TRUE(listed.ok());
   EXPECT_EQ(listed->size(), 1u);
   EXPECT_TRUE(remote.remove(tl, "ns/a").ok());
-  auto* endpoint = dynamic_cast<RemoteEndpoint*>(&remote);
+  auto* endpoint = dynamic_cast<RemoteEndpoint*>(remote.unwrap());
   EXPECT_FALSE(endpoint->client().connected()) << "ephemeral connections drop";
 }
 
@@ -133,13 +133,13 @@ TEST_F(EndpointTest, ConcurrentSessionsShareConnectionSafely) {
         << "thread " << t << ": " << statuses[static_cast<std::size_t>(t)].to_string();
   }
   // All sessions closed: the connection is fully released.
-  auto* endpoint = dynamic_cast<RemoteEndpoint*>(&remote);
+  auto* endpoint = dynamic_cast<RemoteEndpoint*>(remote.unwrap());
   EXPECT_FALSE(endpoint->client().connected());
 }
 
 TEST_F(EndpointTest, ConnectionRefCountingChargesOnce) {
   auto* endpoint = dynamic_cast<RemoteEndpoint*>(
-      &system_.endpoint(Location::kRemoteDisk));
+      system_.endpoint(Location::kRemoteDisk).unwrap());
   ASSERT_NE(endpoint, nullptr);
   Timeline a, b;
   ASSERT_TRUE(endpoint->connect(a).ok());

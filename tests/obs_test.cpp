@@ -1,0 +1,357 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "simkit/timeline.h"
+
+namespace msra::obs {
+namespace {
+
+// ---------------------------------------------------------------- metrics --
+
+TEST(MetricsRegistryTest, InstrumentsAreLazyAndStable) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.find_counter("io.x.read_bytes"), nullptr);
+  Counter* counter = registry.counter("io.x.read_bytes");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(registry.counter("io.x.read_bytes"), counter);
+  EXPECT_EQ(registry.find_counter("io.x.read_bytes"), counter);
+  counter->add(7);
+  EXPECT_EQ(counter->value(), 7u);
+
+  Histogram* histogram = registry.histogram("io.x.read");
+  EXPECT_EQ(registry.histogram("io.x.read"), histogram);
+  histogram->record(0.25);
+  EXPECT_EQ(histogram->count(), 1u);
+}
+
+TEST(MetricsRegistryTest, DisabledRegistryRecordsNothing) {
+  MetricsRegistry registry;
+  Counter* counter = registry.counter("events");
+  Histogram* histogram = registry.histogram("latency");
+  Gauge* gauge = registry.gauge("depth");
+  counter->increment();
+  histogram->record(1.0);
+  gauge->set(3.0);
+
+  registry.set_enabled(false);
+  counter->increment();
+  histogram->record(1.0);
+  gauge->set(9.0);
+  EXPECT_EQ(counter->value(), 1u) << "disabled counter must not move";
+  EXPECT_EQ(histogram->count(), 1u);
+  EXPECT_DOUBLE_EQ(gauge->value(), 3.0);
+
+  registry.set_enabled(true);
+  counter->increment();
+  EXPECT_EQ(counter->value(), 2u);
+}
+
+TEST(HistogramTest, ExactStatisticsMatchOracle) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.histogram("h");
+  StatAccumulator oracle;
+  for (int i = 0; i < 500; ++i) {
+    // Log-uniform spread over ~6 decades — the shape of mixed local-disk
+    // and tape timings.
+    const double v = std::pow(10.0, -4.0 + 6.0 * (i % 97) / 96.0);
+    histogram->record(v);
+    oracle.add(v);
+  }
+  EXPECT_EQ(histogram->count(), oracle.count());
+  EXPECT_DOUBLE_EQ(histogram->min(), oracle.min());
+  EXPECT_DOUBLE_EQ(histogram->max(), oracle.max());
+  EXPECT_NEAR(histogram->mean(), oracle.mean(), 1e-12 * oracle.mean());
+}
+
+TEST(HistogramTest, PercentilesTrackOracleWithinBucketError) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.histogram("h");
+  StatAccumulator oracle;
+  // Deterministic pseudo-random samples over [1e-5, 1e2).
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 2000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const double u = static_cast<double>(state >> 11) /
+                     static_cast<double>(1ull << 53);
+    const double v = std::pow(10.0, -5.0 + 7.0 * u);
+    histogram->record(v);
+    oracle.add(v);
+  }
+  for (double p : {1.0, 10.0, 50.0, 90.0, 95.0, 99.0}) {
+    const double expected = oracle.percentile(p);
+    const double actual = histogram->percentile(p);
+    EXPECT_NEAR(actual, expected, 0.10 * expected)
+        << "p" << p << " drifted past the ~8.4% bucket width";
+  }
+  // The extremes are exact (kept outside the buckets).
+  EXPECT_DOUBLE_EQ(histogram->percentile(0.0), oracle.min());
+  EXPECT_DOUBLE_EQ(histogram->percentile(100.0), oracle.max());
+}
+
+TEST(HistogramTest, EmptyAndUnderflowAreWellDefined) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.histogram("h");
+  EXPECT_EQ(histogram->count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram->percentile(50.0), 0.0);
+  // Zero-cost operations (local-disk connects) land in the underflow
+  // bucket but keep exact aggregates.
+  histogram->record(0.0);
+  histogram->record(0.0);
+  EXPECT_EQ(histogram->count(), 2u);
+  EXPECT_DOUBLE_EQ(histogram->sum(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram->percentile(95.0), 0.0);
+}
+
+// ------------------------------------------------------------------ spans --
+
+TEST(SpanTest, NestingRecordsParentChild) {
+  TraceRecorder recorder(16);
+  simkit::Timeline tl;
+  EXPECT_EQ(Span::current(), 0u);
+  SpanId outer_id = 0;
+  SpanId inner_id = 0;
+  {
+    Span outer(&recorder, tl, "write_timestep");
+    outer_id = outer.id();
+    EXPECT_EQ(Span::current(), outer_id);
+    tl.advance(1.0);
+    {
+      Span inner(&recorder, tl, "write_array");
+      inner_id = inner.id();
+      EXPECT_EQ(Span::current(), inner_id);
+      tl.advance(2.0);
+    }
+    EXPECT_EQ(Span::current(), outer_id);
+    tl.advance(0.5);
+  }
+  EXPECT_EQ(Span::current(), 0u);
+
+  const auto spans = recorder.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Children complete (and are recorded) before their parents.
+  EXPECT_EQ(spans[0].id, inner_id);
+  EXPECT_EQ(spans[0].parent, outer_id);
+  EXPECT_EQ(spans[0].name, "write_array");
+  EXPECT_DOUBLE_EQ(spans[0].start, 1.0);
+  EXPECT_DOUBLE_EQ(spans[0].end, 3.0);
+  EXPECT_EQ(spans[1].id, outer_id);
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_DOUBLE_EQ(spans[1].duration(), 3.5);
+}
+
+TEST(SpanTest, EndIsIdempotentAndNullRecorderIsNoop) {
+  TraceRecorder recorder(4);
+  simkit::Timeline tl;
+  Span span(&recorder, tl, "op");
+  tl.advance(1.0);
+  span.end();
+  tl.advance(1.0);
+  span.end();  // second end must not re-record or move the end time
+  const auto spans = recorder.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_DOUBLE_EQ(spans[0].end, 1.0);
+
+  Span noop(nullptr, tl, "ignored");
+  EXPECT_EQ(noop.id(), 0u);
+  EXPECT_EQ(Span::current(), 0u);
+}
+
+TEST(TraceRecorderTest, RingEvictsOldestAndCountsDrops) {
+  TraceRecorder recorder(4);
+  simkit::Timeline tl;
+  std::vector<SpanId> ids;
+  for (int i = 0; i < 6; ++i) {
+    Span span(&recorder, tl, "op" + std::to_string(i));
+    ids.push_back(span.id());
+    tl.advance(1.0);
+  }
+  EXPECT_EQ(recorder.dropped(), 2u);
+  const auto spans = recorder.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].id, ids[i + 2]) << "oldest-first after eviction";
+  }
+  recorder.clear();
+  EXPECT_TRUE(recorder.snapshot().empty());
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(TraceRecorderTest, DisabledRecorderIgnoresSpans) {
+  TraceRecorder recorder(4, /*enabled=*/false);
+  simkit::Timeline tl;
+  {
+    Span span(&recorder, tl, "op");
+    EXPECT_EQ(span.id(), 0u);
+  }
+  EXPECT_TRUE(recorder.snapshot().empty());
+}
+
+// ------------------------------------------------------------------- JSON --
+
+// Minimal JSON scanner: validates syntax and extracts the flat
+// "name": number members of one nested object. Enough to round-trip the
+// registry export without a JSON library.
+class JsonScanner {
+ public:
+  explicit JsonScanner(const std::string& text) : p_(text.c_str()) {}
+
+  bool validate() { return value() && (skip_ws(), *p_ == '\0'); }
+
+ private:
+  bool value() {
+    skip_ws();
+    switch (*p_) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++p_;  // '{'
+    skip_ws();
+    if (*p_ == '}') { ++p_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (*p_++ != ':') return false;
+      if (!value()) return false;
+      skip_ws();
+      if (*p_ == ',') { ++p_; continue; }
+      return *p_++ == '}';
+    }
+  }
+  bool array() {
+    ++p_;  // '['
+    skip_ws();
+    if (*p_ == ']') { ++p_; return true; }
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (*p_ == ',') { ++p_; continue; }
+      return *p_++ == ']';
+    }
+  }
+  bool string() {
+    if (*p_++ != '"') return false;
+    while (*p_ != '"') {
+      if (*p_ == '\0') return false;
+      if (*p_ == '\\') {
+        ++p_;
+        if (*p_ == '\0') return false;
+      }
+      ++p_;
+    }
+    ++p_;
+    return true;
+  }
+  bool number() {
+    char* end = nullptr;
+    std::strtod(p_, &end);
+    if (end == p_) return false;
+    p_ = end;
+    return true;
+  }
+  bool literal(const char* word) {
+    for (; *word; ++word, ++p_) {
+      if (*p_ != *word) return false;
+    }
+    return true;
+  }
+  void skip_ws() {
+    while (*p_ == ' ' || *p_ == '\n' || *p_ == '\t' || *p_ == '\r') ++p_;
+  }
+
+  const char* p_;
+};
+
+TEST(RegistryJsonTest, ExportRoundTripsCountersAndHistograms) {
+  MetricsRegistry registry;
+  registry.counter("tape.mounts")->add(3);
+  registry.counter("io.sdsc:remotedisk.read_bytes")->add(1048576);
+  registry.gauge("async.queue_depth")->set(2.0);
+  Histogram* histogram = registry.histogram("io.localdisk.read");
+  histogram->record(0.5);
+  histogram->record(1.5);
+
+  const std::string json = registry.to_json();
+  EXPECT_TRUE(JsonScanner(json).validate()) << json;
+  // Counter values survive verbatim.
+  EXPECT_NE(json.find("\"tape.mounts\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"io.sdsc:remotedisk.read_bytes\":1048576"),
+            std::string::npos);
+  // Histogram snapshots carry the exact aggregates.
+  EXPECT_NE(json.find("\"io.localdisk.read\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"enabled\":true"), std::string::npos);
+}
+
+TEST(RegistryJsonTest, EscapesAwkwardInstrumentNames) {
+  MetricsRegistry registry;
+  registry.counter("weird\"name\\with\ncontrol")->add(1);
+  const std::string json = registry.to_json();
+  EXPECT_TRUE(JsonScanner(json).validate()) << json;
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\ncontrol"), std::string::npos)
+      << json;
+}
+
+TEST(TraceJsonTest, DumpIsValidJson) {
+  TraceRecorder recorder(8);
+  simkit::Timeline tl;
+  {
+    Span outer(&recorder, tl, "outer \"quoted\"");
+    tl.advance(1.0);
+    Span inner(&recorder, tl, "inner");
+    tl.advance(1.0);
+  }
+  const std::string json = recorder.to_json();
+  EXPECT_TRUE(JsonScanner(json).validate()) << json;
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+}
+
+// ----------------------------------------------------------------- report --
+
+TEST(ReportTest, BreakdownGroupsByResourceAndFoldsClose) {
+  MetricsRegistry registry;
+  registry.histogram("io.localdisk.conn")->record(0.0);
+  registry.histogram("io.localdisk.open")->record(0.4);
+  registry.histogram("io.localdisk.read")->record(1.0);
+  registry.histogram("io.localdisk.write")->record(2.0);
+  registry.histogram("io.localdisk.close")->record(0.1);
+  registry.histogram("io.localdisk.disconn")->record(0.2);
+  registry.counter("io.localdisk.read_bytes")->add(4096);
+  registry.histogram("io.sdsc:remotetape.seek")->record(30.0);
+
+  const auto rows = io_breakdown(registry);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].resource, "localdisk");
+  EXPECT_DOUBLE_EQ(rows[0].open, 0.4);
+  EXPECT_DOUBLE_EQ(rows[0].read, 1.0);
+  EXPECT_DOUBLE_EQ(rows[0].write, 2.0);
+  EXPECT_DOUBLE_EQ(rows[0].close, 0.1 + 0.2) << "close folds both Tclose terms";
+  EXPECT_EQ(rows[0].read_bytes, 4096u);
+  EXPECT_DOUBLE_EQ(rows[0].total(), 3.7);
+  EXPECT_EQ(rows[1].resource, "sdsc:remotetape");
+  EXPECT_DOUBLE_EQ(rows[1].seek, 30.0);
+
+  const std::string table = format_io_table(rows);
+  EXPECT_NE(table.find("localdisk"), std::string::npos);
+  EXPECT_NE(table.find("TOTAL"), std::string::npos);
+  EXPECT_EQ(format_io_table({}), "(no I/O recorded)\n");
+}
+
+}  // namespace
+}  // namespace msra::obs

@@ -6,7 +6,7 @@
 // on the host filesystem, so workflows span processes:
 //
 //   msractl ptool   --root /tmp/msra
-//   msractl run     --root /tmp/msra --dims 48,48,48 --iterations 24 \
+//   msractl run     --root /tmp/msra --dims 48,48,48 --iterations 24
 //                   --hint temp=REMOTEDISK --hint vr_temp=LOCALDISK
 //   msractl catalog --root /tmp/msra
 //   msractl mse     --root /tmp/msra --dataset temp
@@ -25,6 +25,7 @@
 #include "apps/volren/volren.h"
 #include "argparse.h"
 #include "common/bytes.h"
+#include "obs/report.h"
 #include "predict/advisor.h"
 #include "predict/ptool.h"
 
@@ -44,7 +45,9 @@ int usage() {
                "  slice     extract + print a z-slice (--dataset --timestep --index)\n"
                "  replicate copy a dumped timestep to another resource (--to)\n"
                "  histogram value histogram of a float dataset timestep\n"
-               "  catalog   list registered datasets and dumped instances\n");
+               "  catalog   list registered datasets and dumped instances\n"
+               "  stats     probe every resource and print the Eq. 1 telemetry\n"
+               "            breakdown (--size-mb N, --json FILE)\n");
   return 2;
 }
 
@@ -337,6 +340,89 @@ int cmd_catalog(const Args& args) {
   return 0;
 }
 
+// Runs a deterministic probe (write, then seek + read half) against every
+// available resource through the instrumented endpoints, then prints the
+// Eq. (1) component breakdown. Every simulated second of the probe is
+// advanced inside an instrumented primitive, so the table's TOTAL matches
+// the billed timeline exactly — the same accounting a real workload gets.
+int cmd_stats(const Args& args) {
+  Env env(args);
+  core::StorageSystem& system = *env.system;
+  const std::uint64_t payload_bytes =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(
+          1, args.get_int("size-mb", 2)))
+      << 20;
+  std::vector<std::byte> payload(payload_bytes, std::byte{0x5a});
+  std::vector<std::byte> half(payload_bytes / 2);
+
+  simkit::Timeline tl;
+  for (core::Location location :
+       {core::Location::kLocalDisk, core::Location::kRemoteDisk,
+        core::Location::kRemoteTape}) {
+    runtime::StorageEndpoint& endpoint = system.endpoint(location);
+    if (!endpoint.available()) {
+      std::printf("skipping %s (down)\n", core::location_name(location).data());
+      continue;
+    }
+    const std::string path = "stats/probe";
+    {
+      auto file = die_on_error(
+          runtime::FileSession::start(endpoint, tl, path,
+                                      srb::OpenMode::kOverwrite),
+          "stats probe write-open");
+      die_on_error(file.write(payload), "stats probe write");
+      die_on_error(file.finish(), "stats probe write-close");
+    }
+    {
+      auto file = die_on_error(
+          runtime::FileSession::start(endpoint, tl, path, srb::OpenMode::kRead),
+          "stats probe read-open");
+      die_on_error(file.seek(payload_bytes / 2), "stats probe seek");
+      die_on_error(file.read(half), "stats probe read");
+      die_on_error(file.finish(), "stats probe read-close");
+    }
+  }
+
+  const auto rows = obs::io_breakdown(system.metrics());
+  std::printf("Eq. (1) component breakdown (simulated seconds):\n%s",
+              obs::format_io_table(rows).c_str());
+  double breakdown_sum = 0.0;
+  for (const auto& row : rows) breakdown_sum += row.total();
+  const double billed = tl.now();
+  std::printf("\nbreakdown sum %.4f s; billed I/O time %.4f s", breakdown_sum,
+              billed);
+  if (billed > 0.0) {
+    std::printf(" (%.2f%% accounted)", 100.0 * breakdown_sum / billed);
+  }
+  std::printf("\n");
+
+  bool header = false;
+  for (const auto& [name, value] : system.metrics().counters()) {
+    if (value == 0 || name.rfind("io.", 0) == 0) continue;
+    if (!header) {
+      std::printf("\nevent counters:\n");
+      header = true;
+    }
+    std::printf("  %-28s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+
+  const std::string json_path = args.get("json");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "msractl: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    const std::string json = system.metrics().to_json();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nregistry JSON written to %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
 int run_command(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
@@ -351,6 +437,7 @@ int run_command(int argc, char** argv) {
   if (command == "replicate") return cmd_replicate(args);
   if (command == "histogram") return cmd_histogram(args);
   if (command == "catalog") return cmd_catalog(args);
+  if (command == "stats") return cmd_stats(args);
   return usage();
 }
 
