@@ -3,7 +3,7 @@
 
 int main(int argc, char** argv) {
   return msra::bench::run_rw_figure(
-      msra::core::Location::kLocalDisk,
+      msra::core::Location::kLocalDisk, "fig6",
       "Figure 6 — read/write time vs data size, LOCAL DISKS",
       "Shen et al., HPDC 2000, Figure 6", argc, argv);
 }

@@ -3,7 +3,7 @@
 
 int main(int argc, char** argv) {
   return msra::bench::run_rw_figure(
-      msra::core::Location::kRemoteDisk,
+      msra::core::Location::kRemoteDisk, "fig7",
       "Figure 7 — read/write time vs data size, REMOTE DISKS (SRB)",
       "Shen et al., HPDC 2000, Figure 7", argc, argv);
 }

@@ -3,7 +3,7 @@
 
 int main(int argc, char** argv) {
   return msra::bench::run_rw_figure(
-      msra::core::Location::kRemoteTape,
+      msra::core::Location::kRemoteTape, "fig8",
       "Figure 8 — read/write time vs data size, REMOTE TAPES (HPSS)",
       "Shen et al., HPDC 2000, Figure 8", argc, argv);
 }

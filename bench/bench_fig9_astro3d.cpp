@@ -57,11 +57,13 @@ std::vector<Scenario> scenarios() {
 
 int run(int argc, char** argv) {
   const std::string stats_out = consume_stats_out_flag(argc, argv);
+  const std::string json_out = consume_json_out_flag(argc, argv);
   print_header("Figure 9 — Astro3D total I/O time, five placement configs",
                "Shen et al., HPDC 2000, Figure 9");
   std::printf("%-52s %14s %14s %8s\n", "configuration", "predicted (s)",
               "measured (s)", "pred/act");
   std::vector<double> measured_times;
+  std::string rows;
   const auto scenario_list = scenarios();
   for (const auto& scenario : scenario_list) {
     Testbed testbed;
@@ -92,6 +94,13 @@ int run(int argc, char** argv) {
     std::printf("%-52s %14.1f %14.1f %8.2f\n", scenario.label,
                 prediction.total, result.io_time,
                 prediction.total / result.io_time);
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "%s    {\"label\": \"%s\", \"predicted_s\": %.4f, "
+                  "\"measured_s\": %.4f}",
+                  rows.empty() ? "" : ",\n", scenario.label, prediction.total,
+                  result.io_time);
+    rows += row;
     // The dump carries the last scenario's registry (one testbed per run).
     if (&scenario == &scenario_list.back()) {
       write_stats_json(testbed.system, stats_out);
@@ -101,13 +110,17 @@ int run(int argc, char** argv) {
       "\nShape checks (paper): (1) is the most expensive; (2) slightly\n"
       "cheaper; (3) drastically cheaper (DISABLE); (4) slightly cheaper\n"
       "than (1); (5) the cheapest of all.\n");
-  std::printf("ordering holds: %s\n",
-              (measured_times[0] > measured_times[1] &&
-               measured_times[1] > measured_times[2] &&
-               measured_times[0] > measured_times[3] &&
-               measured_times[4] < measured_times[2])
-                  ? "YES"
-                  : "NO");
+  const bool ordering_holds = measured_times[0] > measured_times[1] &&
+                              measured_times[1] > measured_times[2] &&
+                              measured_times[0] > measured_times[3] &&
+                              measured_times[4] < measured_times[2];
+  std::printf("ordering holds: %s\n", ordering_holds ? "YES" : "NO");
+  std::string json = "{\n  \"figure\": \"fig9\",\n  \"scenarios\": [\n";
+  json += rows;
+  json += "\n  ],\n  \"ordering_holds\": ";
+  json += ordering_holds ? "true" : "false";
+  json += "\n}";
+  write_summary_json(json_out, json);
   return 0;
 }
 

@@ -47,6 +47,45 @@ inline std::string consume_stats_out_flag(int& argc, char** argv) {
   return path;
 }
 
+/// Extracts `--json FILE` (or `--json=FILE`) from argv, compacting the
+/// remaining arguments in place: the figure benches write a machine-readable
+/// summary of their headline series there (see bench/run_all.sh). Must run
+/// before benchmark::Initialize, which rejects flags it does not know.
+inline std::string consume_json_out_flag(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int in = 1; in < argc; ++in) {
+    const std::string arg = argv[in];
+    if (arg == "--json" && in + 1 < argc) {
+      path = argv[++in];
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+      continue;
+    }
+    argv[out++] = argv[in];
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return path;
+}
+
+/// Writes an already-formatted JSON document; no-op on an empty path.
+inline void write_summary_json(const std::string& path,
+                               const std::string& json) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write summary to %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("summary JSON written to %s\n", path.c_str());
+}
+
 /// Dumps the system's metrics registry as JSON; no-op on an empty path.
 inline void write_stats_json(const core::StorageSystem& system,
                              const std::string& path) {

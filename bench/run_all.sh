@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs the figure benchmarks and collects machine-readable summaries
+# (BENCH_fig6.json ... BENCH_fig9.json) in one place.
+#
+# Usage:   bench/run_all.sh [BUILD_DIR] [OUT_DIR]
+# Default: BUILD_DIR=build, OUT_DIR=bench-results
+# Env:     MSRA_FULL_SCALE=1 for the paper's Table 2 scale.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench-results}"
+BENCH_DIR="${BUILD_DIR}/bench"
+
+if [[ ! -d "${BENCH_DIR}" ]]; then
+  echo "error: ${BENCH_DIR} not found — build first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+mkdir -p "${OUT_DIR}"
+
+run() {
+  local name="$1" fig="$2"
+  echo "==> ${name}"
+  "${BENCH_DIR}/${name}" --json "${OUT_DIR}/BENCH_${fig}.json"
+  echo
+}
+
+run bench_fig6_localdisk  fig6
+run bench_fig7_remotedisk fig7
+run bench_fig8_remotetape fig8
+run bench_fig9_astro3d    fig9
+
+echo "Summaries:"
+ls -l "${OUT_DIR}"/BENCH_fig*.json

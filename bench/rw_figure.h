@@ -11,9 +11,11 @@
 
 namespace msra::bench {
 
-inline int run_rw_figure(core::Location location, const char* title,
-                         const char* paper_ref, int argc, char** argv) {
+inline int run_rw_figure(core::Location location, const char* figure,
+                         const char* title, const char* paper_ref, int argc,
+                         char** argv) {
   const std::string stats_out = consume_stats_out_flag(argc, argv);
+  const std::string json_out = consume_json_out_flag(argc, argv);
   print_header(title, paper_ref);
   // Kept alive for the whole benchmark run.
   static Testbed* testbed = new Testbed();
@@ -59,7 +61,9 @@ inline int run_rw_figure(core::Location location, const char* title,
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  // Also print the figure as a plain series for EXPERIMENTS.md.
+  // Also print the figure as a plain series for EXPERIMENTS.md, and keep
+  // the numbers for the machine-readable summary.
+  std::string rows;
   std::printf("\n%-12s %14s %14s\n", "size", "read (s)", "write (s)");
   for (std::uint64_t size : kSizes) {
     const double read =
@@ -70,7 +74,23 @@ inline int run_rw_figure(core::Location location, const char* title,
               "measure write");
     std::printf("%-12s %14.4f %14.4f\n", format_bytes(size).c_str(), read,
                 write);
+    char row[160];
+    std::snprintf(row, sizeof(row),
+                  "%s    {\"bytes\": %llu, \"read_s\": %.6f, \"write_s\": %.6f}",
+                  rows.empty() ? "" : ",\n",
+                  static_cast<unsigned long long>(size), read, write);
+    rows += row;
   }
+  std::string json = "{\n  \"figure\": \"";
+  json += figure;
+  json += "\",\n  \"location\": \"";
+  json += std::string(core::location_name(location));
+  json += "\",\n  \"title\": \"";
+  json += title;
+  json += "\",\n  \"series\": [\n";
+  json += rows;
+  json += "\n  ]\n}";
+  write_summary_json(json_out, json);
   write_stats_json(testbed->system, stats_out);
   return 0;
 }

@@ -57,6 +57,7 @@ StatusOr<DatasetHandle*> Session::open_existing(const std::string& name,
   MSRA_RETURN_IF_ERROR(record.status());
   auto handle = std::unique_ptr<DatasetHandle>(new DatasetHandle(
       this, record->app, record->desc, record->resolved));
+  handle->default_streams_ = options.streams;
   DatasetHandle* raw = handle.get();
   handles_.emplace(name, std::move(handle));
   return raw;
@@ -171,8 +172,11 @@ Status DatasetHandle::write_with_failover(prt::Comm& comm, int timestep,
     }
     decision = comm.bcast(std::move(decision), 0);
     if (decision[0] == std::byte{0xFF}) return status;  // nowhere left to go
-    location_ = static_cast<Location>(decision[0]);
+    // The handle is shared across rank threads: one writer updates
+    // `location_`; the barrier below orders the write before the other
+    // ranks re-read it at the top of the next attempt.
     if (comm.rank() == 0) {
+      location_ = static_cast<Location>(decision[0]);
       session_->system_.metrics().counter("session.failovers")->increment();
       MSRA_LOG(kInfo) << "dataset " << desc_.name << " failing over to "
                       << location_name(location_) << " after: "
@@ -422,6 +426,27 @@ Status DatasetHandle::read_box(simkit::Timeline& timeline, int timestep,
                                              : options.trace_label);
   MSRA_ASSIGN_OR_RETURN(InstanceRecord record, locate(timestep));
   runtime::StorageEndpoint& endpoint = session_->system_.endpoint(record.location);
+
+  // Per-call pipelining override: ReadOptions::streams wins over the
+  // handle default (OpenOptions::streams); 0 everywhere leaves the
+  // endpoint's own fast-path configuration untouched.
+  const int streams = options.streams != 0 ? options.streams : default_streams_;
+  struct FastPathGuard {
+    runtime::StorageEndpoint* ep = nullptr;
+    runtime::FastPathConfig saved;
+    ~FastPathGuard() {
+      if (ep != nullptr) ep->set_fast_path(saved);
+    }
+  } guard;
+  if (streams >= 1) {
+    guard.saved = endpoint.fast_path();
+    guard.ep = &endpoint;
+    runtime::FastPathConfig cfg = guard.saved;
+    cfg.pipelined_transfers = true;
+    cfg.streams = static_cast<std::uint32_t>(streams);
+    endpoint.set_fast_path(cfg);
+  }
+
   if (subfiled(subfile_chunks_)) {
     MSRA_ASSIGN_OR_RETURN(auto sublayout,
                           runtime::SubfileLayout::create(spec(), subfile_chunks_));

@@ -128,6 +128,8 @@ class DatasetHandle {
   Location location_;
   std::array<int, 3> subfile_chunks_ = {1, 1, 1};
   std::atomic<std::uint64_t> writes_{0};
+  /// Handle-wide default for ReadOptions::streams (OpenOptions::streams).
+  int default_streams_ = 0;
 };
 
 /// Session options (who runs what, on how many processors, for how long).

@@ -98,6 +98,38 @@ Status InstrumentedEndpoint::write(simkit::Timeline& timeline,
   return status;
 }
 
+Status InstrumentedEndpoint::readv(simkit::Timeline& timeline,
+                                   runtime::HandleId handle,
+                                   std::span<const runtime::IoRun> runs,
+                                   std::span<std::byte> out) {
+  if (!registry_->enabled()) return inner_->readv(timeline, handle, runs, out);
+  const simkit::SimTime start = timeline.now();
+  Status status = inner_->readv(timeline, handle, runs, out);
+  read_->record(timeline.now() - start);
+  if (status.ok()) {
+    read_bytes_->add(out.size());
+  } else {
+    errors_->increment();
+  }
+  return status;
+}
+
+Status InstrumentedEndpoint::writev(simkit::Timeline& timeline,
+                                    runtime::HandleId handle,
+                                    std::span<const runtime::IoRun> runs,
+                                    std::span<const std::byte> data) {
+  if (!registry_->enabled()) return inner_->writev(timeline, handle, runs, data);
+  const simkit::SimTime start = timeline.now();
+  Status status = inner_->writev(timeline, handle, runs, data);
+  write_->record(timeline.now() - start);
+  if (status.ok()) {
+    write_bytes_->add(data.size());
+  } else {
+    errors_->increment();
+  }
+  return status;
+}
+
 Status InstrumentedEndpoint::close(simkit::Timeline& timeline,
                                    runtime::HandleId handle) {
   if (!registry_->enabled()) return inner_->close(timeline, handle);

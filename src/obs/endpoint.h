@@ -44,6 +44,21 @@ class InstrumentedEndpoint final : public runtime::StorageEndpoint {
                std::span<const std::byte> data) override;
   Status close(simkit::Timeline& timeline, runtime::HandleId handle) override;
 
+  /// Vectored calls bill their whole duration into the read/write
+  /// histograms (one record per batch, matching the one RPC on the wire).
+  Status readv(simkit::Timeline& timeline, runtime::HandleId handle,
+               std::span<const runtime::IoRun> runs,
+               std::span<std::byte> out) override;
+  Status writev(simkit::Timeline& timeline, runtime::HandleId handle,
+                std::span<const runtime::IoRun> runs,
+                std::span<const std::byte> data) override;
+  runtime::FastPathConfig fast_path() const override {
+    return inner_->fast_path();
+  }
+  void set_fast_path(const runtime::FastPathConfig& config) override {
+    inner_->set_fast_path(config);
+  }
+
   Status remove(simkit::Timeline& timeline, const std::string& path) override;
   StatusOr<std::uint64_t> size(simkit::Timeline& timeline,
                                const std::string& path) override;

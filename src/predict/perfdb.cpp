@@ -13,6 +13,10 @@ std::string_view io_op_name(IoOp op) {
   return op == IoOp::kRead ? "read" : "write";
 }
 
+std::string_view transfer_mode_name(TransferMode mode) {
+  return mode == TransferMode::kSerial ? "serial" : "pipelined";
+}
+
 PerfDb::PerfDb(meta::Database* db) {
   auto fixed = db->open_table(
       "perf_fixed", meta::Schema{{"location", ColumnType::kText},
@@ -27,9 +31,23 @@ PerfDb::PerfDb(meta::Database* db) {
                               {"op", ColumnType::kText},
                               {"bytes", ColumnType::kInt},
                               {"seconds", ColumnType::kReal}});
-  assert(fixed.ok() && rw.ok());
+  // Fast-path cost model: the pipelined curve lives in its own table (the
+  // perf_rw schema stays untouched for databases written by older builds),
+  // and perf_batch keeps the marginal per-run cost of vectored requests.
+  auto rw_pipe = db->open_table(
+      "perf_rw_pipe", meta::Schema{{"location", ColumnType::kText},
+                                   {"op", ColumnType::kText},
+                                   {"bytes", ColumnType::kInt},
+                                   {"seconds", ColumnType::kReal}});
+  auto batch = db->open_table(
+      "perf_batch", meta::Schema{{"location", ColumnType::kText},
+                                 {"op", ColumnType::kText},
+                                 {"per_run", ColumnType::kReal}});
+  assert(fixed.ok() && rw.ok() && rw_pipe.ok() && batch.ok());
   fixed_ = *fixed;
   rw_ = *rw;
+  rw_pipe_ = *rw_pipe;
+  batch_ = *batch;
 }
 
 namespace {
@@ -72,25 +90,28 @@ StatusOr<FixedCosts> PerfDb::fixed(core::Location location, IoOp op) const {
 }
 
 Status PerfDb::put_rw_point(core::Location location, IoOp op,
-                            std::uint64_t bytes, double seconds) {
+                            std::uint64_t bytes, double seconds,
+                            TransferMode mode) {
+  meta::Table* table = table_for(mode);
   const std::string loc = loc_text(location);
   const std::string opname(io_op_name(op));
-  auto ids = rw_->find([&](const Row& r) {
+  auto ids = table->find([&](const Row& r) {
     return std::get<std::string>(r[0]) == loc &&
            std::get<std::string>(r[1]) == opname &&
            std::get<std::int64_t>(r[2]) == static_cast<std::int64_t>(bytes);
   });
   Row row{loc, opname, static_cast<std::int64_t>(bytes), seconds};
-  if (!ids.empty()) return rw_->update(ids.front(), std::move(row));
-  return rw_->insert(std::move(row)).status();
+  if (!ids.empty()) return table->update(ids.front(), std::move(row));
+  return table->insert(std::move(row)).status();
 }
 
 std::vector<std::pair<std::uint64_t, double>> PerfDb::rw_curve(
-    core::Location location, IoOp op) const {
+    core::Location location, IoOp op, TransferMode mode) const {
+  meta::Table* table = table_for(mode);
   const std::string loc = loc_text(location);
   const std::string opname(io_op_name(op));
   std::vector<std::pair<std::uint64_t, double>> out;
-  for (const Row& row : rw_->select([&](const Row& r) {
+  for (const Row& row : table->select([&](const Row& r) {
          return std::get<std::string>(r[0]) == loc &&
                 std::get<std::string>(r[1]) == opname;
        })) {
@@ -101,11 +122,38 @@ std::vector<std::pair<std::uint64_t, double>> PerfDb::rw_curve(
   return out;
 }
 
+Status PerfDb::put_batch_overhead(core::Location location, IoOp op,
+                                  double per_run) {
+  const std::string loc = loc_text(location);
+  const std::string opname(io_op_name(op));
+  auto ids = batch_->find([&](const Row& r) {
+    return std::get<std::string>(r[0]) == loc && std::get<std::string>(r[1]) == opname;
+  });
+  Row row{loc, opname, per_run};
+  if (!ids.empty()) return batch_->update(ids.front(), std::move(row));
+  return batch_->insert(std::move(row)).status();
+}
+
+StatusOr<double> PerfDb::batch_overhead(core::Location location, IoOp op) const {
+  const std::string loc = loc_text(location);
+  const std::string opname(io_op_name(op));
+  auto ids = batch_->find([&](const Row& r) {
+    return std::get<std::string>(r[0]) == loc && std::get<std::string>(r[1]) == opname;
+  });
+  if (ids.empty()) {
+    return Status::NotFound("no batch overhead for " + loc + "/" + opname +
+                            " (run PTool first)");
+  }
+  MSRA_ASSIGN_OR_RETURN(Row row, batch_->get(ids.front()));
+  return std::get<double>(row[2]);
+}
+
 StatusOr<double> PerfDb::rw_time(core::Location location, IoOp op,
-                                 std::uint64_t bytes) const {
-  const auto curve = rw_curve(location, op);
+                                 std::uint64_t bytes, TransferMode mode) const {
+  const auto curve = rw_curve(location, op, mode);
   if (curve.empty()) {
-    return Status::NotFound("no rw curve for " + loc_text(location) + "/" +
+    return Status::NotFound("no " + std::string(transfer_mode_name(mode)) +
+                            " rw curve for " + loc_text(location) + "/" +
                             std::string(io_op_name(op)) + " (run PTool first)");
   }
   if (bytes == 0) return 0.0;

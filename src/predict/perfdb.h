@@ -24,6 +24,13 @@ enum class IoOp { kRead, kWrite };
 
 std::string_view io_op_name(IoOp op);
 
+/// How bulk bytes move over the WAN: the classic single-request transfer,
+/// or the chunked/pipelined fast path (srb/fastpath.h). The two follow
+/// different cost curves, so the database keeps one table per mode.
+enum class TransferMode { kSerial, kPipelined };
+
+std::string_view transfer_mode_name(TransferMode mode);
+
 /// The fixed components of Equation (1) for one (resource, direction).
 struct FixedCosts {
   double conn = 0.0;
@@ -45,27 +52,42 @@ class PerfDb {
   StatusOr<FixedCosts> fixed(core::Location location, IoOp op) const;
 
   /// Adds one measured transfer-time point (replaces an existing point for
-  /// the same size).
+  /// the same size and mode).
   Status put_rw_point(core::Location location, IoOp op, std::uint64_t bytes,
-                      double seconds);
+                      double seconds,
+                      TransferMode mode = TransferMode::kSerial);
 
   /// Transfer time for an arbitrary size: exact point if present, otherwise
   /// linear interpolation between neighbors (time is affine in size for
   /// every modeled device); linear extrapolation at the edges using the
   /// marginal bandwidth of the nearest segment.
   StatusOr<double> rw_time(core::Location location, IoOp op,
-                           std::uint64_t bytes) const;
+                           std::uint64_t bytes,
+                           TransferMode mode = TransferMode::kSerial) const;
 
   /// All measured (size, seconds) points, sorted by size.
-  std::vector<std::pair<std::uint64_t, double>> rw_curve(core::Location location,
-                                                         IoOp op) const;
+  std::vector<std::pair<std::uint64_t, double>> rw_curve(
+      core::Location location, IoOp op,
+      TransferMode mode = TransferMode::kSerial) const;
 
-  /// Number of stored rw points (all resources).
+  /// Marginal cost of one extra run inside a vectored (kReadv/kWritev)
+  /// request: the per-run descriptor bytes on the wire plus the server-side
+  /// seek, measured by PTool as (t(K runs) - t(1 run)) / (K - 1).
+  Status put_batch_overhead(core::Location location, IoOp op, double per_run);
+  StatusOr<double> batch_overhead(core::Location location, IoOp op) const;
+
+  /// Number of stored rw points (all resources, serial mode).
   std::size_t rw_point_count() const { return rw_->size(); }
 
  private:
+  meta::Table* table_for(TransferMode mode) const {
+    return mode == TransferMode::kSerial ? rw_ : rw_pipe_;
+  }
+
   meta::Table* fixed_;
   meta::Table* rw_;
+  meta::Table* rw_pipe_;
+  meta::Table* batch_;
 };
 
 }  // namespace msra::predict

@@ -4,17 +4,61 @@
 
 namespace msra::predict {
 
+namespace {
+/// rw term off the requested curve, falling back to the serial curve when
+/// the pipelined one has no measurements for this location.
+StatusOr<double> transfer_term(const PerfDb* db, core::Location location,
+                               IoOp op, std::uint64_t bytes,
+                               TransferMode mode) {
+  if (mode == TransferMode::kPipelined) {
+    auto fast = db->rw_time(location, op, bytes, TransferMode::kPipelined);
+    if (fast.ok()) return fast;
+  }
+  return db->rw_time(location, op, bytes);
+}
+}  // namespace
+
 StatusOr<double> Predictor::call_time(core::Location location, IoOp op,
                                       std::uint64_t bytes) const {
+  return call_time(location, op, bytes, TransferMode::kSerial);
+}
+
+StatusOr<double> Predictor::call_time(core::Location location, IoOp op,
+                                      std::uint64_t bytes,
+                                      TransferMode mode) const {
   MSRA_ASSIGN_OR_RETURN(FixedCosts costs, db_->fixed(location, op));
-  MSRA_ASSIGN_OR_RETURN(double rw, db_->rw_time(location, op, bytes));
+  MSRA_ASSIGN_OR_RETURN(double rw, transfer_term(db_, location, op, bytes, mode));
   return costs.conn + costs.open + costs.seek + rw + costs.close +
          costs.connclose;
+}
+
+StatusOr<double> Predictor::batched_call_time(core::Location location, IoOp op,
+                                              std::uint64_t runs,
+                                              std::uint64_t total_bytes,
+                                              TransferMode mode) const {
+  MSRA_ASSIGN_OR_RETURN(FixedCosts costs, db_->fixed(location, op));
+  MSRA_ASSIGN_OR_RETURN(double rw,
+                        transfer_term(db_, location, op, total_bytes, mode));
+  double extra = 0.0;
+  if (runs > 1) {
+    MSRA_ASSIGN_OR_RETURN(double per_run, db_->batch_overhead(location, op));
+    extra = static_cast<double>(runs - 1) * per_run;
+  }
+  // No Tseek term: a vectored call issues no seek RPCs — positioning costs
+  // are what the measured per-run batch overhead captures.
+  return costs.conn + costs.open + rw + extra + costs.close + costs.connclose;
 }
 
 StatusOr<DatasetPrediction> Predictor::predict_dataset(
     const core::DatasetDesc& desc, core::Location resolved, int iterations,
     int nprocs, IoOp op) const {
+  return predict_dataset(desc, resolved, iterations, nprocs, op,
+                         FastPathAssumptions{});
+}
+
+StatusOr<DatasetPrediction> Predictor::predict_dataset(
+    const core::DatasetDesc& desc, core::Location resolved, int iterations,
+    int nprocs, IoOp op, const FastPathAssumptions& fast) const {
   DatasetPrediction out;
   out.name = desc.name;
   out.location = resolved;
@@ -27,14 +71,32 @@ StatusOr<DatasetPrediction> Predictor::predict_dataset(
       prt::Decomposition decomp,
       prt::Decomposition::create(desc.dims, nprocs, desc.pattern));
   runtime::ArrayLayout layout{decomp, element_size(desc.etype)};
+  const bool batched =
+      fast.vectored_rpc && desc.method == runtime::IoMethod::kNaive;
   const runtime::IoPlan plan =
-      runtime::plan_io(layout, desc.method, desc.aggregators);
+      runtime::plan_io(layout, desc.method, desc.aggregators, batched);
   out.dumps = desc.dumps(iterations);
   out.calls_per_dump = plan.calls;
   out.call_bytes = plan.unit_bytes;
-  MSRA_ASSIGN_OR_RETURN(out.call_time, call_time(resolved, op, plan.unit_bytes));
+  if (batched && plan.runs_per_call > 1) {
+    MSRA_ASSIGN_OR_RETURN(
+        out.call_time,
+        batched_call_time(resolved, op, plan.runs_per_call, plan.unit_bytes,
+                          fast.transfer));
+  } else {
+    MSRA_ASSIGN_OR_RETURN(
+        out.call_time, call_time(resolved, op, plan.unit_bytes, fast.transfer));
+  }
+  if (fast.pooled_connections) {
+    // Eq. (1) with pooling: the connection is set up once per run, so the
+    // per-call cost drops Tconn + Tconnclose and they are billed once.
+    MSRA_ASSIGN_OR_RETURN(FixedCosts costs, db_->fixed(resolved, op));
+    out.call_time -= costs.conn + costs.connclose;
+    out.connection_time = costs.conn + costs.connclose;
+  }
   out.total = static_cast<double>(out.dumps) *
-              static_cast<double>(out.calls_per_dump) * out.call_time;
+                  static_cast<double>(out.calls_per_dump) * out.call_time +
+              out.connection_time;
   return out;
 }
 

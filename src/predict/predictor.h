@@ -27,7 +27,21 @@ struct DatasetPrediction {
   std::uint64_t calls_per_dump = 0;  ///< n(j)
   std::uint64_t call_bytes = 0;      ///< s
   double call_time = 0.0;            ///< t_j(s), Equation (1)
-  double total = 0.0;                ///< dumps * n(j) * t_j(s)
+  /// One-time connection setup + teardown billed outside the per-call cost
+  /// (nonzero only under the pooled-connections assumption).
+  double connection_time = 0.0;
+  double total = 0.0;                ///< dumps * n(j) * t_j(s) [+ conn once]
+};
+
+/// Which fast-path optimizations the predicted workload runs with; mirrors
+/// srb::FastPathConfig on the execution side.
+struct FastPathAssumptions {
+  /// Naive strided I/O batches each rank's run list into one vectored RPC.
+  bool vectored_rpc = false;
+  /// Bulk transfers follow the serial or the pipelined cost curve.
+  TransferMode transfer = TransferMode::kSerial;
+  /// Tconn/Tconnclose are paid once per run, not once per call.
+  bool pooled_connections = false;
 };
 
 /// Prediction for a whole run (the Fig. 11 table).
@@ -40,9 +54,23 @@ class Predictor {
  public:
   explicit Predictor(const PerfDb* db) : db_(db) {}
 
-  /// Equation (1): one native call of `bytes` on `location`.
+  /// Equation (1): one native call of `bytes` on `location`. The
+  /// TransferMode overload prices the rw term off the requested curve,
+  /// falling back to the serial curve when no pipelined measurements exist
+  /// for the location.
   StatusOr<double> call_time(core::Location location, IoOp op,
                              std::uint64_t bytes) const;
+  StatusOr<double> call_time(core::Location location, IoOp op,
+                             std::uint64_t bytes, TransferMode mode) const;
+
+  /// Cost of one vectored call carrying `runs` runs of `total_bytes`
+  /// altogether: the Eq. (1) fixed terms once (minus Tseek — a vectored
+  /// call issues no seek RPCs), the rw term for the total payload, plus
+  /// (runs - 1) times the measured per-run batch overhead.
+  StatusOr<double> batched_call_time(core::Location location, IoOp op,
+                                     std::uint64_t runs,
+                                     std::uint64_t total_bytes,
+                                     TransferMode mode) const;
 
   /// Per-dataset prediction for an `iterations`-long run on `nprocs` ranks.
   /// `op` selects the producer (write) or consumer (read) direction.
@@ -50,6 +78,12 @@ class Predictor {
                                               core::Location resolved,
                                               int iterations, int nprocs,
                                               IoOp op) const;
+
+  /// Same, under explicit fast-path assumptions (the default-constructed
+  /// assumptions reproduce the classic prediction exactly).
+  StatusOr<DatasetPrediction> predict_dataset(
+      const core::DatasetDesc& desc, core::Location resolved, int iterations,
+      int nprocs, IoOp op, const FastPathAssumptions& fast) const;
 
   /// Equation (2) over a set of datasets (write direction: the producer run).
   StatusOr<RunPrediction> predict_run(

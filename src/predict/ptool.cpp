@@ -1,5 +1,6 @@
 #include "predict/ptool.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "runtime/endpoint.h"
@@ -14,6 +15,13 @@ std::vector<std::byte> probe_payload(std::uint64_t bytes) {
   }
   return out;
 }
+
+/// Restores an endpoint's fast-path config when a probe exits early.
+struct FastPathGuard {
+  runtime::StorageEndpoint* endpoint;
+  runtime::FastPathConfig saved;
+  ~FastPathGuard() { endpoint->set_fast_path(saved); }
+};
 }  // namespace
 
 Status PTool::warm_up(core::Location location) {
@@ -132,6 +140,77 @@ StatusOr<double> PTool::measure_rw(core::Location location, IoOp op,
   return total / repeats;
 }
 
+StatusOr<double> PTool::measure_rw_pipelined(core::Location location, IoOp op,
+                                             std::uint64_t bytes,
+                                             std::uint32_t streams, int repeats) {
+  runtime::StorageEndpoint& endpoint = system_.endpoint(location);
+  FastPathGuard guard{&endpoint, endpoint.fast_path()};
+  runtime::FastPathConfig cfg = guard.saved;
+  cfg.pipelined_transfers = true;
+  cfg.streams = streams;
+  cfg.pipeline_threshold_bytes = 1;  // probe the fast path at every size
+  endpoint.set_fast_path(cfg);
+  return measure_rw(location, op, bytes, repeats);
+}
+
+StatusOr<double> PTool::measure_batch_overhead(core::Location location, IoOp op,
+                                               int runs,
+                                               std::uint64_t run_bytes) {
+  if (runs < 2) runs = 2;
+  if (run_bytes == 0) run_bytes = 1;
+  runtime::StorageEndpoint& endpoint = system_.endpoint(location);
+  FastPathGuard guard{&endpoint, endpoint.fast_path()};
+  runtime::FastPathConfig cfg = guard.saved;
+  cfg.vectored_rpc = true;
+  endpoint.set_fast_path(cfg);
+
+  const std::uint64_t total = static_cast<std::uint64_t>(runs) * run_bytes;
+  // Every other run of the object is touched, so each strided run needs a
+  // real (billed) server-side seek; the contiguous baseline needs none.
+  std::vector<runtime::IoRun> strided;
+  strided.reserve(static_cast<std::size_t>(runs));
+  for (int i = 0; i < runs; ++i) {
+    strided.push_back({2 * static_cast<std::uint64_t>(i) * run_bytes, run_bytes});
+  }
+  const std::vector<runtime::IoRun> contiguous = {{0, total}};
+
+  system_.reset_time();  // probe idle hardware
+  simkit::Timeline tl;
+  MSRA_RETURN_IF_ERROR(endpoint.connect(tl));
+  const std::string path = "ptool/batch" + std::to_string(probe_counter_++);
+  auto object = probe_payload(2 * total);
+  {
+    // Untimed prep: the full object must exist for both probes.
+    MSRA_ASSIGN_OR_RETURN(auto handle,
+                          endpoint.open(tl, path, srb::OpenMode::kOverwrite));
+    MSRA_RETURN_IF_ERROR(endpoint.write(tl, handle, object));
+    MSRA_RETURN_IF_ERROR(endpoint.close(tl, handle));
+  }
+  double t_many = 0.0;
+  double t_one = 0.0;
+  const srb::OpenMode mode =
+      op == IoOp::kRead ? srb::OpenMode::kRead : srb::OpenMode::kUpdate;
+  std::vector<std::byte> buffer(total);
+  std::span<const std::byte> payload(object.data(), total);
+  for (int probe = 0; probe < 2; ++probe) {
+    const auto& runlist = probe == 0 ? strided : contiguous;
+    // Fresh handle per probe so the previous probe's file position cannot
+    // turn the first access into a billed seek.
+    MSRA_ASSIGN_OR_RETURN(auto handle, endpoint.open(tl, path, mode));
+    const double t0 = tl.now();
+    if (op == IoOp::kRead) {
+      MSRA_RETURN_IF_ERROR(endpoint.readv(tl, handle, runlist, buffer));
+    } else {
+      MSRA_RETURN_IF_ERROR(endpoint.writev(tl, handle, runlist, payload));
+    }
+    (probe == 0 ? t_many : t_one) = tl.now() - t0;
+    MSRA_RETURN_IF_ERROR(endpoint.close(tl, handle));
+  }
+  (void)endpoint.remove(tl, path);
+  MSRA_RETURN_IF_ERROR(endpoint.disconnect(tl));
+  return std::max(0.0, (t_many - t_one) / (runs - 1));
+}
+
 Status PTool::measure_location(core::Location location, const PToolConfig& config) {
   MSRA_RETURN_IF_ERROR(warm_up(location));
   for (IoOp op : {IoOp::kRead, IoOp::kWrite}) {
@@ -141,6 +220,25 @@ Status PTool::measure_location(core::Location location, const PToolConfig& confi
       MSRA_ASSIGN_OR_RETURN(double seconds,
                             measure_rw(location, op, bytes, config.repeats));
       MSRA_RETURN_IF_ERROR(db_.put_rw_point(location, op, bytes, seconds));
+    }
+  }
+  // Fast-path cost model: only the remote disks have a pipelined/vectored
+  // path worth measuring (tape stays sequential, local disks have no WAN).
+  if (config.measure_fast_path && location == core::Location::kRemoteDisk) {
+    for (IoOp op : {IoOp::kRead, IoOp::kWrite}) {
+      for (std::uint64_t bytes : config.sizes) {
+        MSRA_ASSIGN_OR_RETURN(
+            double seconds,
+            measure_rw_pipelined(location, op, bytes, config.pipeline_streams,
+                                 config.repeats));
+        MSRA_RETURN_IF_ERROR(db_.put_rw_point(location, op, bytes, seconds,
+                                              TransferMode::kPipelined));
+      }
+      MSRA_ASSIGN_OR_RETURN(
+          double per_run,
+          measure_batch_overhead(location, op, config.batch_probe_runs,
+                                 config.batch_probe_run_bytes));
+      MSRA_RETURN_IF_ERROR(db_.put_batch_overhead(location, op, per_run));
     }
   }
   return Status::Ok();

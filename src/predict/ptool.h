@@ -24,6 +24,15 @@ struct PToolConfig {
                                       2ull << 20,  4ull << 20,   8ull << 20};
   /// Repetitions per point (averaged).
   int repeats = 3;
+
+  /// Fast-path probing (remote disk only). With `measure_fast_path` set,
+  /// measure_location also populates the pipelined rw curve (for sizes
+  /// above one chunk) and the vectored per-run batch overhead.
+  bool measure_fast_path = false;
+  std::uint32_t pipeline_streams = 4;
+  /// Strided runs per vectored probe (K in (t_K - t_1) / (K - 1)).
+  int batch_probe_runs = 8;
+  std::uint64_t batch_probe_run_bytes = 64ull << 10;
 };
 
 class PTool {
@@ -41,6 +50,19 @@ class PTool {
   StatusOr<FixedCosts> measure_fixed(core::Location location, IoOp op);
   StatusOr<double> measure_rw(core::Location location, IoOp op,
                               std::uint64_t bytes, int repeats);
+
+  /// Like measure_rw but through the pipelined transfer path with
+  /// `streams` chunk round-trips in flight (the endpoint's fast-path
+  /// config is saved and restored around the probe).
+  StatusOr<double> measure_rw_pipelined(core::Location location, IoOp op,
+                                        std::uint64_t bytes,
+                                        std::uint32_t streams, int repeats);
+
+  /// Marginal per-run cost of a vectored request, from a K-run strided
+  /// probe vs. a contiguous single-run transfer of the same total size:
+  /// max(0, (t_K - t_1) / (K - 1)).
+  StatusOr<double> measure_batch_overhead(core::Location location, IoOp op,
+                                          int runs, std::uint64_t run_bytes);
 
  private:
   /// Ensures tape cartridges are mounted etc. so fixed-cost probes do not

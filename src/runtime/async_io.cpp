@@ -77,8 +77,12 @@ std::uint64_t AsyncWriter::pending() const {
 
 // ------------------------------------------------------------- Prefetcher --
 
-Prefetcher::Prefetcher(StorageEndpoint& endpoint, double memcpy_bandwidth)
-    : endpoint_(endpoint), memcpy_bandwidth_(memcpy_bandwidth), pool_(1) {}
+Prefetcher::Prefetcher(StorageEndpoint& endpoint, double memcpy_bandwidth,
+                       std::size_t capacity)
+    : endpoint_(endpoint),
+      memcpy_bandwidth_(memcpy_bandwidth),
+      capacity_(capacity == 0 ? 1 : capacity),
+      pool_(1) {}
 
 Prefetcher::~Prefetcher() { pool_.wait_idle(); }
 
@@ -105,11 +109,39 @@ StatusOr<std::vector<std::byte>> Prefetcher::read_whole(
   return data;
 }
 
+void Prefetcher::touch_locked(const std::string& path) {
+  lru_.remove(path);
+  lru_.push_front(path);
+}
+
+void Prefetcher::evict_locked() {
+  // Walk from the cold end, dropping completed entries; in-flight prefetches
+  // are skipped (their worker still needs the Entry slot).
+  auto it = lru_.end();
+  while (cache_.size() > capacity_ && it != lru_.begin()) {
+    --it;
+    auto found = cache_.find(*it);
+    if (found == cache_.end()) {
+      it = lru_.erase(it);
+      continue;
+    }
+    if (!found->second.done) continue;
+    cache_.erase(found);
+    it = lru_.erase(it);
+    ++evictions_;
+  }
+}
+
 void Prefetcher::prefetch(simkit::Timeline& caller, const std::string& path) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (cache_.count(path)) return;  // already in flight or cached
+    if (cache_.count(path)) {
+      touch_locked(path);
+      return;  // already in flight or cached
+    }
     cache_.emplace(path, Entry{});
+    touch_locked(path);
+    evict_locked();
   }
   engine_.advance_to(caller.now());
   pool_.submit([this, path] {
@@ -123,6 +155,7 @@ void Prefetcher::prefetch(simkit::Timeline& caller, const std::string& path) {
     } else {
       entry.status = result.status();
     }
+    evict_locked();  // entries kept alive while in flight may now go
   });
 }
 
@@ -136,6 +169,7 @@ StatusOr<std::vector<std::byte>> Prefetcher::fetch(simkit::Timeline& caller,
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = cache_.find(path);
     if (it != cache_.end() && it->second.done) {
+      touch_locked(path);
       const Entry& entry = it->second;
       if (!entry.status.ok()) return entry.status;
       if (entry.ready_at <= caller.now()) {
@@ -156,6 +190,16 @@ StatusOr<std::vector<std::byte>> Prefetcher::fetch(simkit::Timeline& caller,
 std::uint64_t Prefetcher::hits() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return hits_;
+}
+
+std::size_t Prefetcher::cached_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+std::uint64_t Prefetcher::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
 }
 
 }  // namespace msra::runtime

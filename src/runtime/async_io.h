@@ -7,6 +7,8 @@
 #pragma once
 
 #include <deque>
+#include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -57,10 +59,15 @@ class AsyncWriter {
 
 /// Read-ahead engine: prefetches whole objects into a small cache so a later
 /// fetch() costs only a memory copy when the prefetch already completed.
+///
+/// The cache is bounded: at most `capacity` objects are kept, evicted in
+/// least-recently-used order (prefetch and fetch both refresh recency).
+/// In-flight prefetches are never evicted.
 class Prefetcher {
  public:
   explicit Prefetcher(StorageEndpoint& endpoint,
-                      double memcpy_bandwidth = 400.0e6);
+                      double memcpy_bandwidth = 400.0e6,
+                      std::size_t capacity = 16);
   ~Prefetcher();
 
   Prefetcher(const Prefetcher&) = delete;
@@ -80,6 +87,12 @@ class Prefetcher {
   /// Cache hits observed by fetch().
   std::uint64_t hits() const;
 
+  /// Objects currently cached (including in-flight prefetches).
+  std::size_t cached_count() const;
+
+  /// Completed entries dropped to respect the capacity bound.
+  std::uint64_t evictions() const;
+
  private:
   struct Entry {
     Status status;
@@ -91,13 +104,23 @@ class Prefetcher {
   StatusOr<std::vector<std::byte>> read_whole(simkit::Timeline& timeline,
                                               const std::string& path);
 
+  /// Moves `path` to the most-recently-used position. Callers hold mutex_.
+  void touch_locked(const std::string& path);
+
+  /// Drops least-recently-used *completed* entries until the cache fits the
+  /// capacity bound. Callers hold mutex_.
+  void evict_locked();
+
   StorageEndpoint& endpoint_;
   double memcpy_bandwidth_;
+  std::size_t capacity_;
   simkit::Timeline engine_;
   ThreadPool pool_;
   mutable std::mutex mutex_;
   std::map<std::string, Entry> cache_;
+  std::list<std::string> lru_;  ///< front = most recent
   std::uint64_t hits_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace msra::runtime

@@ -1,8 +1,141 @@
 #include "runtime/endpoint.h"
 
 #include "common/log.h"
+#include "obs/metrics.h"
 
 namespace msra::runtime {
+
+namespace {
+
+std::uint64_t runs_total(std::span<const IoRun> runs) {
+  std::uint64_t total = 0;
+  for (const IoRun& run : runs) total += run.length;
+  return total;
+}
+
+}  // namespace
+
+Status StorageEndpoint::readv(simkit::Timeline& timeline, HandleId handle,
+                              std::span<const IoRun> runs,
+                              std::span<std::byte> out) {
+  if (runs_total(runs) != out.size()) {
+    return Status::InvalidArgument("readv buffer does not match run total");
+  }
+  std::uint64_t filled = 0;
+  for (const IoRun& run : runs) {
+    MSRA_RETURN_IF_ERROR(seek(timeline, handle, run.offset));
+    MSRA_RETURN_IF_ERROR(
+        read(timeline, handle, out.subspan(filled, run.length)));
+    filled += run.length;
+  }
+  return Status::Ok();
+}
+
+Status StorageEndpoint::writev(simkit::Timeline& timeline, HandleId handle,
+                               std::span<const IoRun> runs,
+                               std::span<const std::byte> data) {
+  if (runs_total(runs) != data.size()) {
+    return Status::InvalidArgument("writev payload does not match run total");
+  }
+  std::uint64_t consumed = 0;
+  for (const IoRun& run : runs) {
+    MSRA_RETURN_IF_ERROR(seek(timeline, handle, run.offset));
+    MSRA_RETURN_IF_ERROR(
+        write(timeline, handle, data.subspan(consumed, run.length)));
+    consumed += run.length;
+  }
+  return Status::Ok();
+}
+
+Status RemoteEndpoint::connect(simkit::Timeline& timeline) {
+  Status status = client_.connect(timeline);
+  publish_fast_path_stats();
+  return status;
+}
+
+Status RemoteEndpoint::disconnect(simkit::Timeline& timeline) {
+  Status status = client_.disconnect(timeline);
+  publish_fast_path_stats();
+  return status;
+}
+
+Status RemoteEndpoint::read(simkit::Timeline& timeline, HandleId handle,
+                            std::span<std::byte> out) {
+  const FastPathConfig cfg = client_.fast_path();
+  if (cfg.pipelined_transfers && kind() == StorageKind::kRemoteDisk &&
+      out.size() >= cfg.pipeline_threshold_bytes) {
+    Status status = client_.read_pipelined(timeline, resource_, handle, out);
+    publish_fast_path_stats();
+    return status;
+  }
+  return client_.obj_read(timeline, resource_, handle, out);
+}
+
+Status RemoteEndpoint::write(simkit::Timeline& timeline, HandleId handle,
+                             std::span<const std::byte> data) {
+  const FastPathConfig cfg = client_.fast_path();
+  if (cfg.pipelined_transfers && kind() == StorageKind::kRemoteDisk &&
+      data.size() >= cfg.pipeline_threshold_bytes) {
+    Status status = client_.write_pipelined(timeline, resource_, handle, data);
+    publish_fast_path_stats();
+    return status;
+  }
+  return client_.obj_write(timeline, resource_, handle, data);
+}
+
+Status RemoteEndpoint::readv(simkit::Timeline& timeline, HandleId handle,
+                             std::span<const IoRun> runs,
+                             std::span<std::byte> out) {
+  if (!client_.fast_path().vectored_rpc) {
+    return StorageEndpoint::readv(timeline, handle, runs, out);
+  }
+  Status status = client_.obj_readv(timeline, resource_, handle, runs, out);
+  publish_fast_path_stats();
+  return status;
+}
+
+Status RemoteEndpoint::writev(simkit::Timeline& timeline, HandleId handle,
+                              std::span<const IoRun> runs,
+                              std::span<const std::byte> data) {
+  if (!client_.fast_path().vectored_rpc) {
+    return StorageEndpoint::writev(timeline, handle, runs, data);
+  }
+  Status status = client_.obj_writev(timeline, resource_, handle, runs, data);
+  publish_fast_path_stats();
+  return status;
+}
+
+void RemoteEndpoint::enable_fast_path_metrics(obs::MetricsRegistry* registry) {
+  if (!registry) return;
+  const std::string prefix = "fastpath." + display_name_ + ".";
+  fp_batched_calls_ = registry->counter(prefix + "batched_calls");
+  fp_batched_runs_ = registry->counter(prefix + "batched_runs");
+  fp_pipelined_transfers_ = registry->counter(prefix + "pipelined_transfers");
+  fp_pipelined_chunks_ = registry->counter(prefix + "pipelined_chunks");
+  fp_pool_hits_ = registry->counter(prefix + "pool_hits");
+  fp_pool_misses_ = registry->counter(prefix + "pool_misses");
+  fp_overlap_fraction_ = registry->gauge(prefix + "overlap_fraction");
+  fp_overlap_saved_ = registry->gauge(prefix + "overlap_saved_seconds");
+}
+
+void RemoteEndpoint::publish_fast_path_stats() {
+  if (!fp_batched_calls_) return;
+  // Ranks share one endpoint; the delta against `published_` must be
+  // computed and retired under one lock or concurrent publishers would
+  // double-count the same increments.
+  std::lock_guard<std::mutex> lock(fp_publish_mutex_);
+  const srb::FastPathStats now = client_.stats();
+  fp_batched_calls_->add(now.batched_calls - published_.batched_calls);
+  fp_batched_runs_->add(now.batched_runs - published_.batched_runs);
+  fp_pipelined_transfers_->add(now.pipelined_transfers -
+                               published_.pipelined_transfers);
+  fp_pipelined_chunks_->add(now.pipelined_chunks - published_.pipelined_chunks);
+  fp_pool_hits_->add(now.pool_hits - published_.pool_hits);
+  fp_pool_misses_->add(now.pool_misses - published_.pool_misses);
+  fp_overlap_fraction_->set(now.overlap_fraction());
+  fp_overlap_saved_->set(now.overlap_saved_seconds());
+  published_ = now;
+}
 
 StatusOr<FileSession> FileSession::start(StorageEndpoint& endpoint,
                                          simkit::Timeline& timeline,

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -20,12 +21,17 @@
 #include "srb/resources.h"
 
 namespace msra::obs {
+class Counter;
+class Gauge;
 class MetricsRegistry;
 }  // namespace msra::obs
 
 namespace msra::runtime {
 
+using srb::FastPathConfig;
+using srb::FastPathStats;
 using srb::HandleId;
+using srb::IoRun;
 using srb::OpenMode;
 using srb::StorageKind;
 
@@ -57,6 +63,23 @@ class StorageEndpoint {
   virtual Status write(simkit::Timeline& timeline, HandleId handle,
                        std::span<const std::byte> data) = 0;
   virtual Status close(simkit::Timeline& timeline, HandleId handle) = 0;
+
+  /// Vectored read: fetch every run of `runs` into `out`, back-to-back in
+  /// run order (`out.size()` must equal the runs' total length). The base
+  /// implementation is the classic per-run seek+read loop; RemoteEndpoint
+  /// turns it into one kReadv round trip when the fast path is enabled.
+  virtual Status readv(simkit::Timeline& timeline, HandleId handle,
+                       std::span<const IoRun> runs, std::span<std::byte> out);
+
+  /// Vectored write; `data` carries the runs' payloads back-to-back.
+  virtual Status writev(simkit::Timeline& timeline, HandleId handle,
+                        std::span<const IoRun> runs,
+                        std::span<const std::byte> data);
+
+  /// Fast-path knobs. The default endpoint has none (everything off and
+  /// immutable); RemoteEndpoint forwards to its SrbClient.
+  virtual FastPathConfig fast_path() const { return {}; }
+  virtual void set_fast_path(const FastPathConfig& config) { (void)config; }
 
   virtual Status remove(simkit::Timeline& timeline, const std::string& path) = 0;
   virtual StatusOr<std::uint64_t> size(simkit::Timeline& timeline,
@@ -141,12 +164,8 @@ class RemoteEndpoint final : public StorageEndpoint {
   }
   const std::string& name() const override { return display_name_; }
 
-  Status connect(simkit::Timeline& timeline) override {
-    return client_.connect(timeline);
-  }
-  Status disconnect(simkit::Timeline& timeline) override {
-    return client_.disconnect(timeline);
-  }
+  Status connect(simkit::Timeline& timeline) override;
+  Status disconnect(simkit::Timeline& timeline) override;
   StatusOr<HandleId> open(simkit::Timeline& timeline, const std::string& path,
                           OpenMode mode) override {
     return client_.obj_open(timeline, resource_, path, mode);
@@ -155,13 +174,20 @@ class RemoteEndpoint final : public StorageEndpoint {
               std::uint64_t offset) override {
     return client_.obj_seek(timeline, resource_, handle, offset);
   }
+  /// Bulk reads/writes take the pipelined path when it is enabled and the
+  /// transfer is large enough to amortize the per-chunk headers.
   Status read(simkit::Timeline& timeline, HandleId handle,
-              std::span<std::byte> out) override {
-    return client_.obj_read(timeline, resource_, handle, out);
-  }
+              std::span<std::byte> out) override;
   Status write(simkit::Timeline& timeline, HandleId handle,
-               std::span<const std::byte> data) override {
-    return client_.obj_write(timeline, resource_, handle, data);
+               std::span<const std::byte> data) override;
+  Status readv(simkit::Timeline& timeline, HandleId handle,
+               std::span<const IoRun> runs, std::span<std::byte> out) override;
+  Status writev(simkit::Timeline& timeline, HandleId handle,
+                std::span<const IoRun> runs,
+                std::span<const std::byte> data) override;
+  FastPathConfig fast_path() const override { return client_.fast_path(); }
+  void set_fast_path(const FastPathConfig& config) override {
+    client_.set_fast_path(config);
   }
   Status close(simkit::Timeline& timeline, HandleId handle) override {
     return client_.obj_close(timeline, resource_, handle);
@@ -206,11 +232,30 @@ class RemoteEndpoint final : public StorageEndpoint {
   }
 
   srb::SrbClient& client() { return client_; }
+  const std::string& resource_name() const { return resource_; }
+
+  /// Publishes the client's fast-path meters into `registry` under
+  /// `fastpath.<name>.*` (names deliberately outside the `io.` prefix so
+  /// the Eq. (1) breakdown is not polluted). Deltas are pushed after each
+  /// fast-path-relevant call.
+  void enable_fast_path_metrics(obs::MetricsRegistry* registry);
 
  private:
+  void publish_fast_path_stats();
+
   srb::SrbClient client_;
   std::string resource_;
   std::string display_name_;
+  obs::Counter* fp_batched_calls_ = nullptr;
+  obs::Counter* fp_batched_runs_ = nullptr;
+  obs::Counter* fp_pipelined_transfers_ = nullptr;
+  obs::Counter* fp_pipelined_chunks_ = nullptr;
+  obs::Counter* fp_pool_hits_ = nullptr;
+  obs::Counter* fp_pool_misses_ = nullptr;
+  obs::Gauge* fp_overlap_fraction_ = nullptr;
+  obs::Gauge* fp_overlap_saved_ = nullptr;
+  std::mutex fp_publish_mutex_;
+  srb::FastPathStats published_;  // guarded by fp_publish_mutex_
 };
 
 /// RAII file session: connect + open on construction, close + disconnect on
@@ -233,6 +278,12 @@ class FileSession {
   Status read(std::span<std::byte> out) { return endpoint_->read(*timeline_, handle_, out); }
   Status write(std::span<const std::byte> data) {
     return endpoint_->write(*timeline_, handle_, data);
+  }
+  Status readv(std::span<const IoRun> runs, std::span<std::byte> out) {
+    return endpoint_->readv(*timeline_, handle_, runs, out);
+  }
+  Status writev(std::span<const IoRun> runs, std::span<const std::byte> data) {
+    return endpoint_->writev(*timeline_, handle_, runs, data);
   }
 
   /// Explicit close (also performed by the destructor).

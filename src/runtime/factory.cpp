@@ -29,6 +29,9 @@ std::unique_ptr<StorageEndpoint> make_endpoint(core::StorageSystem& system,
       return nullptr;
   }
   if (instrumented) {
+    if (auto* remote = dynamic_cast<RemoteEndpoint*>(endpoint.get())) {
+      remote->enable_fast_path_metrics(&system.metrics());
+    }
     endpoint = std::make_unique<obs::InstrumentedEndpoint>(std::move(endpoint),
                                                            &system.metrics());
   }

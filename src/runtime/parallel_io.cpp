@@ -66,7 +66,8 @@ std::uint64_t count_runs(const prt::Decomposition& decomp, const prt::LocalBox& 
   return runs;
 }
 
-IoPlan plan_io(const ArrayLayout& layout, IoMethod method, int aggregators) {
+IoPlan plan_io(const ArrayLayout& layout, IoMethod method, int aggregators,
+               bool batched) {
   IoPlan plan;
   if (method == IoMethod::kCollective) {
     const auto a = static_cast<std::uint64_t>(std::max(1, aggregators));
@@ -77,6 +78,15 @@ IoPlan plan_io(const ArrayLayout& layout, IoMethod method, int aggregators) {
   std::uint64_t total_runs = 0;
   for (int r = 0; r < layout.decomp.nprocs(); ++r) {
     total_runs += count_runs(layout.decomp, layout.decomp.local_box(r));
+  }
+  if (batched) {
+    // Vectored fast path: each rank ships its whole run list in one RPC.
+    const auto nprocs = static_cast<std::uint64_t>(layout.decomp.nprocs());
+    plan.calls = nprocs;
+    plan.unit_bytes = nprocs == 0 ? 0 : layout.global_bytes() / nprocs;
+    plan.runs_per_call =
+        nprocs == 0 ? 0 : (total_runs + nprocs - 1) / nprocs;
+    return plan;
   }
   plan.calls = total_runs;
   plan.unit_bytes = total_runs == 0 ? 0 : layout.global_bytes() / total_runs;
@@ -396,14 +406,25 @@ Status write_naive(StorageEndpoint& endpoint, prt::Comm& comm,
     const std::size_t elem = layout.elem_size;
     const prt::LocalBox box = layout.decomp.local_box(comm.rank());
     Status io = Status::Ok();
-    for_each_run(layout.decomp, box,
-                 [&](std::uint64_t goff, std::uint64_t count, std::uint64_t loff) {
-                   if (!io.ok()) return;
-                   io = session->seek(goff * elem);
-                   if (io.ok()) {
-                     io = session->write(local.subspan(loff * elem, count * elem));
-                   }
-                 });
+    if (endpoint.fast_path().vectored_rpc) {
+      // for_each_run visits runs with ascending, contiguous local offsets,
+      // so the local block is exactly the concatenated payload.
+      std::vector<IoRun> runs;
+      for_each_run(layout.decomp, box,
+                   [&](std::uint64_t goff, std::uint64_t count, std::uint64_t) {
+                     runs.push_back({goff * elem, count * elem});
+                   });
+      io = session->writev(runs, local);
+    } else {
+      for_each_run(layout.decomp, box,
+                   [&](std::uint64_t goff, std::uint64_t count, std::uint64_t loff) {
+                     if (!io.ok()) return;
+                     io = session->seek(goff * elem);
+                     if (io.ok()) {
+                       io = session->write(local.subspan(loff * elem, count * elem));
+                     }
+                   });
+    }
     Status fin = session->finish();
     status = io.ok() ? fin : io;
   }
@@ -479,14 +500,23 @@ Status read_naive(StorageEndpoint& endpoint, prt::Comm& comm,
     const std::size_t elem = layout.elem_size;
     const prt::LocalBox box = layout.decomp.local_box(comm.rank());
     Status io = Status::Ok();
-    for_each_run(layout.decomp, box,
-                 [&](std::uint64_t goff, std::uint64_t count, std::uint64_t loff) {
-                   if (!io.ok()) return;
-                   io = session->seek(goff * elem);
-                   if (io.ok()) {
-                     io = session->read(local.subspan(loff * elem, count * elem));
-                   }
-                 });
+    if (endpoint.fast_path().vectored_rpc) {
+      std::vector<IoRun> runs;
+      for_each_run(layout.decomp, box,
+                   [&](std::uint64_t goff, std::uint64_t count, std::uint64_t) {
+                     runs.push_back({goff * elem, count * elem});
+                   });
+      io = session->readv(runs, local);
+    } else {
+      for_each_run(layout.decomp, box,
+                   [&](std::uint64_t goff, std::uint64_t count, std::uint64_t loff) {
+                     if (!io.ok()) return;
+                     io = session->seek(goff * elem);
+                     if (io.ok()) {
+                       io = session->read(local.subspan(loff * elem, count * elem));
+                     }
+                   });
+    }
     Status fin = session->finish();
     status = io.ok() ? fin : io;
   }

@@ -62,13 +62,20 @@ void for_each_run(
 std::uint64_t count_runs(const prt::Decomposition& decomp, const prt::LocalBox& box);
 
 /// Per-timestep native-call plan, used by the performance predictor:
-/// `calls` requests of roughly `unit_bytes` each.
+/// `calls` requests of roughly `unit_bytes` each, every request carrying
+/// `runs_per_call` contiguous runs (1 unless the vectored fast path
+/// coalesces a rank's whole run list into one RPC).
 struct IoPlan {
   std::uint64_t calls = 0;
   std::uint64_t unit_bytes = 0;
+  std::uint64_t runs_per_call = 1;
 };
 
-IoPlan plan_io(const ArrayLayout& layout, IoMethod method, int aggregators = 1);
+/// With `batched` set, the naive method is planned as one vectored RPC per
+/// rank instead of one native request per run (the collective plan is
+/// unchanged: it already issues few large contiguous requests).
+IoPlan plan_io(const ArrayLayout& layout, IoMethod method, int aggregators = 1,
+               bool batched = false);
 
 /// Collective entry points. Must be called by every rank of `comm` with its
 /// own local block (row-major over its LocalBox). On return all ranks'

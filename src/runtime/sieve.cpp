@@ -97,12 +97,23 @@ Status read_subarray(StorageEndpoint& endpoint, simkit::Timeline& timeline,
   const std::size_t elem = spec.elem_size;
   Status io = Status::Ok();
   if (strategy == AccessStrategy::kDirect) {
-    runs_of(spec, box,
-            [&](std::uint64_t goff, std::uint64_t count, std::uint64_t loff) {
-              if (!io.ok()) return;
-              io = session->seek(goff * elem);
-              if (io.ok()) io = session->read(out.subspan(loff * elem, count * elem));
-            });
+    if (endpoint.fast_path().vectored_rpc) {
+      // runs_of visits runs with ascending, contiguous local offsets, so
+      // `out` is exactly the concatenated payload of the run list.
+      std::vector<IoRun> runs;
+      runs_of(spec, box,
+              [&](std::uint64_t goff, std::uint64_t count, std::uint64_t) {
+                runs.push_back({goff * elem, count * elem});
+              });
+      io = session->readv(runs, out);
+    } else {
+      runs_of(spec, box,
+              [&](std::uint64_t goff, std::uint64_t count, std::uint64_t loff) {
+                if (!io.ok()) return;
+                io = session->seek(goff * elem);
+                if (io.ok()) io = session->read(out.subspan(loff * elem, count * elem));
+              });
+    }
   } else {
     const auto [first, last] = sieve_extent(spec, box);
     record_sieve(endpoint, last - first, out.size());
@@ -132,12 +143,21 @@ Status write_subarray(StorageEndpoint& endpoint, simkit::Timeline& timeline,
         FileSession::start(endpoint, timeline, path, OpenMode::kUpdate);
     if (!session.ok()) return session.status();
     Status io = Status::Ok();
-    runs_of(spec, box,
-            [&](std::uint64_t goff, std::uint64_t count, std::uint64_t loff) {
-              if (!io.ok()) return;
-              io = session->seek(goff * elem);
-              if (io.ok()) io = session->write(data.subspan(loff * elem, count * elem));
-            });
+    if (endpoint.fast_path().vectored_rpc) {
+      std::vector<IoRun> runs;
+      runs_of(spec, box,
+              [&](std::uint64_t goff, std::uint64_t count, std::uint64_t) {
+                runs.push_back({goff * elem, count * elem});
+              });
+      io = session->writev(runs, data);
+    } else {
+      runs_of(spec, box,
+              [&](std::uint64_t goff, std::uint64_t count, std::uint64_t loff) {
+                if (!io.ok()) return;
+                io = session->seek(goff * elem);
+                if (io.ok()) io = session->write(data.subspan(loff * elem, count * elem));
+              });
+    }
     Status fin = session->finish();
     return io.ok() ? fin : io;
   }

@@ -21,10 +21,25 @@ enum class Op : std::uint8_t {
   kStat,
   kList,
   kReplicate,
+  // Fast-path extensions (see srb/fastpath.h). kReadv/kWritev carry a whole
+  // run-list (count + per-run descriptors + payload) in one framed message;
+  // kPRead/kPWrite are positional chunk transfers used by the pipelined bulk
+  // path; kTell reports a handle's current position so the client can chunk
+  // a transfer without mirroring server-side handle state.
+  kReadv,
+  kWritev,
+  kPRead,
+  kPWrite,
+  kTell,
 };
 
 /// Approximate fixed wire overhead of a message (headers + framing), added
 /// to the payload size when charging the link.
 inline constexpr std::uint64_t kMessageOverheadBytes = 64;
+
+/// Serialized size of one run descriptor inside a kReadv/kWritev request
+/// (u64 offset + u64 length). Kept as a named constant so wire-byte
+/// accounting of batched requests is visibly honest.
+inline constexpr std::uint64_t kRunDescriptorBytes = 16;
 
 }  // namespace msra::srb

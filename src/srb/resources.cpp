@@ -11,6 +11,38 @@ std::string_view storage_kind_name(StorageKind kind) {
   return "?";
 }
 
+Status ServerResource::readv(simkit::Timeline& timeline, HandleId handle,
+                             std::span<const IoRun> runs,
+                             std::span<std::byte> out) {
+  std::size_t filled = 0;
+  for (const IoRun& run : runs) {
+    if (filled + run.length > out.size()) {
+      return Status::InvalidArgument("readv run list overflows buffer");
+    }
+    MSRA_RETURN_IF_ERROR(seek(timeline, handle, run.offset));
+    MSRA_RETURN_IF_ERROR(
+        read(timeline, handle, out.subspan(filled, run.length)));
+    filled += run.length;
+  }
+  return Status::Ok();
+}
+
+Status ServerResource::writev(simkit::Timeline& timeline, HandleId handle,
+                              std::span<const IoRun> runs,
+                              std::span<const std::byte> data) {
+  std::size_t consumed = 0;
+  for (const IoRun& run : runs) {
+    if (consumed + run.length > data.size()) {
+      return Status::InvalidArgument("writev run list overflows payload");
+    }
+    MSRA_RETURN_IF_ERROR(seek(timeline, handle, run.offset));
+    MSRA_RETURN_IF_ERROR(
+        write(timeline, handle, data.subspan(consumed, run.length)));
+    consumed += run.length;
+  }
+  return Status::Ok();
+}
+
 // ---------------------------------------------------------- DiskResource --
 
 DiskResource::DiskResource(std::string name, StorageKind kind,
@@ -121,6 +153,47 @@ Status DiskResource::close(simkit::Timeline& timeline, HandleId handle) {
                              ? model_.close_read
                              : model_.close_write);
   handles_.erase(it);
+  return Status::Ok();
+}
+
+StatusOr<std::uint64_t> DiskResource::tell(HandleId handle) const {
+  MSRA_RETURN_IF_ERROR(check_available());
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) return Status::InvalidArgument("bad handle");
+  return it->second.pos;
+}
+
+Status DiskResource::readv(simkit::Timeline& timeline, HandleId handle,
+                           std::span<const IoRun> runs,
+                           std::span<std::byte> out) {
+  MSRA_RETURN_IF_ERROR(check_available());
+  std::size_t filled = 0;
+  std::vector<std::byte> hole;  // read-through scratch, content discarded
+  for (const IoRun& run : runs) {
+    if (filled + run.length > out.size()) {
+      return Status::InvalidArgument("readv run list overflows buffer");
+    }
+    std::uint64_t pos = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = handles_.find(handle);
+      if (it == handles_.end()) return Status::InvalidArgument("bad handle");
+      pos = it->second.pos;
+    }
+    // The whole access list is known up front, so the scheduler may stream
+    // over a forward hole (sequential-transfer time) instead of
+    // repositioning the arm (mechanical seek time), whichever is cheaper.
+    if (run.offset > pos && model_.read_time(run.offset - pos) < model_.seek) {
+      hole.resize(static_cast<std::size_t>(run.offset - pos));
+      MSRA_RETURN_IF_ERROR(read(timeline, handle, hole));
+    } else if (run.offset != pos) {
+      MSRA_RETURN_IF_ERROR(seek(timeline, handle, run.offset));
+    }
+    MSRA_RETURN_IF_ERROR(
+        read(timeline, handle, out.subspan(filled, run.length)));
+    filled += run.length;
+  }
   return Status::Ok();
 }
 
@@ -238,6 +311,14 @@ Status TapeResource::close(simkit::Timeline& timeline, HandleId handle) {
       library_->close_cost(it->second.mode != OpenMode::kRead));
   handles_.erase(it);
   return Status::Ok();
+}
+
+StatusOr<std::uint64_t> TapeResource::tell(HandleId handle) const {
+  MSRA_RETURN_IF_ERROR(check_available());
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) return Status::InvalidArgument("bad handle");
+  return it->second.pos;
 }
 
 Status TapeResource::remove(const std::string& path) {

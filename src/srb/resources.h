@@ -17,6 +17,7 @@
 
 #include "common/status.h"
 #include "simkit/resource.h"
+#include "srb/fastpath.h"
 #include "simkit/timeline.h"
 #include "store/disk_model.h"
 #include "store/object_store.h"
@@ -62,6 +63,28 @@ class ServerResource {
 
   /// Closes the handle, charging the close cost.
   virtual Status close(simkit::Timeline& timeline, HandleId handle) = 0;
+
+  /// Reads a run list (in order) into `out`, packed back-to-back. The
+  /// default bills exactly like the per-run seek+read loop a client would
+  /// issue; devices that can exploit knowing the whole access list up front
+  /// (disk schedulers) override it.
+  virtual Status readv(simkit::Timeline& timeline, HandleId handle,
+                       std::span<const IoRun> runs, std::span<std::byte> out);
+
+  /// Writes a run list (in order) from `data`, packed back-to-back. Holes
+  /// between runs cannot be streamed over (their content must survive), so
+  /// every device pays seek+write per run.
+  virtual Status writev(simkit::Timeline& timeline, HandleId handle,
+                        std::span<const IoRun> runs,
+                        std::span<const std::byte> data);
+
+  /// Current position of an open handle. Free (pure bookkeeping, no device
+  /// time): the pipelined transfer path uses it to chunk a transfer without
+  /// mirroring handle state on the client.
+  virtual StatusOr<std::uint64_t> tell(HandleId handle) const {
+    (void)handle;
+    return Status::Unimplemented("tell not supported by " + std::string(name()));
+  }
 
   virtual Status remove(const std::string& path) = 0;
   virtual StatusOr<std::uint64_t> size(const std::string& path) const = 0;
@@ -111,6 +134,11 @@ class DiskResource final : public ServerResource {
   Status write(simkit::Timeline& timeline, HandleId handle,
                std::span<const std::byte> data) override;
   Status close(simkit::Timeline& timeline, HandleId handle) override;
+  StatusOr<std::uint64_t> tell(HandleId handle) const override;
+  /// Disk scheduling over a known access list: a small forward hole is read
+  /// through sequentially when that is cheaper than repositioning the arm.
+  Status readv(simkit::Timeline& timeline, HandleId handle,
+               std::span<const IoRun> runs, std::span<std::byte> out) override;
   Status remove(const std::string& path) override;
   StatusOr<std::uint64_t> size(const std::string& path) const override;
   std::vector<store::ObjectInfo> list(const std::string& prefix) const override;
@@ -157,6 +185,7 @@ class TapeResource final : public ServerResource {
   Status write(simkit::Timeline& timeline, HandleId handle,
                std::span<const std::byte> data) override;
   Status close(simkit::Timeline& timeline, HandleId handle) override;
+  StatusOr<std::uint64_t> tell(HandleId handle) const override;
   Status remove(const std::string& path) override;
   StatusOr<std::uint64_t> size(const std::string& path) const override;
   std::vector<store::ObjectInfo> list(const std::string& prefix) const override;

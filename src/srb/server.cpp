@@ -200,6 +200,111 @@ std::vector<std::byte> SrbServer::handle(net::WireReader& reader,
       proto::put_status(w, replicate(tl, *src, *path, *dst));
       return w.take();
     }
+    case Op::kReadv: {
+      auto rname = reader.get_string();
+      auto handle = reader.get_u64();
+      auto count = reader.get_u32();
+      if (!rname.ok() || !handle.ok() || !count.ok()) {
+        return fail(Status::InvalidArgument("bad readv request"));
+      }
+      ServerResource* r = resource(*rname);
+      if (!r) return fail(Status::NotFound("no resource: " + *rname));
+      std::vector<IoRun> runs;
+      runs.reserve(*count);
+      std::uint64_t total = 0;
+      for (std::uint32_t i = 0; i < *count; ++i) {
+        auto offset = reader.get_u64();
+        auto length = reader.get_u64();
+        if (!offset.ok() || !length.ok()) {
+          return fail(Status::InvalidArgument("bad readv run descriptor"));
+        }
+        runs.push_back({*offset, *length});
+        total += *length;
+      }
+      std::vector<std::byte> buffer(total);
+      Status status = r->readv(tl, *handle, runs, buffer);
+      if (!status.ok()) return fail(status);
+      proto::put_status(w, Status::Ok());
+      w.put_bytes(buffer);
+      return w.take();
+    }
+    case Op::kWritev: {
+      auto rname = reader.get_string();
+      auto handle = reader.get_u64();
+      auto count = reader.get_u32();
+      if (!rname.ok() || !handle.ok() || !count.ok()) {
+        return fail(Status::InvalidArgument("bad writev request"));
+      }
+      ServerResource* r = resource(*rname);
+      if (!r) return fail(Status::NotFound("no resource: " + *rname));
+      std::vector<IoRun> runs;
+      runs.reserve(*count);
+      std::uint64_t total = 0;
+      for (std::uint32_t i = 0; i < *count; ++i) {
+        auto offset = reader.get_u64();
+        auto length = reader.get_u64();
+        if (!offset.ok() || !length.ok()) {
+          return fail(Status::InvalidArgument("bad writev run descriptor"));
+        }
+        runs.push_back({*offset, *length});
+        total += *length;
+      }
+      auto data = reader.get_bytes();
+      if (!data.ok() || data->size() != total) {
+        return fail(Status::InvalidArgument("bad writev payload"));
+      }
+      Status status = r->writev(tl, *handle, runs, *data);
+      if (!status.ok()) return fail(status);
+      proto::put_status(w, Status::Ok());
+      return w.take();
+    }
+    case Op::kPRead: {
+      auto rname = reader.get_string();
+      auto handle = reader.get_u64();
+      auto offset = reader.get_u64();
+      auto length = reader.get_u64();
+      if (!rname.ok() || !handle.ok() || !offset.ok() || !length.ok()) {
+        return fail(Status::InvalidArgument("bad pread request"));
+      }
+      ServerResource* r = resource(*rname);
+      if (!r) return fail(Status::NotFound("no resource: " + *rname));
+      std::vector<std::byte> buffer(*length);
+      Status status = r->seek(tl, *handle, *offset);
+      if (status.ok()) status = r->read(tl, *handle, buffer);
+      if (!status.ok()) return fail(status);
+      proto::put_status(w, Status::Ok());
+      w.put_bytes(buffer);
+      return w.take();
+    }
+    case Op::kPWrite: {
+      auto rname = reader.get_string();
+      auto handle = reader.get_u64();
+      auto offset = reader.get_u64();
+      auto data = reader.get_bytes();
+      if (!rname.ok() || !handle.ok() || !offset.ok() || !data.ok()) {
+        return fail(Status::InvalidArgument("bad pwrite request"));
+      }
+      ServerResource* r = resource(*rname);
+      if (!r) return fail(Status::NotFound("no resource: " + *rname));
+      Status status = r->seek(tl, *handle, *offset);
+      if (status.ok()) status = r->write(tl, *handle, *data);
+      proto::put_status(w, status);
+      return w.take();
+    }
+    case Op::kTell: {
+      auto rname = reader.get_string();
+      auto handle = reader.get_u64();
+      if (!rname.ok() || !handle.ok()) {
+        return fail(Status::InvalidArgument("bad tell request"));
+      }
+      ServerResource* r = resource(*rname);
+      if (!r) return fail(Status::NotFound("no resource: " + *rname));
+      auto pos = r->tell(*handle);
+      if (!pos.ok()) return fail(pos.status());
+      proto::put_status(w, Status::Ok());
+      w.put_u64(*pos);
+      return w.take();
+    }
   }
   return fail(Status::InvalidArgument("unknown opcode"));
 }
