@@ -33,3 +33,25 @@ run bench_fig9_astro3d    fig9
 
 echo "Summaries:"
 ls -l "${OUT_DIR}"/BENCH_fig*.json
+
+# Parity guard: the simulated testbed is deterministic, so the figure
+# summaries must be byte-identical to the committed baselines. Any drift
+# means a code change altered the virtual-time model — intended changes
+# must re-commit bench/baselines/. (The baselines hold the reduced-scale
+# numbers, so the guard only applies without MSRA_FULL_SCALE.)
+if [[ "${MSRA_FULL_SCALE:-0}" != "1" ]]; then
+  BASELINE_DIR="$(dirname "$0")/baselines"
+  drift=0
+  for fig in fig6 fig7 fig8 fig9; do
+    if ! diff -u "${BASELINE_DIR}/BENCH_${fig}.json" \
+                 "${OUT_DIR}/BENCH_${fig}.json"; then
+      echo "PARITY DRIFT: ${fig} differs from ${BASELINE_DIR}" >&2
+      drift=1
+    fi
+  done
+  if [[ "${drift}" != "0" ]]; then
+    echo "bench parity check FAILED (see diffs above)" >&2
+    exit 1
+  fi
+  echo "bench parity check passed: fig6-9 match committed baselines"
+fi

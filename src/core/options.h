@@ -7,10 +7,9 @@
 // MSRA_ASSIGN_OR_RETURN / ok(). Failure is always expressed through the
 // Status, never through a null success value.
 //
-// Plain enum/string trailing parameters don't scale (read_box grew an
-// AccessStrategy, open_existing a producer_app — the next knob would break
-// every caller), so the per-call knobs live in small aggregate structs
-// with designated-initializer-friendly defaults:
+// Plain enum/string trailing parameters don't scale, so the per-call knobs
+// live in small aggregate structs with designated-initializer-friendly
+// defaults:
 //
 //   handle.read_box(tl, t, box, out, {.strategy = AccessStrategy::kDirect});
 //   session.open_existing("temperature", {.producer_app = "astro3d"});

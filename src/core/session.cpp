@@ -5,6 +5,7 @@
 #include "common/log.h"
 #include "obs/trace.h"
 #include "runtime/parallel_io.h"
+#include "runtime/plan.h"
 
 namespace msra::core {
 
@@ -217,9 +218,15 @@ Status DatasetHandle::write_subfiled(prt::Comm& comm, const std::string& base,
     if (!sublayout.ok()) {
       status = sublayout.status();
     } else {
-      status = runtime::write_subfiles(
-          session_->system_.endpoint(location_), comm.timeline(), base,
-          *sublayout, global);
+      auto plan =
+          runtime::PlanBuilder::subfile_write(*sublayout, base, global.size());
+      if (!plan.ok()) {
+        status = plan.status();
+      } else {
+        status = runtime::PlanExecutor::execute(
+            *plan, session_->system_.endpoint(location_), comm.timeline(), {},
+            global, &session_->system_.tracer());
+      }
     }
   }
   // Share the root's outcome.
@@ -307,21 +314,18 @@ Status DatasetHandle::replicate_timestep(simkit::Timeline& timeline,
     MSRA_RETURN_IF_ERROR(status);
     MSRA_RETURN_IF_ERROR(disc);
   } else {
-    // One side is local: stream through the client.
+    // One side is local: stream through the client, one whole-object plan
+    // per side.
     runtime::StorageEndpoint& src = session_->system_.endpoint(source.location);
     std::vector<std::byte> payload(source.bytes);
-    {
-      auto file = runtime::FileSession::start(src, timeline, source.path,
-                                              srb::OpenMode::kRead);
-      MSRA_RETURN_IF_ERROR(file.status());
-      MSRA_RETURN_IF_ERROR(file->read(payload));
-      MSRA_RETURN_IF_ERROR(file->finish());
-    }
-    auto file = runtime::FileSession::start(dst, timeline, source.path,
-                                            srb::OpenMode::kOverwrite);
-    MSRA_RETURN_IF_ERROR(file.status());
-    MSRA_RETURN_IF_ERROR(file->write(payload));
-    MSRA_RETURN_IF_ERROR(file->finish());
+    obs::TraceRecorder* tracer = &session_->system_.tracer();
+    MSRA_RETURN_IF_ERROR(runtime::PlanExecutor::execute(
+        runtime::PlanBuilder::object_read(source.path, source.bytes), src,
+        timeline, payload, {}, tracer));
+    MSRA_RETURN_IF_ERROR(runtime::PlanExecutor::execute(
+        runtime::PlanBuilder::object_write(source.path, source.bytes,
+                                           srb::OpenMode::kOverwrite),
+        dst, timeline, {}, payload, tracer));
   }
 
   InstanceRecord replica = source;
@@ -407,11 +411,10 @@ StatusOr<std::vector<std::byte>> DatasetHandle::read_whole(
         endpoint, timeline, record.path, sublayout, full, out));
     return out;
   }
-  auto session = runtime::FileSession::start(endpoint, timeline, record.path,
-                                             srb::OpenMode::kRead);
-  MSRA_RETURN_IF_ERROR(session.status());
-  MSRA_RETURN_IF_ERROR(session->read(out));
-  MSRA_RETURN_IF_ERROR(session->finish());
+  const runtime::IoPlan plan =
+      runtime::PlanBuilder::object_read(record.path, out.size());
+  MSRA_RETURN_IF_ERROR(runtime::PlanExecutor::execute(
+      plan, endpoint, timeline, out, {}, &session_->system_.tracer()));
   return out;
 }
 
@@ -447,14 +450,16 @@ Status DatasetHandle::read_box(simkit::Timeline& timeline, int timestep,
     endpoint.set_fast_path(cfg);
   }
 
-  if (subfiled(subfile_chunks_)) {
-    MSRA_ASSIGN_OR_RETURN(auto sublayout,
-                          runtime::SubfileLayout::create(spec(), subfile_chunks_));
-    return runtime::read_subfiles_box(endpoint, timeline, record.path, sublayout,
-                                      box, out);
-  }
-  return runtime::read_subarray(endpoint, timeline, record.path, spec(), box,
-                                out, options.strategy);
+  // Lower the access to a plan (subfile chunk fetch or sub-array
+  // direct/sieving, vectorized when the endpoint's fast path is on), then
+  // execute it; per-stage spans land in the system tracer.
+  MSRA_ASSIGN_OR_RETURN(
+      const runtime::IoPlan plan,
+      runtime::PlanBuilder::dataset_read_box(
+          spec(), subfile_chunks_, box, record.path, options.strategy,
+          endpoint.fast_path().vectored_rpc, out.size()));
+  return runtime::PlanExecutor::execute(plan, endpoint, timeline, out, {},
+                                        &session_->system_.tracer());
 }
 
 }  // namespace msra::core

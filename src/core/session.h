@@ -65,16 +65,6 @@ class DatasetHandle {
                   const prt::LocalBox& box, std::span<std::byte> out,
                   const ReadOptions& options = {});
 
-  /// Transitional shim for the bare-enum signature; migrate to ReadOptions.
-  [[deprecated("pass core::ReadOptions instead of a bare AccessStrategy")]]
-  Status read_box(simkit::Timeline& timeline, int timestep,
-                  const prt::LocalBox& box, std::span<std::byte> out,
-                  runtime::AccessStrategy strategy) {
-    ReadOptions options;
-    options.strategy = strategy;
-    return read_box(timeline, timestep, box, out, options);
-  }
-
   /// The decomposition this handle uses for `nprocs` ranks.
   StatusOr<runtime::ArrayLayout> layout(int nprocs) const;
 
@@ -161,16 +151,6 @@ class Session {
   /// On ok() the handle is never null (see core/options.h).
   StatusOr<DatasetHandle*> open_existing(const std::string& name,
                                          const OpenOptions& options = {});
-
-  /// Transitional shim for the trailing-string signature; migrate to
-  /// OpenOptions.
-  [[deprecated("pass core::OpenOptions instead of a bare producer_app")]]
-  StatusOr<DatasetHandle*> open_existing(const std::string& name,
-                                         const std::string& producer_app) {
-    OpenOptions options;
-    options.producer_app = producer_app;
-    return open_existing(name, options);
-  }
 
   /// finalization(): flushes metadata. Idempotent.
   Status finalize();

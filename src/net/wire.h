@@ -83,7 +83,8 @@ class WireReader {
     MSRA_ASSIGN_OR_RETURN(std::uint64_t n, get_u64());
     if (n != out.size()) return Status::InvalidArgument("payload size mismatch");
     if (pos_ + n > data_.size()) return truncated();
-    std::memcpy(out.data(), data_.data() + pos_, n);
+    // n == 0 with an empty span: out.data() may be null.
+    if (n != 0) std::memcpy(out.data(), data_.data() + pos_, n);
     pos_ += n;
     return Status::Ok();
   }

@@ -1,6 +1,6 @@
 #include "predict/predictor.h"
 
-#include "runtime/parallel_io.h"
+#include "runtime/plan.h"
 
 namespace msra::predict {
 
@@ -56,6 +56,90 @@ StatusOr<DatasetPrediction> Predictor::predict_dataset(
                          FastPathAssumptions{});
 }
 
+StatusOr<double> Predictor::price_stage(core::Location location, IoOp op,
+                                        TransferMode mode,
+                                        const runtime::PlanStage& stage) const {
+  MSRA_ASSIGN_OR_RETURN(FixedCosts costs, db_->fixed(location, op));
+  double sum = 0.0;
+  for (const runtime::PlanOp& planned : stage.ops) {
+    switch (planned.kind) {
+      case runtime::PlanOpKind::kConnect:
+        sum += costs.conn;
+        break;
+      case runtime::PlanOpKind::kOpen:
+        sum += costs.open;
+        break;
+      case runtime::PlanOpKind::kSeek:
+        sum += costs.seek;
+        break;
+      case runtime::PlanOpKind::kRead:
+      case runtime::PlanOpKind::kWrite: {
+        MSRA_ASSIGN_OR_RETURN(
+            double rw, transfer_term(db_, location, op, planned.bytes, mode));
+        sum += rw;
+        break;
+      }
+      case runtime::PlanOpKind::kReadv:
+      case runtime::PlanOpKind::kWritev: {
+        // No Tseek term: a vectored call issues no seek RPCs — positioning
+        // costs are what the measured per-run batch overhead captures.
+        MSRA_ASSIGN_OR_RETURN(
+            double rw, transfer_term(db_, location, op, planned.bytes, mode));
+        sum += rw;
+        if (planned.runs() > 1) {
+          MSRA_ASSIGN_OR_RETURN(double per_run,
+                                db_->batch_overhead(location, op));
+          sum += static_cast<double>(planned.runs() - 1) * per_run;
+        }
+        break;
+      }
+      case runtime::PlanOpKind::kClose:
+        sum += costs.close;
+        break;
+      case runtime::PlanOpKind::kDisconnect:
+        sum += costs.connclose;
+        break;
+      case runtime::PlanOpKind::kCopyIn:
+      case runtime::PlanOpKind::kCopyOut:
+        break;  // in-memory: free
+    }
+  }
+  return sum;
+}
+
+StatusOr<std::vector<StagePrice>> Predictor::price_stages(
+    const runtime::IoPlan& plan, core::Location location) const {
+  const IoOp op =
+      plan.dir == runtime::PlanDir::kWrite ? IoOp::kWrite : IoOp::kRead;
+  const TransferMode mode =
+      plan.pipelined ? TransferMode::kPipelined : TransferMode::kSerial;
+  std::vector<StagePrice> out;
+  out.reserve(plan.stages.size());
+  for (const runtime::PlanStage& stage : plan.stages) {
+    StagePrice price;
+    price.label = stage.label;
+    price.kind = stage.kind;
+    price.repeat = stage.repeat;
+    if (stage.kind != runtime::PlanStageKind::kExchange) {
+      MSRA_ASSIGN_OR_RETURN(price.seconds,
+                            price_stage(location, op, mode, stage));
+    }
+    out.push_back(std::move(price));
+  }
+  return out;
+}
+
+StatusOr<double> Predictor::price(const runtime::IoPlan& plan,
+                                  core::Location location) const {
+  MSRA_ASSIGN_OR_RETURN(std::vector<StagePrice> stages,
+                        price_stages(plan, location));
+  double total = 0.0;
+  for (const StagePrice& stage : stages) {
+    total += static_cast<double>(stage.repeat) * stage.seconds;
+  }
+  return total;
+}
+
 StatusOr<DatasetPrediction> Predictor::predict_dataset(
     const core::DatasetDesc& desc, core::Location resolved, int iterations,
     int nprocs, IoOp op, const FastPathAssumptions& fast) const {
@@ -71,28 +155,40 @@ StatusOr<DatasetPrediction> Predictor::predict_dataset(
       prt::Decomposition decomp,
       prt::Decomposition::create(desc.dims, nprocs, desc.pattern));
   runtime::ArrayLayout layout{decomp, element_size(desc.etype)};
-  const bool batched =
+  // Lower the dataset's per-dump access to the same plan IR the runtime
+  // executes, reshaped by the fast-path assumptions, and price that.
+  runtime::PlanAssumptions assumptions;
+  assumptions.vectored_rpc =
       fast.vectored_rpc && desc.method == runtime::IoMethod::kNaive;
-  const runtime::IoPlan plan =
-      runtime::plan_io(layout, desc.method, desc.aggregators, batched);
+  assumptions.pipelined = fast.transfer == TransferMode::kPipelined;
+  assumptions.pooled_connections = fast.pooled_connections;
+  const runtime::PlanDir dir =
+      op == IoOp::kWrite ? runtime::PlanDir::kWrite : runtime::PlanDir::kRead;
+  MSRA_ASSIGN_OR_RETURN(
+      const runtime::IoPlan plan,
+      runtime::PlanBuilder::dataset_dump(layout, desc.method, desc.aggregators,
+                                         dir, assumptions));
   out.dumps = desc.dumps(iterations);
-  out.calls_per_dump = plan.calls;
-  out.call_bytes = plan.unit_bytes;
-  if (batched && plan.runs_per_call > 1) {
-    MSRA_ASSIGN_OR_RETURN(
-        out.call_time,
-        batched_call_time(resolved, op, plan.runs_per_call, plan.unit_bytes,
-                          fast.transfer));
-  } else {
-    MSRA_ASSIGN_OR_RETURN(
-        out.call_time, call_time(resolved, op, plan.unit_bytes, fast.transfer));
+  out.calls_per_dump = plan.calls_per_dump();
+  out.call_bytes = plan.call_bytes();
+  const TransferMode mode =
+      plan.pipelined ? TransferMode::kPipelined : TransferMode::kSerial;
+  const runtime::PlanStage* session = plan.session_stage();
+  if (session == nullptr) {
+    return Status::Internal("dataset dump plan has no session stage");
   }
-  if (fast.pooled_connections) {
-    // Eq. (1) with pooling: the connection is set up once per run, so the
-    // per-call cost drops Tconn + Tconnclose and they are billed once.
-    MSRA_ASSIGN_OR_RETURN(FixedCosts costs, db_->fixed(resolved, op));
-    out.call_time -= costs.conn + costs.connclose;
-    out.connection_time = costs.conn + costs.connclose;
+  // t_j(s) = Eq. (1) over the session's ops; under pooling the connection
+  // legs live in separate setup/teardown stages billed once per run.
+  MSRA_ASSIGN_OR_RETURN(out.call_time,
+                        price_stage(resolved, op, mode, *session));
+  for (const runtime::PlanStage& stage : plan.stages) {
+    if (stage.kind != runtime::PlanStageKind::kSetup &&
+        stage.kind != runtime::PlanStageKind::kTeardown) {
+      continue;
+    }
+    MSRA_ASSIGN_OR_RETURN(double seconds,
+                          price_stage(resolved, op, mode, stage));
+    out.connection_time += seconds;
   }
   out.total = static_cast<double>(out.dumps) *
                   static_cast<double>(out.calls_per_dump) * out.call_time +

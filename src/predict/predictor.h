@@ -16,6 +16,7 @@
 
 #include "core/dataset.h"
 #include "predict/perfdb.h"
+#include "runtime/plan.h"
 
 namespace msra::predict {
 
@@ -50,6 +51,14 @@ struct RunPrediction {
   double total = 0.0;
 };
 
+/// Priced view of one plan stage (the `msractl explain` tree rows).
+struct StagePrice {
+  std::string label;
+  runtime::PlanStageKind kind = runtime::PlanStageKind::kIo;
+  std::uint64_t repeat = 1;   ///< stage multiplicity in the plan
+  double seconds = 0.0;       ///< Eq. (1) cost of ONE execution of the stage
+};
+
 class Predictor {
  public:
   explicit Predictor(const PerfDb* db) : db_(db) {}
@@ -72,6 +81,20 @@ class Predictor {
                                      std::uint64_t total_bytes,
                                      TransferMode mode) const;
 
+  /// Prices one execution of a lowered plan: every op is billed with its
+  /// Eq. (1) component off the PerfDb curves (vectored calls use the batch
+  /// overhead, pipelined plans the pipelined rw curve), each stage
+  /// multiplied by its repeat count. Exchange and in-memory copy steps are
+  /// free. This walks the SAME IoPlan the PlanExecutor runs — Eq. (2) is
+  /// "sum of priced plans".
+  StatusOr<double> price(const runtime::IoPlan& plan,
+                         core::Location location) const;
+
+  /// Per-stage breakdown of the same walk (seconds are per single
+  /// execution; multiply by `repeat` for the stage's share).
+  StatusOr<std::vector<StagePrice>> price_stages(const runtime::IoPlan& plan,
+                                                 core::Location location) const;
+
   /// Per-dataset prediction for an `iterations`-long run on `nprocs` ranks.
   /// `op` selects the producer (write) or consumer (read) direction.
   StatusOr<DatasetPrediction> predict_dataset(const core::DatasetDesc& desc,
@@ -91,6 +114,11 @@ class Predictor {
       int iterations, int nprocs, IoOp op = IoOp::kWrite) const;
 
  private:
+  /// Sums the Eq. (1) terms of one stage's ops, in op order.
+  StatusOr<double> price_stage(core::Location location, IoOp op,
+                               TransferMode mode,
+                               const runtime::PlanStage& stage) const;
+
   const PerfDb* db_;
 };
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "obs/metrics.h"
+#include "runtime/plan.h"
 
 namespace msra::runtime {
 
@@ -26,16 +27,18 @@ std::string_view io_method_name(IoMethod method) {
   return "?";
 }
 
-void for_each_run(
-    const prt::Decomposition& decomp, const prt::LocalBox& box,
+void for_each_run_in(
+    const std::array<std::uint64_t, 3>& dims, const prt::LocalBox& box,
     const std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>& fn) {
-  const auto& dims = decomp.dims();
   const auto& e = box.extent;
   const std::uint64_t box_nj = e[1].size();
   const std::uint64_t box_nk = e[2].size();
+  const auto offset = [&dims](std::uint64_t i, std::uint64_t j, std::uint64_t k) {
+    return (i * dims[1] + j) * dims[2] + k;
+  };
   if (e[2].size() == dims[2] && e[1].size() == dims[1]) {
     // Full (j,k) planes: the whole i-slab is one contiguous run.
-    fn(decomp.linear_offset(e[0].lo, 0, 0), box.volume(), 0);
+    fn(offset(e[0].lo, 0, 0), box.volume(), 0);
     return;
   }
   if (e[2].size() == dims[2]) {
@@ -43,7 +46,7 @@ void for_each_run(
     std::uint64_t local = 0;
     const std::uint64_t sheet = box_nj * box_nk;
     for (std::uint64_t i = e[0].lo; i < e[0].hi; ++i) {
-      fn(decomp.linear_offset(i, e[1].lo, 0), sheet, local);
+      fn(offset(i, e[1].lo, 0), sheet, local);
       local += sheet;
     }
     return;
@@ -52,10 +55,16 @@ void for_each_run(
   std::uint64_t local = 0;
   for (std::uint64_t i = e[0].lo; i < e[0].hi; ++i) {
     for (std::uint64_t j = e[1].lo; j < e[1].hi; ++j) {
-      fn(decomp.linear_offset(i, j, e[2].lo), box_nk, local);
+      fn(offset(i, j, e[2].lo), box_nk, local);
       local += box_nk;
     }
   }
+}
+
+void for_each_run(
+    const prt::Decomposition& decomp, const prt::LocalBox& box,
+    const std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>& fn) {
+  for_each_run_in(decomp.dims(), box, fn);
 }
 
 std::uint64_t count_runs(const prt::Decomposition& decomp, const prt::LocalBox& box) {
@@ -64,33 +73,6 @@ std::uint64_t count_runs(const prt::Decomposition& decomp, const prt::LocalBox& 
     ++runs;
   });
   return runs;
-}
-
-IoPlan plan_io(const ArrayLayout& layout, IoMethod method, int aggregators,
-               bool batched) {
-  IoPlan plan;
-  if (method == IoMethod::kCollective) {
-    const auto a = static_cast<std::uint64_t>(std::max(1, aggregators));
-    plan.calls = a;
-    plan.unit_bytes = layout.global_bytes() / a;
-    return plan;
-  }
-  std::uint64_t total_runs = 0;
-  for (int r = 0; r < layout.decomp.nprocs(); ++r) {
-    total_runs += count_runs(layout.decomp, layout.decomp.local_box(r));
-  }
-  if (batched) {
-    // Vectored fast path: each rank ships its whole run list in one RPC.
-    const auto nprocs = static_cast<std::uint64_t>(layout.decomp.nprocs());
-    plan.calls = nprocs;
-    plan.unit_bytes = nprocs == 0 ? 0 : layout.global_bytes() / nprocs;
-    plan.runs_per_call =
-        nprocs == 0 ? 0 : (total_runs + nprocs - 1) / nprocs;
-    return plan;
-  }
-  plan.calls = total_runs;
-  plan.unit_bytes = total_runs == 0 ? 0 : layout.global_bytes() / total_runs;
-  return plan;
 }
 
 namespace {
@@ -152,14 +134,9 @@ Status write_collective(StorageEndpoint& endpoint, prt::Comm& comm,
     }
     // Single large native request.
     const simkit::SimTime io_start = comm.timeline().now();
-    auto session = FileSession::start(endpoint, comm.timeline(), path, mode);
-    if (!session.ok()) {
-      status = session.status();
-    } else {
-      status = session->write(global);
-      Status fin = session->finish();
-      if (status.ok()) status = fin;
-    }
+    const IoPlan plan =
+        PlanBuilder::object_write(path, layout.global_bytes(), mode);
+    status = PlanExecutor::execute(plan, endpoint, comm.timeline(), {}, global);
     record_phase(endpoint, "collective.write.io_time",
                  comm.timeline().now() - io_start);
   }
@@ -200,8 +177,8 @@ Status write_collective_multi(StorageEndpoint& endpoint, prt::Comm& comm,
   // Root establishes the object so aggregators can open it for update.
   Status status = Status::Ok();
   if (comm.rank() == kRoot) {
-    auto session = FileSession::start(endpoint, comm.timeline(), path, mode);
-    status = session.ok() ? session->finish() : session.status();
+    const IoPlan establish = PlanBuilder::object_establish(path, mode);
+    status = PlanExecutor::execute(establish, endpoint, comm.timeline(), {}, {});
   }
   status = bcast_status(comm, status, kRoot);
   if (!status.ok()) {
@@ -214,7 +191,6 @@ Status write_collective_multi(StorageEndpoint& endpoint, prt::Comm& comm,
   const simkit::SimTime exchange_start = comm.timeline().now();
   std::vector<net::WireWriter> outbound(static_cast<std::size_t>(aggregators));
   std::vector<std::uint32_t> run_counts(static_cast<std::size_t>(aggregators), 0);
-  std::vector<std::vector<std::byte>> payloads(static_cast<std::size_t>(aggregators));
   for_each_run(layout.decomp, box,
                [&](std::uint64_t goff, std::uint64_t count, std::uint64_t loff) {
                  for (int a = 0; a < aggregators; ++a) {
@@ -269,16 +245,10 @@ Status write_collective_multi(StorageEndpoint& endpoint, prt::Comm& comm,
                  comm.timeline().now() - exchange_start);
     if (status.ok()) {
       const simkit::SimTime io_start = comm.timeline().now();
-      auto session = FileSession::start(endpoint, comm.timeline(), path,
-                                        OpenMode::kUpdate);
-      if (!session.ok()) {
-        status = session.status();
-      } else {
-        Status io = session->seek(range.lo * elem);
-        if (io.ok()) io = session->write(buffer);
-        Status fin = session->finish();
-        status = io.ok() ? fin : io;
-      }
+      const IoPlan plan =
+          PlanBuilder::range_io(path, range.lo * elem, buffer.size(),
+                                PlanDir::kWrite, OpenMode::kUpdate);
+      status = PlanExecutor::execute(plan, endpoint, comm.timeline(), {}, buffer);
       record_phase(endpoint, "collective.write.io_time",
                    comm.timeline().now() - io_start);
     }
@@ -303,16 +273,10 @@ Status read_collective_multi(StorageEndpoint& endpoint, prt::Comm& comm,
     const auto& range = ranges[static_cast<std::size_t>(comm.rank())].elems;
     std::vector<std::byte> buffer(range.size() * elem);
     const simkit::SimTime io_start = comm.timeline().now();
-    auto session =
-        FileSession::start(endpoint, comm.timeline(), path, OpenMode::kRead);
-    if (!session.ok()) {
-      status = session.status();
-    } else {
-      Status io = session->seek(range.lo * elem);
-      if (io.ok()) io = session->read(buffer);
-      Status fin = session->finish();
-      status = io.ok() ? fin : io;
-    }
+    const IoPlan plan =
+        PlanBuilder::range_io(path, range.lo * elem, buffer.size(),
+                              PlanDir::kRead, OpenMode::kRead);
+    status = PlanExecutor::execute(plan, endpoint, comm.timeline(), buffer, {});
     record_phase(endpoint, "collective.read.io_time",
                  comm.timeline().now() - io_start);
     const simkit::SimTime exchange_start = comm.timeline().now();
@@ -386,48 +350,19 @@ Status write_naive(StorageEndpoint& endpoint, prt::Comm& comm,
   // Root establishes the object (create/truncate), then everyone updates it.
   Status status = Status::Ok();
   if (comm.rank() == kRoot) {
-    auto session = FileSession::start(endpoint, comm.timeline(), path, mode);
-    if (!session.ok()) {
-      status = session.status();
-    } else {
-      status = session->finish();
-    }
+    const IoPlan establish = PlanBuilder::object_establish(path, mode);
+    status = PlanExecutor::execute(establish, endpoint, comm.timeline(), {}, {});
   }
   status = bcast_status(comm, status, kRoot);
   if (!status.ok()) {
     comm.sync_time();
     return status;
   }
-  auto session =
-      FileSession::start(endpoint, comm.timeline(), path, OpenMode::kUpdate);
-  if (!session.ok()) {
-    status = session.status();
-  } else {
-    const std::size_t elem = layout.elem_size;
-    const prt::LocalBox box = layout.decomp.local_box(comm.rank());
-    Status io = Status::Ok();
-    if (endpoint.fast_path().vectored_rpc) {
-      // for_each_run visits runs with ascending, contiguous local offsets,
-      // so the local block is exactly the concatenated payload.
-      std::vector<IoRun> runs;
-      for_each_run(layout.decomp, box,
-                   [&](std::uint64_t goff, std::uint64_t count, std::uint64_t) {
-                     runs.push_back({goff * elem, count * elem});
-                   });
-      io = session->writev(runs, local);
-    } else {
-      for_each_run(layout.decomp, box,
-                   [&](std::uint64_t goff, std::uint64_t count, std::uint64_t loff) {
-                     if (!io.ok()) return;
-                     io = session->seek(goff * elem);
-                     if (io.ok()) {
-                       io = session->write(local.subspan(loff * elem, count * elem));
-                     }
-                   });
-    }
-    Status fin = session->finish();
-    status = io.ok() ? fin : io;
-  }
+  const IoPlan plan =
+      PlanBuilder::rank_runs(layout, comm.rank(), path, PlanDir::kWrite,
+                             OpenMode::kUpdate,
+                             endpoint.fast_path().vectored_rpc);
+  status = PlanExecutor::execute(plan, endpoint, comm.timeline(), {}, local);
   status = join_statuses(comm, status);
   comm.sync_time();
   return status;
@@ -442,15 +377,8 @@ Status read_collective(StorageEndpoint& endpoint, prt::Comm& comm,
   if (comm.rank() == kRoot) {
     std::vector<std::byte> global(layout.global_bytes());
     const simkit::SimTime io_start = comm.timeline().now();
-    auto session =
-        FileSession::start(endpoint, comm.timeline(), path, OpenMode::kRead);
-    if (!session.ok()) {
-      status = session.status();
-    } else {
-      status = session->read(global);
-      Status fin = session->finish();
-      if (status.ok()) status = fin;
-    }
+    const IoPlan plan = PlanBuilder::object_read(path, layout.global_bytes());
+    status = PlanExecutor::execute(plan, endpoint, comm.timeline(), global, {});
     record_phase(endpoint, "collective.read.io_time",
                  comm.timeline().now() - io_start);
     if (status.ok()) {
@@ -491,35 +419,11 @@ Status read_collective(StorageEndpoint& endpoint, prt::Comm& comm,
 Status read_naive(StorageEndpoint& endpoint, prt::Comm& comm,
                   const std::string& path, const ArrayLayout& layout,
                   std::span<std::byte> local) {
-  auto session =
-      FileSession::start(endpoint, comm.timeline(), path, OpenMode::kRead);
-  Status status = Status::Ok();
-  if (!session.ok()) {
-    status = session.status();
-  } else {
-    const std::size_t elem = layout.elem_size;
-    const prt::LocalBox box = layout.decomp.local_box(comm.rank());
-    Status io = Status::Ok();
-    if (endpoint.fast_path().vectored_rpc) {
-      std::vector<IoRun> runs;
-      for_each_run(layout.decomp, box,
-                   [&](std::uint64_t goff, std::uint64_t count, std::uint64_t) {
-                     runs.push_back({goff * elem, count * elem});
-                   });
-      io = session->readv(runs, local);
-    } else {
-      for_each_run(layout.decomp, box,
-                   [&](std::uint64_t goff, std::uint64_t count, std::uint64_t loff) {
-                     if (!io.ok()) return;
-                     io = session->seek(goff * elem);
-                     if (io.ok()) {
-                       io = session->read(local.subspan(loff * elem, count * elem));
-                     }
-                   });
-    }
-    Status fin = session->finish();
-    status = io.ok() ? fin : io;
-  }
+  const IoPlan plan =
+      PlanBuilder::rank_runs(layout, comm.rank(), path, PlanDir::kRead,
+                             OpenMode::kRead,
+                             endpoint.fast_path().vectored_rpc);
+  Status status = PlanExecutor::execute(plan, endpoint, comm.timeline(), local, {});
   status = join_statuses(comm, status);
   comm.sync_time();
   return status;

@@ -52,30 +52,22 @@ struct CollectiveOptions {
 
 std::string_view io_method_name(IoMethod method);
 
-/// Visits the contiguous runs of `box` inside the global row-major array:
-/// fn(global_elem_offset, elem_count, box_local_elem_offset).
+/// Visits the contiguous runs of `box` inside a row-major array of `dims`:
+/// fn(global_elem_offset, elem_count, box_local_elem_offset). This is THE
+/// run enumeration — every lowering pass (sieve, naive parallel I/O, the
+/// vectored fast path) and the predictor's homogenized plans derive their
+/// operation sequences from it.
+void for_each_run_in(
+    const std::array<std::uint64_t, 3>& dims, const prt::LocalBox& box,
+    const std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>& fn);
+
+/// Same, keyed by a decomposition's global dims.
 void for_each_run(
     const prt::Decomposition& decomp, const prt::LocalBox& box,
     const std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>& fn);
 
 /// Number of contiguous runs of `box` (native calls the naive method issues).
 std::uint64_t count_runs(const prt::Decomposition& decomp, const prt::LocalBox& box);
-
-/// Per-timestep native-call plan, used by the performance predictor:
-/// `calls` requests of roughly `unit_bytes` each, every request carrying
-/// `runs_per_call` contiguous runs (1 unless the vectored fast path
-/// coalesces a rank's whole run list into one RPC).
-struct IoPlan {
-  std::uint64_t calls = 0;
-  std::uint64_t unit_bytes = 0;
-  std::uint64_t runs_per_call = 1;
-};
-
-/// With `batched` set, the naive method is planned as one vectored RPC per
-/// rank instead of one native request per run (the collective plan is
-/// unchanged: it already issues few large contiguous requests).
-IoPlan plan_io(const ArrayLayout& layout, IoMethod method, int aggregators = 1,
-               bool batched = false);
 
 /// Collective entry points. Must be called by every rank of `comm` with its
 /// own local block (row-major over its LocalBox). On return all ranks'

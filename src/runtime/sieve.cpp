@@ -1,70 +1,9 @@
 #include "runtime/sieve.h"
 
-#include <cstring>
-#include <vector>
-
-#include "obs/metrics.h"
 #include "runtime/parallel_io.h"
+#include "runtime/plan.h"
 
 namespace msra::runtime {
-
-namespace {
-
-/// Bills a sieving access into the endpoint's registry (if any): the
-/// enclosing extent actually transferred vs. the bytes the caller wanted —
-/// their ratio is the sieve waste.
-void record_sieve(StorageEndpoint& endpoint, std::uint64_t extent_bytes,
-                  std::uint64_t useful_bytes) {
-  obs::MetricsRegistry* registry = endpoint.metrics();
-  if (registry == nullptr || !registry->enabled()) return;
-  registry->counter("sieve.extent_bytes")->add(extent_bytes);
-  registry->counter("sieve.useful_bytes")->add(useful_bytes);
-  registry->counter("sieve.accesses")->increment();
-}
-
-/// Visits contiguous runs of `box` in `spec`'s row-major order:
-/// fn(global_elem_offset, elem_count, box_local_elem_offset).
-void runs_of(const GlobalArraySpec& spec, const prt::LocalBox& box,
-             const std::function<void(std::uint64_t, std::uint64_t,
-                                      std::uint64_t)>& fn) {
-  const auto& e = box.extent;
-  if (e[2].size() == spec.dims[2] && e[1].size() == spec.dims[1]) {
-    fn(spec.linear_offset(e[0].lo, 0, 0), box.volume(), 0);
-    return;
-  }
-  if (e[2].size() == spec.dims[2]) {
-    std::uint64_t local = 0;
-    const std::uint64_t sheet = e[1].size() * e[2].size();
-    for (std::uint64_t i = e[0].lo; i < e[0].hi; ++i) {
-      fn(spec.linear_offset(i, e[1].lo, 0), sheet, local);
-      local += sheet;
-    }
-    return;
-  }
-  std::uint64_t local = 0;
-  for (std::uint64_t i = e[0].lo; i < e[0].hi; ++i) {
-    for (std::uint64_t j = e[1].lo; j < e[1].hi; ++j) {
-      fn(spec.linear_offset(i, j, e[2].lo), e[2].size(), local);
-      local += e[2].size();
-    }
-  }
-}
-
-Status check_box(const GlobalArraySpec& spec, const prt::LocalBox& box,
-                 std::size_t buffer_bytes) {
-  for (int d = 0; d < 3; ++d) {
-    const auto& e = box.extent[static_cast<std::size_t>(d)];
-    if (e.lo >= e.hi || e.hi > spec.dims[static_cast<std::size_t>(d)]) {
-      return Status::InvalidArgument("box outside array bounds");
-    }
-  }
-  if (buffer_bytes != box.volume() * spec.elem_size) {
-    return Status::InvalidArgument("buffer size does not match box volume");
-  }
-  return Status::Ok();
-}
-
-}  // namespace
 
 std::pair<std::uint64_t, std::uint64_t> sieve_extent(const GlobalArraySpec& spec,
                                                      const prt::LocalBox& box) {
@@ -81,9 +20,10 @@ std::uint64_t access_calls(const GlobalArraySpec& spec, const prt::LocalBox& box
                            AccessStrategy strategy) {
   if (strategy == AccessStrategy::kSieving) return 1;
   std::uint64_t calls = 0;
-  runs_of(spec, box, [&calls](std::uint64_t, std::uint64_t, std::uint64_t) {
-    ++calls;
-  });
+  for_each_run_in(spec.dims, box,
+                  [&calls](std::uint64_t, std::uint64_t, std::uint64_t) {
+                    ++calls;
+                  });
   return calls;
 }
 
@@ -91,101 +31,24 @@ Status read_subarray(StorageEndpoint& endpoint, simkit::Timeline& timeline,
                      const std::string& path, const GlobalArraySpec& spec,
                      const prt::LocalBox& box, std::span<std::byte> out,
                      AccessStrategy strategy) {
-  MSRA_RETURN_IF_ERROR(check_box(spec, box, out.size()));
-  auto session = FileSession::start(endpoint, timeline, path, OpenMode::kRead);
-  if (!session.ok()) return session.status();
-  const std::size_t elem = spec.elem_size;
-  Status io = Status::Ok();
-  if (strategy == AccessStrategy::kDirect) {
-    if (endpoint.fast_path().vectored_rpc) {
-      // runs_of visits runs with ascending, contiguous local offsets, so
-      // `out` is exactly the concatenated payload of the run list.
-      std::vector<IoRun> runs;
-      runs_of(spec, box,
-              [&](std::uint64_t goff, std::uint64_t count, std::uint64_t) {
-                runs.push_back({goff * elem, count * elem});
-              });
-      io = session->readv(runs, out);
-    } else {
-      runs_of(spec, box,
-              [&](std::uint64_t goff, std::uint64_t count, std::uint64_t loff) {
-                if (!io.ok()) return;
-                io = session->seek(goff * elem);
-                if (io.ok()) io = session->read(out.subspan(loff * elem, count * elem));
-              });
-    }
-  } else {
-    const auto [first, last] = sieve_extent(spec, box);
-    record_sieve(endpoint, last - first, out.size());
-    std::vector<std::byte> extent(last - first);
-    io = session->seek(first);
-    if (io.ok()) io = session->read(extent);
-    if (io.ok()) {
-      runs_of(spec, box,
-              [&](std::uint64_t goff, std::uint64_t count, std::uint64_t loff) {
-                std::memcpy(out.data() + loff * elem,
-                            extent.data() + (goff * elem - first), count * elem);
-              });
-    }
-  }
-  Status fin = session->finish();
-  return io.ok() ? fin : io;
+  MSRA_ASSIGN_OR_RETURN(
+      const IoPlan plan,
+      PlanBuilder::subarray_read(spec, box, path, strategy,
+                                 endpoint.fast_path().vectored_rpc,
+                                 out.size()));
+  return PlanExecutor::execute(plan, endpoint, timeline, out, {});
 }
 
 Status write_subarray(StorageEndpoint& endpoint, simkit::Timeline& timeline,
                       const std::string& path, const GlobalArraySpec& spec,
                       const prt::LocalBox& box, std::span<const std::byte> data,
                       AccessStrategy strategy) {
-  MSRA_RETURN_IF_ERROR(check_box(spec, box, data.size()));
-  const std::size_t elem = spec.elem_size;
-  if (strategy == AccessStrategy::kDirect) {
-    auto session =
-        FileSession::start(endpoint, timeline, path, OpenMode::kUpdate);
-    if (!session.ok()) return session.status();
-    Status io = Status::Ok();
-    if (endpoint.fast_path().vectored_rpc) {
-      std::vector<IoRun> runs;
-      runs_of(spec, box,
-              [&](std::uint64_t goff, std::uint64_t count, std::uint64_t) {
-                runs.push_back({goff * elem, count * elem});
-              });
-      io = session->writev(runs, data);
-    } else {
-      runs_of(spec, box,
-              [&](std::uint64_t goff, std::uint64_t count, std::uint64_t loff) {
-                if (!io.ok()) return;
-                io = session->seek(goff * elem);
-                if (io.ok()) io = session->write(data.subspan(loff * elem, count * elem));
-              });
-    }
-    Status fin = session->finish();
-    return io.ok() ? fin : io;
-  }
-  // Sieving write = read-modify-write of the enclosing extent.
-  const auto [first, last] = sieve_extent(spec, box);
-  record_sieve(endpoint, last - first, data.size());
-  std::vector<std::byte> extent(last - first);
-  {
-    auto session =
-        FileSession::start(endpoint, timeline, path, OpenMode::kRead);
-    if (!session.ok()) return session.status();
-    Status io = session->seek(first);
-    if (io.ok()) io = session->read(extent);
-    Status fin = session->finish();
-    if (!io.ok()) return io;
-    if (!fin.ok()) return fin;
-  }
-  runs_of(spec, box,
-          [&](std::uint64_t goff, std::uint64_t count, std::uint64_t loff) {
-            std::memcpy(extent.data() + (goff * elem - first),
-                        data.data() + loff * elem, count * elem);
-          });
-  auto session = FileSession::start(endpoint, timeline, path, OpenMode::kUpdate);
-  if (!session.ok()) return session.status();
-  Status io = session->seek(first);
-  if (io.ok()) io = session->write(extent);
-  Status fin = session->finish();
-  return io.ok() ? fin : io;
+  MSRA_ASSIGN_OR_RETURN(
+      const IoPlan plan,
+      PlanBuilder::subarray_write(spec, box, path, strategy,
+                                  endpoint.fast_path().vectored_rpc,
+                                  data.size()));
+  return PlanExecutor::execute(plan, endpoint, timeline, {}, data);
 }
 
 }  // namespace msra::runtime

@@ -1,6 +1,6 @@
 #include "runtime/subfile.h"
 
-#include <cstring>
+#include "runtime/plan.h"
 
 namespace msra::runtime {
 
@@ -63,121 +63,21 @@ std::uint64_t SubfileLayout::chunks_touched(const prt::LocalBox& box) const {
   return n;
 }
 
-namespace {
-
-/// Intersection of two boxes (assumed non-empty use-sites check emptiness).
-prt::LocalBox intersect(const prt::LocalBox& a, const prt::LocalBox& b) {
-  prt::LocalBox out;
-  for (std::size_t d = 0; d < 3; ++d) {
-    out.extent[d].lo = std::max(a.extent[d].lo, b.extent[d].lo);
-    out.extent[d].hi = std::min(a.extent[d].hi, b.extent[d].hi);
-  }
-  return out;
-}
-
-bool empty_box(const prt::LocalBox& box) {
-  for (const auto& e : box.extent) {
-    if (e.lo >= e.hi) return true;
-  }
-  return false;
-}
-
-}  // namespace
-
 Status write_subfiles(StorageEndpoint& endpoint, simkit::Timeline& timeline,
                       const std::string& base, const SubfileLayout& layout,
                       std::span<const std::byte> global) {
-  const GlobalArraySpec& spec = layout.spec();
-  if (global.size() != spec.bytes()) {
-    return Status::InvalidArgument("global buffer size mismatch");
-  }
-  const std::size_t elem = spec.elem_size;
-  MSRA_RETURN_IF_ERROR(endpoint.connect(timeline));
-  Status status = Status::Ok();
-  for (int ci = 0; ci < layout.chunks()[0] && status.ok(); ++ci) {
-    for (int cj = 0; cj < layout.chunks()[1] && status.ok(); ++cj) {
-      for (int ck = 0; ck < layout.chunks()[2] && status.ok(); ++ck) {
-        const prt::LocalBox box = layout.chunk_box(ci, cj, ck);
-        // Pack the chunk row-major over its own box.
-        std::vector<std::byte> chunk(box.volume() * elem);
-        std::uint64_t local = 0;
-        for (std::uint64_t i = box.extent[0].lo; i < box.extent[0].hi; ++i) {
-          for (std::uint64_t j = box.extent[1].lo; j < box.extent[1].hi; ++j) {
-            const std::uint64_t goff =
-                spec.linear_offset(i, j, box.extent[2].lo);
-            const std::uint64_t count = box.extent[2].size();
-            std::memcpy(chunk.data() + local * elem, global.data() + goff * elem,
-                        count * elem);
-            local += count;
-          }
-        }
-        auto handle = endpoint.open(timeline, SubfileLayout::chunk_path(base, ci, cj, ck),
-                                    OpenMode::kOverwrite);
-        if (!handle.ok()) {
-          status = handle.status();
-          break;
-        }
-        status = endpoint.write(timeline, *handle, chunk);
-        Status close_status = endpoint.close(timeline, *handle);
-        if (status.ok()) status = close_status;
-      }
-    }
-  }
-  Status disc = endpoint.disconnect(timeline);
-  return status.ok() ? disc : status;
+  MSRA_ASSIGN_OR_RETURN(const IoPlan plan,
+                        PlanBuilder::subfile_write(layout, base, global.size()));
+  return PlanExecutor::execute(plan, endpoint, timeline, {}, global);
 }
 
 Status read_subfiles_box(StorageEndpoint& endpoint, simkit::Timeline& timeline,
                          const std::string& base, const SubfileLayout& layout,
                          const prt::LocalBox& box, std::span<std::byte> out) {
-  const GlobalArraySpec& spec = layout.spec();
-  const std::size_t elem = spec.elem_size;
-  if (out.size() != box.volume() * elem) {
-    return Status::InvalidArgument("output buffer size mismatch");
-  }
-  const auto range = layout.chunk_range(box);
-  const std::uint64_t out_nj = box.extent[1].size();
-  const std::uint64_t out_nk = box.extent[2].size();
-  MSRA_RETURN_IF_ERROR(endpoint.connect(timeline));
-  Status status = Status::Ok();
-  for (int ci = range[0].first; ci < range[0].second && status.ok(); ++ci) {
-    for (int cj = range[1].first; cj < range[1].second && status.ok(); ++cj) {
-      for (int ck = range[2].first; ck < range[2].second && status.ok(); ++ck) {
-        const prt::LocalBox cbox = layout.chunk_box(ci, cj, ck);
-        const prt::LocalBox overlap = intersect(cbox, box);
-        if (empty_box(overlap)) continue;
-        // Read the whole chunk (one native request per chunk).
-        std::vector<std::byte> chunk(cbox.volume() * elem);
-        auto handle = endpoint.open(timeline, SubfileLayout::chunk_path(base, ci, cj, ck),
-                                    OpenMode::kRead);
-        if (!handle.ok()) {
-          status = handle.status();
-          break;
-        }
-        status = endpoint.read(timeline, *handle, chunk);
-        Status close_status = endpoint.close(timeline, *handle);
-        if (status.ok()) status = close_status;
-        if (!status.ok()) break;
-        // Extract the overlap into the output box buffer.
-        const std::uint64_t c_nj = cbox.extent[1].size();
-        const std::uint64_t c_nk = cbox.extent[2].size();
-        for (std::uint64_t i = overlap.extent[0].lo; i < overlap.extent[0].hi; ++i) {
-          for (std::uint64_t j = overlap.extent[1].lo; j < overlap.extent[1].hi; ++j) {
-            const std::uint64_t src =
-                ((i - cbox.extent[0].lo) * c_nj + (j - cbox.extent[1].lo)) * c_nk +
-                (overlap.extent[2].lo - cbox.extent[2].lo);
-            const std::uint64_t dst =
-                ((i - box.extent[0].lo) * out_nj + (j - box.extent[1].lo)) * out_nk +
-                (overlap.extent[2].lo - box.extent[2].lo);
-            std::memcpy(out.data() + dst * elem, chunk.data() + src * elem,
-                        overlap.extent[2].size() * elem);
-          }
-        }
-      }
-    }
-  }
-  Status disc = endpoint.disconnect(timeline);
-  return status.ok() ? disc : status;
+  MSRA_ASSIGN_OR_RETURN(
+      const IoPlan plan,
+      PlanBuilder::subfile_read(layout, box, base, out.size()));
+  return PlanExecutor::execute(plan, endpoint, timeline, out, {});
 }
 
 }  // namespace msra::runtime

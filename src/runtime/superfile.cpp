@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "net/wire.h"
+#include "runtime/plan.h"
 
 namespace msra::runtime {
 
@@ -82,19 +83,16 @@ StatusOr<SuperfileReader> SuperfileReader::open(StorageEndpoint& endpoint,
     (void)endpoint.disconnect(timeline);
     return total.status();
   }
-  auto handle = endpoint.open(timeline, path, OpenMode::kRead);
-  if (!handle.ok()) {
-    (void)endpoint.disconnect(timeline);
-    return handle.status();
-  }
-  // THE superfile read: one native request for the whole object.
+  // THE superfile read: one native request for the whole object. The
+  // open/read/close leg lowers to a plan; the connection stays
+  // caller-managed because the size came from a stat on it.
   SuperfileReader reader;
   reader.blob_.resize(*total);
-  Status status = endpoint.read(timeline, *handle, reader.blob_);
-  Status close_status = endpoint.close(timeline, *handle);
+  const IoPlan plan = PlanBuilder::connected_object_read(path, *total);
+  Status status =
+      PlanExecutor::execute(plan, endpoint, timeline, reader.blob_, {});
   Status disc = endpoint.disconnect(timeline);
   if (!status.ok()) return status;
-  if (!close_status.ok()) return close_status;
   if (!disc.ok()) return disc;
 
   // Parse footer + index from memory.

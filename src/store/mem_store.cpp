@@ -41,7 +41,10 @@ Status MemObjectStore::write(const std::string& name, std::uint64_t offset,
     used_ += end - blob.size();
     blob.resize(end, std::byte{0});
   }
-  std::memcpy(blob.data() + offset, data.data(), data.size());
+  // Zero-length write into a still-empty object: blob.data() may be null.
+  if (!data.empty()) {
+    std::memcpy(blob.data() + offset, data.data(), data.size());
+  }
   return Status::Ok();
 }
 
@@ -54,7 +57,10 @@ Status MemObjectStore::read(const std::string& name, std::uint64_t offset,
   if (offset + out.size() > blob.size()) {
     return Status::OutOfRange("read past end of " + name);
   }
-  std::memcpy(out.data(), blob.data() + offset, out.size());
+  // Zero-length read of a still-empty object: blob.data() may be null.
+  if (!out.empty()) {
+    std::memcpy(out.data(), blob.data() + offset, out.size());
+  }
   return Status::Ok();
 }
 

@@ -7,6 +7,7 @@
 #include "common/bytes.h"
 #include "core/placement.h"
 #include "core/session.h"
+#include "meta/table.h"
 
 namespace msra::core {
 namespace {
@@ -320,6 +321,121 @@ TEST_F(SessionTest, WriteFailoverWhenResourceGoesDown) {
     ASSERT_TRUE((*handle)->read_timestep(comm, 2, out).ok());
   });
   system_.set_location_available(Location::kRemoteTape, true);
+}
+
+TEST_F(SessionTest, WriteFailoverFailsCleanlyWhenNoResourceFits) {
+  Session session(system_, {.application = "astro3d", .nprocs = 1,
+                            .iterations = 40});
+  DatasetDesc big = small_dataset("hungry", Location::kRemoteTape);
+  big.dims = {128, 128, 128};  // 8 MiB per dump
+  big.frequency = 1;           // 41 dumps -> 328 MiB footprint, tape only
+  auto handle = session.open(big);
+  ASSERT_TRUE(handle.ok());
+  // Tape (the only resource large enough) goes down; every failover
+  // candidate is up but lacks capacity for the remaining footprint.
+  system_.set_location_available(Location::kRemoteTape, false);
+  World world(1);
+  world.run([&](Comm& comm) {
+    std::vector<std::byte> block(big.global_bytes(), std::byte{1});
+    Status status = (*handle)->write_timestep(comm, 0, block);
+    EXPECT_EQ(status.code(), ErrorCode::kUnavailable);
+  });
+  // No half-committed move: the handle and the catalog still say tape.
+  EXPECT_EQ((*handle)->location(), Location::kRemoteTape);
+  auto record = session.catalog().dataset("astro3d", "hungry");
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->resolved, Location::kRemoteTape);
+  system_.set_location_available(Location::kRemoteTape, true);
+}
+
+TEST_F(SessionTest, WriteFailoverWhenResourceFillsUp) {
+  Session session(system_, {.application = "astro3d", .nprocs = 1,
+                            .iterations = 2});
+  // Both fit the 64 MiB local disk at open time...
+  DatasetDesc filler = small_dataset("filler", Location::kLocalDisk);
+  filler.dims = {256, 256, 120};  // 30 MiB per dump, 2 dumps
+  DatasetDesc spill = small_dataset("spill", Location::kLocalDisk);
+  spill.dims = {128, 128, 128};  // 8 MiB per dump, 3 dumps
+  spill.frequency = 1;
+  auto filler_handle = session.open(filler);
+  ASSERT_TRUE(filler_handle.ok());
+  auto spill_handle = session.open(spill);
+  ASSERT_TRUE(spill_handle.ok());
+  EXPECT_EQ((*spill_handle)->location(), Location::kLocalDisk);
+  World world(1);
+  world.run([&](Comm& comm) {
+    // ...but the filler's dumps leave 4 MiB free, so the spill dataset hits
+    // CAPACITY_EXCEEDED mid-run and must move to the failover chain.
+    std::vector<std::byte> fill_block(filler.global_bytes(), std::byte{2});
+    ASSERT_TRUE((*filler_handle)->write_timestep(comm, 0, fill_block).ok());
+    ASSERT_TRUE((*filler_handle)->write_timestep(comm, 2, fill_block).ok());
+    std::vector<std::byte> spill_block(spill.global_bytes(), std::byte{3});
+    ASSERT_TRUE((*spill_handle)->write_timestep(comm, 0, spill_block).ok())
+        << "capacity failover must keep the run alive";
+  });
+  EXPECT_EQ((*spill_handle)->location(), Location::kRemoteDisk);
+  auto record = session.catalog().dataset("astro3d", "spill");
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->resolved, Location::kRemoteDisk);
+  Timeline tl;
+  auto data = (*spill_handle)->read_whole(tl, 0);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ((*data)[0], std::byte{3});
+}
+
+TEST_F(SessionTest, FailoverSurvivesCatalogBookkeepingFailure) {
+  Session session(system_, {.application = "astro3d", .nprocs = 1,
+                            .iterations = 4});
+  auto handle = session.open(small_dataset("orphan", Location::kRemoteTape));
+  ASSERT_TRUE(handle.ok());
+  // Simulate catalog damage: the dataset row vanishes, so the failover
+  // bookkeeping (update_dataset_location) has nothing to update.
+  meta::Table* datasets = system_.metadb().table("datasets");
+  ASSERT_NE(datasets, nullptr);
+  auto rowid = datasets->lookup(
+      "key", meta::Value{MetaCatalog::dataset_key("astro3d", "orphan")});
+  ASSERT_TRUE(rowid.ok());
+  ASSERT_TRUE(datasets->erase(*rowid).ok());
+  system_.set_location_available(Location::kRemoteTape, false);
+  World world(1);
+  world.run([&](Comm& comm) {
+    std::vector<std::byte> block(8 * 8 * 8 * 4, std::byte{5});
+    // The write itself must not fail just because the catalog row is gone.
+    ASSERT_TRUE((*handle)->write_timestep(comm, 0, block).ok());
+  });
+  EXPECT_EQ((*handle)->location(), Location::kRemoteDisk);
+  // The dump landed and stays readable through its instance records.
+  Timeline tl;
+  auto data = (*handle)->read_whole(tl, 0);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ((*data)[0], std::byte{5});
+  system_.set_location_available(Location::kRemoteTape, true);
+}
+
+TEST_F(SessionTest, DisabledDatasetIsRegisteredButNeverDumped) {
+  {
+    Session producer(system_, {.application = "astro3d", .nprocs = 1,
+                               .iterations = 2});
+    auto handle = producer.open(small_dataset("scratch", Location::kDisable));
+    ASSERT_TRUE(handle.ok());
+    EXPECT_FALSE((*handle)->enabled());
+    World world(1);
+    world.run([&](Comm& comm) {
+      std::vector<std::byte> block(8 * 8 * 8 * 4, std::byte{9});
+      // Writing a DISABLEd dataset is a silent no-op, not an error.
+      ASSERT_TRUE((*handle)->write_timestep(comm, 0, block).ok());
+    });
+  }
+  // A consumer opening the dataset later sees the DISABLE decision and gets
+  // clean NOT_FOUND errors instead of phantom data.
+  Session consumer(system_, {.application = "viz"});
+  auto handle = consumer.open_existing("scratch");
+  ASSERT_TRUE(handle.ok());
+  EXPECT_FALSE((*handle)->enabled());
+  Timeline tl;
+  auto data = (*handle)->read_whole(tl, 0);
+  EXPECT_EQ(data.status().code(), ErrorCode::kNotFound);
+  EXPECT_TRUE(consumer.catalog().instances("astro3d", "scratch").empty());
 }
 
 TEST_F(SessionTest, SubfileDatasetRoundTripAndSliceAdvantage) {

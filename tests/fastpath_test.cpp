@@ -17,6 +17,7 @@
 #include "prt/comm.h"
 #include "runtime/endpoint.h"
 #include "runtime/parallel_io.h"
+#include "runtime/plan.h"
 #include "srb/protocol.h"
 
 namespace msra::runtime {
@@ -195,20 +196,30 @@ TEST_F(VectoredRpcTest, WireChargesHeaderDescriptorsAndPayload) {
   EXPECT_GE(elapsed, wire_floor);
 }
 
-TEST_F(VectoredRpcTest, PlanIoBatchedCoalescesRuns) {
+TEST_F(VectoredRpcTest, DumpPlanBatchedCoalescesRuns) {
   auto d = prt::Decomposition::create({64, 64, 64}, 8, "BBB");
   ASSERT_TRUE(d.ok());
   ArrayLayout layout{*d, 4};
-  const IoPlan classic = plan_io(layout, IoMethod::kNaive);
-  EXPECT_EQ(classic.runs_per_call, 1u);
-  const IoPlan batched = plan_io(layout, IoMethod::kNaive, 1, /*batched=*/true);
-  EXPECT_EQ(batched.calls, 8u);  // one vectored RPC per rank
-  EXPECT_EQ(batched.runs_per_call, 32u * 32u);
-  EXPECT_EQ(batched.unit_bytes, 64u * 64 * 64 * 4 / 8);
+  const auto classic =
+      PlanBuilder::dataset_dump(layout, IoMethod::kNaive, 1, PlanDir::kWrite);
+  ASSERT_TRUE(classic.ok());
+  EXPECT_EQ(classic->runs_per_call(), 1u);
+  EXPECT_FALSE(classic->vectored);
+  const auto batched =
+      PlanBuilder::dataset_dump(layout, IoMethod::kNaive, 1, PlanDir::kWrite,
+                                {.vectored_rpc = true});
+  ASSERT_TRUE(batched.ok());
+  EXPECT_TRUE(batched->vectored);
+  EXPECT_EQ(batched->calls_per_dump(), 8u);  // one vectored RPC per rank
+  EXPECT_EQ(batched->runs_per_call(), 32u * 32u);
+  EXPECT_EQ(batched->call_bytes(), 64u * 64 * 64 * 4 / 8);
   // The collective plan is untouched: it already issues one large request.
-  const IoPlan collective = plan_io(layout, IoMethod::kCollective, 1, true);
-  EXPECT_EQ(collective.calls, 1u);
-  EXPECT_EQ(collective.runs_per_call, 1u);
+  const auto collective =
+      PlanBuilder::dataset_dump(layout, IoMethod::kCollective, 1,
+                                PlanDir::kWrite, {.vectored_rpc = true});
+  ASSERT_TRUE(collective.ok());
+  EXPECT_EQ(collective->calls_per_dump(), 1u);
+  EXPECT_EQ(collective->runs_per_call(), 1u);
 }
 
 // --------------------------------------------------- pipelined transfers --

@@ -1,0 +1,285 @@
+// The IoPlan IR: builder lowering shapes, executor semantics, and the
+// execute/price symmetry (the same plan the runtime executes is the plan
+// the predictor prices and `msractl explain` prints).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/profiles.h"
+#include "core/system.h"
+#include "predict/perfdb.h"
+#include "predict/predictor.h"
+#include "runtime/endpoint.h"
+#include "runtime/plan.h"
+#include "runtime/subfile.h"
+
+namespace msra::runtime {
+namespace {
+
+using core::HardwareProfile;
+using core::Location;
+using core::StorageSystem;
+using simkit::Timeline;
+
+std::vector<std::byte> pattern_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.next_u64() & 0xff);
+  return out;
+}
+
+std::size_t count_ops(const IoPlan& plan, PlanOpKind kind) {
+  std::size_t n = 0;
+  for (const PlanStage& stage : plan.stages) {
+    for (const PlanOp& op : stage.ops) {
+      if (op.kind == kind) ++n;
+    }
+  }
+  return n;
+}
+
+// -------------------------------------------------------- builder shapes --
+
+TEST(PlanBuilderTest, ObjectWriteIsOneSessionOfSixOps) {
+  IoPlan plan = PlanBuilder::object_write("p", 100, srb::OpenMode::kOverwrite);
+  EXPECT_EQ(plan.dir, PlanDir::kWrite);
+  ASSERT_EQ(plan.stages.size(), 3u);  // open / payload / close
+  EXPECT_EQ(count_ops(plan, PlanOpKind::kConnect), 1u);
+  EXPECT_EQ(count_ops(plan, PlanOpKind::kWrite), 1u);
+  EXPECT_EQ(count_ops(plan, PlanOpKind::kDisconnect), 1u);
+  EXPECT_EQ(plan.calls_per_dump(), 1u);
+  EXPECT_EQ(plan.call_bytes(), 100u);
+}
+
+TEST(PlanBuilderTest, SubarrayBoundsAndBufferAreValidated) {
+  GlobalArraySpec spec{{8, 8, 8}, 4};
+  prt::LocalBox outside;
+  outside.extent = {prt::Extent{0, 9}, prt::Extent{0, 8}, prt::Extent{0, 8}};
+  EXPECT_EQ(PlanBuilder::subarray_read(spec, outside, "p",
+                                       AccessStrategy::kDirect, false, 4)
+                .status()
+                .code(),
+            ErrorCode::kInvalidArgument);
+  prt::LocalBox box;
+  box.extent = {prt::Extent{0, 2}, prt::Extent{0, 2}, prt::Extent{0, 2}};
+  EXPECT_EQ(PlanBuilder::subarray_read(spec, box, "p", AccessStrategy::kDirect,
+                                       false, 7)
+                .status()
+                .code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(PlanBuilderTest, SievingTradesSeeksForOneExtentRead) {
+  GlobalArraySpec spec{{8, 8, 8}, 4};
+  prt::LocalBox box;  // strided 2x2x2 corner: 4 runs when direct
+  box.extent = {prt::Extent{0, 2}, prt::Extent{0, 2}, prt::Extent{0, 2}};
+  auto direct = PlanBuilder::subarray_read(spec, box, "p",
+                                           AccessStrategy::kDirect, false,
+                                           box.volume() * 4);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(count_ops(*direct, PlanOpKind::kRead), 4u);
+  EXPECT_EQ(count_ops(*direct, PlanOpKind::kSeek), 4u);
+  EXPECT_EQ(direct->scratch_bytes, 0u);
+
+  auto sieved = PlanBuilder::subarray_read(spec, box, "p",
+                                           AccessStrategy::kSieving, false,
+                                           box.volume() * 4);
+  ASSERT_TRUE(sieved.ok());
+  EXPECT_EQ(count_ops(*sieved, PlanOpKind::kRead), 1u);
+  EXPECT_EQ(count_ops(*sieved, PlanOpKind::kSeek), 1u);
+  EXPECT_EQ(count_ops(*sieved, PlanOpKind::kCopyOut), 4u);
+  EXPECT_GT(sieved->scratch_bytes, 0u);
+  // The sieve annotations feed the executor's counters.
+  std::uint64_t extent = 0, useful = 0;
+  for (const PlanStage& stage : sieved->stages) {
+    extent += stage.sieve_extent_bytes;
+    useful += stage.sieve_useful_bytes;
+  }
+  EXPECT_EQ(useful, box.volume() * 4);
+  EXPECT_GE(extent, useful);
+}
+
+TEST(PlanBuilderTest, VectoredLoweringFoldsRunsIntoOneCall) {
+  GlobalArraySpec spec{{8, 8, 8}, 4};
+  prt::LocalBox box;
+  box.extent = {prt::Extent{0, 4}, prt::Extent{0, 4}, prt::Extent{0, 8}};
+  auto plan = PlanBuilder::subarray_read(spec, box, "p",
+                                         AccessStrategy::kDirect, true,
+                                         box.volume() * 4);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->vectored);
+  EXPECT_EQ(count_ops(*plan, PlanOpKind::kSeek), 0u);
+  EXPECT_EQ(count_ops(*plan, PlanOpKind::kReadv), 1u);
+  EXPECT_EQ(plan->runs_per_call(), 4u);  // one run per (i, j) sheet
+}
+
+TEST(PlanBuilderTest, PooledDumpPlanHoistsConnectionLegs) {
+  auto d = prt::Decomposition::create({16, 16, 16}, 4, "BBB");
+  ASSERT_TRUE(d.ok());
+  ArrayLayout layout{*d, 4};
+  auto plan = PlanBuilder::dataset_dump(layout, IoMethod::kNaive, 1,
+                                        PlanDir::kWrite,
+                                        {.pooled_connections = true});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->pooled);
+  const PlanStage* session = plan->session_stage();
+  ASSERT_NE(session, nullptr);
+  for (const PlanOp& op : session->ops) {
+    EXPECT_NE(op.kind, PlanOpKind::kConnect);
+    EXPECT_NE(op.kind, PlanOpKind::kDisconnect);
+  }
+  // Hoisted into one setup and one teardown stage around the sessions.
+  EXPECT_EQ(plan->stages.front().kind, PlanStageKind::kSetup);
+  EXPECT_EQ(plan->stages.back().kind, PlanStageKind::kTeardown);
+}
+
+// ---------------------------------------------------- executor semantics --
+
+TEST(PlanExecutorTest, ExecutedPlanMatchesHandwrittenSession) {
+  StorageSystem planned(HardwareProfile::test_profile());
+  StorageSystem manual(HardwareProfile::test_profile());
+  const auto data = pattern_bytes(4096, 11);
+
+  Timeline planned_tl;
+  IoPlan write = PlanBuilder::object_write("obj", data.size(),
+                                           srb::OpenMode::kOverwrite);
+  ASSERT_TRUE(PlanExecutor::execute(write,
+                                    planned.endpoint(Location::kRemoteDisk),
+                                    planned_tl, {}, data)
+                  .ok());
+  std::vector<std::byte> round(data.size());
+  IoPlan read = PlanBuilder::object_read("obj", round.size());
+  ASSERT_TRUE(PlanExecutor::execute(read,
+                                    planned.endpoint(Location::kRemoteDisk),
+                                    planned_tl, round, {})
+                  .ok());
+  EXPECT_EQ(round, data);
+
+  // The same access hand-rolled through FileSession bills the same virtual
+  // time — the hard invariant behind the plan refactor.
+  Timeline manual_tl;
+  auto& endpoint = manual.endpoint(Location::kRemoteDisk);
+  {
+    auto file = FileSession::start(endpoint, manual_tl, "obj",
+                                   srb::OpenMode::kOverwrite);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file->write(data).ok());
+    ASSERT_TRUE(file->finish().ok());
+  }
+  {
+    auto file =
+        FileSession::start(endpoint, manual_tl, "obj", srb::OpenMode::kRead);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file->read(round).ok());
+    ASSERT_TRUE(file->finish().ok());
+  }
+  EXPECT_DOUBLE_EQ(planned_tl.now(), manual_tl.now());
+}
+
+TEST(PlanExecutorTest, FirstErrorWinsAndTeardownStillRuns) {
+  StorageSystem system(HardwareProfile::test_profile());
+  auto& endpoint = system.endpoint(Location::kLocalDisk);
+  Timeline tl;
+  std::vector<std::byte> out(64);
+  IoPlan plan = PlanBuilder::object_read("missing", out.size());
+  Status status = PlanExecutor::execute(plan, endpoint, tl, out, {});
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+  // The failed plan disconnected cleanly: the endpoint is reusable.
+  const auto data = pattern_bytes(64, 3);
+  IoPlan write = PlanBuilder::object_write("missing", data.size(),
+                                           srb::OpenMode::kCreate);
+  EXPECT_TRUE(PlanExecutor::execute(write, endpoint, tl, {}, data).ok());
+  EXPECT_TRUE(PlanExecutor::execute(plan, endpoint, tl, out, {}).ok());
+}
+
+TEST(PlanExecutorTest, UnavailableEndpointFailsWithoutSideEffects) {
+  StorageSystem system(HardwareProfile::test_profile());
+  system.set_location_available(Location::kRemoteDisk, false);
+  Timeline tl;
+  const auto data = pattern_bytes(32, 5);
+  IoPlan plan = PlanBuilder::object_write("x", data.size(),
+                                          srb::OpenMode::kOverwrite);
+  Status status = PlanExecutor::execute(
+      plan, system.endpoint(Location::kRemoteDisk), tl, {}, data);
+  EXPECT_EQ(status.code(), ErrorCode::kUnavailable);
+  // Once the resource returns, the same plan object runs unchanged.
+  system.set_location_available(Location::kRemoteDisk, true);
+  EXPECT_TRUE(PlanExecutor::execute(plan, system.endpoint(Location::kRemoteDisk),
+                                    tl, {}, data)
+                  .ok());
+}
+
+TEST(PlanExecutorTest, SubfilePlanRoundTripsThroughChunks) {
+  StorageSystem system(HardwareProfile::test_profile());
+  auto& endpoint = system.endpoint(Location::kLocalDisk);
+  GlobalArraySpec spec{{8, 8, 8}, 1};
+  auto layout = SubfileLayout::create(spec, {1, 1, 2});
+  ASSERT_TRUE(layout.ok());
+  const auto data = pattern_bytes(8 * 8 * 8, 17);
+  Timeline tl;
+  auto write = PlanBuilder::subfile_write(*layout, "sf", data.size());
+  ASSERT_TRUE(write.ok());
+  EXPECT_GT(write->scratch_bytes, 0u);
+  ASSERT_TRUE(PlanExecutor::execute(*write, endpoint, tl, {}, data).ok());
+  prt::LocalBox box;  // spans both chunks
+  box.extent = {prt::Extent{2, 5}, prt::Extent{1, 3}, prt::Extent{2, 7}};
+  std::vector<std::byte> got(box.volume());
+  auto read = PlanBuilder::subfile_read(*layout, box, "sf", got.size());
+  ASSERT_TRUE(read.ok());
+  ASSERT_TRUE(PlanExecutor::execute(*read, endpoint, tl, got, {}).ok());
+  std::size_t idx = 0;
+  for (std::uint64_t i = box.extent[0].lo; i < box.extent[0].hi; ++i) {
+    for (std::uint64_t j = box.extent[1].lo; j < box.extent[1].hi; ++j) {
+      for (std::uint64_t k = box.extent[2].lo; k < box.extent[2].hi; ++k) {
+        EXPECT_EQ(got[idx++], data[(i * 8 + j) * 8 + k]);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------ execute/price symmetry --
+
+TEST(PlanPriceTest, PriceOfDumpPlanMatchesPredictDataset) {
+  meta::Database db;
+  predict::PerfDb perfdb(&db);
+  for (std::uint64_t size : {1024u, 65536u, 1u << 20}) {
+    ASSERT_TRUE(perfdb
+                    .put_rw_point(Location::kRemoteDisk, predict::IoOp::kWrite,
+                                  size, 0.1 + static_cast<double>(size) * 1e-7)
+                    .ok());
+  }
+  predict::FixedCosts costs{0.2, 0.1, 0.05, 0.04, 0.01};
+  ASSERT_TRUE(
+      perfdb.put_fixed(Location::kRemoteDisk, predict::IoOp::kWrite, costs)
+          .ok());
+  predict::Predictor predictor(&perfdb);
+
+  core::DatasetDesc desc;
+  desc.name = "d";
+  desc.dims = {64, 64, 64};
+  desc.etype = core::ElementType::kFloat32;
+  desc.frequency = 2;
+  desc.method = IoMethod::kCollective;
+  auto prediction = predictor.predict_dataset(desc, Location::kRemoteDisk,
+                                              /*iterations=*/10, /*nprocs=*/4,
+                                              predict::IoOp::kWrite);
+  ASSERT_TRUE(prediction.ok());
+
+  auto d = prt::Decomposition::create(desc.dims, 4, desc.pattern);
+  ASSERT_TRUE(d.ok());
+  ArrayLayout layout{*d, 4};
+  auto plan = PlanBuilder::dataset_dump(layout, desc.method, desc.aggregators,
+                                        PlanDir::kWrite);
+  ASSERT_TRUE(plan.ok());
+  auto per_dump = predictor.price(*plan, Location::kRemoteDisk);
+  ASSERT_TRUE(per_dump.ok());
+  // Eq. (2): the run total is dumps x the priced per-dump plan.
+  EXPECT_DOUBLE_EQ(static_cast<double>(prediction->dumps) * *per_dump,
+                   prediction->total);
+}
+
+}  // namespace
+}  // namespace msra::runtime

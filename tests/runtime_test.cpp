@@ -11,6 +11,7 @@
 #include "prt/comm.h"
 #include "runtime/async_io.h"
 #include "runtime/parallel_io.h"
+#include "runtime/plan.h"
 #include "runtime/sieve.h"
 #include "runtime/subfile.h"
 #include "runtime/superfile.h"
@@ -79,19 +80,23 @@ TEST(PlanTest, CollectiveIsOneCall) {
   auto d = prt::Decomposition::create({64, 64, 64}, 8, "BBB");
   ASSERT_TRUE(d.ok());
   ArrayLayout layout{*d, 4};
-  auto plan = plan_io(layout, IoMethod::kCollective);
-  EXPECT_EQ(plan.calls, 1u);
-  EXPECT_EQ(plan.unit_bytes, 64u * 64 * 64 * 4);
+  auto plan = PlanBuilder::dataset_dump(layout, IoMethod::kCollective, 1,
+                                        PlanDir::kWrite);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->calls_per_dump(), 1u);
+  EXPECT_EQ(plan->call_bytes(), 64u * 64 * 64 * 4);
 }
 
 TEST(PlanTest, NaivePlanCountsAllRuns) {
   auto d = prt::Decomposition::create({64, 64, 64}, 8, "BBB");
   ASSERT_TRUE(d.ok());
   ArrayLayout layout{*d, 4};
-  auto plan = plan_io(layout, IoMethod::kNaive);
+  auto plan = PlanBuilder::dataset_dump(layout, IoMethod::kNaive, 1,
+                                        PlanDir::kWrite);
+  ASSERT_TRUE(plan.ok());
   // 2x2x2 grid: each rank 32 x 32 rows = 1024 runs, x8 ranks.
-  EXPECT_EQ(plan.calls, 8u * 32 * 32);
-  EXPECT_EQ(plan.unit_bytes, 32u * 4);
+  EXPECT_EQ(plan->calls_per_dump(), 8u * 32 * 32);
+  EXPECT_EQ(plan->call_bytes(), 32u * 4);
 }
 
 // ------------------------------------------------------- parallel I/O ----

@@ -38,6 +38,8 @@ int usage() {
                "commands:\n"
                "  ptool     populate the I/O performance database\n"
                "  predict   predict a run's I/O time (Eq. 1 + Eq. 2)\n"
+               "  explain   print one dataset's lowered I/O plan with\n"
+               "            per-stage predicted cost (--json [FILE])\n"
                "  advise    performance-aware placement recommendation\n"
                "  run       run the Astro3D producer\n"
                "  mse       data analysis over a dataset (--dataset)\n"
@@ -168,6 +170,166 @@ int cmd_predict(const Args& args) {
                 static_cast<unsigned long long>(d.dumps), d.total);
   }
   std::printf("%-16s %-12s %6s %14.2f\n", "TOTAL", "", "", prediction.total);
+  return 0;
+}
+
+std::string_view plan_stage_kind_name(runtime::PlanStageKind kind) {
+  switch (kind) {
+    case runtime::PlanStageKind::kSetup: return "setup";
+    case runtime::PlanStageKind::kIo: return "io";
+    case runtime::PlanStageKind::kCopy: return "copy";
+    case runtime::PlanStageKind::kTeardown: return "teardown";
+    case runtime::PlanStageKind::kExchange: return "exchange";
+    case runtime::PlanStageKind::kSession: return "session";
+  }
+  return "?";
+}
+
+// Lowers one dataset's per-dump access to the same IoPlan the runtime
+// executes and the predictor prices, then prints the stage tree with
+// per-stage Eq. (1) costs. The total is the exact `msractl predict` number.
+int cmd_explain(const Args& args) {
+  Env env(args);
+  const auto config = config_from(args);
+  std::string name = args.get("dataset");
+  if (!args.positional().empty()) name = args.positional().front();
+  if (name.empty()) {
+    std::fprintf(stderr,
+                 "usage: msractl explain <dataset> [--json [FILE]] "
+                 "[--op read|write] [run options]\n");
+    return 2;
+  }
+  const auto descs = apps::astro3d::dataset_descs(config);
+  const core::DatasetDesc* desc = nullptr;
+  for (const auto& d : descs) {
+    if (d.name == name) desc = &d;
+  }
+  if (desc == nullptr) {
+    std::fprintf(stderr, "msractl: unknown dataset '%s'; run datasets:",
+                 name.c_str());
+    for (const auto& d : descs) std::fprintf(stderr, " %s", d.name.c_str());
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  const core::Location resolved = desc->location == core::Location::kAuto
+                                      ? core::Location::kRemoteTape
+                                      : desc->location;
+  const predict::IoOp op = args.get("op", "write") == "read"
+                               ? predict::IoOp::kRead
+                               : predict::IoOp::kWrite;
+  predict::Predictor predictor(env.perfdb.get());
+  auto prediction = die_on_error(
+      predictor.predict_dataset(*desc, resolved, config.iterations,
+                                config.nprocs, op),
+      "prediction (run `msractl ptool` first?)");
+  if (prediction.location == core::Location::kDisable) {
+    std::printf("%s: DISABLE — never dumped, zero I/O cost\n", name.c_str());
+    return 0;
+  }
+  // Rebuild the plan the prediction priced, for the stage breakdown.
+  auto decomp = die_on_error(
+      prt::Decomposition::create(desc->dims, config.nprocs, desc->pattern),
+      "decompose");
+  runtime::ArrayLayout layout{decomp, core::element_size(desc->etype)};
+  const runtime::PlanDir dir = op == predict::IoOp::kWrite
+                                   ? runtime::PlanDir::kWrite
+                                   : runtime::PlanDir::kRead;
+  auto plan = die_on_error(
+      runtime::PlanBuilder::dataset_dump(layout, desc->method,
+                                         desc->aggregators, dir),
+      "lowering");
+  auto stages = die_on_error(predictor.price_stages(plan, resolved), "pricing");
+
+  if (args.has("json")) {
+    std::string json = "{";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "\"dataset\":\"%s\",\"location\":\"%s\","
+                  "\"direction\":\"%s\",\"method\":\"%s\","
+                  "\"vectored\":%s,\"pipelined\":%s,\"pooled\":%s,",
+                  desc->name.c_str(), core::location_name(resolved).data(),
+                  io_op_name(op).data(),
+                  runtime::io_method_name(desc->method).data(),
+                  plan.vectored ? "true" : "false",
+                  plan.pipelined ? "true" : "false",
+                  plan.pooled ? "true" : "false");
+    json += buf;
+    json += "\"stages\":[";
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"kind\":\"%s\",\"label\":\"%s\",\"repeat\":%llu,"
+                    "\"ops\":%zu,\"seconds\":%.9g}",
+                    i == 0 ? "" : ",",
+                    plan_stage_kind_name(stages[i].kind).data(),
+                    stages[i].label.c_str(),
+                    static_cast<unsigned long long>(stages[i].repeat),
+                    plan.stages[i].ops.size(), stages[i].seconds);
+      json += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "],\"dumps\":%llu,\"calls_per_dump\":%llu,"
+                  "\"call_bytes\":%llu,\"call_time\":%.9g,"
+                  "\"connection_time\":%.9g,\"total\":%.9g}",
+                  static_cast<unsigned long long>(prediction.dumps),
+                  static_cast<unsigned long long>(prediction.calls_per_dump),
+                  static_cast<unsigned long long>(prediction.call_bytes),
+                  prediction.call_time, prediction.connection_time,
+                  prediction.total);
+    json += buf;
+    const std::string path = args.get("json");
+    if (path.empty()) {
+      std::printf("%s\n", json.c_str());
+    } else {
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "msractl: cannot write %s\n", path.c_str());
+        return 1;
+      }
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("plan JSON written to %s\n", path.c_str());
+    }
+    return 0;
+  }
+
+  char dims[48];
+  std::snprintf(dims, sizeof(dims), "%llux%llux%llu",
+                static_cast<unsigned long long>(desc->dims[0]),
+                static_cast<unsigned long long>(desc->dims[1]),
+                static_cast<unsigned long long>(desc->dims[2]));
+  std::printf("%s: %s %s, pattern %s, %s on %s\n", desc->name.c_str(), dims,
+              core::element_type_name(desc->etype).data(),
+              desc->pattern.c_str(),
+              runtime::io_method_name(desc->method).data(),
+              core::location_name(resolved).data());
+  std::printf("lowered %s plan, one dump (%d rank(s)%s%s%s):\n",
+              io_op_name(op).data(), config.nprocs,
+              plan.vectored ? ", vectored" : "",
+              plan.pipelined ? ", pipelined" : "",
+              plan.pooled ? ", pooled connections" : "");
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const auto& stage = stages[i];
+    std::printf("  %-9s %-24s x%-6llu", plan_stage_kind_name(stage.kind).data(),
+                stage.label.c_str(),
+                static_cast<unsigned long long>(stage.repeat));
+    if (stage.kind == runtime::PlanStageKind::kExchange) {
+      std::printf(" %10s shuffled   (no native I/O)\n",
+                  format_bytes(plan.stages[i].exchange_bytes).c_str());
+    } else {
+      std::printf(" %2zu op(s)  %12.6f s\n", plan.stages[i].ops.size(),
+                  stage.seconds);
+    }
+  }
+  std::printf("per dump: %llu call(s) x %s -> t_j(s) = %.6f s\n",
+              static_cast<unsigned long long>(prediction.calls_per_dump),
+              format_bytes(prediction.call_bytes).c_str(),
+              prediction.call_time);
+  std::printf("dumps %llu, connection setup %.6f s\n",
+              static_cast<unsigned long long>(prediction.dumps),
+              prediction.connection_time);
+  std::printf("predicted I/O time %.2f simulated s (= `msractl predict` row)\n",
+              prediction.total);
   return 0;
 }
 
@@ -429,6 +591,7 @@ int run_command(int argc, char** argv) {
   const Args args = Args::parse(argc, argv, 2);
   if (command == "ptool") return cmd_ptool(args);
   if (command == "predict") return cmd_predict(args);
+  if (command == "explain") return cmd_explain(args);
   if (command == "advise") return cmd_advise(args);
   if (command == "run") return cmd_run(args);
   if (command == "mse") return cmd_mse(args);
