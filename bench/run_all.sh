@@ -30,9 +30,10 @@ run bench_fig6_localdisk  fig6
 run bench_fig7_remotedisk fig7
 run bench_fig8_remotetape fig8
 run bench_fig9_astro3d    fig9
+run bench_migration       migration
 
 echo "Summaries:"
-ls -l "${OUT_DIR}"/BENCH_fig*.json
+ls -l "${OUT_DIR}"/BENCH_*.json
 
 # Parity guard: the simulated testbed is deterministic, so the figure
 # summaries must be byte-identical to the committed baselines. Any drift
@@ -42,7 +43,7 @@ ls -l "${OUT_DIR}"/BENCH_fig*.json
 if [[ "${MSRA_FULL_SCALE:-0}" != "1" ]]; then
   BASELINE_DIR="$(dirname "$0")/baselines"
   drift=0
-  for fig in fig6 fig7 fig8 fig9; do
+  for fig in fig6 fig7 fig8 fig9 migration; do
     if ! diff -u "${BASELINE_DIR}/BENCH_${fig}.json" \
                  "${OUT_DIR}/BENCH_${fig}.json"; then
       echo "PARITY DRIFT: ${fig} differs from ${BASELINE_DIR}" >&2

@@ -1,5 +1,6 @@
 #include "core/catalog.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace msra::core {
@@ -7,6 +8,106 @@ namespace msra::core {
 using meta::ColumnType;
 using meta::Row;
 using meta::Value;
+
+namespace {
+
+/// Joins a replica set into the stored text cell ("LOCALDISK,REMOTETAPE").
+std::string join_replicas(const std::vector<Location>& replicas) {
+  std::string out;
+  for (Location loc : replicas) {
+    if (!out.empty()) out += ',';
+    out += location_name(loc);
+  }
+  return out;
+}
+
+/// Parses the stored replica cell. Unknown names are skipped so a future
+/// format that adds locations still loads the ones we know about.
+std::vector<Location> parse_replicas(const std::string& text) {
+  std::vector<Location> out;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(',', begin);
+    if (end == std::string::npos) end = text.size();
+    if (end > begin) {
+      auto loc = parse_location(text.substr(begin, end - begin));
+      if (loc.ok()) out.push_back(*loc);
+    }
+    if (end == text.size()) break;
+    begin = end + 1;
+  }
+  return out;
+}
+
+InstanceRecord instance_from_row(const Row& row) {
+  InstanceRecord record;
+  record.dataset_key = std::get<std::string>(row[0]);
+  record.timestep = static_cast<int>(std::get<std::int64_t>(row[1]));
+  record.replicas = parse_replicas(std::get<std::string>(row[2]));
+  record.path = std::get<std::string>(row[3]);
+  record.bytes = static_cast<std::uint64_t>(std::get<std::int64_t>(row[4]));
+  return record;
+}
+
+Row instance_to_row(const InstanceRecord& record) {
+  return Row{record.dataset_key, std::int64_t{record.timestep},
+             join_replicas(record.replicas), record.path,
+             static_cast<std::int64_t>(record.bytes)};
+}
+
+meta::Schema instances_schema_v2() {
+  return meta::Schema{{"dataset_key", ColumnType::kText},
+                      {"timestep", ColumnType::kInt},
+                      {"replicas", ColumnType::kText},
+                      {"path", ColumnType::kText},
+                      {"bytes", ColumnType::kInt}};
+}
+
+/// Rewrites a format-1 instances table (one row per replica, single
+/// `location` column) into the format-2 shape (one row per timestep with a
+/// replica-set column). Replica order follows first-recorded order, so the
+/// original dump location stays primary.
+void upgrade_instances_v1(meta::Database* db, meta::Table* old_table) {
+  std::vector<InstanceRecord> merged;
+  old_table->for_each([&](std::int64_t, const Row& row) {
+    const std::string& key = std::get<std::string>(row[0]);
+    const int timestep = static_cast<int>(std::get<std::int64_t>(row[1]));
+    auto loc = parse_location(std::get<std::string>(row[2]));
+    if (!loc.ok()) return;
+    auto it = std::find_if(merged.begin(), merged.end(), [&](const InstanceRecord& r) {
+      return r.dataset_key == key && r.timestep == timestep;
+    });
+    if (it == merged.end()) {
+      InstanceRecord record;
+      record.dataset_key = key;
+      record.timestep = timestep;
+      record.replicas = {*loc};
+      record.path = std::get<std::string>(row[3]);
+      record.bytes = static_cast<std::uint64_t>(std::get<std::int64_t>(row[4]));
+      merged.push_back(std::move(record));
+    } else if (!it->on(*loc)) {
+      it->replicas.push_back(*loc);
+    }
+  });
+  (void)db->drop_table("instances");
+  auto fresh = db->open_table("instances", instances_schema_v2());
+  assert(fresh.ok());
+  for (const InstanceRecord& record : merged) {
+    (void)(*fresh)->insert(instance_to_row(record));
+  }
+}
+
+}  // namespace
+
+bool InstanceRecord::on(Location location) const {
+  return std::find(replicas.begin(), replicas.end(), location) != replicas.end();
+}
+
+std::pair<std::string, std::string> MetaCatalog::split_key(const std::string& key) {
+  std::size_t slash = key.find('/');
+  if (slash == std::string::npos) return {key, ""};
+  return {key.substr(0, slash), key.substr(slash + 1)};
+}
 
 MetaCatalog::MetaCatalog(meta::Database* db) {
   auto users = db->open_table(
@@ -32,13 +133,18 @@ MetaCatalog::MetaCatalog(meta::Database* db) {
                    {"hint", ColumnType::kText},       // user's EXPECTEDLOC
                    {"resolved", ColumnType::kText},   // placement decision
                    {"method", ColumnType::kText}});
-  auto instances = db->open_table(
-      "instances", meta::Schema{{"dataset_key", ColumnType::kText},
-                                {"timestep", ColumnType::kInt},
-                                {"location", ColumnType::kText},
-                                {"path", ColumnType::kText},
-                                {"bytes", ColumnType::kInt}});
-  assert(users.ok() && applications.ok() && datasets.ok() && instances.ok());
+  // Format upgrade: a catalog written before replica sets stores one row
+  // per replica with a `location` column.
+  if (meta::Table* existing = db->table("instances");
+      existing != nullptr && existing->schema().index_of("location") >= 0) {
+    upgrade_instances_v1(db, existing);
+  }
+  auto instances = db->open_table("instances", instances_schema_v2());
+  auto catalog_meta = db->open_table(
+      "catalog_meta", meta::Schema{{"key", ColumnType::kText},
+                                   {"value", ColumnType::kText}});
+  assert(users.ok() && applications.ok() && datasets.ok() && instances.ok() &&
+         catalog_meta.ok());
   users_ = *users;
   applications_ = *applications;
   datasets_ = *datasets;
@@ -47,6 +153,15 @@ MetaCatalog::MetaCatalog(meta::Database* db) {
     (void)users_->create_unique_index("name");
     (void)applications_->create_unique_index("name");
     (void)datasets_->create_unique_index("key");
+  }
+  meta::Table* meta_table = *catalog_meta;
+  if (meta_table->size() == 0) (void)meta_table->create_unique_index("key");
+  auto fmt = meta_table->lookup("key", Value{std::string("instances_format")});
+  const std::string fmt_value = std::to_string(kInstanceFormat);
+  if (fmt.ok()) {
+    (void)meta_table->update_cell(*fmt, "value", Value{fmt_value});
+  } else {
+    (void)meta_table->insert(Row{std::string("instances_format"), fmt_value});
   }
 }
 
@@ -175,80 +290,74 @@ Status MetaCatalog::update_dataset_location(const std::string& app,
                                 Value{std::string(location_name(resolved))});
 }
 
-Status MetaCatalog::record_instance(const InstanceRecord& record) {
-  // Idempotent per (dataset, timestep, location): re-dumps replace the row,
-  // other locations accumulate as replicas.
-  const std::string loc(location_name(record.location));
-  auto ids = instances_->find([&](const Row& r) {
-    return std::get<std::string>(r[0]) == record.dataset_key &&
-           std::get<std::int64_t>(r[1]) == record.timestep &&
-           std::get<std::string>(r[2]) == loc;
+std::vector<std::int64_t> MetaCatalog::instance_rowids(const std::string& key,
+                                                       int timestep) const {
+  return instances_->find([&](const Row& r) {
+    return std::get<std::string>(r[0]) == key &&
+           std::get<std::int64_t>(r[1]) == timestep;
   });
-  Row row{record.dataset_key, std::int64_t{record.timestep}, loc, record.path,
-          static_cast<std::int64_t>(record.bytes)};
-  if (!ids.empty()) return instances_->update(ids.front(), std::move(row));
-  return instances_->insert(std::move(row)).status();
+}
+
+Status MetaCatalog::record_instance(const InstanceRecord& record) {
+  auto ids = instance_rowids(record.dataset_key, record.timestep);
+  if (ids.empty()) return instances_->insert(instance_to_row(record)).status();
+  // Re-dump: path/bytes refresh, replicas union (first-recorded order kept).
+  MSRA_ASSIGN_OR_RETURN(Row row, instances_->get(ids.front()));
+  InstanceRecord merged = instance_from_row(row);
+  merged.path = record.path;
+  merged.bytes = record.bytes;
+  for (Location loc : record.replicas) {
+    if (!merged.on(loc)) merged.replicas.push_back(loc);
+  }
+  return instances_->update(ids.front(), instance_to_row(merged));
 }
 
 StatusOr<InstanceRecord> MetaCatalog::instance(const std::string& app,
                                                const std::string& name,
                                                int timestep) const {
   const std::string key = dataset_key(app, name);
-  auto ids = instances_->find([&](const Row& r) {
-    return std::get<std::string>(r[0]) == key &&
-           std::get<std::int64_t>(r[1]) == timestep;
-  });
+  auto ids = instance_rowids(key, timestep);
   if (ids.empty()) {
     return Status::NotFound("no instance of " + key + " at timestep " +
                             std::to_string(timestep));
   }
   MSRA_ASSIGN_OR_RETURN(Row row, instances_->get(ids.front()));
-  InstanceRecord record;
-  record.dataset_key = key;
-  record.timestep = timestep;
-  MSRA_ASSIGN_OR_RETURN(record.location,
-                        parse_location(std::get<std::string>(row[2])));
-  record.path = std::get<std::string>(row[3]);
-  record.bytes = static_cast<std::uint64_t>(std::get<std::int64_t>(row[4]));
-  return record;
+  return instance_from_row(row);
 }
 
-std::vector<InstanceRecord> MetaCatalog::replicas(const std::string& app,
-                                                  const std::string& name,
-                                                  int timestep) const {
+Status MetaCatalog::add_replica(const std::string& app, const std::string& name,
+                                int timestep, Location location) {
   const std::string key = dataset_key(app, name);
-  std::vector<InstanceRecord> out;
-  for (const Row& row : instances_->select([&](const Row& r) {
-         return std::get<std::string>(r[0]) == key &&
-                std::get<std::int64_t>(r[1]) == timestep;
-       })) {
-    InstanceRecord record;
-    record.dataset_key = key;
-    record.timestep = timestep;
-    auto loc = parse_location(std::get<std::string>(row[2]));
-    if (!loc.ok()) continue;
-    record.location = *loc;
-    record.path = std::get<std::string>(row[3]);
-    record.bytes = static_cast<std::uint64_t>(std::get<std::int64_t>(row[4]));
-    out.push_back(std::move(record));
-  }
-  return out;
-}
-
-Status MetaCatalog::remove_instance(const std::string& app,
-                                    const std::string& name, int timestep,
-                                    Location location) {
-  const std::string key = dataset_key(app, name);
-  const std::string loc(location_name(location));
-  auto ids = instances_->find([&](const Row& r) {
-    return std::get<std::string>(r[0]) == key &&
-           std::get<std::int64_t>(r[1]) == timestep &&
-           std::get<std::string>(r[2]) == loc;
-  });
+  auto ids = instance_rowids(key, timestep);
   if (ids.empty()) {
-    return Status::NotFound("no replica of " + key + " at " + loc);
+    return Status::NotFound("no instance of " + key + " at timestep " +
+                            std::to_string(timestep));
   }
-  return instances_->erase(ids.front());
+  MSRA_ASSIGN_OR_RETURN(Row row, instances_->get(ids.front()));
+  InstanceRecord record = instance_from_row(row);
+  if (record.on(location)) return Status::Ok();  // idempotent
+  record.replicas.push_back(location);
+  return instances_->update(ids.front(), instance_to_row(record));
+}
+
+Status MetaCatalog::remove_replica(const std::string& app, const std::string& name,
+                                   int timestep, Location location) {
+  const std::string key = dataset_key(app, name);
+  auto ids = instance_rowids(key, timestep);
+  if (ids.empty()) {
+    return Status::NotFound("no instance of " + key + " at timestep " +
+                            std::to_string(timestep));
+  }
+  MSRA_ASSIGN_OR_RETURN(Row row, instances_->get(ids.front()));
+  InstanceRecord record = instance_from_row(row);
+  auto it = std::find(record.replicas.begin(), record.replicas.end(), location);
+  if (it == record.replicas.end()) {
+    return Status::NotFound("no replica of " + key + " at " +
+                            std::string(location_name(location)));
+  }
+  record.replicas.erase(it);
+  if (record.replicas.empty()) return instances_->erase(ids.front());
+  return instances_->update(ids.front(), instance_to_row(record));
 }
 
 std::vector<InstanceRecord> MetaCatalog::instances(const std::string& app,
@@ -258,15 +367,15 @@ std::vector<InstanceRecord> MetaCatalog::instances(const std::string& app,
   for (const Row& row : instances_->select([&](const Row& r) {
          return std::get<std::string>(r[0]) == key;
        })) {
-    InstanceRecord record;
-    record.dataset_key = key;
-    record.timestep = static_cast<int>(std::get<std::int64_t>(row[1]));
-    auto loc = parse_location(std::get<std::string>(row[2]));
-    if (!loc.ok()) continue;
-    record.location = *loc;
-    record.path = std::get<std::string>(row[3]);
-    record.bytes = static_cast<std::uint64_t>(std::get<std::int64_t>(row[4]));
-    out.push_back(std::move(record));
+    out.push_back(instance_from_row(row));
+  }
+  return out;
+}
+
+std::vector<InstanceRecord> MetaCatalog::all_instances() const {
+  std::vector<InstanceRecord> out;
+  for (const Row& row : instances_->select([](const Row&) { return true; })) {
+    out.push_back(instance_from_row(row));
   }
   return out;
 }

@@ -17,13 +17,21 @@
 
 namespace msra::core {
 
-/// A dumped timestep instance of a dataset.
+/// A dumped timestep instance of a dataset, together with every storage
+/// resource currently holding a live copy. The replica set is ordered:
+/// the first entry is the primary (the location of the original dump);
+/// later entries were added by replication or migration.
 struct InstanceRecord {
   std::string dataset_key;  ///< "app/dataset"
   int timestep = 0;
-  Location location = Location::kRemoteTape;
+  std::vector<Location> replicas;
   std::string path;
   std::uint64_t bytes = 0;
+
+  Location primary() const {
+    return replicas.empty() ? Location::kRemoteTape : replicas.front();
+  }
+  bool on(Location location) const;
 };
 
 /// A registered dataset.
@@ -35,7 +43,14 @@ struct DatasetRecord {
 
 class MetaCatalog {
  public:
-  /// Creates/opens the schema inside `db` (not owned).
+  /// Instance-table persistence format written by this build. Format 1
+  /// (one row per replica, a single `location` column) is upgraded in
+  /// place when an old catalog is opened; see the constructor.
+  static constexpr int kInstanceFormat = 2;
+
+  /// Creates/opens the schema inside `db` (not owned). Old-format catalogs
+  /// are migrated to the current format on open, so a database written by
+  /// any earlier build keeps loading.
   explicit MetaCatalog(meta::Database* db);
 
   // -- applications & users ------------------------------------------------
@@ -58,28 +73,38 @@ class MetaCatalog {
                                  Location resolved);
 
   // -- dumped instances ----------------------------------------------------
-  // A (dataset, timestep) may have several rows differing by location:
-  // replicas. record_instance upserts on (key, timestep, location).
+  // One row per (dataset, timestep) carrying the whole replica set.
+  /// Upserts on (key, timestep): re-dumps replace path/bytes; the record's
+  /// replicas are unioned into the stored set (order preserved).
   Status record_instance(const InstanceRecord& record);
-  /// The primary instance (first recorded) of one timestep.
+  /// One timestep with its full replica set.
   StatusOr<InstanceRecord> instance(const std::string& app,
                                     const std::string& name, int timestep) const;
-  /// Every replica of one timestep.
-  std::vector<InstanceRecord> replicas(const std::string& app,
-                                       const std::string& name,
-                                       int timestep) const;
-  /// All instances of a dataset across timesteps (primaries and replicas).
+  /// Appends one replica location (idempotent). Fails with kNotFound if the
+  /// instance was never dumped.
+  Status add_replica(const std::string& app, const std::string& name,
+                     int timestep, Location location);
+  /// Drops one replica location; removing the last replica erases the whole
+  /// instance row (the dataset no longer exists at that timestep).
+  Status remove_replica(const std::string& app, const std::string& name,
+                        int timestep, Location location);
+  /// All instances of a dataset across timesteps.
   std::vector<InstanceRecord> instances(const std::string& app,
                                         const std::string& name) const;
-  /// Drops one replica row.
-  Status remove_instance(const std::string& app, const std::string& name,
-                         int timestep, Location location);
+  /// Every instance row in the catalog (migration planner, `msractl
+  /// resources`).
+  std::vector<InstanceRecord> all_instances() const;
 
   static std::string dataset_key(const std::string& app, const std::string& name) {
     return app + "/" + name;
   }
+  /// Splits "app/dataset" back into its components (first '/' wins).
+  static std::pair<std::string, std::string> split_key(const std::string& key);
 
  private:
+  std::vector<std::int64_t> instance_rowids(const std::string& key,
+                                            int timestep) const;
+
   meta::Table* users_;
   meta::Table* applications_;
   meta::Table* datasets_;

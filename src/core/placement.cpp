@@ -4,14 +4,33 @@
 
 namespace msra::core {
 
+std::vector<Location> ordered_candidates(Location preferred) {
+  switch (preferred) {
+    case Location::kLocalDisk:
+      return {Location::kLocalDisk, Location::kRemoteDisk,
+              Location::kRemoteTape};
+    case Location::kRemoteDisk:
+      return {Location::kRemoteDisk, Location::kRemoteTape,
+              Location::kLocalDisk};
+    case Location::kAuto:  // AUTO defaults to remote tapes (the paper)
+    case Location::kRemoteTape:
+      return {Location::kRemoteTape, Location::kRemoteDisk,
+              Location::kLocalDisk};
+    case Location::kDisable:
+      break;
+  }
+  return {};
+}
+
 std::vector<Location> PlacementPolicy::failover_chain(Location preferred) {
   switch (preferred) {
     case Location::kLocalDisk:
-      return {Location::kRemoteDisk, Location::kRemoteTape};
     case Location::kRemoteDisk:
-      return {Location::kRemoteTape, Location::kLocalDisk};
-    case Location::kRemoteTape:
-      return {Location::kRemoteDisk, Location::kLocalDisk};
+    case Location::kRemoteTape: {
+      std::vector<Location> out = ordered_candidates(preferred);
+      out.erase(out.begin());  // drop the preferred resource itself
+      return out;
+    }
     case Location::kAuto:
     case Location::kDisable:
       break;
@@ -31,11 +50,7 @@ StatusOr<PlacementDecision> PlacementPolicy::resolve(StorageSystem& system,
                                  ? Location::kRemoteTape
                                  : desc.location;
   const std::uint64_t footprint = desc.footprint_bytes(iterations);
-
-  std::vector<Location> candidates{preferred};
-  for (Location fallback : failover_chain(preferred)) {
-    candidates.push_back(fallback);
-  }
+  const std::vector<Location> candidates = ordered_candidates(preferred);
 
   std::string why;
   for (Location candidate : candidates) {

@@ -19,6 +19,14 @@ struct PlacementDecision {
   std::string reason;        ///< human-readable explanation
 };
 
+/// Every concrete resource a location hint can map to, in preference order:
+/// the preferred resource itself first, then fallbacks (larger-capacity
+/// resources first, then faster ones). kAuto prefers remote tape (the
+/// paper's DEFAULT); kDisable maps to nothing. Shared by the placement
+/// policy, the placement advisor and the migration planner so every layer
+/// agrees on candidate ordering.
+std::vector<Location> ordered_candidates(Location preferred);
+
 class PlacementPolicy {
  public:
   /// Candidate order tried after `preferred` becomes unusable (down/full).

@@ -1,9 +1,12 @@
 #include "core/session.h"
 
+#include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "common/log.h"
 #include "obs/trace.h"
+#include "predict/predictor.h"
 #include "runtime/parallel_io.h"
 #include "runtime/plan.h"
 
@@ -122,13 +125,15 @@ Status DatasetHandle::write_timestep(prt::Comm& comm, int timestep,
     InstanceRecord record;
     record.dataset_key = MetaCatalog::dataset_key(app_, desc_.name);
     record.timestep = timestep;
-    record.location = location_;
+    record.replicas = {location_};
     record.path = path_for(timestep);
     record.bytes = desc_.global_bytes();
     Status meta_status = session_->catalog_.record_instance(record);
     if (!meta_status.ok()) {
       MSRA_LOG(kWarn) << "instance bookkeeping failed: " << meta_status.to_string();
     }
+    session_->system_.access_tracker().record_write(
+        record.dataset_key, record.bytes, comm.timeline().now());
   }
   comm.barrier();  // instance metadata visible to all ranks on return
   return Status::Ok();
@@ -239,34 +244,58 @@ Status DatasetHandle::write_subfiled(prt::Comm& comm, const std::string& base,
   return status;
 }
 
-StatusOr<InstanceRecord> DatasetHandle::locate(int timestep) const {
-  const auto replicas =
-      session_->catalog_.replicas(app_, desc_.name, timestep);
-  if (replicas.empty()) {
-    return Status::NotFound("no instance of " +
-                            MetaCatalog::dataset_key(app_, desc_.name) +
-                            " at timestep " + std::to_string(timestep));
-  }
-  // Prefer the fastest replica whose resource is up.
-  for (Location preferred : kConcreteLocations) {
-    for (const InstanceRecord& record : replicas) {
-      if (record.location == preferred &&
-          session_->system_.endpoint(preferred).available()) {
-        return record;
-      }
+StatusOr<ReplicaChoice> DatasetHandle::locate(int timestep) const {
+  MSRA_ASSIGN_OR_RETURN(
+      InstanceRecord record,
+      session_->catalog_.instance(app_, desc_.name, timestep));
+  std::vector<Location> live;
+  for (Location location : record.replicas) {
+    if (session_->system_.endpoint(location).available()) {
+      live.push_back(location);
     }
   }
-  // Everything is down: return the primary so the caller sees the real error.
-  return replicas.front();
+  if (live.empty()) {
+    // Everything is down: return the primary so the caller sees the real
+    // error.
+    const Location primary = record.primary();
+    return ReplicaChoice{std::move(record), primary};
+  }
+  // With a predictor attached, quote the whole-object read on every live
+  // replica and take the cheapest (free read failover priced by Eq. 1/2).
+  const predict::Predictor* predictor = session_->options_.predictor;
+  if (predictor != nullptr && live.size() > 1) {
+    const runtime::IoPlan plan =
+        runtime::PlanBuilder::object_read(record.path, record.bytes);
+    Location best = live.front();
+    double best_seconds = std::numeric_limits<double>::infinity();
+    bool priced_all = true;
+    for (Location location : live) {
+      auto seconds = predictor->price(plan, location);
+      if (!seconds.ok()) {
+        priced_all = false;  // curves missing: fall back to static order
+        break;
+      }
+      if (*seconds < best_seconds) {
+        best_seconds = *seconds;
+        best = location;
+      }
+    }
+    if (priced_all) return ReplicaChoice{std::move(record), best};
+  }
+  // Static fastest-first order (local disk > remote disk > remote tape).
+  for (Location preferred : kConcreteLocations) {
+    if (std::find(live.begin(), live.end(), preferred) != live.end()) {
+      return ReplicaChoice{std::move(record), preferred};
+    }
+  }
+  const Location fallback = live.front();
+  return ReplicaChoice{std::move(record), fallback};
 }
 
 std::vector<Location> DatasetHandle::replica_locations(int timestep) const {
-  std::vector<Location> out;
-  for (const InstanceRecord& record :
-       session_->catalog_.replicas(app_, desc_.name, timestep)) {
-    out.push_back(record.location);
-  }
-  return out;
+  auto record = session_->catalog_.instance(app_, desc_.name, timestep);
+  if (!record.ok()) return {};
+  return record->replicas;
 }
 
 Status DatasetHandle::replicate_timestep(simkit::Timeline& timeline,
@@ -279,8 +308,8 @@ Status DatasetHandle::replicate_timestep(simkit::Timeline& timeline,
       destination != Location::kRemoteTape) {
     return Status::InvalidArgument("replica destination must be concrete");
   }
-  MSRA_ASSIGN_OR_RETURN(InstanceRecord source, locate(timestep));
-  if (source.location == destination) {
+  MSRA_ASSIGN_OR_RETURN(ReplicaChoice source, locate(timestep));
+  if (source.record.on(destination)) {
     return Status::AlreadyExists("replica already on " +
                                  std::string(location_name(destination)));
   }
@@ -288,7 +317,7 @@ Status DatasetHandle::replicate_timestep(simkit::Timeline& timeline,
   if (!dst.available()) {
     return Status::Unavailable("replica destination is down");
   }
-  if (dst.free_bytes() < source.bytes) {
+  if (dst.free_bytes() < source.record.bytes) {
     return Status::CapacityExceeded("no room for replica on " +
                                     std::string(location_name(destination)));
   }
@@ -308,8 +337,9 @@ Status DatasetHandle::replicate_timestep(simkit::Timeline& timeline,
     };
     srb::SrbClient& client = endpoint->client();
     MSRA_RETURN_IF_ERROR(client.connect(timeline));
-    Status status = client.obj_replicate(timeline, resource_of(source.location),
-                                         source.path, resource_of(destination));
+    Status status = client.obj_replicate(
+        timeline, resource_of(source.location), source.record.path,
+        resource_of(destination));
     Status disc = client.disconnect(timeline);
     MSRA_RETURN_IF_ERROR(status);
     MSRA_RETURN_IF_ERROR(disc);
@@ -317,20 +347,20 @@ Status DatasetHandle::replicate_timestep(simkit::Timeline& timeline,
     // One side is local: stream through the client, one whole-object plan
     // per side.
     runtime::StorageEndpoint& src = session_->system_.endpoint(source.location);
-    std::vector<std::byte> payload(source.bytes);
+    std::vector<std::byte> payload(source.record.bytes);
     obs::TraceRecorder* tracer = &session_->system_.tracer();
     MSRA_RETURN_IF_ERROR(runtime::PlanExecutor::execute(
-        runtime::PlanBuilder::object_read(source.path, source.bytes), src,
-        timeline, payload, {}, tracer));
+        runtime::PlanBuilder::object_read(source.record.path,
+                                          source.record.bytes),
+        src, timeline, payload, {}, tracer));
     MSRA_RETURN_IF_ERROR(runtime::PlanExecutor::execute(
-        runtime::PlanBuilder::object_write(source.path, source.bytes,
+        runtime::PlanBuilder::object_write(source.record.path,
+                                           source.record.bytes,
                                            srb::OpenMode::kOverwrite),
         dst, timeline, {}, payload, tracer));
   }
 
-  InstanceRecord replica = source;
-  replica.location = destination;
-  return session_->catalog_.record_instance(replica);
+  return session_->catalog_.add_replica(app_, desc_.name, timestep, destination);
 }
 
 Status DatasetHandle::read_timestep(prt::Comm& comm, int timestep,
@@ -338,9 +368,14 @@ Status DatasetHandle::read_timestep(prt::Comm& comm, int timestep,
   if (!enabled()) {
     return Status::NotFound("dataset " + desc_.name + " was DISABLEd");
   }
-  MSRA_ASSIGN_OR_RETURN(InstanceRecord record, locate(timestep));
+  MSRA_ASSIGN_OR_RETURN(ReplicaChoice choice, locate(timestep));
+  const InstanceRecord& record = choice.record;
   MSRA_ASSIGN_OR_RETURN(runtime::ArrayLayout lay, layout(comm.size()));
-  runtime::StorageEndpoint& endpoint = session_->system_.endpoint(record.location);
+  runtime::StorageEndpoint& endpoint = session_->system_.endpoint(choice.location);
+  if (comm.rank() == 0) {
+    session_->system_.access_tracker().record_read(
+        record.dataset_key, record.bytes, comm.timeline().now());
+  }
   if (!subfiled(subfile_chunks_)) {
     return runtime::read_array(endpoint, comm, record.path, lay, local,
                                desc_.method,
@@ -399,9 +434,12 @@ StatusOr<std::vector<std::byte>> DatasetHandle::read_whole(
   if (!enabled()) {
     return Status::NotFound("dataset " + desc_.name + " was DISABLEd");
   }
-  MSRA_ASSIGN_OR_RETURN(InstanceRecord record, locate(timestep));
+  MSRA_ASSIGN_OR_RETURN(ReplicaChoice choice, locate(timestep));
+  const InstanceRecord& record = choice.record;
   std::vector<std::byte> out(desc_.global_bytes());
-  runtime::StorageEndpoint& endpoint = session_->system_.endpoint(record.location);
+  runtime::StorageEndpoint& endpoint = session_->system_.endpoint(choice.location);
+  session_->system_.access_tracker().record_read(record.dataset_key,
+                                                 record.bytes, timeline.now());
   if (subfiled(subfile_chunks_)) {
     MSRA_ASSIGN_OR_RETURN(auto sublayout,
                           runtime::SubfileLayout::create(spec(), subfile_chunks_));
@@ -427,8 +465,11 @@ Status DatasetHandle::read_box(simkit::Timeline& timeline, int timestep,
   obs::Span span(&session_->system_.tracer(), timeline,
                  options.trace_label.empty() ? "read_box " + desc_.name
                                              : options.trace_label);
-  MSRA_ASSIGN_OR_RETURN(InstanceRecord record, locate(timestep));
-  runtime::StorageEndpoint& endpoint = session_->system_.endpoint(record.location);
+  MSRA_ASSIGN_OR_RETURN(ReplicaChoice choice, locate(timestep));
+  const InstanceRecord& record = choice.record;
+  runtime::StorageEndpoint& endpoint = session_->system_.endpoint(choice.location);
+  session_->system_.access_tracker().record_read(record.dataset_key, out.size(),
+                                                 timeline.now());
 
   // Per-call pipelining override: ReadOptions::streams wins over the
   // handle default (OpenOptions::streams); 0 everywhere leaves the

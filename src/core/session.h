@@ -27,9 +27,20 @@
 #include "runtime/sieve.h"
 #include "runtime/subfile.h"
 
+namespace msra::predict {
+class Predictor;
+}
+
 namespace msra::core {
 
 class Session;
+
+/// The replica a read resolved to: the catalog row plus the concrete
+/// location chosen among its live replicas.
+struct ReplicaChoice {
+  InstanceRecord record;
+  Location location = Location::kRemoteTape;
+};
 
 /// Per-dataset handle. Producer calls are collective (every rank of the
 /// Comm participates); consumer helpers are serial and run on the caller's
@@ -107,10 +118,12 @@ class DatasetHandle {
   Status write_subfiled(prt::Comm& comm, const std::string& base,
                         std::span<const std::byte> local);
 
-  /// Instance lookup for reads: picks the fastest *available* replica
-  /// (local disk > remote disk > remote tape), falling back to the primary
-  /// record (consumers may open after a failover moved the data).
-  StatusOr<InstanceRecord> locate(int timestep) const;
+  /// Instance lookup for reads: picks the cheapest *available* replica —
+  /// by predictor quote over the whole-object read plan when the session
+  /// has a predictor attached, by static speed order (local disk > remote
+  /// disk > remote tape) otherwise — falling back to the primary record
+  /// (consumers may open after a failover moved the data).
+  StatusOr<ReplicaChoice> locate(int timestep) const;
 
   Session* session_;
   std::string app_;  ///< producer application owning the stored objects
@@ -129,6 +142,10 @@ struct SessionOptions {
   std::string affiliation = "nwu";
   int nprocs = 1;
   int iterations = 1;
+  /// Optional (not owned, must outlive the session): replica selection on
+  /// reads quotes each live replica with this predictor and takes the
+  /// cheapest, instead of the static speed order.
+  const predict::Predictor* predictor = nullptr;
 };
 
 class Session {

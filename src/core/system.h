@@ -13,6 +13,7 @@
 
 #include "core/profiles.h"
 #include "meta/database.h"
+#include "migrate/tracker.h"
 #include "net/link.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -69,6 +70,11 @@ class StorageSystem {
   obs::TraceRecorder& tracer() { return tracer_; }
   const obs::TraceRecorder& tracer() const { return tracer_; }
 
+  /// Per-dataset access heat, fed by sessions and consumed by the
+  /// migration planner. Recording is time-free (counters only).
+  migrate::AccessTracker& access_tracker() { return access_tracker_; }
+  const migrate::AccessTracker& access_tracker() const { return access_tracker_; }
+
   /// The local metadata database (the paper's Postgres).
   meta::Database& metadb() { return *metadb_; }
 
@@ -105,6 +111,7 @@ class StorageSystem {
   // endpoints can bind to the registry during construction.
   obs::MetricsRegistry metrics_;
   obs::TraceRecorder tracer_;
+  migrate::AccessTracker access_tracker_{&metrics_};
 
   // Physical layer (MemObjectStore by default, FileObjectStore when rooted).
   std::unique_ptr<store::ObjectStore> local_store_;

@@ -1,0 +1,261 @@
+#include "migrate/planner.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "core/placement.h"
+#include "migrate/tracker.h"
+#include "runtime/plan.h"
+
+namespace msra::migrate {
+
+std::string_view migration_kind_name(MigrationKind kind) {
+  switch (kind) {
+    case MigrationKind::kPromote: return "promote";
+    case MigrationKind::kDemote: return "demote";
+    case MigrationKind::kEvict: return "evict";
+  }
+  return "?";
+}
+
+std::string MigrationStep::label() const {
+  std::string out(migration_kind_name(kind));
+  out += " " + app + "/" + name + " t" + std::to_string(timestep) + " " +
+         std::string(core::location_name(from));
+  if (kind != MigrationKind::kEvict) {
+    out += "->" + std::string(core::location_name(to));
+  }
+  return out;
+}
+
+MigrationPlanner::MigrationPlanner(core::StorageSystem& system,
+                                   const predict::Predictor& predictor,
+                                   MigrationConfig config)
+    : system_(system),
+      predictor_(predictor),
+      config_(config),
+      catalog_(&system.metadb()) {}
+
+StatusOr<double> MigrationPlanner::price_step(const MigrationStep& step) const {
+  if (step.kind == MigrationKind::kEvict) return 0.0;  // metadata-only
+  MSRA_ASSIGN_OR_RETURN(
+      double read_seconds,
+      predictor_.price(runtime::PlanBuilder::object_read(step.path, step.bytes),
+                       step.from));
+  MSRA_ASSIGN_OR_RETURN(
+      double write_seconds,
+      predictor_.price(runtime::PlanBuilder::object_write(
+                           step.path, step.bytes, srb::OpenMode::kOverwrite),
+                       step.to));
+  return read_seconds + write_seconds;
+}
+
+StatusOr<std::pair<core::Location, double>> MigrationPlanner::cheapest_live_read(
+    const core::InstanceRecord& record) const {
+  core::Location where = core::Location::kRemoteTape;
+  double best = std::numeric_limits<double>::infinity();
+  const runtime::IoPlan plan =
+      runtime::PlanBuilder::object_read(record.path, record.bytes);
+  for (core::Location location : record.replicas) {
+    if (!system_.endpoint(location).available()) continue;
+    MSRA_ASSIGN_OR_RETURN(double seconds, predictor_.price(plan, location));
+    if (seconds < best) {
+      best = seconds;
+      where = location;
+    }
+  }
+  if (best == std::numeric_limits<double>::infinity()) {
+    return Status::Unavailable("no live replica of " + record.dataset_key);
+  }
+  return std::make_pair(where, best);
+}
+
+StatusOr<MigrationPlan> MigrationPlanner::plan() {
+  MigrationPlan out;
+  if (!config_.enabled) return out;
+
+  const std::vector<core::InstanceRecord> all = catalog_.all_instances();
+
+  // Per-dataset instance counts: heat is pooled per dataset, so one
+  // timestep's expected future reads are its per-instance share.
+  std::map<std::string, std::uint64_t> instance_count;
+  for (const auto& record : all) ++instance_count[record.dataset_key];
+
+  std::uint64_t batch_budget = config_.max_batch_bytes > 0
+                                   ? config_.max_batch_bytes
+                                   : std::numeric_limits<std::uint64_t>::max();
+
+  // Promotion reservations come out of the *current* free space; bytes a
+  // demotion will free only become usable in the next planning round (the
+  // engine runs steps concurrently, so same-round ordering is not
+  // guaranteed).
+  std::map<core::Location, std::uint64_t> reserved;
+
+  auto append = [&](MigrationStep step) {
+    out.predicted_cost += step.cost;
+    out.predicted_benefit += step.benefit;
+    if (step.kind != MigrationKind::kEvict) {
+      out.total_bytes += step.bytes;
+      batch_budget -= std::min(batch_budget, step.bytes);
+    }
+    out.steps.push_back(std::move(step));
+  };
+
+  // ---- pressure pass: demote/evict the coldest residents -----------------
+  AccessTracker& tracker = system_.access_tracker();
+  for (core::Location pressured :
+       {core::Location::kLocalDisk, core::Location::kRemoteDisk}) {
+    runtime::StorageEndpoint& endpoint = system_.endpoint(pressured);
+    if (!endpoint.available()) continue;
+    const std::uint64_t capacity = endpoint.capacity();
+    if (capacity == 0) continue;
+    const std::uint64_t used = endpoint.used();
+    if (static_cast<double>(used) <=
+        config_.pressure_watermark * static_cast<double>(capacity)) {
+      continue;
+    }
+    const auto target = static_cast<std::uint64_t>(
+        config_.target_watermark * static_cast<double>(capacity));
+    std::uint64_t to_free = used > target ? used - target : 0;
+
+    // Coldest first: fewest reads, then oldest touch, then biggest payload
+    // (fewer moves), then a stable name/timestep key for determinism.
+    std::vector<const core::InstanceRecord*> residents;
+    for (const auto& record : all) {
+      if (record.on(pressured)) residents.push_back(&record);
+    }
+    std::stable_sort(residents.begin(), residents.end(),
+                     [&](const core::InstanceRecord* a,
+                         const core::InstanceRecord* b) {
+                       const DatasetHeat ha = tracker.heat(a->dataset_key);
+                       const DatasetHeat hb = tracker.heat(b->dataset_key);
+                       if (ha.reads != hb.reads) return ha.reads < hb.reads;
+                       if (ha.last_touch != hb.last_touch) {
+                         return ha.last_touch < hb.last_touch;
+                       }
+                       if (a->bytes != b->bytes) return a->bytes > b->bytes;
+                       if (a->dataset_key != b->dataset_key) {
+                         return a->dataset_key < b->dataset_key;
+                       }
+                       return a->timestep < b->timestep;
+                     });
+
+    for (const core::InstanceRecord* record : residents) {
+      if (to_free == 0) break;
+      const auto [app, name] = core::MetaCatalog::split_key(record->dataset_key);
+
+      // Another live replica elsewhere: the pressured copy is redundant.
+      bool other_live = false;
+      for (core::Location location : record->replicas) {
+        if (location != pressured && system_.endpoint(location).available()) {
+          other_live = true;
+          break;
+        }
+      }
+      MigrationStep step;
+      step.app = app;
+      step.name = name;
+      step.timestep = record->timestep;
+      step.from = pressured;
+      step.path = record->path;
+      step.bytes = record->bytes;
+      if (other_live) {
+        step.kind = MigrationKind::kEvict;
+        step.to = pressured;
+        step.drop_source = true;
+      } else {
+        // Copy to the archive first, then drop (copy-then-commit-then-drop:
+        // the instance never goes missing).
+        runtime::StorageEndpoint& tape =
+            system_.endpoint(core::Location::kRemoteTape);
+        if (!tape.available() || record->on(core::Location::kRemoteTape) ||
+            tape.free_bytes() < record->bytes ||
+            record->bytes > batch_budget) {
+          continue;
+        }
+        step.kind = MigrationKind::kDemote;
+        step.to = core::Location::kRemoteTape;
+        step.drop_source = true;
+        MSRA_ASSIGN_OR_RETURN(step.cost, price_step(step));
+      }
+      to_free -= std::min(to_free, record->bytes);
+      append(std::move(step));
+    }
+  }
+
+  // ---- promotion pass: hot data stuck on slow media ----------------------
+  struct Candidate {
+    MigrationStep step;
+    double net = 0.0;
+  };
+  std::vector<Candidate> promotions;
+  for (const auto& record : all) {
+    const DatasetHeat heat = tracker.heat(record.dataset_key);
+    if (heat.reads < config_.hot_reads) continue;
+    const double reads_share =
+        static_cast<double>(heat.reads) /
+        static_cast<double>(instance_count[record.dataset_key]);
+    auto current = cheapest_live_read(record);
+    if (!current.ok()) continue;  // nothing live: failover's problem, not ours
+    const auto [current_location, current_seconds] = *current;
+
+    // Fastest-first destinations, from the same ordered-candidates helper
+    // the placement policy and the advisor use.
+    Candidate best;
+    bool found = false;
+    for (core::Location destination :
+         core::ordered_candidates(core::Location::kLocalDisk)) {
+      if (record.on(destination)) continue;
+      runtime::StorageEndpoint& endpoint = system_.endpoint(destination);
+      if (!endpoint.available()) continue;
+      const std::uint64_t reserve = reserved[destination];
+      if (endpoint.free_bytes() < reserve + record.bytes) continue;
+      MSRA_ASSIGN_OR_RETURN(
+          double dest_read,
+          predictor_.price(
+              runtime::PlanBuilder::object_read(record.path, record.bytes),
+              destination));
+      if (dest_read >= current_seconds) continue;  // not faster than today
+
+      const auto [app, name] = core::MetaCatalog::split_key(record.dataset_key);
+      MigrationStep step;
+      step.kind = MigrationKind::kPromote;
+      step.app = app;
+      step.name = name;
+      step.timestep = record.timestep;
+      step.from = current_location;  // read the copy from the cheapest replica
+      step.to = destination;
+      step.path = record.path;
+      step.bytes = record.bytes;
+      step.drop_source = false;
+      step.benefit = reads_share * (current_seconds - dest_read);
+      MSRA_ASSIGN_OR_RETURN(step.cost, price_step(step));
+      const double net = step.benefit - step.cost;
+      if (net <= 0.0) continue;  // the copy costs more than it ever saves
+      if (!found || net > best.net) {
+        best = Candidate{std::move(step), net};
+        found = true;
+      }
+    }
+    if (found) promotions.push_back(std::move(best));
+  }
+
+  // Biggest net saving first; deterministic tie-break.
+  std::stable_sort(promotions.begin(), promotions.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     if (a.net != b.net) return a.net > b.net;
+                     if (a.step.bytes != b.step.bytes) {
+                       return a.step.bytes > b.step.bytes;
+                     }
+                     return a.step.timestep < b.step.timestep;
+                   });
+  for (auto& candidate : promotions) {
+    if (candidate.step.bytes > batch_budget) continue;
+    reserved[candidate.step.to] += candidate.step.bytes;
+    append(std::move(candidate.step));
+  }
+  return out;
+}
+
+}  // namespace msra::migrate

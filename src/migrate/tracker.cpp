@@ -1,0 +1,71 @@
+#include "migrate/tracker.h"
+
+#include <algorithm>
+
+namespace msra::migrate {
+
+AccessTracker::AccessTracker(obs::MetricsRegistry* metrics) {
+  if (metrics != nullptr) {
+    reads_ = metrics->counter("migrate.tracker.reads");
+    writes_ = metrics->counter("migrate.tracker.writes");
+    datasets_ = metrics->gauge("migrate.tracker.datasets");
+  }
+}
+
+void AccessTracker::touch_locked(const std::string&) {
+  if (datasets_ != nullptr) datasets_->set(static_cast<double>(heat_.size()));
+}
+
+void AccessTracker::record_read(const std::string& dataset_key,
+                                std::uint64_t bytes, double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DatasetHeat& heat = heat_[dataset_key];
+  ++heat.reads;
+  heat.read_bytes += bytes;
+  heat.last_touch = std::max(heat.last_touch, now);
+  if (reads_ != nullptr) reads_->increment();
+  touch_locked(dataset_key);
+}
+
+void AccessTracker::record_write(const std::string& dataset_key,
+                                 std::uint64_t bytes, double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DatasetHeat& heat = heat_[dataset_key];
+  ++heat.writes;
+  heat.write_bytes += bytes;
+  heat.last_touch = std::max(heat.last_touch, now);
+  if (writes_ != nullptr) writes_->increment();
+  touch_locked(dataset_key);
+}
+
+DatasetHeat AccessTracker::heat(const std::string& dataset_key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = heat_.find(dataset_key);
+  return it == heat_.end() ? DatasetHeat{} : it->second;
+}
+
+std::vector<std::pair<std::string, DatasetHeat>> AccessTracker::hottest() const {
+  std::vector<std::pair<std::string, DatasetHeat>> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.assign(heat_.begin(), heat_.end());
+  }
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second.reads != b.second.reads) return a.second.reads > b.second.reads;
+    return a.second.read_bytes > b.second.read_bytes;
+  });
+  return out;
+}
+
+std::size_t AccessTracker::tracked() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return heat_.size();
+}
+
+void AccessTracker::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  heat_.clear();
+  if (datasets_ != nullptr) datasets_->set(0.0);
+}
+
+}  // namespace msra::migrate

@@ -1,0 +1,67 @@
+// AccessTracker: per-dataset access heat, fed from the session read/write
+// paths and consumed by the migration planner.
+//
+// The paper's future-work direction ("the system can automatically decide
+// which storage resources should be used according to the capacity and
+// performance of each storage resource") needs an observed signal: which
+// datasets are hot *now*. The tracker keeps cheap counters only — no
+// virtual time is charged for recording — so it can stay always-on without
+// perturbing the simulated experiments.
+//
+// Deliberately core-free (std + obs only): core::StorageSystem owns one
+// tracker while src/migrate/'s planner and engine depend on core, so this
+// header must not close that cycle.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace msra::migrate {
+
+/// Heat of one dataset ("app/dataset" key), all timesteps pooled.
+struct DatasetHeat {
+  std::uint64_t reads = 0;        ///< logical read operations
+  std::uint64_t writes = 0;       ///< logical dump operations
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+  double last_touch = 0.0;        ///< virtual time of the latest access
+};
+
+class AccessTracker {
+ public:
+  /// `metrics` (may be null) receives mirror instruments:
+  /// `migrate.tracker.reads` / `.writes` counters and a
+  /// `migrate.tracker.datasets` gauge.
+  explicit AccessTracker(obs::MetricsRegistry* metrics = nullptr);
+
+  void record_read(const std::string& dataset_key, std::uint64_t bytes,
+                   double now);
+  void record_write(const std::string& dataset_key, std::uint64_t bytes,
+                    double now);
+
+  /// Heat of one dataset (zeroes if never touched).
+  DatasetHeat heat(const std::string& dataset_key) const;
+
+  /// Every tracked dataset, hottest first (by read count, then read bytes).
+  std::vector<std::pair<std::string, DatasetHeat>> hottest() const;
+
+  std::size_t tracked() const;
+  void clear();
+
+ private:
+  void touch_locked(const std::string& dataset_key);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, DatasetHeat> heat_;
+  obs::Counter* reads_ = nullptr;
+  obs::Counter* writes_ = nullptr;
+  obs::Gauge* datasets_ = nullptr;
+};
+
+}  // namespace msra::migrate

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/placement.h"
+
 namespace msra::predict {
 
 StatusOr<std::vector<PlacementQuote>> PlacementAdvisor::quotes(
@@ -10,7 +12,7 @@ StatusOr<std::vector<PlacementQuote>> PlacementAdvisor::quotes(
     double read_passes) const {
   std::vector<PlacementQuote> out;
   const std::uint64_t footprint = desc.footprint_bytes(iterations);
-  for (core::Location location : core::kConcreteLocations) {
+  for (core::Location location : core::ordered_candidates(core::Location::kAuto)) {
     runtime::StorageEndpoint& endpoint = system_.endpoint(location);
     if (!endpoint.available() || endpoint.free_bytes() < footprint) continue;
     PlacementQuote quote;

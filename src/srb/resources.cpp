@@ -58,6 +58,14 @@ DiskResource::DiskResource(std::string name, StorageKind kind,
 StatusOr<HandleId> DiskResource::open(simkit::Timeline& timeline,
                                       const std::string& path, OpenMode mode) {
   MSRA_RETURN_IF_ERROR(check_available());
+  {
+    // A pending-remove path is already unlinked: the name is gone even
+    // though open handles keep the bytes alive.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pending_remove_.count(path) != 0) {
+      return Status::NotFound("no object: " + path);
+    }
+  }
   switch (mode) {
     case OpenMode::kRead:
       if (!store_->exists(path)) return Status::NotFound("no object: " + path);
@@ -152,7 +160,22 @@ Status DiskResource::close(simkit::Timeline& timeline, HandleId handle) {
   arm_.acquire(timeline, it->second.mode == OpenMode::kRead
                              ? model_.close_read
                              : model_.close_write);
+  const std::string path = it->second.path;
   handles_.erase(it);
+  // Last close of an unlinked object: reclaim the bytes now.
+  if (pending_remove_.count(path) != 0) {
+    bool still_open = false;
+    for (const auto& [id, file] : handles_) {
+      if (file.path == path) {
+        still_open = true;
+        break;
+      }
+    }
+    if (!still_open) {
+      pending_remove_.erase(path);
+      return store_->remove(path);
+    }
+  }
   return Status::Ok();
 }
 
@@ -199,6 +222,16 @@ Status DiskResource::readv(simkit::Timeline& timeline, HandleId handle,
 
 Status DiskResource::remove(const std::string& path) {
   MSRA_RETURN_IF_ERROR(check_available());
+  std::lock_guard<std::mutex> lock(mutex_);
+  // POSIX-style deferred unlink: while a handle is open on the path, only
+  // mark the name gone; the bytes go when the last handle closes.
+  for (const auto& [id, file] : handles_) {
+    if (file.path == path) {
+      pending_remove_.insert(path);
+      return Status::Ok();
+    }
+  }
+  pending_remove_.erase(path);
   return store_->remove(path);
 }
 
@@ -220,6 +253,12 @@ TapeResource::TapeResource(std::string name, tape::BitfileBackend* backend)
 StatusOr<HandleId> TapeResource::open(simkit::Timeline& timeline,
                                       const std::string& path, OpenMode mode) {
   MSRA_RETURN_IF_ERROR(check_available());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pending_remove_.count(path) != 0) {
+      return Status::NotFound("no bitfile: " + path);
+    }
+  }
   switch (mode) {
     case OpenMode::kRead:
       if (!library_->exists(path)) return Status::NotFound("no bitfile: " + path);
@@ -309,7 +348,21 @@ Status TapeResource::close(simkit::Timeline& timeline, HandleId handle) {
   if (it == handles_.end()) return Status::InvalidArgument("bad handle");
   timeline.advance(
       library_->close_cost(it->second.mode != OpenMode::kRead));
+  const std::string path = it->second.path;
   handles_.erase(it);
+  if (pending_remove_.count(path) != 0) {
+    bool still_open = false;
+    for (const auto& [id, file] : handles_) {
+      if (file.path == path) {
+        still_open = true;
+        break;
+      }
+    }
+    if (!still_open) {
+      pending_remove_.erase(path);
+      return library_->remove(path);
+    }
+  }
   return Status::Ok();
 }
 
@@ -323,6 +376,14 @@ StatusOr<std::uint64_t> TapeResource::tell(HandleId handle) const {
 
 Status TapeResource::remove(const std::string& path) {
   MSRA_RETURN_IF_ERROR(check_available());
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [id, file] : handles_) {
+    if (file.path == path) {
+      pending_remove_.insert(path);
+      return Status::Ok();
+    }
+  }
+  pending_remove_.erase(path);
   return library_->remove(path);
 }
 

@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -86,6 +87,9 @@ class ServerResource {
     return Status::Unimplemented("tell not supported by " + std::string(name()));
   }
 
+  /// Unlinks an object. POSIX semantics: if any handle is still open on the
+  /// path, the name disappears immediately (new opens fail NotFound) but the
+  /// bytes survive until the last handle closes.
   virtual Status remove(const std::string& path) = 0;
   virtual StatusOr<std::uint64_t> size(const std::string& path) const = 0;
   virtual std::vector<store::ObjectInfo> list(const std::string& prefix) const = 0;
@@ -163,6 +167,7 @@ class DiskResource final : public ServerResource {
   simkit::Resource arm_;
   mutable std::mutex mutex_;
   std::map<HandleId, OpenFile> handles_;
+  std::set<std::string> pending_remove_;  ///< unlinked, but handles still open
   HandleId next_handle_ = 1;
 };
 
@@ -205,6 +210,7 @@ class TapeResource final : public ServerResource {
   tape::BitfileBackend* library_;
   mutable std::mutex mutex_;
   std::map<HandleId, OpenFile> handles_;
+  std::set<std::string> pending_remove_;  ///< unlinked, but handles still open
   HandleId next_handle_ = 1;
 };
 

@@ -25,6 +25,7 @@
 #include "apps/volren/volren.h"
 #include "argparse.h"
 #include "common/bytes.h"
+#include "migrate/engine.h"
 #include "obs/report.h"
 #include "predict/advisor.h"
 #include "predict/ptool.h"
@@ -48,6 +49,12 @@ int usage() {
                "  replicate copy a dumped timestep to another resource (--to)\n"
                "  histogram value histogram of a float dataset timestep\n"
                "  catalog   list registered datasets and dumped instances\n"
+               "  resources per-resource capacity, usage, state and replica\n"
+               "            counts (--json)\n"
+               "  migrate   predictor-priced migration engine:\n"
+               "            migrate plan|run|watch [--hot name[=reads]]\n"
+               "            [--throttle-mb N] [--batch-mb N] [--rounds N]\n"
+               "            [--json]\n"
                "  stats     probe every resource and print the Eq. 1 telemetry\n"
                "            breakdown (--size-mb N, --json FILE)\n");
   return 2;
@@ -502,6 +509,256 @@ int cmd_catalog(const Args& args) {
   return 0;
 }
 
+// Per-resource capacity, usage, availability and replica census — the
+// operator's view the planner prices against.
+int cmd_resources(const Args& args) {
+  Env env(args);
+  core::StorageSystem& system = *env.system;
+  core::MetaCatalog catalog(&system.metadb());
+
+  std::map<core::Location, std::uint64_t> replica_count;
+  for (const auto& record : catalog.all_instances()) {
+    for (core::Location location : record.replicas) ++replica_count[location];
+  }
+
+  if (args.has("json")) {
+    std::string json = "{\"resources\":[";
+    char buf[256];
+    bool first = true;
+    for (core::Location location : core::kConcreteLocations) {
+      runtime::StorageEndpoint& endpoint = system.endpoint(location);
+      const bool bounded = endpoint.capacity() != UINT64_MAX;
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"name\":\"%s\",\"up\":%s,\"capacity\":%lld,"
+                    "\"used\":%llu,\"free\":%lld,\"replicas\":%llu}",
+                    first ? "" : ",", core::location_name(location).data(),
+                    endpoint.available() ? "true" : "false",
+                    bounded ? static_cast<long long>(endpoint.capacity()) : -1,
+                    static_cast<unsigned long long>(endpoint.used()),
+                    bounded ? static_cast<long long>(endpoint.free_bytes()) : -1,
+                    static_cast<unsigned long long>(replica_count[location]));
+      json += buf;
+      first = false;
+    }
+    json += "]}";
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+
+  std::printf("%-12s %-6s %12s %12s %12s %9s\n", "RESOURCE", "STATE",
+              "CAPACITY", "USED", "FREE", "REPLICAS");
+  for (core::Location location : core::kConcreteLocations) {
+    runtime::StorageEndpoint& endpoint = system.endpoint(location);
+    const bool bounded = endpoint.capacity() != UINT64_MAX;
+    std::printf("%-12s %-6s %12s %12s %12s %9llu\n",
+                core::location_name(location).data(),
+                endpoint.available() ? "up" : "DOWN",
+                bounded ? format_bytes(endpoint.capacity()).c_str() : "-",
+                format_bytes(endpoint.used()).c_str(),
+                bounded ? format_bytes(endpoint.free_bytes()).c_str() : "-",
+                static_cast<unsigned long long>(replica_count[location]));
+  }
+  return 0;
+}
+
+migrate::MigrationConfig migrate_config_from(const Args& args) {
+  migrate::MigrationConfig config;
+  config.enabled = true;  // the CLI *is* the explicit opt-in
+  config.throttle_bytes_per_sec =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(
+          0, args.get_int("throttle-mb", 0)))
+      << 20;
+  config.max_batch_bytes = static_cast<std::uint64_t>(std::max<std::int64_t>(
+                               0, args.get_int("batch-mb", 0)))
+                           << 20;
+  config.hot_reads =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(
+          0, args.get_int("hot-reads", 2)));
+  if (args.has("pressure")) config.pressure_watermark = std::stod(args.get("pressure"));
+  if (args.has("target")) config.target_watermark = std::stod(args.get("target"));
+  config.workers = static_cast<int>(args.get_int("workers", 2));
+  return config;
+}
+
+// The AccessTracker is in-process, so a fresh CLI process starts cold.
+// --hot name[=reads] (repeatable) synthesizes read heat for a dataset so
+// planning decisions are reproducible from the shell.
+void seed_heat(core::StorageSystem& system, core::MetaCatalog& catalog,
+               const Args& args) {
+  for (const std::string& spec : args.get_all("hot")) {
+    std::string name = spec;
+    std::uint64_t reads = 4;
+    if (const auto eq = spec.find('='); eq != std::string::npos) {
+      name = spec.substr(0, eq);
+      reads = static_cast<std::uint64_t>(std::stoll(spec.substr(eq + 1)));
+    }
+    bool matched = false;
+    for (const auto& record : catalog.all_instances()) {
+      const auto [app, dataset] = core::MetaCatalog::split_key(record.dataset_key);
+      if (dataset != name && record.dataset_key != name) continue;
+      matched = true;
+      for (std::uint64_t i = 0; i < reads; ++i) {
+        system.access_tracker().record_read(record.dataset_key, record.bytes,
+                                            0.0);
+      }
+    }
+    if (!matched) {
+      std::fprintf(stderr, "msractl: --hot %s matches no dumped instance\n",
+                   name.c_str());
+    }
+  }
+}
+
+std::string migration_step_json(const migrate::MigrationStep& step) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"kind\":\"%s\",\"dataset\":\"%s/%s\",\"timestep\":%d,"
+                "\"from\":\"%s\",\"to\":\"%s\",\"bytes\":%llu,"
+                "\"drop_source\":%s,\"benefit\":%.9g,\"cost\":%.9g}",
+                migrate::migration_kind_name(step.kind).data(),
+                step.app.c_str(), step.name.c_str(), step.timestep,
+                core::location_name(step.from).data(),
+                core::location_name(step.to).data(),
+                static_cast<unsigned long long>(step.bytes),
+                step.drop_source ? "true" : "false", step.benefit, step.cost);
+  return buf;
+}
+
+void print_plan(const migrate::MigrationPlan& plan) {
+  std::printf("%-8s %-20s %5s %-26s %10s %10s %10s\n", "KIND", "DATASET", "T",
+              "MOVE", "BYTES", "BENEFIT", "COST");
+  for (const auto& step : plan.steps) {
+    char move[64];
+    if (step.kind == migrate::MigrationKind::kEvict) {
+      std::snprintf(move, sizeof(move), "drop @%s",
+                    core::location_name(step.from).data());
+    } else {
+      std::snprintf(move, sizeof(move), "%s -> %s",
+                    core::location_name(step.from).data(),
+                    core::location_name(step.to).data());
+    }
+    std::printf("%-8s %-20s %5d %-26s %10s %9.3fs %9.3fs\n",
+                migrate::migration_kind_name(step.kind).data(),
+                (step.app + "/" + step.name).c_str(), step.timestep, move,
+                format_bytes(step.bytes).c_str(), step.benefit, step.cost);
+  }
+  std::printf("%zu step(s), %s payload, predicted benefit %.3f s, "
+              "predicted cost %.3f s\n",
+              plan.steps.size(), format_bytes(plan.total_bytes).c_str(),
+              plan.predicted_benefit, plan.predicted_cost);
+}
+
+void print_report(const migrate::MigrationReport& report) {
+  for (const auto& outcome : report.outcomes) {
+    if (outcome.status.ok()) {
+      std::printf("  ok   %-52s priced %8.3fs executed %8.3fs",
+                  outcome.step.label().c_str(), outcome.priced_cost,
+                  outcome.executed_seconds);
+      if (outcome.throttle_wait > 0.0) {
+        std::printf(" (throttled +%.3fs)", outcome.throttle_wait);
+      }
+      std::printf("\n");
+    } else {
+      std::printf("  FAIL %-52s %s\n", outcome.step.label().c_str(),
+                  outcome.status.to_string().c_str());
+    }
+  }
+  std::printf("moved %s, dropped %llu source replica(s), "
+              "executed %.3f simulated s, %zu failure(s)\n",
+              format_bytes(report.moved_bytes).c_str(),
+              static_cast<unsigned long long>(report.dropped_replicas),
+              report.executed_seconds, report.failures());
+}
+
+std::string migration_report_json(const migrate::MigrationReport& report) {
+  std::string json = "{\"outcomes\":[";
+  char buf[256];
+  for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+    const auto& outcome = report.outcomes[i];
+    if (i > 0) json += ",";
+    json += "{\"step\":" + migration_step_json(outcome.step);
+    std::snprintf(buf, sizeof(buf),
+                  ",\"ok\":%s,\"priced_cost\":%.9g,\"executed_seconds\":%.9g,"
+                  "\"throttle_wait\":%.9g}",
+                  outcome.status.ok() ? "true" : "false", outcome.priced_cost,
+                  outcome.executed_seconds, outcome.throttle_wait);
+    json += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "],\"moved_bytes\":%llu,\"dropped_replicas\":%llu,"
+                "\"executed_seconds\":%.9g,\"failures\":%zu}",
+                static_cast<unsigned long long>(report.moved_bytes),
+                static_cast<unsigned long long>(report.dropped_replicas),
+                report.executed_seconds, report.failures());
+  json += buf;
+  return json;
+}
+
+int cmd_migrate(const Args& args) {
+  const std::string verb =
+      args.positional().empty() ? "plan" : args.positional().front();
+  if (verb != "plan" && verb != "run" && verb != "watch") {
+    std::fprintf(stderr, "usage: msractl migrate plan|run|watch [options]\n");
+    return 2;
+  }
+  Env env(args);
+  core::MetaCatalog catalog(&env.system->metadb());
+  seed_heat(*env.system, catalog, args);
+  predict::Predictor predictor(env.perfdb.get());
+  migrate::MigrationEngine engine(*env.system, predictor,
+                                  migrate_config_from(args));
+
+  if (verb == "plan") {
+    auto plan = die_on_error(engine.planner().plan(),
+                             "migration planning (run `msractl ptool` first?)");
+    if (args.has("json")) {
+      std::string json = "{\"steps\":[";
+      for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+        if (i > 0) json += ",";
+        json += migration_step_json(plan.steps[i]);
+      }
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "],\"total_bytes\":%llu,\"predicted_benefit\":%.9g,"
+                    "\"predicted_cost\":%.9g}",
+                    static_cast<unsigned long long>(plan.total_bytes),
+                    plan.predicted_benefit, plan.predicted_cost);
+      json += buf;
+      std::printf("%s\n", json.c_str());
+    } else {
+      print_plan(plan);
+    }
+    return 0;
+  }
+
+  if (verb == "run") {
+    auto report = die_on_error(engine.run_once(),
+                               "migration (run `msractl ptool` first?)");
+    if (args.has("json")) {
+      std::printf("%s\n", migration_report_json(report).c_str());
+    } else {
+      print_report(report);
+    }
+    return report.ok() ? 0 : 1;
+  }
+
+  // watch: run rounds until the planner finds nothing more to do.
+  const int rounds = static_cast<int>(args.get_int("rounds", 10));
+  int failures = 0;
+  for (int round = 1; round <= rounds; ++round) {
+    auto report = die_on_error(engine.run_once(),
+                               "migration (run `msractl ptool` first?)");
+    if (report.outcomes.empty()) {
+      std::printf("round %d: catalog stable, nothing to migrate\n", round);
+      break;
+    }
+    std::printf("round %d:\n", round);
+    print_report(report);
+    failures += static_cast<int>(report.failures());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 // Runs a deterministic probe (write, then seek + read half) against every
 // available resource through the instrumented endpoints, then prints the
 // Eq. (1) component breakdown. Every simulated second of the probe is
@@ -600,6 +857,8 @@ int run_command(int argc, char** argv) {
   if (command == "replicate") return cmd_replicate(args);
   if (command == "histogram") return cmd_histogram(args);
   if (command == "catalog") return cmd_catalog(args);
+  if (command == "resources") return cmd_resources(args);
+  if (command == "migrate") return cmd_migrate(args);
   if (command == "stats") return cmd_stats(args);
   return usage();
 }
