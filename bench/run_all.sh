@@ -31,6 +31,7 @@ run bench_fig7_remotedisk fig7
 run bench_fig8_remotetape fig8
 run bench_fig9_astro3d    fig9
 run bench_migration       migration
+run bench_contention      contention
 
 echo "Summaries:"
 ls -l "${OUT_DIR}"/BENCH_*.json
@@ -43,7 +44,7 @@ ls -l "${OUT_DIR}"/BENCH_*.json
 if [[ "${MSRA_FULL_SCALE:-0}" != "1" ]]; then
   BASELINE_DIR="$(dirname "$0")/baselines"
   drift=0
-  for fig in fig6 fig7 fig8 fig9 migration; do
+  for fig in fig6 fig7 fig8 fig9 migration contention; do
     if ! diff -u "${BASELINE_DIR}/BENCH_${fig}.json" \
                  "${OUT_DIR}/BENCH_${fig}.json"; then
       echo "PARITY DRIFT: ${fig} differs from ${BASELINE_DIR}" >&2

@@ -14,6 +14,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
     case ErrorCode::kInternal: return "INTERNAL";
     case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
   }
   return "UNKNOWN";
 }

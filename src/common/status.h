@@ -25,6 +25,7 @@ enum class ErrorCode {
   kPermissionDenied,  ///< authentication / mode violation
   kInternal,          ///< invariant violation inside the library
   kUnimplemented,     ///< feature not supported by this endpoint
+  kFailedPrecondition,  ///< call arrived in the wrong state (e.g. finalized)
 };
 
 /// Human-readable name of an ErrorCode ("NOT_FOUND", ...).
@@ -48,6 +49,7 @@ class [[nodiscard]] Status {
   static Status PermissionDenied(std::string m) { return {ErrorCode::kPermissionDenied, std::move(m)}; }
   static Status Internal(std::string m) { return {ErrorCode::kInternal, std::move(m)}; }
   static Status Unimplemented(std::string m) { return {ErrorCode::kUnimplemented, std::move(m)}; }
+  static Status FailedPrecondition(std::string m) { return {ErrorCode::kFailedPrecondition, std::move(m)}; }
 
   bool ok() const { return code_ == ErrorCode::kOk; }
   ErrorCode code() const { return code_; }

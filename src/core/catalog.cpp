@@ -109,7 +109,7 @@ std::pair<std::string, std::string> MetaCatalog::split_key(const std::string& ke
   return {key.substr(0, slash), key.substr(slash + 1)};
 }
 
-MetaCatalog::MetaCatalog(meta::Database* db) {
+MetaCatalog::MetaCatalog(meta::Database* db) : db_(db) {
   auto users = db->open_table(
       "users", meta::Schema{{"name", ColumnType::kText},
                             {"affiliation", ColumnType::kText}});
@@ -167,6 +167,9 @@ MetaCatalog::MetaCatalog(meta::Database* db) {
 
 Status MetaCatalog::register_user(const std::string& user,
                                   const std::string& affiliation) {
+  // Each Table call is atomic, but lookup-then-insert is not: concurrent
+  // sessions registering the same user/app/dataset would both insert.
+  std::lock_guard<std::mutex> txn(db_->txn_mutex());
   auto existing = users_->lookup("name", Value{user});
   if (existing.ok()) return Status::Ok();  // idempotent
   return users_->insert(Row{user, affiliation}).status();
@@ -175,6 +178,7 @@ Status MetaCatalog::register_user(const std::string& user,
 Status MetaCatalog::register_application(const std::string& app,
                                          const std::string& user, int nprocs,
                                          int iterations) {
+  std::lock_guard<std::mutex> txn(db_->txn_mutex());
   auto existing = applications_->lookup("name", Value{app});
   if (existing.ok()) {
     return applications_->update(
@@ -238,6 +242,7 @@ StatusOr<DatasetRecord> record_from_row(const Row& row) {
 
 Status MetaCatalog::register_dataset(const std::string& app,
                                      const DatasetDesc& desc, Location resolved) {
+  std::lock_guard<std::mutex> txn(db_->txn_mutex());
   const std::string key = dataset_key(app, desc.name);
   auto existing = datasets_->lookup("key", Value{key});
   if (existing.ok()) {
@@ -299,6 +304,7 @@ std::vector<std::int64_t> MetaCatalog::instance_rowids(const std::string& key,
 }
 
 Status MetaCatalog::record_instance(const InstanceRecord& record) {
+  std::lock_guard<std::mutex> txn(db_->txn_mutex());
   auto ids = instance_rowids(record.dataset_key, record.timestep);
   if (ids.empty()) return instances_->insert(instance_to_row(record)).status();
   // Re-dump: path/bytes refresh, replicas union (first-recorded order kept).
@@ -327,6 +333,7 @@ StatusOr<InstanceRecord> MetaCatalog::instance(const std::string& app,
 
 Status MetaCatalog::add_replica(const std::string& app, const std::string& name,
                                 int timestep, Location location) {
+  std::lock_guard<std::mutex> txn(db_->txn_mutex());
   const std::string key = dataset_key(app, name);
   auto ids = instance_rowids(key, timestep);
   if (ids.empty()) {
@@ -342,6 +349,7 @@ Status MetaCatalog::add_replica(const std::string& app, const std::string& name,
 
 Status MetaCatalog::remove_replica(const std::string& app, const std::string& name,
                                    int timestep, Location location) {
+  std::lock_guard<std::mutex> txn(db_->txn_mutex());
   const std::string key = dataset_key(app, name);
   auto ids = instance_rowids(key, timestep);
   if (ids.empty()) {

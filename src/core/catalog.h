@@ -105,6 +105,7 @@ class MetaCatalog {
   std::vector<std::int64_t> instance_rowids(const std::string& key,
                                             int timestep) const;
 
+  meta::Database* db_;  ///< for txn_mutex(): compound upserts must be atomic
   meta::Table* users_;
   meta::Table* applications_;
   meta::Table* datasets_;

@@ -1,0 +1,20 @@
+#include "core/client.h"
+
+namespace msra::core {
+
+namespace {
+
+SessionOptions with_user(SessionOptions options, const std::string& name) {
+  // A default-constructed SessionOptions carries the placeholder "user";
+  // the client's own name is the more useful identity in that case.
+  if (options.user == SessionOptions{}.user) options.user = name;
+  return options;
+}
+
+}  // namespace
+
+Client::Client(std::string name, StorageSystem& system, SessionOptions options)
+    : name_(std::move(name)),
+      session_(system, with_user(std::move(options), name_)) {}
+
+}  // namespace msra::core

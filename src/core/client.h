@@ -1,0 +1,61 @@
+// core::Client: one tenant of the multi-tenant core.
+//
+// A Client bundles everything one user of a shared StorageSystem owns
+// privately: a name, a virtual clock, and a Session. N clients over one
+// system model N concurrent users — each advances its own Timeline, and
+// the only coupling between them is contention on the shared simkit
+// resources (disk arms, server CPU, WAN pipes, tape drives):
+//
+//   StorageSystem system(profile);              // the shared substrate
+//   Client alice("alice", system, {...});       // producer
+//   Client bob("bob", system, {...});           // analysis consumer
+//   ... alice and bob issue I/O from separate host threads ...
+//
+// Each client's elapsed() is its per-tenant virtual latency; the system's
+// resource_loads() shows where the tenants queued on each other.
+#pragma once
+
+#include <string>
+
+#include "core/session.h"
+#include "simkit/timeline.h"
+
+namespace msra::core {
+
+/// Thread-safety: one Client belongs to one host thread at a time (its
+/// Timeline and Session are internally synchronized, but interleaving two
+/// host threads on one clock rarely means anything). Distinct Clients are
+/// fully independent and may run concurrently over one StorageSystem.
+class Client {
+ public:
+  /// Connects the client to the shared system; `options.user` defaults to
+  /// the client name when left at the SessionOptions default.
+  Client(std::string name, StorageSystem& system, SessionOptions options = {});
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  const std::string& name() const { return name_; }
+  simkit::Timeline& timeline() { return timeline_; }
+  Session& session() { return session_; }
+
+  /// Virtual seconds this client's clock has accumulated.
+  simkit::SimTime elapsed() const { return timeline_.now(); }
+
+  // Forwarders for the common session flow.
+  StatusOr<DatasetHandle*> open(const DatasetDesc& desc) {
+    return session_.open(desc);
+  }
+  StatusOr<DatasetHandle*> open_existing(const std::string& dataset,
+                                         const OpenOptions& options = {}) {
+    return session_.open_existing(dataset, options);
+  }
+  Status finalize() { return session_.finalize(); }
+
+ private:
+  std::string name_;
+  simkit::Timeline timeline_;
+  Session session_;
+};
+
+}  // namespace msra::core

@@ -29,6 +29,10 @@ Session::~Session() { (void)finalize(); }
 
 StatusOr<DatasetHandle*> Session::open(const DatasetDesc& desc) {
   if (desc.name.empty()) return Status::InvalidArgument("dataset needs a name");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finalized_) {
+    return Status::FailedPrecondition("session already finalized");
+  }
   auto it = handles_.find(desc.name);
   if (it != handles_.end()) return it->second.get();
 
@@ -53,6 +57,10 @@ StatusOr<DatasetHandle*> Session::open(const DatasetDesc& desc) {
 
 StatusOr<DatasetHandle*> Session::open_existing(const std::string& name,
                                                 const OpenOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finalized_) {
+    return Status::FailedPrecondition("session already finalized");
+  }
   auto it = handles_.find(name);
   if (it != handles_.end()) return it->second.get();
   StatusOr<DatasetRecord> record =
@@ -68,10 +76,21 @@ StatusOr<DatasetHandle*> Session::open_existing(const std::string& name,
 }
 
 Status Session::finalize() {
-  if (finalized_) return Status::Ok();
-  finalized_ = true;
-  handles_.clear();
+  // Destroy the handles outside the lock: a handle destructor must never
+  // run under the session mutex a concurrent open() is waiting on.
+  std::map<std::string, std::unique_ptr<DatasetHandle>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (finalized_) return Status::Ok();
+    finalized_ = true;
+    doomed.swap(handles_);
+  }
   return Status::Ok();
+}
+
+bool Session::finalized() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return finalized_;
 }
 
 // ---------------------------------------------------------- DatasetHandle --

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/catalog.h"
@@ -148,6 +149,13 @@ struct SessionOptions {
   const predict::Predictor* predictor = nullptr;
 };
 
+/// Thread-safety: a Session's own state transitions (open, open_existing,
+/// finalize, double-finalize) are safe to call from concurrent host threads;
+/// a handle returned by open() stays valid until finalize(). finalize()
+/// invalidates every handle — callers must not race in-flight I/O on a
+/// handle against the finalize() that destroys it (the usual rule for
+/// close-like APIs). Distinct Sessions over one StorageSystem are fully
+/// independent and may run concurrently (the multi-tenant core).
 class Session {
  public:
   /// initialization(): connects the metadata database and registers the
@@ -160,17 +168,24 @@ class Session {
 
   /// Opens (registers) a dataset for this run. The location hint in `desc`
   /// is resolved immediately; the decision lands in the metadata database.
-  /// On ok() the handle is never null (see core/options.h).
+  /// On ok() the handle is never null (see core/options.h). Fails with
+  /// kFailedPrecondition after finalize().
   StatusOr<DatasetHandle*> open(const DatasetDesc& desc);
 
   /// Opens a dataset registered by an earlier producer session (consumer
   /// side); the descriptor and resolved location come from the metadata.
-  /// On ok() the handle is never null (see core/options.h).
+  /// On ok() the handle is never null (see core/options.h). Fails with
+  /// kFailedPrecondition after finalize().
   StatusOr<DatasetHandle*> open_existing(const std::string& name,
                                          const OpenOptions& options = {});
 
-  /// finalization(): flushes metadata. Idempotent.
+  /// finalization(): flushes metadata and destroys all open handles.
+  /// Idempotent; concurrent calls are safe (one wins, the rest no-op).
   Status finalize();
+
+  /// True once finalize() ran (a snapshot; another thread may be
+  /// finalizing concurrently).
+  bool finalized() const;
 
   StorageSystem& system() { return system_; }
   MetaCatalog& catalog() { return catalog_; }
@@ -182,6 +197,7 @@ class Session {
   StorageSystem& system_;
   SessionOptions options_;
   MetaCatalog catalog_;
+  mutable std::mutex mutex_;  ///< guards handles_ and finalized_
   std::map<std::string, std::unique_ptr<DatasetHandle>> handles_;
   bool finalized_ = false;
 };

@@ -7,6 +7,21 @@
 
 namespace msra::core {
 
+namespace {
+
+/// Feeds a device's queueing delays into `io.<name>.queue_wait`. The
+/// observer runs outside the resource's internal lock; the histogram
+/// pointer is stable for the registry's lifetime.
+void attach_wait_observer(simkit::Resource& resource,
+                          obs::MetricsRegistry& metrics,
+                          const std::string& name) {
+  obs::Histogram* h = metrics.histogram("io." + name + ".queue_wait");
+  resource.set_wait_observer(
+      [h](simkit::SimTime wait) { h->record(wait); });
+}
+
+}  // namespace
+
 std::string_view location_name(Location location) {
   switch (location) {
     case Location::kLocalDisk: return "LOCALDISK";
@@ -94,6 +109,19 @@ StorageSystem::StorageSystem(const HardwareProfile& profile,
 
   tape_library_->set_metrics(&metrics_);
   if (hsm_) hsm_->set_metrics(&metrics_);
+
+  // Contention telemetry: every shared device reports the queueing delay of
+  // each granted reservation. Installed before the system is shared across
+  // client threads (set_wait_observer is not itself synchronized).
+  attach_wait_observer(local_resource_->arm(), metrics_, "localdisk");
+  attach_wait_observer(remote_disk_resource_->arm(), metrics_, "remotedisk");
+  attach_wait_observer(server_->cpu(), metrics_, "sdsc-cpu");
+  attach_wait_observer(wan_disk_link_->pipe(), metrics_, "wan-disk");
+  attach_wait_observer(wan_tape_link_->pipe(), metrics_, "wan-tape");
+  if (hsm_) attach_wait_observer(hsm_->cache_arm(), metrics_, "hpss-cache");
+  for (auto& [name, resource] : tape_library_->contended_resources()) {
+    attach_wait_observer(*resource, metrics_, name);
+  }
 }
 
 runtime::StorageEndpoint& StorageSystem::endpoint(Location location) {
@@ -124,6 +152,36 @@ void StorageSystem::reset_time() {
   server_->reset_clock();
   wan_disk_link_->pipe().reset();
   wan_tape_link_->pipe().reset();
+}
+
+std::vector<obs::ResourceLoadRow> StorageSystem::resource_loads() {
+  std::vector<std::pair<std::string, simkit::Resource*>> devices = {
+      {"localdisk", &local_resource_->arm()},
+      {"remotedisk", &remote_disk_resource_->arm()},
+      {"sdsc-cpu", &server_->cpu()},
+      {"wan-disk", &wan_disk_link_->pipe()},
+      {"wan-tape", &wan_tape_link_->pipe()},
+  };
+  if (hsm_) devices.emplace_back("hpss-cache", &hsm_->cache_arm());
+  for (auto& [name, resource] : tape_library_->contended_resources()) {
+    devices.emplace_back(name, resource);
+  }
+  std::vector<obs::ResourceLoadRow> rows;
+  rows.reserve(devices.size());
+  for (auto& [name, resource] : devices) {
+    obs::ResourceLoadRow row;
+    row.name = name;
+    row.capacity = resource->capacity();
+    row.operations = resource->operations();
+    row.busy_seconds = resource->busy_time();
+    row.utilization = resource->utilization();
+    const simkit::Resource::QueueStats q = resource->queue_stats();
+    row.reservations = q.reservations;
+    row.total_wait = q.total_wait;
+    row.max_wait = q.max_wait;
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 void StorageSystem::set_location_available(Location location, bool available) {

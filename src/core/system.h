@@ -16,6 +16,7 @@
 #include "migrate/tracker.h"
 #include "net/link.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 #include "runtime/endpoint.h"
 #include "simkit/noise.h"
@@ -43,6 +44,13 @@ StatusOr<Location> parse_location(std::string_view name);
 inline constexpr Location kConcreteLocations[] = {
     Location::kLocalDisk, Location::kRemoteDisk, Location::kRemoteTape};
 
+/// Thread-safety: a StorageSystem is a shared substrate for concurrent
+/// client sessions (the multi-tenant core). Every layer a session touches —
+/// endpoints, SRB server, resources, links, tape library, metadata
+/// database, metrics — is individually thread-safe; clients on distinct
+/// host threads contend only in virtual time, on the shared simkit
+/// resources. Construction, reset_time() and set_location_available() are
+/// control-plane operations: run them while no client I/O is in flight.
 class StorageSystem {
  public:
   /// Builds the testbed. With a non-empty `data_root`, the disk-backed
@@ -101,6 +109,12 @@ class StorageSystem {
   /// Resets every device's virtual clock so a new experiment starts on idle
   /// hardware at t = 0. Stored data and mounted cartridges are preserved.
   void reset_time();
+
+  /// Contention snapshot of every shared device (disk arms, server CPU,
+  /// WAN pipes, tape robot/drives, HSM cache): operations, busy time,
+  /// utilization and queueing-delay totals, for `msractl stats` and the
+  /// contention bench. Rows for idle devices are included (operations = 0).
+  std::vector<obs::ResourceLoadRow> resource_loads();
 
  private:
   HardwareProfile profile_;

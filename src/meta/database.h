@@ -39,8 +39,17 @@ class Database {
   /// Loads a database previously written by save().
   static StatusOr<std::unique_ptr<Database>> load(const std::filesystem::path& path);
 
+  /// Serializes compound read-modify-write sequences that span several
+  /// Table calls (catalog upserts, perf-curve point replacement). Each
+  /// Table is individually thread-safe, but "find rowids, then update or
+  /// insert" is not atomic without an outer lock; concurrent writers hold
+  /// this for the whole sequence. Reads that tolerate seeing either the
+  /// before or after state need not take it.
+  std::mutex& txn_mutex() const { return txn_mutex_; }
+
  private:
   mutable std::mutex mutex_;
+  mutable std::mutex txn_mutex_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
 };
 

@@ -98,4 +98,33 @@ std::string format_io_table(const std::vector<ResourceIoReport>& rows) {
   return out;
 }
 
+std::string format_contention_table(const std::vector<ResourceLoadRow>& rows) {
+  std::vector<const ResourceLoadRow*> active;
+  for (const ResourceLoadRow& row : rows) {
+    if (row.operations > 0) active.push_back(&row);
+  }
+  if (active.empty()) return "(no contention recorded)\n";
+  std::size_t name_width = std::string("device").size();
+  for (const ResourceLoadRow* row : active) {
+    name_width = std::max(name_width, row->name.size());
+  }
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-*s %4s %8s %12s %6s %12s %12s %12s\n",
+                static_cast<int>(name_width), "device", "cap", "ops",
+                "busy[s]", "util", "wait_sum[s]", "wait_mean[s]",
+                "wait_max[s]");
+  out += buf;
+  for (const ResourceLoadRow* row : active) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-*s %4d %8llu %12.4f %5.1f%% %12.4f %12.4f %12.4f\n",
+                  static_cast<int>(name_width), row->name.c_str(),
+                  row->capacity, static_cast<unsigned long long>(row->operations),
+                  row->busy_seconds, row->utilization * 100.0, row->total_wait,
+                  row->mean_wait(), row->max_wait);
+    out += buf;
+  }
+  return out;
+}
+
 }  // namespace msra::obs

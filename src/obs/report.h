@@ -37,4 +37,28 @@ std::vector<ResourceIoReport> io_breakdown(const MetricsRegistry& registry);
 /// registry renders a one-line "(no I/O recorded)" note.
 std::string format_io_table(const std::vector<ResourceIoReport>& rows);
 
+/// One row of the contention summary: aggregate load on one shared device
+/// (a disk arm, the server CPU, a WAN pipe, a tape drive). Filled from
+/// simkit::Resource accounting by StorageSystem::resource_loads().
+struct ResourceLoadRow {
+  std::string name;
+  int capacity = 1;                ///< parallel servers (arms, workers)
+  std::uint64_t operations = 0;    ///< granted reservations
+  double busy_seconds = 0.0;       ///< summed service time
+  double utilization = 0.0;        ///< busy / (capacity * horizon), 0..1
+  std::uint64_t reservations = 0;  ///< reservations with service > 0
+  double total_wait = 0.0;         ///< summed queueing delay (s)
+  double max_wait = 0.0;           ///< worst single queueing delay (s)
+
+  double mean_wait() const {
+    return reservations > 0 ? total_wait / static_cast<double>(reservations)
+                            : 0.0;
+  }
+};
+
+/// Fixed-width contention table (one row per device plus util/wait
+/// columns); devices that served nothing are skipped. Empty input renders
+/// a one-line "(no contention recorded)" note.
+std::string format_contention_table(const std::vector<ResourceLoadRow>& rows);
+
 }  // namespace msra::obs

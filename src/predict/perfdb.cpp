@@ -17,7 +17,7 @@ std::string_view transfer_mode_name(TransferMode mode) {
   return mode == TransferMode::kSerial ? "serial" : "pipelined";
 }
 
-PerfDb::PerfDb(meta::Database* db) {
+PerfDb::PerfDb(meta::Database* db) : db_(db) {
   auto fixed = db->open_table(
       "perf_fixed", meta::Schema{{"location", ColumnType::kText},
                                  {"op", ColumnType::kText},
@@ -43,11 +43,31 @@ PerfDb::PerfDb(meta::Database* db) {
       "perf_batch", meta::Schema{{"location", ColumnType::kText},
                                  {"op", ColumnType::kText},
                                  {"per_run", ColumnType::kReal}});
-  assert(fixed.ok() && rw.ok() && rw_pipe.ok() && batch.ok());
+  // Contended (multi-client) measurements keep their own tables so
+  // databases written by older builds load untouched.
+  auto rw_load = db->open_table(
+      "perf_rw_load", meta::Schema{{"location", ColumnType::kText},
+                                   {"op", ColumnType::kText},
+                                   {"clients", ColumnType::kInt},
+                                   {"bytes", ColumnType::kInt},
+                                   {"seconds", ColumnType::kReal}});
+  auto fixed_load = db->open_table(
+      "perf_fixed_load", meta::Schema{{"location", ColumnType::kText},
+                                      {"op", ColumnType::kText},
+                                      {"clients", ColumnType::kInt},
+                                      {"conn", ColumnType::kReal},
+                                      {"open", ColumnType::kReal},
+                                      {"seek", ColumnType::kReal},
+                                      {"close", ColumnType::kReal},
+                                      {"connclose", ColumnType::kReal}});
+  assert(fixed.ok() && rw.ok() && rw_pipe.ok() && batch.ok() &&
+         rw_load.ok() && fixed_load.ok());
   fixed_ = *fixed;
   rw_ = *rw;
   rw_pipe_ = *rw_pipe;
   batch_ = *batch;
+  rw_load_ = *rw_load;
+  fixed_load_ = *fixed_load;
 }
 
 namespace {
@@ -58,6 +78,9 @@ std::string loc_text(core::Location location) {
 
 Status PerfDb::put_fixed(core::Location location, IoOp op,
                          const FixedCosts& costs) {
+  // Find-then-update/insert: atomic only under the database txn lock when
+  // concurrent probes target the same key.
+  std::lock_guard<std::mutex> txn(db_->txn_mutex());
   const std::string loc = loc_text(location);
   const std::string opname(io_op_name(op));
   Row row{loc,        opname,      costs.conn,     costs.open,
@@ -92,6 +115,7 @@ StatusOr<FixedCosts> PerfDb::fixed(core::Location location, IoOp op) const {
 Status PerfDb::put_rw_point(core::Location location, IoOp op,
                             std::uint64_t bytes, double seconds,
                             TransferMode mode) {
+  std::lock_guard<std::mutex> txn(db_->txn_mutex());
   meta::Table* table = table_for(mode);
   const std::string loc = loc_text(location);
   const std::string opname(io_op_name(op));
@@ -124,6 +148,7 @@ std::vector<std::pair<std::uint64_t, double>> PerfDb::rw_curve(
 
 Status PerfDb::put_batch_overhead(core::Location location, IoOp op,
                                   double per_run) {
+  std::lock_guard<std::mutex> txn(db_->txn_mutex());
   const std::string loc = loc_text(location);
   const std::string opname(io_op_name(op));
   auto ids = batch_->find([&](const Row& r) {
@@ -148,24 +173,21 @@ StatusOr<double> PerfDb::batch_overhead(core::Location location, IoOp op) const 
   return std::get<double>(row[2]);
 }
 
-StatusOr<double> PerfDb::rw_time(core::Location location, IoOp op,
-                                 std::uint64_t bytes, TransferMode mode) const {
-  const auto curve = rw_curve(location, op, mode);
-  if (curve.empty()) {
-    return Status::NotFound("no " + std::string(transfer_mode_name(mode)) +
-                            " rw curve for " + loc_text(location) + "/" +
-                            std::string(io_op_name(op)) + " (run PTool first)");
-  }
-  if (bytes == 0) return 0.0;
+namespace {
+
+/// Piecewise-linear interpolation over a sorted (x, y) curve, linearly
+/// extrapolating at the edges using the nearest segment's slope. A
+/// single-point curve scales proportionally (pure-bandwidth assumption).
+double interpolate_curve(const std::vector<std::pair<std::uint64_t, double>>& curve,
+                         double x) {
   if (curve.size() == 1) {
-    // Single point: scale by size (pure-bandwidth assumption).
-    return curve[0].second * static_cast<double>(bytes) /
-           static_cast<double>(curve[0].first);
+    return curve[0].second * x / static_cast<double>(curve[0].first);
   }
-  // Locate the enclosing segment (or the nearest edge segment).
   std::size_t hi = 0;
-  while (hi < curve.size() && curve[hi].first < bytes) ++hi;
-  if (hi < curve.size() && curve[hi].first == bytes) return curve[hi].second;
+  while (hi < curve.size() && static_cast<double>(curve[hi].first) < x) ++hi;
+  if (hi < curve.size() && static_cast<double>(curve[hi].first) == x) {
+    return curve[hi].second;
+  }
   std::size_t lo;
   if (hi == 0) {
     lo = 0;
@@ -181,8 +203,203 @@ StatusOr<double> PerfDb::rw_time(core::Location location, IoOp op,
   const double y0 = curve[lo].second;
   const double y1 = curve[hi].second;
   const double slope = (y1 - y0) / (x1 - x0);
-  const double t = y0 + slope * (static_cast<double>(bytes) - x0);
-  return std::max(0.0, t);
+  return std::max(0.0, y0 + slope * (x - x0));
+}
+
+}  // namespace
+
+StatusOr<double> PerfDb::rw_time(core::Location location, IoOp op,
+                                 std::uint64_t bytes, TransferMode mode) const {
+  const auto curve = rw_curve(location, op, mode);
+  if (curve.empty()) {
+    return Status::NotFound("no " + std::string(transfer_mode_name(mode)) +
+                            " rw curve for " + loc_text(location) + "/" +
+                            std::string(io_op_name(op)) + " (run PTool first)");
+  }
+  if (bytes == 0) return 0.0;
+  return interpolate_curve(curve, static_cast<double>(bytes));
+}
+
+Status PerfDb::put_contended_rw_point(core::Location location, IoOp op,
+                                      int clients, std::uint64_t bytes,
+                                      double seconds) {
+  std::lock_guard<std::mutex> txn(db_->txn_mutex());
+  const std::string loc = loc_text(location);
+  const std::string opname(io_op_name(op));
+  auto ids = rw_load_->find([&](const Row& r) {
+    return std::get<std::string>(r[0]) == loc &&
+           std::get<std::string>(r[1]) == opname &&
+           std::get<std::int64_t>(r[2]) == clients &&
+           std::get<std::int64_t>(r[3]) == static_cast<std::int64_t>(bytes);
+  });
+  Row row{loc, opname, std::int64_t{clients}, static_cast<std::int64_t>(bytes),
+          seconds};
+  if (!ids.empty()) return rw_load_->update(ids.front(), std::move(row));
+  return rw_load_->insert(std::move(row)).status();
+}
+
+Status PerfDb::put_contended_fixed(core::Location location, IoOp op,
+                                   int clients, const FixedCosts& costs) {
+  std::lock_guard<std::mutex> txn(db_->txn_mutex());
+  const std::string loc = loc_text(location);
+  const std::string opname(io_op_name(op));
+  auto ids = fixed_load_->find([&](const Row& r) {
+    return std::get<std::string>(r[0]) == loc &&
+           std::get<std::string>(r[1]) == opname &&
+           std::get<std::int64_t>(r[2]) == clients;
+  });
+  Row row{loc,        opname,      std::int64_t{clients}, costs.conn,
+          costs.open, costs.seek,  costs.close,           costs.connclose};
+  if (!ids.empty()) return fixed_load_->update(ids.front(), std::move(row));
+  return fixed_load_->insert(std::move(row)).status();
+}
+
+std::vector<int> PerfDb::contended_levels(core::Location location, IoOp op) const {
+  const std::string loc = loc_text(location);
+  const std::string opname(io_op_name(op));
+  std::vector<int> out;
+  for (const Row& row : rw_load_->select([&](const Row& r) {
+         return std::get<std::string>(r[0]) == loc &&
+                std::get<std::string>(r[1]) == opname;
+       })) {
+    const int level = static_cast<int>(std::get<std::int64_t>(row[2]));
+    if (std::find(out.begin(), out.end(), level) == out.end()) {
+      out.push_back(level);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+StatusOr<double> PerfDb::rw_time_at_level(core::Location location, IoOp op,
+                                          int clients,
+                                          std::uint64_t bytes) const {
+  if (clients <= 1) return rw_time(location, op, bytes);
+  const std::string loc = loc_text(location);
+  const std::string opname(io_op_name(op));
+  std::vector<std::pair<std::uint64_t, double>> curve;
+  for (const Row& row : rw_load_->select([&](const Row& r) {
+         return std::get<std::string>(r[0]) == loc &&
+                std::get<std::string>(r[1]) == opname &&
+                std::get<std::int64_t>(r[2]) == clients;
+       })) {
+    curve.emplace_back(static_cast<std::uint64_t>(std::get<std::int64_t>(row[3])),
+                       std::get<double>(row[4]));
+  }
+  if (curve.empty()) {
+    return Status::NotFound("no contended rw curve for " + loc + "/" + opname +
+                            " at " + std::to_string(clients) + " clients");
+  }
+  if (bytes == 0) return 0.0;
+  std::sort(curve.begin(), curve.end());
+  return interpolate_curve(curve, static_cast<double>(bytes));
+}
+
+StatusOr<FixedCosts> PerfDb::fixed_at_level(core::Location location, IoOp op,
+                                            int clients) const {
+  if (clients <= 1) return fixed(location, op);
+  const std::string loc = loc_text(location);
+  const std::string opname(io_op_name(op));
+  auto ids = fixed_load_->find([&](const Row& r) {
+    return std::get<std::string>(r[0]) == loc &&
+           std::get<std::string>(r[1]) == opname &&
+           std::get<std::int64_t>(r[2]) == clients;
+  });
+  if (ids.empty()) {
+    return Status::NotFound("no contended fixed costs for " + loc + "/" +
+                            opname + " at " + std::to_string(clients) +
+                            " clients");
+  }
+  MSRA_ASSIGN_OR_RETURN(Row row, fixed_load_->get(ids.front()));
+  FixedCosts costs;
+  costs.conn = std::get<double>(row[3]);
+  costs.open = std::get<double>(row[4]);
+  costs.seek = std::get<double>(row[5]);
+  costs.close = std::get<double>(row[6]);
+  costs.connclose = std::get<double>(row[7]);
+  return costs;
+}
+
+namespace {
+
+/// Bounding measured levels for a fractional client count. The axis is
+/// {1, measured levels...}; beyond the top level the last segment
+/// extrapolates.
+struct LevelSpan {
+  int lo = 1;
+  int hi = 1;
+  double frac = 0.0;  ///< position of `clients` inside [lo, hi]
+};
+
+LevelSpan level_span(const std::vector<int>& levels, double clients) {
+  std::vector<int> axis{1};
+  for (int level : levels) {
+    if (level > 1) axis.push_back(level);
+  }
+  LevelSpan span;
+  if (axis.size() == 1) return span;  // only the uncontended level
+  std::size_t hi = 0;
+  while (hi < axis.size() && static_cast<double>(axis[hi]) < clients) ++hi;
+  if (hi == 0) hi = 1;
+  if (hi == axis.size()) hi = axis.size() - 1;
+  span.lo = axis[hi - 1];
+  span.hi = axis[hi];
+  span.frac = (clients - span.lo) / static_cast<double>(span.hi - span.lo);
+  return span;
+}
+
+}  // namespace
+
+StatusOr<double> PerfDb::contended_rw_time(core::Location location, IoOp op,
+                                           double clients,
+                                           std::uint64_t bytes) const {
+  if (clients <= 1.0) return rw_time(location, op, bytes);
+  const std::vector<int> levels = contended_levels(location, op);
+  if (levels.empty()) {
+    return Status::NotFound("no contended rw measurements for " +
+                            loc_text(location) + "/" +
+                            std::string(io_op_name(op)));
+  }
+  const LevelSpan span = level_span(levels, clients);
+  MSRA_ASSIGN_OR_RETURN(double t_lo,
+                        rw_time_at_level(location, op, span.lo, bytes));
+  MSRA_ASSIGN_OR_RETURN(double t_hi,
+                        rw_time_at_level(location, op, span.hi, bytes));
+  return std::max(0.0, t_lo + span.frac * (t_hi - t_lo));
+}
+
+StatusOr<FixedCosts> PerfDb::contended_fixed(core::Location location, IoOp op,
+                                             double clients) const {
+  if (clients <= 1.0) return fixed(location, op);
+  // Level axis from the fixed-cost table itself (it can lag the rw sweep).
+  const std::string loc = loc_text(location);
+  const std::string opname(io_op_name(op));
+  std::vector<int> levels;
+  for (const Row& row : fixed_load_->select([&](const Row& r) {
+         return std::get<std::string>(r[0]) == loc &&
+                std::get<std::string>(r[1]) == opname;
+       })) {
+    const int level = static_cast<int>(std::get<std::int64_t>(row[2]));
+    if (std::find(levels.begin(), levels.end(), level) == levels.end()) {
+      levels.push_back(level);
+    }
+  }
+  if (levels.empty()) {
+    return Status::NotFound("no contended fixed costs for " + loc + "/" +
+                            opname);
+  }
+  std::sort(levels.begin(), levels.end());
+  const LevelSpan span = level_span(levels, clients);
+  MSRA_ASSIGN_OR_RETURN(FixedCosts lo, fixed_at_level(location, op, span.lo));
+  MSRA_ASSIGN_OR_RETURN(FixedCosts hi, fixed_at_level(location, op, span.hi));
+  FixedCosts out;
+  out.conn = std::max(0.0, lo.conn + span.frac * (hi.conn - lo.conn));
+  out.open = std::max(0.0, lo.open + span.frac * (hi.open - lo.open));
+  out.seek = std::max(0.0, lo.seek + span.frac * (hi.seek - lo.seek));
+  out.close = std::max(0.0, lo.close + span.frac * (hi.close - lo.close));
+  out.connclose =
+      std::max(0.0, lo.connclose + span.frac * (hi.connclose - lo.connclose));
+  return out;
 }
 
 }  // namespace msra::predict

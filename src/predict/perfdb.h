@@ -5,9 +5,14 @@
 // storage resource, so the performance predictor can search the database to
 // obtain these numbers."
 //
-// Two tables inside the metadata database:
+// Tables inside the metadata database:
 //   perf_fixed(location, op, conn, open, seek, close, connclose)  — Table 1
 //   perf_rw(location, op, bytes, seconds)                         — Figs 6-8
+//   perf_rw_load(location, op, clients, bytes, seconds)    — contended curves
+//   perf_fixed_load(location, op, clients, ...)            — contended Table 1
+// The *_load tables hold the same measurements repeated under N concurrent
+// probe clients (PTool's 2/4/8 sweep); `clients` = 1 is implicit and always
+// served from the uncontended tables.
 #pragma once
 
 #include <cstdint>
@@ -76,6 +81,33 @@ class PerfDb {
   Status put_batch_overhead(core::Location location, IoOp op, double per_run);
   StatusOr<double> batch_overhead(core::Location location, IoOp op) const;
 
+  // -- contended (multi-client) measurements -------------------------------
+  // Mean per-client times with `clients` identical probes arriving
+  // simultaneously on the shared devices (PTool's 2/4/8 sweep).
+
+  /// Stores (replaces) one contended transfer-time point.
+  Status put_contended_rw_point(core::Location location, IoOp op, int clients,
+                                std::uint64_t bytes, double seconds);
+
+  /// Stores (replaces) the contended fixed costs at one client level.
+  Status put_contended_fixed(core::Location location, IoOp op, int clients,
+                             const FixedCosts& costs);
+
+  /// Client levels with contended rw measurements, sorted ascending. Level
+  /// 1 (the uncontended tables) is not listed.
+  std::vector<int> contended_levels(core::Location location, IoOp op) const;
+
+  /// Mean per-client transfer time under `clients` concurrent clients:
+  /// size-interpolated inside each measured level, then linearly
+  /// interpolated (or edge-extrapolated) across levels. `clients` <= 1 is
+  /// the plain rw_time. Fails kNotFound when no contended level exists.
+  StatusOr<double> contended_rw_time(core::Location location, IoOp op,
+                                     double clients, std::uint64_t bytes) const;
+
+  /// Contended fixed costs, interpolated across levels the same way.
+  StatusOr<FixedCosts> contended_fixed(core::Location location, IoOp op,
+                                       double clients) const;
+
   /// Number of stored rw points (all resources, serial mode).
   std::size_t rw_point_count() const { return rw_->size(); }
 
@@ -83,11 +115,19 @@ class PerfDb {
   meta::Table* table_for(TransferMode mode) const {
     return mode == TransferMode::kSerial ? rw_ : rw_pipe_;
   }
+  /// Transfer time at one exact client level (1 = uncontended table).
+  StatusOr<double> rw_time_at_level(core::Location location, IoOp op,
+                                    int clients, std::uint64_t bytes) const;
+  StatusOr<FixedCosts> fixed_at_level(core::Location location, IoOp op,
+                                      int clients) const;
 
+  meta::Database* db_;  ///< for txn_mutex(): upserts must be atomic
   meta::Table* fixed_;
   meta::Table* rw_;
   meta::Table* rw_pipe_;
   meta::Table* batch_;
+  meta::Table* rw_load_;
+  meta::Table* fixed_load_;
 };
 
 }  // namespace msra::predict

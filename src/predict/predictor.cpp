@@ -1,5 +1,7 @@
 #include "predict/predictor.h"
 
+#include <algorithm>
+
 #include "runtime/plan.h"
 
 namespace msra::predict {
@@ -18,6 +20,66 @@ StatusOr<double> transfer_term(const PerfDb* db, core::Location location,
 }
 }  // namespace
 
+double LoadAssumptions::utilization_inflation() const {
+  const double u = std::clamp(utilization, 0.0, 0.95);
+  return 1.0 / (1.0 - u);
+}
+
+StatusOr<FixedCosts> Predictor::loaded_fixed(core::Location location, IoOp op,
+                                             const LoadAssumptions& load) const {
+  // The dedicated path goes straight to the classic table so default-load
+  // pricing is bit-identical to the pre-load predictor.
+  if (load.dedicated()) return db_->fixed(location, op);
+  FixedCosts base;
+  bool measured = false;
+  if (load.prefer_measured && load.clients > 1.0) {
+    auto contended = db_->contended_fixed(location, op, load.clients);
+    if (contended.ok()) {
+      base = *contended;
+      measured = true;
+    }
+  }
+  if (!measured) {
+    MSRA_ASSIGN_OR_RETURN(base, db_->fixed(location, op));
+    const double inflation = load.client_inflation();
+    base.conn *= inflation;
+    base.open *= inflation;
+    base.seek *= inflation;
+    base.close *= inflation;
+    base.connclose *= inflation;
+  }
+  const double util = load.utilization_inflation();
+  base.conn *= util;
+  base.open *= util;
+  base.seek *= util;
+  base.close *= util;
+  base.connclose *= util;
+  return base;
+}
+
+StatusOr<double> Predictor::loaded_rw(core::Location location, IoOp op,
+                                      std::uint64_t bytes, TransferMode mode,
+                                      const LoadAssumptions& load) const {
+  if (load.dedicated()) return transfer_term(db_, location, op, bytes, mode);
+  double t = 0.0;
+  bool measured = false;
+  // Contended measurements are taken through the classic (serial) transfer
+  // path; a pipelined plan under load falls back to analytic inflation.
+  if (load.prefer_measured && load.clients > 1.0 &&
+      mode == TransferMode::kSerial) {
+    auto contended = db_->contended_rw_time(location, op, load.clients, bytes);
+    if (contended.ok()) {
+      t = *contended;
+      measured = true;
+    }
+  }
+  if (!measured) {
+    MSRA_ASSIGN_OR_RETURN(t, transfer_term(db_, location, op, bytes, mode));
+    t *= load.client_inflation();
+  }
+  return t * load.utilization_inflation();
+}
+
 StatusOr<double> Predictor::call_time(core::Location location, IoOp op,
                                       std::uint64_t bytes) const {
   return call_time(location, op, bytes, TransferMode::kSerial);
@@ -26,8 +88,14 @@ StatusOr<double> Predictor::call_time(core::Location location, IoOp op,
 StatusOr<double> Predictor::call_time(core::Location location, IoOp op,
                                       std::uint64_t bytes,
                                       TransferMode mode) const {
-  MSRA_ASSIGN_OR_RETURN(FixedCosts costs, db_->fixed(location, op));
-  MSRA_ASSIGN_OR_RETURN(double rw, transfer_term(db_, location, op, bytes, mode));
+  return call_time(location, op, bytes, mode, LoadAssumptions{});
+}
+
+StatusOr<double> Predictor::call_time(core::Location location, IoOp op,
+                                      std::uint64_t bytes, TransferMode mode,
+                                      const LoadAssumptions& load) const {
+  MSRA_ASSIGN_OR_RETURN(FixedCosts costs, loaded_fixed(location, op, load));
+  MSRA_ASSIGN_OR_RETURN(double rw, loaded_rw(location, op, bytes, mode, load));
   return costs.conn + costs.open + costs.seek + rw + costs.close +
          costs.connclose;
 }
@@ -58,8 +126,9 @@ StatusOr<DatasetPrediction> Predictor::predict_dataset(
 
 StatusOr<double> Predictor::price_stage(core::Location location, IoOp op,
                                         TransferMode mode,
-                                        const runtime::PlanStage& stage) const {
-  MSRA_ASSIGN_OR_RETURN(FixedCosts costs, db_->fixed(location, op));
+                                        const runtime::PlanStage& stage,
+                                        const LoadAssumptions& load) const {
+  MSRA_ASSIGN_OR_RETURN(FixedCosts costs, loaded_fixed(location, op, load));
   double sum = 0.0;
   for (const runtime::PlanOp& planned : stage.ops) {
     switch (planned.kind) {
@@ -75,7 +144,7 @@ StatusOr<double> Predictor::price_stage(core::Location location, IoOp op,
       case runtime::PlanOpKind::kRead:
       case runtime::PlanOpKind::kWrite: {
         MSRA_ASSIGN_OR_RETURN(
-            double rw, transfer_term(db_, location, op, planned.bytes, mode));
+            double rw, loaded_rw(location, op, planned.bytes, mode, load));
         sum += rw;
         break;
       }
@@ -84,11 +153,16 @@ StatusOr<double> Predictor::price_stage(core::Location location, IoOp op,
         // No Tseek term: a vectored call issues no seek RPCs — positioning
         // costs are what the measured per-run batch overhead captures.
         MSRA_ASSIGN_OR_RETURN(
-            double rw, transfer_term(db_, location, op, planned.bytes, mode));
+            double rw, loaded_rw(location, op, planned.bytes, mode, load));
         sum += rw;
         if (planned.runs() > 1) {
           MSRA_ASSIGN_OR_RETURN(double per_run,
                                 db_->batch_overhead(location, op));
+          if (!load.dedicated()) {
+            // No contended batch table: the marginal per-run cost inflates
+            // analytically like any other queued service.
+            per_run *= load.client_inflation() * load.utilization_inflation();
+          }
           sum += static_cast<double>(planned.runs() - 1) * per_run;
         }
         break;
@@ -109,6 +183,12 @@ StatusOr<double> Predictor::price_stage(core::Location location, IoOp op,
 
 StatusOr<std::vector<StagePrice>> Predictor::price_stages(
     const runtime::IoPlan& plan, core::Location location) const {
+  return price_stages(plan, location, LoadAssumptions{});
+}
+
+StatusOr<std::vector<StagePrice>> Predictor::price_stages(
+    const runtime::IoPlan& plan, core::Location location,
+    const LoadAssumptions& load) const {
   const IoOp op =
       plan.dir == runtime::PlanDir::kWrite ? IoOp::kWrite : IoOp::kRead;
   const TransferMode mode =
@@ -122,7 +202,7 @@ StatusOr<std::vector<StagePrice>> Predictor::price_stages(
     price.repeat = stage.repeat;
     if (stage.kind != runtime::PlanStageKind::kExchange) {
       MSRA_ASSIGN_OR_RETURN(price.seconds,
-                            price_stage(location, op, mode, stage));
+                            price_stage(location, op, mode, stage, load));
     }
     out.push_back(std::move(price));
   }
@@ -131,8 +211,14 @@ StatusOr<std::vector<StagePrice>> Predictor::price_stages(
 
 StatusOr<double> Predictor::price(const runtime::IoPlan& plan,
                                   core::Location location) const {
+  return price(plan, location, LoadAssumptions{});
+}
+
+StatusOr<double> Predictor::price(const runtime::IoPlan& plan,
+                                  core::Location location,
+                                  const LoadAssumptions& load) const {
   MSRA_ASSIGN_OR_RETURN(std::vector<StagePrice> stages,
-                        price_stages(plan, location));
+                        price_stages(plan, location, load));
   double total = 0.0;
   for (const StagePrice& stage : stages) {
     total += static_cast<double>(stage.repeat) * stage.seconds;
@@ -143,6 +229,14 @@ StatusOr<double> Predictor::price(const runtime::IoPlan& plan,
 StatusOr<DatasetPrediction> Predictor::predict_dataset(
     const core::DatasetDesc& desc, core::Location resolved, int iterations,
     int nprocs, IoOp op, const FastPathAssumptions& fast) const {
+  return predict_dataset(desc, resolved, iterations, nprocs, op, fast,
+                         LoadAssumptions{});
+}
+
+StatusOr<DatasetPrediction> Predictor::predict_dataset(
+    const core::DatasetDesc& desc, core::Location resolved, int iterations,
+    int nprocs, IoOp op, const FastPathAssumptions& fast,
+    const LoadAssumptions& load) const {
   DatasetPrediction out;
   out.name = desc.name;
   out.location = resolved;
@@ -180,14 +274,14 @@ StatusOr<DatasetPrediction> Predictor::predict_dataset(
   // t_j(s) = Eq. (1) over the session's ops; under pooling the connection
   // legs live in separate setup/teardown stages billed once per run.
   MSRA_ASSIGN_OR_RETURN(out.call_time,
-                        price_stage(resolved, op, mode, *session));
+                        price_stage(resolved, op, mode, *session, load));
   for (const runtime::PlanStage& stage : plan.stages) {
     if (stage.kind != runtime::PlanStageKind::kSetup &&
         stage.kind != runtime::PlanStageKind::kTeardown) {
       continue;
     }
     MSRA_ASSIGN_OR_RETURN(double seconds,
-                          price_stage(resolved, op, mode, stage));
+                          price_stage(resolved, op, mode, stage, load));
     out.connection_time += seconds;
   }
   out.total = static_cast<double>(out.dumps) *
@@ -199,11 +293,18 @@ StatusOr<DatasetPrediction> Predictor::predict_dataset(
 StatusOr<RunPrediction> Predictor::predict_run(
     const std::vector<std::pair<core::DatasetDesc, core::Location>>& datasets,
     int iterations, int nprocs, IoOp op) const {
+  return predict_run(datasets, iterations, nprocs, op, LoadAssumptions{});
+}
+
+StatusOr<RunPrediction> Predictor::predict_run(
+    const std::vector<std::pair<core::DatasetDesc, core::Location>>& datasets,
+    int iterations, int nprocs, IoOp op, const LoadAssumptions& load) const {
   RunPrediction out;
   for (const auto& [desc, resolved] : datasets) {
     MSRA_ASSIGN_OR_RETURN(
         DatasetPrediction prediction,
-        predict_dataset(desc, resolved, iterations, nprocs, op));
+        predict_dataset(desc, resolved, iterations, nprocs, op,
+                        FastPathAssumptions{}, load));
     out.total += prediction.total;
     out.datasets.push_back(std::move(prediction));
   }

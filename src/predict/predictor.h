@@ -45,6 +45,34 @@ struct FastPathAssumptions {
   bool pooled_connections = false;
 };
 
+/// The load the priced client shares its storage resources with. The
+/// default (1 client, no background utilization) reproduces the dedicated
+/// prediction exactly.
+struct LoadAssumptions {
+  /// Concurrent clients (including the priced one) issuing the same kind
+  /// of work against the resource. Fractional values interpolate between
+  /// PTool's measured 2/4/8 contended levels.
+  double clients = 1.0;
+  /// Observed background utilization of the resource in [0, 1) *beyond*
+  /// the modeled clients (e.g. from `Resource::utilization()`), applied as
+  /// the classic open-queueing inflation 1/(1 - u) on top of the
+  /// client-level times.
+  double utilization = 0.0;
+  /// Prefer PTool's measured contended curves; the analytic inflation
+  /// below is then only a fallback for unmeasured resources.
+  bool prefer_measured = true;
+
+  bool dedicated() const { return clients <= 1.0 && utilization <= 0.0; }
+
+  /// Analytic fallback when no contended measurements exist: `clients`
+  /// tenants time-sharing a saturated serial device each see their service
+  /// stretched by the full client count (processor sharing, steady state).
+  double client_inflation() const { return clients <= 1.0 ? 1.0 : clients; }
+  /// 1 / (1 - u), with u clamped to 0.95 so a saturated reading stays
+  /// finite.
+  double utilization_inflation() const;
+};
+
 /// Prediction for a whole run (the Fig. 11 table).
 struct RunPrediction {
   std::vector<DatasetPrediction> datasets;
@@ -71,6 +99,12 @@ class Predictor {
                              std::uint64_t bytes) const;
   StatusOr<double> call_time(core::Location location, IoOp op,
                              std::uint64_t bytes, TransferMode mode) const;
+  /// Load-aware Eq. (1): the rw and fixed terms come from the measured
+  /// contended curves at `load.clients` (analytic inflation when
+  /// unmeasured), then scale by the background-utilization factor.
+  StatusOr<double> call_time(core::Location location, IoOp op,
+                             std::uint64_t bytes, TransferMode mode,
+                             const LoadAssumptions& load) const;
 
   /// Cost of one vectored call carrying `runs` runs of `total_bytes`
   /// altogether: the Eq. (1) fixed terms once (minus Tseek — a vectored
@@ -89,11 +123,19 @@ class Predictor {
   /// "sum of priced plans".
   StatusOr<double> price(const runtime::IoPlan& plan,
                          core::Location location) const;
+  /// Load-aware plan pricing: every Eq. (1) term is looked up / inflated
+  /// under `load`. The default LoadAssumptions prices identically to the
+  /// dedicated overload.
+  StatusOr<double> price(const runtime::IoPlan& plan, core::Location location,
+                         const LoadAssumptions& load) const;
 
   /// Per-stage breakdown of the same walk (seconds are per single
   /// execution; multiply by `repeat` for the stage's share).
   StatusOr<std::vector<StagePrice>> price_stages(const runtime::IoPlan& plan,
                                                  core::Location location) const;
+  StatusOr<std::vector<StagePrice>> price_stages(
+      const runtime::IoPlan& plan, core::Location location,
+      const LoadAssumptions& load) const;
 
   /// Per-dataset prediction for an `iterations`-long run on `nprocs` ranks.
   /// `op` selects the producer (write) or consumer (read) direction.
@@ -108,16 +150,38 @@ class Predictor {
       const core::DatasetDesc& desc, core::Location resolved, int iterations,
       int nprocs, IoOp op, const FastPathAssumptions& fast) const;
 
+  /// Same, additionally under a shared-resource load.
+  StatusOr<DatasetPrediction> predict_dataset(
+      const core::DatasetDesc& desc, core::Location resolved, int iterations,
+      int nprocs, IoOp op, const FastPathAssumptions& fast,
+      const LoadAssumptions& load) const;
+
   /// Equation (2) over a set of datasets (write direction: the producer run).
   StatusOr<RunPrediction> predict_run(
       const std::vector<std::pair<core::DatasetDesc, core::Location>>& datasets,
       int iterations, int nprocs, IoOp op = IoOp::kWrite) const;
 
+  /// Load-aware Equation (2).
+  StatusOr<RunPrediction> predict_run(
+      const std::vector<std::pair<core::DatasetDesc, core::Location>>& datasets,
+      int iterations, int nprocs, IoOp op, const LoadAssumptions& load) const;
+
  private:
+  /// Eq. (1) fixed terms under `load`: measured contended table when
+  /// present, analytic inflation otherwise, always times the background
+  /// utilization factor.
+  StatusOr<FixedCosts> loaded_fixed(core::Location location, IoOp op,
+                                    const LoadAssumptions& load) const;
+  /// Eq. (1) rw term under `load` (same preference order).
+  StatusOr<double> loaded_rw(core::Location location, IoOp op,
+                             std::uint64_t bytes, TransferMode mode,
+                             const LoadAssumptions& load) const;
+
   /// Sums the Eq. (1) terms of one stage's ops, in op order.
   StatusOr<double> price_stage(core::Location location, IoOp op,
                                TransferMode mode,
-                               const runtime::PlanStage& stage) const;
+                               const runtime::PlanStage& stage,
+                               const LoadAssumptions& load) const;
 
   const PerfDb* db_;
 };

@@ -33,6 +33,19 @@ struct PToolConfig {
   /// Strided runs per vectored probe (K in (t_K - t_1) / (K - 1)).
   int batch_probe_runs = 8;
   std::uint64_t batch_probe_run_bytes = 64ull << 10;
+
+  /// Contended probing. With `measure_contended` set, measure_location
+  /// repeats the rw sweep and the fixed-cost probe with N concurrent probe
+  /// clients per level in `contended_levels`, feeding the perf_rw_load /
+  /// perf_fixed_load tables that back load-aware prediction. Off by
+  /// default: the single-client database stays byte-identical.
+  bool measure_contended = false;
+  std::vector<int> contended_levels = {2, 4, 8};
+  /// Round-robin rounds per contended probe. Round 1 is a simultaneous
+  /// burst; later rounds converge on the steady-state inflation a
+  /// sustained multi-client run sees (~clients x the dedicated time on a
+  /// saturated serial device).
+  int contended_rounds = 4;
 };
 
 class PTool {
@@ -63,6 +76,24 @@ class PTool {
   /// max(0, (t_K - t_1) / (K - 1)).
   StatusOr<double> measure_batch_overhead(core::Location location, IoOp op,
                                           int runs, std::uint64_t run_bytes);
+
+  /// Mean per-call transfer time with `clients` identical probes all ready
+  /// at t = 0 (each on its own virtual timeline), issuing `rounds`
+  /// transfers round-robin against the shared devices. Round 1 is FIFO
+  /// service of a simultaneous burst; later rounds measure the sustained
+  /// time-sharing regime.
+  StatusOr<double> measure_contended_rw(core::Location location, IoOp op,
+                                        int clients, std::uint64_t bytes,
+                                        int rounds = 4);
+
+  /// Mean per-session fixed costs with `clients` probes stepping through
+  /// each Eq. (1) phase (connect / open / [seek] / close / disconnect) in
+  /// lockstep, for `rounds` whole sessions. Probes share the system's
+  /// endpoint, exactly like concurrent sessions do, so pooled-connection
+  /// effects are part of the measurement.
+  StatusOr<FixedCosts> measure_contended_fixed(core::Location location,
+                                               IoOp op, int clients,
+                                               int rounds = 4);
 
  private:
   /// Ensures tape cartridges are mounted etc. so fixed-cost probes do not

@@ -8,6 +8,7 @@ namespace msra::simkit {
 Resource::Resource(std::string name, int capacity) : name_(std::move(name)) {
   assert(capacity >= 1);
   servers_.resize(static_cast<std::size_t>(capacity));
+  server_stats_.resize(static_cast<std::size_t>(capacity));
 }
 
 SimTime Resource::earliest_start(const Schedule& schedule, SimTime ready,
@@ -47,25 +48,42 @@ void Resource::insert(Schedule& schedule, SimTime start, SimTime service) {
 
 SimTime Resource::reserve(SimTime ready, SimTime service) {
   assert(service >= 0.0);
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++ops_;
-  if (service <= 0.0) return ready;  // zero work occupies nothing
-  // Pick the server offering the earliest start.
-  std::size_t best = 0;
-  SimTime best_start = 0.0;
-  bool first = true;
-  for (std::size_t s = 0; s < servers_.size(); ++s) {
-    const SimTime start = earliest_start(servers_[s], ready, service);
-    if (first || start < best_start) {
-      best = s;
-      best_start = start;
-      first = false;
+  std::function<void(SimTime)> observer;
+  SimTime wait = 0.0;
+  SimTime completion;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++ops_;
+    if (service <= 0.0) return ready;  // zero work occupies nothing
+    // Pick the server offering the earliest start.
+    std::size_t best = 0;
+    SimTime best_start = 0.0;
+    bool first = true;
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      const SimTime start = earliest_start(servers_[s], ready, service);
+      if (first || start < best_start) {
+        best = s;
+        best_start = start;
+        first = false;
+      }
+      if (start == ready) break;  // cannot do better
     }
-    if (start == ready) break;  // cannot do better
+    insert(servers_[best], best_start, service);
+    busy_ += service;
+    wait = best_start - ready;
+    ++queue_.reservations;
+    queue_.total_wait += wait;
+    queue_.max_wait = std::max(queue_.max_wait, wait);
+    ServerStats& stats = server_stats_[best];
+    stats.served += service;
+    stats.horizon = std::max(stats.horizon, best_start + service);
+    completion = best_start + service;
+    observer = wait_observer_;
   }
-  insert(servers_[best], best_start, service);
-  busy_ += service;
-  return best_start + service;
+  // Outside the lock: the observer typically lands in an obs::Histogram
+  // with its own synchronization.
+  if (observer) observer(wait);
+  return completion;
 }
 
 SimTime Resource::acquire(Timeline& timeline, SimTime service) {
@@ -84,11 +102,40 @@ std::uint64_t Resource::operations() const {
   return ops_;
 }
 
+Resource::QueueStats Resource::queue_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_;
+}
+
+std::vector<Resource::ServerStats> Resource::server_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return server_stats_;
+}
+
+double Resource::utilization() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SimTime served = 0.0;
+  SimTime horizon = 0.0;
+  for (const ServerStats& stats : server_stats_) {
+    served += stats.served;
+    horizon = std::max(horizon, stats.horizon);
+  }
+  if (horizon <= 0.0) return 0.0;
+  return served / (horizon * static_cast<double>(servers_.size()));
+}
+
+void Resource::set_wait_observer(std::function<void(SimTime)> observer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  wait_observer_ = std::move(observer);
+}
+
 void Resource::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& schedule : servers_) schedule.clear();
+  for (auto& stats : server_stats_) stats = ServerStats{};
   busy_ = 0.0;
   ops_ = 0;
+  queue_ = QueueStats{};
 }
 
 }  // namespace msra::simkit

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -19,6 +20,25 @@ namespace msra::simkit {
 /// behind work another thread already booked at t=100. Thread-safe.
 class Resource {
  public:
+  /// Aggregate queueing-delay accounting: how long reservations sat waiting
+  /// for a server beyond their ready time. Zero-service reservations occupy
+  /// nothing and are excluded.
+  struct QueueStats {
+    std::uint64_t reservations = 0;  ///< granted reservations with service > 0
+    SimTime total_wait = 0.0;        ///< sum of (start - ready)
+    SimTime max_wait = 0.0;          ///< worst single wait
+  };
+
+  /// Per-server accounting maintained incrementally at reservation time, so
+  /// utilization is computable without rescanning schedules. `idle` is the
+  /// un-booked time inside the server's horizon (gaps left by out-of-order
+  /// bookings that later reservations may still fill).
+  struct ServerStats {
+    SimTime served = 0.0;   ///< booked service seconds on this server
+    SimTime horizon = 0.0;  ///< latest booked completion on this server
+    SimTime idle() const { return horizon - served; }
+  };
+
   explicit Resource(std::string name, int capacity = 1);
 
   const std::string& name() const { return name_; }
@@ -36,6 +56,25 @@ class Resource {
   SimTime busy_time() const;
   /// Number of reservations granted.
   std::uint64_t operations() const;
+
+  /// Queueing-delay totals since construction / last reset().
+  QueueStats queue_stats() const;
+
+  /// Per-server served/idle split (index = server). The split is maintained
+  /// incrementally by reserve(); no schedule rescans.
+  std::vector<ServerStats> server_stats() const;
+
+  /// Fraction of the booked horizon the device spent serving:
+  /// sum(served) / (capacity * max horizon). 0 when nothing was booked.
+  double utilization() const;
+
+  /// Installs a callback invoked (outside the internal lock) with the
+  /// queueing delay of every granted reservation with service > 0. Used by
+  /// the observability layer to export `io.<resource>.queue_wait`
+  /// histograms without making simkit depend on obs. Null detaches. Not
+  /// synchronized against in-flight reserve() calls: install before the
+  /// resource is shared across threads.
+  void set_wait_observer(std::function<void(SimTime wait)> observer);
 
   /// Forgets all bookkeeping (between experiment repetitions).
   void reset();
@@ -57,8 +96,11 @@ class Resource {
   std::string name_;
   mutable std::mutex mutex_;
   std::vector<Schedule> servers_;
+  std::vector<ServerStats> server_stats_;
   SimTime busy_ = 0.0;
   std::uint64_t ops_ = 0;
+  QueueStats queue_;
+  std::function<void(SimTime)> wait_observer_;
 };
 
 }  // namespace msra::simkit

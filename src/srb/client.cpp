@@ -43,6 +43,10 @@ Status SrbClient::wire_disconnect(simkit::Timeline& timeline) {
 }
 
 Status SrbClient::connect(simkit::Timeline& timeline) {
+  // Hold the pool operation lock across the whole transition (state checks
+  // AND wire RPCs): a concurrent connect/disconnect/drain must never see
+  // the intermediate refcounts these paths go through.
+  std::lock_guard<std::mutex> pool(pool_mutex_);
   bool pool_hit = false;
   bool pool_miss = false;
   bool stale_teardown = false;
@@ -83,6 +87,7 @@ Status SrbClient::connect(simkit::Timeline& timeline) {
 }
 
 Status SrbClient::disconnect(simkit::Timeline& timeline) {
+  std::lock_guard<std::mutex> pool(pool_mutex_);
   {
     std::lock_guard<std::mutex> lock(conn_mutex_);
     if (conn_refs_ == 0) return Status::Ok();  // spurious disconnect
@@ -108,6 +113,10 @@ Status SrbClient::disconnect(simkit::Timeline& timeline) {
 }
 
 Status SrbClient::drain(simkit::Timeline& timeline) {
+  // Same lock as connect(): idle-timeout reaping must not interleave with a
+  // concurrent session's connect when two sessions share the pool, or the
+  // connect can return Ok against a connection drain() is tearing down.
+  std::lock_guard<std::mutex> pool(pool_mutex_);
   {
     std::lock_guard<std::mutex> lock(conn_mutex_);
     if (!pooled_) return Status::Ok();

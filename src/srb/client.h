@@ -139,6 +139,14 @@ class SrbClient {
 
   SrbServer* server_;
   net::Link* link_;
+  /// Serializes whole connect()/disconnect()/drain() transitions, *including*
+  /// the wire RPCs. conn_mutex_ alone is not enough when two sessions share
+  /// the pool: a second connect() could observe conn_refs_ > 0 and return Ok
+  /// while the first connector's physical setup is still in flight (or while
+  /// drain()/disconnect() is mid-teardown with conn_refs_ temporarily bumped
+  /// for the kDisconnect RPC), leaving a "connected" client with no wire.
+  /// Ordering: pool_mutex_ is taken strictly outside conn_mutex_.
+  mutable std::mutex pool_mutex_;
   mutable std::mutex conn_mutex_;
   int conn_refs_ = 0;
   FastPathConfig fast_path_;  // guarded by conn_mutex_

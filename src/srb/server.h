@@ -46,6 +46,10 @@ class SrbServer {
   /// Resets the server CPU's virtual clock (between experiment repetitions).
   void reset_clock() { cpu_.reset(); }
 
+  /// The server CPU resource (for contention accounting / wait observers).
+  simkit::Resource& cpu() { return cpu_; }
+  const simkit::Resource& cpu() const { return cpu_; }
+
   /// Whole-server fault injection (e.g. site maintenance).
   void set_down(bool down) { down_ = down; }
   bool down() const { return down_; }

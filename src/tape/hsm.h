@@ -74,6 +74,10 @@ class HsmStore final : public BitfileBackend {
   /// seconds). Null detaches.
   void set_metrics(obs::MetricsRegistry* registry);
 
+  /// The staging-disk arm resource (for contention accounting / observers).
+  simkit::Resource& cache_arm() { return cache_arm_; }
+  const simkit::Resource& cache_arm() const { return cache_arm_; }
+
  private:
   struct Entry {
     std::uint64_t bytes = 0;

@@ -89,6 +89,18 @@ void TapeLibrary::set_metrics(obs::MetricsRegistry* registry) {
   m_seek_time_ = registry->histogram("tape.seek_time");
 }
 
+std::vector<std::pair<std::string, simkit::Resource*>>
+TapeLibrary::contended_resources() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, simkit::Resource*>> out;
+  out.reserve(drives_.size() + 1);
+  out.emplace_back("tape-robot", &robot_);
+  for (std::size_t i = 0; i < drives_.size(); ++i) {
+    out.emplace_back("tape-drive" + std::to_string(i), drives_[i].busy.get());
+  }
+  return out;
+}
+
 int TapeLibrary::mount_locked(simkit::Timeline& timeline, int cartridge) {
   // Already mounted?
   for (std::size_t i = 0; i < drives_.size(); ++i) {

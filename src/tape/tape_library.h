@@ -113,6 +113,12 @@ class TapeLibrary : public BitfileBackend {
   /// Unloads all drives (e.g. nightly maintenance in a failover scenario).
   void dismount_all(simkit::Timeline& timeline);
 
+  /// The contended devices of the library: the robot arm followed by every
+  /// drive. Pointers are stable for the library's lifetime (drives are
+  /// created in the constructor and never resized), so callers may attach
+  /// wait observers or poll stats without further locking.
+  std::vector<std::pair<std::string, simkit::Resource*>> contended_resources();
+
   /// Resets the virtual clocks of drives and robot (between independent
   /// experiment repetitions). Physical state (mounted cartridges, head
   /// positions, stored data) is preserved.

@@ -38,9 +38,13 @@ int usage() {
                "usage: msractl <command> [--root DIR] [options]\n"
                "commands:\n"
                "  ptool     populate the I/O performance database\n"
+               "            (--contended adds the 2/4/8-client curves)\n"
                "  predict   predict a run's I/O time (Eq. 1 + Eq. 2)\n"
+               "            (--load N [--util U] prices under N concurrent\n"
+               "            clients / background utilization U in [0,1))\n"
                "  explain   print one dataset's lowered I/O plan with\n"
-               "            per-stage predicted cost (--json [FILE])\n"
+               "            per-stage predicted cost (--json [FILE],\n"
+               "            --load N [--util U])\n"
                "  advise    performance-aware placement recommendation\n"
                "  run       run the Astro3D producer\n"
                "  mse       data analysis over a dataset (--dataset)\n"
@@ -56,7 +60,8 @@ int usage() {
                "            [--throttle-mb N] [--batch-mb N] [--rounds N]\n"
                "            [--json]\n"
                "  stats     probe every resource and print the Eq. 1 telemetry\n"
-               "            breakdown (--size-mb N, --json FILE)\n");
+               "            breakdown plus the device contention table\n"
+               "            (--size-mb N, --json FILE)\n");
   return 2;
 }
 
@@ -112,6 +117,16 @@ apps::astro3d::Config config_from(const Args& args) {
   return config;
 }
 
+// --load N (concurrent clients) and --util U (background device utilization
+// in [0, 1)) switch the predictor into load-aware pricing. Omitting both
+// keeps the classic dedicated-system prediction.
+predict::LoadAssumptions load_from(const Args& args) {
+  predict::LoadAssumptions load;
+  load.clients = static_cast<double>(args.get_int("load", 1));
+  load.utilization = std::strtod(args.get("util", "0").c_str(), nullptr);
+  return load;
+}
+
 struct Env {
   std::unique_ptr<core::StorageSystem> system;
   std::unique_ptr<predict::PerfDb> perfdb;
@@ -142,11 +157,17 @@ int cmd_ptool(const Args& args) {
   Env env(args);
   predict::PToolConfig config;
   config.repeats = static_cast<int>(args.get_int("repeats", 3));
+  config.measure_contended = args.has("contended");
   predict::PTool ptool(*env.system, *env.perfdb);
   die_on_error(ptool.measure_all(config), "ptool");
   std::printf("performance database populated: %zu transfer points, "
               "fixed costs for 3 resources x 2 directions\n",
               env.perfdb->rw_point_count());
+  if (config.measure_contended) {
+    std::printf("contended curves measured at");
+    for (int clients : config.contended_levels) std::printf(" %d", clients);
+    std::printf(" concurrent client(s)\n");
+  }
   return 0;
 }
 
@@ -166,9 +187,16 @@ int cmd_predict(const Args& args) {
   Env env(args);
   const auto config = config_from(args);
   predict::Predictor predictor(env.perfdb.get());
+  const predict::LoadAssumptions load = load_from(args);
   auto prediction = die_on_error(
-      predictor.predict_run(plan_of(config), config.iterations, config.nprocs),
+      predictor.predict_run(plan_of(config), config.iterations, config.nprocs,
+                            predict::IoOp::kWrite, load),
       "prediction (run `msractl ptool` first?)");
+  if (!load.dedicated()) {
+    std::printf("load-aware: %.0f concurrent client(s), %.0f%% background "
+                "utilization\n",
+                load.clients, load.utilization * 100.0);
+  }
   std::printf("%-16s %-12s %6s %14s\n", "NAME", "LOCATION", "DUMPS",
               "VIRTUALTIME(s)");
   for (const auto& d : prediction.datasets) {
@@ -225,9 +253,11 @@ int cmd_explain(const Args& args) {
                                ? predict::IoOp::kRead
                                : predict::IoOp::kWrite;
   predict::Predictor predictor(env.perfdb.get());
+  const predict::LoadAssumptions load = load_from(args);
   auto prediction = die_on_error(
       predictor.predict_dataset(*desc, resolved, config.iterations,
-                                config.nprocs, op),
+                                config.nprocs, op,
+                                predict::FastPathAssumptions{}, load),
       "prediction (run `msractl ptool` first?)");
   if (prediction.location == core::Location::kDisable) {
     std::printf("%s: DISABLE — never dumped, zero I/O cost\n", name.c_str());
@@ -245,7 +275,13 @@ int cmd_explain(const Args& args) {
       runtime::PlanBuilder::dataset_dump(layout, desc->method,
                                          desc->aggregators, dir),
       "lowering");
-  auto stages = die_on_error(predictor.price_stages(plan, resolved), "pricing");
+  auto stages =
+      die_on_error(predictor.price_stages(plan, resolved, load), "pricing");
+  if (!load.dedicated() && !args.has("json")) {
+    std::printf("load-aware: %.0f concurrent client(s), %.0f%% background "
+                "utilization\n",
+                load.clients, load.utilization * 100.0);
+  }
 
   if (args.has("json")) {
     std::string json = "{";
@@ -805,6 +841,9 @@ int cmd_stats(const Args& args) {
   const auto rows = obs::io_breakdown(system.metrics());
   std::printf("Eq. (1) component breakdown (simulated seconds):\n%s",
               obs::format_io_table(rows).c_str());
+
+  std::printf("\ndevice contention (queueing on shared resources):\n%s",
+              obs::format_contention_table(system.resource_loads()).c_str());
   double breakdown_sum = 0.0;
   for (const auto& row : rows) breakdown_sum += row.total();
   const double billed = tl.now();
