@@ -261,7 +261,7 @@ void ablation_hsm() {
     system.reset_time();
     simkit::Timeline tl;
     for (int t = 0; t <= 120; t += 6) {
-      check(handle->read_whole(tl, t).status(), "read");
+      check(handle->read_whole(t, {.timeline = &tl}).status(), "read");
     }
     std::printf("%-22s %16.1f %16.1f\n",
                 staged ? "disk cache + tapes" : "bare tapes (paper)",

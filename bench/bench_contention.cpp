@@ -116,9 +116,7 @@ AccuracyRow accuracy_at(Shared& shared, int k) {
   // reproducible.
   for (int t = 0; t < kTimesteps; ++t) {
     for (int i = 0; i < k; ++i) {
-      check(handles[static_cast<std::size_t>(i)]
-                ->read_whole(clients[static_cast<std::size_t>(i)]->timeline(), t)
-                .status(),
+      check(handles[static_cast<std::size_t>(i)]->read_whole(t).status(),
             "read frame");
     }
   }
@@ -209,7 +207,7 @@ MixedRow mixed_at(Shared& shared, int k) {
         client.timeline().advance_to(world.timeline(0).now());
         moved_bytes += static_cast<double>(shared.object_bytes);
       } else if (tenant.role == 1) {
-        check(tenant.handle->read_whole(client.timeline(), t).status(),
+        check(tenant.handle->read_whole(t).status(),
               "analysis read");
         moved_bytes += static_cast<double>(shared.object_bytes);
       } else {
@@ -218,7 +216,7 @@ MixedRow mixed_at(Shared& shared, int k) {
         const std::uint64_t zindex = rng() % shared.dims[2];
         box.extent[2] = {zindex, zindex + 1};
         const int timestep = static_cast<int>(rng() % kTimesteps);
-        check(tenant.handle->read_box(client.timeline(), timestep, box, slice),
+        check(tenant.handle->read_box(timestep, box, slice),
               "viz slice");
         moved_bytes += static_cast<double>(slice_bytes);
       }

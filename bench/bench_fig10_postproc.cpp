@@ -111,7 +111,7 @@ void part_b() {
     simkit::Timeline tl;
     const int freq = world.config.viz_freq;
     for (int t = 0; t <= world.config.iterations; t += freq) {
-      check(handle->read_whole(tl, t).status(), "read_whole");
+      check(handle->read_whole(t, {.timeline = &tl}).status(), "read_whole");
     }
     std::printf("%-28s %14.1f %14.1f\n",
                 std::string(core::location_name(location)).c_str(), predicted,

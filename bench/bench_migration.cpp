@@ -65,7 +65,7 @@ struct Workload {
     for (int r = 0; r < kReadsPerTimestep; ++r) {
       for (int t = 0; t < kTimesteps; ++t) {
         simkit::Timeline tl;
-        check(handle->read_whole(tl, t).status(), "read");
+        check(handle->read_whole(t, {.timeline = &tl}).status(), "read");
         total += tl.now();
       }
     }

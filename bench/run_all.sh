@@ -32,6 +32,7 @@ run bench_fig8_remotetape fig8
 run bench_fig9_astro3d    fig9
 run bench_migration       migration
 run bench_contention      contention
+run bench_fleet           fleet
 
 echo "Summaries:"
 ls -l "${OUT_DIR}"/BENCH_*.json
@@ -44,7 +45,7 @@ ls -l "${OUT_DIR}"/BENCH_*.json
 if [[ "${MSRA_FULL_SCALE:-0}" != "1" ]]; then
   BASELINE_DIR="$(dirname "$0")/baselines"
   drift=0
-  for fig in fig6 fig7 fig8 fig9 migration contention; do
+  for fig in fig6 fig7 fig8 fig9 migration contention fleet; do
     if ! diff -u "${BASELINE_DIR}/BENCH_${fig}.json" \
                  "${OUT_DIR}/BENCH_${fig}.json"; then
       echo "PARITY DRIFT: ${fig} differs from ${BASELINE_DIR}" >&2
@@ -55,5 +56,5 @@ if [[ "${MSRA_FULL_SCALE:-0}" != "1" ]]; then
     echo "bench parity check FAILED (see diffs above)" >&2
     exit 1
   fi
-  echo "bench parity check passed: fig6-9 match committed baselines"
+  echo "bench parity check passed: summaries match committed baselines"
 fi

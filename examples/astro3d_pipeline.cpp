@@ -96,13 +96,14 @@ int main() {
   // --- interact ----------------------------------------------------------
   auto handle = session.open_existing("temp");
   if (handle.ok()) {
-    auto slice = apps::vizlib::extract_slice(**handle, tl, 12,
-                                             apps::vizlib::Axis::kZ, 24);
+    auto slice = apps::vizlib::extract_slice(**handle, 12, apps::vizlib::Axis::kZ,
+                                             24, {.timeline = &tl});
     if (slice.ok()) {
       std::printf("\nz-slice of `temp` at t=12 (sieving read from remote disk):\n");
       std::printf("%s", apps::imgview::ascii_render(*slice, 48).c_str());
     }
-    auto cells = apps::vizlib::isosurface_cells_of(**handle, tl, 12, 1.2f);
+    auto cells =
+        apps::vizlib::isosurface_cells_of(**handle, 12, 1.2f, {.timeline = &tl});
     if (cells.ok()) {
       std::printf("isosurface T=1.2 crosses %llu cells\n",
                   static_cast<unsigned long long>(*cells));

@@ -35,7 +35,7 @@ int main() {
   if (!apps::astro3d::run(ref_session, base_config()).ok()) return 1;
   simkit::Timeline ref_tl;
   auto ref_handle = ref_session.open_existing("temp");
-  auto reference = (*ref_handle)->read_whole(ref_tl, 12);
+  auto reference = (*ref_handle)->read_whole(12, {.timeline = &ref_tl});
   if (!reference.ok()) return 1;
 
   // The "production" system: run to iteration 6, then the job dies.
@@ -71,7 +71,7 @@ int main() {
   // Verify: the resumed evolution equals the uninterrupted one.
   simkit::Timeline tl;
   auto handle = second.open_existing("temp");
-  auto resumed = (*handle)->read_whole(tl, 12);
+  auto resumed = (*handle)->read_whole(12, {.timeline = &tl});
   if (!resumed.ok()) return 1;
   const bool identical = *resumed == *reference;
   std::printf("final state vs uninterrupted run: %s\n",

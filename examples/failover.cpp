@@ -6,7 +6,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/session.h"
+#include "core/msra.h"
 
 using namespace msra;
 
@@ -53,7 +53,7 @@ int main() {
   simkit::Timeline tl;
   int recovered = 0;
   for (int t = 0; t <= 20; t += 2) {
-    if ((*handle)->read_whole(tl, t).ok()) ++recovered;
+    if ((*handle)->read_whole(t, {.timeline = &tl}).ok()) ++recovered;
   }
   std::printf("\nrecovered %d/11 timesteps after maintenance — the run never "
               "stopped.\n", recovered);

@@ -18,7 +18,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/client.h"
+#include "core/msra.h"
 #include "predict/predictor.h"
 #include "predict/ptool.h"
 #include "runtime/plan.h"
@@ -96,12 +96,12 @@ int main() {
         dump.timeline().now());
     dump.timeline().advance_to(world.timeline(0).now());
 
-    if (!(*mse_handle)->read_whole(mse.timeline(), t).ok()) return 1;
+    if (!(*mse_handle)->read_whole(t).ok()) return 1;
 
     prt::LocalBox box;
     for (std::size_t d = 0; d < 3; ++d) box.extent[d] = {0, frame.dims[d]};
     box.extent[2] = {32, 33};  // one z-slice
-    if (!(*volren_handle)->read_box(volren.timeline(), t, box, slice).ok())
+    if (!(*volren_handle)->read_box(t, box, slice).ok())
       return 1;
   }
 

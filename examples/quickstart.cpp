@@ -6,7 +6,7 @@
 #include <cstring>
 #include <vector>
 
-#include "core/session.h"
+#include "core/msra.h"
 #include "obs/report.h"
 
 using namespace msra;
@@ -65,7 +65,7 @@ int main() {
     // 5. A serial consumer (e.g. an analysis tool) reads one timestep back
     //    through the metadata — no knowledge of where the data lives.
     simkit::Timeline reader;
-    auto data = (*handle)->read_whole(reader, 2);
+    auto data = (*handle)->read_whole(2, {.timeline = &reader});
     if (!data.ok()) {
       std::fprintf(stderr, "read failed: %s\n",
                    data.status().to_string().c_str());

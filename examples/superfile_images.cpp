@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "apps/imgview/image.h"
-#include "core/system.h"
+#include "core/msra.h"
 #include "runtime/endpoint.h"
 #include "runtime/superfile.h"
 

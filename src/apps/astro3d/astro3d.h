@@ -20,7 +20,7 @@
 #include <string>
 #include <vector>
 
-#include "core/session.h"
+#include "core/msra.h"
 #include "prt/array.h"
 
 namespace msra::apps::astro3d {

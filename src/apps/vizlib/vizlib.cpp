@@ -6,8 +6,8 @@
 namespace msra::apps::vizlib {
 
 StatusOr<imgview::Image> extract_slice(core::DatasetHandle& handle,
-                                       simkit::Timeline& timeline, int timestep,
-                                       Axis axis, std::uint64_t index,
+                                       int timestep, Axis axis,
+                                       std::uint64_t index,
                                        const core::ReadOptions& options) {
   const auto& dims = handle.desc().dims;
   const auto a = static_cast<std::size_t>(axis);
@@ -18,7 +18,7 @@ StatusOr<imgview::Image> extract_slice(core::DatasetHandle& handle,
 
   const std::size_t elem = core::element_size(handle.desc().etype);
   std::vector<std::byte> raw(box.volume() * elem);
-  MSRA_RETURN_IF_ERROR(handle.read_box(timeline, timestep, box, raw, options));
+  MSRA_RETURN_IF_ERROR(handle.read_box(timestep, box, raw, options));
 
   // The slice plane's two in-plane dimensions, in row-major order.
   std::array<std::size_t, 2> plane{};
@@ -91,12 +91,12 @@ std::vector<std::uint64_t> field_histogram(std::span<const float> volume,
 }
 
 StatusOr<std::uint64_t> isosurface_cells_of(core::DatasetHandle& handle,
-                                            simkit::Timeline& timeline,
-                                            int timestep, float iso) {
+                                            int timestep, float iso,
+                                            const core::ReadOptions& options) {
   if (handle.desc().etype != core::ElementType::kFloat32) {
     return Status::InvalidArgument("isosurface expects float data");
   }
-  MSRA_ASSIGN_OR_RETURN(auto raw, handle.read_whole(timeline, timestep));
+  MSRA_ASSIGN_OR_RETURN(auto raw, handle.read_whole(timestep, options));
   std::vector<float> volume(raw.size() / sizeof(float));
   std::memcpy(volume.data(), raw.data(), raw.size());
   return count_isosurface_cells(volume, handle.desc().dims, iso);

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "apps/imgview/image.h"
-#include "core/session.h"
+#include "core/msra.h"
 
 namespace msra::apps::vizlib {
 
@@ -20,10 +20,10 @@ enum class Axis { kX = 0, kY = 1, kZ = 2 };
 /// Extracts a 2-D slice (normalized to uchar for float data) at `index`
 /// along `axis` of one dumped timestep, reading only the slice's bytes.
 /// `options` is forwarded to DatasetHandle::read_box (access strategy,
-/// trace label).
+/// trace label, timeline — defaulting to the handle's session clock).
 StatusOr<imgview::Image> extract_slice(core::DatasetHandle& handle,
-                                       simkit::Timeline& timeline, int timestep,
-                                       Axis axis, std::uint64_t index,
+                                       int timestep, Axis axis,
+                                       std::uint64_t index,
                                        const core::ReadOptions& options = {});
 
 /// Marching-cubes-style cell classification: counts grid cells whose corner
@@ -38,7 +38,7 @@ std::vector<std::uint64_t> field_histogram(std::span<const float> volume,
 
 /// Reads a whole float timestep and classifies it against `iso`.
 StatusOr<std::uint64_t> isosurface_cells_of(core::DatasetHandle& handle,
-                                            simkit::Timeline& timeline,
-                                            int timestep, float iso);
+                                            int timestep, float iso,
+                                            const core::ReadOptions& options = {});
 
 }  // namespace msra::apps::vizlib

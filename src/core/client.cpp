@@ -15,6 +15,44 @@ SessionOptions with_user(SessionOptions options, const std::string& name) {
 
 Client::Client(std::string name, StorageSystem& system, SessionOptions options)
     : name_(std::move(name)),
-      session_(system, with_user(std::move(options), name_)) {}
+      session_(system, with_user(std::move(options), name_)),
+      owned_fleet_(std::make_unique<Fleet>(system)),
+      fleet_(owned_fleet_.get()) {
+  fleet_->attach(this);
+}
+
+Client::Client(std::string name, StorageSystem& system, SessionOptions options,
+               Fleet* fleet)
+    : name_(std::move(name)),
+      session_(system, with_user(std::move(options), name_)),
+      fleet_(fleet) {}
+
+Client::~Client() = default;
+
+StatusOr<DatasetHandle*> Client::open(const DatasetDesc& desc) {
+  const std::string dataset = desc.name;
+  Completion* done = submit(Workload().open(desc));
+  fleet_->run_client(*this);
+  MSRA_RETURN_IF_ERROR(done->status());
+  DatasetHandle* handle = session_.find_handle(dataset);
+  if (handle == nullptr) return Status::Internal("open lost its handle");
+  return handle;
+}
+
+StatusOr<DatasetHandle*> Client::open_existing(const std::string& dataset,
+                                               const OpenOptions& options) {
+  Completion* done = submit(Workload().open_existing(dataset, options));
+  fleet_->run_client(*this);
+  MSRA_RETURN_IF_ERROR(done->status());
+  DatasetHandle* handle = session_.find_handle(dataset);
+  if (handle == nullptr) return Status::Internal("open lost its handle");
+  return handle;
+}
+
+Status Client::finalize() {
+  Completion* done = submit(Workload().finalize());
+  fleet_->run_client(*this);
+  return done->status();
+}
 
 }  // namespace msra::core

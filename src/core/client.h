@@ -1,22 +1,35 @@
 // core::Client: one tenant of the multi-tenant core.
 //
 // A Client bundles everything one user of a shared StorageSystem owns
-// privately: a name, a virtual clock, and a Session. N clients over one
-// system model N concurrent users — each advances its own Timeline, and
-// the only coupling between them is contention on the shared simkit
-// resources (disk arms, server CPU, WAN pipes, tape drives):
+// privately: a name, a Session, and the session's virtual clock. N clients
+// over one system model N concurrent users — each advances its own
+// Timeline, and the only coupling between them is contention on the shared
+// simkit resources (disk arms, server CPU, WAN pipes, tape drives).
 //
-//   StorageSystem system(profile);              // the shared substrate
-//   Client alice("alice", system, {...});       // producer
-//   Client bob("bob", system, {...});           // analysis consumer
-//   ... alice and bob issue I/O from separate host threads ...
+// Two ways to drive a client:
 //
+//   // Synchronous (thread-per-tenant, PR 5 style):
+//   Client alice("alice", system, {...});
+//   auto* temp = alice.open(desc);            // blocks, advances alice's clock
+//
+//   // Event-driven (fleet style, scales to 100k tenants):
+//   Fleet fleet(system);
+//   Client& bob = fleet.add_client("bob");
+//   Completion* c = bob.submit(Workload().open_existing("temp")
+//                                        .read_whole("temp", 0)
+//                                        .finalize());
+//   fleet.run_until_idle();
+//
+// The synchronous calls are implemented as submit + a one-actor drain of
+// the client's own fleet, so both forms execute the same scheduler path.
 // Each client's elapsed() is its per-tenant virtual latency; the system's
 // resource_loads() shows where the tenants queued on each other.
 #pragma once
 
+#include <memory>
 #include <string>
 
+#include "core/fleet.h"
 #include "core/session.h"
 #include "simkit/timeline.h"
 
@@ -28,34 +41,47 @@ namespace msra::core {
 /// fully independent and may run concurrently over one StorageSystem.
 class Client {
  public:
-  /// Connects the client to the shared system; `options.user` defaults to
-  /// the client name when left at the SessionOptions default.
+  /// Connects a standalone client to the shared system; `options.user`
+  /// defaults to the client name when left at the SessionOptions default.
   Client(std::string name, StorageSystem& system, SessionOptions options = {});
+  ~Client();
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
   const std::string& name() const { return name_; }
-  simkit::Timeline& timeline() { return timeline_; }
+  simkit::Timeline& timeline() { return session_.timeline(); }
   Session& session() { return session_; }
+  Fleet& fleet() { return *fleet_; }
 
   /// Virtual seconds this client's clock has accumulated.
-  simkit::SimTime elapsed() const { return timeline_.now(); }
+  simkit::SimTime elapsed() const { return session_.timeline().now(); }
 
-  // Forwarders for the common session flow.
-  StatusOr<DatasetHandle*> open(const DatasetDesc& desc) {
-    return session_.open(desc);
+  /// Enqueues a workload on this client's actor. It runs when the owning
+  /// fleet is pumped (run_until_idle) — or, for a standalone client, on
+  /// the next synchronous call, which drains the private one-actor fleet.
+  Completion* submit(Workload workload) {
+    return fleet_->submit(*this, std::move(workload));
   }
+
+  // Synchronous session flow: each call submits the equivalent workload
+  // and drains this client's actor to completion.
+  StatusOr<DatasetHandle*> open(const DatasetDesc& desc);
   StatusOr<DatasetHandle*> open_existing(const std::string& dataset,
-                                         const OpenOptions& options = {}) {
-    return session_.open_existing(dataset, options);
-  }
-  Status finalize() { return session_.finalize(); }
+                                         const OpenOptions& options = {});
+  Status finalize();
 
  private:
+  friend class Fleet;
+  /// Fleet-owned client (Fleet::add_client).
+  Client(std::string name, StorageSystem& system, SessionOptions options,
+         Fleet* fleet);
+
   std::string name_;
-  simkit::Timeline timeline_;
   Session session_;
+  std::unique_ptr<Fleet> owned_fleet_;  ///< standalone clients only
+  Fleet* fleet_;
+  std::size_t actor_index_ = 0;  ///< this client's actor in fleet_
 };
 
 }  // namespace msra::core

@@ -1,0 +1,432 @@
+#include "core/fleet.h"
+
+#include <array>
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+#include <utility>
+
+#include "common/threadpool.h"
+#include "core/client.h"
+#include "obs/metrics.h"
+
+namespace msra::core {
+
+// ---------------------------------------------------------- TenantContext --
+
+Session& TenantContext::session() { return client_->session(); }
+
+simkit::Timeline& TenantContext::timeline() { return client_->timeline(); }
+
+StorageSystem& TenantContext::system() { return client_->session().system(); }
+
+DatasetHandle* TenantContext::handle(const std::string& dataset) {
+  return client_->session().find_handle(dataset);
+}
+
+// --------------------------------------------------------------- Workload --
+
+namespace {
+
+/// A step referenced a dataset with no open handle: distinguish "session
+/// already gone" from "never opened" so the completion explains itself.
+Status missing_handle(TenantContext& ctx, const std::string& dataset) {
+  if (ctx.session().finalized()) {
+    return Status::FailedPrecondition("session already finalized");
+  }
+  return Status::NotFound("dataset " + dataset + " not open in this session");
+}
+
+}  // namespace
+
+Workload& Workload::tagged(std::string tag) {
+  tag_ = std::move(tag);
+  return *this;
+}
+
+Workload& Workload::then(std::string label,
+                         std::function<Status(TenantContext&)> fn) {
+  Step step;
+  step.label = std::move(label);
+  step.fn = std::move(fn);
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+Workload& Workload::open(DatasetDesc desc) {
+  std::string label = "open " + desc.name;
+  return then(std::move(label), [desc = std::move(desc)](TenantContext& ctx) {
+    return ctx.session().open(desc).status();
+  });
+}
+
+Workload& Workload::open_existing(std::string dataset, OpenOptions options) {
+  std::string label = "open_existing " + dataset;
+  return then(std::move(label),
+              [dataset = std::move(dataset),
+               options = std::move(options)](TenantContext& ctx) {
+                return ctx.session().open_existing(dataset, options).status();
+              });
+}
+
+Workload& Workload::finalize() {
+  return then("finalize",
+              [](TenantContext& ctx) { return ctx.session().finalize(); });
+}
+
+Workload& Workload::dump(std::string dataset, int timestep) {
+  Step step;
+  step.label = "dump " + dataset + "/t" + std::to_string(timestep);
+  step.lower = [dataset, timestep](TenantContext& ctx,
+                                   StagedIo& io) -> StatusOr<bool> {
+    DatasetHandle* handle = ctx.handle(dataset);
+    if (handle == nullptr) return missing_handle(ctx, dataset);
+    if (!handle->enabled()) return false;  // DISABLE: not dumped at all
+    MSRA_ASSIGN_OR_RETURN(io.access, handle->stage_dump(timestep));
+    // The payload is a fill pattern: virtual time depends on its size only.
+    io.in.assign(handle->desc().global_bytes(), std::byte{0});
+    io.span_label = "write_timestep " + dataset;
+    return true;
+  };
+  step.finish = [dataset, timestep](TenantContext& ctx) {
+    DatasetHandle* handle = ctx.handle(dataset);
+    if (handle == nullptr) return missing_handle(ctx, dataset);
+    return handle->commit_dump(timestep, ctx.timeline().now());
+  };
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+Workload& Workload::read_whole(std::string dataset, int timestep) {
+  Step step;
+  step.label = "read_whole " + dataset + "/t" + std::to_string(timestep);
+  step.lower = [dataset, timestep](TenantContext& ctx,
+                                   StagedIo& io) -> StatusOr<bool> {
+    DatasetHandle* handle = ctx.handle(dataset);
+    if (handle == nullptr) return missing_handle(ctx, dataset);
+    MSRA_ASSIGN_OR_RETURN(io.access, handle->stage_read_whole(timestep));
+    io.out.resize(handle->desc().global_bytes());
+    return true;
+  };
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+Workload& Workload::read_box(std::string dataset, int timestep,
+                             prt::LocalBox box, ReadOptions options) {
+  Step step;
+  step.label = "read_box " + dataset + "/t" + std::to_string(timestep);
+  step.lower = [dataset, timestep, box, options = std::move(options)](
+                   TenantContext& ctx, StagedIo& io) -> StatusOr<bool> {
+    if (options.streams != 0) {
+      return Status::InvalidArgument(
+          "staged reads cannot reshape the endpoint fast path (streams)");
+    }
+    if (options.timeline != nullptr) {
+      return Status::InvalidArgument(
+          "fleet actors run on their own clock (timeline override)");
+    }
+    DatasetHandle* handle = ctx.handle(dataset);
+    if (handle == nullptr) return missing_handle(ctx, dataset);
+    const std::size_t bytes =
+        box.volume() * element_size(handle->desc().etype);
+    MSRA_ASSIGN_OR_RETURN(io.access,
+                          handle->stage_read_box(timestep, box, bytes, options));
+    io.out.resize(bytes);
+    io.span_label = options.trace_label.empty() ? "read_box " + dataset
+                                                : options.trace_label;
+    return true;
+  };
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+// ------------------------------------------------------------------ Fleet --
+
+/// One tenant actor: a client, its workload queue, and the in-flight slice
+/// state. An actor is scheduled at most once at a time; the min-heap only
+/// re-admits it after its current slice retired.
+struct Fleet::Actor {
+  Client* client = nullptr;
+  std::size_t index = 0;
+  std::deque<std::pair<Workload, Completion*>> queue;
+
+  // Current workload progress.
+  bool active = false;
+  Workload current;
+  Completion* completion = nullptr;
+  std::size_t step = 0;
+
+  /// A staged I/O step mid-flight: buffers, the optional whole-access
+  /// span, and the cursor stepping the plan. The span outlives the cursor
+  /// (declared first) so it closes after the last stage ran.
+  struct Io {
+    Io(StagedIo s, obs::TraceRecorder* tracer, simkit::Timeline& timeline)
+        : staged(std::move(s)),
+          span(staged.span_label.empty()
+                   ? nullptr
+                   : std::make_unique<obs::Span>(tracer, timeline,
+                                                 staged.span_label)),
+          cursor(staged.access.plan, *staged.access.endpoint, timeline,
+                 staged.out, staged.in, tracer) {}
+    StagedIo staged;
+    std::unique_ptr<obs::Span> span;
+    runtime::PlanCursor cursor;
+  };
+  std::unique_ptr<Io> io;
+};
+
+Fleet::Fleet(StorageSystem& system, FleetOptions options)
+    : system_(system), options_(options) {}
+
+Fleet::~Fleet() = default;
+
+Client& Fleet::add_client(std::string name, SessionOptions options) {
+  auto client = std::unique_ptr<Client>(
+      new Client(std::move(name), system_, std::move(options), this));
+  Client* raw = client.get();
+  owned_clients_.push_back(std::move(client));
+  attach(raw);
+  return *raw;
+}
+
+void Fleet::attach(Client* client) {
+  auto actor = std::make_unique<Actor>();
+  actor->client = client;
+  actor->index = actors_.size();
+  client->actor_index_ = actor->index;
+  actors_.push_back(std::move(actor));
+}
+
+Fleet::Actor* Fleet::actor_of(Client& client) {
+  const std::size_t index = client.actor_index_;
+  if (index >= actors_.size() || actors_[index]->client != &client) {
+    return nullptr;
+  }
+  return actors_[index].get();
+}
+
+Completion* Fleet::submit(Client& client, Workload workload) {
+  Actor* actor = actor_of(client);
+  completions_.emplace_back();
+  Completion* completion = &completions_.back();
+  completion->submitted_at_ = client.timeline().now();
+  if (actor == nullptr) {
+    completion->status_ =
+        Status::InvalidArgument("client does not belong to this fleet");
+    completion->finished_at_ = completion->submitted_at_;
+    completion->done_ = true;
+    return completion;
+  }
+  actor->queue.emplace_back(std::move(workload), completion);
+  return completion;
+}
+
+bool Fleet::runnable(const Actor& actor) const {
+  return actor.active || !actor.queue.empty();
+}
+
+void Fleet::start_next(Actor& actor) {
+  auto [workload, completion] = std::move(actor.queue.front());
+  actor.queue.pop_front();
+  actor.current = std::move(workload);
+  actor.completion = completion;
+  actor.step = 0;
+  actor.active = true;
+}
+
+void Fleet::finish_workload(Actor& actor, Status status) {
+  Completion* completion = actor.completion;
+  actor.io.reset();
+  actor.active = false;
+  actor.completion = nullptr;
+  completion->finished_at_ = actor.client->timeline().now();
+  completion->status_ = status;
+  completion->done_ = true;
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  obs::MetricsRegistry& metrics = system_.metrics();
+  if (metrics.enabled()) {
+    metrics.counter(status.ok() ? "fleet.completed" : "fleet.failed")
+        ->increment();
+    const double latency = completion->latency();
+    metrics.histogram("fleet.latency")->record(latency);
+    if (!actor.current.tag_.empty()) {
+      metrics.histogram("fleet.latency." + actor.current.tag_)
+          ->record(latency);
+    }
+  }
+}
+
+void Fleet::run_slice(Actor& actor) {
+  TenantContext ctx(actor.client);
+  if (!actor.active) start_next(actor);
+  if (actor.step >= actor.current.steps_.size()) {
+    finish_workload(actor, Status::Ok());
+    return;
+  }
+  const Workload::Step& step = actor.current.steps_[actor.step];
+
+  // Mid-flight staged I/O: run one plan stage, retire the step when the
+  // cursor drained.
+  if (actor.io != nullptr) {
+    (void)actor.io->cursor.step();  // running status read back when done
+    if (!actor.io->cursor.done()) return;
+    Status status = actor.io->cursor.status();
+    actor.io.reset();
+    if (status.ok() && step.finish) status = step.finish(ctx);
+    if (!status.ok()) {
+      finish_workload(actor, std::move(status));
+      return;
+    }
+    ++actor.step;
+    return;
+  }
+
+  // Staged I/O step, first slice: lower only (the metadata half — replica
+  // selection, heat accounting, plan building — is one atomic slice; plan
+  // stages start on the next).
+  if (step.lower) {
+    StagedIo staged;
+    StatusOr<bool> lowered = step.lower(ctx, staged);
+    if (!lowered.ok()) {
+      finish_workload(actor, lowered.status());
+      return;
+    }
+    if (*lowered) {
+      actor.io = std::make_unique<Actor::Io>(std::move(staged),
+                                             &system_.tracer(),
+                                             actor.client->timeline());
+      return;
+    }
+    ++actor.step;  // nothing to do (e.g. DISABLEd dump)
+    return;
+  }
+
+  // Control step: one atomic slice.
+  Status status = step.fn ? step.fn(ctx) : Status::Ok();
+  if (!status.ok()) {
+    finish_workload(actor, std::move(status));
+    return;
+  }
+  ++actor.step;
+}
+
+Fleet::ConflictKey Fleet::next_key(const Actor& actor) const {
+  if (actor.io != nullptr) {
+    // Remote disk and remote tape share the SRB server CPU (and its
+    // connection state), so they form one conflict class.
+    return actor.io->staged.access.endpoint ==
+                   &system_.endpoint(Location::kLocalDisk)
+               ? ConflictKey::kLocalDisk
+               : ConflictKey::kRemoteServer;
+  }
+  // Lowering, control steps, metadata commits: touch catalog / tracker /
+  // session state — exclusive.
+  return ConflictKey::kExclusive;
+}
+
+namespace {
+/// (virtual now, actor index): the scheduling order. Ties resolve to the
+/// lower actor index, so replays are exactly reproducible.
+using HeapEntry = std::pair<simkit::SimTime, std::size_t>;
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+}  // namespace
+
+void Fleet::drain_serial(Actor* only) {
+  MinHeap heap;
+  if (only != nullptr) {
+    if (runnable(*only)) heap.push({only->client->timeline().now(), only->index});
+  } else {
+    for (const auto& actor : actors_) {
+      if (runnable(*actor)) {
+        heap.push({actor->client->timeline().now(), actor->index});
+      }
+    }
+  }
+  while (!heap.empty()) {
+    Actor& actor = *actors_[heap.top().second];
+    heap.pop();
+    if (!runnable(actor)) continue;
+    run_slice(actor);
+    if (runnable(actor) && (only == nullptr || &actor == only)) {
+      heap.push({actor.client->timeline().now(), actor.index});
+    }
+  }
+}
+
+void Fleet::drain_pool() {
+  ThreadPool pool(static_cast<std::size_t>(options_.workers));
+  std::mutex mutex;
+  std::condition_variable idle_cv;
+  MinHeap heap;
+  std::array<int, 3> in_flight{};  // per ConflictKey
+  int in_flight_total = 0;
+
+  for (const auto& actor : actors_) {
+    if (runnable(*actor)) {
+      heap.push({actor->client->timeline().now(), actor->index});
+    }
+  }
+
+  auto conflicted = [&](ConflictKey key) {
+    if (key == ConflictKey::kExclusive) return in_flight_total > 0;
+    return in_flight[static_cast<std::size_t>(ConflictKey::kExclusive)] > 0 ||
+           in_flight[static_cast<std::size_t>(key)] > 0;
+  };
+
+  // Dispatches from the heap top while it does not conflict with in-flight
+  // slices. Never skips a blocked top: dispatch order stays the global
+  // virtual-time order. Runs under `mutex`.
+  std::function<void()> pump = [&] {
+    while (!heap.empty()) {
+      Actor& actor = *actors_[heap.top().second];
+      if (!runnable(actor)) {
+        heap.pop();
+        continue;
+      }
+      const ConflictKey key = next_key(actor);
+      if (conflicted(key)) break;
+      heap.pop();
+      ++in_flight[static_cast<std::size_t>(key)];
+      ++in_flight_total;
+      pool.submit([this, &actor, key, &mutex, &idle_cv, &heap, &in_flight,
+                   &in_flight_total, &pump] {
+        run_slice(actor);
+        std::lock_guard<std::mutex> lock(mutex);
+        --in_flight[static_cast<std::size_t>(key)];
+        --in_flight_total;
+        if (runnable(actor)) {
+          heap.push({actor.client->timeline().now(), actor.index});
+        }
+        pump();
+        // Notify under the lock: the waiter owns the cv's storage and may
+        // destroy it the moment it observes idle, so an unlocked notify
+        // races with that destruction.
+        idle_cv.notify_all();
+      });
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    pump();
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  idle_cv.wait(lock, [&] { return in_flight_total == 0 && heap.empty(); });
+}
+
+void Fleet::run_until_idle() {
+  if (options_.workers > 1) {
+    drain_pool();
+    return;
+  }
+  drain_serial(nullptr);
+}
+
+void Fleet::run_client(Client& client) {
+  Actor* actor = actor_of(client);
+  if (actor != nullptr) drain_serial(actor);
+}
+
+}  // namespace msra::core

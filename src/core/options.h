@@ -11,17 +11,25 @@
 // live in small aggregate structs with designated-initializer-friendly
 // defaults:
 //
-//   handle.read_box(tl, t, box, out, {.strategy = AccessStrategy::kDirect});
+//   handle.read_box(t, box, out, {.strategy = AccessStrategy::kDirect});
 //   session.open_existing("temperature", {.producer_app = "astro3d"});
+//
+// Serial consumer calls (read_whole/read_box/replicate_timestep) run on the
+// owning session's timeline by default; measurement harnesses that keep a
+// dedicated clock per experiment pass {.timeline = &tl} instead.
 #pragma once
 
 #include <string>
 
 #include "runtime/sieve.h"
 
+namespace msra::simkit {
+class Timeline;
+}  // namespace msra::simkit
+
 namespace msra::core {
 
-/// Knobs for DatasetHandle::read_box.
+/// Knobs for DatasetHandle::read_whole / read_box.
 struct ReadOptions {
   /// How strided sub-array requests hit storage.
   runtime::AccessStrategy strategy = runtime::AccessStrategy::kSieving;
@@ -33,8 +41,20 @@ struct ReadOptions {
   int streams = 0;
 
   /// Span name recorded in the system tracer for this read. Empty uses the
-  /// default ("read_box <dataset>").
-  std::string trace_label;
+  /// default ("read_box <dataset>"). (The explicit empty default keeps
+  /// partial designated initializers warning-free under -Wextra.)
+  std::string trace_label = {};
+
+  /// Clock the access runs on (not owned). Null uses the owning session's
+  /// timeline.
+  simkit::Timeline* timeline = nullptr;
+};
+
+/// Knobs for DatasetHandle::replicate_timestep.
+struct ReplicateOptions {
+  /// Clock the copy runs on (not owned). Null uses the owning session's
+  /// timeline.
+  simkit::Timeline* timeline = nullptr;
 };
 
 /// Knobs for Session::open_existing.

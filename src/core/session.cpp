@@ -93,6 +93,12 @@ bool Session::finalized() const {
   return finalized_;
 }
 
+DatasetHandle* Session::find_handle(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = handles_.find(name);
+  return it == handles_.end() ? nullptr : it->second.get();
+}
+
 // ---------------------------------------------------------- DatasetHandle --
 
 std::string DatasetHandle::path_for(int timestep) const {
@@ -317,8 +323,14 @@ std::vector<Location> DatasetHandle::replica_locations(int timestep) const {
   return record->replicas;
 }
 
-Status DatasetHandle::replicate_timestep(simkit::Timeline& timeline,
-                                         int timestep, Location destination) {
+simkit::Timeline& DatasetHandle::timeline_or_session(
+    simkit::Timeline* timeline) const {
+  return timeline != nullptr ? *timeline : session_->timeline_;
+}
+
+Status DatasetHandle::replicate_timestep(int timestep, Location destination,
+                                         const ReplicateOptions& options) {
+  simkit::Timeline& timeline = timeline_or_session(options.timeline);
   if (subfiled(subfile_chunks_)) {
     return Status::Unimplemented("replication of subfile-chunked datasets");
   }
@@ -448,18 +460,105 @@ Status DatasetHandle::read_timestep(prt::Comm& comm, int timestep,
   return status;
 }
 
-StatusOr<std::vector<std::byte>> DatasetHandle::read_whole(
-    simkit::Timeline& timeline, int timestep) {
+StatusOr<StagedAccess> DatasetHandle::stage_read_whole(
+    int timestep, const ReadOptions& options) {
+  if (!enabled()) {
+    return Status::NotFound("dataset " + desc_.name + " was DISABLEd");
+  }
+  if (subfiled(subfile_chunks_)) {
+    return Status::Unimplemented(
+        "staged read of subfile-chunked datasets (chunk loop, not one plan)");
+  }
+  simkit::Timeline& timeline = timeline_or_session(options.timeline);
+  MSRA_ASSIGN_OR_RETURN(ReplicaChoice choice, locate(timestep));
+  const InstanceRecord& record = choice.record;
+  runtime::StorageEndpoint& endpoint = session_->system_.endpoint(choice.location);
+  session_->system_.access_tracker().record_read(record.dataset_key,
+                                                 record.bytes, timeline.now());
+  return StagedAccess{
+      runtime::PlanBuilder::object_read(record.path, desc_.global_bytes()),
+      &endpoint};
+}
+
+StatusOr<StagedAccess> DatasetHandle::lower_read_box(
+    int timestep, const prt::LocalBox& box, std::size_t buffer_bytes,
+    const ReadOptions& options, simkit::Timeline& timeline) {
   if (!enabled()) {
     return Status::NotFound("dataset " + desc_.name + " was DISABLEd");
   }
   MSRA_ASSIGN_OR_RETURN(ReplicaChoice choice, locate(timestep));
   const InstanceRecord& record = choice.record;
-  std::vector<std::byte> out(desc_.global_bytes());
   runtime::StorageEndpoint& endpoint = session_->system_.endpoint(choice.location);
   session_->system_.access_tracker().record_read(record.dataset_key,
-                                                 record.bytes, timeline.now());
+                                                 buffer_bytes, timeline.now());
+  // Lower the access to a plan (subfile chunk fetch or sub-array
+  // direct/sieving, vectorized when the endpoint's fast path is on).
+  MSRA_ASSIGN_OR_RETURN(
+      runtime::IoPlan plan,
+      runtime::PlanBuilder::dataset_read_box(
+          spec(), subfile_chunks_, box, record.path, options.strategy,
+          endpoint.fast_path().vectored_rpc, buffer_bytes));
+  return StagedAccess{std::move(plan), &endpoint};
+}
+
+StatusOr<StagedAccess> DatasetHandle::stage_read_box(
+    int timestep, const prt::LocalBox& box, std::size_t buffer_bytes,
+    const ReadOptions& options) {
+  // No streams override here (and the handle default is deliberately not
+  // applied either): reshaping the endpoint's fast path is a scoped,
+  // exclusive affair the synchronous path brackets around execution.
+  return lower_read_box(timestep, box, buffer_bytes, options,
+                        timeline_or_session(options.timeline));
+}
+
+StatusOr<StagedAccess> DatasetHandle::stage_dump(int timestep) {
+  if (!enabled()) {
+    return Status::FailedPrecondition("dataset " + desc_.name +
+                                      " was DISABLEd");
+  }
   if (subfiled(subfile_chunks_)) {
+    return Status::Unimplemented("staged dump of subfile-chunked datasets");
+  }
+  return StagedAccess{
+      runtime::PlanBuilder::object_write(path_for(timestep),
+                                         desc_.global_bytes(),
+                                         srb::OpenMode::kOverwrite),
+      &session_->system_.endpoint(location_)};
+}
+
+Status DatasetHandle::commit_dump(int timestep, simkit::SimTime now) {
+  ++writes_;
+  InstanceRecord record;
+  record.dataset_key = MetaCatalog::dataset_key(app_, desc_.name);
+  record.timestep = timestep;
+  record.replicas = {location_};
+  record.path = path_for(timestep);
+  record.bytes = desc_.global_bytes();
+  Status meta_status = session_->catalog_.record_instance(record);
+  if (!meta_status.ok()) {
+    MSRA_LOG(kWarn) << "instance bookkeeping failed: "
+                    << meta_status.to_string();
+  }
+  session_->system_.access_tracker().record_write(record.dataset_key,
+                                                  record.bytes, now);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::byte>> DatasetHandle::read_whole(
+    int timestep, const ReadOptions& options) {
+  simkit::Timeline& timeline = timeline_or_session(options.timeline);
+  if (!enabled()) {
+    return Status::NotFound("dataset " + desc_.name + " was DISABLEd");
+  }
+  std::vector<std::byte> out(desc_.global_bytes());
+  if (subfiled(subfile_chunks_)) {
+    // Chunk loop, not a single plan: stays synchronous-only.
+    MSRA_ASSIGN_OR_RETURN(ReplicaChoice choice, locate(timestep));
+    const InstanceRecord& record = choice.record;
+    runtime::StorageEndpoint& endpoint =
+        session_->system_.endpoint(choice.location);
+    session_->system_.access_tracker().record_read(
+        record.dataset_key, record.bytes, timeline.now());
     MSRA_ASSIGN_OR_RETURN(auto sublayout,
                           runtime::SubfileLayout::create(spec(), subfile_chunks_));
     prt::LocalBox full;
@@ -468,27 +567,28 @@ StatusOr<std::vector<std::byte>> DatasetHandle::read_whole(
         endpoint, timeline, record.path, sublayout, full, out));
     return out;
   }
-  const runtime::IoPlan plan =
-      runtime::PlanBuilder::object_read(record.path, out.size());
+  MSRA_ASSIGN_OR_RETURN(StagedAccess staged,
+                        stage_read_whole(timestep, options));
   MSRA_RETURN_IF_ERROR(runtime::PlanExecutor::execute(
-      plan, endpoint, timeline, out, {}, &session_->system_.tracer()));
+      staged.plan, *staged.endpoint, timeline, out, {},
+      &session_->system_.tracer()));
   return out;
 }
 
-Status DatasetHandle::read_box(simkit::Timeline& timeline, int timestep,
-                               const prt::LocalBox& box, std::span<std::byte> out,
+Status DatasetHandle::read_box(int timestep, const prt::LocalBox& box,
+                               std::span<std::byte> out,
                                const ReadOptions& options) {
+  simkit::Timeline& timeline = timeline_or_session(options.timeline);
   if (!enabled()) {
     return Status::NotFound("dataset " + desc_.name + " was DISABLEd");
   }
   obs::Span span(&session_->system_.tracer(), timeline,
                  options.trace_label.empty() ? "read_box " + desc_.name
                                              : options.trace_label);
-  MSRA_ASSIGN_OR_RETURN(ReplicaChoice choice, locate(timestep));
-  const InstanceRecord& record = choice.record;
-  runtime::StorageEndpoint& endpoint = session_->system_.endpoint(choice.location);
-  session_->system_.access_tracker().record_read(record.dataset_key, out.size(),
-                                                 timeline.now());
+  MSRA_ASSIGN_OR_RETURN(StagedAccess staged,
+                        lower_read_box(timestep, box, out.size(), options,
+                                       timeline));
+  runtime::StorageEndpoint& endpoint = *staged.endpoint;
 
   // Per-call pipelining override: ReadOptions::streams wins over the
   // handle default (OpenOptions::streams); 0 everywhere leaves the
@@ -510,16 +610,8 @@ Status DatasetHandle::read_box(simkit::Timeline& timeline, int timestep,
     endpoint.set_fast_path(cfg);
   }
 
-  // Lower the access to a plan (subfile chunk fetch or sub-array
-  // direct/sieving, vectorized when the endpoint's fast path is on), then
-  // execute it; per-stage spans land in the system tracer.
-  MSRA_ASSIGN_OR_RETURN(
-      const runtime::IoPlan plan,
-      runtime::PlanBuilder::dataset_read_box(
-          spec(), subfile_chunks_, box, record.path, options.strategy,
-          endpoint.fast_path().vectored_rpc, out.size()));
-  return runtime::PlanExecutor::execute(plan, endpoint, timeline, out, {},
-                                        &session_->system_.tracer());
+  return runtime::PlanExecutor::execute(staged.plan, endpoint, timeline, out,
+                                        {}, &session_->system_.tracer());
 }
 
 }  // namespace msra::core

@@ -25,8 +25,10 @@
 #include "core/options.h"
 #include "core/placement.h"
 #include "prt/comm.h"
+#include "runtime/plan.h"
 #include "runtime/sieve.h"
 #include "runtime/subfile.h"
+#include "simkit/timeline.h"
 
 namespace msra::predict {
 class Predictor;
@@ -41,6 +43,15 @@ class Session;
 struct ReplicaChoice {
   InstanceRecord record;
   Location location = Location::kRemoteTape;
+};
+
+/// One lowered serial access, ready for stepwise execution: the plan plus
+/// the endpoint it runs against. Produced by DatasetHandle::stage_*; the
+/// fleet scheduler drives it a stage at a time through a
+/// runtime::PlanCursor so tenant actors yield between stages.
+struct StagedAccess {
+  runtime::IoPlan plan;
+  runtime::StorageEndpoint* endpoint = nullptr;
 };
 
 /// Per-dataset handle. Producer calls are collective (every rank of the
@@ -66,16 +77,49 @@ class DatasetHandle {
   /// Collective read of `timestep` into each rank's block.
   Status read_timestep(prt::Comm& comm, int timestep, std::span<std::byte> local);
 
-  /// Serial whole-array read (post-processing tools).
-  StatusOr<std::vector<std::byte>> read_whole(simkit::Timeline& timeline,
-                                              int timestep);
+  /// Serial whole-array read (post-processing tools). Runs on the owning
+  /// session's timeline unless `options.timeline` overrides it.
+  StatusOr<std::vector<std::byte>> read_whole(int timestep,
+                                              const ReadOptions& options = {});
 
   /// Serial sub-array read (visualization slices etc.). Uses sieving or
   /// direct requests per `options.strategy`; subfile-chunked datasets read
-  /// only touched chunks.
-  Status read_box(simkit::Timeline& timeline, int timestep,
-                  const prt::LocalBox& box, std::span<std::byte> out,
-                  const ReadOptions& options = {});
+  /// only touched chunks. Runs on the owning session's timeline unless
+  /// `options.timeline` overrides it.
+  Status read_box(int timestep, const prt::LocalBox& box,
+                  std::span<std::byte> out, const ReadOptions& options = {});
+
+  // ----------------------------------------------------- staged (async) --
+  // The stage_* entry points lower an access without executing it, so the
+  // fleet scheduler can run the returned plan a stage at a time (yielding
+  // between stages). Lowering performs the same replica selection and heat
+  // accounting as the synchronous calls; the synchronous calls are
+  // implemented on top of these, so the two paths cannot drift.
+
+  /// Lowers a whole-array read of `timestep`. The caller executes the plan
+  /// into a buffer of desc().global_bytes(). Unimplemented for
+  /// subfile-chunked datasets (their read path is a chunk loop, not a
+  /// single plan).
+  StatusOr<StagedAccess> stage_read_whole(int timestep,
+                                          const ReadOptions& options = {});
+
+  /// Lowers a sub-array read of `box` into a buffer of `buffer_bytes`.
+  /// `options.streams` is ignored: a staged plan must not reshape the
+  /// shared endpoint's fast path while other actors interleave with it.
+  StatusOr<StagedAccess> stage_read_box(int timestep, const prt::LocalBox& box,
+                                        std::size_t buffer_bytes,
+                                        const ReadOptions& options = {});
+
+  /// Lowers a serial whole-object dump of `timestep` (the single-rank
+  /// producer path; collective dumps stay on write_timestep). The caller
+  /// feeds a buffer of desc().global_bytes() and, after the plan executed
+  /// ok, records the instance with commit_dump(). Fails on DISABLEd
+  /// handles and subfile-chunked datasets.
+  StatusOr<StagedAccess> stage_dump(int timestep);
+
+  /// Metadata half of a staged dump: records the instance + access heat at
+  /// virtual instant `now` and bumps timesteps_written().
+  Status commit_dump(int timestep, simkit::SimTime now);
 
   /// The decomposition this handle uses for `nprocs` ranks.
   StatusOr<runtime::ArrayLayout> layout(int nprocs) const;
@@ -93,9 +137,10 @@ class DatasetHandle {
   /// remote server (disk <-> tape), the copy happens server-side — no WAN
   /// transfer for the payload (SRB-style replication). Reads automatically
   /// prefer the fastest available replica afterwards. Not supported for
-  /// subfile-chunked datasets.
-  Status replicate_timestep(simkit::Timeline& timeline, int timestep,
-                            Location destination);
+  /// subfile-chunked datasets. Runs on the owning session's timeline unless
+  /// `options.timeline` overrides it.
+  Status replicate_timestep(int timestep, Location destination,
+                            const ReplicateOptions& options = {});
 
   /// Replica locations of one timestep (metadata view).
   std::vector<Location> replica_locations(int timestep) const;
@@ -125,6 +170,17 @@ class DatasetHandle {
   /// disk > remote tape) otherwise — falling back to the primary record
   /// (consumers may open after a failover moved the data).
   StatusOr<ReplicaChoice> locate(int timestep) const;
+
+  /// The clock a serial call runs on: the explicit override, else the
+  /// owning session's timeline.
+  simkit::Timeline& timeline_or_session(simkit::Timeline* timeline) const;
+
+  /// Shared lowering of read_box / stage_read_box (everything but the
+  /// streams override, which only the synchronous path may apply).
+  StatusOr<StagedAccess> lower_read_box(int timestep, const prt::LocalBox& box,
+                                        std::size_t buffer_bytes,
+                                        const ReadOptions& options,
+                                        simkit::Timeline& timeline);
 
   Session* session_;
   std::string app_;  ///< producer application owning the stored objects
@@ -187,9 +243,20 @@ class Session {
   /// finalizing concurrently).
   bool finalized() const;
 
+  /// The handle open() / open_existing() registered under `name`, or
+  /// nullptr when it was never opened (or the session is finalized). The
+  /// fleet scheduler resolves datasets by name through this, so workload
+  /// steps never cache a pointer across finalize().
+  DatasetHandle* find_handle(const std::string& name);
+
   StorageSystem& system() { return system_; }
   MetaCatalog& catalog() { return catalog_; }
   const SessionOptions& options() const { return options_; }
+
+  /// The session's own virtual clock: the default timeline of every serial
+  /// DatasetHandle call issued through this session.
+  simkit::Timeline& timeline() { return timeline_; }
+  const simkit::Timeline& timeline() const { return timeline_; }
 
  private:
   friend class DatasetHandle;
@@ -197,6 +264,7 @@ class Session {
   StorageSystem& system_;
   SessionOptions options_;
   MetaCatalog catalog_;
+  simkit::Timeline timeline_;
   mutable std::mutex mutex_;  ///< guards handles_ and finalized_
   std::map<std::string, std::unique_ptr<DatasetHandle>> handles_;
   bool finalized_ = false;

@@ -1,6 +1,7 @@
 #include "obs/report.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <map>
 
@@ -125,6 +126,28 @@ std::string format_contention_table(const std::vector<ResourceLoadRow>& rows) {
     out += buf;
   }
   return out;
+}
+
+LatencySummary summarize_latencies(std::vector<double> samples) {
+  LatencySummary summary;
+  if (samples.empty()) return summary;
+  std::sort(samples.begin(), samples.end());
+  summary.count = samples.size();
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  summary.mean = sum / static_cast<double>(samples.size());
+  // Nearest-rank: percentile p lands on element ceil(p/100 * n) (1-based).
+  const auto rank = [&](double p) {
+    std::size_t r = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+    if (r == 0) r = 1;
+    return samples[r - 1];
+  };
+  summary.p50 = rank(50.0);
+  summary.p90 = rank(90.0);
+  summary.p99 = rank(99.0);
+  summary.max = samples.back();
+  return summary;
 }
 
 }  // namespace msra::obs

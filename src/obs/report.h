@@ -61,4 +61,21 @@ struct ResourceLoadRow {
 /// a one-line "(no contention recorded)" note.
 std::string format_contention_table(const std::vector<ResourceLoadRow>& rows);
 
+/// Exact order statistics over a latency sample set (simulated seconds).
+/// Percentiles use the nearest-rank method on the sorted samples, so the
+/// reported values are always members of the input — deterministic and
+/// stable across platforms, which the fleet bench baselines rely on.
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Sorts `samples` (taken by value) and fills the summary; an empty input
+/// yields the all-zero summary.
+LatencySummary summarize_latencies(std::vector<double> samples);
+
 }  // namespace msra::obs

@@ -581,6 +581,115 @@ StatusOr<IoPlan> PlanBuilder::dataset_dump(const ArrayLayout& layout,
   return plan;
 }
 
+// -------------------------------------------------------------- PlanCursor --
+
+PlanCursor::PlanCursor(const IoPlan& plan, StorageEndpoint& endpoint,
+                       simkit::Timeline& timeline, std::span<std::byte> out,
+                       std::span<const std::byte> in,
+                       obs::TraceRecorder* tracer)
+    : plan_(&plan),
+      endpoint_(&endpoint),
+      timeline_(&timeline),
+      out_(out),
+      in_(in),
+      tracer_(tracer),
+      registry_(endpoint.metrics()),
+      metered_(registry_ != nullptr && registry_->enabled()),
+      scratch_(plan.scratch_bytes) {}
+
+Status PlanCursor::step() {
+  if (done()) return result_;
+  const PlanStage& s = plan_->stages[stage_++];
+  if (s.kind == PlanStageKind::kExchange) return result_;  // annotation only
+  obs::Span span(tracer_, *timeline_, "plan." + s.label);
+  if (metered_) {
+    registry_->counter("plan.stages")->increment();
+    registry_->counter("plan.ops")->add(s.ops.size());
+    if (s.sieve_extent_bytes > 0 && result_.ok()) {
+      registry_->counter("sieve.extent_bytes")->add(s.sieve_extent_bytes);
+      registry_->counter("sieve.useful_bytes")->add(s.sieve_useful_bytes);
+      registry_->counter("sieve.accesses")->increment();
+    }
+  }
+  StorageEndpoint& endpoint = *endpoint_;
+  simkit::Timeline& timeline = *timeline_;
+  for (const PlanOp& op : s.ops) {
+    if (!result_.ok()) {
+      // First error wins. The only ops still issued are the teardown of
+      // live state — exactly what FileSession / the chunk loops did —
+      // and their own errors are dropped.
+      if (op.kind == PlanOpKind::kClose && handle_open_) {
+        handle_open_ = false;
+        (void)endpoint.close(timeline, handle_);
+      } else if (op.kind == PlanOpKind::kDisconnect && connected_) {
+        connected_ = false;
+        (void)endpoint.disconnect(timeline);
+      }
+      continue;
+    }
+    switch (op.kind) {
+      case PlanOpKind::kConnect:
+        result_ = endpoint.connect(timeline);
+        if (result_.ok()) connected_ = true;
+        break;
+      case PlanOpKind::kOpen: {
+        auto opened = endpoint.open(timeline, op.path, op.mode);
+        if (opened.ok()) {
+          handle_ = *opened;
+          handle_open_ = true;
+        } else {
+          result_ = opened.status();
+        }
+        break;
+      }
+      case PlanOpKind::kSeek:
+        result_ = endpoint.seek(timeline, handle_, op.offset);
+        break;
+      case PlanOpKind::kRead: {
+        std::span<std::byte> dst =
+            op.scratch
+                ? std::span<std::byte>(scratch_).subspan(op.offset, op.bytes)
+                : out_.subspan(op.buf_offset, op.bytes);
+        result_ = endpoint.read(timeline, handle_, dst);
+        break;
+      }
+      case PlanOpKind::kWrite: {
+        std::span<const std::byte> src =
+            op.scratch ? std::span<const std::byte>(scratch_).subspan(
+                             op.offset, op.bytes)
+                       : in_.subspan(op.buf_offset, op.bytes);
+        result_ = endpoint.write(timeline, handle_, src);
+        break;
+      }
+      case PlanOpKind::kReadv:
+        result_ = endpoint.readv(timeline, handle_, op.run_list,
+                                 out_.subspan(op.buf_offset, op.bytes));
+        break;
+      case PlanOpKind::kWritev:
+        result_ = endpoint.writev(timeline, handle_, op.run_list,
+                                  in_.subspan(op.buf_offset, op.bytes));
+        break;
+      case PlanOpKind::kClose:
+        handle_open_ = false;
+        result_ = endpoint.close(timeline, handle_);
+        break;
+      case PlanOpKind::kDisconnect:
+        connected_ = false;
+        result_ = endpoint.disconnect(timeline);
+        break;
+      case PlanOpKind::kCopyIn:
+        std::memcpy(scratch_.data() + op.offset, in_.data() + op.buf_offset,
+                    op.bytes);
+        break;
+      case PlanOpKind::kCopyOut:
+        std::memcpy(out_.data() + op.buf_offset, scratch_.data() + op.offset,
+                    op.bytes);
+        break;
+    }
+  }
+  return result_;
+}
+
 // ------------------------------------------------------------ PlanExecutor --
 
 Status PlanExecutor::execute(const IoPlan& plan, StorageEndpoint& endpoint,
@@ -588,101 +697,9 @@ Status PlanExecutor::execute(const IoPlan& plan, StorageEndpoint& endpoint,
                              std::span<std::byte> out,
                              std::span<const std::byte> in,
                              obs::TraceRecorder* tracer) {
-  std::vector<std::byte> scratch(plan.scratch_bytes);
-  obs::MetricsRegistry* registry = endpoint.metrics();
-  const bool metered = registry != nullptr && registry->enabled();
-  bool connected = false;
-  bool handle_open = false;
-  HandleId handle{};
-  Status result = Status::Ok();
-  for (const PlanStage& s : plan.stages) {
-    if (s.kind == PlanStageKind::kExchange) continue;  // annotation only
-    obs::Span span(tracer, timeline, "plan." + s.label);
-    if (metered) {
-      registry->counter("plan.stages")->increment();
-      registry->counter("plan.ops")->add(s.ops.size());
-      if (s.sieve_extent_bytes > 0 && result.ok()) {
-        registry->counter("sieve.extent_bytes")->add(s.sieve_extent_bytes);
-        registry->counter("sieve.useful_bytes")->add(s.sieve_useful_bytes);
-        registry->counter("sieve.accesses")->increment();
-      }
-    }
-    for (const PlanOp& op : s.ops) {
-      if (!result.ok()) {
-        // First error wins. The only ops still issued are the teardown of
-        // live state — exactly what FileSession / the chunk loops did —
-        // and their own errors are dropped.
-        if (op.kind == PlanOpKind::kClose && handle_open) {
-          handle_open = false;
-          (void)endpoint.close(timeline, handle);
-        } else if (op.kind == PlanOpKind::kDisconnect && connected) {
-          connected = false;
-          (void)endpoint.disconnect(timeline);
-        }
-        continue;
-      }
-      switch (op.kind) {
-        case PlanOpKind::kConnect:
-          result = endpoint.connect(timeline);
-          if (result.ok()) connected = true;
-          break;
-        case PlanOpKind::kOpen: {
-          auto opened = endpoint.open(timeline, op.path, op.mode);
-          if (opened.ok()) {
-            handle = *opened;
-            handle_open = true;
-          } else {
-            result = opened.status();
-          }
-          break;
-        }
-        case PlanOpKind::kSeek:
-          result = endpoint.seek(timeline, handle, op.offset);
-          break;
-        case PlanOpKind::kRead: {
-          std::span<std::byte> dst =
-              op.scratch
-                  ? std::span<std::byte>(scratch).subspan(op.offset, op.bytes)
-                  : out.subspan(op.buf_offset, op.bytes);
-          result = endpoint.read(timeline, handle, dst);
-          break;
-        }
-        case PlanOpKind::kWrite: {
-          std::span<const std::byte> src =
-              op.scratch ? std::span<const std::byte>(scratch).subspan(
-                               op.offset, op.bytes)
-                         : in.subspan(op.buf_offset, op.bytes);
-          result = endpoint.write(timeline, handle, src);
-          break;
-        }
-        case PlanOpKind::kReadv:
-          result = endpoint.readv(timeline, handle, op.run_list,
-                                  out.subspan(op.buf_offset, op.bytes));
-          break;
-        case PlanOpKind::kWritev:
-          result = endpoint.writev(timeline, handle, op.run_list,
-                                   in.subspan(op.buf_offset, op.bytes));
-          break;
-        case PlanOpKind::kClose:
-          handle_open = false;
-          result = endpoint.close(timeline, handle);
-          break;
-        case PlanOpKind::kDisconnect:
-          connected = false;
-          result = endpoint.disconnect(timeline);
-          break;
-        case PlanOpKind::kCopyIn:
-          std::memcpy(scratch.data() + op.offset, in.data() + op.buf_offset,
-                      op.bytes);
-          break;
-        case PlanOpKind::kCopyOut:
-          std::memcpy(out.data() + op.buf_offset, scratch.data() + op.offset,
-                      op.bytes);
-          break;
-      }
-    }
-  }
-  return result;
+  PlanCursor cursor(plan, endpoint, timeline, out, in, tracer);
+  while (!cursor.done()) (void)cursor.step();
+  return cursor.status();
 }
 
 }  // namespace msra::runtime

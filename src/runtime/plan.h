@@ -31,6 +31,7 @@
 #include "runtime/sieve.h"
 
 namespace msra::obs {
+class MetricsRegistry;
 class TraceRecorder;
 }  // namespace msra::obs
 
@@ -216,6 +217,61 @@ class PlanBuilder {
                                        const PlanAssumptions& assumptions = {});
 };
 
+/// Resumable execution of a lowered plan: one step() runs one stage, so a
+/// cooperative actor can yield between stages instead of blocking a host
+/// thread for the whole plan. The cursor owns the open-endpoint state a
+/// stage leaves behind (live connection, open handle, scratch buffer) plus
+/// the plan position, and running a plan to completion via step() performs
+/// exactly the op sequence — and error semantics — of
+/// PlanExecutor::execute, which is itself implemented as a cursor drain.
+///
+/// The referenced plan, endpoint, timeline and buffers must outlive the
+/// cursor. Movable, not copyable.
+class PlanCursor {
+ public:
+  /// `out` receives kRead/kCopyOut payloads (read plans); `in` feeds
+  /// kWrite/kCopyIn payloads (write plans). Either may be empty when the
+  /// plan does not reference it.
+  PlanCursor(const IoPlan& plan, StorageEndpoint& endpoint,
+             simkit::Timeline& timeline, std::span<std::byte> out,
+             std::span<const std::byte> in,
+             obs::TraceRecorder* tracer = nullptr);
+
+  PlanCursor(PlanCursor&&) = default;
+  PlanCursor& operator=(PlanCursor&&) = default;
+
+  /// All stages have run; status() is the final result.
+  bool done() const { return stage_ >= plan_->stages.size(); }
+
+  /// Index of the next stage step() will run.
+  std::size_t next_stage() const { return stage_; }
+
+  /// Runs the next stage and returns the running first-error status. After
+  /// an error, remaining stages still step through their teardown of live
+  /// state (matching one-shot execution); kExchange stages are annotations
+  /// and consume a step without work.
+  Status step();
+
+  /// Running first-error status (the final result once done()).
+  Status status() const { return result_; }
+
+ private:
+  const IoPlan* plan_;
+  StorageEndpoint* endpoint_;
+  simkit::Timeline* timeline_;
+  std::span<std::byte> out_;
+  std::span<const std::byte> in_;
+  obs::TraceRecorder* tracer_;
+  obs::MetricsRegistry* registry_;
+  bool metered_;
+  std::vector<std::byte> scratch_;
+  std::size_t stage_ = 0;
+  bool connected_ = false;
+  bool handle_open_ = false;
+  HandleId handle_{};
+  Status result_ = Status::Ok();
+};
+
 /// Executes a lowered plan against an endpoint. The executor issues exactly
 /// the primitive sequence the pre-IR code issued, including its error
 /// semantics: the first failing op wins; once an error occurred the only
@@ -228,7 +284,7 @@ class PlanExecutor {
  public:
   /// `out` receives kRead/kCopyOut payloads (read plans); `in` feeds
   /// kWrite/kCopyIn payloads (write plans). Either may be empty when the
-  /// plan does not reference it.
+  /// plan does not reference it. Equivalent to draining a PlanCursor.
   static Status execute(const IoPlan& plan, StorageEndpoint& endpoint,
                         simkit::Timeline& timeline, std::span<std::byte> out,
                         std::span<const std::byte> in,

@@ -1,7 +1,13 @@
 // Per-actor virtual clocks.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "simkit/time.h"
 
@@ -10,8 +16,17 @@ namespace msra::simkit {
 /// A Timeline is one actor's virtual clock (a compute process, a background
 /// async-I/O engine, a PTool measurement probe). Thread-safe: ranks of the
 /// parallel runtime may be host threads.
+///
+/// Schedulers that park actors can wait on a clock: wake_at() registers a
+/// one-shot hook fired when the clock reaches a virtual instant, and
+/// set_advance_observer() watches every forward movement. Hooks run outside
+/// the internal lock on the thread that moved the clock, so a hook may
+/// safely call back into the same Timeline (e.g. to re-arm itself).
 class Timeline {
  public:
+  /// One-shot wake hook; receives the clock's new now().
+  using WakeHook = std::function<void(SimTime)>;
+
   explicit Timeline(SimTime start = 0.0) : now_(start) {}
 
   // Copying a clock between actors is almost always a bug; actors share
@@ -26,26 +41,92 @@ class Timeline {
 
   /// Advances by a non-negative duration.
   void advance(SimTime duration) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     if (duration > 0.0) now_ += duration;
+    fire_moved(std::move(lock));
   }
 
   /// Moves the clock forward to `t` if `t` is in the future (no-op otherwise).
   /// Used to join an actor with an event completing at absolute time `t`.
   void advance_to(SimTime t) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     if (t > now_) now_ = t;
+    fire_moved(std::move(lock));
   }
 
-  /// Resets the clock (between independent experiment repetitions).
+  /// Registers `hook` to fire once, as soon as the clock has reached `t`.
+  /// A wake in the past or present fires immediately (this is what makes
+  /// parking race-free: advance_to() on a past time no-ops silently, but a
+  /// waiter never misses the instant it asked for). Hooks due at the same
+  /// movement fire in wake-time order, ties in registration order.
+  void wake_at(SimTime t, WakeHook hook) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    wakes_.push_back({t, next_wake_seq_++, std::move(hook)});
+    std::push_heap(wakes_.begin(), wakes_.end(), WakeLater{});
+    fire_moved(std::move(lock), /*notify_observer=*/false);
+  }
+
+  /// Earliest pending wake instant, or +infinity when nothing waits.
+  SimTime next_wake() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return wakes_.empty() ? std::numeric_limits<SimTime>::infinity()
+                          : wakes_.front().at;
+  }
+
+  /// Observer invoked (outside the lock) with the new now() after every
+  /// advance/advance_to, even no-op ones — a scheduler uses it to re-examine
+  /// an actor whenever its clock is touched. Null detaches. Not synchronized
+  /// against in-flight advances: install before the clock is shared.
+  void set_advance_observer(std::function<void(SimTime)> observer) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    observer_ = std::move(observer);
+  }
+
+  /// Resets the clock (between independent experiment repetitions). Pending
+  /// wakes are dropped — they belong to the finished experiment — and the
+  /// observer is not notified (a reset is not simulated time passing).
   void reset(SimTime t = 0.0) {
     std::lock_guard<std::mutex> lock(mutex_);
     now_ = t;
+    wakes_.clear();
   }
 
  private:
+  struct Wake {
+    SimTime at;
+    std::uint64_t seq;
+    WakeHook hook;
+  };
+  /// Min-heap order: earliest wake first, FIFO within a tie.
+  struct WakeLater {
+    bool operator()(const Wake& a, const Wake& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  /// Pops due wakes and the observer under `lock`, then fires them after
+  /// releasing it (hooks may re-enter the Timeline).
+  void fire_moved(std::unique_lock<std::mutex> lock,
+                  bool notify_observer = true) {
+    if (wakes_.empty() && !observer_) return;
+    const SimTime now = now_;
+    std::vector<Wake> due;
+    while (!wakes_.empty() && wakes_.front().at <= now) {
+      std::pop_heap(wakes_.begin(), wakes_.end(), WakeLater{});
+      due.push_back(std::move(wakes_.back()));
+      wakes_.pop_back();
+    }
+    auto observer = notify_observer ? observer_ : nullptr;
+    lock.unlock();
+    for (Wake& w : due) w.hook(now);
+    if (observer) observer(now);
+  }
+
   mutable std::mutex mutex_;
   SimTime now_;
+  std::vector<Wake> wakes_;  ///< heap ordered by WakeLater
+  std::uint64_t next_wake_seq_ = 0;
+  std::function<void(SimTime)> observer_;
 };
 
 /// Measures the virtual time elapsed on a timeline within a scope.

@@ -316,11 +316,12 @@ TEST(PipelineTest, ProducerConsumersEndToEnd) {
   // Interactive visualization: slice + isosurface directly via the API.
   auto handle = session.open_existing("temp");
   ASSERT_TRUE(handle.ok());
-  auto slice = vizlib::extract_slice(**handle, tl, 2, vizlib::Axis::kZ, 8);
+  auto slice =
+      vizlib::extract_slice(**handle, 2, vizlib::Axis::kZ, 8, {.timeline = &tl});
   ASSERT_TRUE(slice.ok()) << slice.status().to_string();
   EXPECT_EQ(slice->width, 16);
   EXPECT_EQ(slice->height, 16);
-  auto cells = vizlib::isosurface_cells_of(**handle, tl, 2, 1.2f);
+  auto cells = vizlib::isosurface_cells_of(**handle, 2, 1.2f, {.timeline = &tl});
   ASSERT_TRUE(cells.ok());
   EXPECT_GT(*cells, 0u);
 }
@@ -460,7 +461,7 @@ TEST(CheckpointRestartTest, ResumedRunMatchesUninterrupted) {
   simkit::Timeline ref_tl;
   auto ref_handle = ref_session.open_existing("temp");
   ASSERT_TRUE(ref_handle.ok());
-  auto reference = (*ref_handle)->read_whole(ref_tl, 12);
+  auto reference = (*ref_handle)->read_whole(12, {.timeline = &ref_tl});
   ASSERT_TRUE(reference.ok());
 
   // Interrupted run: stop after iteration 6 (checkpoint lands at t=6)...
@@ -487,7 +488,7 @@ TEST(CheckpointRestartTest, ResumedRunMatchesUninterrupted) {
     simkit::Timeline tl;
     auto handle = second.open_existing("temp");
     ASSERT_TRUE(handle.ok());
-    auto resumed = (*handle)->read_whole(tl, 12);
+    auto resumed = (*handle)->read_whole(12, {.timeline = &tl});
     ASSERT_TRUE(resumed.ok());
     EXPECT_EQ(*resumed, *reference)
         << "resumed evolution must be bit-identical";

@@ -261,7 +261,7 @@ TEST_F(SessionTest, ConsumerSessionFindsProducerDatasets) {
   ASSERT_TRUE(handle.ok());
   EXPECT_EQ((*handle)->location(), Location::kLocalDisk);
   Timeline tl;
-  auto data = (*handle)->read_whole(tl, 0);
+  auto data = (*handle)->read_whole(0, {.timeline = &tl});
   ASSERT_TRUE(data.ok());
   EXPECT_EQ(data->size(), 8u * 8 * 8);
   EXPECT_EQ((*data)[0], std::byte{7});
@@ -284,7 +284,8 @@ TEST_F(SessionTest, ReadBoxServesVisualizationSlices) {
   std::vector<std::byte> out(8 * 8 * 4);
   core::ReadOptions sieving;
   sieving.strategy = runtime::AccessStrategy::kSieving;
-  ASSERT_TRUE((*handle)->read_box(tl, 0, slice, out, sieving).ok());
+  sieving.timeline = &tl;
+  ASSERT_TRUE((*handle)->read_box(0, slice, out, sieving).ok());
   float value;
   std::memcpy(&value, out.data(), 4);
   EXPECT_FLOAT_EQ(value, 3.0f);  // element (0,0,3)
@@ -378,7 +379,7 @@ TEST_F(SessionTest, WriteFailoverWhenResourceFillsUp) {
   ASSERT_TRUE(record.ok());
   EXPECT_EQ(record->resolved, Location::kRemoteDisk);
   Timeline tl;
-  auto data = (*spill_handle)->read_whole(tl, 0);
+  auto data = (*spill_handle)->read_whole(0, {.timeline = &tl});
   ASSERT_TRUE(data.ok());
   EXPECT_EQ((*data)[0], std::byte{3});
 }
@@ -406,7 +407,7 @@ TEST_F(SessionTest, FailoverSurvivesCatalogBookkeepingFailure) {
   EXPECT_EQ((*handle)->location(), Location::kRemoteDisk);
   // The dump landed and stays readable through its instance records.
   Timeline tl;
-  auto data = (*handle)->read_whole(tl, 0);
+  auto data = (*handle)->read_whole(0, {.timeline = &tl});
   ASSERT_TRUE(data.ok());
   EXPECT_EQ((*data)[0], std::byte{5});
   system_.set_location_available(Location::kRemoteTape, true);
@@ -433,7 +434,7 @@ TEST_F(SessionTest, DisabledDatasetIsRegisteredButNeverDumped) {
   ASSERT_TRUE(handle.ok());
   EXPECT_FALSE((*handle)->enabled());
   Timeline tl;
-  auto data = (*handle)->read_whole(tl, 0);
+  auto data = (*handle)->read_whole(0, {.timeline = &tl});
   EXPECT_EQ(data.status().code(), ErrorCode::kNotFound);
   EXPECT_TRUE(consumer.catalog().instances("astro3d", "scratch").empty());
 }
@@ -467,7 +468,8 @@ TEST_F(SessionTest, SubfileDatasetRoundTripAndSliceAdvantage) {
   std::vector<std::byte> out(32 * 32);
   core::ReadOptions direct;
   direct.strategy = runtime::AccessStrategy::kDirect;
-  ASSERT_TRUE((*handle)->read_box(tl, 0, slice, out, direct).ok());
+  direct.timeline = &tl;
+  ASSERT_TRUE((*handle)->read_box(0, slice, out, direct).ok());
   // Subfile layout cannot change after data exists.
   EXPECT_FALSE((*handle)->set_subfile_chunks({2, 2, 2}).ok());
 }
@@ -528,7 +530,7 @@ TEST_F(ReplicationTest, ServerSideReplicaSkipsTheWan) {
   DatasetHandle* handle = produce("press", Location::kRemoteTape);
   system_.reset_time();
   Timeline tl;
-  ASSERT_TRUE(handle->replicate_timestep(tl, 0, Location::kRemoteDisk).ok());
+  ASSERT_TRUE(handle->replicate_timestep(0, Location::kRemoteDisk, {.timeline = &tl}).ok());
   const double server_side = tl.now();
   // Compare against streaming the same bytes across the WAN: the payload is
   // 8*8*8*4 = 2 KiB; at the 1 MB/s test link that is small, so instead check
@@ -540,7 +542,7 @@ TEST_F(ReplicationTest, ServerSideReplicaSkipsTheWan) {
   // Reads now prefer the faster replica.
   system_.reset_time();
   Timeline read_tl;
-  ASSERT_TRUE(handle->read_whole(read_tl, 0).ok());
+  ASSERT_TRUE(handle->read_whole(0, {.timeline = &read_tl}).ok());
   // Disk replica read: far cheaper than a tape read (no tape open 1.0 s).
   EXPECT_LT(read_tl.now(), 1.0);
 }
@@ -548,31 +550,31 @@ TEST_F(ReplicationTest, ServerSideReplicaSkipsTheWan) {
 TEST_F(ReplicationTest, LocalReplicaStreamsAndServesReads) {
   DatasetHandle* handle = produce("temp", Location::kRemoteDisk);
   Timeline tl;
-  ASSERT_TRUE(handle->replicate_timestep(tl, 0, Location::kLocalDisk).ok());
+  ASSERT_TRUE(handle->replicate_timestep(0, Location::kLocalDisk, {.timeline = &tl}).ok());
   // Content identical on both replicas.
   Timeline read_tl;
-  auto data = handle->read_whole(read_tl, 0);
+  auto data = handle->read_whole(0, {.timeline = &read_tl});
   ASSERT_TRUE(data.ok());
   auto layout = handle->layout(1);
   EXPECT_EQ(*data, rank_block(*layout, 0, 2.0f));
   // With the remote disk down, reads transparently use the local replica.
   system_.set_location_available(Location::kRemoteDisk, false);
   Timeline tl2;
-  EXPECT_TRUE(handle->read_whole(tl2, 0).ok());
+  EXPECT_TRUE(handle->read_whole(0, {.timeline = &tl2}).ok());
   system_.set_location_available(Location::kRemoteDisk, true);
 }
 
 TEST_F(ReplicationTest, DuplicateReplicaRejected) {
   DatasetHandle* handle = produce("rho", Location::kRemoteDisk);
   Timeline tl;
-  EXPECT_EQ(handle->replicate_timestep(tl, 0, Location::kRemoteDisk).code(),
+  EXPECT_EQ(handle->replicate_timestep(0, Location::kRemoteDisk, {.timeline = &tl}).code(),
             ErrorCode::kAlreadyExists);
 }
 
 TEST_F(ReplicationTest, ReplicaOfMissingTimestepFails) {
   DatasetHandle* handle = produce("ux", Location::kRemoteDisk);
   Timeline tl;
-  EXPECT_EQ(handle->replicate_timestep(tl, 99, Location::kLocalDisk).code(),
+  EXPECT_EQ(handle->replicate_timestep(99, Location::kLocalDisk, {.timeline = &tl}).code(),
             ErrorCode::kNotFound);
 }
 
@@ -595,7 +597,7 @@ TEST_F(ReplicationTest, ReplicaRespectsDestinationCapacity) {
   int placed = 0;
   Status last = Status::Ok();
   for (int t = 0; t < 4; ++t) {
-    last = (*handle)->replicate_timestep(tl, t, Location::kLocalDisk);
+    last = (*handle)->replicate_timestep(t, Location::kLocalDisk, {.timeline = &tl});
     if (!last.ok()) break;
     ++placed;
   }
@@ -612,7 +614,7 @@ TEST_F(ReplicationTest, DownDestinationRejected) {
   DatasetHandle* handle = produce("uy", Location::kRemoteDisk);
   system_.set_location_available(Location::kLocalDisk, false);
   Timeline tl;
-  EXPECT_EQ(handle->replicate_timestep(tl, 0, Location::kLocalDisk).code(),
+  EXPECT_EQ(handle->replicate_timestep(0, Location::kLocalDisk, {.timeline = &tl}).code(),
             ErrorCode::kUnavailable);
   system_.set_location_available(Location::kLocalDisk, true);
 }

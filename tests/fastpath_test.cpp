@@ -462,10 +462,11 @@ TEST(CoreStreamsTest, ReadBoxStreamsOptionKeepsDataAndRestoresConfig) {
   box.extent = {prt::Extent{0, 32}, prt::Extent{0, 32}, prt::Extent{0, 32}};
   std::vector<std::byte> plain(block.size()), streamed(block.size());
   Timeline tl;
-  ASSERT_TRUE((*handle)->read_box(tl, 0, box, plain).ok());
+  ASSERT_TRUE((*handle)->read_box(0, box, plain, {.timeline = &tl}).ok());
   core::ReadOptions options;
   options.streams = 4;
-  ASSERT_TRUE((*handle)->read_box(tl, 0, box, streamed, options).ok());
+  options.timeline = &tl;
+  ASSERT_TRUE((*handle)->read_box(0, box, streamed, options).ok());
   EXPECT_EQ(plain, block);
   EXPECT_EQ(streamed, block);
   // The per-read override must not leak into the endpoint's sticky config.

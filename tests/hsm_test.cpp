@@ -218,7 +218,7 @@ TEST(HsmSystemTest, HierarchyAcceleratesArchivalWrites) {
     if (staged) {
       // Data is still readable, and migration drains it to physical tape.
       simkit::Timeline tl;
-      EXPECT_TRUE((*handle)->read_whole(tl, 2).ok());
+      EXPECT_TRUE((*handle)->read_whole(2, {.timeline = &tl}).ok());
       ASSERT_NE(system.hsm(), nullptr);
       ASSERT_TRUE(system.hsm()->migrate_all(tl).ok());
       EXPECT_EQ(system.tape_library().used_bytes(),

@@ -86,8 +86,8 @@ TEST_F(MigrateTest, TrackerSeesSessionTraffic) {
                             .iterations = 2});
   auto* handle = write_dataset(session, "hot", Location::kRemoteDisk, 1);
   simkit::Timeline tl;
-  ASSERT_TRUE(handle->read_whole(tl, 0).ok());
-  ASSERT_TRUE(handle->read_whole(tl, 0).ok());
+  ASSERT_TRUE(handle->read_whole(0, {.timeline = &tl}).ok());
+  ASSERT_TRUE(handle->read_whole(0, {.timeline = &tl}).ok());
 
   const DatasetHeat heat = system_.access_tracker().heat("astro/hot");
   EXPECT_EQ(heat.writes, 1u);
@@ -109,7 +109,7 @@ TEST_F(MigrateTest, HotTapePromotionReducesReadTime) {
   double before_seconds = 0.0;
   for (int i = 0; i < 4; ++i) {
     simkit::Timeline tl;
-    ASSERT_TRUE(handle->read_whole(tl, 0).ok());
+    ASSERT_TRUE(handle->read_whole(0, {.timeline = &tl}).ok());
     before_seconds = tl.now();
   }
 
@@ -142,7 +142,7 @@ TEST_F(MigrateTest, HotTapePromotionReducesReadTime) {
   EXPECT_TRUE(record->on(Location::kLocalDisk));
   EXPECT_TRUE(record->on(Location::kRemoteTape));
   simkit::Timeline after;
-  auto data = handle->read_whole(after, 0);
+  auto data = handle->read_whole(0, {.timeline = &after});
   ASSERT_TRUE(data.ok());
   EXPECT_LT(after.now(), before_seconds);
 
@@ -199,8 +199,8 @@ TEST_F(MigrateTest, PressureDemotesColdestToTape) {
   write_dataset(session, "cold", Location::kLocalDisk, 1);
   auto* warm = write_dataset(session, "warm", Location::kLocalDisk, 1);
   simkit::Timeline tl;
-  ASSERT_TRUE(warm->read_whole(tl, 0).ok());
-  ASSERT_TRUE(warm->read_whole(tl, 0).ok());
+  ASSERT_TRUE(warm->read_whole(0, {.timeline = &tl}).ok());
+  ASSERT_TRUE(warm->read_whole(0, {.timeline = &tl}).ok());
 
   auto cold = session.catalog().instance("astro", "cold", 0);
   ASSERT_TRUE(cold.ok());
@@ -235,7 +235,7 @@ TEST_F(MigrateTest, PressureDemotesColdestToTape) {
   // The demoted payload is gone from disk but still readable from tape.
   simkit::Timeline tl2;
   EXPECT_FALSE(local.size(tl2, record->path).ok());
-  EXPECT_TRUE(warm->read_whole(tl2, 0).ok());
+  EXPECT_TRUE(warm->read_whole(0, {.timeline = &tl2}).ok());
 }
 
 // Acceptance: eviction never drops the last live replica, even when a stale
@@ -382,7 +382,7 @@ TEST_F(MigrateTest, ReaderSurvivesConcurrentDemotion) {
   auto handle = consumer.open_existing("racy");
   ASSERT_TRUE(handle.ok());
   simkit::Timeline tl;
-  auto data = (*handle)->read_whole(tl, 0);
+  auto data = (*handle)->read_whole(0, {.timeline = &tl});
   ASSERT_TRUE(data.ok());
   EXPECT_EQ(*data, seen);
 }
@@ -425,11 +425,11 @@ TEST_F(MigrateTest, ReadsFailOverToLiveReplica) {
                             .iterations = 1, .predictor = &predictor_});
   auto* handle = write_dataset(session, "dual", Location::kLocalDisk, 1);
   simkit::Timeline tl;
-  ASSERT_TRUE(handle->replicate_timestep(tl, 0, Location::kRemoteTape).ok());
+  ASSERT_TRUE(handle->replicate_timestep(0, Location::kRemoteTape, {.timeline = &tl}).ok());
 
   system_.set_location_available(Location::kLocalDisk, false);
   simkit::Timeline tl2;
-  auto data = handle->read_whole(tl2, 0);
+  auto data = handle->read_whole(0, {.timeline = &tl2});
   ASSERT_TRUE(data.ok()) << "reads must fall back to the surviving replica";
   system_.set_location_available(Location::kLocalDisk, true);
 }

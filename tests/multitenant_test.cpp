@@ -196,7 +196,7 @@ TEST_F(FinalizeTest, FinalizeWithOpenHandles) {
   // The data outlives the session: a fresh consumer still reads it.
   Client reader("reader", system_);
   DatasetHandle* again = *reader.open_existing("finalize-a");
-  const auto bytes = again->read_whole(reader.timeline(), 0);
+  const auto bytes = again->read_whole(0);
   ASSERT_TRUE(bytes.ok());
   EXPECT_EQ(bytes->size(), a->desc().global_bytes());
 }
@@ -256,14 +256,15 @@ TEST_F(MultiTenantTest, ClientsOnDistinctThreadsShareOneSystem) {
       // contend pairwise on arms and all together on the metadata layer.
       const Location location =
           c % 2 == 0 ? Location::kLocalDisk : Location::kRemoteDisk;
-      DatasetHandle* handle =
-          *client.open(tiny_dataset("t" + std::to_string(c), location));
+      std::string dataset = "t";
+      dataset += std::to_string(c);
+      DatasetHandle* handle = *client.open(tiny_dataset(dataset, location));
       for (int step = 0; step < kSteps; ++step) {
         write_step(client, handle, step,
                    std::byte{static_cast<unsigned char>(c + 1)});
       }
       for (int step = 0; step < kSteps; ++step) {
-        const auto bytes = handle->read_whole(client.timeline(), step);
+        const auto bytes = handle->read_whole(step);
         ASSERT_TRUE(bytes.ok());
         for (const std::byte b : *bytes) {
           ASSERT_EQ(b, std::byte{static_cast<unsigned char>(c + 1)});
@@ -296,8 +297,8 @@ TEST_F(MultiTenantTest, RoundRobinContentionIsDeterministic) {
     DatasetHandle* ha = *a.open_existing("frame");
     DatasetHandle* hb = *b.open_existing("frame");
     for (int round = 0; round < 3; ++round) {
-      EXPECT_TRUE(ha->read_whole(a.timeline(), 0).ok());
-      EXPECT_TRUE(hb->read_whole(b.timeline(), 0).ok());
+      EXPECT_TRUE(ha->read_whole(0).ok());
+      EXPECT_TRUE(hb->read_whole(0).ok());
     }
     return std::pair<SimTime, SimTime>(a.elapsed(), b.elapsed());
   };

@@ -58,7 +58,7 @@ TEST_F(ObsIntegrationTest, QuickstartRunRecordsEveryResource) {
       ASSERT_TRUE((*handle)->write_timestep(comm, 0, block).ok());
     });
     Timeline reader;
-    ASSERT_TRUE((*handle)->read_whole(reader, 0).ok());
+    ASSERT_TRUE((*handle)->read_whole(0, {.timeline = &reader}).ok());
   }
 
   const obs::MetricsRegistry& metrics = system_.metrics();

@@ -77,7 +77,7 @@ TEST_F(PersistenceTest, DatasetsOnAllMediaSurviveReopen) {
   for (const char* name : {"temp", "vr_temp", "press"}) {
     auto handle = session.open_existing(name);
     ASSERT_TRUE(handle.ok()) << name;
-    auto data = (*handle)->read_whole(tl, 0);
+    auto data = (*handle)->read_whole(0, {.timeline = &tl});
     ASSERT_TRUE(data.ok()) << name << ": " << data.status().to_string();
     EXPECT_EQ(data->size(), (*handle)->desc().global_bytes());
   }

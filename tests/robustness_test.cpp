@@ -281,7 +281,7 @@ TEST(FailureInjectionTest, WritesSurviveRollingOutages) {
   system.set_location_available(Location::kRemoteDisk, true);
   Timeline tl;
   for (int t = 0; t <= 30; ++t) {
-    EXPECT_TRUE((*handle)->read_whole(tl, t).ok()) << "t=" << t;
+    EXPECT_TRUE((*handle)->read_whole(t, {.timeline = &tl}).ok()) << "t=" << t;
   }
 }
 

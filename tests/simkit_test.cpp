@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <functional>
 #include <thread>
 #include <vector>
 
@@ -39,6 +41,77 @@ TEST(TimelineTest, ScopedTimerMeasuresElapsed) {
     tl.advance(7.0);
   }
   EXPECT_DOUBLE_EQ(elapsed, 7.0);
+}
+
+TEST(TimelineTest, WakeFiresWhenClockReachesInstant) {
+  Timeline tl;
+  std::vector<SimTime> fired;
+  tl.wake_at(5.0, [&](SimTime now) { fired.push_back(now); });
+  tl.advance(4.0);
+  EXPECT_TRUE(fired.empty());
+  tl.advance(2.0);  // crosses 5.0 at now = 6.0
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_DOUBLE_EQ(fired[0], 6.0);
+  tl.advance(10.0);  // one-shot: never fires again
+  EXPECT_EQ(fired.size(), 1u);
+}
+
+TEST(TimelineTest, PastWakeFiresImmediately) {
+  Timeline tl(10.0);
+  int fired = 0;
+  tl.wake_at(3.0, [&](SimTime) { ++fired; });
+  EXPECT_EQ(fired, 1);
+  tl.wake_at(10.0, [&](SimTime) { ++fired; });  // present counts as due
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(TimelineTest, WakesFireInTimeThenRegistrationOrder) {
+  Timeline tl;
+  std::vector<int> order;
+  tl.wake_at(2.0, [&](SimTime) { order.push_back(2); });
+  tl.wake_at(1.0, [&](SimTime) { order.push_back(1); });
+  tl.wake_at(2.0, [&](SimTime) { order.push_back(3); });  // tie with first
+  EXPECT_DOUBLE_EQ(tl.next_wake(), 1.0);
+  tl.advance_to(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(std::isinf(tl.next_wake()));
+}
+
+TEST(TimelineTest, WakeHookMayRearmItself) {
+  Timeline tl;
+  std::vector<SimTime> ticks;
+  std::function<void(SimTime)> tick = [&](SimTime now) {
+    ticks.push_back(now);
+    if (now < 3.0) tl.wake_at(now + 1.0, tick);
+  };
+  tl.wake_at(1.0, tick);
+  tl.advance_to(1.0);
+  tl.advance_to(2.0);
+  tl.advance_to(3.0);
+  EXPECT_EQ(ticks, (std::vector<SimTime>{1.0, 2.0, 3.0}));
+}
+
+TEST(TimelineTest, AdvanceObserverSeesEveryMovement) {
+  Timeline tl;
+  std::vector<SimTime> seen;
+  tl.set_advance_observer([&](SimTime now) { seen.push_back(now); });
+  tl.advance(2.0);
+  tl.advance_to(1.0);  // no-op move still notifies
+  tl.advance_to(5.0);
+  EXPECT_EQ(seen, (std::vector<SimTime>{2.0, 2.0, 5.0}));
+  tl.set_advance_observer(nullptr);
+  tl.advance(1.0);
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(TimelineTest, ResetDropsPendingWakes) {
+  Timeline tl;
+  int fired = 0;
+  tl.wake_at(4.0, [&](SimTime) { ++fired; });
+  tl.reset();
+  tl.advance(10.0);
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(std::isinf(tl.next_wake()));
 }
 
 TEST(ResourceTest, SerializesOverlappingWork) {

@@ -201,7 +201,7 @@ TEST_P(DumpCountSweep, RunDumpsMatchEquationTwoCounts) {
     ASSERT_TRUE(handle.ok());
     for (const auto& instance :
          session.catalog().instances("astro3d", record.desc.name)) {
-      EXPECT_TRUE((*handle)->read_whole(tl, instance.timestep).ok())
+      EXPECT_TRUE((*handle)->read_whole(instance.timestep, {.timeline = &tl}).ok())
           << record.desc.name << " t" << instance.timestep;
     }
   }

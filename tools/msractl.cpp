@@ -461,8 +461,9 @@ int cmd_slice(const Args& args) {
                                        : apps::vizlib::Axis::kZ;
   auto image = die_on_error(
       apps::vizlib::extract_slice(
-          *handle, tl, static_cast<int>(args.get_int("timestep", 0)), axis,
-          static_cast<std::uint64_t>(args.get_int("index", 0))),
+          *handle, static_cast<int>(args.get_int("timestep", 0)), axis,
+          static_cast<std::uint64_t>(args.get_int("index", 0)),
+          {.timeline = &tl}),
       "slice");
   std::printf("%s", apps::imgview::ascii_render(image, 64).c_str());
   std::printf("(read %.2f simulated s)\n", tl.now());
@@ -478,7 +479,7 @@ int cmd_replicate(const Args& args) {
       core::parse_location(args.get("to", "LOCALDISK")), "bad --to");
   simkit::Timeline tl;
   const int timestep = static_cast<int>(args.get_int("timestep", 0));
-  die_on_error(handle->replicate_timestep(tl, timestep, destination),
+  die_on_error(handle->replicate_timestep(timestep, destination, {.timeline = &tl}),
                "replicate");
   std::printf("replicated %s t%d to %s in %.2f simulated s; replicas now:",
               handle->desc().name.c_str(), timestep,
@@ -501,7 +502,7 @@ int cmd_histogram(const Args& args) {
   }
   simkit::Timeline tl;
   const int timestep = static_cast<int>(args.get_int("timestep", 0));
-  auto raw = die_on_error(handle->read_whole(tl, timestep), "read");
+  auto raw = die_on_error(handle->read_whole(timestep, {.timeline = &tl}), "read");
   std::vector<float> volume(raw.size() / sizeof(float));
   std::memcpy(volume.data(), raw.data(), raw.size());
   float lo = volume[0], hi = volume[0];
