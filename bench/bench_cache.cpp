@@ -1,0 +1,242 @@
+// The priced mid-tier read cache — re-read speedup, write-through cost,
+// and cache-aware prediction accuracy (DESIGN.md §5i).
+//
+// The paper's post-processing tools (MSE scans whole timesteps, Volren
+// renders planes of the same frame) re-read hot data that lives on slow
+// media. This bench runs both access shapes against the calibrated
+// testbed, cold (no cache) and warm (cache enabled), per origin:
+//
+//   1. MSE-style whole-frame re-reads from the remote disks and from
+//      tape: the warm loop must be at least 5x faster than the cold one.
+//   2. Hit-ratio-weighted prediction: PTool probes the cache tier, the
+//      predictor blends every read-direction Eq. (1) term at the
+//      realized hit ratio, and the blended price of the warm loop must
+//      land within 5% of the measured time.
+//   3. Volren-style plane reads served from a cached whole frame.
+//   4. Write-through: one overwrite invalidates the entry; the next
+//      read misses and re-admits.
+//
+// All numbers are deterministic simulated seconds, so the --json summary
+// doubles as a drift guard (bench/baselines/BENCH_cache.json).
+#include "bench_util.h"
+
+#include "cache/cache.h"
+#include "runtime/plan.h"
+
+namespace msra::bench {
+namespace {
+
+constexpr int kReads = 8;
+
+core::DatasetDesc frame_desc(core::Location origin) {
+  core::DatasetDesc desc;
+  desc.name = "frame";
+  desc.dims = {64, 64, 64};  // 1 MiB per timestep
+  desc.etype = core::ElementType::kFloat32;
+  desc.frequency = 1;
+  desc.location = origin;
+  return desc;
+}
+
+struct Workload {
+  Testbed testbed;
+  std::unique_ptr<core::Session> session;
+  core::DatasetHandle* handle = nullptr;
+
+  explicit Workload(core::Location origin, bool cached) {
+    check(testbed.calibrate(), "PTool calibration");
+    if (cached) {
+      cache::CacheConfig config;
+      config.memory_bytes = 64ull << 20;
+      testbed.system.enable_cache(config, &testbed.predictor);
+      predict::PToolConfig probe;
+      probe.sizes = {64ull << 10, 256ull << 10, 1ull << 20, 2ull << 20,
+                     4ull << 20, 8ull << 20, 16ull << 20};
+      probe.repeats = 1;
+      predict::PTool ptool(testbed.system, testbed.perfdb);
+      check(ptool.measure_cache(probe), "PTool cache probe");
+      testbed.system.reset_time();
+    }
+    session = std::make_unique<core::Session>(
+        testbed.system,
+        core::SessionOptions{.application = "astro3d", .user = "xshen",
+                             .nprocs = 1, .iterations = 1,
+                             .predictor = &testbed.predictor});
+    handle = check(session->open(frame_desc(origin)), "open frame");
+    auto layout = check(handle->layout(1), "layout");
+    std::vector<std::byte> block(layout.global_bytes(), std::byte{1});
+    prt::World world(1);
+    world.run([&](prt::Comm& comm) {
+      check(handle->write_timestep(comm, 0, block), "dump");
+    });
+    testbed.system.reset_time();
+  }
+
+  /// `rounds` whole-frame reads, each from idle devices; summed seconds.
+  double read_whole_loop(int rounds) {
+    double total = 0.0;
+    for (int i = 0; i < rounds; ++i) {
+      testbed.system.reset_time();
+      simkit::Timeline tl;
+      check(handle->read_whole(0, {.timeline = &tl}).status(), "read");
+      total += tl.now();
+    }
+    return total;
+  }
+
+  /// `rounds` one-plane (z = 0) reads; summed seconds.
+  double read_plane_loop(int rounds) {
+    prt::LocalBox plane;
+    plane.extent = {{{0, 64}, {0, 64}, {0, 1}}};
+    std::vector<std::byte> out(64 * 64 * 4);
+    double total = 0.0;
+    for (int i = 0; i < rounds; ++i) {
+      testbed.system.reset_time();
+      simkit::Timeline tl;
+      check(handle->read_box(0, plane, out, {.timeline = &tl}), "read_box");
+      total += tl.now();
+    }
+    return total;
+  }
+};
+
+struct OriginResult {
+  double cold = 0.0;
+  double warm = 0.0;
+  double speedup = 0.0;
+  double hit_ratio = 0.0;
+  double predicted = 0.0;
+  double error = 0.0;  ///< (predicted - warm) / warm
+};
+
+StatusOr<OriginResult> measure_origin(core::Location origin,
+                                      const char* label) {
+  OriginResult result;
+
+  Workload cold(origin, /*cached=*/false);
+  result.cold = cold.read_whole_loop(kReads);
+
+  Workload warm(origin, /*cached=*/true);
+  result.warm = warm.read_whole_loop(kReads);
+  const cache::CacheStats stats = warm.testbed.system.cache()->stats();
+  result.speedup = result.warm > 0.0 ? result.cold / result.warm : 0.0;
+  result.hit_ratio =
+      static_cast<double>(stats.hits) /
+      static_cast<double>(stats.hits + stats.misses);
+
+  // Blended Eq. (1) price of the same loop at the realized hit ratio.
+  auto record = warm.session->catalog().instance("astro3d", "frame", 0);
+  MSRA_RETURN_IF_ERROR(record.status());
+  const auto plan =
+      runtime::PlanBuilder::object_read(record->path, record->bytes);
+  MSRA_ASSIGN_OR_RETURN(
+      const double per_call,
+      warm.testbed.predictor.price(
+          plan, origin, {},
+          predict::CacheAssumptions{.hit_ratio = result.hit_ratio}));
+  result.predicted = per_call * kReads;
+  result.error = (result.predicted - result.warm) / result.warm;
+
+  std::printf("  %-12s cold %9.3f s   warm %9.3f s   %5.1fx   "
+              "hit ratio %.3f   predicted %9.3f s (%+.2f%%)\n",
+              label, result.cold, result.warm, result.speedup,
+              result.hit_ratio, result.predicted, 100.0 * result.error);
+  return result;
+}
+
+int run(const std::string& json_path) {
+  print_header("Mid-tier read cache — priced admission, Eq. (1) hits, "
+               "cache-aware prediction",
+               "Shen et al., HPDC 2000, Eq. (1) applied to a new tier "
+               "(DESIGN.md 5i)");
+
+  // ---- MSE-style whole-frame re-reads ------------------------------------
+  std::printf("\nwhole-frame re-reads (%d rounds, 1 MiB frame):\n", kReads);
+  auto disk = measure_origin(core::Location::kRemoteDisk, "remote disk");
+  auto tape = measure_origin(core::Location::kRemoteTape, "remote tape");
+  check(disk.status(), "remote disk sweep");
+  check(tape.status(), "remote tape sweep");
+
+  bool failed = false;
+  for (const auto* result : {&*disk, &*tape}) {
+    if (result->speedup < 5.0) {
+      std::fprintf(stderr, "FATAL: warm speedup %.2fx is below the 5x bar\n",
+                   result->speedup);
+      failed = true;
+    }
+    if (result->error < -0.05 || result->error > 0.05) {
+      std::fprintf(stderr, "FATAL: cache-aware prediction off by %+.2f%% "
+                   "(bar: 5%%)\n", 100.0 * result->error);
+      failed = true;
+    }
+  }
+
+  // ---- Volren-style plane reads off a cached frame -----------------------
+  Workload volren_cold(core::Location::kRemoteTape, /*cached=*/false);
+  const double plane_cold = volren_cold.read_plane_loop(kReads);
+  Workload volren_warm(core::Location::kRemoteTape, /*cached=*/true);
+  (void)volren_warm.read_whole_loop(1);  // admit the frame
+  const double plane_warm = volren_warm.read_plane_loop(kReads);
+  const double plane_speedup =
+      plane_warm > 0.0 ? plane_cold / plane_warm : 0.0;
+  std::printf("\nplane renders (%d z-planes, tape origin): cold %9.3f s   "
+              "warm %9.3f s   %5.1fx\n",
+              kReads, plane_cold, plane_warm, plane_speedup);
+  if (plane_speedup < 5.0) {
+    std::fprintf(stderr, "FATAL: warm plane speedup %.2fx below the 5x bar\n",
+                 plane_speedup);
+    failed = true;
+  }
+
+  // ---- write-through invalidation ----------------------------------------
+  const cache::CacheStats before =
+      volren_warm.testbed.system.cache()->stats();
+  std::vector<std::byte> block(volren_warm.handle->desc().global_bytes(),
+                               std::byte{2});
+  prt::World world(1);
+  world.run([&](prt::Comm& comm) {
+    check(volren_warm.handle->write_timestep(comm, 0, block), "overwrite");
+  });
+  (void)volren_warm.read_whole_loop(1);
+  const cache::CacheStats after = volren_warm.testbed.system.cache()->stats();
+  const std::uint64_t invalidated = after.invalidations - before.invalidations;
+  std::printf("write-through: overwrite invalidated %llu entr%s; next read "
+              "missed and re-admitted (misses %llu -> %llu)\n",
+              static_cast<unsigned long long>(invalidated),
+              invalidated == 1 ? "y" : "ies",
+              static_cast<unsigned long long>(before.misses),
+              static_cast<unsigned long long>(after.misses));
+  if (invalidated != 1 || after.misses != before.misses + 1) {
+    std::fprintf(stderr, "FATAL: write-through invalidation did not land\n");
+    failed = true;
+  }
+
+  if (failed) return 1;
+
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"bench\":\"cache\",\"reads\":%d,"
+      "\"disk_cold_seconds\":%.6f,\"disk_warm_seconds\":%.6f,"
+      "\"disk_speedup\":%.6f,\"disk_hit_ratio\":%.6f,"
+      "\"disk_predicted_seconds\":%.6f,\"disk_prediction_error\":%.6f,"
+      "\"tape_cold_seconds\":%.6f,\"tape_warm_seconds\":%.6f,"
+      "\"tape_speedup\":%.6f,\"tape_hit_ratio\":%.6f,"
+      "\"tape_predicted_seconds\":%.6f,\"tape_prediction_error\":%.6f,"
+      "\"plane_cold_seconds\":%.6f,\"plane_warm_seconds\":%.6f,"
+      "\"plane_speedup\":%.6f,\"invalidations\":%llu}",
+      kReads, disk->cold, disk->warm, disk->speedup, disk->hit_ratio,
+      disk->predicted, disk->error, tape->cold, tape->warm, tape->speedup,
+      tape->hit_ratio, tape->predicted, tape->error, plane_cold, plane_warm,
+      plane_speedup, static_cast<unsigned long long>(invalidated));
+  write_summary_json(json_path, buf);
+  return 0;
+}
+
+}  // namespace
+}  // namespace msra::bench
+
+int main(int argc, char** argv) {
+  const std::string json_path = msra::bench::consume_json_out_flag(argc, argv);
+  return msra::bench::run(json_path);
+}

@@ -1,0 +1,136 @@
+// Caching hot reads: the priced mid-tier read cache (DESIGN.md §5i).
+//
+// A visualization loop re-reads the same tape-resident frame over and
+// over — the paper's Volren use case against the slowest medium. This
+// example renders the loop twice, without and with the cache, and shows
+// the machinery that makes the cache *priced* rather than heuristic:
+//
+//   - the admission verdict: predictor-quoted refetch vs serve cost,
+//     expected reuse from the dataset's access heat, benefit vs damage;
+//   - the Eq. (1) breakdown growing an `io.cache.*` row that still sums
+//     to the elapsed time;
+//   - the cache-aware prediction: PTool probes the cache tier, and the
+//     hit-ratio-blended Eq. (1) price lands within a few percent of the
+//     measured warm loop.
+//
+//   $ ./examples/cached_reads
+#include <cstdio>
+#include <vector>
+
+#include "cache/cache.h"
+#include "core/msra.h"
+#include "obs/report.h"
+#include "predict/predictor.h"
+#include "predict/ptool.h"
+#include "runtime/plan.h"
+
+using namespace msra;
+
+int main() {
+  core::StorageSystem system(core::HardwareProfile::paper_2000());
+  predict::PerfDb perfdb(&system.metadb());
+  predict::Predictor predictor(&perfdb);
+
+  std::printf("calibrating (PTool)...\n");
+  predict::PToolConfig measure;
+  measure.sizes = {256ull << 10, 1ull << 20, 2ull << 20, 8ull << 20};
+  measure.repeats = 1;
+  predict::PTool ptool(system, perfdb);
+  if (!ptool.measure_all(measure).ok()) return 1;
+  system.reset_time();
+
+  // One 1 MiB frame per timestep, archived on tape.
+  core::DatasetDesc frame;
+  frame.name = "frame";
+  frame.dims = {64, 64, 64};
+  frame.etype = core::ElementType::kFloat32;
+  frame.frequency = 1;
+  frame.location = core::Location::kRemoteTape;
+
+  core::Session session(system, {.application = "volren",
+                                 .user = "render",
+                                 .nprocs = 1,
+                                 .iterations = 1,
+                                 .predictor = &predictor});
+  auto handle = session.open(frame);
+  if (!handle.ok()) return 1;
+  std::vector<std::byte> block(frame.global_bytes(), std::byte{1});
+  prt::World world(1);
+  world.run([&](prt::Comm& comm) {
+    if (!(*handle)->write_timestep(comm, 0, block).ok()) std::exit(1);
+  });
+  system.reset_time();
+
+  constexpr int kRounds = 6;
+  const auto render_loop = [&] {
+    double total = 0.0;
+    for (int i = 0; i < kRounds; ++i) {
+      system.reset_time();
+      simkit::Timeline tl;
+      if (!(*handle)->read_whole(0, {.timeline = &tl}).ok()) std::exit(1);
+      total += tl.now();
+    }
+    return total;
+  };
+
+  // ---- round 1: no cache -------------------------------------------------
+  const double uncached = render_loop();
+  std::printf("\n%d whole-frame reads from tape, no cache: %8.3f s\n",
+              kRounds, uncached);
+
+  // ---- round 2: enable the cache, replay --------------------------------
+  cache::CacheConfig config;
+  config.memory_bytes = 64ull << 20;
+  cache::ReadCache* cache = system.enable_cache(config, &predictor);
+
+  // What would the judge say about caching the frame right now? The same
+  // quote `msractl cache explain frame` prints.
+  auto record = session.catalog().instance("volren", "frame", 0);
+  if (!record.ok()) return 1;
+  const cache::AdmissionVerdict verdict =
+      cache->judge(record->path, record->dataset_key, record->bytes,
+                   core::Location::kRemoteTape, /*now=*/0.0);
+  std::printf("\nadmission quote for %s:\n", record->path.c_str());
+  std::printf("  refetch %8.4f s   serve %8.6f s   reuse x%.1f\n",
+              verdict.refetch_seconds, verdict.serve_seconds,
+              verdict.expected_reuse);
+  std::printf("  benefit %8.4f s   damage %8.4f s   -> %s\n",
+              verdict.benefit_seconds, verdict.damage_seconds,
+              std::string(cache::admission_outcome_name(verdict.outcome))
+                  .c_str());
+
+  const double cached = render_loop();
+  const cache::CacheStats stats = cache->stats();
+  std::printf("\nsame %d reads with the cache:            %8.3f s  (%.1fx)\n",
+              kRounds, cached, uncached / cached);
+  std::printf("  misses %llu  hits %llu  admitted %llu  saved %8.3f s\n",
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.admitted),
+              stats.saved_seconds);
+
+  // The hit legs are billed like any other I/O: the breakdown grows an
+  // io.cache.* row and still accounts for every simulated second.
+  std::printf("\nEq. (1) breakdown (note the `cache` row):\n%s\n",
+              obs::format_io_table(obs::io_breakdown(system.metrics()))
+                  .c_str());
+
+  // ---- cache-aware prediction -------------------------------------------
+  // Probe the cache tier, then price the loop at its realized hit ratio:
+  // 1 cold miss + (kRounds - 1) hits.
+  measure.measure_cache = true;
+  if (!ptool.measure_cache(measure).ok()) return 1;
+  const predict::CacheAssumptions assumptions{
+      .hit_ratio = static_cast<double>(kRounds - 1) / kRounds};
+  const auto plan =
+      runtime::PlanBuilder::object_read(record->path, record->bytes);
+  auto per_call = predictor.price(plan, core::Location::kRemoteTape, {},
+                                  assumptions);
+  if (!per_call.ok()) return 1;
+  const double predicted = *per_call * kRounds;
+  std::printf("cache-aware prediction @ hit ratio %.2f: %8.3f s "
+              "(measured %8.3f s, %+.1f%%)\n",
+              assumptions.hit_ratio, predicted, cached,
+              100.0 * (predicted - cached) / cached);
+  return 0;
+}

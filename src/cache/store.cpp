@@ -1,0 +1,281 @@
+#include "cache/store.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace msra::cache {
+
+CacheStore::CacheStore(std::uint64_t memory_capacity,
+                       std::uint64_t spill_capacity)
+    : memory_capacity_(memory_capacity), spill_capacity_(spill_capacity) {}
+
+CacheEntryInfo CacheStore::info_locked(const std::string& path,
+                                       const Entry& entry) const {
+  CacheEntryInfo out;
+  out.path = path;
+  out.dataset_key = entry.dataset_key;
+  out.bytes = entry.bytes ? entry.bytes->size() : 0;
+  out.spilled = entry.spilled;
+  out.hits = entry.hits;
+  out.saved_per_hit = entry.saved_per_hit;
+  return out;
+}
+
+std::shared_ptr<const CacheStore::Snapshot> CacheStore::acquire(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(path);
+  if (it == entries_.end()) return nullptr;
+  it->second.lru = ++clock_;
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->bytes = it->second.bytes;
+  snapshot->spilled = it->second.spilled;
+  // Register the lease so a read that was lowered against this snapshot can
+  // still resolve it after invalidation, pruning expired leases of the same
+  // path while we are here.
+  auto [begin, end] = leases_.equal_range(path);
+  for (auto lease = begin; lease != end;) {
+    lease = lease->second.expired() ? leases_.erase(lease) : std::next(lease);
+  }
+  leases_.emplace(path, snapshot);
+  return snapshot;
+}
+
+std::shared_ptr<const CacheStore::Snapshot> CacheStore::snapshot_for_read(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(path);
+  if (it != entries_.end()) {
+    auto snapshot = std::make_shared<Snapshot>();
+    snapshot->bytes = it->second.bytes;
+    snapshot->spilled = it->second.spilled;
+    return snapshot;
+  }
+  // Entry gone (invalidated / evicted): serve the newest still-pinned lease,
+  // dropping expired ones as we go.
+  auto [begin, end] = leases_.equal_range(path);
+  std::shared_ptr<const Snapshot> newest;
+  for (auto lease = begin; lease != end;) {
+    if (auto live = lease->second.lock()) {
+      newest = std::move(live);  // equal keys iterate in insertion order
+      ++lease;
+    } else {
+      lease = leases_.erase(lease);
+    }
+  }
+  return newest;
+}
+
+std::optional<std::string> CacheStore::lru_victim_locked(
+    bool spilled_tier) const {
+  std::optional<std::string> victim;
+  std::uint64_t oldest = 0;
+  for (const auto& [path, entry] : entries_) {
+    if (entry.spilled != spilled_tier) continue;
+    if (!victim || entry.lru < oldest) {
+      victim = path;
+      oldest = entry.lru;
+    }
+  }
+  return victim;
+}
+
+InsertPlan CacheStore::plan_insert_locked(std::uint64_t bytes) const {
+  InsertPlan plan;
+  struct Sim {
+    std::uint64_t bytes = 0;
+    std::uint64_t lru = 0;
+    bool spilled = false;
+    bool originally_spilled = false;
+  };
+  std::map<std::string, Sim> sim;
+  std::uint64_t mem_used = memory_bytes_;
+  std::uint64_t spill_used = spill_bytes_;
+  for (const auto& [path, entry] : entries_) {
+    sim[path] = Sim{entry.bytes ? entry.bytes->size() : 0, entry.lru,
+                    entry.spilled, entry.spilled};
+  }
+  auto lru_of = [&sim](bool spilled_tier) {
+    std::optional<std::string> victim;
+    std::uint64_t oldest = 0;
+    for (const auto& [path, e] : sim) {
+      if (e.spilled != spilled_tier) continue;
+      if (!victim || e.lru < oldest) {
+        victim = path;
+        oldest = e.lru;
+      }
+    }
+    return victim;
+  };
+  auto evict_spill_until = [&](std::uint64_t need) {
+    while (spill_used + need > spill_capacity_) {
+      auto victim = lru_of(true);
+      if (!victim) return false;
+      spill_used -= sim[*victim].bytes;
+      sim.erase(*victim);
+    }
+    return true;
+  };
+
+  if (bytes > memory_capacity_) {
+    // Oversized for memory: straight into the spill tier (or nowhere).
+    if (bytes > spill_capacity_) return plan;
+    if (!evict_spill_until(bytes)) return plan;
+  } else {
+    while (mem_used + bytes > memory_capacity_) {
+      auto victim = lru_of(false);
+      if (!victim) break;  // empty tier yet over "capacity": capacity 0
+      Sim& v = sim[*victim];
+      mem_used -= v.bytes;
+      if (v.bytes <= spill_capacity_ && evict_spill_until(v.bytes)) {
+        v.spilled = true;
+        spill_used += v.bytes;
+      } else {
+        sim.erase(*victim);
+      }
+    }
+    if (mem_used + bytes > memory_capacity_) return plan;
+  }
+
+  plan.fits = true;
+  // The plan is the diff between the live map and the simulated end state:
+  // gone entirely -> evicted (reported with its pre-insert tier), still
+  // present but demoted -> spilled.
+  for (const auto& [path, entry] : entries_) {
+    auto it = sim.find(path);
+    if (it == sim.end()) {
+      plan.evicted.push_back(info_locked(path, entry));
+    } else if (it->second.spilled && !it->second.originally_spilled) {
+      plan.spilled.push_back(info_locked(path, entry));
+    }
+  }
+  return plan;
+}
+
+InsertPlan CacheStore::plan_insert(std::uint64_t bytes) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plan_insert_locked(bytes);
+}
+
+Status CacheStore::insert(const std::string& path,
+                          const std::string& dataset_key,
+                          std::vector<std::byte> payload, double saved_per_hit,
+                          InsertPlan* applied) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.count(path) > 0) {
+    return Status::AlreadyExists("already cached: " + path);
+  }
+  const std::uint64_t bytes = payload.size();
+  InsertPlan plan = plan_insert_locked(bytes);
+  if (!plan.fits) {
+    return Status::CapacityExceeded("cache cannot fit " + path);
+  }
+  for (const auto& victim : plan.evicted) {
+    auto it = entries_.find(victim.path);
+    const std::uint64_t b = it->second.bytes ? it->second.bytes->size() : 0;
+    (it->second.spilled ? spill_bytes_ : memory_bytes_) -= b;
+    entries_.erase(it);
+  }
+  for (const auto& moved : plan.spilled) {
+    Entry& entry = entries_[moved.path];
+    const std::uint64_t b = entry.bytes ? entry.bytes->size() : 0;
+    entry.spilled = true;
+    memory_bytes_ -= b;
+    spill_bytes_ += b;
+  }
+  Entry entry;
+  entry.dataset_key = dataset_key;
+  entry.bytes =
+      std::make_shared<const std::vector<std::byte>>(std::move(payload));
+  entry.spilled = bytes > memory_capacity_;
+  entry.saved_per_hit = saved_per_hit;
+  entry.lru = ++clock_;
+  (entry.spilled ? spill_bytes_ : memory_bytes_) += bytes;
+  entries_.emplace(path, std::move(entry));
+  if (applied != nullptr) *applied = std::move(plan);
+  return Status::Ok();
+}
+
+bool CacheStore::contains(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(path) > 0;
+}
+
+std::optional<CacheEntryInfo> CacheStore::info(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(path);
+  if (it == entries_.end()) return std::nullopt;
+  return info_locked(path, it->second);
+}
+
+void CacheStore::record_hit(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(path);
+  if (it != entries_.end()) ++it->second.hits;
+}
+
+bool CacheStore::erase(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(path);
+  if (it == entries_.end()) return false;
+  const std::uint64_t b = it->second.bytes ? it->second.bytes->size() : 0;
+  (it->second.spilled ? spill_bytes_ : memory_bytes_) -= b;
+  entries_.erase(it);
+  return true;
+}
+
+std::size_t CacheStore::erase_prefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t dropped = 0;
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    const std::uint64_t b = it->second.bytes ? it->second.bytes->size() : 0;
+    (it->second.spilled ? spill_bytes_ : memory_bytes_) -= b;
+    it = entries_.erase(it);
+    ++dropped;
+  }
+  return dropped;
+}
+
+void CacheStore::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  memory_bytes_ = 0;
+  spill_bytes_ = 0;
+}
+
+CacheStoreStats CacheStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStoreStats out;
+  out.memory_capacity = memory_capacity_;
+  out.spill_capacity = spill_capacity_;
+  out.memory_bytes = memory_bytes_;
+  out.spill_bytes = spill_bytes_;
+  out.entries = entries_.size();
+  for (const auto& [path, entry] : entries_) {
+    (void)path;
+    if (entry.spilled) ++out.spilled_entries;
+  }
+  return out;
+}
+
+std::vector<CacheEntryInfo> CacheStore::entries() const {
+  std::vector<std::pair<std::uint64_t, CacheEntryInfo>> rows;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rows.reserve(entries_.size());
+    for (const auto& [path, entry] : entries_) {
+      rows.emplace_back(entry.lru, info_locked(path, entry));
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second.path < b.second.path;
+  });
+  std::vector<CacheEntryInfo> out;
+  out.reserve(rows.size());
+  for (auto& row : rows) out.push_back(std::move(row.second));
+  return out;
+}
+
+}  // namespace msra::cache

@@ -1,0 +1,133 @@
+// CacheStore: the bounded data plane of the mid-tier read cache.
+//
+// Two tiers, both simulated in host memory: a fast "memory" tier and a
+// larger local-disk "spill" tier. Entries are whole stored objects keyed by
+// their object path (which encodes dataset + timestep + run), plus the
+// dataset key so invalidation and heat lookups can work at dataset
+// granularity. Eviction is plain LRU per tier with a cascade: a memory
+// insert that does not fit first spills the least-recently-used memory
+// entries to the spill tier, and the spill tier evicts outright.
+//
+// Readers pin entries through leases: `acquire` hands out a shared snapshot
+// that keeps the admission-time bytes readable even if the entry is
+// invalidated before the pinned read executes — the same guarantee POSIX
+// unlink gives an open file descriptor, and the property the fleet runtime
+// needs when a tenant yields between cache lookup and cache read.
+//
+// All operations are thread-safe; none advance virtual time (the
+// CacheEndpoint bills serve time when the bytes are actually read).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace msra::cache {
+
+/// Stats snapshot of one resident entry.
+struct CacheEntryInfo {
+  std::string path;
+  std::string dataset_key;
+  std::uint64_t bytes = 0;
+  bool spilled = false;
+  std::uint64_t hits = 0;
+  double saved_per_hit = 0.0;  ///< priced refetch - serve at admission time
+};
+
+/// Occupancy snapshot of the whole store.
+struct CacheStoreStats {
+  std::uint64_t memory_capacity = 0;
+  std::uint64_t spill_capacity = 0;
+  std::uint64_t memory_bytes = 0;
+  std::uint64_t spill_bytes = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t spilled_entries = 0;
+};
+
+/// What an insert of `bytes` would do to the resident set (computed with
+/// the same LRU walk the insert executes, so admission can price the damage
+/// of exactly the evictions that will happen).
+struct InsertPlan {
+  bool fits = false;
+  std::vector<CacheEntryInfo> spilled;  ///< demoted memory -> spill
+  std::vector<CacheEntryInfo> evicted;  ///< dropped outright
+};
+
+class CacheStore {
+ public:
+  /// Immutable bytes + the tier they were served from.
+  struct Snapshot {
+    std::shared_ptr<const std::vector<std::byte>> bytes;
+    bool spilled = false;
+  };
+
+  CacheStore(std::uint64_t memory_capacity, std::uint64_t spill_capacity);
+
+  /// Pins `path` for an upcoming read: bumps LRU recency and returns a
+  /// lease snapshot that stays readable past invalidation. Null if absent.
+  std::shared_ptr<const Snapshot> acquire(const std::string& path);
+
+  /// Resolves `path` for serving: the resident entry first, else the newest
+  /// still-live lease (a pinned read whose entry was invalidated in between
+  /// sees the pre-invalidation bytes). Null if neither exists.
+  std::shared_ptr<const Snapshot> snapshot_for_read(const std::string& path);
+
+  /// LRU consequences of inserting `bytes` right now, without mutating.
+  InsertPlan plan_insert(std::uint64_t bytes) const;
+
+  /// Inserts a memory-tier entry, spilling/evicting per plan_insert. Fails
+  /// with kCapacityExceeded when the payload fits in neither tier and with
+  /// kAlreadyExists when `path` is resident.
+  Status insert(const std::string& path, const std::string& dataset_key,
+                std::vector<std::byte> payload, double saved_per_hit,
+                InsertPlan* applied = nullptr);
+
+  bool contains(const std::string& path) const;
+  std::optional<CacheEntryInfo> info(const std::string& path) const;
+
+  /// Counts a served hit against the entry (stats only).
+  void record_hit(const std::string& path);
+
+  /// Drops `path`; pinned leases keep their bytes. False if absent.
+  bool erase(const std::string& path);
+  /// Drops every entry whose path starts with `prefix`; returns the count.
+  std::size_t erase_prefix(const std::string& prefix);
+  void clear();
+
+  CacheStoreStats stats() const;
+  /// Every resident entry, most-recently-used first (deterministic).
+  std::vector<CacheEntryInfo> entries() const;
+
+ private:
+  struct Entry {
+    std::string dataset_key;
+    std::shared_ptr<const std::vector<std::byte>> bytes;
+    bool spilled = false;
+    double saved_per_hit = 0.0;
+    std::uint64_t hits = 0;
+    std::uint64_t lru = 0;  ///< logical recency clock (higher = more recent)
+  };
+
+  CacheEntryInfo info_locked(const std::string& path, const Entry& entry) const;
+  /// Least-recently-used resident path of the requested tier (ties broken
+  /// by path for determinism), or nullopt when the tier is empty.
+  std::optional<std::string> lru_victim_locked(bool spilled_tier) const;
+  InsertPlan plan_insert_locked(std::uint64_t bytes) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  std::multimap<std::string, std::weak_ptr<const Snapshot>> leases_;
+  std::uint64_t memory_capacity_;
+  std::uint64_t spill_capacity_;
+  std::uint64_t memory_bytes_ = 0;
+  std::uint64_t spill_bytes_ = 0;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace msra::cache

@@ -6,6 +6,7 @@
 #include <queue>
 #include <utility>
 
+#include "cache/cache.h"
 #include "common/threadpool.h"
 #include "core/client.h"
 #include "obs/metrics.h"
@@ -272,6 +273,15 @@ void Fleet::run_slice(Actor& actor) {
     (void)actor.io->cursor.step();  // running status read back when done
     if (!actor.io->cursor.done()) return;
     Status status = actor.io->cursor.status();
+    // A drained cache-miss read offers its landed payload for priced
+    // admission — the same hook the synchronous read_whole path runs.
+    if (status.ok() && actor.io->staged.access.cache_offer.has_value()) {
+      if (cache::ReadCache* cache = system_.cache()) {
+        const CacheOffer& offer = *actor.io->staged.access.cache_offer;
+        (void)cache->offer(offer.path, offer.dataset_key, actor.io->staged.out,
+                           offer.origin, actor.client->timeline().now());
+      }
+    }
     actor.io.reset();
     if (status.ok() && step.finish) status = step.finish(ctx);
     if (!status.ok()) {
@@ -313,6 +323,11 @@ void Fleet::run_slice(Actor& actor) {
 
 Fleet::ConflictKey Fleet::next_key(const Actor& actor) const {
   if (actor.io != nullptr) {
+    cache::ReadCache* cache = system_.cache();
+    if (cache != nullptr &&
+        actor.io->staged.access.endpoint == &cache->endpoint()) {
+      return ConflictKey::kCache;
+    }
     // Remote disk and remote tape share the SRB server CPU (and its
     // connection state), so they form one conflict class.
     return actor.io->staged.access.endpoint ==
@@ -360,7 +375,7 @@ void Fleet::drain_pool() {
   std::mutex mutex;
   std::condition_variable idle_cv;
   MinHeap heap;
-  std::array<int, 3> in_flight{};  // per ConflictKey
+  std::array<int, 4> in_flight{};  // per ConflictKey
   int in_flight_total = 0;
 
   for (const auto& actor : actors_) {

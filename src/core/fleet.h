@@ -210,8 +210,10 @@ class Fleet {
   void drain_pool();
 
   /// Conflict class of an actor's next slice (pool mode): control slices
-  /// are exclusive; plan stages key on the endpoint they drive.
-  enum class ConflictKey { kExclusive, kLocalDisk, kRemoteServer };
+  /// are exclusive; plan stages key on the endpoint they drive. The cache
+  /// is its own class: node-local, internally synchronized, touching no
+  /// shared simkit device.
+  enum class ConflictKey { kExclusive, kLocalDisk, kRemoteServer, kCache };
   ConflictKey next_key(const Actor& actor) const;
 
   StorageSystem& system_;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <limits>
 
+#include "cache/cache.h"
 #include "common/log.h"
 #include "obs/trace.h"
 #include "predict/predictor.h"
@@ -159,6 +160,11 @@ Status DatasetHandle::write_timestep(prt::Comm& comm, int timestep,
     }
     session_->system_.access_tracker().record_write(
         record.dataset_key, record.bytes, comm.timeline().now());
+    // Write-through: the stored object changed, so any cached copy of it is
+    // now stale and must go before the next lookup.
+    if (cache::ReadCache* cache = session_->system_.cache()) {
+      cache->invalidate(record.path);
+    }
   }
   comm.barrier();  // instance metadata visible to all ranks on return
   return Status::Ok();
@@ -475,9 +481,30 @@ StatusOr<StagedAccess> DatasetHandle::stage_read_whole(
   runtime::StorageEndpoint& endpoint = session_->system_.endpoint(choice.location);
   session_->system_.access_tracker().record_read(record.dataset_key,
                                                  record.bytes, timeline.now());
-  return StagedAccess{
-      runtime::PlanBuilder::object_read(record.path, desc_.global_bytes()),
-      &endpoint};
+  const std::uint64_t bytes = desc_.global_bytes();
+  if (cache::ReadCache* cache = session_->system_.cache()) {
+    // Hit: the identical whole-object plan, lowered against the cache
+    // endpoint (Tconn = 0 there) with the served snapshot pinned.
+    if (std::shared_ptr<const void> pin = cache->lookup(record.path)) {
+      StagedAccess staged;
+      staged.plan = runtime::PlanBuilder::object_read(record.path, bytes);
+      staged.endpoint = &cache->endpoint();
+      staged.cache_pin = std::move(pin);
+      return staged;
+    }
+    // Miss: read from the chosen replica, and carry the ticket that lets
+    // the executor offer the landed payload for priced admission.
+    StagedAccess staged;
+    staged.plan = runtime::PlanBuilder::object_read(record.path, bytes);
+    staged.endpoint = &endpoint;
+    staged.cache_offer =
+        CacheOffer{record.path, record.dataset_key, choice.location};
+    return staged;
+  }
+  StagedAccess staged;
+  staged.plan = runtime::PlanBuilder::object_read(record.path, bytes);
+  staged.endpoint = &endpoint;
+  return staged;
 }
 
 StatusOr<StagedAccess> DatasetHandle::lower_read_box(
@@ -491,14 +518,29 @@ StatusOr<StagedAccess> DatasetHandle::lower_read_box(
   runtime::StorageEndpoint& endpoint = session_->system_.endpoint(choice.location);
   session_->system_.access_tracker().record_read(record.dataset_key,
                                                  buffer_bytes, timeline.now());
+  // A cached whole object can also serve sub-array reads: same plan, just
+  // lowered against the cache endpoint. Box misses carry no offer — only a
+  // whole-object read yields a payload worth admitting.
+  runtime::StorageEndpoint* target = &endpoint;
+  std::shared_ptr<const void> pin;
+  cache::ReadCache* cache = session_->system_.cache();
+  if (cache != nullptr && !subfiled(subfile_chunks_) &&
+      cache->contains(record.path)) {
+    pin = cache->lookup(record.path, /*credit_saved=*/false);
+    if (pin != nullptr) target = &cache->endpoint();
+  }
   // Lower the access to a plan (subfile chunk fetch or sub-array
   // direct/sieving, vectorized when the endpoint's fast path is on).
   MSRA_ASSIGN_OR_RETURN(
       runtime::IoPlan plan,
       runtime::PlanBuilder::dataset_read_box(
           spec(), subfile_chunks_, box, record.path, options.strategy,
-          endpoint.fast_path().vectored_rpc, buffer_bytes));
-  return StagedAccess{std::move(plan), &endpoint};
+          target->fast_path().vectored_rpc, buffer_bytes));
+  StagedAccess staged;
+  staged.plan = std::move(plan);
+  staged.endpoint = target;
+  staged.cache_pin = std::move(pin);
+  return staged;
 }
 
 StatusOr<StagedAccess> DatasetHandle::stage_read_box(
@@ -519,11 +561,11 @@ StatusOr<StagedAccess> DatasetHandle::stage_dump(int timestep) {
   if (subfiled(subfile_chunks_)) {
     return Status::Unimplemented("staged dump of subfile-chunked datasets");
   }
-  return StagedAccess{
-      runtime::PlanBuilder::object_write(path_for(timestep),
-                                         desc_.global_bytes(),
-                                         srb::OpenMode::kOverwrite),
-      &session_->system_.endpoint(location_)};
+  StagedAccess staged;
+  staged.plan = runtime::PlanBuilder::object_write(
+      path_for(timestep), desc_.global_bytes(), srb::OpenMode::kOverwrite);
+  staged.endpoint = &session_->system_.endpoint(location_);
+  return staged;
 }
 
 Status DatasetHandle::commit_dump(int timestep, simkit::SimTime now) {
@@ -541,6 +583,10 @@ Status DatasetHandle::commit_dump(int timestep, simkit::SimTime now) {
   }
   session_->system_.access_tracker().record_write(record.dataset_key,
                                                   record.bytes, now);
+  // Write-through invalidation, same as the collective write path.
+  if (cache::ReadCache* cache = session_->system_.cache()) {
+    cache->invalidate(record.path);
+  }
   return Status::Ok();
 }
 
@@ -572,6 +618,13 @@ StatusOr<std::vector<std::byte>> DatasetHandle::read_whole(
   MSRA_RETURN_IF_ERROR(runtime::PlanExecutor::execute(
       staged.plan, *staged.endpoint, timeline, out, {},
       &session_->system_.tracer()));
+  if (staged.cache_offer.has_value()) {
+    if (cache::ReadCache* cache = session_->system_.cache()) {
+      (void)cache->offer(staged.cache_offer->path,
+                         staged.cache_offer->dataset_key, out,
+                         staged.cache_offer->origin, timeline.now());
+    }
+  }
   return out;
 }
 

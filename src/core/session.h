@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 
 #include "core/catalog.h"
@@ -45,6 +46,15 @@ struct ReplicaChoice {
   Location location = Location::kRemoteTape;
 };
 
+/// A read that missed the mid-tier cache carries this ticket: after the
+/// payload landed, the executor (read_whole or the fleet scheduler) offers
+/// it to the cache, which prices admission against a refetch from `origin`.
+struct CacheOffer {
+  std::string path;         ///< stored object the payload came from
+  std::string dataset_key;  ///< "app/dataset" (heat / invalidation key)
+  Location origin = Location::kRemoteTape;  ///< replica the read resolved to
+};
+
 /// One lowered serial access, ready for stepwise execution: the plan plus
 /// the endpoint it runs against. Produced by DatasetHandle::stage_*; the
 /// fleet scheduler drives it a stage at a time through a
@@ -52,6 +62,12 @@ struct ReplicaChoice {
 struct StagedAccess {
   runtime::IoPlan plan;
   runtime::StorageEndpoint* endpoint = nullptr;
+  /// Cache-hit plans pin the served snapshot here so write-through
+  /// invalidation between lowering and execution cannot free the bytes
+  /// mid-read (POSIX-unlink semantics).
+  std::shared_ptr<const void> cache_pin;
+  /// Present on cache misses of cacheable whole-object reads.
+  std::optional<CacheOffer> cache_offer;
 };
 
 /// Per-dataset handle. Producer calls are collective (every rank of the

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "cache/cache.h"
 #include "runtime/factory.h"
 
 namespace msra::core {
@@ -123,6 +124,18 @@ StorageSystem::StorageSystem(const HardwareProfile& profile,
     attach_wait_observer(*resource, metrics_, name);
   }
 }
+
+// Out of line: cache::ReadCache is only forward-declared in the header.
+StorageSystem::~StorageSystem() = default;
+
+cache::ReadCache* StorageSystem::enable_cache(
+    const cache::CacheConfig& config, const predict::Predictor* predictor) {
+  cache_ = std::make_unique<cache::ReadCache>(&metrics_, predictor,
+                                              &access_tracker_, config);
+  return cache_.get();
+}
+
+void StorageSystem::disable_cache() { cache_.reset(); }
 
 runtime::StorageEndpoint& StorageSystem::endpoint(Location location) {
   switch (location) {

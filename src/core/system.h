@@ -26,6 +26,15 @@
 #include "tape/hsm.h"
 #include "tape/tape_library.h"
 
+namespace msra::cache {
+class ReadCache;
+struct CacheConfig;
+}  // namespace msra::cache
+
+namespace msra::predict {
+class Predictor;
+}  // namespace msra::predict
+
 namespace msra::core {
 
 /// Storage location attribute of a dataset (section 3.2 of the paper).
@@ -61,6 +70,7 @@ class StorageSystem {
   /// archive). Hermetic in-memory stores are the default.
   explicit StorageSystem(const HardwareProfile& profile,
                          std::filesystem::path data_root = {});
+  ~StorageSystem();
 
   const HardwareProfile& profile() const { return profile_; }
 
@@ -82,6 +92,21 @@ class StorageSystem {
   /// migration planner. Recording is time-free (counters only).
   migrate::AccessTracker& access_tracker() { return access_tracker_; }
   const migrate::AccessTracker& access_tracker() const { return access_tracker_; }
+
+  /// Installs the priced mid-tier read cache (off until called; control
+  /// plane: no client I/O may be in flight). `predictor` prices admission
+  /// refetch quotes and may be null (the cache then rejects every offer as
+  /// unpriced but still serves explicitly probed entries). Replaces any
+  /// previously installed cache. Returns the installed cache.
+  cache::ReadCache* enable_cache(const cache::CacheConfig& config,
+                                 const predict::Predictor* predictor);
+
+  /// The installed cache, or nullptr (the default: no caching anywhere).
+  cache::ReadCache* cache() { return cache_.get(); }
+  const cache::ReadCache* cache() const { return cache_.get(); }
+
+  /// Removes the cache (control plane; pinned reads must have drained).
+  void disable_cache();
 
   /// The local metadata database (the paper's Postgres).
   meta::Database& metadb() { return *metadb_; }
@@ -146,6 +171,10 @@ class StorageSystem {
   std::unique_ptr<runtime::StorageEndpoint> local_endpoint_;
   std::unique_ptr<runtime::StorageEndpoint> remote_disk_endpoint_;
   std::unique_ptr<runtime::StorageEndpoint> remote_tape_endpoint_;
+
+  // Mid-tier read cache (null until enable_cache(); sessions check this on
+  // every read path, so default-off costs one pointer test).
+  std::unique_ptr<cache::ReadCache> cache_;
 };
 
 }  // namespace msra::core

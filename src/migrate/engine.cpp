@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cache/cache.h"
 #include "common/log.h"
 #include "obs/trace.h"
 #include "runtime/plan.h"
@@ -97,6 +98,12 @@ Status MigrationEngine::commit(simkit::Timeline& timeline,
     if (!removed.ok()) {
       MSRA_LOG(kWarn) << "migration: source object cleanup failed: "
                       << removed.to_string();
+    }
+    // A dropped replica also invalidates the mid-tier cache entry: its
+    // admission was priced against a refetch quote that no longer holds
+    // (pinned in-flight reads keep their snapshot, as everywhere).
+    if (cache::ReadCache* cache = system_.cache()) {
+      cache->invalidate(step.path);
     }
   }
   return Status::Ok();

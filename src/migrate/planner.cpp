@@ -119,8 +119,8 @@ StatusOr<MigrationPlan> MigrationPlanner::plan() {
         config_.target_watermark * static_cast<double>(capacity));
     std::uint64_t to_free = used > target ? used - target : 0;
 
-    // Coldest first: fewest reads, then oldest touch, then biggest payload
-    // (fewer moves), then a stable name/timestep key for determinism.
+    // Coldest first: fewest (decayed) reads, then oldest touch, then biggest
+    // payload (fewer moves), then a stable name/timestep key for determinism.
     std::vector<const core::InstanceRecord*> residents;
     for (const auto& record : all) {
       if (record.on(pressured)) residents.push_back(&record);
@@ -130,7 +130,9 @@ StatusOr<MigrationPlan> MigrationPlanner::plan() {
                          const core::InstanceRecord* b) {
                        const DatasetHeat ha = tracker.heat(a->dataset_key);
                        const DatasetHeat hb = tracker.heat(b->dataset_key);
-                       if (ha.reads != hb.reads) return ha.reads < hb.reads;
+                       if (ha.decayed_reads != hb.decayed_reads) {
+                         return ha.decayed_reads < hb.decayed_reads;
+                       }
                        if (ha.last_touch != hb.last_touch) {
                          return ha.last_touch < hb.last_touch;
                        }
@@ -192,9 +194,9 @@ StatusOr<MigrationPlan> MigrationPlanner::plan() {
   std::vector<Candidate> promotions;
   for (const auto& record : all) {
     const DatasetHeat heat = tracker.heat(record.dataset_key);
-    if (heat.reads < config_.hot_reads) continue;
+    if (heat.decayed_reads < static_cast<double>(config_.hot_reads)) continue;
     const double reads_share =
-        static_cast<double>(heat.reads) /
+        heat.decayed_reads /
         static_cast<double>(instance_count[record.dataset_key]);
     auto current = cheapest_live_read(record);
     if (!current.ok()) continue;  // nothing live: failover's problem, not ours

@@ -1,6 +1,7 @@
 #include "migrate/tracker.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace msra::migrate {
 
@@ -16,12 +17,25 @@ void AccessTracker::touch_locked(const std::string&) {
   if (datasets_ != nullptr) datasets_->set(static_cast<double>(heat_.size()));
 }
 
+void AccessTracker::decay_to_locked(DatasetHeat& heat, double now) const {
+  if (now <= heat.decay_horizon) return;
+  if (half_life_ > 0.0) {
+    const double factor = std::exp2(-(now - heat.decay_horizon) / half_life_);
+    heat.decayed_reads *= factor;
+    heat.decayed_read_bytes *= factor;
+  }
+  heat.decay_horizon = now;
+}
+
 void AccessTracker::record_read(const std::string& dataset_key,
                                 std::uint64_t bytes, double now) {
   std::lock_guard<std::mutex> lock(mutex_);
   DatasetHeat& heat = heat_[dataset_key];
+  decay_to_locked(heat, now);
   ++heat.reads;
   heat.read_bytes += bytes;
+  heat.decayed_reads += 1.0;
+  heat.decayed_read_bytes += static_cast<double>(bytes);
   heat.last_touch = std::max(heat.last_touch, now);
   if (reads_ != nullptr) reads_->increment();
   touch_locked(dataset_key);
@@ -31,6 +45,7 @@ void AccessTracker::record_write(const std::string& dataset_key,
                                  std::uint64_t bytes, double now) {
   std::lock_guard<std::mutex> lock(mutex_);
   DatasetHeat& heat = heat_[dataset_key];
+  decay_to_locked(heat, now);
   ++heat.writes;
   heat.write_bytes += bytes;
   heat.last_touch = std::max(heat.last_touch, now);
@@ -38,10 +53,30 @@ void AccessTracker::record_write(const std::string& dataset_key,
   touch_locked(dataset_key);
 }
 
+void AccessTracker::set_half_life(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  half_life_ = seconds > 0.0 ? seconds : 0.0;
+}
+
+double AccessTracker::half_life() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return half_life_;
+}
+
 DatasetHeat AccessTracker::heat(const std::string& dataset_key) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = heat_.find(dataset_key);
   return it == heat_.end() ? DatasetHeat{} : it->second;
+}
+
+DatasetHeat AccessTracker::heat_at(const std::string& dataset_key,
+                                   double now) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = heat_.find(dataset_key);
+  if (it == heat_.end()) return DatasetHeat{};
+  DatasetHeat out = it->second;
+  decay_to_locked(out, now);
+  return out;
 }
 
 std::vector<std::pair<std::string, DatasetHeat>> AccessTracker::hottest() const {
@@ -51,8 +86,10 @@ std::vector<std::pair<std::string, DatasetHeat>> AccessTracker::hottest() const 
     out.assign(heat_.begin(), heat_.end());
   }
   std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
-    if (a.second.reads != b.second.reads) return a.second.reads > b.second.reads;
-    return a.second.read_bytes > b.second.read_bytes;
+    if (a.second.decayed_reads != b.second.decayed_reads) {
+      return a.second.decayed_reads > b.second.decayed_reads;
+    }
+    return a.second.decayed_read_bytes > b.second.decayed_read_bytes;
   });
   return out;
 }

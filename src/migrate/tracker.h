@@ -31,6 +31,15 @@ struct DatasetHeat {
   std::uint64_t read_bytes = 0;
   std::uint64_t write_bytes = 0;
   double last_touch = 0.0;        ///< virtual time of the latest access
+
+  // Exponentially decayed twins of the read counters (virtual-time
+  // half-life, see AccessTracker::set_half_life). With decay off they track
+  // the integer counters exactly (every access adds exactly 1.0 / `bytes`,
+  // and integers below 2^53 are exact doubles), so consumers can key off the
+  // decayed values unconditionally without changing default behaviour.
+  double decayed_reads = 0.0;
+  double decayed_read_bytes = 0.0;
+  double decay_horizon = 0.0;     ///< virtual time the decayed values are at
 };
 
 class AccessTracker {
@@ -45,10 +54,25 @@ class AccessTracker {
   void record_write(const std::string& dataset_key, std::uint64_t bytes,
                     double now);
 
-  /// Heat of one dataset (zeroes if never touched).
+  /// Exponential time-decay of read heat: after `seconds` of virtual time
+  /// without touches, `decayed_reads` halves. 0 (the default) disables decay
+  /// entirely, keeping the decayed twins byte-identical to the counters.
+  /// Stale heat otherwise pins cold datasets in cache admission and in
+  /// migration promotion forever.
+  void set_half_life(double seconds);
+  double half_life() const;
+
+  /// Heat of one dataset (zeroes if never touched). Decayed values are as
+  /// of the dataset's last access.
   DatasetHeat heat(const std::string& dataset_key) const;
 
-  /// Every tracked dataset, hottest first (by read count, then read bytes).
+  /// Heat of one dataset with the decayed values rolled forward to `now`
+  /// (no-op when decay is off or `now` is not ahead of the last access).
+  DatasetHeat heat_at(const std::string& dataset_key, double now) const;
+
+  /// Every tracked dataset, hottest first (by decayed read count, then
+  /// decayed read bytes — identical to the raw-counter order when decay is
+  /// off).
   std::vector<std::pair<std::string, DatasetHeat>> hottest() const;
 
   std::size_t tracked() const;
@@ -56,9 +80,11 @@ class AccessTracker {
 
  private:
   void touch_locked(const std::string& dataset_key);
+  void decay_to_locked(DatasetHeat& heat, double now) const;
 
   mutable std::mutex mutex_;
   std::map<std::string, DatasetHeat> heat_;
+  double half_life_ = 0.0;
   obs::Counter* reads_ = nullptr;
   obs::Counter* writes_ = nullptr;
   obs::Gauge* datasets_ = nullptr;

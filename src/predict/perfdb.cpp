@@ -60,14 +60,29 @@ PerfDb::PerfDb(meta::Database* db) : db_(db) {
                                       {"seek", ColumnType::kReal},
                                       {"close", ColumnType::kReal},
                                       {"connclose", ColumnType::kReal}});
+  // The mid-tier read cache's own Eq. (1) components, measured by PTool's
+  // cache probe. Node-local, so no location column.
+  auto cache_fixed = db->open_table(
+      "perf_cache_fixed", meta::Schema{{"op", ColumnType::kText},
+                                       {"conn", ColumnType::kReal},
+                                       {"open", ColumnType::kReal},
+                                       {"seek", ColumnType::kReal},
+                                       {"close", ColumnType::kReal},
+                                       {"connclose", ColumnType::kReal}});
+  auto cache_rw = db->open_table(
+      "perf_cache_rw", meta::Schema{{"op", ColumnType::kText},
+                                    {"bytes", ColumnType::kInt},
+                                    {"seconds", ColumnType::kReal}});
   assert(fixed.ok() && rw.ok() && rw_pipe.ok() && batch.ok() &&
-         rw_load.ok() && fixed_load.ok());
+         rw_load.ok() && fixed_load.ok() && cache_fixed.ok() && cache_rw.ok());
   fixed_ = *fixed;
   rw_ = *rw;
   rw_pipe_ = *rw_pipe;
   batch_ = *batch;
   rw_load_ = *rw_load;
   fixed_load_ = *fixed_load;
+  cache_fixed_ = *cache_fixed;
+  cache_rw_ = *cache_rw;
 }
 
 namespace {
@@ -400,6 +415,73 @@ StatusOr<FixedCosts> PerfDb::contended_fixed(core::Location location, IoOp op,
   out.connclose =
       std::max(0.0, lo.connclose + span.frac * (hi.connclose - lo.connclose));
   return out;
+}
+
+Status PerfDb::put_cache_fixed(IoOp op, const FixedCosts& costs) {
+  std::lock_guard<std::mutex> txn(db_->txn_mutex());
+  const std::string opname(io_op_name(op));
+  auto ids = cache_fixed_->find(
+      [&](const Row& r) { return std::get<std::string>(r[0]) == opname; });
+  Row row{opname,      costs.conn,  costs.open,
+          costs.seek,  costs.close, costs.connclose};
+  if (!ids.empty()) return cache_fixed_->update(ids.front(), std::move(row));
+  return cache_fixed_->insert(std::move(row)).status();
+}
+
+StatusOr<FixedCosts> PerfDb::cache_fixed(IoOp op) const {
+  const std::string opname(io_op_name(op));
+  auto ids = cache_fixed_->find(
+      [&](const Row& r) { return std::get<std::string>(r[0]) == opname; });
+  if (ids.empty()) {
+    return Status::NotFound("no cache fixed costs for " + opname +
+                            " (run PTool with measure_cache)");
+  }
+  MSRA_ASSIGN_OR_RETURN(Row row, cache_fixed_->get(ids.front()));
+  FixedCosts costs;
+  costs.conn = std::get<double>(row[1]);
+  costs.open = std::get<double>(row[2]);
+  costs.seek = std::get<double>(row[3]);
+  costs.close = std::get<double>(row[4]);
+  costs.connclose = std::get<double>(row[5]);
+  return costs;
+}
+
+Status PerfDb::put_cache_rw_point(IoOp op, std::uint64_t bytes,
+                                  double seconds) {
+  std::lock_guard<std::mutex> txn(db_->txn_mutex());
+  const std::string opname(io_op_name(op));
+  auto ids = cache_rw_->find([&](const Row& r) {
+    return std::get<std::string>(r[0]) == opname &&
+           std::get<std::int64_t>(r[1]) == static_cast<std::int64_t>(bytes);
+  });
+  Row row{opname, static_cast<std::int64_t>(bytes), seconds};
+  if (!ids.empty()) return cache_rw_->update(ids.front(), std::move(row));
+  return cache_rw_->insert(std::move(row)).status();
+}
+
+std::vector<std::pair<std::uint64_t, double>> PerfDb::cache_rw_curve(
+    IoOp op) const {
+  const std::string opname(io_op_name(op));
+  std::vector<std::pair<std::uint64_t, double>> out;
+  for (const Row& row : cache_rw_->select([&](const Row& r) {
+         return std::get<std::string>(r[0]) == opname;
+       })) {
+    out.emplace_back(static_cast<std::uint64_t>(std::get<std::int64_t>(row[1])),
+                     std::get<double>(row[2]));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+StatusOr<double> PerfDb::cache_rw_time(IoOp op, std::uint64_t bytes) const {
+  const auto curve = cache_rw_curve(op);
+  if (curve.empty()) {
+    return Status::NotFound("no cache rw curve for " +
+                            std::string(io_op_name(op)) +
+                            " (run PTool with measure_cache)");
+  }
+  if (bytes == 0) return 0.0;
+  return interpolate_curve(curve, static_cast<double>(bytes));
 }
 
 }  // namespace msra::predict

@@ -10,9 +10,14 @@
 //   perf_rw(location, op, bytes, seconds)                         — Figs 6-8
 //   perf_rw_load(location, op, clients, bytes, seconds)    — contended curves
 //   perf_fixed_load(location, op, clients, ...)            — contended Table 1
+//   perf_cache_fixed(op, conn, open, seek, close, connclose) — cache tier
+//   perf_cache_rw(op, bytes, seconds)                        — cache curve
 // The *_load tables hold the same measurements repeated under N concurrent
 // probe clients (PTool's 2/4/8 sweep); `clients` = 1 is implicit and always
-// served from the uncontended tables.
+// served from the uncontended tables. The perf_cache_* tables hold the
+// node-local mid-tier read cache's measurements (no location column: the
+// cache fronts every resource identically), feeding the hit-ratio-blended
+// CacheAssumptions pricing.
 #pragma once
 
 #include <cstdint>
@@ -108,6 +113,26 @@ class PerfDb {
   StatusOr<FixedCosts> contended_fixed(core::Location location, IoOp op,
                                        double clients) const;
 
+  // -- mid-tier read cache measurements ------------------------------------
+  // The cache endpoint's Eq. (1) components, measured by PTool's cache
+  // probe (config.measure_cache) against an enabled ReadCache. Node-local:
+  // one row per direction, no location key.
+
+  /// Stores (replaces) the cache tier's fixed costs for one direction.
+  Status put_cache_fixed(IoOp op, const FixedCosts& costs);
+  StatusOr<FixedCosts> cache_fixed(IoOp op) const;
+
+  /// Adds one measured cache transfer-time point (replaces an existing
+  /// point of the same size).
+  Status put_cache_rw_point(IoOp op, std::uint64_t bytes, double seconds);
+
+  /// Cache transfer time, interpolated like rw_time. Fails kNotFound until
+  /// the cache probe has run.
+  StatusOr<double> cache_rw_time(IoOp op, std::uint64_t bytes) const;
+
+  /// All measured cache (size, seconds) points, sorted by size.
+  std::vector<std::pair<std::uint64_t, double>> cache_rw_curve(IoOp op) const;
+
   /// Number of stored rw points (all resources, serial mode).
   std::size_t rw_point_count() const { return rw_->size(); }
 
@@ -128,6 +153,8 @@ class PerfDb {
   meta::Table* batch_;
   meta::Table* rw_load_;
   meta::Table* fixed_load_;
+  meta::Table* cache_fixed_;
+  meta::Table* cache_rw_;
 };
 
 }  // namespace msra::predict

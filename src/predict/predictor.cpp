@@ -94,10 +94,26 @@ StatusOr<double> Predictor::call_time(core::Location location, IoOp op,
 StatusOr<double> Predictor::call_time(core::Location location, IoOp op,
                                       std::uint64_t bytes, TransferMode mode,
                                       const LoadAssumptions& load) const {
+  return call_time(location, op, bytes, mode, load, CacheAssumptions{});
+}
+
+StatusOr<double> Predictor::call_time(core::Location location, IoOp op,
+                                      std::uint64_t bytes, TransferMode mode,
+                                      const LoadAssumptions& load,
+                                      const CacheAssumptions& cache) const {
   MSRA_ASSIGN_OR_RETURN(FixedCosts costs, loaded_fixed(location, op, load));
   MSRA_ASSIGN_OR_RETURN(double rw, loaded_rw(location, op, bytes, mode, load));
-  return costs.conn + costs.open + costs.seek + rw + costs.close +
-         costs.connclose;
+  const double origin = costs.conn + costs.open + costs.seek + rw +
+                        costs.close + costs.connclose;
+  if (op != IoOp::kRead || cache.off()) return origin;
+  // Cache-aware blend: a fraction h of read calls never leave the node —
+  // they pay the cache tier's Eq. (1) instead of the origin's.
+  MSRA_ASSIGN_OR_RETURN(FixedCosts hit_costs, db_->cache_fixed(op));
+  MSRA_ASSIGN_OR_RETURN(double hit_rw, db_->cache_rw_time(op, bytes));
+  const double hit = hit_costs.conn + hit_costs.open + hit_costs.seek +
+                     hit_rw + hit_costs.close + hit_costs.connclose;
+  const double h = std::min(cache.hit_ratio, 1.0);
+  return (1.0 - h) * origin + h * hit;
 }
 
 StatusOr<double> Predictor::batched_call_time(core::Location location, IoOp op,
@@ -127,25 +143,44 @@ StatusOr<DatasetPrediction> Predictor::predict_dataset(
 StatusOr<double> Predictor::price_stage(core::Location location, IoOp op,
                                         TransferMode mode,
                                         const runtime::PlanStage& stage,
-                                        const LoadAssumptions& load) const {
+                                        const LoadAssumptions& load,
+                                        const CacheAssumptions& cache) const {
   MSRA_ASSIGN_OR_RETURN(FixedCosts costs, loaded_fixed(location, op, load));
+  // Cache-aware blend: in the read direction, a fraction h of every Eq. (1)
+  // term is served by the cache tier instead of the origin. Write-direction
+  // stages never blend — the cache is read-only.
+  const bool blended = op == IoOp::kRead && !cache.off();
+  const double h = blended ? std::min(cache.hit_ratio, 1.0) : 0.0;
+  FixedCosts hit_costs;
+  if (blended) {
+    MSRA_ASSIGN_OR_RETURN(hit_costs, db_->cache_fixed(op));
+  }
+  const auto mix = [h](double origin, double hit) {
+    return (1.0 - h) * origin + h * hit;
+  };
   double sum = 0.0;
   for (const runtime::PlanOp& planned : stage.ops) {
     switch (planned.kind) {
       case runtime::PlanOpKind::kConnect:
-        sum += costs.conn;
+        sum += mix(costs.conn, hit_costs.conn);
         break;
       case runtime::PlanOpKind::kOpen:
-        sum += costs.open;
+        sum += mix(costs.open, hit_costs.open);
         break;
       case runtime::PlanOpKind::kSeek:
-        sum += costs.seek;
+        sum += mix(costs.seek, hit_costs.seek);
         break;
       case runtime::PlanOpKind::kRead:
       case runtime::PlanOpKind::kWrite: {
         MSRA_ASSIGN_OR_RETURN(
             double rw, loaded_rw(location, op, planned.bytes, mode, load));
-        sum += rw;
+        if (blended && planned.kind == runtime::PlanOpKind::kRead) {
+          MSRA_ASSIGN_OR_RETURN(double hit_rw,
+                                db_->cache_rw_time(op, planned.bytes));
+          sum += mix(rw, hit_rw);
+        } else {
+          sum += rw;
+        }
         break;
       }
       case runtime::PlanOpKind::kReadv:
@@ -154,7 +189,7 @@ StatusOr<double> Predictor::price_stage(core::Location location, IoOp op,
         // costs are what the measured per-run batch overhead captures.
         MSRA_ASSIGN_OR_RETURN(
             double rw, loaded_rw(location, op, planned.bytes, mode, load));
-        sum += rw;
+        double origin = rw;
         if (planned.runs() > 1) {
           MSRA_ASSIGN_OR_RETURN(double per_run,
                                 db_->batch_overhead(location, op));
@@ -163,15 +198,29 @@ StatusOr<double> Predictor::price_stage(core::Location location, IoOp op,
             // analytically like any other queued service.
             per_run *= load.client_inflation() * load.utilization_inflation();
           }
-          sum += static_cast<double>(planned.runs() - 1) * per_run;
+          origin += static_cast<double>(planned.runs() - 1) * per_run;
+        }
+        if (blended && planned.kind == runtime::PlanOpKind::kReadv) {
+          // Hit side: a vectored request against resident memory degenerates
+          // to positioned copies — the payload off the cache curve plus one
+          // cache seek per extra run.
+          MSRA_ASSIGN_OR_RETURN(double hit_rw,
+                                db_->cache_rw_time(op, planned.bytes));
+          if (planned.runs() > 1) {
+            hit_rw +=
+                static_cast<double>(planned.runs() - 1) * hit_costs.seek;
+          }
+          sum += mix(origin, hit_rw);
+        } else {
+          sum += origin;
         }
         break;
       }
       case runtime::PlanOpKind::kClose:
-        sum += costs.close;
+        sum += mix(costs.close, hit_costs.close);
         break;
       case runtime::PlanOpKind::kDisconnect:
-        sum += costs.connclose;
+        sum += mix(costs.connclose, hit_costs.connclose);
         break;
       case runtime::PlanOpKind::kCopyIn:
       case runtime::PlanOpKind::kCopyOut:
@@ -189,6 +238,12 @@ StatusOr<std::vector<StagePrice>> Predictor::price_stages(
 StatusOr<std::vector<StagePrice>> Predictor::price_stages(
     const runtime::IoPlan& plan, core::Location location,
     const LoadAssumptions& load) const {
+  return price_stages(plan, location, load, CacheAssumptions{});
+}
+
+StatusOr<std::vector<StagePrice>> Predictor::price_stages(
+    const runtime::IoPlan& plan, core::Location location,
+    const LoadAssumptions& load, const CacheAssumptions& cache) const {
   const IoOp op =
       plan.dir == runtime::PlanDir::kWrite ? IoOp::kWrite : IoOp::kRead;
   const TransferMode mode =
@@ -201,8 +256,8 @@ StatusOr<std::vector<StagePrice>> Predictor::price_stages(
     price.kind = stage.kind;
     price.repeat = stage.repeat;
     if (stage.kind != runtime::PlanStageKind::kExchange) {
-      MSRA_ASSIGN_OR_RETURN(price.seconds,
-                            price_stage(location, op, mode, stage, load));
+      MSRA_ASSIGN_OR_RETURN(
+          price.seconds, price_stage(location, op, mode, stage, load, cache));
     }
     out.push_back(std::move(price));
   }
@@ -217,8 +272,15 @@ StatusOr<double> Predictor::price(const runtime::IoPlan& plan,
 StatusOr<double> Predictor::price(const runtime::IoPlan& plan,
                                   core::Location location,
                                   const LoadAssumptions& load) const {
+  return price(plan, location, load, CacheAssumptions{});
+}
+
+StatusOr<double> Predictor::price(const runtime::IoPlan& plan,
+                                  core::Location location,
+                                  const LoadAssumptions& load,
+                                  const CacheAssumptions& cache) const {
   MSRA_ASSIGN_OR_RETURN(std::vector<StagePrice> stages,
-                        price_stages(plan, location, load));
+                        price_stages(plan, location, load, cache));
   double total = 0.0;
   for (const StagePrice& stage : stages) {
     total += static_cast<double>(stage.repeat) * stage.seconds;
@@ -237,6 +299,14 @@ StatusOr<DatasetPrediction> Predictor::predict_dataset(
     const core::DatasetDesc& desc, core::Location resolved, int iterations,
     int nprocs, IoOp op, const FastPathAssumptions& fast,
     const LoadAssumptions& load) const {
+  return predict_dataset(desc, resolved, iterations, nprocs, op, fast, load,
+                         CacheAssumptions{});
+}
+
+StatusOr<DatasetPrediction> Predictor::predict_dataset(
+    const core::DatasetDesc& desc, core::Location resolved, int iterations,
+    int nprocs, IoOp op, const FastPathAssumptions& fast,
+    const LoadAssumptions& load, const CacheAssumptions& cache) const {
   DatasetPrediction out;
   out.name = desc.name;
   out.location = resolved;
@@ -274,14 +344,14 @@ StatusOr<DatasetPrediction> Predictor::predict_dataset(
   // t_j(s) = Eq. (1) over the session's ops; under pooling the connection
   // legs live in separate setup/teardown stages billed once per run.
   MSRA_ASSIGN_OR_RETURN(out.call_time,
-                        price_stage(resolved, op, mode, *session, load));
+                        price_stage(resolved, op, mode, *session, load, cache));
   for (const runtime::PlanStage& stage : plan.stages) {
     if (stage.kind != runtime::PlanStageKind::kSetup &&
         stage.kind != runtime::PlanStageKind::kTeardown) {
       continue;
     }
     MSRA_ASSIGN_OR_RETURN(double seconds,
-                          price_stage(resolved, op, mode, stage, load));
+                          price_stage(resolved, op, mode, stage, load, cache));
     out.connection_time += seconds;
   }
   out.total = static_cast<double>(out.dumps) *
@@ -299,12 +369,20 @@ StatusOr<RunPrediction> Predictor::predict_run(
 StatusOr<RunPrediction> Predictor::predict_run(
     const std::vector<std::pair<core::DatasetDesc, core::Location>>& datasets,
     int iterations, int nprocs, IoOp op, const LoadAssumptions& load) const {
+  return predict_run(datasets, iterations, nprocs, op, load,
+                     CacheAssumptions{});
+}
+
+StatusOr<RunPrediction> Predictor::predict_run(
+    const std::vector<std::pair<core::DatasetDesc, core::Location>>& datasets,
+    int iterations, int nprocs, IoOp op, const LoadAssumptions& load,
+    const CacheAssumptions& cache) const {
   RunPrediction out;
   for (const auto& [desc, resolved] : datasets) {
     MSRA_ASSIGN_OR_RETURN(
         DatasetPrediction prediction,
         predict_dataset(desc, resolved, iterations, nprocs, op,
-                        FastPathAssumptions{}, load));
+                        FastPathAssumptions{}, load, cache));
     out.total += prediction.total;
     out.datasets.push_back(std::move(prediction));
   }

@@ -73,6 +73,20 @@ struct LoadAssumptions {
   double utilization_inflation() const;
 };
 
+/// The mid-tier read cache the priced workload runs behind (src/cache/).
+/// `hit_ratio` is the expected fraction of read calls served from the
+/// cache's memory tier; every read-direction Eq. (1) term is then blended
+/// as (1 - h) * origin + h * cache, with the cache-side terms looked up in
+/// the perf_cache_* tables PTool's cache probe populates. The default (no
+/// cache) prices bit-identically to the cache-less predictor; write
+/// directions never blend (the cache is read-only, write-through
+/// invalidated).
+struct CacheAssumptions {
+  double hit_ratio = 0.0;  ///< expected hit fraction in [0, 1]
+
+  bool off() const { return hit_ratio <= 0.0; }
+};
+
 /// Prediction for a whole run (the Fig. 11 table).
 struct RunPrediction {
   std::vector<DatasetPrediction> datasets;
@@ -105,6 +119,12 @@ class Predictor {
   StatusOr<double> call_time(core::Location location, IoOp op,
                              std::uint64_t bytes, TransferMode mode,
                              const LoadAssumptions& load) const;
+  /// Cache-aware Eq. (1): read-direction terms blend with the measured
+  /// cache tier at `cache.hit_ratio` (see CacheAssumptions).
+  StatusOr<double> call_time(core::Location location, IoOp op,
+                             std::uint64_t bytes, TransferMode mode,
+                             const LoadAssumptions& load,
+                             const CacheAssumptions& cache) const;
 
   /// Cost of one vectored call carrying `runs` runs of `total_bytes`
   /// altogether: the Eq. (1) fixed terms once (minus Tseek — a vectored
@@ -128,6 +148,11 @@ class Predictor {
   /// dedicated overload.
   StatusOr<double> price(const runtime::IoPlan& plan, core::Location location,
                          const LoadAssumptions& load) const;
+  /// Cache-aware plan pricing (read-direction stages blend at the hit
+  /// ratio; CacheAssumptions{} prices identically to the overload above).
+  StatusOr<double> price(const runtime::IoPlan& plan, core::Location location,
+                         const LoadAssumptions& load,
+                         const CacheAssumptions& cache) const;
 
   /// Per-stage breakdown of the same walk (seconds are per single
   /// execution; multiply by `repeat` for the stage's share).
@@ -136,6 +161,9 @@ class Predictor {
   StatusOr<std::vector<StagePrice>> price_stages(
       const runtime::IoPlan& plan, core::Location location,
       const LoadAssumptions& load) const;
+  StatusOr<std::vector<StagePrice>> price_stages(
+      const runtime::IoPlan& plan, core::Location location,
+      const LoadAssumptions& load, const CacheAssumptions& cache) const;
 
   /// Per-dataset prediction for an `iterations`-long run on `nprocs` ranks.
   /// `op` selects the producer (write) or consumer (read) direction.
@@ -156,6 +184,12 @@ class Predictor {
       int nprocs, IoOp op, const FastPathAssumptions& fast,
       const LoadAssumptions& load) const;
 
+  /// Same, additionally behind a read cache at `cache.hit_ratio`.
+  StatusOr<DatasetPrediction> predict_dataset(
+      const core::DatasetDesc& desc, core::Location resolved, int iterations,
+      int nprocs, IoOp op, const FastPathAssumptions& fast,
+      const LoadAssumptions& load, const CacheAssumptions& cache) const;
+
   /// Equation (2) over a set of datasets (write direction: the producer run).
   StatusOr<RunPrediction> predict_run(
       const std::vector<std::pair<core::DatasetDesc, core::Location>>& datasets,
@@ -165,6 +199,12 @@ class Predictor {
   StatusOr<RunPrediction> predict_run(
       const std::vector<std::pair<core::DatasetDesc, core::Location>>& datasets,
       int iterations, int nprocs, IoOp op, const LoadAssumptions& load) const;
+
+  /// Cache-aware Equation (2).
+  StatusOr<RunPrediction> predict_run(
+      const std::vector<std::pair<core::DatasetDesc, core::Location>>& datasets,
+      int iterations, int nprocs, IoOp op, const LoadAssumptions& load,
+      const CacheAssumptions& cache) const;
 
  private:
   /// Eq. (1) fixed terms under `load`: measured contended table when
@@ -177,11 +217,13 @@ class Predictor {
                              std::uint64_t bytes, TransferMode mode,
                              const LoadAssumptions& load) const;
 
-  /// Sums the Eq. (1) terms of one stage's ops, in op order.
+  /// Sums the Eq. (1) terms of one stage's ops, in op order; read-direction
+  /// terms blend with the cache tier at `cache.hit_ratio` when set.
   StatusOr<double> price_stage(core::Location location, IoOp op,
                                TransferMode mode,
                                const runtime::PlanStage& stage,
-                               const LoadAssumptions& load) const;
+                               const LoadAssumptions& load,
+                               const CacheAssumptions& cache) const;
 
   const PerfDb* db_;
 };

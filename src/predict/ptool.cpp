@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "cache/cache.h"
 #include "runtime/endpoint.h"
 
 namespace msra::predict {
@@ -387,6 +388,85 @@ StatusOr<FixedCosts> PTool::measure_contended_fixed(core::Location location,
   return mean;
 }
 
+StatusOr<FixedCosts> PTool::measure_cache_fixed() {
+  cache::ReadCache* cache = system_.cache();
+  if (cache == nullptr) {
+    return Status::FailedPrecondition(
+        "no read cache enabled (StorageSystem::enable_cache)");
+  }
+  runtime::StorageEndpoint& endpoint = cache->endpoint();
+  const std::string path = "ptool/cachefix" + std::to_string(probe_counter_++);
+  // Probe entry inserted unpriced (admission would reject an object the
+  // predictor has no refetch quote for) and dropped again afterwards.
+  auto payload = probe_payload(8192);
+  MSRA_RETURN_IF_ERROR(cache->insert_probe(path, "ptool", payload));
+  FixedCosts costs;
+  simkit::Timeline tl;
+
+  double t0 = tl.now();
+  MSRA_RETURN_IF_ERROR(endpoint.connect(tl));
+  costs.conn = tl.now() - t0;
+
+  t0 = tl.now();
+  MSRA_ASSIGN_OR_RETURN(auto handle,
+                        endpoint.open(tl, path, srb::OpenMode::kRead));
+  costs.open = tl.now() - t0;
+
+  t0 = tl.now();
+  MSRA_RETURN_IF_ERROR(endpoint.seek(tl, handle, 4096));
+  costs.seek = tl.now() - t0;
+
+  t0 = tl.now();
+  MSRA_RETURN_IF_ERROR(endpoint.close(tl, handle));
+  costs.close = tl.now() - t0;
+
+  t0 = tl.now();
+  MSRA_RETURN_IF_ERROR(endpoint.disconnect(tl));
+  costs.connclose = tl.now() - t0;
+
+  cache->invalidate(path);
+  return costs;
+}
+
+StatusOr<double> PTool::measure_cache_rw(std::uint64_t bytes, int repeats) {
+  if (repeats < 1) repeats = 1;
+  cache::ReadCache* cache = system_.cache();
+  if (cache == nullptr) {
+    return Status::FailedPrecondition(
+        "no read cache enabled (StorageSystem::enable_cache)");
+  }
+  runtime::StorageEndpoint& endpoint = cache->endpoint();
+  auto payload = probe_payload(bytes);
+  simkit::Timeline tl;
+  MSRA_RETURN_IF_ERROR(endpoint.connect(tl));
+  double total = 0.0;
+  std::vector<std::byte> out(bytes);
+  for (int rep = 0; rep < repeats; ++rep) {
+    const std::string path = "ptool/cacherw" + std::to_string(probe_counter_++);
+    MSRA_RETURN_IF_ERROR(cache->insert_probe(path, "ptool", payload));
+    MSRA_ASSIGN_OR_RETURN(auto handle,
+                          endpoint.open(tl, path, srb::OpenMode::kRead));
+    const double t0 = tl.now();
+    MSRA_RETURN_IF_ERROR(endpoint.read(tl, handle, out));
+    total += tl.now() - t0;
+    MSRA_RETURN_IF_ERROR(endpoint.close(tl, handle));
+    cache->invalidate(path);
+  }
+  MSRA_RETURN_IF_ERROR(endpoint.disconnect(tl));
+  return total / repeats;
+}
+
+Status PTool::measure_cache(const PToolConfig& config) {
+  MSRA_ASSIGN_OR_RETURN(FixedCosts costs, measure_cache_fixed());
+  MSRA_RETURN_IF_ERROR(db_.put_cache_fixed(IoOp::kRead, costs));
+  for (std::uint64_t bytes : config.sizes) {
+    MSRA_ASSIGN_OR_RETURN(double seconds,
+                          measure_cache_rw(bytes, config.repeats));
+    MSRA_RETURN_IF_ERROR(db_.put_cache_rw_point(IoOp::kRead, bytes, seconds));
+  }
+  return Status::Ok();
+}
+
 Status PTool::measure_location(core::Location location, const PToolConfig& config) {
   MSRA_RETURN_IF_ERROR(warm_up(location));
   for (IoOp op : {IoOp::kRead, IoOp::kWrite}) {
@@ -448,6 +528,11 @@ Status PTool::measure_location(core::Location location, const PToolConfig& confi
 Status PTool::measure_all(const PToolConfig& config) {
   for (core::Location location : core::kConcreteLocations) {
     MSRA_RETURN_IF_ERROR(measure_location(location, config));
+  }
+  // Cache tier: probed once (node-local, fronting every resource the same
+  // way), and only on request against an enabled cache.
+  if (config.measure_cache && system_.cache() != nullptr) {
+    MSRA_RETURN_IF_ERROR(measure_cache(config));
   }
   return Status::Ok();
 }

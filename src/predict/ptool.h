@@ -46,6 +46,13 @@ struct PToolConfig {
   /// sustained multi-client run sees (~clients x the dedicated time on a
   /// saturated serial device).
   int contended_rounds = 4;
+
+  /// Cache probing. With `measure_cache` set (and the system's mid-tier
+  /// read cache enabled), measure_all also probes the cache endpoint's
+  /// fixed costs and read transfer curve into the perf_cache_* tables that
+  /// back hit-ratio-blended CacheAssumptions pricing. Off by default: the
+  /// classic database stays byte-identical.
+  bool measure_cache = false;
 };
 
 class PTool {
@@ -94,6 +101,16 @@ class PTool {
   StatusOr<FixedCosts> measure_contended_fixed(core::Location location,
                                                IoOp op, int clients,
                                                int rounds = 4);
+
+  /// Probes the system's enabled read cache (fixed costs + read curve at
+  /// config.sizes) into the perf_cache_* tables. Probe entries are
+  /// inserted unpriced and invalidated afterwards. Fails
+  /// kFailedPrecondition without StorageSystem::enable_cache.
+  Status measure_cache(const PToolConfig& config = {});
+
+  /// One-shot cache measurements (read direction — the cache is read-only).
+  StatusOr<FixedCosts> measure_cache_fixed();
+  StatusOr<double> measure_cache_rw(std::uint64_t bytes, int repeats);
 
  private:
   /// Ensures tape cartridges are mounted etc. so fixed-cost probes do not

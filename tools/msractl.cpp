@@ -24,6 +24,7 @@
 #include "apps/vizlib/vizlib.h"
 #include "apps/volren/volren.h"
 #include "argparse.h"
+#include "cache/cache.h"
 #include "common/bytes.h"
 #include "migrate/engine.h"
 #include "obs/report.h"
@@ -38,7 +39,8 @@ int usage() {
                "usage: msractl <command> [--root DIR] [options]\n"
                "commands:\n"
                "  ptool     populate the I/O performance database\n"
-               "            (--contended adds the 2/4/8-client curves)\n"
+               "            (--contended adds the 2/4/8-client curves;\n"
+               "            --cache probes the mid-tier read cache)\n"
                "  predict   predict a run's I/O time (Eq. 1 + Eq. 2)\n"
                "            (--load N [--util U] prices under N concurrent\n"
                "            clients / background utilization U in [0,1))\n"
@@ -61,7 +63,11 @@ int usage() {
                "            [--json]\n"
                "  stats     probe every resource and print the Eq. 1 telemetry\n"
                "            breakdown plus the device contention table\n"
-               "            (--size-mb N, --json FILE)\n");
+               "            (--size-mb N, --json FILE)\n"
+               "  cache     priced mid-tier read cache:\n"
+               "            cache stats|flush|explain <dataset>\n"
+               "            [--cache-mb N] [--spill-mb N] [--warm name[=rounds]]\n"
+               "            [--hot name[=reads]] [--json]\n");
   return 2;
 }
 
@@ -158,6 +164,12 @@ int cmd_ptool(const Args& args) {
   predict::PToolConfig config;
   config.repeats = static_cast<int>(args.get_int("repeats", 3));
   config.measure_contended = args.has("contended");
+  config.measure_cache = args.has("cache");
+  // The cache probe needs a live cache endpoint; a default-sized one is
+  // fine — the perf_cache_* tables only depend on the tier models.
+  if (config.measure_cache && env.system->cache() == nullptr) {
+    env.system->enable_cache(cache::CacheConfig{}, nullptr);
+  }
   predict::PTool ptool(*env.system, *env.perfdb);
   die_on_error(ptool.measure_all(config), "ptool");
   std::printf("performance database populated: %zu transfer points, "
@@ -167,6 +179,10 @@ int cmd_ptool(const Args& args) {
     std::printf("contended curves measured at");
     for (int clients : config.contended_levels) std::printf(" %d", clients);
     std::printf(" concurrent client(s)\n");
+  }
+  if (config.measure_cache) {
+    std::printf("cache tier probed into perf_cache_* (fixed costs + %zu "
+                "read points)\n", config.sizes.size());
   }
   return 0;
 }
@@ -882,6 +898,220 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+cache::CacheConfig cache_config_from(const Args& args) {
+  cache::CacheConfig config;
+  config.memory_bytes = static_cast<std::uint64_t>(std::max<std::int64_t>(
+                            1, args.get_int("cache-mb", 64)))
+                        << 20;
+  config.spill_bytes = static_cast<std::uint64_t>(std::max<std::int64_t>(
+                           0, args.get_int("spill-mb", 0)))
+                       << 20;
+  if (args.has("min-benefit")) {
+    config.admission.min_benefit_seconds = std::stod(args.get("min-benefit"));
+  }
+  return config;
+}
+
+std::string cache_stats_json(const cache::ReadCache& cache) {
+  const cache::CacheStats stats = cache.stats();
+  const cache::CacheConfig& config = cache.config();
+  char buf[512];
+  std::string json = "{";
+  std::snprintf(buf, sizeof(buf),
+                "\"config\":{\"memory_bytes\":%llu,\"spill_bytes\":%llu},"
+                "\"stats\":{\"entries\":%zu,\"memory_used\":%llu,"
+                "\"spill_used\":%llu,\"hits\":%llu,\"misses\":%llu,"
+                "\"admitted\":%llu,\"rejected\":%llu,\"invalidations\":%llu,"
+                "\"spills\":%llu,\"evictions\":%llu,\"saved_seconds\":%.9g},",
+                static_cast<unsigned long long>(config.memory_bytes),
+                static_cast<unsigned long long>(config.spill_bytes),
+                stats.store.entries,
+                static_cast<unsigned long long>(stats.store.memory_bytes),
+                static_cast<unsigned long long>(stats.store.spill_bytes),
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.admitted),
+                static_cast<unsigned long long>(stats.rejected),
+                static_cast<unsigned long long>(stats.invalidations),
+                static_cast<unsigned long long>(stats.spill_moves),
+                static_cast<unsigned long long>(stats.evictions),
+                stats.saved_seconds);
+  json += buf;
+  json += "\"entries\":[";
+  const auto entries = cache.entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& entry = entries[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"path\":\"%s\",\"dataset\":\"%s\",\"bytes\":%llu,"
+                  "\"tier\":\"%s\",\"hits\":%llu,\"saved_per_hit\":%.9g}",
+                  i == 0 ? "" : ",", entry.path.c_str(),
+                  entry.dataset_key.c_str(),
+                  static_cast<unsigned long long>(entry.bytes),
+                  entry.spilled ? "spill" : "memory",
+                  static_cast<unsigned long long>(entry.hits),
+                  entry.saved_per_hit);
+    json += buf;
+  }
+  json += "]}";
+  return json;
+}
+
+void print_cache_stats(const cache::ReadCache& cache) {
+  const cache::CacheStats stats = cache.stats();
+  const cache::CacheConfig& config = cache.config();
+  std::printf("cache: memory %s used of %s, spill %s used of %s, "
+              "%zu entr%s\n",
+              format_bytes(stats.store.memory_bytes).c_str(),
+              format_bytes(config.memory_bytes).c_str(),
+              format_bytes(stats.store.spill_bytes).c_str(),
+              format_bytes(config.spill_bytes).c_str(), stats.store.entries,
+              stats.store.entries == 1 ? "y" : "ies");
+  std::printf("hits %llu  misses %llu  admitted %llu  rejected %llu  "
+              "invalidations %llu  spills %llu  evictions %llu\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.admitted),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.invalidations),
+              static_cast<unsigned long long>(stats.spill_moves),
+              static_cast<unsigned long long>(stats.evictions));
+  std::printf("predicted seconds saved by hits: %.3f\n", stats.saved_seconds);
+  const auto entries = cache.entries();
+  if (!entries.empty()) {
+    std::printf("%-32s %10s %-6s %6s %12s\n", "PATH", "BYTES", "TIER", "HITS",
+                "SAVED/HIT");
+    for (const auto& entry : entries) {
+      std::printf("%-32s %10s %-6s %6llu %11.4fs\n", entry.path.c_str(),
+                  format_bytes(entry.bytes).c_str(),
+                  entry.spilled ? "spill" : "memory",
+                  static_cast<unsigned long long>(entry.hits),
+                  entry.saved_per_hit);
+    }
+  }
+}
+
+// The priced mid-tier read cache, from the shell. The cache (like the
+// AccessTracker) is in-process, so a fresh CLI starts cold; --warm
+// name[=rounds] replays whole-dataset reads through a session so offers
+// land, hits accumulate, and the counters mean something.
+int cmd_cache(const Args& args) {
+  const std::string verb =
+      args.positional().empty() ? "stats" : args.positional().front();
+  if (verb != "stats" && verb != "flush" && verb != "explain") {
+    std::fprintf(stderr,
+                 "usage: msractl cache stats|flush|explain <dataset> "
+                 "[--cache-mb N] [--spill-mb N] [--warm name[=rounds]] "
+                 "[--hot name[=reads]] [--json]\n");
+    return 2;
+  }
+  Env env(args);
+  core::MetaCatalog catalog(&env.system->metadb());
+  seed_heat(*env.system, catalog, args);
+  predict::Predictor predictor(env.perfdb.get());
+  cache::ReadCache* cache =
+      env.system->enable_cache(cache_config_from(args), &predictor);
+
+  for (const std::string& spec : args.get_all("warm")) {
+    std::string name = spec;
+    int rounds = 2;
+    if (const auto eq = spec.find('='); eq != std::string::npos) {
+      name = spec.substr(0, eq);
+      rounds = static_cast<int>(std::stoll(spec.substr(eq + 1)));
+    }
+    core::Session session(*env.system, {.application = "msractl-cache"});
+    auto handle = die_on_error(session.open_existing(name), "open dataset");
+    simkit::Timeline tl;
+    for (int round = 0; round < rounds; ++round) {
+      for (const auto& record : catalog.all_instances()) {
+        const auto [app, dataset] =
+            core::MetaCatalog::split_key(record.dataset_key);
+        if (dataset != name && record.dataset_key != name) continue;
+        die_on_error(handle->read_whole(record.timestep, {.timeline = &tl}),
+                     "warm read");
+      }
+    }
+    std::printf("warmed %s: %d round(s), %.2f simulated s of reads\n",
+                name.c_str(), rounds, tl.now());
+  }
+
+  if (verb == "explain") {
+    std::string name = args.get("dataset");
+    if (args.positional().size() > 1) name = args.positional()[1];
+    if (name.empty()) {
+      std::fprintf(stderr, "usage: msractl cache explain <dataset> [--json]\n");
+      return 2;
+    }
+    bool matched = false;
+    std::string json = "{\"dataset\":\"" + name + "\",\"verdicts\":[";
+    if (!args.has("json")) {
+      std::printf("%-28s %10s %-12s %-16s %9s %9s %6s %9s %9s\n", "PATH",
+                  "BYTES", "ORIGIN", "VERDICT", "REFETCH", "SERVE", "REUSE",
+                  "BENEFIT", "DAMAGE");
+    }
+    for (const auto& record : catalog.all_instances()) {
+      const auto [app, dataset] =
+          core::MetaCatalog::split_key(record.dataset_key);
+      if (dataset != name && record.dataset_key != name) continue;
+      const core::Location origin = record.replicas.empty()
+                                        ? core::Location::kRemoteTape
+                                        : record.replicas.front();
+      const cache::AdmissionVerdict verdict = cache->judge(
+          record.path, record.dataset_key, record.bytes, origin, 0.0);
+      if (args.has("json")) {
+        char buf[384];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s{\"path\":\"%s\",\"bytes\":%llu,\"origin\":\"%s\","
+            "\"verdict\":\"%s\",\"refetch\":%.9g,\"serve\":%.9g,"
+            "\"reuse\":%.9g,\"benefit\":%.9g,\"damage\":%.9g}",
+            matched ? "," : "", record.path.c_str(),
+            static_cast<unsigned long long>(record.bytes),
+            core::location_name(origin).data(),
+            cache::admission_outcome_name(verdict.outcome).data(),
+            verdict.refetch_seconds, verdict.serve_seconds,
+            verdict.expected_reuse, verdict.benefit_seconds,
+            verdict.damage_seconds);
+        json += buf;
+      } else {
+        std::printf("%-28s %10s %-12s %-16s %8.3fs %8.4fs %6.1f %8.3fs "
+                    "%8.3fs\n",
+                    record.path.c_str(), format_bytes(record.bytes).c_str(),
+                    core::location_name(origin).data(),
+                    cache::admission_outcome_name(verdict.outcome).data(),
+                    verdict.refetch_seconds, verdict.serve_seconds,
+                    verdict.expected_reuse, verdict.benefit_seconds,
+                    verdict.damage_seconds);
+      }
+      matched = true;
+    }
+    if (!matched) {
+      std::fprintf(stderr,
+                   "msractl: '%s' matches no dumped instance "
+                   "(kUnpriced quotes also need `msractl ptool` first)\n",
+                   name.c_str());
+      return 1;
+    }
+    if (args.has("json")) {
+      json += "]}";
+      std::printf("%s\n", json.c_str());
+    }
+    return 0;
+  }
+
+  if (verb == "flush") {
+    const std::size_t before = cache->stats().store.entries;
+    cache->flush();
+    std::printf("flushed %zu entr%s\n", before, before == 1 ? "y" : "ies");
+  }
+
+  if (args.has("json")) {
+    std::printf("%s\n", cache_stats_json(*cache).c_str());
+  } else {
+    print_cache_stats(*cache);
+  }
+  return 0;
+}
+
 int run_command(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
@@ -900,6 +1130,7 @@ int run_command(int argc, char** argv) {
   if (command == "resources") return cmd_resources(args);
   if (command == "migrate") return cmd_migrate(args);
   if (command == "stats") return cmd_stats(args);
+  if (command == "cache") return cmd_cache(args);
   return usage();
 }
 
