@@ -1,0 +1,289 @@
+// Cluster scale-out sweep: read throughput vs number of SRB server sites,
+// for the three balancer policies, on a skewed-replica workload — plus a
+// mid-bench server outage phase that must complete every read via failover.
+//
+// Workload per scale point: D=16 datasets of 2 timesteps (128 KiB each) on
+// the remote disks. Sharding spreads the home copies over the cluster, and
+// every dataset is replicated onto server 0 (or, when its home IS server 0,
+// onto server 1) — so every read has exactly two candidate servers, one of
+// them the shared hot spot. C=8 fleet tenants then read every timestep of
+// every dataset:
+//
+//   * static       — always the lowest server index: the whole fleet piles
+//                    onto server 0 (the pre-predictor fallback),
+//   * round-robin  — alternates blindly: half the reads still hit the hot
+//                    spot,
+//   * balanced     — cheapest live predictor quote: busy sites price
+//                    themselves out and the fleet spreads (the paper's
+//                    prediction loop, closed over the cluster).
+//
+// Outage phase (4 servers, balanced): after a first read wave, server 1 is
+// taken down mid-bench; the second wave must finish with ZERO failed reads,
+// failing over to the surviving replicas.
+//
+// Everything in the --json summary is simulated time on the deterministic
+// testbed, so the file is byte-stable and guards drift
+// (bench/baselines/BENCH_cluster.json).
+//
+//   --json FILE      machine-readable summary (see bench/run_all.sh)
+//   --max-servers N  cap the sweep (default 8)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/balancer.h"
+#include "core/client.h"
+#include "core/fleet.h"
+#include "core/placement.h"
+#include "obs/report.h"
+
+namespace msra::bench {
+namespace {
+
+constexpr int kClients = 8;
+constexpr int kDatasets = 16;
+constexpr int kTimesteps = 2;
+
+std::string dataset_name(int d) { return "cds" + std::to_string(d); }
+
+core::DatasetDesc dataset_desc(int d) {
+  core::DatasetDesc desc;
+  desc.name = dataset_name(d);
+  desc.dims = {32, 32, 32};  // 128 KiB per timestep
+  desc.etype = core::ElementType::kFloat32;
+  desc.frequency = 1;
+  desc.location = core::Location::kRemoteDisk;
+  return desc;
+}
+
+/// A cluster testbed + calibrated performance database.
+struct ClusterTestbed {
+  core::StorageSystem system;
+  predict::PerfDb perfdb;
+  predict::Predictor predictor;
+
+  static core::HardwareProfile profile(int servers) {
+    core::HardwareProfile p = core::HardwareProfile::paper_2000();
+    p.cluster.servers = servers;
+    return p;
+  }
+
+  explicit ClusterTestbed(int servers)
+      : system(profile(servers)),
+        perfdb(&system.metadb()),
+        predictor(&perfdb) {
+    predict::PToolConfig config;
+    config.sizes = {64ull << 10, 256ull << 10, 1ull << 20};
+    config.repeats = 1;
+    predict::PTool ptool(system, perfdb);
+    check(ptool.measure_all(config), "ptool");
+    system.reset_time();
+  }
+
+  /// Writes the skewed dataset population: every dataset dumps onto its
+  /// sharded home server, then gains a second replica on server 0 (or on
+  /// server 1 when its home is server 0). Single-server clusters keep one
+  /// replica — there is nowhere else to put it.
+  void seed() {
+    core::Session producer(system, {.application = "cluster", .nprocs = 1,
+                                    .iterations = kTimesteps});
+    for (int d = 0; d < kDatasets; ++d) {
+      core::DatasetHandle* handle =
+          check(producer.open(dataset_desc(d)), "open dataset");
+      auto layout = check(handle->layout(1), "layout");
+      std::vector<std::byte> block(layout.global_bytes(),
+                                   std::byte{static_cast<unsigned char>(d)});
+      prt::World world(1);
+      world.run([&](prt::Comm& comm) {
+        for (int t = 0; t < kTimesteps; ++t) {
+          check(handle->write_timestep(comm, t, block), "dump timestep");
+        }
+      });
+      if (system.cluster_size() > 1) {
+        const int home = core::shard_server(
+            dataset_name(d), core::Location::kRemoteDisk,
+            system.cluster_size());
+        const int twin = home == 0 ? 1 : 0;
+        for (int t = 0; t < kTimesteps; ++t) {
+          simkit::Timeline tl;
+          check(handle->replicate_timestep(
+                    t, {core::Location::kRemoteDisk, twin}, {.timeline = &tl}),
+                "replicate timestep");
+        }
+      }
+    }
+    check(producer.finalize(), "producer finalize");
+    system.reset_time();
+  }
+
+  /// One fleet read wave: C tenants each read every timestep of every
+  /// dataset. Returns the number of FAILED reads (workload errors).
+  int read_wave(double* makespan, double* queue_wait) {
+    core::Fleet fleet(system);
+    std::vector<core::Completion*> completions;
+    for (int c = 0; c < kClients; ++c) {
+      core::Client& client = fleet.add_client(
+          "reader" + std::to_string(c),
+          {.application = "cluster", .predictor = &predictor});
+      core::Workload workload;
+      // Each tenant sweeps the datasets from its own offset (tenant c
+      // starts at dataset 2c), like a fleet of post-processing tools each
+      // working a different slice of the archive — concurrent decisions
+      // then see each other's load instead of herding onto one server.
+      for (int i = 0; i < kDatasets; ++i) {
+        const int d = (2 * c + i) % kDatasets;
+        workload.open_existing(dataset_name(d));
+        for (int t = 0; t < kTimesteps; ++t) {
+          workload.read_whole(dataset_name(d), t);
+        }
+      }
+      workload.finalize();
+      completions.push_back(client.submit(std::move(workload)));
+    }
+    fleet.run_until_idle();
+    int failed = 0;
+    *makespan = 0.0;
+    for (core::Completion* completion : completions) {
+      if (!completion->status().ok()) ++failed;
+      *makespan = std::max(*makespan, completion->finished_at());
+    }
+    *queue_wait = 0.0;
+    for (const obs::ResourceLoadRow& row : system.resource_loads()) {
+      *queue_wait += row.total_wait;
+    }
+    return failed;
+  }
+};
+
+struct PolicyResult {
+  const char* policy = "";
+  double makespan = 0.0;
+  double queue_wait = 0.0;
+  int reads = 0;
+};
+
+PolicyResult run_point(int servers, core::BalancerPolicy policy) {
+  ClusterTestbed bed(servers);
+  bed.system.balancer().set_policy(policy);
+  bed.seed();
+  PolicyResult result;
+  result.policy = std::string_view(core::balancer_policy_name(policy)).data();
+  result.reads = kClients * kDatasets * kTimesteps;
+  const int failed = bed.read_wave(&result.makespan, &result.queue_wait);
+  check(failed == 0 ? Status::Ok() : Status::Unavailable("reads failed"),
+        "sweep read wave");
+  std::printf("  %-12s makespan %10.2f s  queue wait %12.2f s  "
+              "(%d reads, %.2f reads/s virtual)\n",
+              result.policy, result.makespan, result.queue_wait, result.reads,
+              result.makespan > 0.0 ? result.reads / result.makespan : 0.0);
+  return result;
+}
+
+struct OutageResult {
+  int victim = 0;
+  double wave1_makespan = 0.0;
+  double wave2_makespan = 0.0;
+  int failed_reads = 0;
+  std::uint64_t read_failovers = 0;
+};
+
+/// The failover phase: 4 servers, balanced policy, one site lost between
+/// two read waves. Every wave-2 read must complete from the replicas that
+/// survive.
+OutageResult run_outage() {
+  constexpr int kServers = 4;
+  constexpr int kVictim = 1;
+  ClusterTestbed bed(kServers);
+  bed.seed();
+  OutageResult result;
+  result.victim = kVictim;
+  double ignored = 0.0;
+  result.failed_reads +=
+      bed.read_wave(&result.wave1_makespan, &ignored);
+  bed.system.site(kVictim).server().set_down(true);
+  result.failed_reads +=
+      bed.read_wave(&result.wave2_makespan, &ignored);
+  bed.system.site(kVictim).server().set_down(false);
+  result.read_failovers =
+      bed.system.metrics().counter("session.read_failovers")->value();
+  std::printf("  outage: server %d down after wave 1 — wave 1 %10.2f s, "
+              "wave 2 %10.2f s, failed reads %d\n",
+              kVictim, result.wave1_makespan, result.wave2_makespan,
+              result.failed_reads);
+  check(result.failed_reads == 0
+            ? Status::Ok()
+            : Status::Unavailable("reads failed during the outage"),
+        "outage read waves");
+  return result;
+}
+
+int run(int max_servers, const std::string& json_path) {
+  std::printf("==============================================================\n");
+  std::printf("Cluster scale-out sweep: SRB servers 1..%d, three balancer\n",
+              max_servers);
+  std::printf("policies, skewed replicas (every dataset on server 0 + home).\n");
+  std::printf("All times are SIMULATED seconds on the calibrated testbed.\n");
+  std::printf("==============================================================\n");
+
+  const core::BalancerPolicy policies[] = {core::BalancerPolicy::kCheapestQuote,
+                                           core::BalancerPolicy::kRoundRobin,
+                                           core::BalancerPolicy::kStatic};
+  std::string json = "{\"bench\":\"cluster\",\"clients\":" +
+                     std::to_string(kClients) +
+                     ",\"datasets\":" + std::to_string(kDatasets) +
+                     ",\"timesteps\":" + std::to_string(kTimesteps) +
+                     ",\"sweep\":[";
+  char buf[256];
+  bool first_scale = true;
+  for (const int servers : {1, 2, 4, 8}) {
+    if (servers > max_servers) break;
+    std::printf("%d server site(s):\n", servers);
+    json += first_scale ? "" : ",";
+    first_scale = false;
+    json += "{\"servers\":" + std::to_string(servers) + ",\"policies\":[";
+    for (std::size_t p = 0; p < 3; ++p) {
+      const PolicyResult result = run_point(servers, policies[p]);
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"policy\":\"%s\",\"makespan\":%.6f,"
+                    "\"queue_wait\":%.6f,\"reads\":%d}",
+                    p == 0 ? "" : ",", result.policy, result.makespan,
+                    result.queue_wait, result.reads);
+      json += buf;
+    }
+    json += "]}";
+  }
+  json += "],\"outage\":";
+
+  std::printf("outage phase (4 servers, balanced policy):\n");
+  const OutageResult outage = run_outage();
+  std::snprintf(buf, sizeof(buf),
+                "{\"servers\":4,\"policy\":\"balanced\",\"victim\":%d,"
+                "\"wave1_makespan\":%.6f,\"wave2_makespan\":%.6f,"
+                "\"failed_reads\":%d,\"read_failovers\":%llu}",
+                outage.victim, outage.wave1_makespan, outage.wave2_makespan,
+                outage.failed_reads,
+                static_cast<unsigned long long>(outage.read_failovers));
+  json += buf;
+  json += "}";
+  write_summary_json(json_path, json);
+  return 0;
+}
+
+}  // namespace
+}  // namespace msra::bench
+
+int main(int argc, char** argv) {
+  const std::string json_path = msra::bench::consume_json_out_flag(argc, argv);
+  int max_servers = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-servers") == 0 && i + 1 < argc) {
+      max_servers = std::atoi(argv[i + 1]);
+      ++i;
+    } else if (std::strncmp(argv[i], "--max-servers=", 14) == 0) {
+      max_servers = std::atoi(argv[i] + 14);
+    }
+  }
+  return msra::bench::run(max_servers, json_path);
+}

@@ -34,6 +34,7 @@ run bench_migration       migration
 run bench_contention      contention
 run bench_fleet           fleet
 run bench_cache           cache
+run bench_cluster         cluster
 
 echo "Summaries:"
 ls -l "${OUT_DIR}"/BENCH_*.json
@@ -46,7 +47,7 @@ ls -l "${OUT_DIR}"/BENCH_*.json
 if [[ "${MSRA_FULL_SCALE:-0}" != "1" ]]; then
   BASELINE_DIR="$(dirname "$0")/baselines"
   drift=0
-  for fig in fig6 fig7 fig8 fig9 migration contention fleet cache; do
+  for fig in fig6 fig7 fig8 fig9 migration contention fleet cache cluster; do
     if ! diff -u "${BASELINE_DIR}/BENCH_${fig}.json" \
                  "${OUT_DIR}/BENCH_${fig}.json"; then
       echo "PARITY DRIFT: ${fig} differs from ${BASELINE_DIR}" >&2

@@ -1,0 +1,206 @@
+#include "core/balancer.h"
+
+#include <algorithm>
+
+#include "predict/predictor.h"
+
+namespace msra::core {
+
+namespace {
+
+int class_rank(Location location) {
+  for (int i = 0; i < static_cast<int>(std::size(kConcreteLocations)); ++i) {
+    if (kConcreteLocations[i] == location) return i;
+  }
+  return static_cast<int>(std::size(kConcreteLocations));
+}
+
+}  // namespace
+
+std::string_view balancer_policy_name(BalancerPolicy policy) {
+  switch (policy) {
+    case BalancerPolicy::kCheapestQuote: return "balanced";
+    case BalancerPolicy::kRoundRobin: return "round-robin";
+    case BalancerPolicy::kStatic: return "static";
+  }
+  return "?";
+}
+
+StatusOr<BalancerPolicy> parse_balancer_policy(std::string_view name) {
+  if (name == "balanced" || name == "cheapest-quote") {
+    return BalancerPolicy::kCheapestQuote;
+  }
+  if (name == "round-robin" || name == "rr") return BalancerPolicy::kRoundRobin;
+  if (name == "static") return BalancerPolicy::kStatic;
+  return Status::InvalidArgument("unknown balancer policy: " +
+                                 std::string(name));
+}
+
+void Balancer::static_order(std::vector<ReplicaAddress>& candidates) {
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](ReplicaAddress a, ReplicaAddress b) {
+                     const int ra = class_rank(a.location);
+                     const int rb = class_rank(b.location);
+                     if (ra != rb) return ra < rb;
+                     return a.server < b.server;
+                   });
+}
+
+double Balancer::observed_utilization(ReplicaAddress address) const {
+  double u = 0.0;
+  switch (address.location) {
+    case Location::kLocalDisk:
+      u = system_->local_resource().arm().utilization();
+      break;
+    case Location::kRemoteDisk: {
+      ServerSite& site = system_->site(address.server);
+      u = std::max({site.disk_resource().arm().utilization(),
+                    site.server().cpu().utilization(),
+                    site.disk_link().pipe().utilization()});
+      break;
+    }
+    case Location::kRemoteTape: {
+      ServerSite& site = system_->site(address.server);
+      u = std::max(site.server().cpu().utilization(),
+                   site.tape_link().pipe().utilization());
+      if (site.hsm() != nullptr) {
+        u = std::max(u, site.hsm()->cache_arm().utilization());
+      }
+      for (auto& [name, resource] : site.tape_library().contended_resources()) {
+        (void)name;
+        u = std::max(u, resource->utilization());
+      }
+      break;
+    }
+    case Location::kAuto:
+    case Location::kDisable:
+      break;
+  }
+  return std::clamp(u, 0.0, 1.0);
+}
+
+double Balancer::backlog_seconds(ReplicaAddress address) const {
+  double backlog = 0.0;
+  switch (address.location) {
+    case Location::kLocalDisk:
+      backlog = system_->local_resource().arm().next_free();
+      break;
+    case Location::kRemoteDisk: {
+      ServerSite& site = system_->site(address.server);
+      backlog = std::max({site.disk_resource().arm().next_free(),
+                          site.server().cpu().next_free(),
+                          site.disk_link().pipe().next_free()});
+      break;
+    }
+    case Location::kRemoteTape: {
+      ServerSite& site = system_->site(address.server);
+      backlog = std::max(site.server().cpu().next_free(),
+                         site.tape_link().pipe().next_free());
+      if (site.hsm() != nullptr) {
+        backlog = std::max(backlog, site.hsm()->cache_arm().next_free());
+      }
+      for (auto& [name, resource] : site.tape_library().contended_resources()) {
+        (void)name;
+        backlog = std::max(backlog, resource->next_free());
+      }
+      break;
+    }
+    case Location::kAuto:
+    case Location::kDisable:
+      break;
+  }
+  return backlog;
+}
+
+std::vector<ReplicaAddress> Balancer::order(
+    const runtime::IoPlan& plan, std::vector<ReplicaAddress> candidates,
+    const predict::Predictor* predictor) const {
+  if (candidates.size() <= 1) return candidates;
+  switch (policy()) {
+    case BalancerPolicy::kStatic:
+      static_order(candidates);
+      return candidates;
+    case BalancerPolicy::kRoundRobin: {
+      static_order(candidates);
+      const std::uint64_t turn =
+          round_robin_.fetch_add(1, std::memory_order_relaxed);
+      std::rotate(candidates.begin(),
+                  candidates.begin() +
+                      static_cast<std::ptrdiff_t>(turn % candidates.size()),
+                  candidates.end());
+      return candidates;
+    }
+    case BalancerPolicy::kCheapestQuote:
+      break;
+  }
+  if (predictor == nullptr) {
+    static_order(candidates);
+    return candidates;
+  }
+  // Per-server load only discriminates when there IS more than one server;
+  // a single-server cluster quotes dedicated, so the replica choice (and
+  // every baseline bench) matches the pre-cluster predictor path exactly.
+  const bool load_aware = system_->cluster_size() > 1;
+  struct Quoted {
+    ReplicaAddress address;
+    double seconds = 0.0;
+  };
+  std::vector<Quoted> quoted;
+  quoted.reserve(candidates.size());
+  for (ReplicaAddress address : candidates) {
+    predict::LoadAssumptions load;
+    double backlog = 0.0;
+    if (load_aware) {
+      load.utilization = observed_utilization(address);
+      backlog = backlog_seconds(address);
+    }
+    auto seconds = predictor->price(plan, address.location, load);
+    if (!seconds.ok()) {
+      // Curves missing for some class: fall back to the static order.
+      static_order(candidates);
+      return candidates;
+    }
+    // Earliest-finish-time rank: the quote a candidate offers is when the
+    // read would COMPLETE there — its booked backlog (queue drain) plus the
+    // load-inflated service prediction. Backlog is what separates two sites
+    // with the same hardware: the one already booked solid quotes late.
+    quoted.push_back(Quoted{address, backlog + *seconds});
+  }
+  std::stable_sort(quoted.begin(), quoted.end(),
+                   [](const Quoted& a, const Quoted& b) {
+                     return a.seconds < b.seconds;
+                   });
+  for (std::size_t i = 0; i < quoted.size(); ++i) {
+    candidates[i] = quoted[i].address;
+  }
+  return candidates;
+}
+
+std::vector<ServerQuote> Balancer::quote_table(
+    std::uint64_t bytes, const predict::Predictor* predictor) const {
+  const runtime::IoPlan plan =
+      runtime::PlanBuilder::object_read("probe/object", bytes);
+  const bool load_aware = system_->cluster_size() > 1;
+  std::vector<ServerQuote> rows;
+  for (Location location : kConcreteLocations) {
+    const int servers =
+        location == Location::kLocalDisk ? 1 : system_->cluster_size();
+    for (int server = 0; server < servers; ++server) {
+      ServerQuote row;
+      row.address = ReplicaAddress{location, server};
+      row.available = system_->endpoint(row.address).available();
+      row.utilization = observed_utilization(row.address);
+      if (load_aware) row.backlog = backlog_seconds(row.address);
+      if (predictor != nullptr) {
+        predict::LoadAssumptions load;
+        if (load_aware) load.utilization = row.utilization;
+        auto seconds = predictor->price(plan, location, load);
+        if (seconds.ok()) row.seconds = row.backlog + *seconds;
+      }
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+}  // namespace msra::core

@@ -1,0 +1,109 @@
+// Balancer: predictor-driven routing of lowered IoPlans across the SRB
+// cluster.
+//
+// Each read resolves to a set of live replica addresses (class + server).
+// The balancer orders them best-first:
+//
+//   * cheapest-quote (default): every candidate is priced with the shared
+//     predict::Predictor over the SAME IoPlan the executor will run. With
+//     more than one server, the quote is the earliest FINISH time: the
+//     candidate's booked backlog (how far into the virtual future its path
+//     devices are already reserved) plus the service prediction inflated by
+//     its observed utilization (predict::LoadAssumptions fed from the live
+//     simkit resources). A site booked solid quotes late and prices itself
+//     out of the rotation — the predictor is the placement brain. A
+//     single-server cluster quotes dedicated, reproducing the pre-cluster
+//     replica choice bit for bit.
+//   * round-robin: rotate over the candidates, blind to load (baseline).
+//   * static: fixed class order (local > remote disk > tape), then lowest
+//     server index (the pre-predictor fallback, also used whenever quotes
+//     are unavailable).
+//
+// The ordered chain doubles as the failover chain: a down server drops out
+// of the candidate set entirely (its endpoints report unavailable), and
+// execution-time Unavailable errors walk to the next entry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/system.h"
+#include "runtime/plan.h"
+
+namespace msra::predict {
+class Predictor;
+}  // namespace msra::predict
+
+namespace msra::core {
+
+enum class BalancerPolicy {
+  kCheapestQuote,  ///< predictor quote + live per-server load (default)
+  kRoundRobin,     ///< rotate over candidates, load-blind
+  kStatic,         ///< fixed class/server order, load-blind
+};
+
+std::string_view balancer_policy_name(BalancerPolicy policy);
+StatusOr<BalancerPolicy> parse_balancer_policy(std::string_view name);
+
+/// One row of the balancer's quote table (`msractl cluster`).
+struct ServerQuote {
+  ReplicaAddress address;
+  bool available = true;
+  double utilization = 0.0;  ///< live load fed into the quote
+  double backlog = 0.0;      ///< booked virtual seconds ahead of new work
+  double seconds = -1.0;     ///< backlog + predictor quote; < 0 when unpriced
+};
+
+/// Thread-safety: route()/order() may be called from concurrent sessions;
+/// policy changes are control-plane (atomic, but flip them between runs).
+class Balancer {
+ public:
+  /// `system` must outlive the balancer (the system owns it).
+  explicit Balancer(StorageSystem* system) : system_(system) {}
+
+  BalancerPolicy policy() const {
+    return policy_.load(std::memory_order_relaxed);
+  }
+  void set_policy(BalancerPolicy policy) {
+    policy_.store(policy, std::memory_order_relaxed);
+  }
+
+  /// Orders `candidates` best-first for serving `plan` (the read/failover
+  /// chain). `predictor` may be null (quotes then fall back to the static
+  /// order). Candidates are assumed live; empty in, empty out.
+  std::vector<ReplicaAddress> order(const runtime::IoPlan& plan,
+                                    std::vector<ReplicaAddress> candidates,
+                                    const predict::Predictor* predictor) const;
+
+  /// Observed background utilization of the busiest device on the path to
+  /// `address` (disk arm / server CPU / WAN pipe), in [0, 1]. What the
+  /// cheapest-quote policy feeds into LoadAssumptions::utilization when the
+  /// cluster has more than one server.
+  double observed_utilization(ReplicaAddress address) const;
+
+  /// Booked backlog on the path to `address`: the latest next_free() over
+  /// the same device set, i.e. the virtual time until the most congested
+  /// path device drains its existing reservations. Added to the service
+  /// prediction so cheapest-quote ranks by earliest finish, not just
+  /// fastest hardware. Only consulted when the cluster has more than one
+  /// server.
+  double backlog_seconds(ReplicaAddress address) const;
+
+  /// Quote table over every (class, server) pair for a representative
+  /// whole-object read of `bytes`: availability, live utilization, and the
+  /// load-inflated predictor quote (< 0 when unpriced). Rows come in
+  /// static order.
+  std::vector<ServerQuote> quote_table(
+      std::uint64_t bytes, const predict::Predictor* predictor) const;
+
+ private:
+  /// Fixed class order (kConcreteLocations), then server index.
+  static void static_order(std::vector<ReplicaAddress>& candidates);
+
+  StorageSystem* system_;
+  std::atomic<BalancerPolicy> policy_{BalancerPolicy::kCheapestQuote};
+  mutable std::atomic<std::uint64_t> round_robin_{0};
+};
+
+}  // namespace msra::core

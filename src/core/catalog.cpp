@@ -11,27 +11,30 @@ using meta::Value;
 
 namespace {
 
-/// Joins a replica set into the stored text cell ("LOCALDISK,REMOTETAPE").
-std::string join_replicas(const std::vector<Location>& replicas) {
+/// Joins a replica set into the stored text cell
+/// ("LOCALDISK,REMOTETAPE@1"). Server 0 has no "@" suffix, so a
+/// single-server catalog is byte-identical to the pre-cluster format.
+std::string join_replicas(const std::vector<ReplicaAddress>& replicas) {
   std::string out;
-  for (Location loc : replicas) {
+  for (ReplicaAddress address : replicas) {
     if (!out.empty()) out += ',';
-    out += location_name(loc);
+    out += address_name(address);
   }
   return out;
 }
 
 /// Parses the stored replica cell. Unknown names are skipped so a future
-/// format that adds locations still loads the ones we know about.
-std::vector<Location> parse_replicas(const std::string& text) {
-  std::vector<Location> out;
+/// format that adds locations still loads the ones we know about. Bare
+/// location names (every pre-cluster catalog) parse as server 0.
+std::vector<ReplicaAddress> parse_replicas(const std::string& text) {
+  std::vector<ReplicaAddress> out;
   std::size_t begin = 0;
   while (begin <= text.size()) {
     std::size_t end = text.find(',', begin);
     if (end == std::string::npos) end = text.size();
     if (end > begin) {
-      auto loc = parse_location(text.substr(begin, end - begin));
-      if (loc.ok()) out.push_back(*loc);
+      auto address = parse_address(text.substr(begin, end - begin));
+      if (address.ok()) out.push_back(*address);
     }
     if (end == text.size()) break;
     begin = end + 1;
@@ -99,8 +102,14 @@ void upgrade_instances_v1(meta::Database* db, meta::Table* old_table) {
 
 }  // namespace
 
-bool InstanceRecord::on(Location location) const {
-  return std::find(replicas.begin(), replicas.end(), location) != replicas.end();
+bool InstanceRecord::on(ReplicaAddress address) const {
+  return std::find(replicas.begin(), replicas.end(), address) != replicas.end();
+}
+
+bool InstanceRecord::on_location(Location location) const {
+  return std::any_of(
+      replicas.begin(), replicas.end(),
+      [location](ReplicaAddress a) { return a.location == location; });
 }
 
 std::pair<std::string, std::string> MetaCatalog::split_key(const std::string& key) {
@@ -312,8 +321,8 @@ Status MetaCatalog::record_instance(const InstanceRecord& record) {
   InstanceRecord merged = instance_from_row(row);
   merged.path = record.path;
   merged.bytes = record.bytes;
-  for (Location loc : record.replicas) {
-    if (!merged.on(loc)) merged.replicas.push_back(loc);
+  for (ReplicaAddress address : record.replicas) {
+    if (!merged.on(address)) merged.replicas.push_back(address);
   }
   return instances_->update(ids.front(), instance_to_row(merged));
 }
@@ -332,7 +341,7 @@ StatusOr<InstanceRecord> MetaCatalog::instance(const std::string& app,
 }
 
 Status MetaCatalog::add_replica(const std::string& app, const std::string& name,
-                                int timestep, Location location) {
+                                int timestep, ReplicaAddress address) {
   std::lock_guard<std::mutex> txn(db_->txn_mutex());
   const std::string key = dataset_key(app, name);
   auto ids = instance_rowids(key, timestep);
@@ -342,13 +351,13 @@ Status MetaCatalog::add_replica(const std::string& app, const std::string& name,
   }
   MSRA_ASSIGN_OR_RETURN(Row row, instances_->get(ids.front()));
   InstanceRecord record = instance_from_row(row);
-  if (record.on(location)) return Status::Ok();  // idempotent
-  record.replicas.push_back(location);
+  if (record.on(address)) return Status::Ok();  // idempotent
+  record.replicas.push_back(address);
   return instances_->update(ids.front(), instance_to_row(record));
 }
 
 Status MetaCatalog::remove_replica(const std::string& app, const std::string& name,
-                                   int timestep, Location location) {
+                                   int timestep, ReplicaAddress address) {
   std::lock_guard<std::mutex> txn(db_->txn_mutex());
   const std::string key = dataset_key(app, name);
   auto ids = instance_rowids(key, timestep);
@@ -358,10 +367,10 @@ Status MetaCatalog::remove_replica(const std::string& app, const std::string& na
   }
   MSRA_ASSIGN_OR_RETURN(Row row, instances_->get(ids.front()));
   InstanceRecord record = instance_from_row(row);
-  auto it = std::find(record.replicas.begin(), record.replicas.end(), location);
+  auto it = std::find(record.replicas.begin(), record.replicas.end(), address);
   if (it == record.replicas.end()) {
     return Status::NotFound("no replica of " + key + " at " +
-                            std::string(location_name(location)));
+                            address_name(address));
   }
   record.replicas.erase(it);
   if (record.replicas.empty()) return instances_->erase(ids.front());

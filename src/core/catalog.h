@@ -19,19 +19,25 @@ namespace msra::core {
 
 /// A dumped timestep instance of a dataset, together with every storage
 /// resource currently holding a live copy. The replica set is ordered:
-/// the first entry is the primary (the location of the original dump);
-/// later entries were added by replication or migration.
+/// the first entry is the primary (the address of the original dump);
+/// later entries were added by replication or migration. Replicas are
+/// server-qualified (stored as "REMOTEDISK@1"; bare names are server 0),
+/// so datasets shard across the SRB cluster.
 struct InstanceRecord {
   std::string dataset_key;  ///< "app/dataset"
   int timestep = 0;
-  std::vector<Location> replicas;
+  std::vector<ReplicaAddress> replicas;
   std::string path;
   std::uint64_t bytes = 0;
 
-  Location primary() const {
-    return replicas.empty() ? Location::kRemoteTape : replicas.front();
+  ReplicaAddress primary() const {
+    return replicas.empty() ? ReplicaAddress{Location::kRemoteTape, 0}
+                            : replicas.front();
   }
-  bool on(Location location) const;
+  /// Exact address match (a bare Location argument means server 0).
+  bool on(ReplicaAddress address) const;
+  /// Any-server match: a replica of this storage class on some site.
+  bool on_location(Location location) const;
 };
 
 /// A registered dataset.
@@ -80,14 +86,14 @@ class MetaCatalog {
   /// One timestep with its full replica set.
   StatusOr<InstanceRecord> instance(const std::string& app,
                                     const std::string& name, int timestep) const;
-  /// Appends one replica location (idempotent). Fails with kNotFound if the
+  /// Appends one replica address (idempotent). Fails with kNotFound if the
   /// instance was never dumped.
   Status add_replica(const std::string& app, const std::string& name,
-                     int timestep, Location location);
-  /// Drops one replica location; removing the last replica erases the whole
+                     int timestep, ReplicaAddress address);
+  /// Drops one replica address; removing the last replica erases the whole
   /// instance row (the dataset no longer exists at that timestep).
   Status remove_replica(const std::string& app, const std::string& name,
-                        int timestep, Location location);
+                        int timestep, ReplicaAddress address);
   /// All instances of a dataset across timesteps.
   std::vector<InstanceRecord> instances(const std::string& app,
                                         const std::string& name) const;

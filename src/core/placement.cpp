@@ -1,5 +1,7 @@
 #include "core/placement.h"
 
+#include <cstdint>
+
 #include "common/bytes.h"
 
 namespace msra::core {
@@ -20,6 +22,38 @@ std::vector<Location> ordered_candidates(Location preferred) {
       break;
   }
   return {};
+}
+
+int shard_server(std::string_view key, Location location, int cluster_size) {
+  if (cluster_size <= 1 || location == Location::kLocalDisk) return 0;
+  // FNV-1a: stable across builds and processes, unlike std::hash.
+  std::uint64_t hash = 14695981039346656037ull;
+  for (char c : key) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return static_cast<int>(hash % static_cast<std::uint64_t>(cluster_size));
+}
+
+std::vector<ReplicaAddress> ordered_candidate_addresses(ReplicaAddress preferred,
+                                                        int cluster_size) {
+  if (cluster_size < 1) cluster_size = 1;
+  std::vector<ReplicaAddress> out;
+  for (Location location : ordered_candidates(preferred.location)) {
+    if (location == Location::kLocalDisk) {
+      out.push_back(ReplicaAddress{location, 0});
+      continue;
+    }
+    const int first =
+        preferred.server >= 0 && preferred.server < cluster_size
+            ? preferred.server
+            : 0;
+    out.push_back(ReplicaAddress{location, first});
+    for (int server = 0; server < cluster_size; ++server) {
+      if (server != first) out.push_back(ReplicaAddress{location, server});
+    }
+  }
+  return out;
 }
 
 std::vector<Location> PlacementPolicy::failover_chain(Location preferred) {
@@ -50,25 +84,29 @@ StatusOr<PlacementDecision> PlacementPolicy::resolve(StorageSystem& system,
                                  ? Location::kRemoteTape
                                  : desc.location;
   const std::uint64_t footprint = desc.footprint_bytes(iterations);
-  const std::vector<Location> candidates = ordered_candidates(preferred);
+  const ReplicaAddress home{
+      preferred, shard_server(desc.name, preferred, system.cluster_size())};
+  const std::vector<ReplicaAddress> candidates =
+      ordered_candidate_addresses(home, system.cluster_size());
 
   std::string why;
-  for (Location candidate : candidates) {
+  for (ReplicaAddress candidate : candidates) {
     runtime::StorageEndpoint& endpoint = system.endpoint(candidate);
     if (!endpoint.available()) {
-      why += std::string(location_name(candidate)) + " is down; ";
+      why += address_name(candidate) + " is down; ";
       continue;
     }
     if (endpoint.free_bytes() < footprint) {
-      why += std::string(location_name(candidate)) + " lacks " +
+      why += address_name(candidate) + " lacks " +
              format_bytes(footprint) + " free; ";
       continue;
     }
     PlacementDecision decision;
-    decision.location = candidate;
-    decision.failed_over = candidate != preferred;
+    decision.location = candidate.location;
+    decision.server = candidate.server;
+    decision.failed_over = candidate != home;
     decision.reason = decision.failed_over
-                          ? "fell back to " + std::string(location_name(candidate)) +
+                          ? "fell back to " + address_name(candidate) +
                                 " (" + why + ")"
                           : "hint honored";
     system.metrics()

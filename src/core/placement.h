@@ -7,6 +7,8 @@
 #pragma once
 
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/dataset.h"
 #include "core/system.h"
@@ -15,8 +17,11 @@ namespace msra::core {
 
 struct PlacementDecision {
   Location location = Location::kDisable;
+  int server = 0;            ///< SRB site the dataset shards onto
   bool failed_over = false;  ///< true if the hint could not be honored
   std::string reason;        ///< human-readable explanation
+
+  ReplicaAddress address() const { return ReplicaAddress{location, server}; }
 };
 
 /// Every concrete resource a location hint can map to, in preference order:
@@ -26,6 +31,22 @@ struct PlacementDecision {
 /// policy, the placement advisor and the migration planner so every layer
 /// agrees on candidate ordering.
 std::vector<Location> ordered_candidates(Location preferred);
+
+/// The SRB site a dataset named `key` shards onto for `location` in an
+/// N-server cluster: a stable FNV-1a hash of the name, so every layer
+/// (placement, sessions, msractl) re-derives the same home server without a
+/// catalog lookup. Local disks are client-side: always server 0. A
+/// single-server cluster trivially returns 0.
+int shard_server(std::string_view key, Location location, int cluster_size);
+
+/// Server-qualified expansion of ordered_candidates(): every (class, server)
+/// address a placement or failover may try, best-first. Within each storage
+/// class the preferred address's server comes first (data affinity), then
+/// the remaining sites in index order; kLocalDisk only ever appears on
+/// server 0. With cluster_size 1 this is exactly ordered_candidates() on
+/// server 0.
+std::vector<ReplicaAddress> ordered_candidate_addresses(
+    ReplicaAddress preferred, int cluster_size);
 
 class PlacementPolicy {
  public:

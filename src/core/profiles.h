@@ -23,6 +23,16 @@
 
 namespace msra::core {
 
+/// Cluster topology: how many SRB server sites the testbed builds. Every
+/// site gets its own disk/tape resources, WAN links and server CPU, all
+/// cloned from the profile's per-site numbers. The default single-server
+/// cluster reproduces the paper's testbed exactly (server 0 keeps the
+/// legacy "sdsc"/"remotedisk"/"wan-disk" names, so telemetry and virtual
+/// times are unchanged).
+struct ClusterConfig {
+  int servers = 1;
+};
+
 /// All tunables of the emulated multi-storage testbed.
 struct HardwareProfile {
   // Local disks (the SP2 node's SSA disk subsystem).
@@ -47,6 +57,10 @@ struct HardwareProfile {
   tape::HsmModel tape_cache;  ///< staging-level parameters (when enabled)
 
   srb::ServerConfig server;
+
+  /// SRB cluster shape (1 server by default; every server replicates the
+  /// remote disk / tape / link numbers above).
+  ClusterConfig cluster;
 
   /// Optional multiplicative jitter on WAN transfers (paper footnote 4);
   /// 0 = deterministic.

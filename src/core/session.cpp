@@ -6,6 +6,7 @@
 
 #include "cache/cache.h"
 #include "common/log.h"
+#include "core/balancer.h"
 #include "obs/trace.h"
 #include "predict/predictor.h"
 #include "runtime/parallel_io.h"
@@ -50,7 +51,7 @@ StatusOr<DatasetHandle*> Session::open(const DatasetDesc& desc) {
   MSRA_RETURN_IF_ERROR(
       catalog_.register_dataset(options_.application, desc, decision.location));
   auto handle = std::unique_ptr<DatasetHandle>(
-      new DatasetHandle(this, options_.application, desc, decision.location));
+      new DatasetHandle(this, options_.application, desc, decision.address()));
   DatasetHandle* raw = handle.get();
   handles_.emplace(desc.name, std::move(handle));
   return raw;
@@ -68,8 +69,14 @@ StatusOr<DatasetHandle*> Session::open_existing(const std::string& name,
       options.producer_app.empty() ? catalog_.find_dataset(name)
                                    : catalog_.dataset(options.producer_app, name);
   MSRA_RETURN_IF_ERROR(record.status());
+  // The catalog's resolved column stores the storage class; the home server
+  // is re-derived from the stable shard hash (write targets only — reads
+  // route per replica through the balancer).
+  const ReplicaAddress resolved{
+      record->resolved, shard_server(record->desc.name, record->resolved,
+                                     system_.cluster_size())};
   auto handle = std::unique_ptr<DatasetHandle>(new DatasetHandle(
-      this, record->app, record->desc, record->resolved));
+      this, record->app, record->desc, resolved));
   handle->default_streams_ = options.streams;
   DatasetHandle* raw = handle.get();
   handles_.emplace(name, std::move(handle));
@@ -151,7 +158,7 @@ Status DatasetHandle::write_timestep(prt::Comm& comm, int timestep,
     InstanceRecord record;
     record.dataset_key = MetaCatalog::dataset_key(app_, desc_.name);
     record.timestep = timestep;
-    record.replicas = {location_};
+    record.replicas = {address_};
     record.path = path_for(timestep);
     record.bytes = desc_.global_bytes();
     Status meta_status = session_->catalog_.record_instance(record);
@@ -174,15 +181,17 @@ Status DatasetHandle::write_with_failover(prt::Comm& comm, int timestep,
                                           std::span<const std::byte> local) {
   MSRA_ASSIGN_OR_RETURN(runtime::ArrayLayout lay, layout(comm.size()));
   const std::string path = path_for(timestep);
-  // One attempt per concrete resource at most.
-  for (int attempt = 0; attempt < 3; ++attempt) {
-    runtime::StorageEndpoint& endpoint = session_->system_.endpoint(location_);
+  // One attempt per candidate address at most (every class on every site).
+  const int max_attempts = static_cast<int>(
+      ordered_candidate_addresses(address_, session_->system_.cluster_size())
+          .size());
+  for (int attempt = 0; attempt <= max_attempts; ++attempt) {
+    runtime::StorageEndpoint& endpoint = session_->system_.endpoint(address_);
     Status status;
     {
       obs::Span attempt_span(
           comm.rank() == 0 ? &session_->system_.tracer() : nullptr,
-          comm.timeline(),
-          "write_array@" + std::string(location_name(location_)));
+          comm.timeline(), "write_array@" + address_name(address_));
       status =
           subfiled(subfile_chunks_)
               ? write_subfiled(comm, path, local)
@@ -194,15 +203,20 @@ Status DatasetHandle::write_with_failover(prt::Comm& comm, int timestep,
                              status.code() == ErrorCode::kCapacityExceeded;
     if (status.ok() || !recoverable) return status;
 
-    // Rank 0 picks the next location; everyone follows its decision.
-    std::vector<std::byte> decision(1, std::byte{0xFF});
+    // Rank 0 picks the next address (class, server); everyone follows its
+    // decision.
+    std::vector<std::byte> decision(2, std::byte{0xFF});
     if (comm.rank() == 0) {
-      for (Location candidate : PlacementPolicy::failover_chain(location_)) {
-        runtime::StorageEndpoint& fallback = session_->system_.endpoint(candidate);
+      for (ReplicaAddress candidate : ordered_candidate_addresses(
+               address_, session_->system_.cluster_size())) {
+        if (candidate == address_) continue;  // the address that just failed
+        runtime::StorageEndpoint& fallback =
+            session_->system_.endpoint(candidate);
         const std::uint64_t footprint =
             desc_.footprint_bytes(session_->options_.iterations);
         if (fallback.available() && fallback.free_bytes() >= footprint) {
-          decision[0] = static_cast<std::byte>(candidate);
+          decision[0] = static_cast<std::byte>(candidate.location);
+          decision[1] = static_cast<std::byte>(candidate.server);
           break;
         }
       }
@@ -210,16 +224,17 @@ Status DatasetHandle::write_with_failover(prt::Comm& comm, int timestep,
     decision = comm.bcast(std::move(decision), 0);
     if (decision[0] == std::byte{0xFF}) return status;  // nowhere left to go
     // The handle is shared across rank threads: one writer updates
-    // `location_`; the barrier below orders the write before the other
+    // `address_`; the barrier below orders the write before the other
     // ranks re-read it at the top of the next attempt.
     if (comm.rank() == 0) {
-      location_ = static_cast<Location>(decision[0]);
+      address_ = ReplicaAddress{static_cast<Location>(decision[0]),
+                                static_cast<int>(decision[1])};
       session_->system_.metrics().counter("session.failovers")->increment();
       MSRA_LOG(kInfo) << "dataset " << desc_.name << " failing over to "
-                      << location_name(location_) << " after: "
+                      << address_name(address_) << " after: "
                       << status.to_string();
       Status meta_status = session_->catalog_.update_dataset_location(
-          app_, desc_.name, location_);
+          app_, desc_.name, address_.location);
       if (!meta_status.ok()) {
         MSRA_LOG(kWarn) << "failover bookkeeping failed: "
                         << meta_status.to_string();
@@ -260,7 +275,7 @@ Status DatasetHandle::write_subfiled(prt::Comm& comm, const std::string& base,
         status = plan.status();
       } else {
         status = runtime::PlanExecutor::execute(
-            *plan, session_->system_.endpoint(location_), comm.timeline(), {},
+            *plan, session_->system_.endpoint(address_), comm.timeline(), {},
             global, &session_->system_.tracer());
       }
     }
@@ -279,51 +294,33 @@ StatusOr<ReplicaChoice> DatasetHandle::locate(int timestep) const {
   MSRA_ASSIGN_OR_RETURN(
       InstanceRecord record,
       session_->catalog_.instance(app_, desc_.name, timestep));
-  std::vector<Location> live;
-  for (Location location : record.replicas) {
-    if (session_->system_.endpoint(location).available()) {
-      live.push_back(location);
+  std::vector<ReplicaAddress> live;
+  for (ReplicaAddress address : record.replicas) {
+    if (session_->system_.endpoint(address).available()) {
+      live.push_back(address);
     }
   }
   if (live.empty()) {
     // Everything is down: return the primary so the caller sees the real
     // error.
-    const Location primary = record.primary();
-    return ReplicaChoice{std::move(record), primary};
+    const ReplicaAddress primary = record.primary();
+    return ReplicaChoice{std::move(record), primary, {}};
   }
-  // With a predictor attached, quote the whole-object read on every live
-  // replica and take the cheapest (free read failover priced by Eq. 1/2).
-  const predict::Predictor* predictor = session_->options_.predictor;
-  if (predictor != nullptr && live.size() > 1) {
-    const runtime::IoPlan plan =
-        runtime::PlanBuilder::object_read(record.path, record.bytes);
-    Location best = live.front();
-    double best_seconds = std::numeric_limits<double>::infinity();
-    bool priced_all = true;
-    for (Location location : live) {
-      auto seconds = predictor->price(plan, location);
-      if (!seconds.ok()) {
-        priced_all = false;  // curves missing: fall back to static order
-        break;
-      }
-      if (*seconds < best_seconds) {
-        best_seconds = *seconds;
-        best = location;
-      }
-    }
-    if (priced_all) return ReplicaChoice{std::move(record), best};
-  }
-  // Static fastest-first order (local disk > remote disk > remote tape).
-  for (Location preferred : kConcreteLocations) {
-    if (std::find(live.begin(), live.end(), preferred) != live.end()) {
-      return ReplicaChoice{std::move(record), preferred};
-    }
-  }
-  const Location fallback = live.front();
-  return ReplicaChoice{std::move(record), fallback};
+  // The balancer orders the live set best-first: cheapest load-aware
+  // predictor quote over the whole-object read plan when the session has a
+  // predictor attached (free read failover priced by Eq. 1/2), static
+  // speed order otherwise. The whole chain is kept — a server dropping
+  // mid-read fails over to the next entry.
+  const runtime::IoPlan plan =
+      runtime::PlanBuilder::object_read(record.path, record.bytes);
+  std::vector<ReplicaAddress> chain = session_->system_.balancer().order(
+      plan, std::move(live), session_->options_.predictor);
+  const ReplicaAddress best = chain.front();
+  return ReplicaChoice{std::move(record), best, std::move(chain)};
 }
 
-std::vector<Location> DatasetHandle::replica_locations(int timestep) const {
+std::vector<ReplicaAddress> DatasetHandle::replica_addresses(
+    int timestep) const {
   auto record = session_->catalog_.instance(app_, desc_.name, timestep);
   if (!record.ok()) return {};
   return record->replicas;
@@ -334,21 +331,27 @@ simkit::Timeline& DatasetHandle::timeline_or_session(
   return timeline != nullptr ? *timeline : session_->timeline_;
 }
 
-Status DatasetHandle::replicate_timestep(int timestep, Location destination,
+Status DatasetHandle::replicate_timestep(int timestep,
+                                         ReplicaAddress destination,
                                          const ReplicateOptions& options) {
   simkit::Timeline& timeline = timeline_or_session(options.timeline);
   if (subfiled(subfile_chunks_)) {
     return Status::Unimplemented("replication of subfile-chunked datasets");
   }
-  if (destination != Location::kLocalDisk &&
-      destination != Location::kRemoteDisk &&
-      destination != Location::kRemoteTape) {
+  if (destination.location != Location::kLocalDisk &&
+      destination.location != Location::kRemoteDisk &&
+      destination.location != Location::kRemoteTape) {
     return Status::InvalidArgument("replica destination must be concrete");
   }
+  if (destination.server < 0 ||
+      destination.server >= session_->system_.cluster_size()) {
+    return Status::InvalidArgument("replica destination server out of range");
+  }
+  if (destination.location == Location::kLocalDisk) destination.server = 0;
   MSRA_ASSIGN_OR_RETURN(ReplicaChoice source, locate(timestep));
   if (source.record.on(destination)) {
     return Status::AlreadyExists("replica already on " +
-                                 std::string(location_name(destination)));
+                                 address_name(destination));
   }
   runtime::StorageEndpoint& dst = session_->system_.endpoint(destination);
   if (!dst.available()) {
@@ -356,34 +359,37 @@ Status DatasetHandle::replicate_timestep(int timestep, Location destination,
   }
   if (dst.free_bytes() < source.record.bytes) {
     return Status::CapacityExceeded("no room for replica on " +
-                                    std::string(location_name(destination)));
+                                    address_name(destination));
   }
 
-  const bool both_remote =
-      source.location != Location::kLocalDisk &&
-      destination != Location::kLocalDisk;
-  if (both_remote) {
-    // Same storage site: server-side copy, no WAN payload transfer.
-    // unwrap() reaches past the instrumentation decorator.
+  const bool same_server =
+      source.address.location != Location::kLocalDisk &&
+      destination.location != Location::kLocalDisk &&
+      source.address.server == destination.server;
+  if (same_server) {
+    // Same SRB server: server-side copy (disk <-> tape), no WAN payload
+    // transfer. unwrap() reaches past the instrumentation decorator.
     auto* endpoint = dynamic_cast<runtime::RemoteEndpoint*>(
-        session_->system_.endpoint(source.location).unwrap());
+        session_->system_.endpoint(source.address).unwrap());
     if (endpoint == nullptr) return Status::Internal("remote endpoint expected");
-    auto resource_of = [](Location location) {
-      return location == Location::kRemoteTape ? std::string("remotetape")
-                                               : std::string("remotedisk");
+    ServerSite& site = session_->system_.site(destination.server);
+    auto resource_of = [&site](Location location) {
+      return location == Location::kRemoteTape
+                 ? std::string(site.tape_resource().name())
+                 : std::string(site.disk_resource().name());
     };
     srb::SrbClient& client = endpoint->client();
     MSRA_RETURN_IF_ERROR(client.connect(timeline));
     Status status = client.obj_replicate(
-        timeline, resource_of(source.location), source.record.path,
-        resource_of(destination));
+        timeline, resource_of(source.address.location), source.record.path,
+        resource_of(destination.location));
     Status disc = client.disconnect(timeline);
     MSRA_RETURN_IF_ERROR(status);
     MSRA_RETURN_IF_ERROR(disc);
   } else {
-    // One side is local: stream through the client, one whole-object plan
-    // per side.
-    runtime::StorageEndpoint& src = session_->system_.endpoint(source.location);
+    // Different servers (or one side local): stream through the client,
+    // one whole-object plan per side.
+    runtime::StorageEndpoint& src = session_->system_.endpoint(source.address);
     std::vector<std::byte> payload(source.record.bytes);
     obs::TraceRecorder* tracer = &session_->system_.tracer();
     MSRA_RETURN_IF_ERROR(runtime::PlanExecutor::execute(
@@ -408,7 +414,7 @@ Status DatasetHandle::read_timestep(prt::Comm& comm, int timestep,
   MSRA_ASSIGN_OR_RETURN(ReplicaChoice choice, locate(timestep));
   const InstanceRecord& record = choice.record;
   MSRA_ASSIGN_OR_RETURN(runtime::ArrayLayout lay, layout(comm.size()));
-  runtime::StorageEndpoint& endpoint = session_->system_.endpoint(choice.location);
+  runtime::StorageEndpoint& endpoint = session_->system_.endpoint(choice.address);
   if (comm.rank() == 0) {
     session_->system_.access_tracker().record_read(
         record.dataset_key, record.bytes, comm.timeline().now());
@@ -478,7 +484,7 @@ StatusOr<StagedAccess> DatasetHandle::stage_read_whole(
   simkit::Timeline& timeline = timeline_or_session(options.timeline);
   MSRA_ASSIGN_OR_RETURN(ReplicaChoice choice, locate(timestep));
   const InstanceRecord& record = choice.record;
-  runtime::StorageEndpoint& endpoint = session_->system_.endpoint(choice.location);
+  runtime::StorageEndpoint& endpoint = session_->system_.endpoint(choice.address);
   session_->system_.access_tracker().record_read(record.dataset_key,
                                                  record.bytes, timeline.now());
   const std::uint64_t bytes = desc_.global_bytes();
@@ -498,7 +504,7 @@ StatusOr<StagedAccess> DatasetHandle::stage_read_whole(
     staged.plan = runtime::PlanBuilder::object_read(record.path, bytes);
     staged.endpoint = &endpoint;
     staged.cache_offer =
-        CacheOffer{record.path, record.dataset_key, choice.location};
+        CacheOffer{record.path, record.dataset_key, choice.address.location};
     return staged;
   }
   StagedAccess staged;
@@ -515,7 +521,7 @@ StatusOr<StagedAccess> DatasetHandle::lower_read_box(
   }
   MSRA_ASSIGN_OR_RETURN(ReplicaChoice choice, locate(timestep));
   const InstanceRecord& record = choice.record;
-  runtime::StorageEndpoint& endpoint = session_->system_.endpoint(choice.location);
+  runtime::StorageEndpoint& endpoint = session_->system_.endpoint(choice.address);
   session_->system_.access_tracker().record_read(record.dataset_key,
                                                  buffer_bytes, timeline.now());
   // A cached whole object can also serve sub-array reads: same plan, just
@@ -564,7 +570,7 @@ StatusOr<StagedAccess> DatasetHandle::stage_dump(int timestep) {
   StagedAccess staged;
   staged.plan = runtime::PlanBuilder::object_write(
       path_for(timestep), desc_.global_bytes(), srb::OpenMode::kOverwrite);
-  staged.endpoint = &session_->system_.endpoint(location_);
+  staged.endpoint = &session_->system_.endpoint(address_);
   return staged;
 }
 
@@ -573,7 +579,7 @@ Status DatasetHandle::commit_dump(int timestep, simkit::SimTime now) {
   InstanceRecord record;
   record.dataset_key = MetaCatalog::dataset_key(app_, desc_.name);
   record.timestep = timestep;
-  record.replicas = {location_};
+  record.replicas = {address_};
   record.path = path_for(timestep);
   record.bytes = desc_.global_bytes();
   Status meta_status = session_->catalog_.record_instance(record);
@@ -602,7 +608,7 @@ StatusOr<std::vector<std::byte>> DatasetHandle::read_whole(
     MSRA_ASSIGN_OR_RETURN(ReplicaChoice choice, locate(timestep));
     const InstanceRecord& record = choice.record;
     runtime::StorageEndpoint& endpoint =
-        session_->system_.endpoint(choice.location);
+        session_->system_.endpoint(choice.address);
     session_->system_.access_tracker().record_read(
         record.dataset_key, record.bytes, timeline.now());
     MSRA_ASSIGN_OR_RETURN(auto sublayout,
@@ -613,19 +619,38 @@ StatusOr<std::vector<std::byte>> DatasetHandle::read_whole(
         endpoint, timeline, record.path, sublayout, full, out));
     return out;
   }
-  MSRA_ASSIGN_OR_RETURN(StagedAccess staged,
-                        stage_read_whole(timestep, options));
-  MSRA_RETURN_IF_ERROR(runtime::PlanExecutor::execute(
-      staged.plan, *staged.endpoint, timeline, out, {},
-      &session_->system_.tracer()));
-  if (staged.cache_offer.has_value()) {
-    if (cache::ReadCache* cache = session_->system_.cache()) {
-      (void)cache->offer(staged.cache_offer->path,
-                         staged.cache_offer->dataset_key, out,
-                         staged.cache_offer->origin, timeline.now());
+  // A server dropping mid-read surfaces as kUnavailable from the executor;
+  // re-lowering re-runs the balancer over the remaining live replicas, so
+  // the read walks the quote-ordered chain until a copy answers. The retry
+  // loop only exists in a real cluster — a single-server system keeps the
+  // pre-cluster fail-fast semantics (and its exact virtual times).
+  const int max_attempts =
+      session_->system_.cluster_size() > 1 ? session_->system_.cluster_size() + 1
+                                           : 1;
+  Status status = Status::Ok();
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    MSRA_ASSIGN_OR_RETURN(StagedAccess staged,
+                          stage_read_whole(timestep, options));
+    status = runtime::PlanExecutor::execute(staged.plan, *staged.endpoint,
+                                            timeline, out, {},
+                                            &session_->system_.tracer());
+    if (status.ok()) {
+      if (staged.cache_offer.has_value()) {
+        if (cache::ReadCache* cache = session_->system_.cache()) {
+          (void)cache->offer(staged.cache_offer->path,
+                             staged.cache_offer->dataset_key, out,
+                             staged.cache_offer->origin, timeline.now());
+        }
+      }
+      return out;
+    }
+    if (status.code() != ErrorCode::kUnavailable) return status;
+    if (attempt + 1 < max_attempts) {
+      session_->system_.metrics().counter("session.read_failovers")
+          ->increment();
     }
   }
-  return out;
+  return status;
 }
 
 Status DatasetHandle::read_box(int timestep, const prt::LocalBox& box,

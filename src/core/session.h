@@ -39,11 +39,16 @@ namespace msra::core {
 
 class Session;
 
-/// The replica a read resolved to: the catalog row plus the concrete
-/// location chosen among its live replicas.
+/// The replica a read resolved to: the catalog row, the server-qualified
+/// address chosen among its live replicas, and the full balancer-ordered
+/// chain (best first) — the read failover order when a server drops
+/// mid-run.
 struct ReplicaChoice {
   InstanceRecord record;
-  Location location = Location::kRemoteTape;
+  ReplicaAddress address;
+  std::vector<ReplicaAddress> chain;
+
+  Location location() const { return address.location; }
 };
 
 /// A read that missed the mid-tier cache carries this ticket: after the
@@ -76,8 +81,11 @@ struct StagedAccess {
 class DatasetHandle {
  public:
   const DatasetDesc& desc() const { return desc_; }
-  Location location() const { return location_; }
-  bool enabled() const { return location_ != Location::kDisable; }
+  Location location() const { return address_.location; }
+  /// The server-qualified write target (reads route per replica through the
+  /// balancer instead).
+  ReplicaAddress address() const { return address_; }
+  bool enabled() const { return address_.location != Location::kDisable; }
 
   /// Object path of one timestep ("app/dataset/t42", or "app/dataset/restart"
   /// for over_write datasets).
@@ -148,29 +156,30 @@ class DatasetHandle {
   /// before the first write.
   Status set_subfile_chunks(const std::array<int, 3>& chunks);
 
-  /// Copies one dumped timestep to another storage resource and records the
-  /// replica in the metadata. When source and destination live on the same
-  /// remote server (disk <-> tape), the copy happens server-side — no WAN
-  /// transfer for the payload (SRB-style replication). Reads automatically
-  /// prefer the fastest available replica afterwards. Not supported for
-  /// subfile-chunked datasets. Runs on the owning session's timeline unless
-  /// `options.timeline` overrides it.
-  Status replicate_timestep(int timestep, Location destination,
+  /// Copies one dumped timestep to another storage address and records the
+  /// replica in the metadata (a bare Location means server 0). When source
+  /// and destination live on the same SRB server (disk <-> tape), the copy
+  /// happens server-side — no WAN transfer for the payload (SRB-style
+  /// replication). Reads automatically prefer the cheapest available
+  /// replica afterwards. Not supported for subfile-chunked datasets. Runs
+  /// on the owning session's timeline unless `options.timeline` overrides
+  /// it.
+  Status replicate_timestep(int timestep, ReplicaAddress destination,
                             const ReplicateOptions& options = {});
 
-  /// Replica locations of one timestep (metadata view).
-  std::vector<Location> replica_locations(int timestep) const;
+  /// Replica addresses of one timestep (metadata view).
+  std::vector<ReplicaAddress> replica_addresses(int timestep) const;
 
   std::uint64_t timesteps_written() const { return writes_.load(); }
 
  private:
   friend class Session;
   DatasetHandle(Session* session, std::string app, DatasetDesc desc,
-                Location location)
+                ReplicaAddress address)
       : session_(session),
         app_(std::move(app)),
         desc_(std::move(desc)),
-        location_(location) {}
+        address_(address) {}
 
   /// Attempts the write on the current location; on outage/full, re-place
   /// and retry.
@@ -180,11 +189,12 @@ class DatasetHandle {
   Status write_subfiled(prt::Comm& comm, const std::string& base,
                         std::span<const std::byte> local);
 
-  /// Instance lookup for reads: picks the cheapest *available* replica —
-  /// by predictor quote over the whole-object read plan when the session
-  /// has a predictor attached, by static speed order (local disk > remote
-  /// disk > remote tape) otherwise — falling back to the primary record
-  /// (consumers may open after a failover moved the data).
+  /// Instance lookup for reads: routes the live replica set through the
+  /// system's Balancer — cheapest predictor quote (load-aware across
+  /// servers) when the session has a predictor attached, static speed
+  /// order (local disk > remote disk > remote tape, then server index)
+  /// otherwise — falling back to the primary record (consumers may open
+  /// after a failover moved the data).
   StatusOr<ReplicaChoice> locate(int timestep) const;
 
   /// The clock a serial call runs on: the explicit override, else the
@@ -201,7 +211,7 @@ class DatasetHandle {
   Session* session_;
   std::string app_;  ///< producer application owning the stored objects
   DatasetDesc desc_;
-  Location location_;
+  ReplicaAddress address_;  ///< current write target (class + server)
   std::array<int, 3> subfile_chunks_ = {1, 1, 1};
   std::atomic<std::uint64_t> writes_{0};
   /// Handle-wide default for ReadOptions::streams (OpenOptions::streams).

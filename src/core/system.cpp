@@ -1,9 +1,12 @@
 #include "core/system.h"
 
+#include <algorithm>
 #include <cassert>
+#include <charconv>
 #include <cstdlib>
 
 #include "cache/cache.h"
+#include "core/balancer.h"
 #include "runtime/factory.h"
 
 namespace msra::core {
@@ -19,6 +22,12 @@ void attach_wait_observer(simkit::Resource& resource,
   obs::Histogram* h = metrics.histogram("io." + name + ".queue_wait");
   resource.set_wait_observer(
       [h](simkit::SimTime wait) { h->record(wait); });
+}
+
+/// Site-qualified device name: site 0 keeps the legacy single-server name,
+/// site i appends the index ("remotedisk" -> "remotedisk1").
+std::string site_name(const std::string& base, int index) {
+  return index == 0 ? base : base + std::to_string(index);
 }
 
 }  // namespace
@@ -43,6 +52,30 @@ StatusOr<Location> parse_location(std::string_view name) {
   return Status::InvalidArgument("unknown location: " + std::string(name));
 }
 
+std::string address_name(ReplicaAddress address) {
+  std::string out(location_name(address.location));
+  if (address.server != 0) out += "@" + std::to_string(address.server);
+  return out;
+}
+
+StatusOr<ReplicaAddress> parse_address(std::string_view name) {
+  const std::size_t at = name.find('@');
+  if (at == std::string_view::npos) {
+    MSRA_ASSIGN_OR_RETURN(Location location, parse_location(name));
+    return ReplicaAddress{location, 0};
+  }
+  MSRA_ASSIGN_OR_RETURN(Location location, parse_location(name.substr(0, at)));
+  const std::string_view digits = name.substr(at + 1);
+  int server = 0;
+  auto [ptr, ec] = std::from_chars(digits.data(), digits.data() + digits.size(),
+                                   server);
+  if (ec != std::errc() || ptr != digits.data() + digits.size() || server < 0) {
+    return Status::InvalidArgument("bad server index in address: " +
+                                   std::string(name));
+  }
+  return ReplicaAddress{location, server};
+}
+
 StorageSystem::StorageSystem(const HardwareProfile& profile,
                              std::filesystem::path data_root)
     : profile_(profile), data_root_(std::move(data_root)) {
@@ -55,74 +88,109 @@ StorageSystem::StorageSystem(const HardwareProfile& profile,
   }
   if (persistent()) {
     local_store_ = std::make_unique<store::FileObjectStore>(data_root_ / "local");
-    remote_disk_store_ =
-        std::make_unique<store::FileObjectStore>(data_root_ / "remote");
-    tape_store_ = std::make_unique<store::FileObjectStore>(data_root_ / "tape");
     auto loaded = meta::Database::load(data_root_ / "meta.db");
     metadb_ = loaded.ok() ? std::move(*loaded)
                           : std::make_unique<meta::Database>();
   } else {
     local_store_ = std::make_unique<store::MemObjectStore>();
-    remote_disk_store_ = std::make_unique<store::MemObjectStore>();
     metadb_ = std::make_unique<meta::Database>();
   }
-  tape_library_ = std::make_unique<tape::TapeLibrary>(
-      "hpss", profile.tape, profile.tape_drives, tape_store_.get());
-  tape::BitfileBackend* archive = tape_library_.get();
-  if (profile.tape_cache_bytes > 0) {
-    tape::HsmModel hsm_model = profile.tape_cache;
-    hsm_model.cache_capacity = profile.tape_cache_bytes;
-    hsm_ = std::make_unique<tape::HsmStore>("hpss-cache", hsm_model,
-                                            tape_library_.get());
-    archive = hsm_.get();
-  }
-
   local_resource_ = std::make_unique<srb::DiskResource>(
       "localdisk", srb::StorageKind::kLocalDisk, local_store_.get(),
       profile.local_disk, profile.local_capacity, profile.local_disk_arms);
-  remote_disk_resource_ = std::make_unique<srb::DiskResource>(
-      "remotedisk", srb::StorageKind::kRemoteDisk, remote_disk_store_.get(),
-      profile.remote_disk, profile.remote_disk_capacity,
-      profile.remote_disk_arms);
-  tape_resource_ =
-      std::make_unique<srb::TapeResource>("remotetape", archive);
 
-  server_ = std::make_unique<srb::SrbServer>("sdsc", profile.server);
-  Status s1 = server_->register_resource(remote_disk_resource_.get());
-  Status s2 = server_->register_resource(tape_resource_.get());
-  assert(s1.ok() && s2.ok());
-  (void)s1;
-  (void)s2;
+  const int servers = std::max(1, profile.cluster.servers);
+  sites_.reserve(static_cast<std::size_t>(servers));
+  for (int i = 0; i < servers; ++i) {
+    auto site = std::unique_ptr<ServerSite>(new ServerSite());
+    site->index_ = i;
+    if (persistent()) {
+      site->disk_store_ = std::make_unique<store::FileObjectStore>(
+          data_root_ / site_name("remote", i));
+      site->tape_store_ = std::make_unique<store::FileObjectStore>(
+          data_root_ / site_name("tape", i));
+    } else {
+      site->disk_store_ = std::make_unique<store::MemObjectStore>();
+    }
+    site->tape_library_ = std::make_unique<tape::TapeLibrary>(
+        site_name("hpss", i), profile.tape, profile.tape_drives,
+        site->tape_store_.get());
+    tape::BitfileBackend* archive = site->tape_library_.get();
+    if (profile.tape_cache_bytes > 0) {
+      tape::HsmModel hsm_model = profile.tape_cache;
+      hsm_model.cache_capacity = profile.tape_cache_bytes;
+      site->hsm_ = std::make_unique<tape::HsmStore>(
+          site_name("hpss-cache", i), hsm_model, site->tape_library_.get());
+      archive = site->hsm_.get();
+    }
 
-  simkit::NoiseModel disk_noise, tape_noise;
-  if (profile.wan_jitter > 0.0) {
-    disk_noise = simkit::NoiseModel(profile.wan_jitter, profile.jitter_seed);
-    tape_noise = simkit::NoiseModel(profile.wan_jitter, profile.jitter_seed + 1);
+    site->disk_resource_ = std::make_unique<srb::DiskResource>(
+        site_name("remotedisk", i), srb::StorageKind::kRemoteDisk,
+        site->disk_store_.get(), profile.remote_disk,
+        profile.remote_disk_capacity, profile.remote_disk_arms);
+    site->tape_resource_ = std::make_unique<srb::TapeResource>(
+        site_name("remotetape", i), archive);
+
+    site->server_ =
+        std::make_unique<srb::SrbServer>(site_name("sdsc", i), profile.server);
+    Status s1 = site->server_->register_resource(site->disk_resource_.get());
+    Status s2 = site->server_->register_resource(site->tape_resource_.get());
+    assert(s1.ok() && s2.ok());
+    (void)s1;
+    (void)s2;
+
+    simkit::NoiseModel disk_noise, tape_noise;
+    if (profile.wan_jitter > 0.0) {
+      // Distinct seeds per site so jittered links are independent.
+      disk_noise = simkit::NoiseModel(profile.wan_jitter,
+                                      profile.jitter_seed + 2 * i);
+      tape_noise = simkit::NoiseModel(profile.wan_jitter,
+                                      profile.jitter_seed + 2 * i + 1);
+    }
+    site->disk_link_ = std::make_unique<net::Link>(
+        site_name("wan-disk", i), profile.wan_disk, disk_noise);
+    site->tape_link_ = std::make_unique<net::Link>(
+        site_name("wan-tape", i), profile.wan_tape, tape_noise);
+
+    site->tape_library_->set_metrics(&metrics_);
+    if (site->hsm_) site->hsm_->set_metrics(&metrics_);
+    sites_.push_back(std::move(site));
   }
-  wan_disk_link_ =
-      std::make_unique<net::Link>("wan-disk", profile.wan_disk, disk_noise);
-  wan_tape_link_ =
-      std::make_unique<net::Link>("wan-tape", profile.wan_tape, tape_noise);
 
+  // Endpoints come after the site registry exists: make_endpoint looks
+  // servers up through site().
   local_endpoint_ = runtime::make_endpoint(*this, Location::kLocalDisk);
-  remote_disk_endpoint_ = runtime::make_endpoint(*this, Location::kRemoteDisk);
-  remote_tape_endpoint_ = runtime::make_endpoint(*this, Location::kRemoteTape);
-
-  tape_library_->set_metrics(&metrics_);
-  if (hsm_) hsm_->set_metrics(&metrics_);
+  for (int i = 0; i < servers; ++i) {
+    sites_[static_cast<std::size_t>(i)]->disk_endpoint_ =
+        runtime::make_endpoint(*this, Location::kRemoteDisk, i);
+    sites_[static_cast<std::size_t>(i)]->tape_endpoint_ =
+        runtime::make_endpoint(*this, Location::kRemoteTape, i);
+  }
 
   // Contention telemetry: every shared device reports the queueing delay of
   // each granted reservation. Installed before the system is shared across
   // client threads (set_wait_observer is not itself synchronized).
   attach_wait_observer(local_resource_->arm(), metrics_, "localdisk");
-  attach_wait_observer(remote_disk_resource_->arm(), metrics_, "remotedisk");
-  attach_wait_observer(server_->cpu(), metrics_, "sdsc-cpu");
-  attach_wait_observer(wan_disk_link_->pipe(), metrics_, "wan-disk");
-  attach_wait_observer(wan_tape_link_->pipe(), metrics_, "wan-tape");
-  if (hsm_) attach_wait_observer(hsm_->cache_arm(), metrics_, "hpss-cache");
-  for (auto& [name, resource] : tape_library_->contended_resources()) {
-    attach_wait_observer(*resource, metrics_, name);
+  for (auto& site : sites_) {
+    const int i = site->index_;
+    attach_wait_observer(site->disk_resource_->arm(), metrics_,
+                         site_name("remotedisk", i));
+    attach_wait_observer(site->server_->cpu(), metrics_,
+                         site->server_->name() + "-cpu");
+    attach_wait_observer(site->disk_link_->pipe(), metrics_,
+                         site_name("wan-disk", i));
+    attach_wait_observer(site->tape_link_->pipe(), metrics_,
+                         site_name("wan-tape", i));
+    if (site->hsm_) {
+      attach_wait_observer(site->hsm_->cache_arm(), metrics_,
+                           site_name("hpss-cache", i));
+    }
+    for (auto& [name, resource] : site->tape_library_->contended_resources()) {
+      attach_wait_observer(*resource, metrics_, name);
+    }
   }
+
+  balancer_ = std::make_unique<Balancer>(this);
 }
 
 // Out of line: cache::ReadCache is only forward-declared in the header.
@@ -137,11 +205,21 @@ cache::ReadCache* StorageSystem::enable_cache(
 
 void StorageSystem::disable_cache() { cache_.reset(); }
 
+ServerSite& StorageSystem::site(int server) {
+  assert(server >= 0 && server < cluster_size() && "server index out of range");
+  return *sites_[static_cast<std::size_t>(
+      std::clamp(server, 0, cluster_size() - 1))];
+}
+
 runtime::StorageEndpoint& StorageSystem::endpoint(Location location) {
-  switch (location) {
+  return endpoint(ReplicaAddress{location, 0});
+}
+
+runtime::StorageEndpoint& StorageSystem::endpoint(ReplicaAddress address) {
+  switch (address.location) {
     case Location::kLocalDisk: return *local_endpoint_;
-    case Location::kRemoteDisk: return *remote_disk_endpoint_;
-    case Location::kRemoteTape: return *remote_tape_endpoint_;
+    case Location::kRemoteDisk: return site(address.server).disk_endpoint();
+    case Location::kRemoteTape: return site(address.server).tape_endpoint();
     case Location::kAuto:
     case Location::kDisable: break;
   }
@@ -156,28 +234,36 @@ Status StorageSystem::save_metadata() const {
 
 void StorageSystem::reset_time() {
   local_resource_->arm().reset();
-  remote_disk_resource_->arm().reset();
-  if (hsm_) {
-    hsm_->reset_clocks();  // also resets the tape library's clocks
-  } else {
-    tape_library_->reset_clocks();
+  for (auto& site : sites_) {
+    site->disk_resource_->arm().reset();
+    if (site->hsm_) {
+      site->hsm_->reset_clocks();  // also resets the tape library's clocks
+    } else {
+      site->tape_library_->reset_clocks();
+    }
+    site->server_->reset_clock();
+    site->disk_link_->pipe().reset();
+    site->tape_link_->pipe().reset();
   }
-  server_->reset_clock();
-  wan_disk_link_->pipe().reset();
-  wan_tape_link_->pipe().reset();
 }
 
 std::vector<obs::ResourceLoadRow> StorageSystem::resource_loads() {
   std::vector<std::pair<std::string, simkit::Resource*>> devices = {
       {"localdisk", &local_resource_->arm()},
-      {"remotedisk", &remote_disk_resource_->arm()},
-      {"sdsc-cpu", &server_->cpu()},
-      {"wan-disk", &wan_disk_link_->pipe()},
-      {"wan-tape", &wan_tape_link_->pipe()},
   };
-  if (hsm_) devices.emplace_back("hpss-cache", &hsm_->cache_arm());
-  for (auto& [name, resource] : tape_library_->contended_resources()) {
-    devices.emplace_back(name, resource);
+  for (auto& site : sites_) {
+    const int i = site->index_;
+    devices.emplace_back(site_name("remotedisk", i),
+                         &site->disk_resource_->arm());
+    devices.emplace_back(site->server_->name() + "-cpu", &site->server_->cpu());
+    devices.emplace_back(site_name("wan-disk", i), &site->disk_link_->pipe());
+    devices.emplace_back(site_name("wan-tape", i), &site->tape_link_->pipe());
+    if (site->hsm_) {
+      devices.emplace_back(site_name("hpss-cache", i), &site->hsm_->cache_arm());
+    }
+    for (auto& [name, resource] : site->tape_library_->contended_resources()) {
+      devices.emplace_back(site_name(name, i), resource);
+    }
   }
   std::vector<obs::ResourceLoadRow> rows;
   rows.reserve(devices.size());
@@ -203,10 +289,10 @@ void StorageSystem::set_location_available(Location location, bool available) {
       local_resource_->set_available(available);
       break;
     case Location::kRemoteDisk:
-      remote_disk_resource_->set_available(available);
+      for (auto& site : sites_) site->disk_resource_->set_available(available);
       break;
     case Location::kRemoteTape:
-      tape_resource_->set_available(available);
+      for (auto& site : sites_) site->tape_resource_->set_available(available);
       break;
     case Location::kAuto:
     case Location::kDisable:

@@ -1,15 +1,18 @@
 // StorageSystem: the assembled multi-storage testbed.
 //
-// Owns the physical layer (object stores, tape library), the native layer
-// (SRB server + WAN links), and one StorageEndpoint per storage class —
-// exactly the paper's experimental environment of section 3.2:
-//   local disks, remote disks (SRB @SDSC), remote tapes (HPSS via SRB),
-//   plus the local metadata database.
+// Owns the physical layer (object stores, tape libraries), the native layer
+// (SRB server cluster + WAN links), and one StorageEndpoint per storage
+// class per server — the paper's experimental environment of section 3.2
+// (local disks, remote disks at SDSC, remote tapes in HPSS via SRB, plus
+// the local metadata database), scaled out to N server sites. The default
+// single-server cluster IS the paper's testbed; server 0 keeps the legacy
+// device names so telemetry and virtual times are unchanged.
 #pragma once
 
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/profiles.h"
 #include "meta/database.h"
@@ -37,6 +40,8 @@ class Predictor;
 
 namespace msra::core {
 
+class Balancer;
+
 /// Storage location attribute of a dataset (section 3.2 of the paper).
 enum class Location {
   kLocalDisk,   ///< LOCALDISK hint
@@ -53,31 +58,112 @@ StatusOr<Location> parse_location(std::string_view name);
 inline constexpr Location kConcreteLocations[] = {
     Location::kLocalDisk, Location::kRemoteDisk, Location::kRemoteTape};
 
+/// A server-qualified storage location: the storage class plus the SRB
+/// server site holding the copy. Local disks sit on the client side of the
+/// WAN, so kLocalDisk addresses always carry server 0. A bare Location
+/// converts implicitly to the address on server 0, which keeps every
+/// single-server call site (and every pre-cluster catalog) meaning exactly
+/// what it meant before.
+struct ReplicaAddress {
+  Location location = Location::kRemoteTape;
+  int server = 0;
+
+  constexpr ReplicaAddress() = default;
+  constexpr ReplicaAddress(Location location_in, int server_in = 0)
+      : location(location_in), server(server_in) {}
+
+  friend constexpr bool operator==(const ReplicaAddress&,
+                                   const ReplicaAddress&) = default;
+};
+
+/// "REMOTEDISK@2"; the "@server" suffix is omitted for server 0, so
+/// single-server catalogs stay textually identical to the pre-cluster
+/// format.
+std::string address_name(ReplicaAddress address);
+/// Parses address_name() output; a bare location name is server 0.
+StatusOr<ReplicaAddress> parse_address(std::string_view name);
+
+/// One SRB storage site of the cluster: the server process with its disk
+/// and tape resources, the WAN links reaching it, and the instrumented
+/// endpoints over them. Site 0 carries the legacy single-server names
+/// ("sdsc", "remotedisk", "wan-disk", "hpss", ...); site i appends the
+/// index ("sdsc1", "remotedisk1", ...). Built and owned by StorageSystem.
+class ServerSite {
+ public:
+  int index() const { return index_; }
+
+  srb::SrbServer& server() { return *server_; }
+  srb::DiskResource& disk_resource() { return *disk_resource_; }
+  srb::TapeResource& tape_resource() { return *tape_resource_; }
+  net::Link& disk_link() { return *disk_link_; }
+  net::Link& tape_link() { return *tape_link_; }
+  tape::TapeLibrary& tape_library() { return *tape_library_; }
+  /// Non-null only when the HPSS hierarchy (staging cache) is enabled.
+  tape::HsmStore* hsm() { return hsm_.get(); }
+
+  runtime::StorageEndpoint& disk_endpoint() { return *disk_endpoint_; }
+  runtime::StorageEndpoint& tape_endpoint() { return *tape_endpoint_; }
+
+ private:
+  friend class StorageSystem;
+  ServerSite() = default;
+
+  int index_ = 0;
+  std::unique_ptr<store::ObjectStore> disk_store_;
+  std::unique_ptr<store::ObjectStore> tape_store_;  ///< only when rooted
+  std::unique_ptr<tape::TapeLibrary> tape_library_;
+  std::unique_ptr<tape::HsmStore> hsm_;  ///< only when tape_cache_bytes > 0
+  std::unique_ptr<srb::DiskResource> disk_resource_;
+  std::unique_ptr<srb::TapeResource> tape_resource_;
+  std::unique_ptr<srb::SrbServer> server_;
+  std::unique_ptr<net::Link> disk_link_;
+  std::unique_ptr<net::Link> tape_link_;
+  std::unique_ptr<runtime::StorageEndpoint> disk_endpoint_;
+  std::unique_ptr<runtime::StorageEndpoint> tape_endpoint_;
+};
+
 /// Thread-safety: a StorageSystem is a shared substrate for concurrent
 /// client sessions (the multi-tenant core). Every layer a session touches —
-/// endpoints, SRB server, resources, links, tape library, metadata
+/// endpoints, SRB servers, resources, links, tape libraries, metadata
 /// database, metrics — is individually thread-safe; clients on distinct
 /// host threads contend only in virtual time, on the shared simkit
 /// resources. Construction, reset_time() and set_location_available() are
 /// control-plane operations: run them while no client I/O is in flight.
 class StorageSystem {
  public:
-  /// Builds the testbed. With a non-empty `data_root`, the disk-backed
-  /// resources store real files under <root>/local and <root>/remote, and
-  /// the metadata database is loaded from / saved to <root>/meta.db — so
-  /// catalogs, performance data and disk-resident datasets survive across
-  /// processes (tape content stays in-memory; it models an external
-  /// archive). Hermetic in-memory stores are the default.
+  /// Builds the testbed (profile.cluster.servers SRB sites). With a
+  /// non-empty `data_root`, the disk-backed resources store real files
+  /// under <root>/local and <root>/remote[i], and the metadata database is
+  /// loaded from / saved to <root>/meta.db — so catalogs, performance data
+  /// and disk-resident datasets survive across processes (tape content
+  /// stays in-memory; it models an external archive). Hermetic in-memory
+  /// stores are the default.
   explicit StorageSystem(const HardwareProfile& profile,
                          std::filesystem::path data_root = {});
   ~StorageSystem();
 
   const HardwareProfile& profile() const { return profile_; }
 
-  /// Endpoint for a concrete location (kAuto/kDisable are invalid here).
-  /// Endpoints are instrumented: every Eq.-1 primitive they execute lands
-  /// in `metrics()` under `io.<resource>.<op>`.
+  /// Number of SRB server sites (>= 1).
+  int cluster_size() const { return static_cast<int>(sites_.size()); }
+
+  /// Registry lookup: the SRB site at `server` (0 <= server <
+  /// cluster_size()). The single-server accessors of earlier builds
+  /// (server(), remote_disk_resource(), wan_disk_link(), ...) are gone;
+  /// every caller addresses a site explicitly.
+  ServerSite& site(int server);
+
+  /// Endpoint for a concrete location on server 0 (kAuto/kDisable are
+  /// invalid here). Endpoints are instrumented: every Eq.-1 primitive they
+  /// execute lands in `metrics()` under `io.<resource>.<op>`.
   runtime::StorageEndpoint& endpoint(Location location);
+  /// Endpoint for a server-qualified address.
+  runtime::StorageEndpoint& endpoint(ReplicaAddress address);
+
+  /// The predictor-driven replica/server router (always present; policy
+  /// defaults to cheapest-quote).
+  Balancer& balancer() { return *balancer_; }
+  const Balancer& balancer() const { return *balancer_; }
 
   /// System-wide instrument registry (always present; disable via
   /// `metrics().set_enabled(false)` to reduce recording to a flag check).
@@ -117,28 +203,21 @@ class StorageSystem {
   /// True when running against a persistent data root.
   bool persistent() const { return !data_root_.empty(); }
 
-  /// Raw layers, exposed for tests, PTool and fault injection.
-  srb::SrbServer& server() { return *server_; }
-  tape::TapeLibrary& tape_library() { return *tape_library_; }
-  /// Non-null only when the HPSS hierarchy (staging cache) is enabled.
-  tape::HsmStore* hsm() { return hsm_.get(); }
+  /// The client-side local disk (not behind any server).
   srb::DiskResource& local_resource() { return *local_resource_; }
-  srb::DiskResource& remote_disk_resource() { return *remote_disk_resource_; }
-  srb::TapeResource& tape_resource() { return *tape_resource_; }
-  net::Link& wan_disk_link() { return *wan_disk_link_; }
-  net::Link& wan_tape_link() { return *wan_tape_link_; }
 
-  /// Injects / clears an outage on one storage class.
+  /// Injects / clears an outage on one storage class, across every site.
   void set_location_available(Location location, bool available);
 
   /// Resets every device's virtual clock so a new experiment starts on idle
   /// hardware at t = 0. Stored data and mounted cartridges are preserved.
   void reset_time();
 
-  /// Contention snapshot of every shared device (disk arms, server CPU,
-  /// WAN pipes, tape robot/drives, HSM cache): operations, busy time,
-  /// utilization and queueing-delay totals, for `msractl stats` and the
-  /// contention bench. Rows for idle devices are included (operations = 0).
+  /// Contention snapshot of every shared device (disk arms, server CPUs,
+  /// WAN pipes, tape robots/drives, HSM caches) across the cluster:
+  /// operations, busy time, utilization and queueing-delay totals, for
+  /// `msractl stats`/`msractl cluster` and the contention bench. Rows for
+  /// idle devices are included (operations = 0).
   std::vector<obs::ResourceLoadRow> resource_loads();
 
  private:
@@ -152,25 +231,17 @@ class StorageSystem {
   obs::TraceRecorder tracer_;
   migrate::AccessTracker access_tracker_{&metrics_};
 
-  // Physical layer (MemObjectStore by default, FileObjectStore when rooted).
+  // Client-side physical layer (MemObjectStore by default, FileObjectStore
+  // when rooted).
   std::unique_ptr<store::ObjectStore> local_store_;
-  std::unique_ptr<store::ObjectStore> remote_disk_store_;
-  std::unique_ptr<store::ObjectStore> tape_store_;  ///< only when rooted
-  std::unique_ptr<tape::TapeLibrary> tape_library_;
-  std::unique_ptr<tape::HsmStore> hsm_;  ///< only when tape_cache_bytes > 0
-
-  // Native layer.
   std::unique_ptr<srb::DiskResource> local_resource_;
-  std::unique_ptr<srb::DiskResource> remote_disk_resource_;
-  std::unique_ptr<srb::TapeResource> tape_resource_;
-  std::unique_ptr<srb::SrbServer> server_;
-  std::unique_ptr<net::Link> wan_disk_link_;
-  std::unique_ptr<net::Link> wan_tape_link_;
-
-  // Endpoint layer (built by runtime::make_endpoint, instrumented).
   std::unique_ptr<runtime::StorageEndpoint> local_endpoint_;
-  std::unique_ptr<runtime::StorageEndpoint> remote_disk_endpoint_;
-  std::unique_ptr<runtime::StorageEndpoint> remote_tape_endpoint_;
+
+  // The SRB server sites (>= 1; site 0 is the paper's single server).
+  std::vector<std::unique_ptr<ServerSite>> sites_;
+
+  // Predictor-driven replica/server routing (see core/balancer.h).
+  std::unique_ptr<Balancer> balancer_;
 
   // Mid-tier read cache (null until enable_cache(); sessions check this on
   // every read path, so default-off costs one pointer test).

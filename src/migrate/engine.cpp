@@ -33,18 +33,15 @@ Status MigrationEngine::copy_object(simkit::Timeline& timeline,
   runtime::StorageEndpoint& dst = system_.endpoint(step.to);
   if (!src.available()) {
     return Status::Unavailable("migration source " +
-                               std::string(core::location_name(step.from)) +
-                               " is down");
+                               core::address_name(step.from) + " is down");
   }
   if (!dst.available()) {
     return Status::Unavailable("migration destination " +
-                               std::string(core::location_name(step.to)) +
-                               " is down");
+                               core::address_name(step.to) + " is down");
   }
   if (dst.free_bytes() < step.bytes) {
-    return Status::CapacityExceeded(
-        "no room for " + step.path + " on " +
-        std::string(core::location_name(step.to)));
+    return Status::CapacityExceeded("no room for " + step.path + " on " +
+                                    core::address_name(step.to));
   }
   std::vector<std::byte> payload(step.bytes);
   obs::TraceRecorder* tracer = &system_.tracer();
@@ -74,8 +71,8 @@ Status MigrationEngine::commit(simkit::Timeline& timeline,
           core::InstanceRecord record,
           catalog_.instance(step.app, step.name, step.timestep));
       bool other_live = false;
-      for (core::Location location : record.replicas) {
-        if (location != step.from && system_.endpoint(location).available()) {
+      for (core::ReplicaAddress address : record.replicas) {
+        if (address != step.from && system_.endpoint(address).available()) {
           other_live = true;
           break;
         }
@@ -160,6 +157,9 @@ void MigrationEngine::run_step(const MigrationStep& step,
       break;
     case MigrationKind::kEvict:
       metrics.counter("migrate.evictions")->increment();
+      break;
+    case MigrationKind::kRebalance:
+      metrics.counter("migrate.rebalances")->increment();
       break;
   }
   if (step.kind != MigrationKind::kEvict) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <utility>
 
 #include "core/placement.h"
 #include "migrate/tracker.h"
@@ -15,6 +16,7 @@ std::string_view migration_kind_name(MigrationKind kind) {
     case MigrationKind::kPromote: return "promote";
     case MigrationKind::kDemote: return "demote";
     case MigrationKind::kEvict: return "evict";
+    case MigrationKind::kRebalance: return "rebalance";
   }
   return "?";
 }
@@ -22,9 +24,9 @@ std::string_view migration_kind_name(MigrationKind kind) {
 std::string MigrationStep::label() const {
   std::string out(migration_kind_name(kind));
   out += " " + app + "/" + name + " t" + std::to_string(timestep) + " " +
-         std::string(core::location_name(from));
+         core::address_name(from);
   if (kind != MigrationKind::kEvict) {
-    out += "->" + std::string(core::location_name(to));
+    out += "->" + core::address_name(to);
   }
   return out;
 }
@@ -42,27 +44,28 @@ StatusOr<double> MigrationPlanner::price_step(const MigrationStep& step) const {
   MSRA_ASSIGN_OR_RETURN(
       double read_seconds,
       predictor_.price(runtime::PlanBuilder::object_read(step.path, step.bytes),
-                       step.from));
+                       step.from.location));
   MSRA_ASSIGN_OR_RETURN(
       double write_seconds,
       predictor_.price(runtime::PlanBuilder::object_write(
                            step.path, step.bytes, srb::OpenMode::kOverwrite),
-                       step.to));
+                       step.to.location));
   return read_seconds + write_seconds;
 }
 
-StatusOr<std::pair<core::Location, double>> MigrationPlanner::cheapest_live_read(
-    const core::InstanceRecord& record) const {
-  core::Location where = core::Location::kRemoteTape;
+StatusOr<std::pair<core::ReplicaAddress, double>>
+MigrationPlanner::cheapest_live_read(const core::InstanceRecord& record) const {
+  core::ReplicaAddress where = core::Location::kRemoteTape;
   double best = std::numeric_limits<double>::infinity();
   const runtime::IoPlan plan =
       runtime::PlanBuilder::object_read(record.path, record.bytes);
-  for (core::Location location : record.replicas) {
-    if (!system_.endpoint(location).available()) continue;
-    MSRA_ASSIGN_OR_RETURN(double seconds, predictor_.price(plan, location));
+  for (core::ReplicaAddress address : record.replicas) {
+    if (!system_.endpoint(address).available()) continue;
+    MSRA_ASSIGN_OR_RETURN(double seconds,
+                          predictor_.price(plan, address.location));
     if (seconds < best) {
       best = seconds;
-      where = location;
+      where = address;
     }
   }
   if (best == std::numeric_limits<double>::infinity()) {
@@ -89,8 +92,11 @@ StatusOr<MigrationPlan> MigrationPlanner::plan() {
   // Promotion reservations come out of the *current* free space; bytes a
   // demotion will free only become usable in the next planning round (the
   // engine runs steps concurrently, so same-round ordering is not
-  // guaranteed).
-  std::map<core::Location, std::uint64_t> reserved;
+  // guaranteed). Keyed by (class, server).
+  std::map<std::pair<int, int>, std::uint64_t> reserved;
+  auto reserved_key = [](core::ReplicaAddress address) {
+    return std::make_pair(static_cast<int>(address.location), address.server);
+  };
 
   auto append = [&](MigrationStep step) {
     out.predicted_cost += step.cost;
@@ -103,9 +109,15 @@ StatusOr<MigrationPlan> MigrationPlanner::plan() {
   };
 
   // ---- pressure pass: demote/evict the coldest residents -----------------
+  // Every disk on every server is checked; demotions land on the tape of
+  // the SAME server as the pressured disk (server-side copy, no WAN hop).
   AccessTracker& tracker = system_.access_tracker();
-  for (core::Location pressured :
-       {core::Location::kLocalDisk, core::Location::kRemoteDisk}) {
+  std::vector<core::ReplicaAddress> pressured_addresses;
+  pressured_addresses.emplace_back(core::Location::kLocalDisk, 0);
+  for (int server = 0; server < system_.cluster_size(); ++server) {
+    pressured_addresses.emplace_back(core::Location::kRemoteDisk, server);
+  }
+  for (core::ReplicaAddress pressured : pressured_addresses) {
     runtime::StorageEndpoint& endpoint = system_.endpoint(pressured);
     if (!endpoint.available()) continue;
     const std::uint64_t capacity = endpoint.capacity();
@@ -149,8 +161,8 @@ StatusOr<MigrationPlan> MigrationPlanner::plan() {
 
       // Another live replica elsewhere: the pressured copy is redundant.
       bool other_live = false;
-      for (core::Location location : record->replicas) {
-        if (location != pressured && system_.endpoint(location).available()) {
+      for (core::ReplicaAddress address : record->replicas) {
+        if (address != pressured && system_.endpoint(address).available()) {
           other_live = true;
           break;
         }
@@ -168,21 +180,104 @@ StatusOr<MigrationPlan> MigrationPlanner::plan() {
         step.drop_source = true;
       } else {
         // Copy to the archive first, then drop (copy-then-commit-then-drop:
-        // the instance never goes missing).
-        runtime::StorageEndpoint& tape =
-            system_.endpoint(core::Location::kRemoteTape);
-        if (!tape.available() || record->on(core::Location::kRemoteTape) ||
+        // the instance never goes missing). The archive of choice is the
+        // tape on the pressured disk's own server (a local-disk pressure
+        // demotes to server 0's tape).
+        const core::ReplicaAddress archive{
+            core::Location::kRemoteTape,
+            pressured.location == core::Location::kLocalDisk
+                ? 0
+                : pressured.server};
+        runtime::StorageEndpoint& tape = system_.endpoint(archive);
+        if (!tape.available() || record->on(archive) ||
             tape.free_bytes() < record->bytes ||
             record->bytes > batch_budget) {
           continue;
         }
         step.kind = MigrationKind::kDemote;
-        step.to = core::Location::kRemoteTape;
+        step.to = archive;
         step.drop_source = true;
         MSRA_ASSIGN_OR_RETURN(step.cost, price_step(step));
       }
       to_free -= std::min(to_free, record->bytes);
       append(std::move(step));
+    }
+  }
+
+  // ---- rebalance pass: even out skewed remote-disk servers ---------------
+  // Clusters only, opt-in: when the fullest remote-disk server and the
+  // emptiest differ by more than rebalance_gap of capacity, the coldest
+  // residents of the full one move over (a move, not a copy — the point is
+  // to free the pressured server). Priced with the same shared Predictor as
+  // every other step, so a rebalance bills exactly read@from + write@to.
+  if (config_.rebalance && system_.cluster_size() > 1) {
+    int fullest = -1, emptiest = -1;
+    double fullest_frac = 0.0, emptiest_frac = 1.0;
+    for (int server = 0; server < system_.cluster_size(); ++server) {
+      runtime::StorageEndpoint& endpoint =
+          system_.endpoint({core::Location::kRemoteDisk, server});
+      if (!endpoint.available() || endpoint.capacity() == 0) continue;
+      const double frac = static_cast<double>(endpoint.used()) /
+                          static_cast<double>(endpoint.capacity());
+      if (fullest < 0 || frac > fullest_frac) {
+        fullest = server;
+        fullest_frac = frac;
+      }
+      if (emptiest < 0 || frac < emptiest_frac) {
+        emptiest = server;
+        emptiest_frac = frac;
+      }
+    }
+    if (fullest >= 0 && emptiest >= 0 && fullest != emptiest &&
+        fullest_frac - emptiest_frac > config_.rebalance_gap) {
+      const core::ReplicaAddress src{core::Location::kRemoteDisk, fullest};
+      const core::ReplicaAddress dst{core::Location::kRemoteDisk, emptiest};
+      runtime::StorageEndpoint& src_ep = system_.endpoint(src);
+      runtime::StorageEndpoint& dst_ep = system_.endpoint(dst);
+      // Move cold residents until the two servers meet in the middle.
+      const double mid = (fullest_frac + emptiest_frac) / 2.0;
+      std::uint64_t to_move =
+          src_ep.used() - static_cast<std::uint64_t>(
+                              mid * static_cast<double>(src_ep.capacity()));
+      std::vector<const core::InstanceRecord*> residents;
+      for (const auto& record : all) {
+        if (record.on(src) && !record.on(dst)) residents.push_back(&record);
+      }
+      std::stable_sort(residents.begin(), residents.end(),
+                       [&](const core::InstanceRecord* a,
+                           const core::InstanceRecord* b) {
+                         const DatasetHeat ha = tracker.heat(a->dataset_key);
+                         const DatasetHeat hb = tracker.heat(b->dataset_key);
+                         if (ha.decayed_reads != hb.decayed_reads) {
+                           return ha.decayed_reads < hb.decayed_reads;
+                         }
+                         if (a->bytes != b->bytes) return a->bytes > b->bytes;
+                         if (a->dataset_key != b->dataset_key) {
+                           return a->dataset_key < b->dataset_key;
+                         }
+                         return a->timestep < b->timestep;
+                       });
+      for (const core::InstanceRecord* record : residents) {
+        if (to_move == 0 || record->bytes > batch_budget) break;
+        const std::uint64_t reserve = reserved[reserved_key(dst)];
+        if (dst_ep.free_bytes() < reserve + record->bytes) break;
+        const auto [app, name] =
+            core::MetaCatalog::split_key(record->dataset_key);
+        MigrationStep step;
+        step.kind = MigrationKind::kRebalance;
+        step.app = app;
+        step.name = name;
+        step.timestep = record->timestep;
+        step.from = src;
+        step.to = dst;
+        step.path = record->path;
+        step.bytes = record->bytes;
+        step.drop_source = true;
+        MSRA_ASSIGN_OR_RETURN(step.cost, price_step(step));
+        reserved[reserved_key(dst)] += record->bytes;
+        to_move -= std::min(to_move, record->bytes);
+        append(std::move(step));
+      }
     }
   }
 
@@ -200,24 +295,26 @@ StatusOr<MigrationPlan> MigrationPlanner::plan() {
         static_cast<double>(instance_count[record.dataset_key]);
     auto current = cheapest_live_read(record);
     if (!current.ok()) continue;  // nothing live: failover's problem, not ours
-    const auto [current_location, current_seconds] = *current;
+    const auto [current_address, current_seconds] = *current;
 
     // Fastest-first destinations, from the same ordered-candidates helper
-    // the placement policy and the advisor use.
+    // the placement policy and the advisor use; in a cluster each remote
+    // class expands to every server (the source's server first).
     Candidate best;
     bool found = false;
-    for (core::Location destination :
-         core::ordered_candidates(core::Location::kLocalDisk)) {
+    for (core::ReplicaAddress destination : core::ordered_candidate_addresses(
+             {core::Location::kLocalDisk, current_address.server},
+             system_.cluster_size())) {
       if (record.on(destination)) continue;
       runtime::StorageEndpoint& endpoint = system_.endpoint(destination);
       if (!endpoint.available()) continue;
-      const std::uint64_t reserve = reserved[destination];
+      const std::uint64_t reserve = reserved[reserved_key(destination)];
       if (endpoint.free_bytes() < reserve + record.bytes) continue;
       MSRA_ASSIGN_OR_RETURN(
           double dest_read,
           predictor_.price(
               runtime::PlanBuilder::object_read(record.path, record.bytes),
-              destination));
+              destination.location));
       if (dest_read >= current_seconds) continue;  // not faster than today
 
       const auto [app, name] = core::MetaCatalog::split_key(record.dataset_key);
@@ -226,7 +323,7 @@ StatusOr<MigrationPlan> MigrationPlanner::plan() {
       step.app = app;
       step.name = name;
       step.timestep = record.timestep;
-      step.from = current_location;  // read the copy from the cheapest replica
+      step.from = current_address;  // read the copy from the cheapest replica
       step.to = destination;
       step.path = record.path;
       step.bytes = record.bytes;
@@ -254,7 +351,7 @@ StatusOr<MigrationPlan> MigrationPlanner::plan() {
                    });
   for (auto& candidate : promotions) {
     if (candidate.step.bytes > batch_budget) continue;
-    reserved[candidate.step.to] += candidate.step.bytes;
+    reserved[reserved_key(candidate.step.to)] += candidate.step.bytes;
     append(std::move(candidate.step));
   }
   return out;

@@ -30,21 +30,25 @@
 namespace msra::migrate {
 
 enum class MigrationKind {
-  kPromote,  ///< copy to faster media, keep the source replica (archive)
-  kDemote,   ///< copy to tape, then drop the pressured source replica
-  kEvict,    ///< drop the pressured replica (another live replica exists)
+  kPromote,    ///< copy to faster media, keep the source replica (archive)
+  kDemote,     ///< copy to tape, then drop the pressured source replica
+  kEvict,      ///< drop the pressured replica (another live replica exists)
+  kRebalance,  ///< move between servers of the same class (cluster skew)
 };
 
 std::string_view migration_kind_name(MigrationKind kind);
 
-/// One planned replica movement.
+/// One planned replica movement. Source and destination are
+/// server-qualified: a demotion lands on the tape of the SAME server as the
+/// pressured disk (server-side copy), and rebalance steps move data between
+/// servers of the same storage class.
 struct MigrationStep {
   MigrationKind kind = MigrationKind::kPromote;
   std::string app;
   std::string name;
   int timestep = 0;
-  core::Location from = core::Location::kRemoteTape;  ///< source replica
-  core::Location to = core::Location::kRemoteTape;    ///< copy destination (== from for evictions)
+  core::ReplicaAddress from = core::Location::kRemoteTape;  ///< source replica
+  core::ReplicaAddress to = core::Location::kRemoteTape;    ///< copy destination (== from for evictions)
   std::string path;
   std::uint64_t bytes = 0;
   bool drop_source = false;
@@ -80,6 +84,12 @@ struct MigrationConfig {
   double pressure_watermark = 0.90;
   /// Demote/evict until usage drops back under this fraction.
   double target_watermark = 0.75;
+  /// Cross-server rebalancing pass (clusters only): move the coldest
+  /// remote-disk residents from the fullest server to the emptiest one
+  /// whenever their usage fractions differ by more than `rebalance_gap`.
+  /// Off by default — single-server systems have nowhere to rebalance to.
+  bool rebalance = false;
+  double rebalance_gap = 0.25;
   /// Engine worker threads.
   int workers = 2;
 };
@@ -93,9 +103,10 @@ class MigrationPlanner {
                    const predict::Predictor& predictor, MigrationConfig config);
 
   /// One planning round over the whole catalog: demotions/evictions for
-  /// every resource over its pressure watermark, then promotions of hot
-  /// instances stuck on slower media, ranked by net saving and capped by
-  /// `max_batch_bytes`.
+  /// every (resource, server) over its pressure watermark, then a
+  /// cross-server rebalancing pass (when enabled and the cluster has more
+  /// than one server), then promotions of hot instances stuck on slower
+  /// media, ranked by net saving and capped by `max_batch_bytes`.
   StatusOr<MigrationPlan> plan();
 
   /// Prices one step exactly as the engine will bill it: the sum of the
@@ -109,8 +120,8 @@ class MigrationPlanner {
  private:
   /// Cheapest predicted whole-object read among the instance's live
   /// replicas (the session's replica choice under a predictor): the chosen
-  /// location and its priced read time.
-  StatusOr<std::pair<core::Location, double>> cheapest_live_read(
+  /// address and its priced read time.
+  StatusOr<std::pair<core::ReplicaAddress, double>> cheapest_live_read(
       const core::InstanceRecord& record) const;
 
   core::StorageSystem& system_;

@@ -9,20 +9,24 @@ namespace msra::runtime {
 
 std::unique_ptr<StorageEndpoint> make_endpoint(core::StorageSystem& system,
                                                core::Location location,
-                                               bool instrumented) {
+                                               int server, bool instrumented) {
   std::unique_ptr<StorageEndpoint> endpoint;
   switch (location) {
     case core::Location::kLocalDisk:
       endpoint = std::make_unique<LocalEndpoint>(&system.local_resource());
       break;
-    case core::Location::kRemoteDisk:
+    case core::Location::kRemoteDisk: {
+      core::ServerSite& site = system.site(server);
       endpoint = std::make_unique<RemoteEndpoint>(
-          &system.server(), &system.wan_disk_link(), "remotedisk");
+          &site.server(), &site.disk_link(), site.disk_resource().name());
       break;
-    case core::Location::kRemoteTape:
+    }
+    case core::Location::kRemoteTape: {
+      core::ServerSite& site = system.site(server);
       endpoint = std::make_unique<RemoteEndpoint>(
-          &system.server(), &system.wan_tape_link(), "remotetape");
+          &site.server(), &site.tape_link(), site.tape_resource().name());
       break;
+    }
     case core::Location::kAuto:
     case core::Location::kDisable:
       assert(false && "make_endpoint requires a concrete location");

@@ -18,11 +18,14 @@ enum class Location;
 namespace msra::runtime {
 
 /// Builds a fresh endpoint for `location` over `system`'s resources and
-/// links. Requires a concrete location (not kAuto/kDisable). With
-/// `instrumented` (the default) the endpoint is wrapped to record into
-/// `system.metrics()`; pass false for a bare, telemetry-free endpoint.
+/// links, reaching the SRB site at index `server` for the remote classes
+/// (kLocalDisk is client-side; its server index is ignored). Requires a
+/// concrete location (not kAuto/kDisable). With `instrumented` (the
+/// default) the endpoint is wrapped to record into `system.metrics()`;
+/// pass false for a bare, telemetry-free endpoint.
 std::unique_ptr<StorageEndpoint> make_endpoint(core::StorageSystem& system,
                                                core::Location location,
+                                               int server = 0,
                                                bool instrumented = true);
 
 }  // namespace msra::runtime

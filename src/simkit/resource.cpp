@@ -124,6 +124,15 @@ double Resource::utilization() const {
   return served / (horizon * static_cast<double>(servers_.size()));
 }
 
+SimTime Resource::next_free() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SimTime earliest = server_stats_.empty() ? 0.0 : server_stats_[0].horizon;
+  for (const ServerStats& stats : server_stats_) {
+    earliest = std::min(earliest, stats.horizon);
+  }
+  return earliest;
+}
+
 void Resource::set_wait_observer(std::function<void(SimTime)> observer) {
   std::lock_guard<std::mutex> lock(mutex_);
   wait_observer_ = std::move(observer);

@@ -68,6 +68,13 @@ class Resource {
   /// sum(served) / (capacity * max horizon). 0 when nothing was booked.
   double utilization() const;
 
+  /// Earliest virtual time at which some server runs out of booked work
+  /// (min over the servers' horizons; gap-filling may admit work even
+  /// earlier). The live backlog signal: a request arriving "now" waits at
+  /// most until next_free() for a server to drain. 0 when nothing was
+  /// booked.
+  SimTime next_free() const;
+
   /// Installs a callback invoked (outside the internal lock) with the
   /// queueing delay of every granted reservation with service > 0. Used by
   /// the observability layer to export `io.<resource>.queue_wait`

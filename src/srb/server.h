@@ -6,6 +6,7 @@
 // time on its own simkit resource so concurrent clients queue realistically.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -50,9 +51,11 @@ class SrbServer {
   simkit::Resource& cpu() { return cpu_; }
   const simkit::Resource& cpu() const { return cpu_; }
 
-  /// Whole-server fault injection (e.g. site maintenance).
-  void set_down(bool down) { down_ = down; }
-  bool down() const { return down_; }
+  /// Whole-server fault injection (e.g. site maintenance). Atomic so an
+  /// operator thread can take a site down while client sessions are
+  /// mid-run — readers observe it on their next availability check.
+  void set_down(bool down) { down_.store(down, std::memory_order_relaxed); }
+  bool down() const { return down_.load(std::memory_order_relaxed); }
 
   /// Copies an object between two hosted resources (server-side replication,
   /// in the spirit of SRB's replica management). Charges read+write costs to
@@ -67,7 +70,7 @@ class SrbServer {
   ServerConfig config_;
   simkit::Resource cpu_;
   std::map<std::string, ServerResource*> resources_;
-  bool down_ = false;
+  std::atomic<bool> down_{false};
 };
 
 /// Serialization helpers shared by client and server.

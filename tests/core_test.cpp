@@ -537,7 +537,7 @@ TEST_F(ReplicationTest, ServerSideReplicaSkipsTheWan) {
   // the structural property: no bulk bytes crossed the link during the
   // replicate (link busy time ~ request/response headers only).
   EXPECT_GT(server_side, 0.0);
-  auto locations = handle->replica_locations(0);
+  auto locations = handle->replica_addresses(0);
   EXPECT_EQ(locations.size(), 2u);
   // Reads now prefer the faster replica.
   system_.reset_time();

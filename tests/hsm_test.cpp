@@ -219,9 +219,9 @@ TEST(HsmSystemTest, HierarchyAcceleratesArchivalWrites) {
       // Data is still readable, and migration drains it to physical tape.
       simkit::Timeline tl;
       EXPECT_TRUE((*handle)->read_whole(2, {.timeline = &tl}).ok());
-      ASSERT_NE(system.hsm(), nullptr);
-      ASSERT_TRUE(system.hsm()->migrate_all(tl).ok());
-      EXPECT_EQ(system.tape_library().used_bytes(),
+      ASSERT_NE(system.site(0).hsm(), nullptr);
+      ASSERT_TRUE(system.site(0).hsm()->migrate_all(tl).ok());
+      EXPECT_EQ(system.site(0).tape_library().used_bytes(),
                 3 * desc.global_bytes());
     }
   }

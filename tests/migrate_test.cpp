@@ -178,11 +178,11 @@ TEST_F(MigrateTest, EngineCostEqualsPredictorPriceExactly) {
   ASSERT_TRUE(report.ok());
 
   auto read_price = predictor_.price(
-      runtime::PlanBuilder::object_read(step.path, step.bytes), step.from);
+      runtime::PlanBuilder::object_read(step.path, step.bytes), step.from.location);
   auto write_price = predictor_.price(
       runtime::PlanBuilder::object_write(step.path, step.bytes,
                                          srb::OpenMode::kOverwrite),
-      step.to);
+      step.to.location);
   ASSERT_TRUE(read_price.ok());
   ASSERT_TRUE(write_price.ok());
   EXPECT_EQ(report.outcomes.front().priced_cost, *read_price + *write_price);
@@ -231,7 +231,7 @@ TEST_F(MigrateTest, PressureDemotesColdestToTape) {
   EXPECT_EQ(report.dropped_replicas, 1u);
   auto record = session.catalog().instance("astro", "cold", 0);
   ASSERT_TRUE(record.ok());
-  EXPECT_EQ(record->replicas, std::vector<Location>{Location::kRemoteTape});
+  EXPECT_EQ(record->replicas, std::vector<core::ReplicaAddress>{Location::kRemoteTape});
   // The demoted payload is gone from disk but still readable from tape.
   simkit::Timeline tl2;
   EXPECT_FALSE(local.size(tl2, record->path).ok());
@@ -371,7 +371,7 @@ TEST_F(MigrateTest, ReaderSurvivesConcurrentDemotion) {
   EXPECT_EQ(seen, std::vector<std::byte>(bytes, std::byte{0x2a}));
   auto after = session.catalog().instance("astro", "racy", 0);
   ASSERT_TRUE(after.ok());
-  EXPECT_EQ(after->replicas, std::vector<Location>{Location::kRemoteTape});
+  EXPECT_EQ(after->replicas, std::vector<core::ReplicaAddress>{Location::kRemoteTape});
 
   // Closing the last handle completes the deferred unlink.
   ASSERT_TRUE(reader->finish().ok());
@@ -468,7 +468,7 @@ TEST_F(CatalogFormatTest, MultiReplicaRecordsRoundTrip) {
   MetaCatalog catalog(&system.metadb());
   auto record = catalog.instance("app", "ds", 3);
   ASSERT_TRUE(record.ok());
-  const std::vector<Location> expected = {
+  const std::vector<core::ReplicaAddress> expected = {
       Location::kRemoteTape, Location::kLocalDisk, Location::kRemoteDisk};
   EXPECT_EQ(record->replicas, expected) << "replica order must persist";
   EXPECT_EQ(record->primary(), Location::kRemoteTape);
@@ -512,15 +512,15 @@ TEST_F(CatalogFormatTest, OldFormatCatalogLoads) {
 
   auto merged = catalog.instance("app", "ds", 0);
   ASSERT_TRUE(merged.ok());
-  const std::vector<Location> expected = {Location::kRemoteTape,
-                                          Location::kLocalDisk};
+  const std::vector<core::ReplicaAddress> expected = {Location::kRemoteTape,
+                                                      Location::kLocalDisk};
   EXPECT_EQ(merged->replicas, expected)
       << "v1 rows of one timestep must merge into one replica set";
   EXPECT_EQ(merged->primary(), Location::kRemoteTape);
 
   auto other = catalog.instance("app", "other", 7);
   ASSERT_TRUE(other.ok());
-  EXPECT_EQ(other->replicas, std::vector<Location>{Location::kRemoteDisk});
+  EXPECT_EQ(other->replicas, std::vector<core::ReplicaAddress>{Location::kRemoteDisk});
   EXPECT_EQ(other->bytes, 2048u);
   EXPECT_EQ(catalog.all_instances().size(), 2u);
 }

@@ -387,7 +387,7 @@ TEST_F(MultiTenantTest, SrbPoolSurvivesConnectDrainRaces) {
   // Sessions keep connections pooled between file sessions; an idle-pool
   // reaper calls drain() concurrently. The pool must never lose a wire
   // teardown or hand out a "connected" client with no physical connection.
-  srb::SrbClient client(&system_.server(), &system_.wan_disk_link());
+  srb::SrbClient client(&system_.site(0).server(), &system_.site(0).disk_link());
   constexpr int kThreads = 6;
   constexpr int kCycles = 20;
   std::vector<std::thread> threads;

@@ -131,7 +131,7 @@ TEST_F(PersistenceTest, TapeReingestsExistingBitfiles) {
     ASSERT_TRUE(file->finish().ok());
   }
   StorageSystem system(HardwareProfile::test_profile(), root_);
-  EXPECT_EQ(system.tape_library().used_bytes(), 5000u);
+  EXPECT_EQ(system.site(0).tape_library().used_bytes(), 5000u);
   simkit::Timeline tl;
   auto& tape = system.endpoint(Location::kRemoteTape);
   auto file =
@@ -142,7 +142,7 @@ TEST_F(PersistenceTest, TapeReingestsExistingBitfiles) {
   EXPECT_EQ(out[0], std::byte{0x7E});
   // The re-ingested bitfile still obeys tape semantics: append continues at
   // its tail.
-  EXPECT_EQ(system.tape_library().size("archive/a").value(), 5000u);
+  EXPECT_EQ(system.site(0).tape_library().size("archive/a").value(), 5000u);
 }
 
 TEST_F(PersistenceTest, HermeticSystemsIgnoreSaveMetadata) {

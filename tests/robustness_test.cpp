@@ -73,14 +73,14 @@ TEST(ServerFuzzTest, RandomRequestsAreRejectedNotFatal) {
     std::vector<std::byte> request(rng.next_below(48));
     for (auto& b : request) b = static_cast<std::byte>(rng.next_u64() & 0xff);
     simkit::SimTime completion = 0.0;
-    auto response = system.server().dispatch(request, 0.0, &completion);
+    auto response = system.site(0).server().dispatch(request, 0.0, &completion);
     net::WireReader reader(response);
     // Every response starts with a parseable status.
     auto status = srb::proto::get_status(reader);
     (void)status;
   }
   // The server still works after the bombardment.
-  srb::SrbClient client(&system.server(), &system.wan_disk_link());
+  srb::SrbClient client(&system.site(0).server(), &system.site(0).disk_link());
   Timeline tl;
   ASSERT_TRUE(client.connect(tl).ok());
   EXPECT_TRUE(client.obj_open(tl, "remotedisk", "ok", srb::OpenMode::kCreate).ok());

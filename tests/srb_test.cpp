@@ -25,8 +25,8 @@ class SrbTest : public ::testing::Test {
   SrbTest() : system_(HardwareProfile::test_profile()) {}
 
   SrbClient make_client(bool tape = false) {
-    return SrbClient(&system_.server(),
-                     tape ? &system_.wan_tape_link() : &system_.wan_disk_link());
+    return SrbClient(&system_.site(0).server(),
+                     tape ? &system_.site(0).tape_link() : &system_.site(0).disk_link());
   }
 
   StorageSystem system_;
@@ -162,12 +162,12 @@ TEST_F(SrbTest, ServerDownFailsEverything) {
   SrbClient client = make_client();
   Timeline tl;
   ASSERT_TRUE(client.connect(tl).ok());
-  system_.server().set_down(true);
+  system_.site(0).server().set_down(true);
   EXPECT_EQ(client.obj_open(tl, "remotedisk", "x", OpenMode::kCreate)
                 .status()
                 .code(),
             ErrorCode::kUnavailable);
-  system_.server().set_down(false);
+  system_.site(0).server().set_down(false);
   EXPECT_TRUE(client.obj_open(tl, "remotedisk", "x", OpenMode::kCreate).ok());
 }
 
@@ -226,7 +226,7 @@ TEST_F(SrbTest, CapacityExceededOnSmallDisk) {
 TEST_F(SrbTest, MalformedRequestIsRejectedNotFatal) {
   std::vector<std::byte> garbage = make_bytes(10, 0xEE);
   simkit::SimTime completion = 0.0;
-  auto response = system_.server().dispatch(garbage, 0.0, &completion);
+  auto response = system_.site(0).server().dispatch(garbage, 0.0, &completion);
   net::WireReader r(response);
   EXPECT_FALSE(proto::get_status(r).ok());
 }

@@ -26,6 +26,7 @@
 #include "argparse.h"
 #include "cache/cache.h"
 #include "common/bytes.h"
+#include "core/balancer.h"
 #include "migrate/engine.h"
 #include "obs/report.h"
 #include "predict/advisor.h"
@@ -36,7 +37,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: msractl <command> [--root DIR] [options]\n"
+               "usage: msractl <command> [--root DIR] [--servers N]\n"
+               "       [--balancer balanced|round-robin|static] [options]\n"
                "commands:\n"
                "  ptool     populate the I/O performance database\n"
                "            (--contended adds the 2/4/8-client curves;\n"
@@ -56,7 +58,10 @@ int usage() {
                "  histogram value histogram of a float dataset timestep\n"
                "  catalog   list registered datasets and dumped instances\n"
                "  resources per-resource capacity, usage, state and replica\n"
-               "            counts (--json)\n"
+               "            counts, one row per (class, server) (--json)\n"
+               "  cluster   per-server site state (capacity, load, queue\n"
+               "            wait) plus the balancer's quote table\n"
+               "            (--size-mb N, --json)\n"
                "  migrate   predictor-priced migration engine:\n"
                "            migrate plan|run|watch [--hot name[=reads]]\n"
                "            [--throttle-mb N] [--batch-mb N] [--rounds N]\n"
@@ -145,7 +150,18 @@ struct Env {
       profile.tape_cache_bytes = static_cast<std::uint64_t>(cache_mb) << 20;
       profile.tape_cache.cache_disk = profile.remote_disk;
     }
+    // --servers N scales the SRB cluster out to N server sites (each with
+    // its own remote disk/tape resources and WAN links).
+    const std::int64_t servers = args.get_int("servers", 1);
+    if (servers > 1) profile.cluster.servers = static_cast<int>(servers);
     system = std::make_unique<core::StorageSystem>(profile, args.get("root"));
+    // --balancer balanced|round-robin|static picks the replica/server
+    // routing policy for every read this invocation performs.
+    if (args.has("balancer")) {
+      system->balancer().set_policy(
+          die_on_error(core::parse_balancer_policy(args.get("balancer")),
+                       "bad --balancer"));
+    }
     perfdb = std::make_unique<predict::PerfDb>(&system->metadb());
   }
   ~Env() {
@@ -491,17 +507,19 @@ int cmd_replicate(const Args& args) {
   core::Session session(*env.system, {.application = "msractl-replicate"});
   auto handle = die_on_error(
       session.open_existing(args.get("dataset", "temp")), "open dataset");
+  // --to accepts server-qualified addresses ("REMOTEDISK@1"); a bare
+  // location name is server 0.
   const auto destination = die_on_error(
-      core::parse_location(args.get("to", "LOCALDISK")), "bad --to");
+      core::parse_address(args.get("to", "LOCALDISK")), "bad --to");
   simkit::Timeline tl;
   const int timestep = static_cast<int>(args.get_int("timestep", 0));
   die_on_error(handle->replicate_timestep(timestep, destination, {.timeline = &tl}),
                "replicate");
   std::printf("replicated %s t%d to %s in %.2f simulated s; replicas now:",
               handle->desc().name.c_str(), timestep,
-              core::location_name(destination).data(), tl.now());
-  for (core::Location location : handle->replica_locations(timestep)) {
-    std::printf(" %s", core::location_name(location).data());
+              core::address_name(destination).c_str(), tl.now());
+  for (core::ReplicaAddress address : handle->replica_addresses(timestep)) {
+    std::printf(" %s", core::address_name(address).c_str());
   }
   std::printf("\n");
   return 0;
@@ -562,34 +580,56 @@ int cmd_catalog(const Args& args) {
   return 0;
 }
 
+// Every (class, server) pair of the cluster, in static (failover) order:
+// local disk has exactly one instance; remote classes one per server site.
+std::vector<core::ReplicaAddress> cluster_addresses(
+    const core::StorageSystem& system) {
+  std::vector<core::ReplicaAddress> addresses;
+  for (core::Location location : core::kConcreteLocations) {
+    const int servers =
+        location == core::Location::kLocalDisk ? 1 : system.cluster_size();
+    for (int server = 0; server < servers; ++server) {
+      addresses.push_back({location, server});
+    }
+  }
+  return addresses;
+}
+
 // Per-resource capacity, usage, availability and replica census — the
-// operator's view the planner prices against.
+// operator's view the planner prices against. One row per (class, server);
+// a single-server cluster prints exactly the classic three rows.
 int cmd_resources(const Args& args) {
   Env env(args);
   core::StorageSystem& system = *env.system;
   core::MetaCatalog catalog(&system.metadb());
 
-  std::map<core::Location, std::uint64_t> replica_count;
+  std::map<std::pair<int, int>, std::uint64_t> replica_count;
   for (const auto& record : catalog.all_instances()) {
-    for (core::Location location : record.replicas) ++replica_count[location];
+    for (core::ReplicaAddress address : record.replicas) {
+      ++replica_count[{static_cast<int>(address.location), address.server}];
+    }
   }
+  const auto replicas_on = [&replica_count](core::ReplicaAddress address) {
+    return replica_count[{static_cast<int>(address.location), address.server}];
+  };
 
   if (args.has("json")) {
     std::string json = "{\"resources\":[";
     char buf[256];
     bool first = true;
-    for (core::Location location : core::kConcreteLocations) {
-      runtime::StorageEndpoint& endpoint = system.endpoint(location);
+    for (core::ReplicaAddress address : cluster_addresses(system)) {
+      runtime::StorageEndpoint& endpoint = system.endpoint(address);
       const bool bounded = endpoint.capacity() != UINT64_MAX;
       std::snprintf(buf, sizeof(buf),
-                    "%s{\"name\":\"%s\",\"up\":%s,\"capacity\":%lld,"
+                    "%s{\"name\":\"%s\",\"server\":%d,\"up\":%s,"
+                    "\"capacity\":%lld,"
                     "\"used\":%llu,\"free\":%lld,\"replicas\":%llu}",
-                    first ? "" : ",", core::location_name(location).data(),
-                    endpoint.available() ? "true" : "false",
+                    first ? "" : ",", core::address_name(address).c_str(),
+                    address.server, endpoint.available() ? "true" : "false",
                     bounded ? static_cast<long long>(endpoint.capacity()) : -1,
                     static_cast<unsigned long long>(endpoint.used()),
                     bounded ? static_cast<long long>(endpoint.free_bytes()) : -1,
-                    static_cast<unsigned long long>(replica_count[location]));
+                    static_cast<unsigned long long>(replicas_on(address)));
       json += buf;
       first = false;
     }
@@ -598,18 +638,155 @@ int cmd_resources(const Args& args) {
     return 0;
   }
 
-  std::printf("%-12s %-6s %12s %12s %12s %9s\n", "RESOURCE", "STATE",
+  std::printf("%-14s %-6s %12s %12s %12s %9s\n", "RESOURCE", "STATE",
               "CAPACITY", "USED", "FREE", "REPLICAS");
-  for (core::Location location : core::kConcreteLocations) {
-    runtime::StorageEndpoint& endpoint = system.endpoint(location);
+  for (core::ReplicaAddress address : cluster_addresses(system)) {
+    runtime::StorageEndpoint& endpoint = system.endpoint(address);
     const bool bounded = endpoint.capacity() != UINT64_MAX;
-    std::printf("%-12s %-6s %12s %12s %12s %9llu\n",
-                core::location_name(location).data(),
+    std::printf("%-14s %-6s %12s %12s %12s %9llu\n",
+                core::address_name(address).c_str(),
                 endpoint.available() ? "up" : "DOWN",
                 bounded ? format_bytes(endpoint.capacity()).c_str() : "-",
                 format_bytes(endpoint.used()).c_str(),
                 bounded ? format_bytes(endpoint.free_bytes()).c_str() : "-",
-                static_cast<unsigned long long>(replica_count[location]));
+                static_cast<unsigned long long>(replicas_on(address)));
+  }
+  return 0;
+}
+
+// Per-server cluster view plus the balancer's live quote table — what the
+// cheapest-quote policy sees when it routes a read.
+int cmd_cluster(const Args& args) {
+  Env env(args);
+  core::StorageSystem& system = *env.system;
+  predict::Predictor predictor(env.perfdb.get());
+  const std::uint64_t probe_bytes =
+      static_cast<std::uint64_t>(
+          std::max<std::int64_t>(1, args.get_int("size-mb", 16)))
+      << 20;
+
+  struct SiteRow {
+    int server = 0;
+    std::string name;
+    bool disk_up = false;
+    bool tape_up = false;
+    std::uint64_t disk_capacity = 0;
+    std::uint64_t disk_used = 0;
+    std::uint64_t tape_used = 0;
+    double utilization = 0.0;
+    std::uint64_t reservations = 0;
+    double total_wait = 0.0;
+  };
+
+  std::vector<SiteRow> sites;
+  for (int s = 0; s < system.cluster_size(); ++s) {
+    core::ServerSite& site = system.site(s);
+    SiteRow row;
+    row.server = s;
+    row.name = site.server().name();
+    const core::ReplicaAddress disk_address{core::Location::kRemoteDisk, s};
+    const core::ReplicaAddress tape_address{core::Location::kRemoteTape, s};
+    runtime::StorageEndpoint& disk = system.endpoint(disk_address);
+    runtime::StorageEndpoint& tape = system.endpoint(tape_address);
+    row.disk_up = disk.available();
+    row.tape_up = tape.available();
+    row.disk_capacity = disk.capacity();
+    row.disk_used = disk.used();
+    row.tape_used = tape.used();
+    row.utilization =
+        std::max(system.balancer().observed_utilization(disk_address),
+                 system.balancer().observed_utilization(tape_address));
+    std::vector<simkit::Resource*> devices = {
+        &site.disk_resource().arm(), &site.server().cpu(),
+        &site.disk_link().pipe(), &site.tape_link().pipe()};
+    if (site.hsm() != nullptr) devices.push_back(&site.hsm()->cache_arm());
+    for (auto& [name, resource] : site.tape_library().contended_resources()) {
+      devices.push_back(resource);
+    }
+    for (simkit::Resource* device : devices) {
+      const simkit::Resource::QueueStats q = device->queue_stats();
+      row.reservations += q.reservations;
+      row.total_wait += q.total_wait;
+    }
+    sites.push_back(std::move(row));
+  }
+  const auto mean_wait = [](const SiteRow& row) {
+    return row.reservations > 0
+               ? row.total_wait / static_cast<double>(row.reservations)
+               : 0.0;
+  };
+
+  const std::vector<core::ServerQuote> quotes =
+      system.balancer().quote_table(probe_bytes, &predictor);
+  const std::string_view policy =
+      core::balancer_policy_name(system.balancer().policy());
+
+  if (args.has("json")) {
+    std::string json = "{\"servers\":" + std::to_string(system.cluster_size()) +
+                       ",\"policy\":\"" + std::string(policy) +
+                       "\",\"sites\":[";
+    char buf[320];
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      const SiteRow& row = sites[i];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"server\":%d,\"name\":\"%s\",\"disk_up\":%s,"
+                    "\"tape_up\":%s,\"disk_capacity\":%llu,\"disk_used\":%llu,"
+                    "\"tape_used\":%llu,\"utilization\":%.6f,"
+                    "\"queue_wait\":%.9g}",
+                    i == 0 ? "" : ",", row.server, row.name.c_str(),
+                    row.disk_up ? "true" : "false",
+                    row.tape_up ? "true" : "false",
+                    static_cast<unsigned long long>(row.disk_capacity),
+                    static_cast<unsigned long long>(row.disk_used),
+                    static_cast<unsigned long long>(row.tape_used),
+                    row.utilization, mean_wait(row));
+      json += buf;
+    }
+    json += "],\"quotes\":[";
+    for (std::size_t i = 0; i < quotes.size(); ++i) {
+      const core::ServerQuote& quote = quotes[i];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"address\":\"%s\",\"up\":%s,\"utilization\":%.6f,"
+                    "\"seconds\":%.9g}",
+                    i == 0 ? "" : ",",
+                    core::address_name(quote.address).c_str(),
+                    quote.available ? "true" : "false", quote.utilization,
+                    quote.seconds);
+      json += buf;
+    }
+    json += "]}";
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+
+  std::printf("cluster: %d server site(s), balancer policy %s\n",
+              system.cluster_size(), std::string(policy).c_str());
+  std::printf("%-6s %-8s %-6s %-6s %12s %12s %12s %6s %10s\n", "SERVER",
+              "SITE", "DISK", "TAPE", "CAPACITY", "USED(DISK)", "USED(TAPE)",
+              "UTIL", "QWAIT");
+  for (const SiteRow& row : sites) {
+    std::printf("%-6d %-8s %-6s %-6s %12s %12s %12s %5.0f%% %9.3fs\n",
+                row.server, row.name.c_str(), row.disk_up ? "up" : "DOWN",
+                row.tape_up ? "up" : "DOWN",
+                format_bytes(row.disk_capacity).c_str(),
+                format_bytes(row.disk_used).c_str(),
+                format_bytes(row.tape_used).c_str(), row.utilization * 100.0,
+                mean_wait(row));
+  }
+  std::printf("\nquote table (%s object read):\n",
+              format_bytes(probe_bytes).c_str());
+  std::printf("%-14s %-6s %6s %12s\n", "ADDRESS", "STATE", "UTIL", "QUOTE");
+  for (const core::ServerQuote& quote : quotes) {
+    char priced[32];
+    if (quote.seconds >= 0.0) {
+      std::snprintf(priced, sizeof(priced), "%11.3fs", quote.seconds);
+    } else {
+      std::snprintf(priced, sizeof(priced), "%12s", "unpriced");
+    }
+    std::printf("%-14s %-6s %5.0f%% %s\n",
+                core::address_name(quote.address).c_str(),
+                quote.available ? "up" : "DOWN", quote.utilization * 100.0,
+                priced);
   }
   return 0;
 }
@@ -670,8 +847,8 @@ std::string migration_step_json(const migrate::MigrationStep& step) {
                 "\"drop_source\":%s,\"benefit\":%.9g,\"cost\":%.9g}",
                 migrate::migration_kind_name(step.kind).data(),
                 step.app.c_str(), step.name.c_str(), step.timestep,
-                core::location_name(step.from).data(),
-                core::location_name(step.to).data(),
+                core::address_name(step.from).c_str(),
+                core::address_name(step.to).c_str(),
                 static_cast<unsigned long long>(step.bytes),
                 step.drop_source ? "true" : "false", step.benefit, step.cost);
   return buf;
@@ -684,11 +861,11 @@ void print_plan(const migrate::MigrationPlan& plan) {
     char move[64];
     if (step.kind == migrate::MigrationKind::kEvict) {
       std::snprintf(move, sizeof(move), "drop @%s",
-                    core::location_name(step.from).data());
+                    core::address_name(step.from).c_str());
     } else {
       std::snprintf(move, sizeof(move), "%s -> %s",
-                    core::location_name(step.from).data(),
-                    core::location_name(step.to).data());
+                    core::address_name(step.from).c_str(),
+                    core::address_name(step.to).c_str());
     }
     std::printf("%-8s %-20s %5d %-26s %10s %9.3fs %9.3fs\n",
                 migrate::migration_kind_name(step.kind).data(),
@@ -1052,9 +1229,7 @@ int cmd_cache(const Args& args) {
       const auto [app, dataset] =
           core::MetaCatalog::split_key(record.dataset_key);
       if (dataset != name && record.dataset_key != name) continue;
-      const core::Location origin = record.replicas.empty()
-                                        ? core::Location::kRemoteTape
-                                        : record.replicas.front();
+      const core::Location origin = record.primary().location;
       const cache::AdmissionVerdict verdict = cache->judge(
           record.path, record.dataset_key, record.bytes, origin, 0.0);
       if (args.has("json")) {
@@ -1128,6 +1303,7 @@ int run_command(int argc, char** argv) {
   if (command == "histogram") return cmd_histogram(args);
   if (command == "catalog") return cmd_catalog(args);
   if (command == "resources") return cmd_resources(args);
+  if (command == "cluster") return cmd_cluster(args);
   if (command == "migrate") return cmd_migrate(args);
   if (command == "stats") return cmd_stats(args);
   if (command == "cache") return cmd_cache(args);
