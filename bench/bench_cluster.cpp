@@ -49,13 +49,9 @@ constexpr int kTimesteps = 2;
 std::string dataset_name(int d) { return "cds" + std::to_string(d); }
 
 core::DatasetDesc dataset_desc(int d) {
-  core::DatasetDesc desc;
-  desc.name = dataset_name(d);
-  desc.dims = {32, 32, 32};  // 128 KiB per timestep
-  desc.etype = core::ElementType::kFloat32;
-  desc.frequency = 1;
-  desc.location = core::Location::kRemoteDisk;
-  return desc;
+  // 128 KiB per timestep.
+  return mix_dataset(dataset_name(d), {32, 32, 32},
+                     core::Location::kRemoteDisk);
 }
 
 /// A cluster testbed + calibrated performance database.

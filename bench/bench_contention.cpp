@@ -59,12 +59,8 @@ struct Shared {
         testbed.system,
         core::SessionOptions{.application = "astro3d", .user = "producer",
                              .nprocs = 1, .iterations = kTimesteps});
-    core::DatasetDesc desc;
-    desc.name = "frame";
-    desc.dims = dims;
-    desc.etype = core::ElementType::kFloat32;
-    desc.frequency = 1;
-    desc.location = core::Location::kRemoteDisk;
+    const core::DatasetDesc desc =
+        mix_dataset("frame", dims, core::Location::kRemoteDisk);
     object_bytes = desc.global_bytes();
     core::DatasetHandle* frame = check(producer.open(desc), "open frame");
     std::vector<std::byte> block(object_bytes, std::byte{1});
@@ -170,18 +166,13 @@ MixedRow mixed_at(Shared& shared, int k) {
   for (int i = 0; i < k; ++i) {
     Tenant tenant;
     tenant.role = i % 3;
-    const std::string user =
-        (tenant.role == 0 ? "dump" : tenant.role == 1 ? "mse" : "volren") +
-        std::to_string(i);
+    const std::string user = mix_role_name(tenant.role) + std::to_string(i);
     tenant.client = std::make_unique<core::Client>(user, system,
                                                    consumer_options(user));
     if (tenant.role == 0) {
-      core::DatasetDesc desc;
-      desc.name = "dump-s" + std::to_string(k) + "-c" + std::to_string(i);
-      desc.dims = shared.dims;
-      desc.etype = core::ElementType::kFloat32;
-      desc.frequency = 1;
-      desc.location = core::Location::kRemoteDisk;
+      const core::DatasetDesc desc = mix_dataset(
+          "dump-s" + std::to_string(k) + "-c" + std::to_string(i), shared.dims,
+          core::Location::kRemoteDisk);
       tenant.handle = check(tenant.client->open(desc), "open dump");
     } else {
       tenant.handle =

@@ -38,63 +38,10 @@ namespace {
 constexpr std::array<std::uint64_t, 3> kFrameDims = {16, 16, 16};
 constexpr std::array<std::uint64_t, 3> kCkptDims = {8, 8, 8};
 
-const char* role_name(int role) {
-  switch (role) {
-    case 0: return "dump";
-    case 1: return "mse";
-    default: return "volren";
-  }
-}
-
-/// Writes the shared frame dataset (2 timesteps on the remote disks) that
-/// the reader roles consume, through the same Fleet API the tenants use.
-void write_frame(core::StorageSystem& system) {
-  core::Fleet fleet(system);
-  core::Client& producer = fleet.add_client("frame_producer");
-  core::DatasetDesc desc;
-  desc.name = "frame";
-  desc.dims = kFrameDims;
-  desc.etype = core::ElementType::kFloat32;
-  desc.location = core::Location::kRemoteDisk;
-  core::Completion* done = producer.submit(core::Workload()
-                                               .open(desc)
-                                               .dump("frame", 0)
-                                               .dump("frame", 1)
-                                               .finalize());
-  fleet.run_until_idle();
-  check(done->status(), "frame producer");
-}
-
-core::Workload workload_for(int tenant, int role) {
-  switch (role) {
-    case 0: {
-      core::DatasetDesc desc;
-      desc.name = "ckpt" + std::to_string(tenant);
-      desc.dims = kCkptDims;
-      desc.etype = core::ElementType::kFloat32;
-      desc.location = core::Location::kLocalDisk;
-      return core::Workload()
-          .tagged("dump")
-          .open(desc)
-          .dump(desc.name, 0)
-          .finalize();
-    }
-    case 1:
-      return core::Workload()
-          .tagged("mse")
-          .open_existing("frame")
-          .read_whole("frame", 0)
-          .finalize();
-    default: {
-      const prt::LocalBox plane = {
-          {{{0, kFrameDims[0]}, {0, kFrameDims[1]}, {0, 1}}}};
-      return core::Workload()
-          .tagged("volren")
-          .open_existing("frame")
-          .read_box("frame", 1, plane)
-          .finalize();
-    }
-  }
+/// The shared frame dataset (2 timesteps on the remote disks) the reader
+/// roles consume.
+core::DatasetDesc frame_desc() {
+  return mix_dataset("frame", kFrameDims, core::Location::kRemoteDisk);
 }
 
 struct ScaleResult {
@@ -112,7 +59,8 @@ ScaleResult run_scale(int tenants) {
   system.metrics().set_enabled(false);
   system.tracer().set_enabled(false);
 
-  write_frame(system);
+  const core::DatasetDesc frame = frame_desc();
+  write_mix_frame(system, frame, 2);
   system.reset_time();
 
   const auto wall_start = std::chrono::steady_clock::now();
@@ -124,7 +72,8 @@ ScaleResult run_scale(int tenants) {
   for (int i = 0; i < tenants; ++i) {
     const int role = i % 3;
     core::Client& client = fleet.add_client("tenant" + std::to_string(i));
-    completions.push_back(client.submit(workload_for(i, role)));
+    completions.push_back(client.submit(
+        mix_workload(i, role, frame, kCkptDims, core::Location::kLocalDisk)));
     roles.push_back(role);
   }
   fleet.run_until_idle();
@@ -158,7 +107,8 @@ ScaleResult run_scale(int tenants) {
     const obs::LatencySummary& s = result.roles[static_cast<std::size_t>(role)];
     std::printf("          %-6s n=%-6zu mean %10.2f  p50 %10.2f  "
                 "p90 %10.2f  p99 %10.2f  max %10.2f\n",
-                role_name(role), s.count, s.mean, s.p50, s.p90, s.p99, s.max);
+                mix_role_name(role), s.count, s.mean, s.p50, s.p90, s.p99,
+                s.max);
   }
   return result;
 }
@@ -191,7 +141,7 @@ int run(int max_tenants, const std::string& json_path) {
       std::snprintf(buf, sizeof(buf),
                     "%s\"%s\":{\"count\":%zu,\"mean\":%.6f,\"p50\":%.6f,"
                     "\"p90\":%.6f,\"p99\":%.6f,\"max\":%.6f}",
-                    role == 0 ? "" : ",", role_name(role), s.count, s.mean,
+                    role == 0 ? "" : ",", mix_role_name(role), s.count, s.mean,
                     s.p50, s.p90, s.p99, s.max);
       json += buf;
     }

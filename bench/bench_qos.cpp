@@ -1,0 +1,345 @@
+// QoS under heavy traffic: queue disciplines and predictor-quoted
+// admission on the shared testbed.
+//
+// Three phases, all deterministic simulated time (the --json summary is
+// byte-stable and guards drift, bench/baselines/BENCH_qos.json):
+//
+//   1. shares — a batch flood (whole-frame reads) and a thin interactive
+//      stream (z-plane slices) share the remote-disk path. Under FIFO the
+//      interactive reads queue behind every booked batch transfer; under
+//      WFQ (interactive weight 8, batch 2) the interactive class drains at
+//      its own rate. Gate: interactive p99 improves >= 3x with WFQ while
+//      aggregate throughput stays within 10% of FIFO (fair sharing is not
+//      allowed to cost work-conservation).
+//
+//   2. deadlines — the same mix with a relative deadline on the
+//      interactive class. EDF orders grants by absolute deadline, FIFO by
+//      arrival; both meter misses on the same counter
+//      (simkit::Resource::class_stats), so the phase reports how many
+//      deadlines each discipline blows.
+//
+//   3. admission — open-loop FIFO accepts everything: interactive reads
+//      submitted into a saturated system are admitted, wait out the booked
+//      backlog, and miss their SLO anyway. With the predictor-quoted
+//      admission gate the same submissions are rejected up front
+//      (ResourceExhausted) and the accepted ones meet the SLO. Gate: the
+//      accepted-request SLO-miss rate is zero with admission where
+//      open-loop FIFO misses.
+//
+//   --json FILE   machine-readable summary (see bench/run_all.sh)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/report.h"
+#include "qos/admission.h"
+#include "qos/policy.h"
+
+namespace msra::bench {
+namespace {
+
+constexpr std::array<std::uint64_t, 3> kFrameDims = {32, 32, 32};
+constexpr int kFrameTimesteps = 2;
+constexpr int kBatchTenants = 16;
+constexpr int kBatchRounds = 2;       ///< whole-frame reads per batch tenant
+constexpr int kInteractiveTenants = 4;
+constexpr double kDeadline = 2.0;     ///< interactive relative deadline (s)
+constexpr double kSlo = 4.0;          ///< interactive admission SLO (s)
+
+core::DatasetDesc frame_desc() {
+  return mix_dataset("frame", kFrameDims, core::Location::kRemoteDisk);
+}
+
+core::SessionOptions tenant_options(qos::TenantClass cls) {
+  core::SessionOptions options;
+  options.application = "qos";
+  options.tenant_class = cls;
+  return options;
+}
+
+/// The batch flood: whole-frame reads, every timestep, several rounds.
+core::Workload batch_workload(const core::DatasetDesc& frame) {
+  core::Workload workload;
+  workload.tagged("batch").open_existing(frame.name);
+  for (int round = 0; round < kBatchRounds; ++round) {
+    for (int t = 0; t < kFrameTimesteps; ++t) {
+      workload.read_whole(frame.name, t);
+    }
+  }
+  return workload.finalize();
+}
+
+/// The interactive stream: one z-plane slice of timestep 0.
+core::Workload interactive_workload(const core::DatasetDesc& frame) {
+  const prt::LocalBox plane = {
+      {{{0, kFrameDims[0]}, {0, kFrameDims[1]}, {0, 1}}}};
+  return core::Workload()
+      .tagged("interactive")
+      .open_existing(frame.name)
+      .read_box(frame.name, 0, plane)
+      .finalize();
+}
+
+struct PhaseResult {
+  obs::LatencySummary interactive;
+  obs::LatencySummary batch;
+  double makespan = 0.0;
+  double throughput = 0.0;  ///< frame payloads completed per virtual second
+  std::uint64_t interactive_misses = 0;
+  std::uint64_t batch_misses = 0;
+};
+
+/// One flood run under `discipline`. `deadline` > 0 arms the interactive
+/// class's relative deadline (missed-grant metering, EDF ordering).
+PhaseResult run_flood(simkit::DisciplineKind discipline, double deadline) {
+  core::StorageSystem system(core::HardwareProfile::paper_2000());
+  const core::DatasetDesc frame = frame_desc();
+  write_mix_frame(system, frame, kFrameTimesteps);
+  system.reset_time();
+
+  qos::QosConfig config;
+  config.discipline = discipline;
+  config.policy(qos::TenantClass::kInteractive).deadline = deadline;
+  check(system.enable_qos(config), "enable qos");
+
+  core::Fleet fleet(system);
+  std::vector<core::Completion*> batch_done;
+  std::vector<core::Completion*> interactive_done;
+  // Batch tenants first: their flood is booked ahead of every interactive
+  // submission, the worst case for FIFO.
+  for (int i = 0; i < kBatchTenants; ++i) {
+    core::Client& client =
+        fleet.add_client("batch" + std::to_string(i),
+                         tenant_options(qos::TenantClass::kBatch));
+    batch_done.push_back(client.submit(batch_workload(frame)));
+  }
+  for (int i = 0; i < kInteractiveTenants; ++i) {
+    core::Client& client =
+        fleet.add_client("inter" + std::to_string(i),
+                         tenant_options(qos::TenantClass::kInteractive));
+    interactive_done.push_back(client.submit(interactive_workload(frame)));
+  }
+  fleet.run_until_idle();
+
+  PhaseResult result;
+  std::vector<double> interactive_latencies, batch_latencies;
+  for (core::Completion* done : interactive_done) {
+    check(done->status(), "interactive tenant");
+    interactive_latencies.push_back(done->latency());
+    result.makespan = std::max(result.makespan, done->finished_at());
+  }
+  for (core::Completion* done : batch_done) {
+    check(done->status(), "batch tenant");
+    batch_latencies.push_back(done->latency());
+    result.makespan = std::max(result.makespan, done->finished_at());
+  }
+  result.interactive = obs::summarize_latencies(std::move(interactive_latencies));
+  result.batch = obs::summarize_latencies(std::move(batch_latencies));
+  const double requests = static_cast<double>(
+      kBatchTenants * kBatchRounds * kFrameTimesteps + kInteractiveTenants);
+  result.throughput = result.makespan > 0.0 ? requests / result.makespan : 0.0;
+  for (const obs::QosClassRow& row : system.qos_breakdown()) {
+    if (row.tenant == "interactive") result.interactive_misses = row.deadline_misses;
+    if (row.tenant == "batch") result.batch_misses = row.deadline_misses;
+  }
+  return result;
+}
+
+struct AdmissionResult {
+  int accepted = 0;
+  int rejected = 0;
+  int accepted_misses = 0;  ///< accepted interactive reads over the SLO
+  double worst_accepted = 0.0;
+};
+
+/// Interactive submissions into a saturated FIFO system, with or without
+/// the predictor-quoted admission gate. Wave 1 lands on idle devices (in
+/// quote), wave 2 behind the batch flood's booked backlog (out of quote).
+AdmissionResult run_admission(bool gate) {
+  Testbed bed;
+  check(bed.calibrate(), "ptool calibration");
+  const core::DatasetDesc frame = frame_desc();
+  write_mix_frame(bed.system, frame, kFrameTimesteps);
+  bed.system.reset_time();
+
+  qos::QosConfig config;
+  config.policy(qos::TenantClass::kInteractive).slo = kSlo;
+  config.admission = gate;
+  check(bed.system.enable_qos(config), "enable qos");
+  qos::AdmissionController controller(bed.system, &bed.predictor, config);
+
+  core::Fleet fleet(bed.system);
+  if (gate) controller.attach(fleet);
+
+  std::vector<core::Completion*> interactive_done;
+  // Wave 1: idle system — quotes are cheap, everything is admitted.
+  for (int i = 0; i < kInteractiveTenants / 2; ++i) {
+    core::Client& client =
+        fleet.add_client("early" + std::to_string(i),
+                         tenant_options(qos::TenantClass::kInteractive));
+    interactive_done.push_back(client.submit(interactive_workload(frame)));
+  }
+  fleet.run_until_idle();
+  // The flood books the shared path far past the SLO horizon.
+  for (int i = 0; i < kBatchTenants; ++i) {
+    core::Client& client =
+        fleet.add_client("batch" + std::to_string(i),
+                         tenant_options(qos::TenantClass::kBatch));
+    client.submit(batch_workload(frame));
+  }
+  fleet.run_until_idle();
+  // Wave 2: the same interactive request now quotes backlog + service.
+  for (int i = 0; i < kInteractiveTenants / 2; ++i) {
+    core::Client& client =
+        fleet.add_client("late" + std::to_string(i),
+                         tenant_options(qos::TenantClass::kInteractive));
+    interactive_done.push_back(client.submit(interactive_workload(frame)));
+  }
+  fleet.run_until_idle();
+
+  AdmissionResult result;
+  for (core::Completion* done : interactive_done) {
+    if (!done->status().ok()) {
+      ++result.rejected;
+      continue;
+    }
+    ++result.accepted;
+    if (done->latency() > kSlo) ++result.accepted_misses;
+    result.worst_accepted = std::max(result.worst_accepted, done->latency());
+  }
+  return result;
+}
+
+void phase_json(std::string& json, const char* name, const PhaseResult& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"%s\":{\"interactive\":{\"count\":%zu,\"p50\":%.6f,\"p99\":%.6f,"
+      "\"max\":%.6f,\"misses\":%llu},\"batch\":{\"count\":%zu,\"p50\":%.6f,"
+      "\"p99\":%.6f,\"max\":%.6f,\"misses\":%llu},\"makespan\":%.6f,"
+      "\"throughput\":%.6f}",
+      name, r.interactive.count, r.interactive.p50, r.interactive.p99,
+      r.interactive.max, static_cast<unsigned long long>(r.interactive_misses),
+      r.batch.count, r.batch.p50, r.batch.p99, r.batch.max,
+      static_cast<unsigned long long>(r.batch_misses), r.makespan,
+      r.throughput);
+  json += buf;
+}
+
+int run(const std::string& json_path) {
+  std::printf("==============================================================\n");
+  std::printf("QoS under heavy traffic: queue disciplines + admission gate\n");
+  std::printf("Batch flood (%d tenants x %d whole-frame reads) vs %d\n",
+              kBatchTenants, kBatchRounds * kFrameTimesteps,
+              kInteractiveTenants);
+  std::printf("interactive z-plane slices on the shared remote-disk path.\n");
+  std::printf("All times are SIMULATED seconds on the deterministic testbed.\n");
+  std::printf("==============================================================\n");
+
+  std::printf("\nphase 1 — shares (no deadlines):\n");
+  std::printf("%8s %12s %12s %12s %12s %12s\n", "grant", "int_p50[s]",
+              "int_p99[s]", "batch_p99[s]", "makespan[s]", "req/s");
+  const PhaseResult fifo = run_flood(simkit::DisciplineKind::kFifo, 0.0);
+  std::printf("%8s %12.4f %12.4f %12.4f %12.2f %12.4f\n", "fifo",
+              fifo.interactive.p50, fifo.interactive.p99, fifo.batch.p99,
+              fifo.makespan, fifo.throughput);
+  const PhaseResult wfq = run_flood(simkit::DisciplineKind::kWfq, 0.0);
+  std::printf("%8s %12.4f %12.4f %12.4f %12.2f %12.4f\n", "wfq",
+              wfq.interactive.p50, wfq.interactive.p99, wfq.batch.p99,
+              wfq.makespan, wfq.throughput);
+
+  const double speedup = wfq.interactive.p99 > 0.0
+                             ? fifo.interactive.p99 / wfq.interactive.p99
+                             : 0.0;
+  const double thr_drift =
+      fifo.throughput > 0.0
+          ? std::abs(wfq.throughput - fifo.throughput) / fifo.throughput
+          : 0.0;
+  std::printf("interactive p99 %.4f -> %.4f s (%.1fx), throughput drift "
+              "%.1f%%\n",
+              fifo.interactive.p99, wfq.interactive.p99, speedup,
+              thr_drift * 100.0);
+  if (speedup < 3.0 || thr_drift > 0.10) {
+    std::fprintf(stderr, "FATAL: WFQ gate missed (need >= 3x interactive "
+                         "p99 at <= 10%% throughput drift)\n");
+    return 1;
+  }
+
+  std::printf("\nphase 2 — deadlines (interactive %.1f s relative):\n",
+              kDeadline);
+  const PhaseResult fifo_dl = run_flood(simkit::DisciplineKind::kFifo,
+                                        kDeadline);
+  const PhaseResult edf_dl = run_flood(simkit::DisciplineKind::kEdf,
+                                       kDeadline);
+  std::printf("%8s misses %llu of %zu   (p99 %.4f s)\n", "fifo",
+              static_cast<unsigned long long>(fifo_dl.interactive_misses),
+              fifo_dl.interactive.count, fifo_dl.interactive.p99);
+  std::printf("%8s misses %llu of %zu   (p99 %.4f s)\n", "edf",
+              static_cast<unsigned long long>(edf_dl.interactive_misses),
+              edf_dl.interactive.count, edf_dl.interactive.p99);
+  if (edf_dl.interactive_misses >= fifo_dl.interactive_misses &&
+      fifo_dl.interactive_misses > 0) {
+    std::fprintf(stderr, "FATAL: EDF did not reduce deadline misses\n");
+    return 1;
+  }
+
+  std::printf("\nphase 3 — admission (interactive SLO %.1f s, FIFO "
+              "grant order):\n", kSlo);
+  const AdmissionResult open_loop = run_admission(false);
+  const AdmissionResult gated = run_admission(true);
+  std::printf("%10s accepted %d rejected %d  accepted-misses %d  "
+              "worst accepted %.2f s\n",
+              "open-loop", open_loop.accepted, open_loop.rejected,
+              open_loop.accepted_misses, open_loop.worst_accepted);
+  std::printf("%10s accepted %d rejected %d  accepted-misses %d  "
+              "worst accepted %.2f s\n",
+              "admission", gated.accepted, gated.rejected,
+              gated.accepted_misses, gated.worst_accepted);
+  if (open_loop.accepted_misses == 0) {
+    std::fprintf(stderr, "FATAL: open-loop FIFO missed no SLOs — the flood "
+                         "is not saturating the admission phase\n");
+    return 1;
+  }
+  if (gated.accepted_misses != 0 || gated.rejected == 0) {
+    std::fprintf(stderr, "FATAL: admission gate missed (want 0 accepted "
+                         "misses and > 0 rejections)\n");
+    return 1;
+  }
+
+  std::string json = "{\"bench\":\"qos\",\"batch_tenants\":" +
+                     std::to_string(kBatchTenants) +
+                     ",\"interactive_tenants\":" +
+                     std::to_string(kInteractiveTenants) + ",";
+  phase_json(json, "fifo", fifo);
+  json += ",";
+  phase_json(json, "wfq", wfq);
+  json += ",";
+  phase_json(json, "fifo_deadline", fifo_dl);
+  json += ",";
+  phase_json(json, "edf_deadline", edf_dl);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                ",\"admission\":{\"open_loop\":{\"accepted\":%d,"
+                "\"rejected\":%d,\"accepted_misses\":%d,"
+                "\"worst_accepted\":%.6f},\"gated\":{\"accepted\":%d,"
+                "\"rejected\":%d,\"accepted_misses\":%d,"
+                "\"worst_accepted\":%.6f}}}",
+                open_loop.accepted, open_loop.rejected,
+                open_loop.accepted_misses, open_loop.worst_accepted,
+                gated.accepted, gated.rejected, gated.accepted_misses,
+                gated.worst_accepted);
+  json += buf;
+  write_summary_json(json_path, json);
+  return 0;
+}
+
+}  // namespace
+}  // namespace msra::bench
+
+int main(int argc, char** argv) {
+  const std::string json_path = msra::bench::consume_json_out_flag(argc, argv);
+  (void)argc;
+  (void)argv;
+  return msra::bench::run(json_path);
+}

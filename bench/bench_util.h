@@ -10,6 +10,7 @@
 // paper's exact Table 2 parameters (128^3, 120 iterations).
 #pragma once
 
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -17,6 +18,7 @@
 
 #include "apps/astro3d/astro3d.h"
 #include "common/bytes.h"
+#include "core/fleet.h"
 #include "core/session.h"
 #include "obs/metrics.h"
 #include "predict/predictor.h"
@@ -176,6 +178,85 @@ T check(StatusOr<T> value, const char* what) {
     std::exit(1);
   }
   return std::move(value).value();
+}
+
+// ---- the dump / mse / volren tenant mix ---------------------------------
+//
+// The multi-tenant benches (fleet, contention, qos) share one workload
+// shape, modeled on the paper's tools: tenants cycle through three roles —
+// a simulation dumping checkpoints, an MSE-style analysis reading whole
+// frames, and a Volren-style visualization slicing z-planes.
+
+/// "dump" / "mse" / "volren" for mix role `role` (= tenant index % 3).
+inline const char* mix_role_name(int role) {
+  switch (role) {
+    case 0: return "dump";
+    case 1: return "mse";
+    default: return "volren";
+  }
+}
+
+/// The dataset shape every mix (and cluster) dataset uses: float32, one
+/// dump per iteration.
+inline core::DatasetDesc mix_dataset(std::string name,
+                                     std::array<std::uint64_t, 3> dims,
+                                     core::Location location) {
+  core::DatasetDesc desc;
+  desc.name = std::move(name);
+  desc.dims = dims;
+  desc.etype = core::ElementType::kFloat32;
+  desc.location = location;
+  return desc;
+}
+
+/// Writes the shared frame dataset (timesteps 0..timesteps-1) that the
+/// reader roles consume, through the same Fleet API the tenants use.
+inline void write_mix_frame(core::StorageSystem& system,
+                            const core::DatasetDesc& frame, int timesteps) {
+  core::Fleet fleet(system);
+  core::Client& producer = fleet.add_client("frame_producer");
+  core::Workload workload;
+  workload.open(frame);
+  for (int t = 0; t < timesteps; ++t) workload.dump(frame.name, t);
+  workload.finalize();
+  core::Completion* done = producer.submit(std::move(workload));
+  fleet.run_until_idle();
+  check(done->status(), "frame producer");
+}
+
+/// Tenant `tenant`'s workload for mix role `role`: dumpers write one
+/// timestep of a private `ckpt<tenant>` dataset, mse reads the whole frame
+/// (timestep 0), volren reads one z-plane of the frame (timestep 1).
+inline core::Workload mix_workload(int tenant, int role,
+                                   const core::DatasetDesc& frame,
+                                   std::array<std::uint64_t, 3> ckpt_dims,
+                                   core::Location ckpt_location) {
+  switch (role) {
+    case 0: {
+      core::DatasetDesc desc = mix_dataset("ckpt" + std::to_string(tenant),
+                                           ckpt_dims, ckpt_location);
+      return core::Workload()
+          .tagged("dump")
+          .open(desc)
+          .dump(desc.name, 0)
+          .finalize();
+    }
+    case 1:
+      return core::Workload()
+          .tagged("mse")
+          .open_existing(frame.name)
+          .read_whole(frame.name, 0)
+          .finalize();
+    default: {
+      const prt::LocalBox plane = {
+          {{{0, frame.dims[0]}, {0, frame.dims[1]}, {0, 1}}}};
+      return core::Workload()
+          .tagged("volren")
+          .open_existing(frame.name)
+          .read_box(frame.name, 1, plane)
+          .finalize();
+    }
+  }
 }
 
 }  // namespace msra::bench

@@ -35,6 +35,7 @@ run bench_contention      contention
 run bench_fleet           fleet
 run bench_cache           cache
 run bench_cluster         cluster
+run bench_qos             qos
 
 echo "Summaries:"
 ls -l "${OUT_DIR}"/BENCH_*.json
@@ -47,7 +48,7 @@ ls -l "${OUT_DIR}"/BENCH_*.json
 if [[ "${MSRA_FULL_SCALE:-0}" != "1" ]]; then
   BASELINE_DIR="$(dirname "$0")/baselines"
   drift=0
-  for fig in fig6 fig7 fig8 fig9 migration contention fleet cache cluster; do
+  for fig in fig6 fig7 fig8 fig9 migration contention fleet cache cluster qos; do
     if ! diff -u "${BASELINE_DIR}/BENCH_${fig}.json" \
                  "${OUT_DIR}/BENCH_${fig}.json"; then
       echo "PARITY DRIFT: ${fig} differs from ${BASELINE_DIR}" >&2

@@ -45,6 +45,9 @@ class [[nodiscard]] Status {
   static Status InvalidArgument(std::string m) { return {ErrorCode::kInvalidArgument, std::move(m)}; }
   static Status OutOfRange(std::string m) { return {ErrorCode::kOutOfRange, std::move(m)}; }
   static Status CapacityExceeded(std::string m) { return {ErrorCode::kCapacityExceeded, std::move(m)}; }
+  /// Admission-control vocabulary: the live load leaves no headroom for
+  /// the request within its SLO (same category as CapacityExceeded).
+  static Status ResourceExhausted(std::string m) { return {ErrorCode::kCapacityExceeded, std::move(m)}; }
   static Status Unavailable(std::string m) { return {ErrorCode::kUnavailable, std::move(m)}; }
   static Status PermissionDenied(std::string m) { return {ErrorCode::kPermissionDenied, std::move(m)}; }
   static Status Internal(std::string m) { return {ErrorCode::kInternal, std::move(m)}; }

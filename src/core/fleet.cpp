@@ -45,6 +45,11 @@ Workload& Workload::tagged(std::string tag) {
   return *this;
 }
 
+Workload& Workload::classed(qos::TenantClass cls) {
+  class_ = cls;
+  return *this;
+}
+
 Workload& Workload::then(std::string label,
                          std::function<Status(TenantContext&)> fn) {
   Step step;
@@ -76,6 +81,8 @@ Workload& Workload::finalize() {
 }
 
 Workload& Workload::dump(std::string dataset, int timestep) {
+  intents_.push_back(
+      IoIntent{IoIntent::Kind::kWrite, dataset, timestep});
   Step step;
   step.label = "dump " + dataset + "/t" + std::to_string(timestep);
   step.lower = [dataset, timestep](TenantContext& ctx,
@@ -99,6 +106,7 @@ Workload& Workload::dump(std::string dataset, int timestep) {
 }
 
 Workload& Workload::read_whole(std::string dataset, int timestep) {
+  intents_.push_back(IoIntent{IoIntent::Kind::kRead, dataset, timestep});
   Step step;
   step.label = "read_whole " + dataset + "/t" + std::to_string(timestep);
   step.lower = [dataset, timestep](TenantContext& ctx,
@@ -115,6 +123,7 @@ Workload& Workload::read_whole(std::string dataset, int timestep) {
 
 Workload& Workload::read_box(std::string dataset, int timestep,
                              prt::LocalBox box, ReadOptions options) {
+  intents_.push_back(IoIntent{IoIntent::Kind::kRead, dataset, timestep});
   Step step;
   step.label = "read_box " + dataset + "/t" + std::to_string(timestep);
   step.lower = [dataset, timestep, box, options = std::move(options)](
@@ -219,6 +228,22 @@ Completion* Fleet::submit(Client& client, Workload workload) {
     completion->done_ = true;
     return completion;
   }
+  // Admission gate: a rejected workload never queues — open-loop FIFO
+  // would let it sit and miss its deadline anyway; failing fast at submit
+  // is the CASTOR-stager model (reject/redirect instead of queueing
+  // forever).
+  if (admission_) {
+    Status verdict = admission_(client, workload);
+    if (!verdict.ok()) {
+      completion->status_ = std::move(verdict);
+      completion->finished_at_ = completion->submitted_at_;
+      completion->done_ = true;
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry& metrics = system_.metrics();
+      if (metrics.enabled()) metrics.counter("fleet.rejected")->increment();
+      return completion;
+    }
+  }
   actor->queue.emplace_back(std::move(workload), completion);
   return completion;
 }
@@ -261,6 +286,15 @@ void Fleet::finish_workload(Actor& actor, Status status) {
 void Fleet::run_slice(Actor& actor) {
   TenantContext ctx(actor.client);
   if (!actor.active) start_next(actor);
+  // Every booking this slice makes — plan stages, lowering-time probes,
+  // control-step session calls — schedules under the tenant's class (the
+  // workload override wins over the client's session class). The scope is
+  // thread-local, so pool-mode slices classify correctly per worker.
+  const qos::TenantClass tenant_class =
+      actor.current.tenant_class().has_value()
+          ? *actor.current.tenant_class()
+          : actor.client->session().options().tenant_class;
+  simkit::QosScope qos_scope(system_.qos_tag(tenant_class));
   if (actor.step >= actor.current.steps_.size()) {
     finish_workload(actor, Status::Ok());
     return;
@@ -275,8 +309,11 @@ void Fleet::run_slice(Actor& actor) {
     Status status = actor.io->cursor.status();
     // A drained cache-miss read offers its landed payload for priced
     // admission — the same hook the synchronous read_whole path runs.
+    // Cache fill is the system's own traffic: background by construction.
     if (status.ok() && actor.io->staged.access.cache_offer.has_value()) {
       if (cache::ReadCache* cache = system_.cache()) {
+        simkit::QosScope background(
+            system_.qos_tag(qos::TenantClass::kBackground));
         const CacheOffer& offer = *actor.io->staged.access.cache_offer;
         (void)cache->offer(offer.path, offer.dataset_key, actor.io->staged.out,
                            offer.origin, actor.client->timeline().now());
@@ -306,6 +343,7 @@ void Fleet::run_slice(Actor& actor) {
       actor.io = std::make_unique<Actor::Io>(std::move(staged),
                                              &system_.tracer(),
                                              actor.client->timeline());
+      actor.io->cursor.set_qos(system_.qos_tag(tenant_class));
       return;
     }
     ++actor.step;  // nothing to do (e.g. DISABLEd dump)

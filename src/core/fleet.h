@@ -101,9 +101,33 @@ struct StagedIo {
 /// steps are skipped (the Completion carries the error).
 class Workload {
  public:
+  /// What a staged step will move, recorded at build time: the admission
+  /// controller prices these against the live load before the workload is
+  /// allowed onto the fleet (the step lambdas themselves are opaque).
+  struct IoIntent {
+    enum class Kind { kRead, kWrite };
+    Kind kind = Kind::kRead;
+    std::string dataset;
+    int timestep = 0;
+  };
+
   /// Tag recorded with the completion metrics ("fleet.latency.<tag>");
   /// benches use it to split latency distributions by tenant role.
   Workload& tagged(std::string tag);
+
+  /// Overrides the submitting client's service class for this workload
+  /// only (e.g. one background prefetch from an otherwise interactive
+  /// tenant).
+  Workload& classed(qos::TenantClass cls);
+
+  /// The override, or nullopt (the client's class applies).
+  const std::optional<qos::TenantClass>& tenant_class() const {
+    return class_;
+  }
+
+  /// The staged transfers recorded by dump/read_whole/read_box, in step
+  /// order. Control steps record nothing.
+  const std::vector<IoIntent>& intents() const { return intents_; }
 
   /// Atomic step running an arbitrary callback on the tenant.
   Workload& then(std::string label, std::function<Status(TenantContext&)> fn);
@@ -142,6 +166,8 @@ class Workload {
     std::function<Status(TenantContext&)> finish;
   };
   std::string tag_;
+  std::optional<qos::TenantClass> class_;
+  std::vector<IoIntent> intents_;
   std::vector<Step> steps_;
 };
 
@@ -177,8 +203,21 @@ class Fleet {
   /// client name. The reference stays valid until the Fleet is destroyed.
   Client& add_client(std::string name, SessionOptions options = {});
 
+  /// Admission gate consulted by submit(): non-OK keeps the workload off
+  /// the fleet — its Completion is immediately done with that status.
+  /// qos::AdmissionController::attach installs one; null (the default)
+  /// admits everything.
+  using AdmissionHook = std::function<Status(Client&, const Workload&)>;
+
+  /// Installs/clears the admission gate (control plane: set it before
+  /// pumping the fleet).
+  void set_admission(AdmissionHook hook) { admission_ = std::move(hook); }
+
   /// Enqueues `workload` on `client`'s actor (the client must belong to
-  /// this fleet). Returns the fleet-owned completion slot.
+  /// this fleet). Returns the fleet-owned completion slot. With an
+  /// admission hook installed, a rejected workload never reaches the
+  /// actor: the completion carries the hook's status (and
+  /// `fleet.rejected` counts it).
   Completion* submit(Client& client, Workload workload);
 
   /// Runs slices in virtual-time order until every actor's queue is empty.
@@ -218,6 +257,7 @@ class Fleet {
 
   StorageSystem& system_;
   FleetOptions options_;
+  AdmissionHook admission_;
   std::vector<std::unique_ptr<Client>> owned_clients_;
   std::vector<std::unique_ptr<Actor>> actors_;
   std::deque<Completion> completions_;  ///< stable pointers

@@ -76,7 +76,8 @@ StatusOr<PlacementDecision> PlacementPolicy::resolve(StorageSystem& system,
                                                      const DatasetDesc& desc,
                                                      int iterations) {
   if (desc.location == Location::kDisable) {
-    return PlacementDecision{Location::kDisable, false,
+    return PlacementDecision{Location::kDisable, /*server=*/0,
+                             /*failed_over=*/false,
                              "dataset disabled by user hint"};
   }
   // AUTO defaults to remote tapes (the paper's DEFAULT).

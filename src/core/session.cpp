@@ -637,6 +637,9 @@ StatusOr<std::vector<std::byte>> DatasetHandle::read_whole(
     if (status.ok()) {
       if (staged.cache_offer.has_value()) {
         if (cache::ReadCache* cache = session_->system_.cache()) {
+          // Cache fill is system traffic: background by construction.
+          simkit::QosScope background(session_->system_.qos_tag(
+              qos::TenantClass::kBackground));
           (void)cache->offer(staged.cache_offer->path,
                              staged.cache_offer->dataset_key, out,
                              staged.cache_offer->origin, timeline.now());

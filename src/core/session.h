@@ -26,6 +26,7 @@
 #include "core/options.h"
 #include "core/placement.h"
 #include "prt/comm.h"
+#include "qos/tenant.h"
 #include "runtime/plan.h"
 #include "runtime/sieve.h"
 #include "runtime/subfile.h"
@@ -229,6 +230,10 @@ struct SessionOptions {
   /// reads quotes each live replica with this predictor and takes the
   /// cheapest, instead of the static speed order.
   const predict::Predictor* predictor = nullptr;
+  /// Service class every booking of this session schedules under once the
+  /// system has QoS enabled (see StorageSystem::enable_qos). Interactive —
+  /// the class untagged traffic already maps to — keeps pre-QoS behavior.
+  qos::TenantClass tenant_class = qos::TenantClass::kInteractive;
 };
 
 /// Thread-safety: a Session's own state transitions (open, open_existing,

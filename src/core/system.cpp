@@ -1,6 +1,7 @@
 #include "core/system.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <charconv>
 #include <cstdlib>
@@ -54,7 +55,10 @@ StatusOr<Location> parse_location(std::string_view name) {
 
 std::string address_name(ReplicaAddress address) {
   std::string out(location_name(address.location));
-  if (address.server != 0) out += "@" + std::to_string(address.server);
+  if (address.server != 0) {
+    out += '@';
+    out += std::to_string(address.server);
+  }
   return out;
 }
 
@@ -205,6 +209,40 @@ cache::ReadCache* StorageSystem::enable_cache(
 
 void StorageSystem::disable_cache() { cache_.reset(); }
 
+Status StorageSystem::enable_qos(const qos::QosConfig& config) {
+  // Per-class wait telemetry: one histogram per tenant class, shared by
+  // every device (the per-device split stays in class_stats()).
+  std::array<obs::Histogram*, qos::kTenantClasses> histograms{};
+  for (qos::TenantClass cls : qos::kAllTenantClasses) {
+    histograms[static_cast<std::size_t>(cls)] = metrics_.histogram(
+        "qos.wait." + std::string(qos::tenant_class_name(cls)));
+  }
+  for (auto& [name, resource] : shared_devices()) {
+    resource->set_discipline(config.discipline);
+    resource->set_class_wait_observer(
+        [histograms](int class_id, simkit::SimTime wait) {
+          if (class_id >= 0 && class_id < qos::kTenantClasses) {
+            histograms[static_cast<std::size_t>(class_id)]->record(wait);
+          }
+        });
+  }
+  qos_config_ = config;
+  return Status::Ok();
+}
+
+void StorageSystem::disable_qos() {
+  for (auto& [name, resource] : shared_devices()) {
+    resource->set_discipline(simkit::DisciplineKind::kFifo);
+    resource->set_class_wait_observer(nullptr);
+  }
+  qos_config_.reset();
+}
+
+simkit::QosTag StorageSystem::qos_tag(qos::TenantClass cls) const {
+  return qos::tag_for(qos_config_.has_value() ? *qos_config_ : qos::QosConfig{},
+                      cls);
+}
+
 ServerSite& StorageSystem::site(int server) {
   assert(server >= 0 && server < cluster_size() && "server index out of range");
   return *sites_[static_cast<std::size_t>(
@@ -247,7 +285,8 @@ void StorageSystem::reset_time() {
   }
 }
 
-std::vector<obs::ResourceLoadRow> StorageSystem::resource_loads() {
+std::vector<std::pair<std::string, simkit::Resource*>>
+StorageSystem::shared_devices() {
   std::vector<std::pair<std::string, simkit::Resource*>> devices = {
       {"localdisk", &local_resource_->arm()},
   };
@@ -265,6 +304,12 @@ std::vector<obs::ResourceLoadRow> StorageSystem::resource_loads() {
       devices.emplace_back(site_name(name, i), resource);
     }
   }
+  return devices;
+}
+
+std::vector<obs::ResourceLoadRow> StorageSystem::resource_loads() {
+  std::vector<std::pair<std::string, simkit::Resource*>> devices =
+      shared_devices();
   std::vector<obs::ResourceLoadRow> rows;
   rows.reserve(devices.size());
   for (auto& [name, resource] : devices) {
@@ -279,6 +324,44 @@ std::vector<obs::ResourceLoadRow> StorageSystem::resource_loads() {
     row.total_wait = q.total_wait;
     row.max_wait = q.max_wait;
     rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<obs::QosClassRow> StorageSystem::qos_breakdown() {
+  std::vector<obs::QosClassRow> rows;
+  rows.reserve(qos::kTenantClasses);
+  for (qos::TenantClass cls : qos::kAllTenantClasses) {
+    obs::QosClassRow row;
+    row.tenant = std::string(qos::tenant_class_name(cls));
+    rows.push_back(std::move(row));
+  }
+  for (auto& [name, resource] : shared_devices()) {
+    for (const auto& [class_id, stats] : resource->class_stats()) {
+      if (class_id < 0 || class_id >= qos::kTenantClasses) continue;
+      obs::QosClassRow& row = rows[static_cast<std::size_t>(class_id)];
+      row.served += stats.served;
+      row.wait_max = std::max(row.wait_max, stats.max_wait);
+      row.max_backlog = std::max(row.max_backlog, stats.max_backlog);
+      row.deadline_misses += stats.deadline_misses;
+    }
+  }
+  for (obs::QosClassRow& row : rows) {
+    if (const obs::Histogram* h =
+            metrics_.find_histogram("qos.wait." + row.tenant)) {
+      row.wait_p50 = h->percentile(50.0);
+      row.wait_p99 = h->percentile(99.0);
+    }
+    const std::string prefix = "qos.admission." + row.tenant + ".";
+    if (const obs::Counter* c = metrics_.find_counter(prefix + "accepted")) {
+      row.accepted = c->value();
+    }
+    if (const obs::Counter* c = metrics_.find_counter(prefix + "redirected")) {
+      row.redirected = c->value();
+    }
+    if (const obs::Counter* c = metrics_.find_counter(prefix + "rejected")) {
+      row.rejected = c->value();
+    }
   }
   return rows;
 }

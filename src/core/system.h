@@ -11,7 +11,9 @@
 
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/profiles.h"
@@ -21,6 +23,7 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "qos/policy.h"
 #include "runtime/endpoint.h"
 #include "simkit/noise.h"
 #include "srb/server.h"
@@ -194,6 +197,26 @@ class StorageSystem {
   /// Removes the cache (control plane; pinned reads must have drained).
   void disable_cache();
 
+  /// Installs the QoS policy: every shared device's grant order switches
+  /// to `config.discipline`, and per-class wait histograms
+  /// (`qos.wait.<class>`) start recording. Control plane: no client I/O
+  /// may be in flight. kFifo keeps the native booking path — enabling QoS
+  /// with the default discipline changes no virtual time anywhere.
+  Status enable_qos(const qos::QosConfig& config);
+
+  /// Reverts every device to FIFO and forgets the policy (control plane).
+  void disable_qos();
+
+  /// The installed policy, or nullptr (the default: no QoS anywhere).
+  const qos::QosConfig* qos_config() const {
+    return qos_config_.has_value() ? &*qos_config_ : nullptr;
+  }
+
+  /// The QosTag `cls` books under: resolved from the installed policy, or
+  /// from QosConfig{} defaults when QoS was never enabled (tags are then
+  /// carried but change nothing — every device still grants FIFO).
+  simkit::QosTag qos_tag(qos::TenantClass cls) const;
+
   /// The local metadata database (the paper's Postgres).
   meta::Database& metadb() { return *metadb_; }
 
@@ -219,6 +242,17 @@ class StorageSystem {
   /// `msractl stats`/`msractl cluster` and the contention bench. Rows for
   /// idle devices are included (operations = 0).
   std::vector<obs::ResourceLoadRow> resource_loads();
+
+  /// Every shared device with its telemetry name, in resource_loads()
+  /// order — the one walk enable_qos, resource_loads and the per-class
+  /// QoS report all share.
+  std::vector<std::pair<std::string, simkit::Resource*>> shared_devices();
+
+  /// Per-tenant-class QoS summary across every shared device: served
+  /// grants, wait percentiles (from the `qos.wait.<class>` histograms —
+  /// zero until enable_qos installs them), worst backlog, deadline misses
+  /// and admission verdicts. One row per tenant class, always all three.
+  std::vector<obs::QosClassRow> qos_breakdown();
 
  private:
   HardwareProfile profile_;
@@ -246,6 +280,10 @@ class StorageSystem {
   // Mid-tier read cache (null until enable_cache(); sessions check this on
   // every read path, so default-off costs one pointer test).
   std::unique_ptr<cache::ReadCache> cache_;
+
+  // QoS policy (nullopt until enable_qos(); devices then grant FIFO and
+  // tenant tags are inert).
+  std::optional<qos::QosConfig> qos_config_;
 };
 
 }  // namespace msra::core

@@ -6,6 +6,7 @@
 #include "common/log.h"
 #include "obs/trace.h"
 #include "runtime/plan.h"
+#include "simkit/qos.h"
 
 namespace msra::migrate {
 
@@ -112,6 +113,11 @@ void MigrationEngine::run_step(const MigrationStep& step,
   auto priced = planner_.price_step(step);
   outcome->priced_cost = priced.ok() ? *priced : 0.0;
 
+  // Migration is the system's own traffic: every device booking this
+  // worker makes is background class by construction, so a wfq/edf policy
+  // keeps tenant reads ahead of replica shuffling.
+  simkit::QosScope background(
+      system_.qos_tag(qos::TenantClass::kBackground));
   simkit::Timeline timeline;
   {
     obs::Span span(&system_.tracer(), timeline, "migrate " + step.label());

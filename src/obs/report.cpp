@@ -128,6 +128,42 @@ std::string format_contention_table(const std::vector<ResourceLoadRow>& rows) {
   return out;
 }
 
+std::string format_qos_table(const std::vector<QosClassRow>& rows) {
+  std::vector<const QosClassRow*> active;
+  for (const QosClassRow& row : rows) {
+    if (row.served > 0 || row.accepted > 0 || row.rejected > 0) {
+      active.push_back(&row);
+    }
+  }
+  if (active.empty()) return "(no QoS activity recorded)\n";
+  std::size_t name_width = std::string("class").size();
+  for (const QosClassRow* row : active) {
+    name_width = std::max(name_width, row->tenant.size());
+  }
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-*s %8s %12s %12s %12s %12s %8s %8s %8s %8s\n",
+                static_cast<int>(name_width), "class", "served",
+                "wait_p50[s]", "wait_p99[s]", "wait_max[s]", "backlog[s]",
+                "misses", "accept", "redir", "reject");
+  out += buf;
+  for (const QosClassRow* row : active) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-*s %8llu %12.4f %12.4f %12.4f %12.4f %8llu %8llu %8llu "
+                  "%8llu\n",
+                  static_cast<int>(name_width), row->tenant.c_str(),
+                  static_cast<unsigned long long>(row->served), row->wait_p50,
+                  row->wait_p99, row->wait_max, row->max_backlog,
+                  static_cast<unsigned long long>(row->deadline_misses),
+                  static_cast<unsigned long long>(row->accepted),
+                  static_cast<unsigned long long>(row->redirected),
+                  static_cast<unsigned long long>(row->rejected));
+    out += buf;
+  }
+  return out;
+}
+
 LatencySummary summarize_latencies(std::vector<double> samples) {
   LatencySummary summary;
   if (samples.empty()) return summary;

@@ -61,6 +61,28 @@ struct ResourceLoadRow {
 /// a one-line "(no contention recorded)" note.
 std::string format_contention_table(const std::vector<ResourceLoadRow>& rows);
 
+/// One row of the per-tenant-class QoS summary: queueing behaviour of one
+/// class across every shared device plus its admission verdicts. Filled by
+/// StorageSystem::qos_breakdown() from simkit::Resource::class_stats(),
+/// the `qos.wait.<class>` histograms and the `qos.admission.*` counters.
+struct QosClassRow {
+  std::string tenant;                 ///< "interactive" / "batch" / ...
+  std::uint64_t served = 0;           ///< granted reservations, service > 0
+  double wait_p50 = 0.0;              ///< queueing delay percentiles (s)
+  double wait_p99 = 0.0;
+  double wait_max = 0.0;
+  double max_backlog = 0.0;           ///< worst backlog joined (s)
+  std::uint64_t deadline_misses = 0;  ///< grants past ready + deadline
+  std::uint64_t accepted = 0;         ///< admission verdicts for the class
+  std::uint64_t redirected = 0;       ///< subset of accepted
+  std::uint64_t rejected = 0;
+};
+
+/// Fixed-width per-class QoS table; classes that neither served a request
+/// nor saw an admission verdict are skipped. Empty input renders a
+/// one-line "(no QoS activity recorded)" note.
+std::string format_qos_table(const std::vector<QosClassRow>& rows);
+
 /// Exact order statistics over a latency sample set (simulated seconds).
 /// Percentiles use the nearest-rank method on the sorted samples, so the
 /// reported values are always members of the input — deterministic and

@@ -1,0 +1,91 @@
+// Predictor-quoted admission control in front of Fleet::submit.
+//
+// Open-loop FIFO accepts everything and lets the queue answer: under a
+// batch flood an interactive request is admitted, waits out the backlog,
+// and misses its deadline anyway — the failure mode CASTOR's stager avoids
+// by refusing or redirecting requests it cannot serve in time. The
+// AdmissionController applies that model to the fleet: at submit time it
+// prices the workload's recorded transfers (Workload::intents) against the
+// LIVE system state — each candidate replica's booked backlog plus the
+// predictor's service quote inflated by the observed utilization, the same
+// earliest-finish math the cluster balancer routes by — and compares the
+// total against the tenant class's SLO:
+//
+//   * quote(cheapest route) <= SLO               -> accept
+//   * quote(static route) > SLO >= quote(cheapest) -> accept as REDIRECT:
+//     the request only fits because the balancer steers it to a cheaper
+//     site (sessions route cheapest-quote when they carry a predictor)
+//   * quote(cheapest route) > SLO                -> reject with
+//     Status::ResourceExhausted — fail fast instead of queueing forever
+//
+// Classes without an SLO (slo == 0, the default) are always admitted.
+// Decisions land in obs: qos.admission.{accepted,rejected,redirected}
+// counters and a qos.admission.quote histogram.
+#pragma once
+
+#include <string>
+
+#include "core/fleet.h"
+#include "qos/policy.h"
+
+namespace msra::predict {
+class Predictor;
+}  // namespace msra::predict
+
+namespace msra::core {
+class StorageSystem;
+class Client;
+}  // namespace msra::core
+
+namespace msra::qos {
+
+/// One admission verdict, with the quotes that produced it.
+struct AdmissionDecision {
+  enum class Outcome { kAccept, kRedirect, kReject };
+  Outcome outcome = Outcome::kAccept;
+  double quote = 0.0;         ///< cheapest-route completion quote (seconds)
+  double static_quote = 0.0;  ///< quote of the static (pre-balancer) route
+  double slo = 0.0;           ///< the class SLO compared against (0 = none)
+  std::string reason;         ///< human-readable verdict for logs/tools
+};
+
+/// Thread-safety: decide()/admit() may run from concurrent submitters (all
+/// state is read-only after construction; metrics are internally
+/// synchronized).
+class AdmissionController {
+ public:
+  /// `system` and `predictor` must outlive the controller; `predictor` may
+  /// be null (quotes then fall back to backlog only — the booked virtual
+  /// seconds ahead of the request — which still rejects a flooded site).
+  AdmissionController(core::StorageSystem& system,
+                      const predict::Predictor* predictor, QosConfig config);
+
+  const QosConfig& config() const { return config_; }
+
+  /// Prices `workload` for class `cls` as seen at virtual time `now`.
+  /// Pure: no metrics, no state change.
+  AdmissionDecision decide(const core::Workload& workload, TenantClass cls,
+                           double now) const;
+
+  /// The Fleet::submit gate: decides under the submitting client's class
+  /// (workload override wins), records the decision in obs, and returns
+  /// Ok (accept/redirect) or ResourceExhausted (reject).
+  Status admit(core::Client& client, const core::Workload& workload);
+
+  /// Installs this controller as `fleet`'s admission gate (the controller
+  /// must outlive the fleet's pumping).
+  void attach(core::Fleet& fleet);
+
+ private:
+  /// Cheapest and static completion quotes for one recorded transfer, in
+  /// seconds from `now`. Unpriceable intents (dataset not dumped yet,
+  /// curves missing) quote 0 — admission never blocks on missing data.
+  void quote_intent(const core::Workload::IoIntent& intent, double now,
+                    double* cheapest, double* fixed) const;
+
+  core::StorageSystem& system_;
+  const predict::Predictor* predictor_;
+  QosConfig config_;
+};
+
+}  // namespace msra::qos

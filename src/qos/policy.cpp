@@ -1,0 +1,95 @@
+#include "qos/policy.h"
+
+#include "meta/database.h"
+
+namespace msra::qos {
+
+std::string_view tenant_class_name(TenantClass cls) {
+  switch (cls) {
+    case TenantClass::kInteractive: return "interactive";
+    case TenantClass::kBatch: return "batch";
+    case TenantClass::kBackground: return "background";
+  }
+  return "?";
+}
+
+StatusOr<TenantClass> parse_tenant_class(std::string_view name) {
+  if (name == "interactive") return TenantClass::kInteractive;
+  if (name == "batch") return TenantClass::kBatch;
+  if (name == "background") return TenantClass::kBackground;
+  return Status::InvalidArgument("unknown tenant class: " + std::string(name));
+}
+
+simkit::QosTag tag_for(const QosConfig& config, TenantClass cls) {
+  const ClassPolicy& policy = config.policy(cls);
+  simkit::QosTag tag;
+  tag.class_id = static_cast<int>(cls);
+  tag.weight = policy.weight;
+  tag.deadline = policy.deadline;
+  return tag;
+}
+
+namespace {
+
+using meta::ColumnType;
+
+/// One row per class: the discipline and admission flag repeat, which
+/// keeps the schema flat (three rows, no blob encoding).
+meta::Schema qos_schema() {
+  return meta::Schema{{"class", ColumnType::kText},
+                      {"discipline", ColumnType::kText},
+                      {"weight", ColumnType::kReal},
+                      {"deadline", ColumnType::kReal},
+                      {"slo", ColumnType::kReal},
+                      {"admission", ColumnType::kInt}};
+}
+
+constexpr char kQosTable[] = "qos_config";
+
+}  // namespace
+
+Status save_config(meta::Database& db, const QosConfig& config) {
+  MSRA_ASSIGN_OR_RETURN(meta::Table * table,
+                        db.open_table(kQosTable, qos_schema()));
+  table->clear();
+  for (TenantClass cls : kAllTenantClasses) {
+    const ClassPolicy& policy = config.policy(cls);
+    meta::Row row = {std::string(tenant_class_name(cls)),
+                     std::string(simkit::discipline_name(config.discipline)),
+                     policy.weight,
+                     policy.deadline,
+                     policy.slo,
+                     static_cast<std::int64_t>(config.admission ? 1 : 0)};
+    MSRA_ASSIGN_OR_RETURN(std::int64_t rowid, table->insert(std::move(row)));
+    (void)rowid;
+  }
+  return Status::Ok();
+}
+
+StatusOr<QosConfig> load_config(meta::Database& db) {
+  meta::Table* table = db.table(kQosTable);
+  if (table == nullptr || table->size() == 0) {
+    return Status::NotFound("no QoS config saved");
+  }
+  QosConfig config;
+  Status bad = Status::Ok();
+  table->for_each([&](std::int64_t, const meta::Row& row) {
+    if (!bad.ok() || row.size() != 6) return;
+    auto parsed_class = parse_tenant_class(std::get<std::string>(row[0]));
+    auto parsed_disc = simkit::parse_discipline(std::get<std::string>(row[1]));
+    if (!parsed_class.ok() || !parsed_disc.ok()) {
+      bad = Status::Internal("corrupt qos_config row");
+      return;
+    }
+    config.discipline = *parsed_disc;
+    ClassPolicy& policy = config.policy(*parsed_class);
+    policy.weight = std::get<double>(row[2]);
+    policy.deadline = std::get<double>(row[3]);
+    policy.slo = std::get<double>(row[4]);
+    config.admission = std::get<std::int64_t>(row[5]) != 0;
+  });
+  if (!bad.ok()) return bad;
+  return config;
+}
+
+}  // namespace msra::qos

@@ -1,0 +1,69 @@
+// The QoS policy: which discipline devices run, and what each tenant
+// class is entitled to.
+//
+// A QosConfig is control-plane state: StorageSystem::enable_qos installs
+// its discipline on every shared device and resolves TenantClass ->
+// simkit::QosTag for the fleet layer; `msractl qos` persists one in the
+// metadata database so every tool run against a data root schedules under
+// the same policy.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/status.h"
+#include "qos/tenant.h"
+#include "simkit/discipline.h"
+
+namespace msra::meta {
+class Database;
+}  // namespace msra::meta
+
+namespace msra::qos {
+
+/// Entitlements of one tenant class.
+struct ClassPolicy {
+  /// WFQ share; the class drains at weight / sum(active weights) of each
+  /// device's capacity when backlogged.
+  double weight = 1.0;
+  /// Relative deadline in virtual seconds (0 = none). Orders grants under
+  /// EDF and meters deadline misses under every discipline.
+  double deadline = 0.0;
+  /// Admission SLO in virtual seconds (0 = admit always): the worst
+  /// predictor-quoted completion the class accepts at submit time.
+  double slo = 0.0;
+};
+
+/// The whole policy. Defaults give interactive an 8x share over
+/// background and 4x over batch with no deadlines and no admission gate —
+/// enabling QoS without editing anything is already a meaningful policy.
+struct QosConfig {
+  simkit::DisciplineKind discipline = simkit::DisciplineKind::kFifo;
+  std::array<ClassPolicy, kTenantClasses> classes = {
+      ClassPolicy{.weight = 8.0},   // interactive
+      ClassPolicy{.weight = 2.0},   // batch
+      ClassPolicy{.weight = 1.0},   // background
+  };
+  /// When true, Fleet::submit consults the AdmissionController for every
+  /// workload whose class carries an SLO.
+  bool admission = false;
+
+  const ClassPolicy& policy(TenantClass cls) const {
+    return classes[static_cast<std::size_t>(cls)];
+  }
+  ClassPolicy& policy(TenantClass cls) {
+    return classes[static_cast<std::size_t>(cls)];
+  }
+};
+
+/// The QosTag a class books under, per `config`.
+simkit::QosTag tag_for(const QosConfig& config, TenantClass cls);
+
+/// Persists `config` in the metadata database (table "qos_config",
+/// replacing any previous row) — the `msractl qos` storage.
+Status save_config(meta::Database& db, const QosConfig& config);
+
+/// Loads the persisted config; NotFound when none was ever saved.
+StatusOr<QosConfig> load_config(meta::Database& db);
+
+}  // namespace msra::qos

@@ -1,0 +1,34 @@
+// Tenant service classes.
+//
+// A leaf header (no core/ dependency) so core::SessionOptions can carry a
+// TenantClass while the rest of the QoS subsystem (qos/policy.h,
+// qos/admission.h) layers above core.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "simkit/qos.h"
+
+namespace msra::qos {
+
+/// The three service classes of the QoS policy. The enum value doubles as
+/// the simkit::QosTag::class_id, so class 0 — the default tag every
+/// untagged (pre-QoS) booking carries — is interactive: traffic that never
+/// opted in is treated as a user waiting, while migration and cache-fill
+/// traffic is explicitly tagged background by construction.
+enum class TenantClass {
+  kInteractive = 0,  ///< a user is waiting (Volren frames, MSE probes)
+  kBatch = 1,        ///< bulk ingest / dumps (Astro3D checkpoint streams)
+  kBackground = 2,   ///< the system's own traffic (migration, cache fill)
+};
+
+inline constexpr int kTenantClasses = 3;
+
+inline constexpr TenantClass kAllTenantClasses[] = {
+    TenantClass::kInteractive, TenantClass::kBatch, TenantClass::kBackground};
+
+std::string_view tenant_class_name(TenantClass cls);
+StatusOr<TenantClass> parse_tenant_class(std::string_view name);
+
+}  // namespace msra::qos

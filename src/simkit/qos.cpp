@@ -1,0 +1,17 @@
+#include "simkit/qos.h"
+
+namespace msra::simkit {
+
+namespace {
+thread_local QosTag g_current_tag;
+}  // namespace
+
+const QosTag& current_qos_tag() { return g_current_tag; }
+
+QosScope::QosScope(const QosTag& tag) : previous_(g_current_tag) {
+  g_current_tag = tag;
+}
+
+QosScope::~QosScope() { g_current_tag = previous_; }
+
+}  // namespace msra::simkit

@@ -1,0 +1,46 @@
+// Request identity for quality-of-service scheduling.
+//
+// A QosTag names the service class a reservation belongs to. Tags flow
+// from the tenant layer (core::Fleet sets the ambient tag for every slice
+// it runs) down to simkit::Resource::acquire without threading a parameter
+// through the ~20 device layers in between: the tag rides a thread-local,
+// scoped RAII-style by QosScope. The default tag (class 0, weight 1, no
+// deadline) is what untagged traffic — every pre-QoS call site — carries,
+// so enabling the plumbing changes nothing until a discipline is installed.
+#pragma once
+
+#include "simkit/timeline.h"
+
+namespace msra::simkit {
+
+/// Scheduling identity of one reservation. `class_id` buckets per-class
+/// accounting; `weight` is the class's WFQ share; `deadline` is the
+/// relative deadline in virtual seconds (0 = none), used by EDF ordering
+/// and by deadline-miss accounting under every discipline.
+struct QosTag {
+  int class_id = 0;
+  double weight = 1.0;
+  SimTime deadline = 0.0;
+
+  friend constexpr bool operator==(const QosTag&, const QosTag&) = default;
+};
+
+/// The ambient tag of the calling thread (default-constructed until a
+/// QosScope is entered).
+const QosTag& current_qos_tag();
+
+/// Sets the calling thread's ambient tag for the scope's lifetime and
+/// restores the previous tag on exit. Scopes nest (inner wins).
+class QosScope {
+ public:
+  explicit QosScope(const QosTag& tag);
+  ~QosScope();
+
+  QosScope(const QosScope&) = delete;
+  QosScope& operator=(const QosScope&) = delete;
+
+ private:
+  QosTag previous_;
+};
+
+}  // namespace msra::simkit

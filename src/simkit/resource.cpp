@@ -11,6 +11,8 @@ Resource::Resource(std::string name, int capacity) : name_(std::move(name)) {
   server_stats_.resize(static_cast<std::size_t>(capacity));
 }
 
+Resource::~Resource() = default;
+
 SimTime Resource::earliest_start(const Schedule& schedule, SimTime ready,
                                  SimTime service) {
   SimTime start = ready;
@@ -46,50 +48,106 @@ void Resource::insert(Schedule& schedule, SimTime start, SimTime service) {
   schedule.insert(it, Interval{start, end});
 }
 
+void Resource::note_class(const QosTag& tag, SimTime wait, SimTime backlog,
+                          SimTime ready, SimTime completion) {
+  ClassQueueStats& stats = class_stats_[tag.class_id];
+  ++stats.served;
+  stats.total_wait += wait;
+  stats.max_wait = std::max(stats.max_wait, wait);
+  stats.max_backlog = std::max(stats.max_backlog, backlog);
+  if (tag.deadline > 0.0 && completion > ready + tag.deadline) {
+    ++stats.deadline_misses;
+  }
+}
+
 SimTime Resource::reserve(SimTime ready, SimTime service) {
+  // Books under the ambient QosScope, like acquire(): direct reserve()
+  // callers (e.g. net::Link::transmit_at) otherwise dodge classification.
+  return reserve(ready, service, current_qos_tag());
+}
+
+SimTime Resource::reserve(SimTime ready, SimTime service, const QosTag& tag) {
   assert(service >= 0.0);
   std::function<void(SimTime)> observer;
+  std::function<void(int, SimTime)> class_observer;
   SimTime wait = 0.0;
   SimTime completion;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++ops_;
     if (service <= 0.0) return ready;  // zero work occupies nothing
-    // Pick the server offering the earliest start.
-    std::size_t best = 0;
-    SimTime best_start = 0.0;
-    bool first = true;
-    for (std::size_t s = 0; s < servers_.size(); ++s) {
-      const SimTime start = earliest_start(servers_[s], ready, service);
-      if (first || start < best_start) {
-        best = s;
-        best_start = start;
-        first = false;
+
+    if (discipline_ != nullptr) {
+      // Discipline path: the fluid model decides the completion; interval
+      // schedules stay untouched (their sorted non-overlap invariant only
+      // holds for FIFO bookings). Served/horizon accounting attributes the
+      // grant to the least-loaded server so utilization() and next_free()
+      // keep reporting sensible aggregates.
+      const QosGrant grant = discipline_->grant(ready, service, tag);
+      completion = grant.completion;
+      busy_ += service;
+      wait = std::max(0.0, completion - service - ready);
+      ++queue_.reservations;
+      queue_.total_wait += wait;
+      queue_.max_wait = std::max(queue_.max_wait, wait);
+      std::size_t best = 0;
+      for (std::size_t s = 1; s < server_stats_.size(); ++s) {
+        if (server_stats_[s].horizon < server_stats_[best].horizon) best = s;
       }
-      if (start == ready) break;  // cannot do better
+      ServerStats& stats = server_stats_[best];
+      stats.served += service;
+      stats.horizon = std::max(stats.horizon, completion);
+      note_class(tag, wait, grant.backlog, ready, completion);
+    } else {
+      // Native FIFO booking: pick the server offering the earliest start.
+      std::size_t best = 0;
+      SimTime best_start = 0.0;
+      bool first = true;
+      for (std::size_t s = 0; s < servers_.size(); ++s) {
+        const SimTime start = earliest_start(servers_[s], ready, service);
+        if (first || start < best_start) {
+          best = s;
+          best_start = start;
+          first = false;
+        }
+        if (start == ready) break;  // cannot do better
+      }
+      insert(servers_[best], best_start, service);
+      busy_ += service;
+      wait = best_start - ready;
+      ++queue_.reservations;
+      queue_.total_wait += wait;
+      queue_.max_wait = std::max(queue_.max_wait, wait);
+      ServerStats& stats = server_stats_[best];
+      stats.served += service;
+      stats.horizon = std::max(stats.horizon, best_start + service);
+      completion = best_start + service;
+      note_class(tag, wait, /*backlog=*/wait, ready, completion);
     }
-    insert(servers_[best], best_start, service);
-    busy_ += service;
-    wait = best_start - ready;
-    ++queue_.reservations;
-    queue_.total_wait += wait;
-    queue_.max_wait = std::max(queue_.max_wait, wait);
-    ServerStats& stats = server_stats_[best];
-    stats.served += service;
-    stats.horizon = std::max(stats.horizon, best_start + service);
-    completion = best_start + service;
     observer = wait_observer_;
+    class_observer = class_wait_observer_;
   }
-  // Outside the lock: the observer typically lands in an obs::Histogram
-  // with its own synchronization.
+  // Outside the lock: the observers typically land in obs::Histograms
+  // with their own synchronization.
   if (observer) observer(wait);
+  if (class_observer) class_observer(tag.class_id, wait);
   return completion;
 }
 
 SimTime Resource::acquire(Timeline& timeline, SimTime service) {
-  const SimTime end = reserve(timeline.now(), service);
+  const SimTime end = reserve(timeline.now(), service, current_qos_tag());
   timeline.advance_to(end);
   return end;
+}
+
+void Resource::set_discipline(DisciplineKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  discipline_ = make_discipline(kind, static_cast<int>(servers_.size()));
+}
+
+DisciplineKind Resource::discipline() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return discipline_ == nullptr ? DisciplineKind::kFifo : discipline_->kind();
 }
 
 SimTime Resource::busy_time() const {
@@ -105,6 +163,11 @@ std::uint64_t Resource::operations() const {
 Resource::QueueStats Resource::queue_stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_;
+}
+
+std::map<int, Resource::ClassQueueStats> Resource::class_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return class_stats_;
 }
 
 std::vector<Resource::ServerStats> Resource::server_stats() const {
@@ -138,6 +201,12 @@ void Resource::set_wait_observer(std::function<void(SimTime)> observer) {
   wait_observer_ = std::move(observer);
 }
 
+void Resource::set_class_wait_observer(
+    std::function<void(int, SimTime)> observer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  class_wait_observer_ = std::move(observer);
+}
+
 void Resource::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& schedule : servers_) schedule.clear();
@@ -145,6 +214,8 @@ void Resource::reset() {
   busy_ = 0.0;
   ops_ = 0;
   queue_ = QueueStats{};
+  class_stats_.clear();
+  if (discipline_ != nullptr) discipline_->reset();
 }
 
 }  // namespace msra::simkit

@@ -31,6 +31,7 @@
 #include "obs/report.h"
 #include "predict/advisor.h"
 #include "predict/ptool.h"
+#include "qos/policy.h"
 
 namespace msra::tools {
 namespace {
@@ -67,8 +68,12 @@ int usage() {
                "            [--throttle-mb N] [--batch-mb N] [--rounds N]\n"
                "            [--json]\n"
                "  stats     probe every resource and print the Eq. 1 telemetry\n"
-               "            breakdown plus the device contention table\n"
-               "            (--size-mb N, --json FILE)\n"
+               "            breakdown, the device contention table and the\n"
+               "            per-class QoS table (--size-mb N, --json FILE)\n"
+               "  qos       show or set the persisted QoS policy:\n"
+               "            [--discipline fifo|wfq|edf] [--weight CLASS=W]\n"
+               "            [--deadline CLASS=SECONDS] [--slo CLASS=SECONDS]\n"
+               "            [--admission on|off] [--clear] [--json]\n"
                "  cache     priced mid-tier read cache:\n"
                "            cache stats|flush|explain <dataset>\n"
                "            [--cache-mb N] [--spill-mb N] [--warm name[=rounds]]\n"
@@ -161,6 +166,12 @@ struct Env {
       system->balancer().set_policy(
           die_on_error(core::parse_balancer_policy(args.get("balancer")),
                        "bad --balancer"));
+    }
+    // A persisted QoS policy (set with `msractl qos`) governs every
+    // invocation against the same data root.
+    StatusOr<qos::QosConfig> qos_config = qos::load_config(system->metadb());
+    if (qos_config.ok()) {
+      die_on_error(system->enable_qos(*qos_config), "installing qos policy");
     }
     perfdb = std::make_unique<predict::PerfDb>(&system->metadb());
   }
@@ -1038,6 +1049,15 @@ int cmd_stats(const Args& args) {
 
   std::printf("\ndevice contention (queueing on shared resources):\n%s",
               obs::format_contention_table(system.resource_loads()).c_str());
+
+  const std::vector<obs::QosClassRow> qos_rows = system.qos_breakdown();
+  std::printf("\nper-class QoS (grant order: %s):\n%s",
+              std::string(simkit::discipline_name(
+                              system.qos_config() != nullptr
+                                  ? system.qos_config()->discipline
+                                  : simkit::DisciplineKind::kFifo))
+                  .c_str(),
+              obs::format_qos_table(qos_rows).c_str());
   double breakdown_sum = 0.0;
   for (const auto& row : rows) breakdown_sum += row.total();
   const double billed = tl.now();
@@ -1066,11 +1086,128 @@ int cmd_stats(const Args& args) {
       std::fprintf(stderr, "msractl: cannot write %s\n", json_path.c_str());
       return 1;
     }
-    const std::string json = system.metrics().to_json();
+    std::string json = system.metrics().to_json();
+    // Splice the per-class QoS rows into the registry object: class_stats
+    // live on the devices, not in the registry, so to_json misses them.
+    json.pop_back();
+    json += ",\"qos\":[";
+    for (std::size_t i = 0; i < qos_rows.size(); ++i) {
+      const obs::QosClassRow& row = qos_rows[i];
+      if (i > 0) json += ',';
+      json += "{\"class\":\"";
+      obs::json_escape(json, row.tenant);
+      json += "\",\"served\":" + std::to_string(row.served);
+      json += ",\"wait_p50\":";
+      obs::json_number(json, row.wait_p50);
+      json += ",\"wait_p99\":";
+      obs::json_number(json, row.wait_p99);
+      json += ",\"wait_max\":";
+      obs::json_number(json, row.wait_max);
+      json += ",\"max_backlog\":";
+      obs::json_number(json, row.max_backlog);
+      json += ",\"deadline_misses\":" + std::to_string(row.deadline_misses);
+      json += ",\"accepted\":" + std::to_string(row.accepted);
+      json += ",\"redirected\":" + std::to_string(row.redirected);
+      json += ",\"rejected\":" + std::to_string(row.rejected);
+      json += '}';
+    }
+    json += "]}";
     std::fwrite(json.data(), 1, json.size(), f);
     std::fputc('\n', f);
     std::fclose(f);
     std::printf("\nregistry JSON written to %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+// Shows or updates the persisted QoS policy. Updates land in the metadata
+// database (table "qos_config"), so every later invocation against the
+// same --root — and any embedder that calls qos::load_config — schedules
+// under the same discipline, weights, deadlines and SLOs.
+int cmd_qos(const Args& args) {
+  Env env(args);
+  core::StorageSystem& system = *env.system;
+  if (args.has("clear")) {
+    if (meta::Table* table = system.metadb().table("qos_config")) {
+      table->clear();
+    }
+    system.disable_qos();
+    std::printf("qos policy cleared (devices grant FIFO)\n");
+    return 0;
+  }
+  qos::QosConfig config = system.qos_config() != nullptr
+                              ? *system.qos_config()
+                              : qos::QosConfig{};
+  bool changed = false;
+  if (args.has("discipline")) {
+    config.discipline =
+        die_on_error(simkit::parse_discipline(args.get("discipline")),
+                     "bad --discipline");
+    changed = true;
+  }
+  const auto apply = [&](const char* key, double qos::ClassPolicy::*field) {
+    for (const std::string& spec : args.get_all(key)) {
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "msractl: bad --%s '%s' (want CLASS=VALUE)\n",
+                     key, spec.c_str());
+        std::exit(2);
+      }
+      const qos::TenantClass cls = die_on_error(
+          qos::parse_tenant_class(spec.substr(0, eq)), "bad tenant class");
+      config.policy(cls).*field = std::stod(spec.substr(eq + 1));
+      changed = true;
+    }
+  };
+  apply("weight", &qos::ClassPolicy::weight);
+  apply("deadline", &qos::ClassPolicy::deadline);
+  apply("slo", &qos::ClassPolicy::slo);
+  if (args.has("admission")) {
+    const std::string value = args.get("admission", "on");
+    config.admission = value != "off" && value != "0" && value != "false";
+    changed = true;
+  }
+  if (changed) {
+    die_on_error(qos::save_config(system.metadb(), config),
+                 "saving qos policy");
+    die_on_error(system.enable_qos(config), "installing qos policy");
+  }
+  if (args.has("json")) {
+    std::string json = "{\"discipline\":\"";
+    json += std::string(simkit::discipline_name(config.discipline));
+    json += "\",\"admission\":";
+    json += config.admission ? "true" : "false";
+    json += ",\"classes\":[";
+    bool first = true;
+    for (qos::TenantClass cls : qos::kAllTenantClasses) {
+      const qos::ClassPolicy& policy = config.policy(cls);
+      if (!first) json += ',';
+      first = false;
+      json += "{\"class\":\"";
+      json += std::string(qos::tenant_class_name(cls));
+      json += "\",\"weight\":";
+      obs::json_number(json, policy.weight);
+      json += ",\"deadline\":";
+      obs::json_number(json, policy.deadline);
+      json += ",\"slo\":";
+      obs::json_number(json, policy.slo);
+      json += '}';
+    }
+    json += "]}";
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+  std::printf("discipline: %s%s\nadmission:  %s\n",
+              std::string(simkit::discipline_name(config.discipline)).c_str(),
+              changed ? " (saved)" : "",
+              config.admission ? "on" : "off");
+  std::printf("%-12s %8s %12s %10s\n", "class", "weight", "deadline[s]",
+              "slo[s]");
+  for (qos::TenantClass cls : qos::kAllTenantClasses) {
+    const qos::ClassPolicy& policy = config.policy(cls);
+    std::printf("%-12s %8.2f %12.2f %10.2f\n",
+                std::string(qos::tenant_class_name(cls)).c_str(),
+                policy.weight, policy.deadline, policy.slo);
   }
   return 0;
 }
@@ -1306,6 +1443,7 @@ int run_command(int argc, char** argv) {
   if (command == "cluster") return cmd_cluster(args);
   if (command == "migrate") return cmd_migrate(args);
   if (command == "stats") return cmd_stats(args);
+  if (command == "qos") return cmd_qos(args);
   if (command == "cache") return cmd_cache(args);
   return usage();
 }
