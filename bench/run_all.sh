@@ -36,6 +36,7 @@ run bench_fleet           fleet
 run bench_cache           cache
 run bench_cluster         cluster
 run bench_qos             qos
+run bench_flow            flow
 
 echo "Summaries:"
 ls -l "${OUT_DIR}"/BENCH_*.json
@@ -48,7 +49,7 @@ ls -l "${OUT_DIR}"/BENCH_*.json
 if [[ "${MSRA_FULL_SCALE:-0}" != "1" ]]; then
   BASELINE_DIR="$(dirname "$0")/baselines"
   drift=0
-  for fig in fig6 fig7 fig8 fig9 migration contention fleet cache cluster qos; do
+  for fig in fig6 fig7 fig8 fig9 migration contention fleet cache cluster qos flow; do
     if ! diff -u "${BASELINE_DIR}/BENCH_${fig}.json" \
                  "${OUT_DIR}/BENCH_${fig}.json"; then
       echo "PARITY DRIFT: ${fig} differs from ${BASELINE_DIR}" >&2

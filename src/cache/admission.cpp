@@ -31,8 +31,10 @@ double AdmissionJudge::expected_reuse(const std::string& dataset_key,
   if (tracker_ != nullptr) {
     // An offer arrives right after the read that produced it, so decayed
     // heat is >= 1 for a live dataset; the floor only matters for seeded /
-    // cleared trackers.
-    reuse = tracker_->heat_at(dataset_key, now).decayed_reads;
+    // cleared trackers. Declared-but-unissued campaign reads count too, so
+    // the judge and the migration planner agree about a dataset a campaign
+    // stage is about to re-read.
+    reuse = tracker_->heat_at(dataset_key, now).anticipated_reads();
   }
   return std::clamp(reuse, 1.0, config_.max_expected_reuse);
 }

@@ -42,6 +42,12 @@
 #include "obs/trace.h"
 #include "simkit/timeline.h"
 
+namespace msra::flow {
+class Campaign;
+struct CampaignOptions;
+struct CampaignReport;
+}  // namespace msra::flow
+
 namespace msra::core {
 
 class Client;
@@ -222,6 +228,15 @@ class Fleet {
 
   /// Runs slices in virtual-time order until every actor's queue is empty.
   void run_until_idle();
+
+  /// Runs a whole flow::Campaign DAG in dependency-wave order: one tenant
+  /// actor per stage, consumer clocks held to their producers' finishes
+  /// (and to prestaged-input availability when the options carry a
+  /// flow::StagingScheduler). Defined in flow/run.cpp; see flow/run.h for
+  /// the option and report types.
+  StatusOr<flow::CampaignReport> submit_campaign(const flow::Campaign& campaign);
+  StatusOr<flow::CampaignReport> submit_campaign(
+      const flow::Campaign& campaign, const flow::CampaignOptions& options);
 
   /// Number of workloads that finished (ok or failed) so far.
   std::uint64_t completed() const {

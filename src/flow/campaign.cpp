@@ -1,0 +1,142 @@
+#include "flow/campaign.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace msra::flow {
+
+namespace {
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+Campaign::Campaign(std::string name, std::string application)
+    : name_(std::move(name)), application_(std::move(application)) {
+  if (application_.empty()) application_ = name_;
+}
+
+Campaign& Campaign::stage(std::string name, core::Workload workload,
+                          qos::TenantClass cls) {
+  StageDecl decl;
+  decl.name = std::move(name);
+  decl.tenant_class = cls;
+  decl.workload = std::move(workload);
+  stages_.push_back(std::move(decl));
+  return *this;
+}
+
+Campaign& Campaign::after(const std::string& stage,
+                          const std::string& dependency) {
+  const std::size_t i = index_of(stage);
+  if (i != kNpos) stages_[i].after.push_back(dependency);
+  return *this;
+}
+
+std::string Campaign::dataset_key(const std::string& dataset) const {
+  return application_ + "/" + dataset;
+}
+
+std::size_t Campaign::index_of(const std::string& stage) const {
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (stages_[i].name == stage) return i;
+  }
+  return kNpos;
+}
+
+namespace {
+
+std::vector<DatasetRef> refs_of(const core::Workload& workload,
+                                core::Workload::IoIntent::Kind kind) {
+  std::vector<DatasetRef> out;
+  for (const core::Workload::IoIntent& intent : workload.intents()) {
+    if (intent.kind != kind) continue;
+    DatasetRef ref{intent.dataset, intent.timestep};
+    if (std::find(out.begin(), out.end(), ref) == out.end()) {
+      out.push_back(std::move(ref));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<DatasetRef> Campaign::reads_of(std::size_t i) const {
+  return refs_of(stages_[i].workload, core::Workload::IoIntent::Kind::kRead);
+}
+
+std::vector<DatasetRef> Campaign::writes_of(std::size_t i) const {
+  return refs_of(stages_[i].workload, core::Workload::IoIntent::Kind::kWrite);
+}
+
+StatusOr<std::vector<std::vector<std::size_t>>> Campaign::producers() const {
+  std::vector<std::vector<std::size_t>> out(stages_.size());
+  auto add = [&](std::size_t consumer, std::size_t producer) {
+    std::vector<std::size_t>& deps = out[consumer];
+    if (std::find(deps.begin(), deps.end(), producer) == deps.end()) {
+      deps.push_back(producer);
+    }
+  };
+  for (std::size_t j = 0; j < stages_.size(); ++j) {
+    for (const DatasetRef& read : reads_of(j)) {
+      for (std::size_t k = 0; k < stages_.size(); ++k) {
+        if (k == j) continue;  // read-after-write within one stage
+        const std::vector<DatasetRef> writes = writes_of(k);
+        if (std::find(writes.begin(), writes.end(), read) == writes.end()) {
+          continue;
+        }
+        if (k > j) {
+          return Status::InvalidArgument(
+              "campaign " + name_ + ": stage '" + stages_[j].name + "' reads " +
+              read.dataset + " t" + std::to_string(read.timestep) +
+              " before its producer stage '" + stages_[k].name +
+              "' is declared");
+        }
+        add(j, k);
+      }
+    }
+    for (const std::string& dep : stages_[j].after) {
+      const std::size_t k = index_of(dep);
+      if (k == kNpos || k >= j) {
+        return Status::InvalidArgument(
+            "campaign " + name_ + ": stage '" + stages_[j].name +
+            "' declares after('" + dep + "') which is not an earlier stage");
+      }
+      add(j, k);
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<std::vector<std::size_t>>> Campaign::waves() const {
+  MSRA_ASSIGN_OR_RETURN(std::vector<std::vector<std::size_t>> deps,
+                        producers());
+  std::vector<std::size_t> level(stages_.size(), 0);
+  std::size_t depth = 0;
+  for (std::size_t j = 0; j < stages_.size(); ++j) {
+    for (std::size_t producer : deps[j]) {
+      // producer < j always (backward-edge rule), so one pass levels.
+      level[j] = std::max(level[j], level[producer] + 1);
+    }
+    depth = std::max(depth, level[j] + 1);
+  }
+  std::vector<std::vector<std::size_t>> out(depth);
+  for (std::size_t j = 0; j < stages_.size(); ++j) out[level[j]].push_back(j);
+  return out;
+}
+
+int Campaign::pending_readers(const DatasetRef& ref,
+                              const std::vector<bool>& dispatched) const {
+  int readers = 0;
+  for (std::size_t j = 0; j < stages_.size(); ++j) {
+    if (j < dispatched.size() && dispatched[j]) continue;
+    for (const core::Workload::IoIntent& intent :
+         stages_[j].workload.intents()) {
+      if (intent.kind == core::Workload::IoIntent::Kind::kRead &&
+          intent.dataset == ref.dataset && intent.timestep == ref.timestep) {
+        ++readers;
+      }
+    }
+  }
+  return readers;
+}
+
+}  // namespace msra::flow

@@ -1,0 +1,110 @@
+// flow::Campaign: a declared producer/consumer DAG over datasets.
+//
+// The paper's Astro3D pipeline is a workflow, not a bag of independent
+// accesses: the simulation dumps timestep frames, MSE and Volren read them
+// back, visualization reads what MSE produced. A Campaign declares that
+// structure up front — stages are classed core::Workloads, edges are
+// derived from the workloads' recorded IoIntents (stage B reading a
+// (dataset, timestep) some earlier stage A writes makes A a producer of
+// B) — so the whole graph can be priced end-to-end (flow::CampaignPricer),
+// driven in dependency order (core::Fleet::submit_campaign), and pre-staged
+// toward its future consumers (flow::StagingScheduler).
+//
+// Edges always point backward in declaration order: a stage that reads a
+// (dataset, timestep) only a LATER stage writes is a declaration error, not
+// a runtime surprise. Reads of datasets no stage writes are external inputs
+// resolved against the replica catalog at run/price time.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/fleet.h"
+#include "qos/tenant.h"
+
+namespace msra::flow {
+
+/// One node of the DAG: a named, classed workload.
+struct StageDecl {
+  std::string name;
+  qos::TenantClass tenant_class = qos::TenantClass::kBatch;
+  core::Workload workload;
+  /// Explicit extra dependencies (stage names declared earlier), for
+  /// ordering constraints the intents cannot express — e.g. "dump_t1 runs
+  /// after dump_t0" when the simulation iterates, though neither reads the
+  /// other's output.
+  std::vector<std::string> after;
+};
+
+/// One dataset input or output of a stage, resolved from the workload's
+/// intents: what the DAG edges and the prestage planner reason about.
+struct DatasetRef {
+  std::string dataset;
+  int timestep = 0;
+
+  friend bool operator<(const DatasetRef& a, const DatasetRef& b) {
+    if (a.dataset != b.dataset) return a.dataset < b.dataset;
+    return a.timestep < b.timestep;
+  }
+  friend bool operator==(const DatasetRef& a, const DatasetRef& b) {
+    return a.dataset == b.dataset && a.timestep == b.timestep;
+  }
+};
+
+class Campaign {
+ public:
+  /// `application` is the catalog namespace every stage's datasets live in;
+  /// it defaults to the campaign name.
+  explicit Campaign(std::string name, std::string application = "");
+
+  const std::string& name() const { return name_; }
+  const std::string& application() const { return application_; }
+
+  /// Appends a stage. Declaration order is the tie-break everywhere
+  /// (scheduling waves, pricing), so campaigns replay deterministically.
+  Campaign& stage(std::string name, core::Workload workload,
+                  qos::TenantClass cls = qos::TenantClass::kBatch);
+
+  /// Adds an explicit dependency: `stage` (declared) runs after
+  /// `dependency` (declared earlier). Unknown names fail in producers().
+  Campaign& after(const std::string& stage, const std::string& dependency);
+
+  const std::vector<StageDecl>& stages() const { return stages_; }
+  bool empty() const { return stages_.empty(); }
+
+  /// Catalog key of one of this campaign's datasets ("app/dataset").
+  std::string dataset_key(const std::string& dataset) const;
+
+  /// The (dataset, timestep) pairs stage `i` reads / writes, deduplicated,
+  /// in first-intent order.
+  std::vector<DatasetRef> reads_of(std::size_t i) const;
+  std::vector<DatasetRef> writes_of(std::size_t i) const;
+
+  /// Producer edges per stage: producers()[j] lists every stage index whose
+  /// writes feed stage j's reads, plus j's explicit `after` dependencies.
+  /// Fails when a read's producer is declared after its consumer, or an
+  /// `after` name is unknown or not declared earlier.
+  StatusOr<std::vector<std::vector<std::size_t>>> producers() const;
+
+  /// Dispatch waves: wave k holds every stage whose producers all sit in
+  /// waves < k, in declaration order. A valid campaign always levels — the
+  /// backward-edge rule makes cycles unrepresentable.
+  StatusOr<std::vector<std::vector<std::size_t>>> waves() const;
+
+  /// Number of read intents naming (dataset, timestep) across stages whose
+  /// `dispatched` flag is false — the declared future reuse the prestage
+  /// planner and the AccessTracker seeding count. `dispatched` is indexed
+  /// by stage; an empty vector means "no stage dispatched yet".
+  int pending_readers(const DatasetRef& ref,
+                      const std::vector<bool>& dispatched) const;
+
+ private:
+  std::size_t index_of(const std::string& stage) const;  ///< npos if unknown
+
+  std::string name_;
+  std::string application_;
+  std::vector<StageDecl> stages_;
+};
+
+}  // namespace msra::flow

@@ -1,0 +1,112 @@
+#include "flow/prefetcher.h"
+
+#include "obs/metrics.h"
+#include "simkit/time.h"
+
+namespace msra::flow {
+
+Prefetcher::Prefetcher(StagingScheduler& stager,
+                       runtime::StorageEndpoint& endpoint,
+                       double memcpy_bandwidth, std::size_t capacity)
+    : stager_(stager),
+      endpoint_(endpoint),
+      memcpy_bandwidth_(memcpy_bandwidth),
+      capacity_(capacity == 0 ? 1 : capacity),
+      pool_(1) {}
+
+Prefetcher::~Prefetcher() { pool_.wait_idle(); }
+
+void Prefetcher::touch_locked(const std::string& path) {
+  lru_.remove(path);
+  lru_.push_front(path);
+}
+
+void Prefetcher::evict_locked() {
+  // Walk from the cold end, dropping completed entries; in-flight prefetches
+  // are skipped (their worker still needs the Entry slot).
+  auto it = lru_.end();
+  while (cache_.size() > capacity_ && it != lru_.begin()) {
+    --it;
+    auto found = cache_.find(*it);
+    if (found == cache_.end()) {
+      it = lru_.erase(it);
+      continue;
+    }
+    if (!found->second.done) continue;
+    cache_.erase(found);
+    it = lru_.erase(it);
+    ++evictions_;
+  }
+}
+
+void Prefetcher::prefetch(simkit::Timeline& caller, const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cache_.count(path)) {
+      touch_locked(path);
+      return;  // already in flight or cached
+    }
+    cache_.emplace(path, Entry{});
+    touch_locked(path);
+    evict_locked();
+  }
+  engine_.advance_to(caller.now());
+  pool_.submit([this, path] {
+    auto result = stager_.read_object(endpoint_, engine_, path);
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry& entry = cache_[path];
+    entry.done = true;
+    entry.ready_at = engine_.now();
+    if (result.ok()) {
+      entry.data = std::move(*result);
+    } else {
+      entry.status = result.status();
+    }
+    evict_locked();  // entries kept alive while in flight may now go
+  });
+}
+
+StatusOr<std::vector<std::byte>> Prefetcher::fetch(simkit::Timeline& caller,
+                                                   const std::string& path) {
+  if (obs::MetricsRegistry* registry = endpoint_.metrics()) {
+    registry->counter("prefetch.fetches")->increment();
+  }
+  pool_.wait_idle();  // wall-clock settle; virtual-time cost handled below
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(path);
+    if (it != cache_.end() && it->second.done) {
+      touch_locked(path);
+      const Entry& entry = it->second;
+      if (!entry.status.ok()) return entry.status;
+      if (entry.ready_at <= caller.now()) {
+        ++hits_;  // fully hidden by compute
+        if (obs::MetricsRegistry* registry = endpoint_.metrics()) {
+          registry->counter("prefetch.hits")->increment();
+        }
+      }
+      caller.advance_to(entry.ready_at);
+      caller.advance(simkit::transfer_time(entry.data.size(), memcpy_bandwidth_));
+      return entry.data;
+    }
+  }
+  // Never prefetched: synchronous read on the caller's clock.
+  return stager_.read_object(endpoint_, caller, path);
+}
+
+std::uint64_t Prefetcher::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t Prefetcher::cached_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+std::uint64_t Prefetcher::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace msra::flow

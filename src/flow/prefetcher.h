@@ -1,0 +1,90 @@
+// flow::Prefetcher: LRU read-ahead as a client of the unified mover.
+//
+// Formerly runtime::Prefetcher (async_io) with a private read loop; the
+// byte movement now routes through StagingScheduler::read_object — a
+// prefetch is a single-node campaign: fetch one object toward one declared
+// future consumer (the caller). The LRU bound, in-flight protection and
+// hit accounting are unchanged:
+//
+//   * prefetch() starts the fetch on the engine's own timeline (no caller
+//     cost beyond the handoff);
+//   * fetch() charges only a memory copy when the prefetch beat the
+//     caller's clock, joins clocks when it did not, and falls back to a
+//     synchronous read for objects never prefetched;
+//   * at most `capacity` objects are cached, evicted LRU; in-flight
+//     prefetches are never evicted.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "flow/stager.h"
+#include "runtime/endpoint.h"
+
+namespace msra::flow {
+
+class Prefetcher {
+ public:
+  /// `stager` and `endpoint` must outlive the prefetcher;
+  /// `memcpy_bandwidth` prices the caller-side buffer copy (B/s virtual).
+  Prefetcher(StagingScheduler& stager, runtime::StorageEndpoint& endpoint,
+             double memcpy_bandwidth = 400.0e6, std::size_t capacity = 16);
+  ~Prefetcher();
+
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  /// Starts fetching `path` in the background (no caller cost beyond a
+  /// request handoff).
+  void prefetch(simkit::Timeline& caller, const std::string& path);
+
+  /// Returns the object's bytes. If the prefetch finished before the
+  /// caller's current virtual time, only the copy is charged; otherwise the
+  /// caller waits (clock joins) for it. Objects never prefetched are read
+  /// synchronously.
+  StatusOr<std::vector<std::byte>> fetch(simkit::Timeline& caller,
+                                         const std::string& path);
+
+  /// Cache hits observed by fetch().
+  std::uint64_t hits() const;
+
+  /// Objects currently cached (including in-flight prefetches).
+  std::size_t cached_count() const;
+
+  /// Completed entries dropped to respect the capacity bound.
+  std::uint64_t evictions() const;
+
+ private:
+  struct Entry {
+    Status status;
+    std::vector<std::byte> data;
+    simkit::SimTime ready_at = 0.0;
+    bool done = false;
+  };
+
+  /// Moves `path` to the most-recently-used position. Callers hold mutex_.
+  void touch_locked(const std::string& path);
+
+  /// Drops least-recently-used *completed* entries until the cache fits the
+  /// capacity bound. Callers hold mutex_.
+  void evict_locked();
+
+  StagingScheduler& stager_;
+  runtime::StorageEndpoint& endpoint_;
+  double memcpy_bandwidth_;
+  std::size_t capacity_;
+  simkit::Timeline engine_;
+  ThreadPool pool_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> cache_;
+  std::list<std::string> lru_;  ///< front = most recent
+  std::uint64_t hits_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace msra::flow

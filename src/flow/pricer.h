@@ -1,0 +1,83 @@
+// flow::CampaignPricer: Eq. (2) extended from one dataset to a whole DAG.
+//
+// The paper prices each dataset access independently; a campaign's cost is
+// not that sum alone — a stage's read quote depends on where its producer's
+// output WILL live (cross-stage staleness), and the campaign's end-to-end
+// makespan follows the dependency structure, not the declaration order.
+// The pricer walks stages in declaration order keeping a placement map
+// (dataset, timestep) -> address:
+//
+//   * a write prices at the dataset's resolved placement and RECORDS it —
+//     later readers quote against that future location, not the catalog's
+//     current (possibly empty) state;
+//   * a read of an upstream output prices at the recorded placement; a
+//     read of an external input prices at its cheapest live replica — or
+//     at the prestage destination when a StagingScheduler is consulted
+//     (where the data WILL live once staging runs);
+//   * stage cost is Predictor::price_serial over the stage's lowered
+//     whole-object plans; stages then schedule at the earliest start their
+//     producers allow, giving the campaign's critical-path makespan.
+//
+// Intents that cannot be priced yet (dataset never registered, no live
+// replica) quote 0 with a note — pricing never blocks on missing data,
+// exactly like QoS admission.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "flow/campaign.h"
+#include "predict/predictor.h"
+
+namespace msra::flow {
+
+class StagingScheduler;
+
+/// One priced intent of a stage (the `msractl flow explain` leaf rows).
+struct IntentPrice {
+  core::Workload::IoIntent::Kind kind = core::Workload::IoIntent::Kind::kRead;
+  std::string dataset;
+  int timestep = 0;
+  core::ReplicaAddress address = core::Location::kRemoteTape;
+  double seconds = 0.0;
+  std::string note;  ///< "producer output" / "catalog replica" / "prestaged" / "unpriced"
+};
+
+/// One priced stage, scheduled at its earliest dependency-allowed start.
+struct StagePriceRow {
+  std::string stage;
+  qos::TenantClass tenant_class = qos::TenantClass::kBatch;
+  double seconds = 0.0;  ///< Eq. (2) sum over the stage's intents
+  double start = 0.0;    ///< earliest start (max producer finish)
+  double finish = 0.0;   ///< start + seconds
+  std::vector<std::size_t> producers;  ///< stage indices this one waits on
+  std::vector<IntentPrice> intents;
+};
+
+/// The whole campaign, priced end-to-end.
+struct CampaignPrice {
+  std::vector<StagePriceRow> stages;
+  double total = 0.0;     ///< Eq. (2): sum of every stage's priced seconds
+  double makespan = 0.0;  ///< critical path: latest stage finish
+};
+
+class CampaignPricer {
+ public:
+  /// `system` and `predictor` must outlive the pricer.
+  CampaignPricer(core::StorageSystem& system,
+                 const predict::Predictor& predictor);
+
+  /// Prices `campaign` end-to-end. When `stager` is non-null its prestage
+  /// plan (over the current catalog, nothing dispatched) overrides external
+  /// inputs' placements — the quote then reflects where staging will put
+  /// the data, not where it sits today.
+  StatusOr<CampaignPrice> price(const Campaign& campaign,
+                                StagingScheduler* stager = nullptr) const;
+
+ private:
+  core::StorageSystem& system_;
+  const predict::Predictor& predictor_;
+};
+
+}  // namespace msra::flow

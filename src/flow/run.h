@@ -1,0 +1,62 @@
+// Campaign execution: core::Fleet::submit_campaign's option/report types.
+//
+// The method itself is declared on core::Fleet (core/fleet.h) and defined
+// in flow/run.cpp — the fleet drives the waves, the flow layer owns the
+// campaign vocabulary. Execution is wave order (Campaign::waves()):
+//
+//   * each stage runs as its own tenant actor, classed per its declaration,
+//     its clock advanced to the latest of its producers' finishes and the
+//     staged availability of its prestaged inputs (a replica committed at
+//     virtual time T is not readable before T);
+//   * with a StagingScheduler attached, the campaign is pinned up front,
+//     every wave boundary re-plans prestage toward the still-undispatched
+//     stages (the copies overlap the next wave in virtual time, riding the
+//     routes' idle windows) and GCs staged copies past their last consumer;
+//   * without one, submit_campaign is pure wave dispatch — the hint-driven
+//     baseline, byte-identical to scripting the same workloads by hand.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flow/stager.h"
+
+namespace msra::flow {
+
+/// How submit_campaign runs the DAG.
+struct CampaignOptions {
+  /// The unified mover; null disables staging entirely (pure wave dispatch).
+  StagingScheduler* stager = nullptr;
+  /// Replica selection for the stage sessions: reads quote each live
+  /// replica and take the cheapest (null = static speed order).
+  const predict::Predictor* predictor = nullptr;
+};
+
+/// One stage's execution record (virtual seconds).
+struct StageResult {
+  std::string stage;
+  Status status = Status::Ok();
+  double started_at = 0.0;
+  double finished_at = 0.0;
+  double latency() const { return finished_at - started_at; }
+};
+
+/// What running a whole campaign did.
+struct CampaignReport {
+  std::string campaign;
+  std::vector<StageResult> stages;
+  /// Every mover task the campaign triggered (prestage + GC), in execution
+  /// order.
+  std::vector<StageOutcome> staging;
+  /// Latest stage finish minus earliest stage start.
+  double makespan = 0.0;
+
+  bool ok() const {
+    for (const StageResult& stage : stages) {
+      if (!stage.status.ok()) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace msra::flow

@@ -2,13 +2,28 @@
 
 #include <algorithm>
 
-#include "cache/cache.h"
-#include "common/log.h"
-#include "obs/trace.h"
-#include "runtime/plan.h"
-#include "simkit/qos.h"
-
 namespace msra::migrate {
+
+namespace {
+
+flow::StageTaskKind task_kind(MigrationKind kind) {
+  switch (kind) {
+    case MigrationKind::kPromote: return flow::StageTaskKind::kPromote;
+    case MigrationKind::kDemote: return flow::StageTaskKind::kDemote;
+    case MigrationKind::kEvict: return flow::StageTaskKind::kEvict;
+    case MigrationKind::kRebalance: return flow::StageTaskKind::kRebalance;
+  }
+  return flow::StageTaskKind::kPromote;
+}
+
+flow::StagingConfig staging_config(const MigrationConfig& config) {
+  flow::StagingConfig out;
+  out.throttle_bytes_per_sec = config.throttle_bytes_per_sec;
+  out.workers = config.workers;
+  return out;
+}
+
+}  // namespace
 
 bool MigrationReport::ok() const { return failures() == 0; }
 
@@ -23,172 +38,65 @@ std::size_t MigrationReport::failures() const {
 MigrationEngine::MigrationEngine(core::StorageSystem& system,
                                  const predict::Predictor& predictor,
                                  MigrationConfig config)
-    : system_(system),
-      planner_(system, predictor, config),
-      catalog_(&system.metadb()),
-      pool_(static_cast<std::size_t>(std::max(1, config.workers))) {}
-
-Status MigrationEngine::copy_object(simkit::Timeline& timeline,
-                                    const MigrationStep& step) {
-  runtime::StorageEndpoint& src = system_.endpoint(step.from);
-  runtime::StorageEndpoint& dst = system_.endpoint(step.to);
-  if (!src.available()) {
-    return Status::Unavailable("migration source " +
-                               core::address_name(step.from) + " is down");
-  }
-  if (!dst.available()) {
-    return Status::Unavailable("migration destination " +
-                               core::address_name(step.to) + " is down");
-  }
-  if (dst.free_bytes() < step.bytes) {
-    return Status::CapacityExceeded("no room for " + step.path + " on " +
-                                    core::address_name(step.to));
-  }
-  std::vector<std::byte> payload(step.bytes);
-  obs::TraceRecorder* tracer = &system_.tracer();
-  MSRA_RETURN_IF_ERROR(runtime::PlanExecutor::execute(
-      runtime::PlanBuilder::object_read(step.path, step.bytes), src, timeline,
-      payload, {}, tracer));
-  return runtime::PlanExecutor::execute(
-      runtime::PlanBuilder::object_write(step.path, step.bytes,
-                                         srb::OpenMode::kOverwrite),
-      dst, timeline, {}, payload, tracer);
-}
-
-Status MigrationEngine::commit(simkit::Timeline& timeline,
-                               const MigrationStep& step) {
-  bool drop = false;
-  {
-    std::lock_guard<std::mutex> lock(catalog_mutex_);
-    if (step.kind != MigrationKind::kEvict) {
-      MSRA_RETURN_IF_ERROR(
-          catalog_.add_replica(step.app, step.name, step.timestep, step.to));
-    }
-    if (step.drop_source) {
-      // Safety invariant: never drop the last live replica. Re-checked at
-      // commit time under the lock — the world may have changed since the
-      // planner looked.
-      MSRA_ASSIGN_OR_RETURN(
-          core::InstanceRecord record,
-          catalog_.instance(step.app, step.name, step.timestep));
-      bool other_live = false;
-      for (core::ReplicaAddress address : record.replicas) {
-        if (address != step.from && system_.endpoint(address).available()) {
-          other_live = true;
-          break;
-        }
-      }
-      if (!other_live) {
-        return Status::PermissionDenied(
-            "refusing to drop the last live replica of " + record.dataset_key +
-            " t" + std::to_string(step.timestep));
-      }
-      MSRA_RETURN_IF_ERROR(catalog_.remove_replica(step.app, step.name,
-                                                   step.timestep, step.from));
-      drop = true;
-    }
-  }
-  if (drop) {
-    // Physical removal last, outside the catalog lock: new readers already
-    // resolve to the surviving replicas, and a reader still holding an open
-    // handle on this object is covered by the resource's deferred unlink.
-    Status removed = system_.endpoint(step.from).remove(timeline, step.path);
-    if (!removed.ok()) {
-      MSRA_LOG(kWarn) << "migration: source object cleanup failed: "
-                      << removed.to_string();
-    }
-    // A dropped replica also invalidates the mid-tier cache entry: its
-    // admission was priced against a refetch quote that no longer holds
-    // (pinned in-flight reads keep their snapshot, as everywhere).
-    if (cache::ReadCache* cache = system_.cache()) {
-      cache->invalidate(step.path);
-    }
-  }
-  return Status::Ok();
-}
-
-void MigrationEngine::run_step(const MigrationStep& step,
-                               MigrationOutcome* outcome) {
-  outcome->step = step;
-  auto priced = planner_.price_step(step);
-  outcome->priced_cost = priced.ok() ? *priced : 0.0;
-
-  // Migration is the system's own traffic: every device booking this
-  // worker makes is background class by construction, so a wfq/edf policy
-  // keeps tenant reads ahead of replica shuffling.
-  simkit::QosScope background(
-      system_.qos_tag(qos::TenantClass::kBackground));
-  simkit::Timeline timeline;
-  {
-    obs::Span span(&system_.tracer(), timeline, "migrate " + step.label());
-    Status status = step.kind == MigrationKind::kEvict
-                        ? Status::Ok()
-                        : copy_object(timeline, step);
-    // Throttle: stretch the step so payload never streams faster than the
-    // configured bytes/sec (reported separately — billed virtual time stays
-    // equal to executed virtual time).
-    const MigrationConfig& config = planner_.config();
-    if (status.ok() && step.kind != MigrationKind::kEvict &&
-        config.throttle_bytes_per_sec > 0) {
-      const double floor_seconds =
-          static_cast<double>(step.bytes) /
-          static_cast<double>(config.throttle_bytes_per_sec);
-      if (timeline.now() < floor_seconds) {
-        outcome->throttle_wait = floor_seconds - timeline.now();
-        timeline.advance(outcome->throttle_wait);
-      }
-    }
-    if (status.ok()) status = commit(timeline, step);
-    outcome->status = std::move(status);
-  }
-  outcome->executed_seconds = timeline.now();
-
-  obs::MetricsRegistry& metrics = system_.metrics();
-  metrics.histogram("io.migrate.copy_seconds")->record(outcome->executed_seconds);
-  metrics.histogram("io.migrate.priced_cost")->record(outcome->priced_cost);
-  metrics.histogram("io.migrate.benefit")->record(step.benefit);
-  if (outcome->throttle_wait > 0.0) {
-    metrics.histogram("io.migrate.throttle_seconds")->record(outcome->throttle_wait);
-  }
-  if (!outcome->status.ok()) {
-    metrics.counter("migrate.failures")->increment();
-    return;
-  }
-  switch (step.kind) {
-    case MigrationKind::kPromote:
-      metrics.counter("migrate.promotions")->increment();
-      break;
-    case MigrationKind::kDemote:
-      metrics.counter("migrate.demotions")->increment();
-      break;
-    case MigrationKind::kEvict:
-      metrics.counter("migrate.evictions")->increment();
-      break;
-    case MigrationKind::kRebalance:
-      metrics.counter("migrate.rebalances")->increment();
-      break;
-  }
-  if (step.kind != MigrationKind::kEvict) {
-    metrics.counter("migrate.moved_bytes")->add(step.bytes);
-  }
-}
+    : planner_(system, predictor, config),
+      stager_(system, &predictor, staging_config(config)) {}
 
 MigrationReport MigrationEngine::execute(const MigrationPlan& plan) {
+  std::vector<flow::StageTask> tasks;
+  tasks.reserve(plan.steps.size());
+  for (const MigrationStep& step : plan.steps) {
+    flow::StageTask task;
+    task.kind = task_kind(step.kind);
+    task.app = step.app;
+    task.name = step.name;
+    task.timestep = step.timestep;
+    task.from = step.from;
+    task.to = step.to;
+    task.path = step.path;
+    task.bytes = step.bytes;
+    task.drop_source = step.drop_source;
+    task.benefit = step.benefit;
+    task.cost = step.cost;
+    tasks.push_back(std::move(task));
+  }
+  const std::vector<flow::StageOutcome> executed = stager_.execute(tasks);
+
   MigrationReport report;
   report.outcomes.resize(plan.steps.size());
+  obs::MetricsRegistry& metrics = planner_.system().metrics();
   for (std::size_t i = 0; i < plan.steps.size(); ++i) {
-    const MigrationStep& step = plan.steps[i];
-    MigrationOutcome* outcome = &report.outcomes[i];
-    pool_.submit([this, &step, outcome] { run_step(step, outcome); });
-  }
-  pool_.wait_idle();
-  for (const auto& outcome : report.outcomes) {
-    report.executed_seconds += outcome.executed_seconds;
-    if (!outcome.status.ok()) continue;
-    if (outcome.step.kind != MigrationKind::kEvict) {
-      report.moved_bytes += outcome.step.bytes;
+    const flow::StageOutcome& outcome = executed[i];
+    MigrationOutcome& mapped = report.outcomes[i];
+    mapped.step = plan.steps[i];
+    mapped.status = outcome.status;
+    mapped.priced_cost = outcome.priced_cost;
+    mapped.executed_seconds = outcome.executed_seconds;
+    mapped.throttle_wait = outcome.throttle_wait;
+
+    report.executed_seconds += mapped.executed_seconds;
+    if (!mapped.status.ok()) {
+      metrics.counter("migrate.failures")->increment();
+      continue;
     }
-    if (outcome.step.drop_source) ++report.dropped_replicas;
+    switch (mapped.step.kind) {
+      case MigrationKind::kPromote:
+        metrics.counter("migrate.promotions")->increment();
+        break;
+      case MigrationKind::kDemote:
+        metrics.counter("migrate.demotions")->increment();
+        break;
+      case MigrationKind::kEvict:
+        metrics.counter("migrate.evictions")->increment();
+        break;
+      case MigrationKind::kRebalance:
+        metrics.counter("migrate.rebalances")->increment();
+        break;
+    }
+    if (mapped.step.kind != MigrationKind::kEvict) {
+      metrics.counter("migrate.moved_bytes")->add(mapped.step.bytes);
+      report.moved_bytes += mapped.step.bytes;
+    }
+    if (mapped.step.drop_source) ++report.dropped_replicas;
   }
   return report;
 }

@@ -1,25 +1,17 @@
-// MigrationEngine: asynchronous execution of MigrationPlans.
+// MigrationEngine: heat-driven migration policy over the unified mover.
 //
-// Each step runs on a common::ThreadPool worker with its own virtual
-// timeline, via the same PlanExecutor whole-object plans the planner
-// priced (first-error-wins inside a plan, per the executor contract).
-// Ordering discipline per step: copy -> commit the new replica in the
-// catalog -> drop the source replica from the catalog -> physically remove
-// the source object. A concurrent reader therefore never observes a
-// missing instance, and a reader holding an open handle on the source is
-// protected by the resources' deferred unlink.
-//
-// Decisions are traced as spans and billed into `io.migrate.*` histograms;
-// the op suffixes (copy_seconds, priced_cost, ...) are deliberately outside
-// the Eq.-1 primitive set, so obs::io_breakdown's per-resource table still
-// sums to elapsed — the copy's endpoint I/O is already billed there by the
-// instrumented endpoints.
+// The engine owns the *decisions* — MigrationPlanner turns observed heat
+// and capacity pressure into a ranked MigrationPlan — while the byte
+// movement itself routes through flow::StagingScheduler, the system's one
+// priced mover (copy -> commit -> drop via PlanExecutor, throttled,
+// background class, billed io.flow.*). Promotion, demotion, eviction and
+// rebalance are therefore just StageTask kinds; the engine maps steps to
+// tasks, executes the batch, and records the per-kind migrate.* counters.
 #pragma once
 
-#include <memory>
 #include <vector>
 
-#include "common/threadpool.h"
+#include "flow/stager.h"
 #include "migrate/planner.h"
 
 namespace msra::migrate {
@@ -50,8 +42,8 @@ class MigrationEngine {
   MigrationEngine(core::StorageSystem& system,
                   const predict::Predictor& predictor, MigrationConfig config);
 
-  /// Executes every step of `plan` on the worker pool and waits for the
-  /// batch to drain. Steps run concurrently (config.workers wide); each
+  /// Executes every step of `plan` on the mover's worker pool and waits for
+  /// the batch to drain. Steps run concurrently (config.workers wide); each
   /// step is independent — one failing never blocks the others. Outcomes
   /// come back in plan order.
   MigrationReport execute(const MigrationPlan& plan);
@@ -64,17 +56,13 @@ class MigrationEngine {
   MigrationPlanner& planner() { return planner_; }
   const MigrationConfig& config() const { return planner_.config(); }
 
- private:
-  void run_step(const MigrationStep& step, MigrationOutcome* outcome);
-  Status copy_object(simkit::Timeline& timeline, const MigrationStep& step);
-  /// Catalog commit + source drop, under the engine's catalog mutex.
-  Status commit(simkit::Timeline& timeline, const MigrationStep& step);
+  /// The mover this engine drives — shared surface for callers that also
+  /// run campaigns (one scheduler instance keeps one pin registry).
+  flow::StagingScheduler& stager() { return stager_; }
 
-  core::StorageSystem& system_;
+ private:
   MigrationPlanner planner_;
-  core::MetaCatalog catalog_;
-  std::mutex catalog_mutex_;  ///< serializes read-modify-write commits
-  ThreadPool pool_;
+  flow::StagingScheduler stager_;
 };
 
 }  // namespace msra::migrate

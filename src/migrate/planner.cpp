@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/placement.h"
+#include "flow/stager.h"
 #include "migrate/tracker.h"
 #include "runtime/plan.h"
 
@@ -41,16 +42,10 @@ MigrationPlanner::MigrationPlanner(core::StorageSystem& system,
 
 StatusOr<double> MigrationPlanner::price_step(const MigrationStep& step) const {
   if (step.kind == MigrationKind::kEvict) return 0.0;  // metadata-only
-  MSRA_ASSIGN_OR_RETURN(
-      double read_seconds,
-      predictor_.price(runtime::PlanBuilder::object_read(step.path, step.bytes),
-                       step.from.location));
-  MSRA_ASSIGN_OR_RETURN(
-      double write_seconds,
-      predictor_.price(runtime::PlanBuilder::object_write(
-                           step.path, step.bytes, srb::OpenMode::kOverwrite),
-                       step.to.location));
-  return read_seconds + write_seconds;
+  // Delegates to the unified mover's pricing primitive, so planner cost ==
+  // mover bill by construction (one formula, not two copies of it).
+  return flow::StagingScheduler::price_move(predictor_, step.path, step.bytes,
+                                            step.from, step.to);
 }
 
 StatusOr<std::pair<core::ReplicaAddress, double>>
@@ -142,8 +137,8 @@ StatusOr<MigrationPlan> MigrationPlanner::plan() {
                          const core::InstanceRecord* b) {
                        const DatasetHeat ha = tracker.heat(a->dataset_key);
                        const DatasetHeat hb = tracker.heat(b->dataset_key);
-                       if (ha.decayed_reads != hb.decayed_reads) {
-                         return ha.decayed_reads < hb.decayed_reads;
+                       if (ha.anticipated_reads() != hb.anticipated_reads()) {
+                         return ha.anticipated_reads() < hb.anticipated_reads();
                        }
                        if (ha.last_touch != hb.last_touch) {
                          return ha.last_touch < hb.last_touch;
@@ -248,8 +243,8 @@ StatusOr<MigrationPlan> MigrationPlanner::plan() {
                            const core::InstanceRecord* b) {
                          const DatasetHeat ha = tracker.heat(a->dataset_key);
                          const DatasetHeat hb = tracker.heat(b->dataset_key);
-                         if (ha.decayed_reads != hb.decayed_reads) {
-                           return ha.decayed_reads < hb.decayed_reads;
+                         if (ha.anticipated_reads() != hb.anticipated_reads()) {
+                           return ha.anticipated_reads() < hb.anticipated_reads();
                          }
                          if (a->bytes != b->bytes) return a->bytes > b->bytes;
                          if (a->dataset_key != b->dataset_key) {
@@ -289,9 +284,11 @@ StatusOr<MigrationPlan> MigrationPlanner::plan() {
   std::vector<Candidate> promotions;
   for (const auto& record : all) {
     const DatasetHeat heat = tracker.heat(record.dataset_key);
-    if (heat.decayed_reads < static_cast<double>(config_.hot_reads)) continue;
+    if (heat.anticipated_reads() < static_cast<double>(config_.hot_reads)) {
+      continue;
+    }
     const double reads_share =
-        heat.decayed_reads /
+        heat.anticipated_reads() /
         static_cast<double>(instance_count[record.dataset_key]);
     auto current = cheapest_live_read(record);
     if (!current.ok()) continue;  // nothing live: failover's problem, not ours

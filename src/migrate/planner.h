@@ -117,6 +117,8 @@ class MigrationPlanner {
 
   const MigrationConfig& config() const { return config_; }
 
+  core::StorageSystem& system() { return system_; }
+
  private:
   /// Cheapest predicted whole-object read among the instance's live
   /// replicas (the session's replica choice under a predictor): the chosen

@@ -53,6 +53,14 @@ void AccessTracker::record_write(const std::string& dataset_key,
   touch_locked(dataset_key);
 }
 
+void AccessTracker::expect_reads(const std::string& dataset_key,
+                                 double delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DatasetHeat& heat = heat_[dataset_key];
+  heat.expected_reads = std::max(0.0, heat.expected_reads + delta);
+  touch_locked(dataset_key);
+}
+
 void AccessTracker::set_half_life(double seconds) {
   std::lock_guard<std::mutex> lock(mutex_);
   half_life_ = seconds > 0.0 ? seconds : 0.0;
@@ -86,8 +94,8 @@ std::vector<std::pair<std::string, DatasetHeat>> AccessTracker::hottest() const 
     out.assign(heat_.begin(), heat_.end());
   }
   std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
-    if (a.second.decayed_reads != b.second.decayed_reads) {
-      return a.second.decayed_reads > b.second.decayed_reads;
+    if (a.second.anticipated_reads() != b.second.anticipated_reads()) {
+      return a.second.anticipated_reads() > b.second.anticipated_reads();
     }
     return a.second.decayed_read_bytes > b.second.decayed_read_bytes;
   });

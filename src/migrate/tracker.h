@@ -40,6 +40,19 @@ struct DatasetHeat {
   double decayed_reads = 0.0;
   double decayed_read_bytes = 0.0;
   double decay_horizon = 0.0;     ///< virtual time the decayed values are at
+
+  /// Reads declared but not yet issued: a campaign stage that names this
+  /// dataset as an input counts as expected reuse from the moment the
+  /// campaign is submitted (flow::StagingScheduler seeds this, and releases
+  /// it when the consuming stage dispatches). Not decayed — a declaration
+  /// does not go stale, it is withdrawn. 0 outside campaigns, so every
+  /// consumer can add it unconditionally without changing default behaviour.
+  double expected_reads = 0.0;
+
+  /// The signal heat consumers should rank by: observed decayed reads plus
+  /// declared future reads. With no campaigns in flight this is exactly
+  /// `decayed_reads`.
+  double anticipated_reads() const { return decayed_reads + expected_reads; }
 };
 
 class AccessTracker {
@@ -53,6 +66,13 @@ class AccessTracker {
                    double now);
   void record_write(const std::string& dataset_key, std::uint64_t bytes,
                     double now);
+
+  /// Adjusts the declared-future-read count by `delta` (negative to
+  /// withdraw), clamped at zero. Campaign submission adds one per declared
+  /// read intent; stage dispatch withdraws them again — so the cache's
+  /// AdmissionJudge and the migration planner see an imminently-re-read
+  /// dataset as hot *before* the first consumer read lands.
+  void expect_reads(const std::string& dataset_key, double delta);
 
   /// Exponential time-decay of read heat: after `seconds` of virtual time
   /// without touches, `decayed_reads` halves. 0 (the default) disables decay

@@ -164,6 +164,35 @@ std::string format_qos_table(const std::vector<QosClassRow>& rows) {
   return out;
 }
 
+std::string format_campaign_table(const std::string& campaign,
+                                  const std::vector<CampaignStageRow>& rows) {
+  if (rows.empty()) return "(no stages)\n";
+  std::size_t name_width = std::string("stage").size();
+  for (const CampaignStageRow& row : rows) {
+    name_width = std::max(name_width, row.stage.size());
+  }
+  std::string out = "campaign " + campaign + "\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-*s %12s %12s %12s  %s\n",
+                static_cast<int>(name_width), "stage", "start[s]", "finish[s]",
+                "seconds", "note");
+  out += buf;
+  double first_start = rows.front().start;
+  double last_finish = rows.front().finish;
+  for (const CampaignStageRow& row : rows) {
+    first_start = std::min(first_start, row.start);
+    last_finish = std::max(last_finish, row.finish);
+    std::snprintf(buf, sizeof(buf), "%-*s %12.4f %12.4f %12.4f  %s\n",
+                  static_cast<int>(name_width), row.stage.c_str(), row.start,
+                  row.finish, row.finish - row.start, row.note.c_str());
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "makespan %.4f s\n",
+                std::max(0.0, last_finish - first_start));
+  out += buf;
+  return out;
+}
+
 LatencySummary summarize_latencies(std::vector<double> samples) {
   LatencySummary summary;
   if (samples.empty()) return summary;

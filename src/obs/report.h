@@ -83,6 +83,21 @@ struct QosClassRow {
 /// one-line "(no QoS activity recorded)" note.
 std::string format_qos_table(const std::vector<QosClassRow>& rows);
 
+/// One stage of a campaign makespan summary (virtual seconds): filled from
+/// a flow::CampaignReport (or a flow::CampaignPrice for the planned view) —
+/// obs stays flow-agnostic, so callers map their rows in.
+struct CampaignStageRow {
+  std::string stage;
+  double start = 0.0;
+  double finish = 0.0;
+  std::string note;  ///< status / producer list, free-form
+};
+
+/// Fixed-width per-stage table with a makespan footer (latest finish minus
+/// earliest start); empty input renders a one-line "(no stages)" note.
+std::string format_campaign_table(const std::string& campaign,
+                                  const std::vector<CampaignStageRow>& rows);
+
 /// Exact order statistics over a latency sample set (simulated seconds).
 /// Percentiles use the nearest-rank method on the sorted samples, so the
 /// reported values are always members of the input — deterministic and

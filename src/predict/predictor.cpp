@@ -288,6 +288,17 @@ StatusOr<double> Predictor::price(const runtime::IoPlan& plan,
   return total;
 }
 
+StatusOr<double> Predictor::price_serial(
+    const std::vector<PlacedPlan>& plans) const {
+  double total = 0.0;
+  for (const PlacedPlan& placed : plans) {
+    MSRA_ASSIGN_OR_RETURN(double seconds,
+                          price(placed.plan, placed.location, placed.load));
+    total += seconds;
+  }
+  return total;
+}
+
 StatusOr<DatasetPrediction> Predictor::predict_dataset(
     const core::DatasetDesc& desc, core::Location resolved, int iterations,
     int nprocs, IoOp op, const FastPathAssumptions& fast) const {

@@ -93,6 +93,16 @@ struct RunPrediction {
   double total = 0.0;
 };
 
+/// One placed plan of a larger whole (a campaign stage's access): the unit
+/// the DAG pricing entry point sums. `location` is where the plan's bytes
+/// live — for a campaign read that is where the producer's output WILL
+/// live, which is exactly the cross-stage staleness Eq. (2) must see.
+struct PlacedPlan {
+  runtime::IoPlan plan;
+  core::Location location = core::Location::kRemoteTape;
+  LoadAssumptions load{};
+};
+
 /// Priced view of one plan stage (the `msractl explain` tree rows).
 struct StagePrice {
   std::string label;
@@ -164,6 +174,13 @@ class Predictor {
   StatusOr<std::vector<StagePrice>> price_stages(
       const runtime::IoPlan& plan, core::Location location,
       const LoadAssumptions& load, const CacheAssumptions& cache) const;
+
+  /// DAG pricing entry point: extends Eq. (2) from one dataset to a placed
+  /// sequence — the summed price of every plan at its placement, i.e. one
+  /// campaign stage executing its accesses serially on one clock.
+  /// flow::CampaignPricer calls this per stage, then chains stage totals
+  /// along the DAG to schedule earliest starts and the critical path.
+  StatusOr<double> price_serial(const std::vector<PlacedPlan>& plans) const;
 
   /// Per-dataset prediction for an `iterations`-long run on `nprocs` ranks.
   /// `op` selects the producer (write) or consumer (read) direction.

@@ -152,6 +152,53 @@ AdmissionDecision AdmissionController::decide(const core::Workload& workload,
   return decision;
 }
 
+AdmissionDecision AdmissionController::decide_move(
+    const std::string& path, std::uint64_t bytes, core::ReplicaAddress from,
+    core::ReplicaAddress to, TenantClass cls, double now) const {
+  AdmissionDecision decision;
+  decision.slo = config_.policy(cls).slo;
+  if (decision.slo <= 0.0) {
+    decision.reason = "no SLO: staging admitted";
+    return decision;
+  }
+  const core::Balancer& balancer = system_.balancer();
+  decision.quote = std::max(
+      {0.0, balancer.backlog_seconds(from) - now,
+       balancer.backlog_seconds(to) - now});
+  if (predictor_ != nullptr) {
+    auto read = predictor_->price(
+        runtime::PlanBuilder::object_read(path, bytes), from.location);
+    auto write = predictor_->price(
+        runtime::PlanBuilder::object_write(path, bytes,
+                                           srb::OpenMode::kOverwrite),
+        to.location);
+    if (read.ok()) decision.quote += *read;
+    if (write.ok()) decision.quote += *write;
+  }
+  decision.static_quote = decision.quote;  // a move has exactly one route
+  obs::MetricsRegistry& metrics = system_.metrics();
+  char buffer[160];
+  if (decision.quote > decision.slo) {
+    decision.outcome = AdmissionDecision::Outcome::kReject;
+    std::snprintf(buffer, sizeof(buffer),
+                  "staging move quotes %.3fs > %s SLO %.3fs", decision.quote,
+                  std::string(tenant_class_name(cls)).c_str(), decision.slo);
+    decision.reason = buffer;
+    if (metrics.enabled()) {
+      metrics.counter("qos.admission.staging_deferred")->increment();
+    }
+    return decision;
+  }
+  std::snprintf(buffer, sizeof(buffer),
+                "staging move quoted %.3fs within SLO %.3fs", decision.quote,
+                decision.slo);
+  decision.reason = buffer;
+  if (metrics.enabled()) {
+    metrics.counter("qos.admission.staging_accepted")->increment();
+  }
+  return decision;
+}
+
 Status AdmissionController::admit(core::Client& client,
                                   const core::Workload& workload) {
   const TenantClass cls = workload.tenant_class().has_value()

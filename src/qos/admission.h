@@ -72,6 +72,17 @@ class AdmissionController {
   /// Ok (accept/redirect) or ResourceExhausted (reject).
   Status admit(core::Client& client, const core::Workload& workload);
 
+  /// Quotes one staged byte-move (the flow scheduler's copy tasks) for
+  /// class `cls`: the worse of the two routes' backlogs plus the priced
+  /// copy, against the class SLO. Classes without an SLO always pass —
+  /// background staging only defers when the operator gave background a
+  /// deadline to respect. Records
+  /// qos.admission.staging_{accepted,deferred}.
+  AdmissionDecision decide_move(const std::string& path, std::uint64_t bytes,
+                                core::ReplicaAddress from,
+                                core::ReplicaAddress to, TenantClass cls,
+                                double now) const;
+
   /// Installs this controller as `fleet`'s admission gate (the controller
   /// must outlive the fleet's pumping).
   void attach(core::Fleet& fleet);

@@ -1,15 +1,13 @@
-// Asynchronous write-behind and prefetch.
+// Asynchronous write-behind.
 //
 // The paper's run-time libraries provide asynchronous I/O so computation and
 // (slow remote) I/O overlap. In virtual time this means: submitting a write
 // costs the caller only a memory copy; the storage work accrues on the
 // engine's own timeline; flush() joins the caller's clock with the engine's.
+// The read-ahead half lives in flow/prefetcher.h: prefetching is a client
+// of the unified staging scheduler, not a private copy loop.
 #pragma once
 
-#include <deque>
-#include <list>
-#include <map>
-#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -55,72 +53,6 @@ class AsyncWriter {
   Status first_error_;
   std::uint64_t submitted_ = 0;
   std::uint64_t pending_ = 0;
-};
-
-/// Read-ahead engine: prefetches whole objects into a small cache so a later
-/// fetch() costs only a memory copy when the prefetch already completed.
-///
-/// The cache is bounded: at most `capacity` objects are kept, evicted in
-/// least-recently-used order (prefetch and fetch both refresh recency).
-/// In-flight prefetches are never evicted.
-class Prefetcher {
- public:
-  explicit Prefetcher(StorageEndpoint& endpoint,
-                      double memcpy_bandwidth = 400.0e6,
-                      std::size_t capacity = 16);
-  ~Prefetcher();
-
-  Prefetcher(const Prefetcher&) = delete;
-  Prefetcher& operator=(const Prefetcher&) = delete;
-
-  /// Starts fetching `path` in the background (no caller cost beyond a
-  /// request handoff).
-  void prefetch(simkit::Timeline& caller, const std::string& path);
-
-  /// Returns the object's bytes. If the prefetch finished before the
-  /// caller's current virtual time, only the copy is charged; otherwise the
-  /// caller waits (clock joins) for it. Objects never prefetched are read
-  /// synchronously.
-  StatusOr<std::vector<std::byte>> fetch(simkit::Timeline& caller,
-                                         const std::string& path);
-
-  /// Cache hits observed by fetch().
-  std::uint64_t hits() const;
-
-  /// Objects currently cached (including in-flight prefetches).
-  std::size_t cached_count() const;
-
-  /// Completed entries dropped to respect the capacity bound.
-  std::uint64_t evictions() const;
-
- private:
-  struct Entry {
-    Status status;
-    std::vector<std::byte> data;
-    simkit::SimTime ready_at = 0.0;
-    bool done = false;
-  };
-
-  StatusOr<std::vector<std::byte>> read_whole(simkit::Timeline& timeline,
-                                              const std::string& path);
-
-  /// Moves `path` to the most-recently-used position. Callers hold mutex_.
-  void touch_locked(const std::string& path);
-
-  /// Drops least-recently-used *completed* entries until the cache fits the
-  /// capacity bound. Callers hold mutex_.
-  void evict_locked();
-
-  StorageEndpoint& endpoint_;
-  double memcpy_bandwidth_;
-  std::size_t capacity_;
-  simkit::Timeline engine_;
-  ThreadPool pool_;
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> cache_;
-  std::list<std::string> lru_;  ///< front = most recent
-  std::uint64_t hits_ = 0;
-  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace msra::runtime

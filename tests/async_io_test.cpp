@@ -1,4 +1,5 @@
-// Bounded prefetch cache (LRU) and AsyncWriter error paths.
+// Bounded prefetch cache (LRU, now flow::Prefetcher over the unified
+// mover) and AsyncWriter error paths.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -6,6 +7,8 @@
 
 #include "core/profiles.h"
 #include "core/system.h"
+#include "flow/prefetcher.h"
+#include "flow/stager.h"
 #include "runtime/async_io.h"
 #include "runtime/endpoint.h"
 
@@ -46,7 +49,8 @@ TEST(PrefetcherLruTest, EvictsLeastRecentlyUsedCompletedEntry) {
   store(ep, "lru/b", b);
   store(ep, "lru/c", c);
 
-  Prefetcher prefetcher(ep, 400.0e6, /*capacity=*/2);
+  flow::StagingScheduler stager(system, nullptr);
+  flow::Prefetcher prefetcher(stager, ep, 400.0e6, /*capacity=*/2);
   Timeline caller;
   prefetcher.prefetch(caller, "lru/a");
   prefetcher.prefetch(caller, "lru/b");
@@ -89,7 +93,8 @@ TEST(PrefetcherLruTest, CacheStaysBoundedUnderManyPrefetches) {
   for (int i = 0; i < kObjects; ++i) {
     store(ep, "many/" + std::to_string(i), bytes_of(2000, i));
   }
-  Prefetcher prefetcher(ep, 400.0e6, /*capacity=*/3);
+  flow::StagingScheduler stager(system, nullptr);
+  flow::Prefetcher prefetcher(stager, ep, 400.0e6, /*capacity=*/3);
   Timeline caller;
   for (int i = 0; i < kObjects; ++i) {
     prefetcher.prefetch(caller, "many/" + std::to_string(i));
@@ -113,7 +118,8 @@ TEST(PrefetcherLruTest, InFlightEntriesAreNeverEvicted) {
   }
   // Capacity 1 with four prefetches issued back-to-back: entries may pile up
   // while in flight, but each one completes, lands, and reads back intact.
-  Prefetcher prefetcher(ep, 400.0e6, /*capacity=*/1);
+  flow::StagingScheduler stager(system, nullptr);
+  flow::Prefetcher prefetcher(stager, ep, 400.0e6, /*capacity=*/1);
   Timeline caller;
   for (int i = 0; i < 4; ++i) {
     prefetcher.prefetch(caller, "flight/" + std::to_string(i));

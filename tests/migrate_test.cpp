@@ -317,10 +317,10 @@ TEST_F(MigrateTest, ThrottleStretchesExecutedTime) {
   EXPECT_GE(outcome.executed_seconds, floor_seconds);
   EXPECT_GT(outcome.throttle_wait, 0.0);
 
-  // Migration billing lives under io.migrate.* op names outside the Eq.-1
+  // Mover billing lives under io.flow.* op names outside the Eq.-1
   // primitive set, so the per-resource breakdown is unaffected.
   for (const auto& row : obs::io_breakdown(system_.metrics())) {
-    EXPECT_NE(row.resource, "io.migrate");
+    EXPECT_NE(row.resource, "io.flow");
   }
 }
 

@@ -8,6 +8,8 @@
 #include "common/rng.h"
 #include "core/profiles.h"
 #include "core/system.h"
+#include "flow/prefetcher.h"
+#include "flow/stager.h"
 #include "prt/comm.h"
 #include "runtime/async_io.h"
 #include "runtime/parallel_io.h"
@@ -491,7 +493,8 @@ TEST(PrefetcherTest, HidesLatencyBehindCompute) {
     ASSERT_TRUE(session.ok());
     ASSERT_TRUE(session->write(data).ok());
   }
-  Prefetcher prefetcher(ep);
+  flow::StagingScheduler stager(system, nullptr);
+  flow::Prefetcher prefetcher(stager, ep);
   Timeline caller;
   prefetcher.prefetch(caller, "pf/data");
   caller.advance(30.0);  // compute hides the ~1.4 s fetch
@@ -512,7 +515,8 @@ TEST(PrefetcherTest, ColdFetchIsSynchronous) {
     ASSERT_TRUE(session.ok());
     ASSERT_TRUE(session->write(data).ok());
   }
-  Prefetcher prefetcher(ep);
+  flow::StagingScheduler stager(system, nullptr);
+  flow::Prefetcher prefetcher(stager, ep);
   Timeline caller;
   auto got = prefetcher.fetch(caller, "pf/cold");
   ASSERT_TRUE(got.ok());

@@ -14,8 +14,10 @@
 //   msractl slice   --root /tmp/msra --dataset temp --timestep 12 --index 24
 //   msractl predict --root /tmp/msra --dims 128,128,128 --iterations 120
 //   msractl advise  --root /tmp/msra --dims 64,64,64 --iterations 60
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "apps/astro3d/astro3d.h"
@@ -27,10 +29,14 @@
 #include "cache/cache.h"
 #include "common/bytes.h"
 #include "core/balancer.h"
+#include "core/placement.h"
+#include "flow/pricer.h"
+#include "flow/run.h"
 #include "migrate/engine.h"
 #include "obs/report.h"
 #include "predict/advisor.h"
 #include "predict/ptool.h"
+#include "qos/admission.h"
 #include "qos/policy.h"
 
 namespace msra::tools {
@@ -66,6 +72,11 @@ int usage() {
                "  migrate   predictor-priced migration engine:\n"
                "            migrate plan|run|watch [--hot name[=reads]]\n"
                "            [--throttle-mb N] [--batch-mb N] [--rounds N]\n"
+               "            [--json]\n"
+               "  flow      workflow-aware campaign scheduler:\n"
+               "            flow plan|run|watch|explain [--dataset NAME]\n"
+               "            [--timesteps N] [--location HINT]\n"
+               "            [--throttle-mb N] [--no-staging] [--rounds N]\n"
                "            [--json]\n"
                "  stats     probe every resource and print the Eq. 1 telemetry\n"
                "            breakdown, the device contention table and the\n"
@@ -1000,6 +1011,296 @@ int cmd_migrate(const Args& args) {
   return failures == 0 ? 0 : 1;
 }
 
+// ---- flow: whole-campaign scheduling --------------------------------------
+
+/// The canonical Astro3D-shaped campaign over one dataset: sim dumps
+/// `--timesteps` frames, mse reads every frame back, viz reads them again
+/// after mse — two declared readers per frame, which is what makes
+/// pre-staging pay for itself. Unregistered datasets are placed and
+/// registered first so the pricer has a resolved placement to quote.
+flow::Campaign flow_campaign(const Args& args, core::StorageSystem& system) {
+  const std::string dataset = args.get("dataset", "temp");
+  const int timesteps =
+      static_cast<int>(std::max<std::int64_t>(1, args.get_int("timesteps", 2)));
+  core::MetaCatalog catalog(&system.metadb());
+  auto record = catalog.find_dataset(dataset);
+  std::string app = "astro";
+  core::DatasetDesc desc;
+  if (record.ok()) {
+    app = record->app;
+    desc = record->desc;
+  } else {
+    desc.name = dataset;
+    desc.dims = parse_dims(args.get("dims"));
+    desc.etype = core::ElementType::kFloat32;
+    desc.frequency = 1;
+    desc.location = die_on_error(
+        core::parse_location(args.get("location", "REMOTETAPE")),
+        "bad --location");
+    auto decision = die_on_error(
+        core::PlacementPolicy::resolve(system, desc, timesteps),
+        "placing the campaign dataset");
+    die_on_error(catalog.register_dataset(app, desc, decision.location),
+                 "registering the campaign dataset");
+  }
+
+  flow::Campaign campaign("campaign-" + dataset, app);
+  core::Workload sim;
+  sim.open(desc);
+  for (int t = 0; t < timesteps; ++t) sim.dump(dataset, t);
+  sim.finalize();
+  campaign.stage("sim", std::move(sim));
+  core::Workload mse;
+  mse.open_existing(dataset);
+  for (int t = 0; t < timesteps; ++t) mse.read_whole(dataset, t);
+  mse.finalize();
+  campaign.stage("mse", std::move(mse));
+  core::Workload viz;
+  viz.open_existing(dataset);
+  for (int t = 0; t < timesteps; ++t) viz.read_whole(dataset, t);
+  viz.finalize();
+  campaign.stage("viz", std::move(viz));
+  campaign.after("viz", "mse");
+  return campaign;
+}
+
+flow::StagingConfig staging_config_from(const Args& args) {
+  flow::StagingConfig config;
+  const std::int64_t throttle_mb = args.get_int("throttle-mb", 0);
+  if (throttle_mb > 0) {
+    config.throttle_bytes_per_sec = static_cast<std::uint64_t>(throttle_mb)
+                                    << 20;
+  }
+  return config;
+}
+
+std::string flow_task_json(const flow::StageTask& task) {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"kind\":\"%s\",\"dataset\":\"%s/%s\",\"timestep\":%d,"
+      "\"from\":\"%s\",\"to\":\"%s\",\"bytes\":%llu,\"benefit\":%.9g,"
+      "\"cost\":%.9g,\"start_at\":%.9g}",
+      flow::stage_task_kind_name(task.kind).data(), task.app.c_str(),
+      task.name.c_str(), task.timestep,
+      core::address_name(task.from).c_str(),
+      core::address_name(task.to).c_str(),
+      static_cast<unsigned long long>(task.bytes), task.benefit, task.cost,
+      task.start_at);
+  return buf;
+}
+
+void print_flow_tasks(const std::vector<flow::StageTask>& tasks) {
+  if (tasks.empty()) {
+    std::printf("nothing to stage (inputs already sit on their best tier)\n");
+    return;
+  }
+  for (const flow::StageTask& task : tasks) {
+    std::printf("  %-9s %s/%s t%-3d %s -> %s  %8s  benefit %.3fs cost %.3fs "
+                "start %.3fs\n",
+                flow::stage_task_kind_name(task.kind).data(), task.app.c_str(),
+                task.name.c_str(), task.timestep,
+                core::address_name(task.from).c_str(),
+                core::address_name(task.to).c_str(),
+                format_bytes(task.bytes).c_str(), task.benefit, task.cost,
+                task.start_at);
+  }
+}
+
+std::string campaign_report_json(const flow::CampaignReport& report) {
+  std::string json = "{\"campaign\":\"" + report.campaign + "\",\"stages\":[";
+  char buf[256];
+  for (std::size_t i = 0; i < report.stages.size(); ++i) {
+    const flow::StageResult& stage = report.stages[i];
+    if (i > 0) json += ",";
+    std::snprintf(buf, sizeof(buf),
+                  "{\"stage\":\"%s\",\"ok\":%s,\"started_at\":%.9g,"
+                  "\"finished_at\":%.9g,\"latency\":%.9g}",
+                  stage.stage.c_str(), stage.status.ok() ? "true" : "false",
+                  stage.started_at, stage.finished_at, stage.latency());
+    json += buf;
+  }
+  json += "],\"staging\":[";
+  for (std::size_t i = 0; i < report.staging.size(); ++i) {
+    const flow::StageOutcome& outcome = report.staging[i];
+    if (i > 0) json += ",";
+    json += flow_task_json(outcome.task);
+    json.back() = ',';  // reopen the task object to append outcome fields
+    std::snprintf(buf, sizeof(buf),
+                  "\"ok\":%s,\"executed_seconds\":%.9g,\"finished_at\":%.9g}",
+                  outcome.status.ok() ? "true" : "false",
+                  outcome.executed_seconds, outcome.finished_at);
+    json += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "],\"makespan\":%.9g}", report.makespan);
+  json += buf;
+  return json;
+}
+
+void print_campaign_report(const flow::CampaignReport& report) {
+  std::vector<obs::CampaignStageRow> rows;
+  for (const flow::StageResult& stage : report.stages) {
+    rows.push_back({stage.stage, stage.started_at, stage.finished_at,
+                    stage.status.ok() ? "ok" : stage.status.to_string()});
+  }
+  std::printf("%s", obs::format_campaign_table(report.campaign, rows).c_str());
+  if (!report.staging.empty()) {
+    std::printf("staging moves:\n");
+    for (const flow::StageOutcome& outcome : report.staging) {
+      std::printf("  %-40s %s  %.3fs (finished %.3fs)\n",
+                  outcome.task.label().c_str(),
+                  outcome.status.ok() ? "ok" : outcome.status.to_string().c_str(),
+                  outcome.executed_seconds, outcome.finished_at);
+    }
+  }
+}
+
+int cmd_flow(const Args& args) {
+  const std::string verb =
+      args.positional().empty() ? "explain" : args.positional().front();
+  if (verb != "plan" && verb != "run" && verb != "watch" && verb != "explain") {
+    std::fprintf(stderr,
+                 "usage: msractl flow plan|run|watch|explain [--dataset NAME]\n"
+                 "       [--timesteps N] [--location HINT] [--throttle-mb N]\n"
+                 "       [--no-staging] [--rounds N] [--json]\n");
+    return 2;
+  }
+  Env env(args);
+  core::StorageSystem& system = *env.system;
+  predict::Predictor predictor(env.perfdb.get());
+  flow::Campaign campaign = flow_campaign(args, system);
+  flow::StagingScheduler stager(system, &predictor, staging_config_from(args));
+  // A persisted QoS policy with admission enabled also gates staging moves:
+  // the mover defers when a move's quote would miss its class SLO.
+  std::unique_ptr<qos::AdmissionController> admission;
+  if (const qos::QosConfig* config = system.qos_config();
+      config != nullptr && config->admission) {
+    admission = std::make_unique<qos::AdmissionController>(system, &predictor,
+                                                           *config);
+    stager.set_admission(admission.get());
+  }
+
+  if (verb == "plan") {
+    std::vector<flow::StageTask> tasks = stager.plan_prestage(campaign, {});
+    if (args.has("json")) {
+      std::string json = "{\"tasks\":[";
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (i > 0) json += ",";
+        json += flow_task_json(tasks[i]);
+      }
+      json += "]}";
+      std::printf("%s\n", json.c_str());
+    } else {
+      std::printf("campaign %s prestage plan:\n", campaign.name().c_str());
+      print_flow_tasks(tasks);
+    }
+    return 0;
+  }
+
+  if (verb == "explain") {
+    flow::CampaignPricer pricer(system, predictor);
+    auto price = die_on_error(pricer.price(campaign, &stager),
+                              "campaign pricing (run `msractl ptool` first?)");
+    if (args.has("json")) {
+      std::string json =
+          "{\"campaign\":\"" + campaign.name() + "\",\"stages\":[";
+      char buf[320];
+      for (std::size_t i = 0; i < price.stages.size(); ++i) {
+        const flow::StagePriceRow& row = price.stages[i];
+        if (i > 0) json += ",";
+        json += "{\"stage\":\"" + row.stage + "\",\"class\":\"" +
+                std::string(qos::tenant_class_name(row.tenant_class)) +
+                "\",\"producers\":[";
+        for (std::size_t j = 0; j < row.producers.size(); ++j) {
+          if (j > 0) json += ",";
+          json += std::to_string(row.producers[j]);
+        }
+        std::snprintf(buf, sizeof(buf),
+                      "],\"seconds\":%.9g,\"start\":%.9g,\"finish\":%.9g,"
+                      "\"intents\":[",
+                      row.seconds, row.start, row.finish);
+        json += buf;
+        for (std::size_t j = 0; j < row.intents.size(); ++j) {
+          const flow::IntentPrice& intent = row.intents[j];
+          if (j > 0) json += ",";
+          std::snprintf(buf, sizeof(buf),
+                        "{\"kind\":\"%s\",\"dataset\":\"%s\",\"timestep\":%d,"
+                        "\"address\":\"%s\",\"seconds\":%.9g,\"note\":\"%s\"}",
+                        intent.kind == core::Workload::IoIntent::Kind::kWrite
+                            ? "write"
+                            : "read",
+                        intent.dataset.c_str(), intent.timestep,
+                        core::address_name(intent.address).c_str(),
+                        intent.seconds, intent.note.c_str());
+          json += buf;
+        }
+        json += "]}";
+      }
+      std::snprintf(buf, sizeof(buf), "],\"total\":%.9g,\"makespan\":%.9g}",
+                    price.total, price.makespan);
+      json += buf;
+      std::printf("%s\n", json.c_str());
+    } else {
+      std::printf("campaign %s priced end-to-end (Eq. 2 over the DAG):\n",
+                  campaign.name().c_str());
+      for (std::size_t i = 0; i < price.stages.size(); ++i) {
+        const flow::StagePriceRow& row = price.stages[i];
+        std::printf("  [%zu] %-8s %-12s start %8.3fs finish %8.3fs (%0.3fs)\n",
+                    i, row.stage.c_str(),
+                    std::string(qos::tenant_class_name(row.tenant_class))
+                        .c_str(),
+                    row.start, row.finish, row.seconds);
+        for (const flow::IntentPrice& intent : row.intents) {
+          std::printf("        %-5s %s t%-3d @ %-14s %8.3fs  %s\n",
+                      intent.kind == core::Workload::IoIntent::Kind::kWrite
+                          ? "write"
+                          : "read",
+                      intent.dataset.c_str(), intent.timestep,
+                      core::address_name(intent.address).c_str(),
+                      intent.seconds, intent.note.c_str());
+        }
+      }
+      std::printf("total %.3fs  makespan %.3fs\n", price.total,
+                  price.makespan);
+    }
+    return 0;
+  }
+
+  flow::CampaignOptions options;
+  options.predictor = &predictor;
+  if (!args.has("no-staging")) options.stager = &stager;
+
+  if (verb == "run") {
+    core::Fleet fleet(system);
+    auto report = die_on_error(fleet.submit_campaign(campaign, options),
+                               "campaign run");
+    if (args.has("json")) {
+      std::printf("%s\n", campaign_report_json(report).c_str());
+    } else {
+      print_campaign_report(report);
+    }
+    return report.ok() ? 0 : 1;
+  }
+
+  // watch: rerun the campaign for --rounds rounds, makespan per round.
+  const int rounds = static_cast<int>(args.get_int("rounds", 3));
+  int failures = 0;
+  for (int round = 1; round <= rounds; ++round) {
+    system.reset_time();
+    core::Fleet fleet(system);
+    auto report = die_on_error(fleet.submit_campaign(campaign, options),
+                               "campaign run");
+    std::uint64_t staged = 0;
+    for (const flow::StageOutcome& outcome : report.staging) {
+      if (outcome.status.ok()) ++staged;
+    }
+    std::printf("round %d: makespan %.3fs, %llu staging moves\n", round,
+                report.makespan, static_cast<unsigned long long>(staged));
+    if (!report.ok()) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 // Runs a deterministic probe (write, then seek + read half) against every
 // available resource through the instrumented endpoints, then prints the
 // Eq. (1) component breakdown. Every simulated second of the probe is
@@ -1442,6 +1743,7 @@ int run_command(int argc, char** argv) {
   if (command == "resources") return cmd_resources(args);
   if (command == "cluster") return cmd_cluster(args);
   if (command == "migrate") return cmd_migrate(args);
+  if (command == "flow") return cmd_flow(args);
   if (command == "stats") return cmd_stats(args);
   if (command == "qos") return cmd_qos(args);
   if (command == "cache") return cmd_cache(args);
